@@ -1,0 +1,750 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [--quick] [--frames N] [--csv DIR] [table1 table2 fig2 fig4
+//!        fig5 fig10 fig11 fig12 fig13 fig14 fig15 fig16 overhead
+//!        ablation all]
+//! ```
+//!
+//! With no figure arguments, everything runs. `--quick` restricts the
+//! benchmark columns to a small subset (useful for smoke runs); `--csv`
+//! additionally drops each figure's data as `DIR/<figure>.csv`.
+
+use pimgfx::{analyze_overhead, Design, SimConfig};
+use pimgfx_bench::{geomean, mean, CsvSink, Harness, Variant, THRESHOLD_SWEEP};
+use pimgfx_mem::TrafficClass;
+use pimgfx_workloads::{Game, Resolution};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let frames = args
+        .iter()
+        .position(|a| a == "--frames")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let figs: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| !a.starts_with("--") && !a.chars().all(|c| c.is_ascii_digit()))
+        .collect();
+    let csv_dir = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+    let csv = CsvSink::new(csv_dir);
+    // `--csv <dir>` consumes its value; drop it from the figure list.
+    let figs: Vec<&str> = figs
+        .into_iter()
+        .filter(|f| {
+            !args
+                .iter()
+                .position(|a| a == "--csv")
+                .and_then(|i| args.get(i + 1))
+                .map(|v| v == f)
+                .unwrap_or(false)
+        })
+        .collect();
+    let all = figs.is_empty() || figs.contains(&"all");
+    let want = |f: &str| all || figs.contains(&f);
+
+    let mut h = Harness::new(frames);
+    let columns = Harness::columns(quick);
+
+    if want("table1") {
+        table1();
+    }
+    if want("table2") {
+        table2();
+    }
+    if want("fig2") {
+        fig2(&mut h, &columns, &csv);
+    }
+    if want("fig4") {
+        fig4(&mut h, &columns, &csv);
+    }
+    if want("fig5") {
+        fig5(&mut h, &columns, &csv);
+    }
+    if want("fig10") {
+        fig10(&mut h, &columns, &csv);
+    }
+    if want("fig11") {
+        fig11(&mut h, &columns, &csv);
+    }
+    if want("fig12") {
+        fig12(&mut h, &columns, &csv);
+    }
+    if want("fig13") {
+        fig13(&mut h, &columns, &csv);
+    }
+    if want("fig14") {
+        fig14(&mut h, &columns, &csv);
+    }
+    if want("fig15") {
+        fig15(&mut h, &columns, &csv);
+    }
+    if want("fig16") {
+        fig16(&mut h, &columns, &csv);
+    }
+    if want("overhead") {
+        overhead();
+    }
+    if want("ablation") {
+        ablation(&mut h, &columns);
+    }
+}
+
+fn header(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+fn table1() {
+    header("Table I — simulator configuration");
+    let c = SimConfig::default();
+    println!("Host GPU");
+    println!("  clusters                : {}", c.shader.clusters);
+    println!(
+        "  unified shaders/cluster : {}",
+        c.shader.shaders_per_cluster
+    );
+    println!("  simd width              : {}", c.shader.simd_width);
+    println!("  tile size               : {0}x{0}", c.tile_px);
+    println!("  texture units           : {}", c.texture_units.units);
+    println!(
+        "  texture unit ALUs       : {} address / {} filtering",
+        c.texture_units.addr_alus, c.texture_units.filter_alus
+    );
+    println!(
+        "  L1 texture cache        : {} KB, {}-way",
+        c.l1_cache.size_bytes / 1024,
+        c.l1_cache.ways
+    );
+    println!(
+        "  L2 texture cache        : {} KB, {}-way",
+        c.l2_cache.size_bytes / 1024,
+        c.l2_cache.ways
+    );
+    println!("Memory");
+    println!(
+        "  GDDR5 bandwidth         : {} GB/s",
+        c.gddr5.bandwidth_gb_s
+    );
+    println!(
+        "  HMC bandwidth           : {} GB/s external, {} GB/s internal",
+        c.hmc.external_gb_s, c.hmc.internal_gb_s
+    );
+    println!(
+        "  HMC structure           : {} vaults x {} banks, {}-cycle TSV",
+        c.hmc.vaults, c.hmc.banks_per_vault, c.hmc.tsv_latency
+    );
+    println!("S-TFIM");
+    println!("  MTUs                    : {} (one per cluster)", c.mtus);
+    println!(
+        "  MTU ALUs                : {} address / {} filtering",
+        c.mtu.addr_alus, c.mtu.filter_alus
+    );
+    println!("A-TFIM");
+    println!("  Texel Generator ALUs    : {}", c.atfim.generator_alus);
+    println!("  Combination Unit ALUs   : {}", c.atfim.combine_alus);
+    println!(
+        "  Parent Texel Buffer     : {} entries",
+        c.atfim.parent_buffer_entries
+    );
+    println!(
+        "  angle threshold         : {:.3} rad ({:.1} deg)",
+        c.angle_threshold.as_f32(),
+        c.angle_threshold.to_degrees()
+    );
+}
+
+fn table2() {
+    header("Table II — gaming benchmarks");
+    println!(
+        "{:<10} {:<22} {:<8} {:<18}",
+        "name", "resolutions", "library", "3D engine"
+    );
+    for g in Game::ALL {
+        let p = g.profile();
+        let res: Vec<String> = p.resolutions.iter().map(|r| r.to_string()).collect();
+        println!(
+            "{:<10} {:<22} {:<8} {:<18}",
+            g.label(),
+            res.join(", "),
+            p.api.to_string(),
+            p.engine
+        );
+    }
+}
+
+fn fig2(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) {
+    header("Fig. 2 — memory bandwidth usage breakdown (baseline GPU)");
+    println!(
+        "{:<18} {:>9} {:>13} {:>10} {:>8} {:>13}",
+        "benchmark", "texture", "frame-buffer", "geometry", "z-test", "color-buffer"
+    );
+    let mut tex_fracs = Vec::new();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for &(g, r) in columns {
+        let rep = h.baseline(g, r);
+        let t = &rep.traffic;
+        println!(
+            "{:<18} {:>8.1}% {:>12.1}% {:>9.1}% {:>7.1}% {:>12.1}%",
+            Harness::column_label(g, r),
+            t.fraction(TrafficClass::TextureFetch) * 100.0,
+            t.fraction(TrafficClass::FrameBuffer) * 100.0,
+            t.fraction(TrafficClass::Geometry) * 100.0,
+            t.fraction(TrafficClass::ZTest) * 100.0,
+            t.fraction(TrafficClass::ColorBuffer) * 100.0,
+        );
+        tex_fracs.push(t.fraction(TrafficClass::TextureFetch));
+        rows.push(vec![
+            Harness::column_label(g, r),
+            format!("{:.4}", t.fraction(TrafficClass::TextureFetch)),
+            format!("{:.4}", t.fraction(TrafficClass::FrameBuffer)),
+            format!("{:.4}", t.fraction(TrafficClass::Geometry)),
+            format!("{:.4}", t.fraction(TrafficClass::ZTest)),
+            format!("{:.4}", t.fraction(TrafficClass::ColorBuffer)),
+        ]);
+    }
+    csv.write_figure(
+        "fig02",
+        &[
+            "benchmark",
+            "texture",
+            "frame_buffer",
+            "geometry",
+            "z_test",
+            "color_buffer",
+        ],
+        &rows,
+    );
+    println!(
+        "average texture share: {:.1}%  (paper: ~60%)",
+        mean(&tex_fracs) * 100.0
+    );
+}
+
+fn fig4(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) {
+    header("Fig. 4 — texture filtering with anisotropic filtering disabled");
+    println!(
+        "{:<18} {:>18} {:>18}",
+        "benchmark", "filtering speedup", "texture traffic"
+    );
+    let mut speedups = Vec::new();
+    let mut traffics = Vec::new();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for &(g, r) in columns {
+        let base = h.baseline(g, r);
+        let off = h.run(g, r, Variant::AnisoOff).clone();
+        let s = off.texture_speedup_vs(&base);
+        let t = off.traffic_normalized_to(&base);
+        println!(
+            "{:<18} {:>17.2}x {:>17.2}x",
+            Harness::column_label(g, r),
+            s,
+            t
+        );
+        speedups.push(s);
+        traffics.push(t);
+        rows.push(vec![
+            Harness::column_label(g, r),
+            format!("{s:.4}"),
+            format!("{t:.4}"),
+        ]);
+    }
+    csv.write_figure(
+        "fig04",
+        &["benchmark", "filtering_speedup", "texture_traffic"],
+        &rows,
+    );
+    println!(
+        "average: {:.2}x speedup (paper: 1.1x avg, up to 4.2x), {:.2}x traffic (paper: 0.66x avg)",
+        geomean(&speedups),
+        mean(&traffics)
+    );
+}
+
+fn fig5(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) {
+    header("Fig. 5 — B-PIM speedup over the baseline");
+    println!(
+        "{:<18} {:>16} {:>18}",
+        "benchmark", "render speedup", "filtering speedup"
+    );
+    let mut rs = Vec::new();
+    let mut ts = Vec::new();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for &(g, r) in columns {
+        let base = h.baseline(g, r);
+        let bpim = h.run(g, r, Variant::Design(Design::BPim)).clone();
+        let render = bpim.render_speedup_vs(&base);
+        let tex = bpim.texture_speedup_vs(&base);
+        println!(
+            "{:<18} {:>15.2}x {:>17.2}x",
+            Harness::column_label(g, r),
+            render,
+            tex
+        );
+        rs.push(render);
+        ts.push(tex);
+        rows.push(vec![
+            Harness::column_label(g, r),
+            format!("{render:.4}"),
+            format!("{tex:.4}"),
+        ]);
+    }
+    csv.write_figure(
+        "fig05",
+        &["benchmark", "render_speedup", "filtering_speedup"],
+        &rows,
+    );
+    println!(
+        "average: {:.2}x render (paper: 1.27x), {:.2}x filtering (paper: 1.07x)",
+        geomean(&rs),
+        geomean(&ts)
+    );
+}
+
+fn design_rows(
+    h: &mut Harness,
+    columns: &[(Game, Resolution)],
+    metric: impl Fn(&pimgfx::RenderReport, &pimgfx::RenderReport) -> f64,
+) -> Vec<(String, [f64; 4])> {
+    let variants = [
+        Variant::Design(Design::Baseline),
+        Variant::Design(Design::BPim),
+        Variant::Design(Design::STfim),
+        Variant::Design(Design::ATfim),
+    ];
+    let mut rows = Vec::new();
+    for &(g, r) in columns {
+        let base = h.baseline(g, r);
+        let mut row = [0.0f64; 4];
+        for (i, v) in variants.into_iter().enumerate() {
+            let rep = h.run(g, r, v).clone();
+            row[i] = metric(&rep, &base);
+        }
+        rows.push((Harness::column_label(g, r), row));
+    }
+    rows
+}
+
+fn write_design_csv(csv: &CsvSink, figure: &str, rows: &[(String, [f64; 4])]) {
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(label, row)| {
+            let mut v = vec![label.clone()];
+            v.extend(row.iter().map(|x| format!("{x:.4}")));
+            v
+        })
+        .collect();
+    csv.write_figure(
+        figure,
+        &["benchmark", "baseline", "b_pim", "s_tfim", "a_tfim"],
+        &data,
+    );
+}
+
+fn print_design_table(rows: &[(String, [f64; 4])], unit: &str) {
+    println!(
+        "{:<18} {:>10} {:>10} {:>10} {:>10}",
+        "benchmark", "baseline", "b-pim", "s-tfim", "a-tfim"
+    );
+    let mut avgs = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+    for (label, row) in rows {
+        println!(
+            "{:<18} {:>9.2}{u} {:>9.2}{u} {:>9.2}{u} {:>9.2}{u}",
+            label,
+            row[0],
+            row[1],
+            row[2],
+            row[3],
+            u = unit
+        );
+        for i in 0..4 {
+            avgs[i].push(row[i]);
+        }
+    }
+    println!(
+        "{:<18} {:>9.2}{u} {:>9.2}{u} {:>9.2}{u} {:>9.2}{u}",
+        "average",
+        geomean(&avgs[0]),
+        geomean(&avgs[1]),
+        geomean(&avgs[2]),
+        geomean(&avgs[3]),
+        u = unit
+    );
+}
+
+fn fig10(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) {
+    header("Fig. 10 — texture filtering speedup by design (A-TFIM @ 0.01pi)");
+    let rows = design_rows(h, columns, |rep, base| rep.texture_speedup_vs(base));
+    write_design_csv(csv, "fig10", &rows);
+    print_design_table(&rows, "x");
+    println!("paper: a-tfim 3.97x avg (up to 6.4x)");
+}
+
+fn fig11(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) {
+    header("Fig. 11 — overall 3D rendering speedup by design");
+    let rows = design_rows(h, columns, |rep, base| rep.render_speedup_vs(base));
+    write_design_csv(csv, "fig11", &rows);
+    print_design_table(&rows, "x");
+    println!("paper: b-pim 1.27x, a-tfim 1.43x (up to 1.65x) avg");
+}
+
+fn fig12(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) {
+    header("Fig. 12 — texture memory traffic normalized to baseline");
+    println!(
+        "{:<18} {:>9} {:>9} {:>9} {:>13} {:>13}",
+        "benchmark", "baseline", "b-pim", "s-tfim", "atfim@.01pi", "atfim@.05pi"
+    );
+    let mut avgs = [Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for &(g, r) in columns {
+        let base = h.baseline(g, r);
+        let vals = [
+            1.0,
+            h.run(g, r, Variant::Design(Design::BPim))
+                .clone()
+                .traffic_normalized_to(&base),
+            h.run(g, r, Variant::Design(Design::STfim))
+                .clone()
+                .traffic_normalized_to(&base),
+            h.run(g, r, Variant::AtfimThreshold(0.01))
+                .clone()
+                .traffic_normalized_to(&base),
+            h.run(g, r, Variant::AtfimThreshold(0.05))
+                .clone()
+                .traffic_normalized_to(&base),
+        ];
+        println!(
+            "{:<18} {:>8.2}x {:>8.2}x {:>8.2}x {:>12.2}x {:>12.2}x",
+            Harness::column_label(g, r),
+            vals[0],
+            vals[1],
+            vals[2],
+            vals[3],
+            vals[4]
+        );
+        let mut row = vec![Harness::column_label(g, r)];
+        row.extend(vals.iter().map(|v| format!("{v:.4}")));
+        rows.push(row);
+        for i in 0..5 {
+            avgs[i].push(vals[i]);
+        }
+    }
+    csv.write_figure(
+        "fig12",
+        &[
+            "benchmark",
+            "baseline",
+            "b_pim",
+            "s_tfim",
+            "atfim_001pi",
+            "atfim_005pi",
+        ],
+        &rows,
+    );
+    println!(
+        "average: s-tfim {:.2}x (paper: 2.79x), atfim@.01pi {:.2}x (paper: ~1.1x), atfim@.05pi {:.2}x (paper: 0.72x)",
+        mean(&avgs[2]),
+        mean(&avgs[3]),
+        mean(&avgs[4])
+    );
+}
+
+fn fig13(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) {
+    header("Fig. 13 — energy normalized to baseline");
+    let rows = design_rows(h, columns, |rep, base| rep.energy_normalized_to(base));
+    write_design_csv(csv, "fig13", &rows);
+    print_design_table(&rows, "x");
+    println!("paper: a-tfim 0.78x avg (22% less than baseline), s-tfim above b-pim");
+}
+
+fn fig14(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) {
+    header("Fig. 14 — A-TFIM render speedup vs camera-angle threshold");
+    print!("{:<18}", "benchmark");
+    for f in THRESHOLD_SWEEP {
+        print!(" {:>11}", format!("@{f}pi"));
+    }
+    println!(" {:>11}", "no-recalc");
+    let mut avgs = vec![Vec::new(); THRESHOLD_SWEEP.len() + 1];
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for &(g, r) in columns {
+        let base = h.baseline(g, r);
+        let mut row = vec![Harness::column_label(g, r)];
+        print!("{:<18}", Harness::column_label(g, r));
+        for (i, f) in THRESHOLD_SWEEP.into_iter().enumerate() {
+            let s = h
+                .run(g, r, Variant::AtfimThreshold(f))
+                .clone()
+                .render_speedup_vs(&base);
+            print!(" {:>10.2}x", s);
+            row.push(format!("{s:.4}"));
+            avgs[i].push(s);
+        }
+        let s = h
+            .run(g, r, Variant::AtfimNoRecalc)
+            .clone()
+            .render_speedup_vs(&base);
+        println!(" {:>10.2}x", s);
+        row.push(format!("{s:.4}"));
+        rows.push(row);
+        avgs[THRESHOLD_SWEEP.len()].push(s);
+    }
+    csv.write_figure(
+        "fig14",
+        &[
+            "benchmark",
+            "t0005pi",
+            "t001pi",
+            "t005pi",
+            "t01pi",
+            "no_recalc",
+        ],
+        &rows,
+    );
+    print!("{:<18}", "average");
+    for a in &avgs {
+        print!(" {:>10.2}x", geomean(a));
+    }
+    println!();
+    println!("paper: speedup grows monotonically with the threshold (1.33x..1.48x band)");
+}
+
+fn fig15(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) {
+    header("Fig. 15 — image quality (PSNR dB vs baseline) vs threshold");
+    print!("{:<18}", "benchmark");
+    for f in THRESHOLD_SWEEP {
+        print!(" {:>11}", format!("@{f}pi"));
+    }
+    println!(" {:>11}", "no-recalc");
+    let mut avgs = vec![Vec::new(); THRESHOLD_SWEEP.len() + 1];
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for &(g, r) in columns {
+        let mut row = vec![Harness::column_label(g, r)];
+        print!("{:<18}", Harness::column_label(g, r));
+        for (i, f) in THRESHOLD_SWEEP.into_iter().enumerate() {
+            let db = h.psnr_vs_baseline(g, r, Variant::AtfimThreshold(f));
+            print!(" {:>11.1}", db);
+            row.push(format!("{db:.2}"));
+            avgs[i].push(db);
+        }
+        let db = h.psnr_vs_baseline(g, r, Variant::AtfimNoRecalc);
+        println!(" {:>11.1}", db);
+        row.push(format!("{db:.2}"));
+        rows.push(row);
+        avgs[THRESHOLD_SWEEP.len()].push(db);
+    }
+    csv.write_figure(
+        "fig15",
+        &[
+            "benchmark",
+            "t0005pi",
+            "t001pi",
+            "t005pi",
+            "t01pi",
+            "no_recalc",
+        ],
+        &rows,
+    );
+    print!("{:<18}", "average");
+    for a in &avgs {
+        print!(" {:>11.1}", mean(a));
+    }
+    println!();
+    println!("paper: PSNR decreases as the threshold loosens; >70 dB is visually lossless");
+}
+
+fn fig16(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) {
+    header("Fig. 16 — performance-quality tradeoff (averaged over benchmarks)");
+    println!(
+        "{:<12} {:>16} {:>12}",
+        "threshold", "render speedup", "PSNR (dB)"
+    );
+    let mut entries: Vec<(String, Variant)> = THRESHOLD_SWEEP
+        .into_iter()
+        .map(|f| (format!("{f}pi"), Variant::AtfimThreshold(f)))
+        .collect();
+    entries.push(("no-recalc".to_string(), Variant::AtfimNoRecalc));
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (label, v) in entries {
+        let mut speedups = Vec::new();
+        let mut psnrs = Vec::new();
+        for &(g, r) in columns {
+            let base = h.baseline(g, r);
+            let s = h.run(g, r, v).clone().render_speedup_vs(&base);
+            speedups.push(s);
+            psnrs.push(h.psnr_vs_baseline(g, r, v));
+        }
+        println!(
+            "{:<12} {:>15.2}x {:>12.1}",
+            label,
+            geomean(&speedups),
+            mean(&psnrs)
+        );
+        rows.push(vec![
+            label,
+            format!("{:.4}", geomean(&speedups)),
+            format!("{:.2}", mean(&psnrs)),
+        ]);
+    }
+    csv.write_figure("fig16", &["threshold", "render_speedup", "psnr_db"], &rows);
+    println!("paper: speedup rises and PSNR falls as the threshold loosens; 0.01pi is the knee");
+}
+
+fn overhead() {
+    header("Design overhead analysis (paper SS VII-E)");
+    let r = analyze_overhead(&SimConfig::default());
+    println!("HMC logic layer");
+    println!("  parent texel buffer : {} B", r.parent_buffer_bytes);
+    println!("  consolidation buffer: {} B", r.consolidation_bytes);
+    println!("  compute area        : {:.2} mm^2", r.hmc_logic_mm2);
+    println!("  storage area        : {:.2} mm^2", r.hmc_storage_mm2);
+    println!(
+        "  total               : {:.2}% of an 8Gb DRAM die (paper: 3.18%)",
+        r.hmc_area_fraction * 100.0
+    );
+    println!("Host GPU");
+    println!("  camera-angle bits   : {} B", r.gpu_angle_bytes);
+    println!(
+        "  area                : {:.2} mm^2 = {:.2}% of the GPU (paper: 0.31 mm^2 / 0.23%)",
+        r.gpu_area_mm2,
+        r.gpu_area_fraction * 100.0
+    );
+}
+
+fn ablation(h: &mut Harness, columns: &[(Game, Resolution)]) {
+    header("Ablations — A-TFIM design choices");
+    println!(
+        "{:<18} {:>12} {:>14} {:>14}",
+        "benchmark", "a-tfim", "no-consolidate", "no-compress"
+    );
+    for &(g, r) in columns {
+        let base = h.baseline(g, r);
+        let full = h.run(g, r, Variant::Design(Design::ATfim)).clone();
+        let nc = h.run(g, r, Variant::AtfimNoConsolidation).clone();
+        let np = h.run(g, r, Variant::AtfimNoCompression).clone();
+        println!(
+            "{:<18} {:>11.2}x {:>13.2}x {:>13.2}x",
+            Harness::column_label(g, r),
+            full.render_speedup_vs(&base),
+            nc.render_speedup_vs(&base),
+            np.render_speedup_vs(&base),
+        );
+    }
+    println!("(render speedup over baseline; disabling either A-TFIM helper should not help)");
+
+    // The remaining ablations sweep structural knobs on one
+    // representative column.
+    let (g, r) = columns[0];
+    let frames = 2;
+    let scene = pimgfx_workloads::build_scene(g, r, frames);
+    let run = |config: pimgfx::SimConfig| -> pimgfx::RenderReport {
+        let mut sim = pimgfx::Simulator::new(config).expect("valid config");
+        sim.render_trace(&scene).expect("renders")
+    };
+    let base = run(SimConfig::default());
+
+    header(&format!(
+        "Ablation: block texture compression on {g}-{r} (orthogonal, SS VIII)"
+    ));
+    println!(
+        "{:<26} {:>10} {:>14} {:>12}",
+        "configuration", "cycles", "tex traffic", "energy"
+    );
+    for (label, design, compressed) in [
+        ("baseline", Design::Baseline, false),
+        ("baseline + BC1", Design::Baseline, true),
+        ("a-tfim", Design::ATfim, false),
+        ("a-tfim + BC1", Design::ATfim, true),
+    ] {
+        let rep = run(SimConfig::builder()
+            .design(design)
+            .compressed_textures(compressed)
+            .build()
+            .expect("valid"));
+        println!(
+            "{:<26} {:>10} {:>14} {:>11.2}x",
+            label,
+            rep.total_cycles,
+            rep.texture_traffic().to_string(),
+            rep.energy_normalized_to(&base),
+        );
+    }
+    println!("(compression composes with the PIM designs: both cut texture bytes)");
+
+    header(&format!("Ablation: shared S-TFIM MTUs on {g}-{r} (SS IV)"));
+    println!("{:<10} {:>10} {:>16}", "MTUs", "cycles", "vs 16 MTUs");
+    let full_mtus = run(SimConfig::builder()
+        .design(Design::STfim)
+        .build()
+        .expect("valid"));
+    for mtus in [16usize, 8, 4, 2] {
+        let rep = run(SimConfig::builder()
+            .design(Design::STfim)
+            .mtus(mtus)
+            .build()
+            .expect("valid"));
+        println!(
+            "{:<10} {:>10} {:>15.2}x",
+            mtus,
+            rep.total_cycles,
+            full_mtus.total_cycles as f64 / rep.total_cycles.max(1) as f64,
+        );
+    }
+    println!("(fewer MTUs save logic-layer area but contend, as the paper warns)");
+
+    header(&format!("Ablation: HMC cubes on {g}-{r} (SS V-E)"));
+    println!("{:<10} {:>10} {:>16}", "cubes", "cycles", "render speedup");
+    for cubes in [1usize, 2, 4] {
+        let rep = run(SimConfig::builder()
+            .design(Design::ATfim)
+            .hmc_cubes(cubes)
+            .build()
+            .expect("valid"));
+        println!(
+            "{:<10} {:>10} {:>15.2}x",
+            cubes,
+            rep.total_cycles,
+            rep.render_speedup_vs(&base),
+        );
+    }
+    println!(
+        "(textures partition whole-pyramid per cube; one cube already suffices at this scale,
+ matching the paper's single-cube evaluation)"
+    );
+
+    header(&format!(
+        "Ablation: HMC internal bandwidth on {g}-{r} (vault sweep)"
+    ));
+    println!(
+        "{:<18} {:>10} {:>16}",
+        "vaults (GB/s int)", "cycles", "render speedup"
+    );
+    for (vaults, internal) in [(8u64, 320.0f64), (16, 384.0), (32, 512.0), (64, 768.0)] {
+        let hmc = pimgfx_mem::HmcConfig {
+            vaults,
+            internal_gb_s: internal,
+            ..pimgfx_mem::HmcConfig::default()
+        };
+        let rep = run(SimConfig::builder()
+            .design(Design::ATfim)
+            .hmc(hmc)
+            .build()
+            .expect("valid"));
+        println!(
+            "{:<18} {:>10} {:>15.2}x",
+            format!("{vaults} ({internal:.0})"),
+            rep.total_cycles,
+            rep.render_speedup_vs(&base),
+        );
+    }
+    println!("(A-TFIM's child reads ride the internal bandwidth the sweep varies)");
+}

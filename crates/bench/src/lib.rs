@@ -1,0 +1,332 @@
+//! Shared harness for regenerating the paper's tables and figures.
+//!
+//! The `repro` binary and the criterion benches both drive experiments
+//! through [`Harness`], which builds scenes, runs the simulator for each
+//! design variant, and memoizes reports so a figure that needs the
+//! baseline and three designs does not re-simulate the baseline four
+//! times.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pimgfx::{Design, RenderReport, SimConfig, Simulator};
+use pimgfx_quality::psnr;
+use pimgfx_types::Result;
+use pimgfx_workloads::{build_scene, Game, Resolution, SceneTrace};
+use std::collections::HashMap;
+
+/// A design variant to simulate — a design point plus the experiment
+/// knobs the paper sweeps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Variant {
+    /// Plain design at default settings (A-TFIM at the default 0.01π).
+    Design(Design),
+    /// Baseline GPU with anisotropic filtering disabled (Fig. 4).
+    AnisoOff,
+    /// A-TFIM at an explicit angle threshold, as a fraction of π.
+    AtfimThreshold(f32),
+    /// A-TFIM with recalculation disabled entirely (`A-TFIM-no`).
+    AtfimNoRecalc,
+    /// A-TFIM without child-texel consolidation (ablation).
+    AtfimNoConsolidation,
+    /// A-TFIM without offload-package compression (ablation).
+    AtfimNoCompression,
+}
+
+impl Variant {
+    /// Stable key for memoization and report labels.
+    pub fn label(self) -> String {
+        match self {
+            Variant::Design(d) => d.label().to_string(),
+            Variant::AnisoOff => "aniso-off".to_string(),
+            Variant::AtfimThreshold(f) => format!("a-tfim@{f}pi"),
+            Variant::AtfimNoRecalc => "a-tfim-no".to_string(),
+            Variant::AtfimNoConsolidation => "a-tfim-noconsol".to_string(),
+            Variant::AtfimNoCompression => "a-tfim-nocompress".to_string(),
+        }
+    }
+
+    /// Builds the simulator configuration for this variant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation errors.
+    pub fn config(self) -> Result<SimConfig> {
+        match self {
+            Variant::Design(d) => SimConfig::builder().design(d).build(),
+            Variant::AnisoOff => SimConfig::builder()
+                .design(Design::Baseline)
+                .max_aniso(1)
+                .build(),
+            Variant::AtfimThreshold(f) => SimConfig::builder()
+                .design(Design::ATfim)
+                .angle_threshold_pi_fraction(f)
+                .build(),
+            Variant::AtfimNoRecalc => SimConfig::builder()
+                .design(Design::ATfim)
+                .no_recalculation()
+                .build(),
+            Variant::AtfimNoConsolidation => SimConfig::builder()
+                .design(Design::ATfim)
+                .consolidation(false)
+                .build(),
+            Variant::AtfimNoCompression => SimConfig::builder()
+                .design(Design::ATfim)
+                .offload_compression(false)
+                .build(),
+        }
+    }
+}
+
+/// The angle thresholds (fractions of π) swept by Figs. 14–16, strictest
+/// first, ending with the no-recalculation configuration.
+pub const THRESHOLD_SWEEP: [f32; 4] = [0.005, 0.01, 0.05, 0.1];
+
+/// Memoizing experiment runner.
+#[derive(Debug, Default)]
+pub struct Harness {
+    /// Frames per walkthrough.
+    frames: usize,
+    scenes: HashMap<(Game, Resolution), SceneTrace>,
+    reports: HashMap<(Game, Resolution, String), RenderReport>,
+}
+
+impl Harness {
+    /// Creates a harness rendering `frames` frames per column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is zero.
+    pub fn new(frames: usize) -> Self {
+        assert!(frames > 0, "need at least one frame");
+        Self {
+            frames,
+            scenes: HashMap::new(),
+            reports: HashMap::new(),
+        }
+    }
+
+    /// The benchmark columns of Table II, or a reduced quick set.
+    pub fn columns(quick: bool) -> Vec<(Game, Resolution)> {
+        if quick {
+            vec![
+                (Game::Doom3, Resolution::R320x240),
+                (Game::Wolfenstein, Resolution::R640x480),
+            ]
+        } else {
+            Game::benchmark_matrix()
+        }
+    }
+
+    /// Short label for a column ("doom3-320x240").
+    pub fn column_label(game: Game, res: Resolution) -> String {
+        format!("{game}-{res}")
+    }
+
+    fn scene(&mut self, game: Game, res: Resolution) -> &SceneTrace {
+        let frames = self.frames;
+        self.scenes
+            .entry((game, res))
+            .or_insert_with(|| build_scene(game, res, frames))
+    }
+
+    /// Runs (or recalls) one experiment cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration or simulation fails — harness callers
+    /// are experiment drivers where any failure is a bug.
+    pub fn run(&mut self, game: Game, res: Resolution, variant: Variant) -> &RenderReport {
+        let key = (game, res, variant.label());
+        if !self.reports.contains_key(&key) {
+            // Build the scene first (separate borrow).
+            self.scene(game, res);
+            let scene = self.scenes.get(&(game, res)).expect("scene just built");
+            let config = variant.config().expect("variant config is valid");
+            let mut sim = Simulator::new(config).expect("simulator builds");
+            let report = sim.render_trace(scene).expect("trace renders");
+            self.reports.insert(key.clone(), report);
+        }
+        self.reports.get(&key).expect("just inserted")
+    }
+
+    /// Convenience: the baseline report for a column.
+    pub fn baseline(&mut self, game: Game, res: Resolution) -> RenderReport {
+        self.run(game, res, Variant::Design(Design::Baseline))
+            .clone()
+    }
+
+    /// PSNR of a variant's last frame against the baseline's.
+    pub fn psnr_vs_baseline(&mut self, game: Game, res: Resolution, variant: Variant) -> f64 {
+        let base = self.baseline(game, res);
+        let img = self.run(game, res, variant).image.clone();
+        psnr(&base.image, &img)
+    }
+}
+
+/// Optional CSV output for figure data.
+///
+/// When constructed with a directory, every call to
+/// [`CsvSink::write_figure`] drops a `<figure>.csv` file there; with
+/// `None` it is a no-op, so the `repro` printers call it
+/// unconditionally.
+#[derive(Debug, Clone, Default)]
+pub struct CsvSink {
+    dir: Option<std::path::PathBuf>,
+}
+
+impl CsvSink {
+    /// Creates a sink writing into `dir` (created if missing), or a
+    /// no-op sink for `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory cannot be created — the harness treats a
+    /// requested-but-unwritable output directory as a fatal setup error.
+    pub fn new(dir: Option<std::path::PathBuf>) -> Self {
+        if let Some(d) = &dir {
+            std::fs::create_dir_all(d).expect("csv output directory must be creatable");
+        }
+        Self { dir }
+    }
+
+    /// Writes one figure's data as CSV: a header row and one row per
+    /// benchmark/series entry. No-op without a directory.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O failure (fatal for an experiment harness).
+    pub fn write_figure(&self, figure: &str, header: &[&str], rows: &[Vec<String>]) {
+        let Some(dir) = &self.dir else { return };
+        let mut out = String::new();
+        out.push_str(&header.join(","));
+        out.push('\n');
+        for row in rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        std::fs::write(dir.join(format!("{figure}.csv")), out).expect("csv file must be writable");
+    }
+}
+
+/// A reduced benchmark scene for criterion runs: small enough for
+/// repeated timed iterations, large enough to exercise every pipeline
+/// stage (geometry, raster, all filter phases, caches, ROP).
+pub fn bench_scene() -> SceneTrace {
+    let mut profile = Game::Doom3.profile();
+    profile.floor_quads = 4;
+    profile.texture_count = 4;
+    profile.texture_size = 128;
+    profile.facing_props = 1;
+    pimgfx_workloads::build_scene_unchecked(&profile, Resolution::R320x240, 1)
+}
+
+/// Runs one variant over a scene and returns its report (criterion body).
+///
+/// # Panics
+///
+/// Panics on configuration or simulation failure (bench drivers treat
+/// any failure as a bug).
+pub fn run_variant(scene: &SceneTrace, variant: Variant) -> RenderReport {
+    let config = variant.config().expect("variant config is valid");
+    let mut sim = Simulator::new(config).expect("simulator builds");
+    sim.render_trace(scene).expect("trace renders")
+}
+
+/// Geometric mean of a slice (the paper's "average speedup" style).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs.iter().map(|x| x.max(1e-12).ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_labels_are_unique() {
+        let labels = [
+            Variant::Design(Design::Baseline).label(),
+            Variant::Design(Design::ATfim).label(),
+            Variant::AnisoOff.label(),
+            Variant::AtfimThreshold(0.05).label(),
+            Variant::AtfimNoRecalc.label(),
+            Variant::AtfimNoConsolidation.label(),
+            Variant::AtfimNoCompression.label(),
+        ];
+        let set: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(set.len(), labels.len());
+    }
+
+    #[test]
+    fn variant_configs_build() {
+        for v in [
+            Variant::Design(Design::STfim),
+            Variant::AnisoOff,
+            Variant::AtfimThreshold(0.005),
+            Variant::AtfimNoRecalc,
+            Variant::AtfimNoConsolidation,
+            Variant::AtfimNoCompression,
+        ] {
+            assert!(v.config().is_ok(), "{}", v.label());
+        }
+    }
+
+    #[test]
+    fn aniso_off_uses_trilinear() {
+        let c = Variant::AnisoOff.config().expect("valid");
+        assert_eq!(c.sampler.max_aniso, 1);
+    }
+
+    #[test]
+    fn means() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn csv_sink_writes_and_noop() {
+        // No-op sink does nothing.
+        let sink = CsvSink::new(None);
+        sink.write_figure("nothing", &["a"], &[vec!["1".to_string()]]);
+
+        // Real sink writes a parseable CSV.
+        let dir = std::env::temp_dir().join("pimgfx_csv_test");
+        let sink = CsvSink::new(Some(dir.clone()));
+        sink.write_figure(
+            "figx",
+            &["benchmark", "value"],
+            &[vec!["doom3".to_string(), "1.50".to_string()]],
+        );
+        let body = std::fs::read_to_string(dir.join("figx.csv")).expect("file written");
+        assert_eq!(
+            body,
+            "benchmark,value
+doom3,1.50
+"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quick_columns_are_subset_of_full() {
+        let full = Harness::columns(false);
+        for c in Harness::columns(true) {
+            assert!(full.contains(&c));
+        }
+        assert_eq!(full.len(), 10);
+    }
+}

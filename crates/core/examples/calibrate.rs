@@ -1,0 +1,44 @@
+//! Developer calibration probe: absolute per-sample statistics for the
+//! real benchmark columns, per design.
+
+use pimgfx::{Design, SimConfig, Simulator};
+use pimgfx_mem::TrafficClass;
+use pimgfx_workloads::{build_scene, Game, Resolution};
+
+fn main() {
+    let cols = [
+        (Game::Doom3, Resolution::R320x240),
+        (Game::Wolfenstein, Resolution::R640x480),
+    ];
+    for (g, r) in cols {
+        let scene = build_scene(g, r, 2);
+        println!(
+            "--- {g}-{r}: {} tris, {} textures of {}^2",
+            scene.triangles_per_frame(),
+            scene.textures.len(),
+            scene.textures[0].width()
+        );
+        for design in [Design::Baseline, Design::BPim, Design::ATfim] {
+            let config = SimConfig::builder().design(design).build().unwrap();
+            let mut sim = Simulator::new(config).unwrap();
+            let rep = sim.render_trace(&scene).unwrap();
+            let s = rep.texture.samples.max(1);
+            println!(
+                "{:<9} cyc {:>8} | lat {:>8.1} | texels/smp {:>5.1} | tex B/smp {:>6.2} | L1 {:>4.1}% L2 {:>4.1}% | tex share {:>4.1}% | shader busy/unit {:>6} | texunit busy/unit {:>6}",
+                design.label(),
+                rep.total_cycles,
+                rep.texture.avg_latency(),
+                rep.texture.conventional_texels as f64 / s as f64,
+                rep.traffic.bytes(TrafficClass::TextureFetch).get() as f64 / s as f64,
+                rep.texture.l1_hit_rate() * 100.0,
+                {
+                    let t = rep.texture.l2_hits + rep.texture.l2_misses + rep.texture.l2_angle_misses;
+                    if t == 0 { 0.0 } else { rep.texture.l2_hits as f64 / t as f64 * 100.0 }
+                },
+                rep.traffic.fraction(TrafficClass::TextureFetch) * 100.0,
+                rep.shader_busy_cycles / 16,
+                rep.texture_busy_cycles / 16,
+            );
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Developer diagnostic: per-design stats on a small scene.
+
+use pimgfx::{Design, SimConfig, Simulator};
+use pimgfx_workloads::{build_scene_unchecked, Game, Resolution};
+
+fn main() {
+    let mut profile = Game::Doom3.profile();
+    profile.floor_quads = 4;
+    profile.texture_count = 4;
+    profile.facing_props = 1;
+    let scene = build_scene_unchecked(&profile, Resolution::R320x240, 1);
+
+    for design in Design::ALL {
+        let config = SimConfig::builder().design(design).build().unwrap();
+        let mut sim = Simulator::new(config).unwrap();
+        let r = sim.render_trace(&scene).unwrap();
+        let mut busy = sim.texture_path().per_unit_busy();
+        busy.sort_unstable();
+        println!(
+            "unit busy min/med/max: {}/{}/{}",
+            busy[0],
+            busy[busy.len() / 2],
+            busy[busy.len() - 1]
+        );
+        println!("=== {design} ===");
+        println!(
+            "cycles {} | samples {} | avg lat {:.1}",
+            r.total_cycles,
+            r.texture.samples,
+            r.texture.avg_latency()
+        );
+        println!(
+            "l1 h/m/am {}/{}/{} | l2 h/m/am {}/{}/{}",
+            r.texture.l1_hits,
+            r.texture.l1_misses,
+            r.texture.l1_angle_misses,
+            r.texture.l2_hits,
+            r.texture.l2_misses,
+            r.texture.l2_angle_misses
+        );
+        println!(
+            "offloads {} | child {} | merged {} | conv texels {} | gpu texels {}",
+            r.texture.offload_packages,
+            r.texture.child_reads,
+            r.texture.merged_child_reads,
+            r.texture.conventional_texels,
+            r.texture.texels_filtered_gpu
+        );
+        println!(
+            "traffic {} | tex {} | internal {} B",
+            r.traffic.total(),
+            r.texture_traffic(),
+            r.internal_bytes
+        );
+        println!(
+            "busy: shader {} | texunit {} | pim {} (per-unit: {} / {})",
+            r.shader_busy_cycles,
+            r.texture_busy_cycles,
+            r.pim_busy_cycles,
+            r.shader_busy_cycles / 16,
+            r.texture_busy_cycles / 16,
+        );
+        println!();
+    }
+}

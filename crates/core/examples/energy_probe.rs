@@ -1,0 +1,21 @@
+//! Developer diagnostic: energy breakdown per design.
+use pimgfx::{Design, SimConfig, Simulator};
+use pimgfx_workloads::{build_scene, Game, Resolution};
+
+fn main() {
+    let scene = build_scene(Game::Doom3, Resolution::R320x240, 2);
+    for design in Design::ALL {
+        let config = SimConfig::builder().design(design).build().unwrap();
+        let mut sim = Simulator::new(config).unwrap();
+        let r = sim.render_trace(&scene).unwrap();
+        println!("=== {design} (total {:.0} nJ) ===", r.energy.total_nj());
+        println!("{}", r.energy);
+        println!(
+            "external {} | internal {} B | offloads {} | child reads {}\n",
+            r.traffic.total(),
+            r.internal_bytes,
+            r.texture.offload_packages,
+            r.texture.child_reads
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Developer diagnostic: baseline sensitivity to GDDR5 bandwidth.
+
+use pimgfx::{Design, SimConfig, Simulator};
+use pimgfx_mem::{Gddr5Config, TrafficClass};
+use pimgfx_workloads::{build_scene_unchecked, Game, Resolution};
+
+fn main() {
+    let mut profile = Game::Doom3.profile();
+    profile.floor_quads = 4;
+    profile.texture_count = 4;
+    profile.facing_props = 1;
+    let scene = build_scene_unchecked(&profile, Resolution::R320x240, 1);
+
+    for (bw, zero_timing) in [
+        (128.0, false),
+        (512.0, false),
+        (4096.0, false),
+        (4096.0, true),
+        (128.0, true),
+    ] {
+        let timing = if zero_timing {
+            pimgfx_mem::DramTiming {
+                t_rcd: 0,
+                t_cas: 0,
+                t_rp: 0,
+                t_burst: 1,
+                ..pimgfx_mem::DramTiming::default()
+            }
+        } else {
+            pimgfx_mem::DramTiming::default()
+        };
+        let config = SimConfig::builder()
+            .design(Design::Baseline)
+            .gddr5(Gddr5Config {
+                bandwidth_gb_s: bw,
+                timing,
+                ..Gddr5Config::default()
+            })
+            .build()
+            .unwrap();
+        let mut sim = Simulator::new(config).unwrap();
+        let r = sim.render_trace(&scene).unwrap();
+        println!(
+            "gddr5 {bw:6.0} GB/s zt={zero_timing}: cycles {:>7} | avg lat {:>8.1} | tex {} | z {} | fb {} | geo {}",
+            r.total_cycles,
+            r.texture.avg_latency(),
+            r.traffic.bytes(TrafficClass::TextureFetch),
+            r.traffic.bytes(TrafficClass::ZTest),
+            r.traffic.bytes(TrafficClass::FrameBuffer),
+            r.traffic.bytes(TrafficClass::Geometry),
+        );
+    }
+}

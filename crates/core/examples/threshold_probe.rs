@@ -1,0 +1,22 @@
+//! Developer diagnostic: offload-path load vs threshold.
+use pimgfx::{Design, SimConfig, Simulator};
+use pimgfx_workloads::{build_scene, Game, Resolution};
+
+fn main() {
+    let scene = build_scene(Game::Fear, Resolution::R640x480, 2);
+    for f in [0.005f32, 0.01, 0.05, 1.0] {
+        let config = SimConfig::builder()
+            .design(Design::ATfim)
+            .angle_threshold_pi_fraction(f)
+            .build()
+            .unwrap();
+        let mut sim = Simulator::new(config).unwrap();
+        let r = sim.render_trace(&scene).unwrap();
+        println!(
+            "t={f:<6} cycles {:>8} | offloads {:>7} | child {:>8} | am l1/l2 {:>6}/{:>6} | tex lat {:>8.1} | texunit busy/u {:>7} | pim busy {:>7}",
+            r.total_cycles, r.texture.offload_packages, r.texture.child_reads,
+            r.texture.l1_angle_misses, r.texture.l2_angle_misses,
+            r.texture.avg_latency(), r.texture_busy_cycles / 16, r.pim_busy_cycles,
+        );
+    }
+}

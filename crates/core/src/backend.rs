@@ -1,0 +1,256 @@
+//! Memory-backend dispatch: GDDR5, or one or more HMC cubes.
+//!
+//! The paper evaluates a single cube, but notes (§V-E) that with
+//! multiple HMCs attached to one GPU, a parent-texel fetch package maps
+//! to a *single* cube, because a texture's mip levels — and therefore
+//! both the parent texels and the child texels they expand into — live
+//! together. The backend realizes that property with a region-interleaved
+//! address map: each 256 MiB region belongs to one cube, and the
+//! simulator places every texture wholly inside one region.
+
+use crate::config::SimConfig;
+use crate::design::Design;
+use pimgfx_engine::Cycle;
+use pimgfx_mem::{Gddr5, Hmc, MemRequest, MemorySystem, TrafficStats};
+use pimgfx_types::Result;
+
+/// Bytes per cube-interleaving region (256 MiB): large enough that any
+/// texture fits wholly inside one region.
+pub const CUBE_REGION_BYTES: u64 = 1 << 28;
+
+/// The memory system behind the simulated GPU.
+#[derive(Debug)]
+pub enum MemoryBackend {
+    /// Conventional GDDR5 (baseline design).
+    Gddr5(Gddr5),
+    /// One or more Hybrid Memory Cubes (B-PIM, S-TFIM, A-TFIM).
+    Hmc {
+        /// The cubes, region-interleaved by address.
+        cubes: Vec<Hmc>,
+        /// Aggregated external traffic, rebuilt by
+        /// [`MemoryBackend::sync_traffic`].
+        merged: TrafficStats,
+    },
+}
+
+impl MemoryBackend {
+    /// Builds the backend the configured design requires.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory-configuration errors.
+    pub fn from_config(config: &SimConfig) -> Result<Self> {
+        if config.design == Design::Baseline {
+            Ok(MemoryBackend::Gddr5(Gddr5::new(config.gddr5)?))
+        } else {
+            let cubes = (0..config.hmc_cubes.max(1))
+                .map(|_| Hmc::new(config.hmc))
+                .collect::<Result<Vec<_>>>()?;
+            Ok(MemoryBackend::Hmc {
+                cubes,
+                merged: TrafficStats::new(),
+            })
+        }
+    }
+
+    /// Number of HMC cubes (0 for GDDR5).
+    pub fn cube_count(&self) -> usize {
+        match self {
+            MemoryBackend::Gddr5(_) => 0,
+            MemoryBackend::Hmc { cubes, .. } => cubes.len(),
+        }
+    }
+
+    /// The cube index servicing `addr` (0 for GDDR5 or a single cube).
+    pub fn cube_index(&self, addr: u64) -> usize {
+        match self {
+            MemoryBackend::Gddr5(_) => 0,
+            MemoryBackend::Hmc { cubes, .. } => ((addr / CUBE_REGION_BYTES) as usize) % cubes.len(),
+        }
+    }
+
+    /// The cube servicing `addr`, when the backend is an HMC array.
+    pub fn hmc_for(&mut self, addr: u64) -> Option<&mut Hmc> {
+        match self {
+            MemoryBackend::Gddr5(_) => None,
+            MemoryBackend::Hmc { cubes, .. } => {
+                let idx = ((addr / CUBE_REGION_BYTES) as usize) % cubes.len();
+                Some(&mut cubes[idx])
+            }
+        }
+    }
+
+    /// Cube 0 (convenience for single-cube callers and tests).
+    pub fn as_hmc(&mut self) -> Option<&mut Hmc> {
+        self.hmc_for(0)
+    }
+
+    /// Rebuilds the merged traffic view after a run. Must be called
+    /// before reading [`MemorySystem::traffic`] on a multi-cube backend.
+    pub fn sync_traffic(&mut self) {
+        if let MemoryBackend::Hmc { cubes, merged } = self {
+            merged.reset();
+            for c in cubes {
+                merged.merge(c.traffic());
+            }
+        }
+    }
+}
+
+impl MemorySystem for MemoryBackend {
+    fn access_external(&mut self, arrival: Cycle, req: &MemRequest) -> Cycle {
+        match self {
+            MemoryBackend::Gddr5(m) => m.access_external(arrival, req),
+            MemoryBackend::Hmc { cubes, .. } => {
+                let idx = ((req.addr / CUBE_REGION_BYTES) as usize) % cubes.len();
+                cubes[idx].access_external(arrival, req)
+            }
+        }
+    }
+
+    fn access_internal(&mut self, arrival: Cycle, req: &MemRequest) -> Cycle {
+        match self {
+            MemoryBackend::Gddr5(m) => m.access_internal(arrival, req),
+            MemoryBackend::Hmc { cubes, .. } => {
+                let idx = ((req.addr / CUBE_REGION_BYTES) as usize) % cubes.len();
+                cubes[idx].access_internal(arrival, req)
+            }
+        }
+    }
+
+    fn traffic(&self) -> &TrafficStats {
+        match self {
+            MemoryBackend::Gddr5(m) => m.traffic(),
+            MemoryBackend::Hmc { cubes, merged } => {
+                if cubes.len() == 1 {
+                    cubes[0].traffic()
+                } else {
+                    merged
+                }
+            }
+        }
+    }
+
+    fn internal_bytes(&self) -> u64 {
+        match self {
+            MemoryBackend::Gddr5(m) => m.internal_bytes(),
+            MemoryBackend::Hmc { cubes, .. } => cubes.iter().map(Hmc::internal_bytes).sum(),
+        }
+    }
+
+    fn reset(&mut self) {
+        match self {
+            MemoryBackend::Gddr5(m) => m.reset(),
+            MemoryBackend::Hmc { cubes, merged } => {
+                for c in cubes {
+                    c.reset();
+                }
+                merged.reset();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimgfx_mem::TrafficClass;
+
+    #[test]
+    fn baseline_gets_gddr5() {
+        let config = SimConfig::default();
+        let mut b = MemoryBackend::from_config(&config).expect("valid");
+        assert!(b.as_hmc().is_none());
+        assert_eq!(b.cube_count(), 0);
+        assert!(matches!(b, MemoryBackend::Gddr5(_)));
+    }
+
+    #[test]
+    fn pim_designs_get_hmc() {
+        for d in [Design::BPim, Design::STfim, Design::ATfim] {
+            let config = SimConfig::builder().design(d).build().expect("valid");
+            let mut b = MemoryBackend::from_config(&config).expect("valid");
+            assert!(b.as_hmc().is_some(), "{d} should use HMC");
+            assert_eq!(b.cube_count(), 1);
+        }
+    }
+
+    #[test]
+    fn multi_cube_routes_by_region() {
+        let config = SimConfig::builder()
+            .design(Design::BPim)
+            .hmc_cubes(4)
+            .build()
+            .expect("valid");
+        let b = MemoryBackend::from_config(&config).expect("valid");
+        assert_eq!(b.cube_count(), 4);
+        assert_eq!(b.cube_index(0), 0);
+        assert_eq!(b.cube_index(CUBE_REGION_BYTES), 1);
+        assert_eq!(b.cube_index(3 * CUBE_REGION_BYTES), 3);
+        assert_eq!(b.cube_index(4 * CUBE_REGION_BYTES), 0);
+        // Addresses within one region stay in one cube (a texture's mip
+        // levels never split across cubes).
+        assert_eq!(
+            b.cube_index(CUBE_REGION_BYTES + 12345),
+            b.cube_index(CUBE_REGION_BYTES + 999_999)
+        );
+    }
+
+    #[test]
+    fn multi_cube_traffic_merges() {
+        let config = SimConfig::builder()
+            .design(Design::BPim)
+            .hmc_cubes(2)
+            .build()
+            .expect("valid");
+        let mut b = MemoryBackend::from_config(&config).expect("valid");
+        b.access_external(
+            Cycle::ZERO,
+            &MemRequest::read(TrafficClass::TextureFetch, 0, 64),
+        );
+        b.access_external(
+            Cycle::ZERO,
+            &MemRequest::read(TrafficClass::TextureFetch, CUBE_REGION_BYTES, 64),
+        );
+        b.sync_traffic();
+        assert_eq!(b.traffic().requests(TrafficClass::TextureFetch), 2);
+    }
+
+    #[test]
+    fn dispatch_records_traffic() {
+        let config = SimConfig::default();
+        let mut b = MemoryBackend::from_config(&config).expect("valid");
+        b.access_external(
+            Cycle::ZERO,
+            &MemRequest::read(TrafficClass::Geometry, 0, 64),
+        );
+        assert!(b.traffic().total().get() > 0);
+        b.reset();
+        assert_eq!(b.traffic().total().get(), 0);
+    }
+
+    #[test]
+    fn parallel_cubes_increase_throughput() {
+        let one = SimConfig::builder()
+            .design(Design::BPim)
+            .build()
+            .expect("valid");
+        let four = SimConfig::builder()
+            .design(Design::BPim)
+            .hmc_cubes(4)
+            .build()
+            .expect("valid");
+        let mut b1 = MemoryBackend::from_config(&one).expect("valid");
+        let mut b4 = MemoryBackend::from_config(&four).expect("valid");
+        let mut t1 = Cycle::ZERO;
+        let mut t4 = Cycle::ZERO;
+        for i in 0..512u64 {
+            // Spread requests over four regions.
+            let addr = (i % 4) * CUBE_REGION_BYTES + i * 64;
+            let r = MemRequest::read(TrafficClass::TextureFetch, addr, 64);
+            t1 = t1.max(b1.access_external(Cycle::ZERO, &r));
+            t4 = t4.max(b4.access_external(Cycle::ZERO, &r));
+        }
+        assert!(t4 <= t1, "four cubes cannot be slower: {t4:?} vs {t1:?}");
+    }
+}

@@ -1,0 +1,85 @@
+//! The four evaluated design points.
+
+use std::fmt;
+
+/// Which architecture variant the simulator models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Design {
+    /// Conventional GPU with GDDR5 main memory; all three texture-filter
+    /// phases run on the GPU texture units.
+    #[default]
+    Baseline,
+    /// Basic PIM-enabled GPU (§III): the GDDR5 is swapped for an HMC but
+    /// the pipeline is unchanged — only the off-chip interface speeds up.
+    BPim,
+    /// Simple texture-filtering-in-memory (§IV): every texture unit moves
+    /// into the HMC logic layer as an MTU; the GPU keeps no texture
+    /// caches and every texture request crosses the links as a package.
+    STfim,
+    /// Advanced texture-filtering-in-memory (§V): anisotropic filtering
+    /// is reordered first and executed in the logic layer; bilinear and
+    /// trilinear stay on the GPU; the texture caches gain camera-angle
+    /// tags gated by a configurable threshold.
+    ATfim,
+}
+
+impl Design {
+    /// All designs in the paper's comparison order.
+    pub const ALL: [Design; 4] = [Design::Baseline, Design::BPim, Design::STfim, Design::ATfim];
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Design::Baseline => "baseline",
+            Design::BPim => "b-pim",
+            Design::STfim => "s-tfim",
+            Design::ATfim => "a-tfim",
+        }
+    }
+
+    /// True when the design uses an HMC rather than GDDR5.
+    pub fn uses_hmc(self) -> bool {
+        !matches!(self, Design::Baseline)
+    }
+
+    /// True when the GPU keeps L1/L2 texture caches (S-TFIM removes
+    /// them).
+    pub fn has_texture_caches(self) -> bool {
+        !matches!(self, Design::STfim)
+    }
+
+    /// True when texture-cache lines carry camera-angle tags.
+    pub fn uses_angle_tags(self) -> bool {
+        matches!(self, Design::ATfim)
+    }
+}
+
+impl fmt::Display for Design {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn properties_follow_the_paper() {
+        assert!(!Design::Baseline.uses_hmc());
+        assert!(Design::BPim.uses_hmc());
+        assert!(Design::STfim.uses_hmc());
+        assert!(Design::ATfim.uses_hmc());
+        assert!(!Design::STfim.has_texture_caches());
+        assert!(Design::Baseline.has_texture_caches());
+        assert!(Design::ATfim.uses_angle_tags());
+        assert!(!Design::BPim.uses_angle_tags());
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> = Design::ALL.iter().map(|d| d.label()).collect();
+        assert_eq!(labels.len(), 4);
+        assert_eq!(Design::ATfim.to_string(), "a-tfim");
+    }
+}

@@ -1,0 +1,159 @@
+//! Analytical hardware-overhead model (paper §VII-E).
+//!
+//! Reproduces the paper's area/storage accounting for the A-TFIM
+//! additions: the Parent Texel Buffer and Child Texel Consolidation
+//! storage plus two 16-wide FP ALU arrays in the HMC logic layer, and
+//! the 7-bit camera-angle field added to every texture-cache line on the
+//! GPU.
+
+use crate::config::SimConfig;
+use pimgfx_pim::parent_buffer::ENTRY_BITS;
+
+/// Reference areas used by §VII-E (28 nm technology).
+mod reference {
+    /// Area of an 8 Gb DRAM die, mm².
+    pub const DRAM_DIE_MM2: f64 = 226.1;
+    /// Area of the modeled host GPU, mm².
+    pub const GPU_MM2: f64 = 136.7;
+    /// Area of the two 16-wide FP vector ALU arrays, mm² (paper's
+    /// estimate for the Texel Generator + Combination Unit).
+    pub const LOGIC_UNITS_MM2: f64 = 6.09;
+    /// Area of the logic-layer storage buffers, mm².
+    pub const STORAGE_MM2: f64 = 1.12;
+    /// Area per KB of SRAM for the angle bits on the GPU, mm²
+    /// (back-computed from the paper's 4.2 KB → 0.31 mm²).
+    pub const SRAM_MM2_PER_KB: f64 = 0.31 / 4.2;
+}
+
+/// The §VII-E overhead summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadReport {
+    /// Parent Texel Buffer storage, bytes.
+    pub parent_buffer_bytes: u64,
+    /// Child Texel Consolidation pair-ID buffer, bytes.
+    pub consolidation_bytes: u64,
+    /// Logic-layer compute area, mm².
+    pub hmc_logic_mm2: f64,
+    /// Logic-layer storage area, mm².
+    pub hmc_storage_mm2: f64,
+    /// Logic-layer total as a fraction of one DRAM die.
+    pub hmc_area_fraction: f64,
+    /// Camera-angle storage added to the GPU texture caches, bytes.
+    pub gpu_angle_bytes: u64,
+    /// GPU-side area, mm².
+    pub gpu_area_mm2: f64,
+    /// GPU-side area as a fraction of the whole GPU.
+    pub gpu_area_fraction: f64,
+}
+
+impl std::fmt::Display for OverheadReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "HMC logic layer: {} B parent buffer + {} B consolidation, {:.2} mm^2 logic + {:.2} mm^2 storage ({:.2}% of a DRAM die)",
+            self.parent_buffer_bytes,
+            self.consolidation_bytes,
+            self.hmc_logic_mm2,
+            self.hmc_storage_mm2,
+            self.hmc_area_fraction * 100.0
+        )?;
+        write!(
+            f,
+            "Host GPU: {} B angle tags, {:.2} mm^2 ({:.2}% of the GPU)",
+            self.gpu_angle_bytes,
+            self.gpu_area_mm2,
+            self.gpu_area_fraction * 100.0
+        )
+    }
+}
+
+/// Computes the overhead report for a configuration.
+///
+/// # Examples
+///
+/// ```
+/// use pimgfx::{overhead, SimConfig};
+/// let r = overhead::analyze(&SimConfig::default());
+/// // The paper's headline figures: ~3.2% of a DRAM die, ~0.23% of the GPU.
+/// assert!(r.hmc_area_fraction < 0.04);
+/// assert!(r.gpu_area_fraction < 0.005);
+/// ```
+pub fn analyze(config: &SimConfig) -> OverheadReport {
+    // HMC side.
+    let entries = config.atfim.parent_buffer_entries as u64;
+    let parent_buffer_bytes = (entries * u64::from(ENTRY_BITS)).div_ceil(8);
+    // Consolidation: a parallel buffer of child–parent pair IDs
+    // (16 bits per entry per the paper's 0.5 KB at 256 entries).
+    let consolidation_bytes = entries * 2;
+    let hmc_logic_mm2 = reference::LOGIC_UNITS_MM2;
+    let hmc_storage_mm2 = reference::STORAGE_MM2;
+    let hmc_area_fraction = (hmc_logic_mm2 + hmc_storage_mm2) / reference::DRAM_DIE_MM2;
+
+    // GPU side: 7 angle bits per cache line across all L1s and the L2.
+    let angle_bits_per_line = 7u64;
+    let l1_lines = config.l1_cache.size_bytes / config.l1_cache.line_bytes;
+    let l2_lines = config.l2_cache.size_bytes / config.l2_cache.line_bytes;
+    let total_lines = l1_lines * config.texture_units.units as u64 + l2_lines;
+    let gpu_angle_bytes = (total_lines * angle_bits_per_line).div_ceil(8);
+    let gpu_area_mm2 = gpu_angle_bytes as f64 / 1024.0 * reference::SRAM_MM2_PER_KB;
+    let gpu_area_fraction = gpu_area_mm2 / reference::GPU_MM2;
+
+    OverheadReport {
+        parent_buffer_bytes,
+        consolidation_bytes,
+        hmc_logic_mm2,
+        hmc_storage_mm2,
+        hmc_area_fraction,
+        gpu_angle_bytes,
+        gpu_area_mm2,
+        gpu_area_fraction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_headline_numbers() {
+        let r = analyze(&SimConfig::default());
+        // 256 × 45 bits = 1.41 KB.
+        assert_eq!(r.parent_buffer_bytes, 1440);
+        // 0.5 KB consolidation buffer.
+        assert_eq!(r.consolidation_bytes, 512);
+        // 3.18% of an 8Gb DRAM die.
+        assert!((r.hmc_area_fraction - 0.0318).abs() < 0.002);
+        // Angle bits on the GPU: 7 bits/line × (16 × 256 L1 lines + 2048
+        // L2 lines) = 5.25 KB. (The paper quotes 4.2 KB, but its own
+        // per-cache figures — 0.21 KB × 16 L1s + 1.75 KB L2 = 5.11 KB —
+        // do not sum to that either; we keep the self-consistent value.)
+        assert!((r.gpu_angle_bytes as f64 / 1024.0 - 5.25).abs() < 0.01);
+        // ~0.28% of the GPU (scaled from the paper's 0.23% at 4.2 KB).
+        assert!((r.gpu_area_fraction - 0.0028).abs() < 0.001);
+    }
+
+    #[test]
+    fn display_summarizes_both_sides() {
+        let s = analyze(&SimConfig::default()).to_string();
+        assert!(s.contains("HMC logic layer"));
+        assert!(s.contains("Host GPU"));
+        assert!(s.contains("1440 B"));
+    }
+
+    #[test]
+    fn scales_with_buffer_entries() {
+        let mut config = SimConfig::default();
+        config.atfim.parent_buffer_entries = 512;
+        let r = analyze(&config);
+        assert_eq!(r.parent_buffer_bytes, 2880);
+    }
+
+    #[test]
+    fn scales_with_cache_size() {
+        let mut config = SimConfig::default();
+        config.l2_cache.size_bytes = 256 * 1024;
+        let bigger = analyze(&config);
+        let base = analyze(&SimConfig::default());
+        assert!(bigger.gpu_angle_bytes > base.gpu_angle_bytes);
+    }
+}

@@ -1,0 +1,417 @@
+//! The frame-level simulator.
+//!
+//! Functional-first, timing-directed: each frame is actually rendered
+//! (transform → clip → rasterize → texture filter → ROP, producing a
+//! real image), and every texel fetch, cache probe, package transfer,
+//! and buffer write is simultaneously charged to the configured hardware
+//! model. A frame's cycle count is the completion time of its slowest
+//! resource — compute pipelines, texture units, external interface, or
+//! DRAM banks — which is how the bandwidth-bound behavior the paper
+//! targets emerges without a hand-tuned bottleneck switch.
+
+use crate::backend::MemoryBackend;
+use crate::config::SimConfig;
+use crate::design::Design;
+use crate::geometry;
+use crate::rop::Rop;
+use crate::stats::{FrameStats, RenderReport};
+use crate::texpath::TexturePath;
+use pimgfx_energy::{EnergyModel, EnergyParams};
+use pimgfx_engine::{Cycle, InFlightWindow};
+use pimgfx_mem::MemorySystem;
+use pimgfx_quality::FrameImage;
+use pimgfx_raster::{FragmentTile, RasterStats, Rasterizer};
+use pimgfx_shader::{ShaderCores, ShaderProgram, TileScheduler};
+use pimgfx_texture::TextureLayout;
+use pimgfx_types::{ConfigError, Result, Rgba};
+use pimgfx_workloads::SceneTrace;
+
+/// Base address of the simulated texture heap.
+const TEXTURE_BASE: u64 = 0x1000_0000;
+
+/// The assembled simulator for one design point.
+///
+/// # Examples
+///
+/// ```no_run
+/// use pimgfx::{Design, SimConfig, Simulator};
+/// use pimgfx_workloads::{build_scene, Game, Resolution};
+///
+/// let scene = build_scene(Game::Doom3, Resolution::R320x240, 1);
+/// let config = SimConfig::builder().design(Design::ATfim).build()?;
+/// let mut sim = Simulator::new(config)?;
+/// let report = sim.render_trace(&scene)?;
+/// println!("{report}");
+/// # Ok::<(), pimgfx_types::ConfigError>(())
+/// ```
+#[derive(Debug)]
+pub struct Simulator {
+    config: SimConfig,
+    mem: MemoryBackend,
+    cores: ShaderCores,
+    texture: TexturePath,
+}
+
+impl Simulator {
+    /// Builds a simulator from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the configuration is inconsistent
+    /// (see [`SimConfig::validate`]) or a component rejects its
+    /// parameters.
+    pub fn new(config: SimConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Self {
+            mem: MemoryBackend::from_config(&config)?,
+            cores: ShaderCores::new(config.shader),
+            texture: TexturePath::new(&config)?,
+            config,
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The texture path (stats and load-balance diagnostics).
+    pub fn texture_path(&self) -> &TexturePath {
+        &self.texture
+    }
+
+    /// Renders every frame of `scene`, returning the accumulated report
+    /// (the image is the last frame's).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the scene references more textures
+    /// than the layout heap can hold (never, in practice) or is empty.
+    pub fn render_trace(&mut self, scene: &SceneTrace) -> Result<RenderReport> {
+        if scene.cameras.is_empty() {
+            return Err(ConfigError::new("simulator", "scene has no frames"));
+        }
+
+        // Lay textures out in the simulated address space. With several
+        // HMC cubes, textures go round-robin into per-cube regions so a
+        // whole mip pyramid always lives in one cube (§V-E).
+        let cubes = self.mem.cube_count().max(1) as u64;
+        let mut layouts: Vec<TextureLayout> = Vec::with_capacity(scene.textures.len());
+        let mut next_offset = vec![0u64; cubes as usize];
+        for (i, tex) in scene.textures.iter().enumerate() {
+            let dims: Vec<(u32, u32)> = (0..tex.level_count())
+                .map(|l| (tex.level(l).width(), tex.level(l).height()))
+                .collect();
+            let cube = i as u64 % cubes;
+            let base = TEXTURE_BASE
+                + cube * crate::backend::CUBE_REGION_BYTES
+                + next_offset[cube as usize];
+            let layout = TextureLayout::new(tex.id(), base, &dims);
+            next_offset[cube as usize] += layout.total_bytes().next_multiple_of(4096);
+            layouts.push(layout);
+        }
+
+        // Optional block compression: transcode the textures through the
+        // codec so the functional renderer samples the lossy texels the
+        // hardware would read.
+        let transcoded: Option<Vec<pimgfx_texture::MippedTexture>> =
+            self.config.compressed_textures.then(|| {
+                scene
+                    .textures
+                    .iter()
+                    .map(|t| pimgfx_texture::CompressedTexture::encode(t).decode(t))
+                    .collect()
+            });
+        let texture_of = |id: pimgfx_types::TextureId| -> &pimgfx_texture::MippedTexture {
+            match &transcoded {
+                Some(ts) => &ts[id.index()],
+                None => scene.texture(id),
+            }
+        };
+
+        let width = scene.width();
+        let height = scene.height();
+        let mut raster = Rasterizer::with_tile_size(width, height, self.config.tile_px);
+        let mut rop = Rop::new(width, height, self.config.tile_px);
+        let scheduler = TileScheduler::new(
+            self.config.shader.clusters,
+            width.div_ceil(self.config.tile_px),
+        );
+        let fragment_program = ShaderProgram::new(scene.shader_alu_ops, 1);
+
+        let mut image = FrameImage::filled(width, height, Rgba::BLACK);
+        let mut raster_total = RasterStats::default();
+        let mut clock = Cycle::ZERO;
+        let mut frames = 0u32;
+        let mut per_frame: Vec<FrameStats> = Vec::with_capacity(scene.cameras.len());
+        let mut samples_before = 0u64;
+
+        for camera in &scene.cameras {
+            let frame_start = clock;
+            raster.begin_frame();
+            rop.begin_frame();
+            image = FrameImage::filled(width, height, Rgba::BLACK);
+
+            // 1. Geometry processing.
+            let geom_done =
+                geometry::process_frame(frame_start, scene, &mut self.cores, &mut self.mem);
+
+            // 2. Rasterization (functional early-Z across all draws).
+            let mut fragments = Vec::new();
+            for draw in &scene.draws {
+                raster.bind_texture(draw.texture);
+                for tri in &draw.triangles {
+                    fragments.extend(raster.rasterize(camera, tri));
+                }
+            }
+
+            // 3. Fragment processing, tile by tile. A cluster may work a
+            // bounded number of tiles ahead of the oldest unretired one —
+            // texture latency beyond that slack throttles issue, as
+            // finite in-flight fragment storage does in hardware.
+            const TILE_WINDOW: usize = 4;
+            let tiles = FragmentTile::group(fragments, self.config.tile_px);
+            let mut frame_end = geom_done;
+            let mut windows: Vec<InFlightWindow> = (0..self.config.shader.clusters)
+                .map(|_| InFlightWindow::new(TILE_WINDOW, geom_done))
+                .collect();
+            for tile in &tiles {
+                let cluster = scheduler.cluster_for(tile.coord);
+                let issue_at = geom_done.max(windows[cluster].gate());
+                let alu_done = self.cores.shade_fragments(
+                    cluster,
+                    issue_at,
+                    tile.len() as u64,
+                    &fragment_program,
+                );
+                let mut tile_done = alu_done;
+                // Texture requests are issued at 2x2-quad granularity
+                // (the texture unit serves whole fragment groups).
+                for quad in quads(&tile.fragments) {
+                    let tex = texture_of(quad[0].texture);
+                    let layout = &layouts[quad[0].texture.index()];
+                    let results = self.texture.sample_quad(
+                        cluster,
+                        issue_at,
+                        &quad,
+                        tex,
+                        layout,
+                        &mut self.mem,
+                    );
+                    for (frag, (color, done)) in quad.iter().zip(results) {
+                        tile_done = tile_done.max(done);
+                        image.put(frag.x, frag.y, color.clamped());
+                        rop.retire(frag);
+                    }
+                }
+                windows[cluster].retire(tile_done);
+                frame_end = frame_end.max(tile_done);
+            }
+
+            // 4. ROP write-back.
+            let frag_end = frame_end;
+            let rop_done = rop.flush_frame(frame_end, &mut self.mem);
+            frame_end = frame_end.max(rop_done).max(self.texture.last_completion());
+            if std::env::var_os("PIMGFX_TRACE_PHASES").is_some() {
+                eprintln!(
+                    "phase trace: geom {} | fragments {} | rop {} | tex_last {}",
+                    geom_done.get(),
+                    frag_end.get(),
+                    rop_done.get(),
+                    self.texture.last_completion().get()
+                );
+            }
+
+            clock = frame_end;
+            let samples_now = self.texture.stats().samples;
+            per_frame.push(FrameStats {
+                frame: frames,
+                cycles: frame_end.since(frame_start).get(),
+                // begin_frame() reset the rasterizer's counters, so its
+                // stats are already per-frame here.
+                fragments: raster.stats().fragments_out,
+                texture_samples: samples_now - samples_before,
+            });
+            samples_before = samples_now;
+            let r = raster.stats();
+            raster_total.triangles_in += r.triangles_in;
+            raster_total.triangles_clipped += r.triangles_clipped;
+            raster_total.hiz_rejected += r.hiz_rejected;
+            raster_total.z_tests += r.z_tests;
+            raster_total.fragments_out += r.fragments_out;
+            raster_total.tiles_touched += r.tiles_touched;
+            frames += 1;
+        }
+
+        // Energy accounting.
+        self.mem.sync_traffic();
+        let mut energy = EnergyModel::new(EnergyParams::default());
+        energy.add_shader_busy(self.cores.total_busy());
+        energy.add_texture_busy(self.texture.gpu_busy());
+        energy.add_pim_busy(self.texture.pim_busy());
+        energy.add_cache_accesses(self.texture.cache_accesses());
+        let external = self.mem.traffic().total().get();
+        let internal = self.mem.internal_bytes();
+        match self.config.design {
+            Design::Baseline => {
+                energy.add_gddr5_bytes(external);
+                energy.add_dram_bytes(internal);
+            }
+            _ => {
+                energy.add_link_bytes(external);
+                energy.add_tsv_bytes(internal + external);
+                energy.add_dram_bytes(internal);
+            }
+        }
+
+        Ok(RenderReport {
+            design: self.config.design,
+            frames,
+            total_cycles: clock.get(),
+            texture: *self.texture.stats(),
+            traffic: self.mem.traffic().clone(),
+            internal_bytes: internal,
+            raster: raster_total,
+            shader_busy_cycles: self.cores.total_busy().get(),
+            texture_busy_cycles: self.texture.gpu_busy().get(),
+            pim_busy_cycles: self.texture.pim_busy().get(),
+            energy: energy.report(),
+            image,
+            per_frame,
+        })
+    }
+
+    /// Resets all hardware state (between independent experiments).
+    pub fn reset(&mut self) {
+        self.mem.reset();
+        self.cores.reset();
+        self.texture.reset();
+    }
+}
+
+/// Groups a tile's fragments into 2x2 pixel quads sharing one texture
+/// (fragments of different textures in the same quad are split).
+fn quads(fragments: &[pimgfx_raster::Fragment]) -> Vec<Vec<pimgfx_raster::Fragment>> {
+    let mut map: std::collections::HashMap<(u32, u32, u32), usize> =
+        std::collections::HashMap::new();
+    let mut out: Vec<Vec<pimgfx_raster::Fragment>> = Vec::new();
+    for f in fragments {
+        let key = (f.x / 2, f.y / 2, f.texture.raw());
+        let idx = *map.entry(key).or_insert_with(|| {
+            out.push(Vec::with_capacity(4));
+            out.len() - 1
+        });
+        out[idx].push(*f);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimgfx_workloads::{build_scene_unchecked, Game, Resolution};
+
+    /// A miniature trace that keeps debug-mode tests fast.
+    fn tiny_scene() -> SceneTrace {
+        let mut profile = Game::Doom3.profile();
+        profile.floor_quads = 4;
+        profile.texture_count = 4;
+        profile.facing_props = 1;
+        build_scene_unchecked(&profile, Resolution::R320x240, 1)
+    }
+
+    fn run(design: Design) -> RenderReport {
+        let scene = tiny_scene();
+        let config = SimConfig::builder().design(design).build().expect("valid");
+        let mut sim = Simulator::new(config).expect("valid");
+        sim.render_trace(&scene).expect("render")
+    }
+
+    #[test]
+    fn baseline_renders_and_reports() {
+        let r = run(Design::Baseline);
+        assert!(r.total_cycles > 0);
+        assert!(r.texture.samples > 1000);
+        assert!(r.traffic.total().get() > 0);
+        assert!(r.energy.total_nj() > 0.0);
+        assert_eq!(r.frames, 1);
+        assert!(r.image.mean_luma() > 0.01, "frame is not black");
+    }
+
+    #[test]
+    fn all_designs_render_consistent_images() {
+        let base = run(Design::Baseline);
+        for d in [Design::BPim, Design::STfim] {
+            let r = run(d);
+            // Exact filtering designs produce the identical image.
+            let db = pimgfx_quality::psnr(&base.image, &r.image);
+            assert!(db > 55.0, "{d} diverged: {db} dB");
+        }
+        // A-TFIM at the default threshold is approximate but close.
+        let at = run(Design::ATfim);
+        let db = pimgfx_quality::psnr(&base.image, &at.image);
+        assert!(db > 30.0, "a-tfim too lossy: {db} dB");
+    }
+
+    #[test]
+    fn atfim_beats_baseline_on_texture_latency() {
+        let base = run(Design::Baseline);
+        let at = run(Design::ATfim);
+        assert!(
+            at.texture_speedup_vs(&base) > 1.0,
+            "a-tfim speedup {:.2} (base {:.1} vs atfim {:.1} cycles)",
+            at.texture_speedup_vs(&base),
+            base.texture.avg_latency(),
+            at.texture.avg_latency()
+        );
+    }
+
+    #[test]
+    fn stfim_inflates_texture_traffic() {
+        let bpim = run(Design::BPim);
+        let st = run(Design::STfim);
+        assert!(
+            st.texture_traffic() > bpim.texture_traffic(),
+            "s-tfim {} vs b-pim {}",
+            st.texture_traffic(),
+            bpim.texture_traffic()
+        );
+    }
+
+    #[test]
+    fn empty_scene_is_rejected() {
+        let mut scene = tiny_scene();
+        scene.cameras.clear();
+        let mut sim = Simulator::new(SimConfig::default()).expect("valid");
+        assert!(sim.render_trace(&scene).is_err());
+    }
+
+    #[test]
+    fn per_frame_stats_partition_the_trace() {
+        let mut profile = Game::Doom3.profile();
+        profile.floor_quads = 4;
+        profile.texture_count = 4;
+        profile.facing_props = 1;
+        let scene = build_scene_unchecked(&profile, Resolution::R320x240, 3);
+        let mut sim = Simulator::new(SimConfig::default()).expect("valid");
+        let r = sim.render_trace(&scene).expect("renders");
+        assert_eq!(r.per_frame.len(), 3);
+        let cycle_sum: u64 = r.per_frame.iter().map(|f| f.cycles).sum();
+        assert_eq!(cycle_sum, r.total_cycles, "frames partition the run");
+        let sample_sum: u64 = r.per_frame.iter().map(|f| f.texture_samples).sum();
+        assert_eq!(sample_sum, r.texture.samples);
+        assert!(r.per_frame.iter().all(|f| f.fragments > 0));
+        assert_eq!(r.per_frame[1].frame, 1);
+    }
+
+    #[test]
+    fn reset_allows_reuse() {
+        let scene = tiny_scene();
+        let mut sim = Simulator::new(SimConfig::default()).expect("valid");
+        let a = sim.render_trace(&scene).expect("first");
+        sim.reset();
+        let b = sim.render_trace(&scene).expect("second");
+        assert_eq!(a.total_cycles, b.total_cycles, "reset restores determinism");
+        assert_eq!(a.texture.samples, b.texture.samples);
+    }
+}

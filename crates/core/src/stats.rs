@@ -1,0 +1,272 @@
+//! Simulation statistics and the per-run report.
+
+use crate::design::Design;
+use pimgfx_energy::EnergyReport;
+use pimgfx_mem::{TrafficClass, TrafficStats};
+use pimgfx_quality::FrameImage;
+use pimgfx_raster::RasterStats;
+use pimgfx_types::ByteCount;
+use std::fmt;
+
+/// Counters accumulated by the texture path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TextureStats {
+    /// Texture samples issued by fragments.
+    pub samples: u64,
+    /// Sum of per-sample latencies, cycles.
+    pub latency_cycles: u64,
+    /// L1 texture-cache hits.
+    pub l1_hits: u64,
+    /// L1 misses (capacity/conflict).
+    pub l1_misses: u64,
+    /// L1 angle-tag misses (A-TFIM recalculations).
+    pub l1_angle_misses: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// L2 angle-tag misses.
+    pub l2_angle_misses: u64,
+    /// Texels the conventional pipeline would fetch for the sampled
+    /// footprints (8 × anisotropy ratio per sample).
+    pub conventional_texels: u64,
+    /// Texels actually filtered by the GPU texture units.
+    pub texels_filtered_gpu: u64,
+    /// Offload packages shipped to the logic layer (S-TFIM requests or
+    /// A-TFIM parent batches).
+    pub offload_packages: u64,
+    /// Child-texel vault reads performed in the HMC (A-TFIM).
+    pub child_reads: u64,
+    /// Child reads eliminated by consolidation (A-TFIM).
+    pub merged_child_reads: u64,
+    /// Histogram of applied anisotropy ratios: buckets for 1×, 2×, 4×,
+    /// 8× and 16× (index = log2 of the ratio).
+    pub aniso_histogram: [u64; 5],
+}
+
+impl TextureStats {
+    /// Mean per-sample texture-filtering latency in cycles (0 when no
+    /// samples ran).
+    pub fn avg_latency(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.latency_cycles as f64 / self.samples as f64
+        }
+    }
+
+    /// Records one sample's anisotropy ratio in the histogram.
+    pub fn record_aniso(&mut self, ratio: u32) {
+        let bucket = (ratio.max(1).trailing_zeros() as usize).min(4);
+        self.aniso_histogram[bucket] += 1;
+    }
+
+    /// Mean applied anisotropy ratio over all recorded samples (0 when
+    /// none recorded).
+    pub fn mean_aniso_ratio(&self) -> f64 {
+        let total: u64 = self.aniso_histogram.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .aniso_histogram
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| n << i)
+            .sum();
+        weighted as f64 / total as f64
+    }
+
+    /// L1 hit rate including angle misses as misses.
+    pub fn l1_hit_rate(&self) -> f64 {
+        let total = self.l1_hits + self.l1_misses + self.l1_angle_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l1_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Per-frame summary within a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FrameStats {
+    /// Frame index within the trace.
+    pub frame: u32,
+    /// Cycles this frame took (end minus start).
+    pub cycles: u64,
+    /// Fragments that survived early Z this frame.
+    pub fragments: u64,
+    /// Texture samples issued this frame.
+    pub texture_samples: u64,
+}
+
+/// The full result of simulating a trace under one configuration.
+#[derive(Debug, Clone)]
+pub struct RenderReport {
+    /// The design simulated.
+    pub design: Design,
+    /// Frames rendered.
+    pub frames: u32,
+    /// Total cycles to render the whole trace.
+    pub total_cycles: u64,
+    /// Texture-path counters.
+    pub texture: TextureStats,
+    /// External (off-chip) traffic by source.
+    pub traffic: TrafficStats,
+    /// Bytes moved on internal HMC paths.
+    pub internal_bytes: u64,
+    /// Rasterizer counters summed over frames.
+    pub raster: RasterStats,
+    /// Shader-cluster busy cycles (summed over clusters).
+    pub shader_busy_cycles: u64,
+    /// GPU texture-unit busy cycles (summed over units).
+    pub texture_busy_cycles: u64,
+    /// Logic-layer compute busy cycles (MTUs / A-TFIM units).
+    pub pim_busy_cycles: u64,
+    /// Energy breakdown.
+    pub energy: EnergyReport,
+    /// The last rendered frame (for quality metrics).
+    pub image: FrameImage,
+    /// Per-frame summaries, in trace order.
+    pub per_frame: Vec<FrameStats>,
+}
+
+impl RenderReport {
+    /// Total texture traffic on the external interface (the Fig. 12
+    /// quantity).
+    pub fn texture_traffic(&self) -> ByteCount {
+        self.traffic.bytes(TrafficClass::TextureFetch)
+    }
+
+    /// Overall rendering speedup of `self` relative to `baseline`
+    /// (ratios of total cycles; > 1 means faster).
+    pub fn render_speedup_vs(&self, baseline: &RenderReport) -> f64 {
+        if self.total_cycles == 0 {
+            return 0.0;
+        }
+        baseline.total_cycles as f64 / self.total_cycles as f64
+    }
+
+    /// Texture-filtering speedup relative to `baseline` (ratio of mean
+    /// per-sample latencies, the paper's Fig. 10 metric).
+    pub fn texture_speedup_vs(&self, baseline: &RenderReport) -> f64 {
+        let own = self.texture.avg_latency();
+        if own == 0.0 {
+            return 0.0;
+        }
+        baseline.texture.avg_latency() / own
+    }
+
+    /// Texture traffic normalized to `baseline` (the Fig. 12 metric).
+    pub fn traffic_normalized_to(&self, baseline: &RenderReport) -> f64 {
+        self.texture_traffic().ratio_to(baseline.texture_traffic())
+    }
+
+    /// Total energy normalized to `baseline` (the Fig. 13 metric).
+    pub fn energy_normalized_to(&self, baseline: &RenderReport) -> f64 {
+        self.energy.normalized_to(&baseline.energy)
+    }
+}
+
+impl fmt::Display for RenderReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "design         : {}", self.design)?;
+        writeln!(f, "frames         : {}", self.frames)?;
+        writeln!(f, "total cycles   : {}", self.total_cycles)?;
+        writeln!(f, "tex samples    : {}", self.texture.samples)?;
+        writeln!(
+            f,
+            "tex avg latency: {:.1} cycles",
+            self.texture.avg_latency()
+        )?;
+        writeln!(
+            f,
+            "l1 hit rate    : {:.1}%",
+            self.texture.l1_hit_rate() * 100.0
+        )?;
+        writeln!(f, "texture traffic: {}", self.texture_traffic())?;
+        writeln!(f, "total traffic  : {}", self.traffic.total())?;
+        write!(f, "energy total   : {:.1} nJ", self.energy.total_nj())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimgfx_quality::FrameImage;
+    use pimgfx_types::Rgba;
+
+    fn report(cycles: u64, latency: u64, samples: u64) -> RenderReport {
+        RenderReport {
+            design: Design::Baseline,
+            frames: 1,
+            total_cycles: cycles,
+            texture: TextureStats {
+                samples,
+                latency_cycles: latency,
+                ..TextureStats::default()
+            },
+            traffic: TrafficStats::new(),
+            internal_bytes: 0,
+            raster: RasterStats::default(),
+            shader_busy_cycles: 0,
+            texture_busy_cycles: 0,
+            pim_busy_cycles: 0,
+            energy: EnergyReport::default(),
+            image: FrameImage::filled(2, 2, Rgba::BLACK),
+            per_frame: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn avg_latency_divides_by_samples() {
+        let t = TextureStats {
+            samples: 4,
+            latency_cycles: 100,
+            ..TextureStats::default()
+        };
+        assert_eq!(t.avg_latency(), 25.0);
+        assert_eq!(TextureStats::default().avg_latency(), 0.0);
+    }
+
+    #[test]
+    fn speedups_are_ratios() {
+        let base = report(1000, 400, 4);
+        let fast = report(500, 100, 4);
+        assert_eq!(fast.render_speedup_vs(&base), 2.0);
+        assert_eq!(fast.texture_speedup_vs(&base), 4.0);
+        assert_eq!(base.render_speedup_vs(&base), 1.0);
+    }
+
+    #[test]
+    fn aniso_histogram_buckets_and_mean() {
+        let mut t = TextureStats::default();
+        for r in [1u32, 2, 2, 4, 16, 16, 16, 16] {
+            t.record_aniso(r);
+        }
+        assert_eq!(t.aniso_histogram, [1, 2, 1, 0, 4]);
+        // (1 + 2 + 2 + 4 + 16*4) / 8 = 73/8
+        assert!((t.mean_aniso_ratio() - 73.0 / 8.0).abs() < 1e-12);
+        assert_eq!(TextureStats::default().mean_aniso_ratio(), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_counts_angle_misses() {
+        let t = TextureStats {
+            l1_hits: 6,
+            l1_misses: 2,
+            l1_angle_misses: 2,
+            ..TextureStats::default()
+        };
+        assert!((t.l1_hit_rate() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let r = report(123, 10, 1);
+        let s = r.to_string();
+        assert!(s.contains("total cycles   : 123"));
+        assert!(s.contains("baseline"));
+    }
+}

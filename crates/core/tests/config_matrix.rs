@@ -1,0 +1,106 @@
+//! Configuration-matrix smoke tests: every design point crossed with
+//! every structural knob must build, render, and produce sane reports.
+
+use pimgfx::{Design, SimConfig, Simulator};
+use pimgfx_workloads::{build_scene_unchecked, Game, Resolution, SceneTrace};
+
+fn tiny_scene() -> SceneTrace {
+    let mut p = Game::Wolfenstein.profile();
+    p.floor_quads = 3;
+    p.texture_count = 3;
+    p.texture_size = 64;
+    p.facing_props = 1;
+    build_scene_unchecked(&p, Resolution::R320x240, 1)
+}
+
+#[test]
+fn all_design_knob_combinations_render() {
+    let scene = tiny_scene();
+    for design in Design::ALL {
+        for compressed in [false, true] {
+            for cubes in [1usize, 2] {
+                let config = SimConfig::builder()
+                    .design(design)
+                    .compressed_textures(compressed)
+                    .hmc_cubes(cubes)
+                    .build()
+                    .expect("valid config");
+                let mut sim = Simulator::new(config).expect("simulator builds");
+                let r = sim.render_trace(&scene).expect("trace renders");
+                assert!(r.total_cycles > 0, "{design} bc={compressed} cubes={cubes}");
+                assert!(r.texture.samples > 0);
+                assert!(r.image.mean_luma() > 0.005, "frame went black");
+            }
+        }
+    }
+}
+
+#[test]
+fn threshold_extremes_render_for_atfim() {
+    let scene = tiny_scene();
+    for fraction in [0.0f32, 0.001, 0.5, 1.0] {
+        let config = SimConfig::builder()
+            .design(Design::ATfim)
+            .angle_threshold_pi_fraction(fraction)
+            .build()
+            .expect("valid config");
+        let mut sim = Simulator::new(config).expect("builds");
+        let r = sim.render_trace(&scene).expect("renders");
+        assert!(r.total_cycles > 0, "threshold {fraction}π");
+    }
+}
+
+#[test]
+fn mtu_counts_render_for_stfim() {
+    let scene = tiny_scene();
+    let mut cycles = Vec::new();
+    for mtus in [16usize, 4, 1] {
+        let config = SimConfig::builder()
+            .design(Design::STfim)
+            .mtus(mtus)
+            .build()
+            .expect("valid config");
+        let mut sim = Simulator::new(config).expect("builds");
+        let r = sim.render_trace(&scene).expect("renders");
+        cycles.push(r.total_cycles);
+    }
+    // Fewer MTUs can only slow things down.
+    assert!(cycles[0] <= cycles[1]);
+    assert!(cycles[1] <= cycles[2]);
+}
+
+#[test]
+fn max_aniso_sweep_renders_and_orders_texel_volume() {
+    let scene = tiny_scene();
+    let mut conventional = Vec::new();
+    for max_aniso in [1u32, 2, 4, 8, 16] {
+        let config = SimConfig::builder()
+            .max_aniso(max_aniso)
+            .build()
+            .expect("valid");
+        let mut sim = Simulator::new(config).expect("builds");
+        let r = sim.render_trace(&scene).expect("renders");
+        conventional.push(r.texture.conventional_texels);
+    }
+    // Texel volume is nondecreasing in the anisotropy cap.
+    for w in conventional.windows(2) {
+        assert!(w[0] <= w[1], "texel volume regressed: {conventional:?}");
+    }
+}
+
+#[test]
+fn simulator_rejects_mismatched_configs() {
+    let mut config = SimConfig::default();
+    config.texture_units.units = 4; // != 16 clusters
+    assert!(Simulator::new(config).is_err());
+
+    let config = SimConfig {
+        tile_px: 0,
+        ..SimConfig::default()
+    };
+    assert!(Simulator::new(config).is_err());
+
+    let mut config = SimConfig::default();
+    config.hmc.internal_gb_s = 1.0; // below external
+    assert!(Simulator::new(config).is_err());
+}

@@ -1,0 +1,282 @@
+//! The energy accumulator and report.
+
+use crate::params::EnergyParams;
+use pimgfx_engine::Duration;
+use std::fmt;
+
+/// Accumulates per-event energy for one simulated frame (or trace).
+///
+/// # Examples
+///
+/// ```
+/// use pimgfx_energy::{EnergyModel, EnergyParams};
+/// use pimgfx_engine::time::Duration;
+///
+/// let mut m = EnergyModel::new(EnergyParams::default());
+/// m.add_shader_busy(Duration::new(1000));
+/// m.add_cache_accesses(5000);
+/// assert!(m.report().total_nj() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EnergyModel {
+    params: EnergyParams,
+    shader_pj: f64,
+    texture_pj: f64,
+    pim_pj: f64,
+    cache_pj: f64,
+    link_pj: f64,
+    tsv_pj: f64,
+    dram_pj: f64,
+    gddr5_pj: f64,
+}
+
+/// Energy broken down by component, in nanojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyReport {
+    /// Shader-cluster ALUs.
+    pub shader_nj: f64,
+    /// GPU texture units (address + filtering ALUs).
+    pub texture_nj: f64,
+    /// Logic-layer compute (MTUs / Texel Generator / Combination Unit).
+    pub pim_nj: f64,
+    /// Texture caches (L1 + L2 accesses).
+    pub cache_nj: f64,
+    /// HMC external serial links.
+    pub link_nj: f64,
+    /// TSV columns.
+    pub tsv_nj: f64,
+    /// DRAM array accesses.
+    pub dram_nj: f64,
+    /// GDDR5 interface (baseline only).
+    pub gddr5_nj: f64,
+    /// Leakage adder.
+    pub leakage_nj: f64,
+}
+
+impl EnergyReport {
+    /// Total energy in nanojoules.
+    pub fn total_nj(&self) -> f64 {
+        self.shader_nj
+            + self.texture_nj
+            + self.pim_nj
+            + self.cache_nj
+            + self.link_nj
+            + self.tsv_nj
+            + self.dram_nj
+            + self.gddr5_nj
+            + self.leakage_nj
+    }
+
+    /// Ratio of this report's total to a baseline total (the Fig. 13
+    /// normalization).
+    pub fn normalized_to(&self, baseline: &EnergyReport) -> f64 {
+        let b = baseline.total_nj();
+        if b == 0.0 {
+            0.0
+        } else {
+            self.total_nj() / b
+        }
+    }
+}
+
+impl fmt::Display for EnergyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "shader : {:12.1} nJ", self.shader_nj)?;
+        writeln!(f, "texture: {:12.1} nJ", self.texture_nj)?;
+        writeln!(f, "pim    : {:12.1} nJ", self.pim_nj)?;
+        writeln!(f, "cache  : {:12.1} nJ", self.cache_nj)?;
+        writeln!(f, "links  : {:12.1} nJ", self.link_nj)?;
+        writeln!(f, "tsv    : {:12.1} nJ", self.tsv_nj)?;
+        writeln!(f, "dram   : {:12.1} nJ", self.dram_nj)?;
+        writeln!(f, "gddr5  : {:12.1} nJ", self.gddr5_nj)?;
+        writeln!(f, "leakage: {:12.1} nJ", self.leakage_nj)?;
+        write!(f, "total  : {:12.1} nJ", self.total_nj())
+    }
+}
+
+impl EnergyModel {
+    /// Creates a zeroed accumulator.
+    pub fn new(params: EnergyParams) -> Self {
+        Self {
+            params,
+            shader_pj: 0.0,
+            texture_pj: 0.0,
+            pim_pj: 0.0,
+            cache_pj: 0.0,
+            link_pj: 0.0,
+            tsv_pj: 0.0,
+            dram_pj: 0.0,
+            gddr5_pj: 0.0,
+        }
+    }
+
+    /// The active parameters.
+    pub fn params(&self) -> &EnergyParams {
+        &self.params
+    }
+
+    /// Adds shader-cluster busy cycles.
+    pub fn add_shader_busy(&mut self, busy: Duration) {
+        self.shader_pj += self.params.shader_cycle_pj * busy.get() as f64;
+    }
+
+    /// Adds GPU texture-unit busy cycles.
+    pub fn add_texture_busy(&mut self, busy: Duration) {
+        self.texture_pj += self.params.texture_cycle_pj * busy.get() as f64;
+    }
+
+    /// Adds logic-layer compute busy cycles (MTU / A-TFIM units).
+    pub fn add_pim_busy(&mut self, busy: Duration) {
+        self.pim_pj += self.params.pim_cycle_pj * busy.get() as f64;
+    }
+
+    /// Adds texture-cache accesses.
+    pub fn add_cache_accesses(&mut self, accesses: u64) {
+        self.cache_pj += self.params.cache_access_pj * accesses as f64;
+    }
+
+    /// Adds bytes moved over the HMC serial links.
+    pub fn add_link_bytes(&mut self, bytes: u64) {
+        self.link_pj += self.params.link_pj(bytes);
+    }
+
+    /// Adds bytes moved through TSVs.
+    pub fn add_tsv_bytes(&mut self, bytes: u64) {
+        self.tsv_pj += self.params.tsv_pj(bytes);
+    }
+
+    /// Adds bytes accessed in DRAM arrays.
+    pub fn add_dram_bytes(&mut self, bytes: u64) {
+        self.dram_pj += self.params.dram_pj(bytes);
+    }
+
+    /// Adds bytes moved over a GDDR5 interface.
+    pub fn add_gddr5_bytes(&mut self, bytes: u64) {
+        self.gddr5_pj += self.params.gddr5_pj(bytes);
+    }
+
+    /// Produces the report, applying the leakage adder.
+    pub fn report(&self) -> EnergyReport {
+        let to_nj = 1e-3;
+        let dynamic_pj = self.shader_pj
+            + self.texture_pj
+            + self.pim_pj
+            + self.cache_pj
+            + self.link_pj
+            + self.tsv_pj
+            + self.dram_pj
+            + self.gddr5_pj;
+        EnergyReport {
+            shader_nj: self.shader_pj * to_nj,
+            texture_nj: self.texture_pj * to_nj,
+            pim_nj: self.pim_pj * to_nj,
+            cache_nj: self.cache_pj * to_nj,
+            link_nj: self.link_pj * to_nj,
+            tsv_nj: self.tsv_pj * to_nj,
+            dram_nj: self.dram_pj * to_nj,
+            gddr5_nj: self.gddr5_pj * to_nj,
+            leakage_nj: dynamic_pj * self.params.leakage_fraction * to_nj,
+        }
+    }
+
+    /// Clears all accumulated energy.
+    pub fn reset(&mut self) {
+        *self = Self::new(self.params);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leakage_is_ten_percent_of_dynamic() {
+        let mut m = EnergyModel::new(EnergyParams::default());
+        m.add_dram_bytes(1000);
+        let r = m.report();
+        let dynamic = r.total_nj() - r.leakage_nj;
+        assert!((r.leakage_nj - dynamic * 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn components_accumulate_independently() {
+        let mut m = EnergyModel::new(EnergyParams::default());
+        m.add_shader_busy(Duration::new(10));
+        m.add_link_bytes(100);
+        m.add_link_bytes(100);
+        let r = m.report();
+        assert!(r.shader_nj > 0.0);
+        assert!((r.link_nj - 2.0 * EnergyParams::default().link_pj(100) * 1e-3).abs() < 1e-9);
+        assert_eq!(r.gddr5_nj, 0.0);
+    }
+
+    #[test]
+    fn normalization() {
+        let mut base = EnergyModel::new(EnergyParams::default());
+        base.add_dram_bytes(1000);
+        let mut half = EnergyModel::new(EnergyParams::default());
+        half.add_dram_bytes(500);
+        let n = half.report().normalized_to(&base.report());
+        assert!((n - 0.5).abs() < 1e-9);
+        assert_eq!(
+            EnergyReport::default().normalized_to(&EnergyReport::default()),
+            0.0
+        );
+    }
+
+    #[test]
+    fn reset_zeroes_report() {
+        let mut m = EnergyModel::new(EnergyParams::default());
+        m.add_cache_accesses(100);
+        m.reset();
+        assert_eq!(m.report().total_nj(), 0.0);
+    }
+
+    #[test]
+    fn texture_and_pim_busy_use_distinct_rates() {
+        let mut a = EnergyModel::new(EnergyParams::default());
+        a.add_texture_busy(Duration::new(100));
+        let mut b = EnergyModel::new(EnergyParams::default());
+        b.add_pim_busy(Duration::new(100));
+        // Same default rate for the two compute tiers, but they land in
+        // different report components.
+        assert!(a.report().texture_nj > 0.0);
+        assert_eq!(a.report().pim_nj, 0.0);
+        assert!(b.report().pim_nj > 0.0);
+        assert_eq!(b.report().texture_nj, 0.0);
+    }
+
+    #[test]
+    fn total_is_sum_of_components() {
+        let mut m = EnergyModel::new(EnergyParams::default());
+        m.add_shader_busy(Duration::new(7));
+        m.add_link_bytes(123);
+        m.add_tsv_bytes(456);
+        m.add_dram_bytes(789);
+        m.add_gddr5_bytes(42);
+        m.add_cache_accesses(9);
+        let r = m.report();
+        let sum = r.shader_nj
+            + r.texture_nj
+            + r.pim_nj
+            + r.cache_nj
+            + r.link_nj
+            + r.tsv_nj
+            + r.dram_nj
+            + r.gddr5_nj
+            + r.leakage_nj;
+        assert!((r.total_nj() - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_all_components() {
+        let r = EnergyModel::new(EnergyParams::default()).report();
+        let s = r.to_string();
+        for key in [
+            "shader", "texture", "pim", "cache", "links", "tsv", "dram", "gddr5", "leakage",
+            "total",
+        ] {
+            assert!(s.contains(key), "missing {key}");
+        }
+    }
+}

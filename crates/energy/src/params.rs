@@ -1,0 +1,99 @@
+//! Energy-per-event parameters.
+
+/// Per-event energy constants, in picojoules.
+///
+/// Link and DRAM figures are the paper's (§VI: 5 pJ/bit links, 4 pJ/bit
+/// DRAM); the others are representative 28 nm values in the McPAT/CACTI
+/// range. Fig. 13 depends on the *ratios* between traffic-side and
+/// compute-side terms, not on the absolute scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyParams {
+    /// HMC serial-link energy per bit, pJ.
+    pub link_pj_per_bit: f64,
+    /// DRAM array access energy per bit, pJ.
+    pub dram_pj_per_bit: f64,
+    /// TSV traversal energy per bit, pJ (short vertical wires are far
+    /// cheaper than SerDes links).
+    pub tsv_pj_per_bit: f64,
+    /// GDDR5 interface energy per bit, pJ (long PCB traces make it the
+    /// most expensive byte mover; Micron-model class value).
+    pub gddr5_pj_per_bit: f64,
+    /// Energy of one shader-cluster busy cycle (64 scalar ALUs), pJ.
+    pub shader_cycle_pj: f64,
+    /// Energy of one texture/filtering-unit busy cycle, pJ.
+    pub texture_cycle_pj: f64,
+    /// Energy of one logic-layer compute busy cycle (Texel Generator or
+    /// Combination Unit lane group), pJ.
+    pub pim_cycle_pj: f64,
+    /// Energy per texture-cache access (tag + data), pJ.
+    pub cache_access_pj: f64,
+    /// Leakage as a fraction of dynamic energy (paper adds 10%).
+    pub leakage_fraction: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        Self {
+            link_pj_per_bit: 5.0,
+            dram_pj_per_bit: 4.0,
+            tsv_pj_per_bit: 0.3,
+            gddr5_pj_per_bit: 14.0,
+            shader_cycle_pj: 120.0,
+            texture_cycle_pj: 40.0,
+            pim_cycle_pj: 40.0,
+            cache_access_pj: 20.0,
+            leakage_fraction: 0.10,
+        }
+    }
+}
+
+impl EnergyParams {
+    /// Picojoules to move `bytes` over the HMC serial links.
+    pub fn link_pj(&self, bytes: u64) -> f64 {
+        self.link_pj_per_bit * bytes as f64 * 8.0
+    }
+
+    /// Picojoules to read/write `bytes` in the DRAM arrays.
+    pub fn dram_pj(&self, bytes: u64) -> f64 {
+        self.dram_pj_per_bit * bytes as f64 * 8.0
+    }
+
+    /// Picojoules to move `bytes` through TSV columns.
+    pub fn tsv_pj(&self, bytes: u64) -> f64 {
+        self.tsv_pj_per_bit * bytes as f64 * 8.0
+    }
+
+    /// Picojoules to move `bytes` over the GDDR5 interface.
+    pub fn gddr5_pj(&self, bytes: u64) -> f64 {
+        self.gddr5_pj_per_bit * bytes as f64 * 8.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let p = EnergyParams::default();
+        assert_eq!(p.link_pj_per_bit, 5.0);
+        assert_eq!(p.dram_pj_per_bit, 4.0);
+        assert_eq!(p.leakage_fraction, 0.10);
+    }
+
+    #[test]
+    fn per_byte_helpers_scale_by_eight_bits() {
+        let p = EnergyParams::default();
+        assert_eq!(p.link_pj(1), 40.0);
+        assert_eq!(p.dram_pj(2), 64.0);
+    }
+
+    #[test]
+    fn gddr5_interface_costs_more_than_hmc_path() {
+        let p = EnergyParams::default();
+        // Moving a byte over GDDR5 vs link+TSV+DRAM inside an HMC.
+        let hmc_path = p.link_pj(1) + p.tsv_pj(1) + p.dram_pj(1);
+        let gddr5_path = p.gddr5_pj(1) + p.dram_pj(1);
+        assert!(gddr5_path > hmc_path);
+    }
+}

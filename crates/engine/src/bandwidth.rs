@@ -1,0 +1,179 @@
+//! Byte-serialized bandwidth channels.
+//!
+//! Memory buses, HMC serial links and TSV columns are modeled as channels
+//! that serialize transfers at a fixed bytes-per-cycle rate. A transfer
+//! arriving while the channel is busy queues behind earlier traffic, which
+//! is exactly how link contention throttles S-TFIM in the paper.
+
+use crate::time::{Cycle, Duration};
+use crate::utilization::Utilization;
+
+/// A bandwidth-limited, store-and-forward channel.
+///
+/// Rates are expressed in *milli-bytes per cycle* internally so that
+/// non-integral rates (e.g. 102.4 B/cycle for a 128 GB/s bus at 1.25 GHz)
+/// are represented exactly enough for reproducible accounting.
+///
+/// # Examples
+///
+/// ```
+/// use pimgfx_engine::{Bandwidth, Cycle};
+/// // 32 bytes/cycle.
+/// let mut bus = Bandwidth::from_bytes_per_cycle(32.0);
+/// let done = bus.transfer(Cycle::ZERO, 64);
+/// assert_eq!(done, Cycle::new(2));
+/// // A back-to-back transfer queues behind the first.
+/// assert_eq!(bus.transfer(Cycle::ZERO, 32), Cycle::new(3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bandwidth {
+    milli_bytes_per_cycle: u64,
+    /// Channel-free time in milli-cycles (sub-cycle precision so that
+    /// small packets — 16-byte read requests on a 160 B/cycle link — do
+    /// not each round up to a whole cycle of occupancy).
+    busy_until_milli: u64,
+    bytes_moved: u64,
+    util: Utilization,
+}
+
+impl Bandwidth {
+    /// Creates a channel from a (possibly fractional) bytes-per-cycle rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not strictly positive and finite.
+    pub fn from_bytes_per_cycle(rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "bandwidth rate must be positive, got {rate}"
+        );
+        let milli = (rate * 1000.0).round() as u64;
+        Self {
+            milli_bytes_per_cycle: milli.max(1),
+            busy_until_milli: 0,
+            bytes_moved: 0,
+            util: Utilization::new(),
+        }
+    }
+
+    /// Creates a channel from a GB/s figure and the clock it is counted
+    /// in. `1 GB = 10^9 bytes`, matching memory-vendor specifications.
+    pub fn from_gb_per_sec(gb_per_sec: f64, clock_ghz: f64) -> Self {
+        assert!(clock_ghz > 0.0, "clock must be positive");
+        Self::from_bytes_per_cycle(gb_per_sec / clock_ghz)
+    }
+
+    /// Serializes a transfer of `bytes` arriving at `arrival`; returns the
+    /// cycle at which the last byte has moved.
+    ///
+    /// Zero-byte transfers complete immediately at
+    /// `max(arrival, busy_until)`.
+    pub fn transfer(&mut self, arrival: Cycle, bytes: u64) -> Cycle {
+        let start_milli = (arrival.get().saturating_mul(1000)).max(self.busy_until_milli);
+        let dur_milli = self.milli_cycles_for(bytes);
+        self.busy_until_milli = start_milli + dur_milli;
+        self.bytes_moved += bytes;
+        self.util.add_busy(Duration::new(dur_milli.div_ceil(1000)));
+        Cycle::new(self.busy_until_milli.div_ceil(1000))
+    }
+
+    /// Duration a transfer of `bytes` occupies the channel (rounded up to
+    /// whole cycles; internal accounting is finer).
+    pub fn cycles_for(&self, bytes: u64) -> Duration {
+        Duration::new(self.milli_cycles_for(bytes).div_ceil(1000))
+    }
+
+    /// Channel occupancy in milli-cycles.
+    fn milli_cycles_for(&self, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        // bytes / (milli_bytes_per_cycle / 1000) cycles, in milli-cycles:
+        bytes
+            .saturating_mul(1_000_000)
+            .div_ceil(self.milli_bytes_per_cycle)
+    }
+
+    /// Earliest cycle at which a new transfer could begin.
+    pub fn next_free(&self) -> Cycle {
+        Cycle::new(self.busy_until_milli.div_ceil(1000))
+    }
+
+    /// Total bytes moved through this channel so far.
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_moved
+    }
+
+    /// Busy-cycle accounting.
+    pub fn utilization(&self) -> &Utilization {
+        &self.util
+    }
+
+    /// Resets timing and traffic counters, keeping the configured rate.
+    pub fn reset(&mut self) {
+        self.busy_until_milli = 0;
+        self.bytes_moved = 0;
+        self.util = Utilization::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serializes_back_to_back_transfers() {
+        let mut bus = Bandwidth::from_bytes_per_cycle(16.0);
+        assert_eq!(bus.transfer(Cycle::ZERO, 64), Cycle::new(4));
+        assert_eq!(bus.transfer(Cycle::ZERO, 16), Cycle::new(5));
+        assert_eq!(bus.bytes_moved(), 80);
+    }
+
+    #[test]
+    fn idle_gap_is_not_charged() {
+        let mut bus = Bandwidth::from_bytes_per_cycle(16.0);
+        bus.transfer(Cycle::ZERO, 16);
+        let done = bus.transfer(Cycle::new(100), 16);
+        assert_eq!(done, Cycle::new(101));
+        assert_eq!(bus.utilization().busy(), Duration::new(2));
+    }
+
+    #[test]
+    fn fractional_rates_round_up_duration() {
+        // 2.5 bytes/cycle: 5 bytes take exactly 2 cycles, 6 bytes take 3.
+        let bus = Bandwidth::from_bytes_per_cycle(2.5);
+        assert_eq!(bus.cycles_for(5), Duration::new(2));
+        assert_eq!(bus.cycles_for(6), Duration::new(3));
+    }
+
+    #[test]
+    fn gb_per_sec_conversion() {
+        // 128 GB/s at 1 GHz = 128 B/cycle.
+        let bus = Bandwidth::from_gb_per_sec(128.0, 1.0);
+        assert_eq!(bus.cycles_for(1280), Duration::new(10));
+        // 320 GB/s at 1.25 GHz = 256 B/cycle.
+        let hmc = Bandwidth::from_gb_per_sec(320.0, 1.25);
+        assert_eq!(hmc.cycles_for(2560), Duration::new(10));
+    }
+
+    #[test]
+    fn zero_bytes_complete_instantly() {
+        let mut bus = Bandwidth::from_bytes_per_cycle(8.0);
+        assert_eq!(bus.transfer(Cycle::new(7), 0), Cycle::new(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_rate_panics() {
+        let _ = Bandwidth::from_bytes_per_cycle(0.0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut bus = Bandwidth::from_bytes_per_cycle(8.0);
+        bus.transfer(Cycle::ZERO, 800);
+        bus.reset();
+        assert_eq!(bus.next_free(), Cycle::ZERO);
+        assert_eq!(bus.bytes_moved(), 0);
+    }
+}

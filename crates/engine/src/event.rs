@@ -1,0 +1,164 @@
+//! A deterministic time-ordered event queue.
+
+use crate::time::Cycle;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A min-priority queue of events ordered by time, with FIFO tie-breaking
+/// for events scheduled at the same cycle.
+///
+/// Deterministic ordering matters: the simulator's results must be
+/// reproducible across runs, so ties are broken by insertion sequence
+/// rather than heap internals.
+///
+/// # Examples
+///
+/// ```
+/// use pimgfx_engine::{Cycle, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.push(Cycle::new(5), "late");
+/// q.push(Cycle::new(1), "early");
+/// q.push(Cycle::new(1), "early-second");
+/// assert_eq!(q.pop(), Some((Cycle::new(1), "early")));
+/// assert_eq!(q.pop(), Some((Cycle::new(1), "early-second")));
+/// assert_eq!(q.pop(), Some((Cycle::new(5), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<T> {
+    time: Cycle,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `payload` at `time`.
+    pub fn push(&mut self, time: Cycle, payload: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(Cycle, T)> {
+        self.heap.pop().map(|e| (e.time, e.payload))
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Pops all events scheduled at or before `now`, in order.
+    pub fn drain_until(&mut self, now: Cycle) -> Vec<(Cycle, T)> {
+        let mut out = Vec::new();
+        while let Some(t) = self.peek_time() {
+            if t > now {
+                break;
+            }
+            out.push(self.pop().expect("peeked event must pop"));
+        }
+        out
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(3), 'c');
+        q.push(Cycle::new(1), 'a');
+        q.push(Cycle::new(2), 'b');
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, p)| p).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn fifo_tie_break() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.push(Cycle::new(7), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, p)| p).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drain_until_respects_boundary() {
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(1), 1);
+        q.push(Cycle::new(5), 5);
+        q.push(Cycle::new(10), 10);
+        let drained = q.drain_until(Cycle::new(5));
+        assert_eq!(drained.len(), 2);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(Cycle::new(10)));
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q: EventQueue<u8> = EventQueue::default();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.peek_time(), None);
+        assert!(q.drain_until(Cycle::MAX).is_empty());
+    }
+}

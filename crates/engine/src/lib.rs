@@ -1,0 +1,50 @@
+//! Discrete-event simulation kernel for the `pim-render` GPU simulator.
+//!
+//! The ATTILA simulator the paper builds on models hardware as "boxes"
+//! connected by "signals". This crate provides the equivalent primitives
+//! for our timing layer:
+//!
+//! * [`Cycle`] / [`time::Duration`] — simulation time in clock
+//!   cycles of a component's own clock domain.
+//! * [`EventQueue`] — a deterministic time-ordered queue with FIFO
+//!   tie-breaking, for components that need explicit event scheduling.
+//! * [`Server`] and [`MultiServer`] — pipelined throughput resources
+//!   (initiation interval + latency), the model used for texture units,
+//!   filtering ALUs and fixed-function stages.
+//! * [`Bandwidth`] — a byte-serialized channel (memory buses, HMC serial
+//!   links, TSV columns) with busy-time accounting.
+//! * [`utilization`] — busy-cycle counters shared by the energy model.
+//!
+//! All primitives are deterministic: replaying the same event stream
+//! yields bit-identical timing.
+//!
+//! # Examples
+//!
+//! ```
+//! use pimgfx_engine::{Cycle, Server};
+//!
+//! // A filtering pipeline: one result per cycle, 4-cycle latency.
+//! // Completion = issue slot (1 cycle) + pipeline latency.
+//! let mut alu = Server::new(1, 4);
+//! let c1 = alu.issue(Cycle::ZERO);
+//! let c2 = alu.issue(Cycle::ZERO);
+//! assert_eq!(c1, Cycle::new(5));
+//! assert_eq!(c2, Cycle::new(6)); // second op waits one initiation interval
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bandwidth;
+pub mod event;
+pub mod server;
+pub mod time;
+pub mod utilization;
+pub mod window;
+
+pub use bandwidth::Bandwidth;
+pub use event::EventQueue;
+pub use server::{MultiServer, Server};
+pub use time::{Cycle, Duration};
+pub use utilization::Utilization;
+pub use window::InFlightWindow;

@@ -1,0 +1,255 @@
+//! Pipelined throughput resources.
+//!
+//! Hardware pipelines (texture address generators, filtering ALUs,
+//! triangle setup, ROP lanes) are modeled as *servers*: a new operation
+//! can be initiated every `initiation_interval` cycles, and each operation
+//! completes `latency` cycles after it starts. This is the classic
+//! reservation-table abstraction for a deeply pipelined unit.
+
+use crate::time::{Cycle, Duration};
+use crate::utilization::Utilization;
+
+/// A single pipelined resource.
+///
+/// # Examples
+///
+/// ```
+/// use pimgfx_engine::{Cycle, Server};
+/// // One op per 2 cycles, 10-cycle pipeline depth.
+/// // Completion = issue slot (2 cycles) + pipeline latency.
+/// let mut s = Server::new(2, 10);
+/// assert_eq!(s.issue(Cycle::ZERO), Cycle::new(12));
+/// assert_eq!(s.issue(Cycle::ZERO), Cycle::new(14));
+/// // An op arriving after the pipe drained starts immediately.
+/// assert_eq!(s.issue(Cycle::new(100)), Cycle::new(112));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Server {
+    initiation_interval: Duration,
+    latency: Duration,
+    next_issue: Cycle,
+    util: Utilization,
+}
+
+impl Server {
+    /// Creates a server that can start one operation every
+    /// `initiation_interval` cycles, each finishing `latency` cycles after
+    /// it starts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initiation_interval` is zero (a pipeline must take at
+    /// least one cycle per operation).
+    pub fn new(initiation_interval: u64, latency: u64) -> Self {
+        assert!(
+            initiation_interval > 0,
+            "initiation interval must be nonzero"
+        );
+        Self {
+            initiation_interval: Duration::new(initiation_interval),
+            latency: Duration::new(latency),
+            next_issue: Cycle::ZERO,
+            util: Utilization::new(),
+        }
+    }
+
+    /// Issues one operation arriving at `arrival`; returns its completion
+    /// time.
+    pub fn issue(&mut self, arrival: Cycle) -> Cycle {
+        self.issue_weighted(arrival, 1)
+    }
+
+    /// Issues an operation that occupies `weight` initiation slots (e.g. a
+    /// texture request needing `weight` ALU passes). Returns completion
+    /// time.
+    pub fn issue_weighted(&mut self, arrival: Cycle, weight: u64) -> Cycle {
+        let start = arrival.max(self.next_issue);
+        let occupancy = self.initiation_interval.times(weight.max(1));
+        self.next_issue = start + occupancy;
+        self.util.add_busy(occupancy);
+        start + occupancy + self.latency
+    }
+
+    /// The earliest cycle at which a new operation could start.
+    pub fn next_free(&self) -> Cycle {
+        self.next_issue
+    }
+
+    /// Busy-cycle accounting for the energy model.
+    pub fn utilization(&self) -> &Utilization {
+        &self.util
+    }
+
+    /// Resets timing state (between frames) while keeping configuration.
+    pub fn reset(&mut self) {
+        self.next_issue = Cycle::ZERO;
+        self.util = Utilization::new();
+    }
+}
+
+/// A bank of `n` identical parallel servers with earliest-free dispatch.
+///
+/// Models e.g. the 16 texture units of the baseline GPU or the 16
+/// filtering ALUs of the A-TFIM Combination Unit.
+///
+/// # Examples
+///
+/// ```
+/// use pimgfx_engine::{Cycle, MultiServer};
+/// let mut units = MultiServer::new(2, 1, 5);
+/// // Two ops at t=0 run in parallel on different units.
+/// assert_eq!(units.issue(Cycle::ZERO), Cycle::new(6));
+/// assert_eq!(units.issue(Cycle::ZERO), Cycle::new(6));
+/// // The third queues behind one of them.
+/// assert_eq!(units.issue(Cycle::ZERO), Cycle::new(7));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiServer {
+    servers: Vec<Server>,
+}
+
+impl MultiServer {
+    /// Creates `n` parallel servers, each with the given initiation
+    /// interval and latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `initiation_interval` is zero.
+    pub fn new(n: usize, initiation_interval: u64, latency: u64) -> Self {
+        assert!(n > 0, "a multi-server needs at least one lane");
+        Self {
+            servers: (0..n)
+                .map(|_| Server::new(initiation_interval, latency))
+                .collect(),
+        }
+    }
+
+    /// Issues one operation on the earliest-free lane.
+    pub fn issue(&mut self, arrival: Cycle) -> Cycle {
+        self.issue_weighted(arrival, 1)
+    }
+
+    /// Issues a `weight`-slot operation on the earliest-free lane.
+    pub fn issue_weighted(&mut self, arrival: Cycle, weight: u64) -> Cycle {
+        let lane = self.earliest_free_lane();
+        self.servers[lane].issue_weighted(arrival, weight)
+    }
+
+    /// Issues on a *specific* lane (e.g. cluster-private texture units).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn issue_on(&mut self, lane: usize, arrival: Cycle, weight: u64) -> Cycle {
+        self.servers[lane].issue_weighted(arrival, weight)
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Sum of busy cycles across lanes.
+    pub fn total_busy(&self) -> Duration {
+        self.servers.iter().map(|s| s.utilization().busy()).sum()
+    }
+
+    /// Resets all lanes.
+    pub fn reset(&mut self) {
+        for s in &mut self.servers {
+            s.reset();
+        }
+    }
+
+    fn earliest_free_lane(&self) -> usize {
+        let mut best = 0;
+        let mut best_time = self.servers[0].next_free();
+        for (i, s) in self.servers.iter().enumerate().skip(1) {
+            let t = s.next_free();
+            if t < best_time {
+                best = i;
+                best_time = t;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_pipelines_back_to_back_ops() {
+        let mut s = Server::new(1, 4);
+        let c: Vec<_> = (0..4).map(|_| s.issue(Cycle::ZERO).get()).collect();
+        assert_eq!(c, vec![5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn server_idles_until_arrival() {
+        let mut s = Server::new(1, 0);
+        s.issue(Cycle::ZERO);
+        assert_eq!(s.issue(Cycle::new(50)), Cycle::new(51));
+    }
+
+    #[test]
+    fn weighted_issue_occupies_multiple_slots() {
+        let mut s = Server::new(2, 0);
+        // weight 3 => 6 cycles of occupancy.
+        assert_eq!(s.issue_weighted(Cycle::ZERO, 3), Cycle::new(6));
+        assert_eq!(s.next_free(), Cycle::new(6));
+        // weight 0 is clamped to 1.
+        assert_eq!(s.issue_weighted(Cycle::ZERO, 0), Cycle::new(8));
+    }
+
+    #[test]
+    fn server_tracks_busy_cycles() {
+        let mut s = Server::new(2, 10);
+        s.issue(Cycle::ZERO);
+        s.issue_weighted(Cycle::ZERO, 4);
+        assert_eq!(s.utilization().busy(), Duration::new(2 + 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "initiation interval")]
+    fn zero_interval_panics() {
+        let _ = Server::new(0, 1);
+    }
+
+    #[test]
+    fn multi_server_spreads_load() {
+        let mut m = MultiServer::new(4, 1, 0);
+        let times: Vec<_> = (0..8).map(|_| m.issue(Cycle::ZERO).get()).collect();
+        // 4 lanes: first four finish at 1, next four at 2.
+        assert_eq!(times, vec![1, 1, 1, 1, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn multi_server_issue_on_is_sticky() {
+        let mut m = MultiServer::new(2, 1, 0);
+        let a = m.issue_on(0, Cycle::ZERO, 1);
+        let b = m.issue_on(0, Cycle::ZERO, 1);
+        assert_eq!(a, Cycle::new(1));
+        assert_eq!(b, Cycle::new(2)); // lane 1 never used
+    }
+
+    #[test]
+    fn reset_clears_timing() {
+        let mut s = Server::new(1, 1);
+        s.issue(Cycle::new(10));
+        s.reset();
+        assert_eq!(s.next_free(), Cycle::ZERO);
+        assert_eq!(s.utilization().busy(), Duration::ZERO);
+    }
+
+    #[test]
+    fn multi_total_busy_sums_lanes() {
+        let mut m = MultiServer::new(2, 3, 0);
+        m.issue(Cycle::ZERO);
+        m.issue(Cycle::ZERO);
+        assert_eq!(m.total_busy(), Duration::new(6));
+        m.reset();
+        assert_eq!(m.total_busy(), Duration::ZERO);
+    }
+}

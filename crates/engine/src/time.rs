@@ -1,0 +1,210 @@
+//! Simulation time in clock cycles.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An absolute point in simulated time, measured in clock cycles.
+///
+/// Each component counts in its own clock domain; conversions between
+/// domains happen explicitly via frequency ratios in the memory models.
+///
+/// # Examples
+///
+/// ```
+/// use pimgfx_engine::{Cycle, Duration};
+/// let start = Cycle::new(100);
+/// let end = start + Duration::new(28);
+/// assert_eq!(end.since(start), Duration::new(28));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Cycle(u64);
+
+/// A span of simulated time in clock cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Duration(u64);
+
+impl Cycle {
+    /// Time zero.
+    pub const ZERO: Self = Self(0);
+    /// The largest representable time (used as an "idle forever" sentinel).
+    pub const MAX: Self = Self(u64::MAX);
+
+    /// Creates an absolute time.
+    #[inline]
+    pub const fn new(cycles: u64) -> Self {
+        Self(cycles)
+    }
+
+    /// Raw cycle count.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Elapsed time since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self` (a causality bug).
+    #[inline]
+    pub fn since(self, earlier: Self) -> Duration {
+        assert!(
+            earlier.0 <= self.0,
+            "causality violation: {} is before {}",
+            self.0,
+            earlier.0
+        );
+        Duration(self.0 - earlier.0)
+    }
+
+    /// The later of two times.
+    #[inline]
+    pub fn max(self, rhs: Self) -> Self {
+        Self(self.0.max(rhs.0))
+    }
+
+    /// The earlier of two times.
+    #[inline]
+    pub fn min(self, rhs: Self) -> Self {
+        Self(self.0.min(rhs.0))
+    }
+
+    /// Saturating addition (so `Cycle::MAX` stays a sentinel).
+    #[inline]
+    pub fn saturating_add(self, d: Duration) -> Self {
+        Self(self.0.saturating_add(d.0))
+    }
+}
+
+impl Duration {
+    /// Zero-length span.
+    pub const ZERO: Self = Self(0);
+
+    /// Creates a span.
+    #[inline]
+    pub const fn new(cycles: u64) -> Self {
+        Self(cycles)
+    }
+
+    /// Raw cycle count.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Multiplies the span by an event count.
+    #[inline]
+    pub const fn times(self, n: u64) -> Self {
+        Self(self.0 * n)
+    }
+
+    /// The longer of two spans.
+    #[inline]
+    pub fn max(self, rhs: Self) -> Self {
+        Self(self.0.max(rhs.0))
+    }
+}
+
+impl Add<Duration> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: Duration) -> Cycle {
+        Cycle(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl Sum for Duration {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cycle {}", self.0)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_since_are_inverses() {
+        let t = Cycle::new(10);
+        let d = Duration::new(5);
+        assert_eq!((t + d).since(t), d);
+    }
+
+    #[test]
+    #[should_panic(expected = "causality violation")]
+    fn since_panics_on_negative_span() {
+        let _ = Cycle::new(1).since(Cycle::new(2));
+    }
+
+    #[test]
+    fn max_min() {
+        let a = Cycle::new(3);
+        let b = Cycle::new(7);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn saturating_add_preserves_sentinel() {
+        assert_eq!(Cycle::MAX.saturating_add(Duration::new(1)), Cycle::MAX);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let d = Duration::new(4);
+        assert_eq!(d.times(3), Duration::new(12));
+        assert_eq!(d + Duration::new(1), Duration::new(5));
+        assert_eq!(Duration::new(5) - d, Duration::new(1));
+        let total: Duration = (1..=3).map(Duration::new).sum();
+        assert_eq!(total, Duration::new(6));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Cycle::new(42).to_string(), "cycle 42");
+        assert_eq!(Duration::new(7).to_string(), "7 cycles");
+    }
+}

@@ -1,0 +1,96 @@
+//! Busy-cycle accounting shared by the energy model.
+
+use crate::time::{Cycle, Duration};
+
+/// Accumulates how many cycles a resource spent doing work.
+///
+/// The energy model (paper §VI) scales dynamic power by busy cycles; every
+/// server and channel carries one of these.
+///
+/// # Examples
+///
+/// ```
+/// use pimgfx_engine::{Cycle, Utilization};
+/// use pimgfx_engine::time::Duration;
+///
+/// let mut u = Utilization::new();
+/// u.add_busy(Duration::new(30));
+/// assert_eq!(u.busy(), Duration::new(30));
+/// assert!((u.fraction_of(Cycle::new(100)) - 0.3).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Utilization {
+    busy: Duration,
+    events: u64,
+}
+
+impl Utilization {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `d` busy cycles (one event).
+    pub fn add_busy(&mut self, d: Duration) {
+        self.busy += d;
+        self.events += 1;
+    }
+
+    /// Total busy cycles.
+    pub fn busy(&self) -> Duration {
+        self.busy
+    }
+
+    /// Number of busy intervals recorded.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Busy fraction of a run that lasted until `end` (0 when `end` is
+    /// cycle zero).
+    pub fn fraction_of(&self, end: Cycle) -> f64 {
+        if end.get() == 0 {
+            0.0
+        } else {
+            self.busy.get() as f64 / end.get() as f64
+        }
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: &Utilization) {
+        self.busy += other.busy;
+        self.events += other.events;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_busy_and_events() {
+        let mut u = Utilization::new();
+        u.add_busy(Duration::new(5));
+        u.add_busy(Duration::new(7));
+        assert_eq!(u.busy(), Duration::new(12));
+        assert_eq!(u.events(), 2);
+    }
+
+    #[test]
+    fn fraction_handles_zero_end() {
+        let u = Utilization::new();
+        assert_eq!(u.fraction_of(Cycle::ZERO), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = Utilization::new();
+        a.add_busy(Duration::new(3));
+        let mut b = Utilization::new();
+        b.add_busy(Duration::new(4));
+        b.add_busy(Duration::new(1));
+        a.merge(&b);
+        assert_eq!(a.busy(), Duration::new(8));
+        assert_eq!(a.events(), 3);
+    }
+}

@@ -1,0 +1,117 @@
+//! Bounded in-flight work windows.
+//!
+//! Hardware pipelines hold a limited number of work items in flight —
+//! fragment tiles in a shader cluster, requests in a queue. A
+//! [`InFlightWindow`] tracks the completion times of the most recent
+//! `depth` items; issuing a new item is gated on the retirement of the
+//! item `depth` positions back, which is how long-latency results
+//! (texture misses, offload round trips) throttle issue once the
+//! buffering is exhausted.
+
+use crate::time::Cycle;
+
+/// A fixed-depth in-order retirement window.
+///
+/// # Examples
+///
+/// ```
+/// use pimgfx_engine::{Cycle, InFlightWindow};
+///
+/// // Double buffering: two items may be in flight.
+/// let mut w = InFlightWindow::new(2, Cycle::ZERO);
+/// assert_eq!(w.gate(), Cycle::ZERO);       // first item starts at once
+/// w.retire(Cycle::new(100));               // item 0 completes at 100
+/// assert_eq!(w.gate(), Cycle::ZERO);       // item 1 still unthrottled
+/// w.retire(Cycle::new(150));               // item 1 completes at 150
+/// assert_eq!(w.gate(), Cycle::new(100));   // item 2 waits for item 0
+/// ```
+#[derive(Debug, Clone)]
+pub struct InFlightWindow {
+    ring: Vec<Cycle>,
+    head: usize,
+}
+
+impl InFlightWindow {
+    /// Creates a window allowing `depth` items in flight, with all slots
+    /// initially retired at `epoch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn new(depth: usize, epoch: Cycle) -> Self {
+        assert!(depth > 0, "window depth must be nonzero");
+        Self {
+            ring: vec![epoch; depth],
+            head: 0,
+        }
+    }
+
+    /// The earliest cycle the next item may be issued: the completion of
+    /// the item `depth` positions back.
+    pub fn gate(&self) -> Cycle {
+        self.ring[self.head]
+    }
+
+    /// Records the completion time of the item just issued.
+    pub fn retire(&mut self, completion: Cycle) {
+        self.ring[self.head] = completion;
+        self.head = (self.head + 1) % self.ring.len();
+    }
+
+    /// Window depth.
+    pub fn depth(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Resets every slot to `epoch` (a new frame).
+    pub fn reset(&mut self, epoch: Cycle) {
+        self.ring.fill(epoch);
+        self.head = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_follows_depth_back() {
+        let mut w = InFlightWindow::new(3, Cycle::ZERO);
+        for t in [10u64, 20, 30, 40] {
+            w.retire(Cycle::new(t));
+        }
+        // Item 4's gate is item 1's completion (3 back): 20.
+        assert_eq!(w.gate(), Cycle::new(20));
+    }
+
+    #[test]
+    fn depth_one_serializes() {
+        let mut w = InFlightWindow::new(1, Cycle::ZERO);
+        w.retire(Cycle::new(5));
+        assert_eq!(w.gate(), Cycle::new(5));
+        w.retire(Cycle::new(9));
+        assert_eq!(w.gate(), Cycle::new(9));
+    }
+
+    #[test]
+    fn fresh_window_never_gates() {
+        let w = InFlightWindow::new(4, Cycle::new(7));
+        assert_eq!(w.gate(), Cycle::new(7));
+        assert_eq!(w.depth(), 4);
+    }
+
+    #[test]
+    fn reset_reopens_the_window() {
+        let mut w = InFlightWindow::new(2, Cycle::ZERO);
+        w.retire(Cycle::new(100));
+        w.retire(Cycle::new(200));
+        w.reset(Cycle::new(50));
+        assert_eq!(w.gate(), Cycle::new(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_depth_panics() {
+        let _ = InFlightWindow::new(0, Cycle::ZERO);
+    }
+}

@@ -1,0 +1,276 @@
+//! Banked DRAM timing with an open-row policy.
+
+use pimgfx_engine::{Cycle, Duration};
+
+/// DRAM timing parameters, in cycles of the memory clock domain.
+///
+/// The defaults approximate GDDR5-class timing at 1.25 GHz, which is the
+/// memory frequency of the paper's Table I for both GDDR5 and HMC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramTiming {
+    /// Row-to-column delay (activate → read/write).
+    pub t_rcd: u64,
+    /// Column access latency (CAS).
+    pub t_cas: u64,
+    /// Row precharge time.
+    pub t_rp: u64,
+    /// Cycles the data burst occupies the bank's sense amps.
+    pub t_burst: u64,
+    /// Refresh interval (tREFI) in cycles; 0 disables refresh modeling.
+    /// Disabled by default: the paper's evaluation does not discuss
+    /// refresh and it costs only a few percent of bandwidth, but the
+    /// knob exists for sensitivity studies (a typical DDR3-era value is
+    /// 7800 cycles at 1 GHz).
+    pub t_refi: u64,
+    /// Refresh cycle time (tRFC): how long a refresh blocks the bank.
+    pub t_rfc: u64,
+}
+
+impl Default for DramTiming {
+    fn default() -> Self {
+        Self {
+            t_rcd: 12,
+            t_cas: 12,
+            t_rp: 12,
+            t_burst: 4,
+            t_refi: 0,
+            t_rfc: 350,
+        }
+    }
+}
+
+impl DramTiming {
+    /// A timing set with refresh enabled at DDR3-class parameters.
+    pub fn with_refresh() -> Self {
+        Self {
+            t_refi: 7800,
+            ..Self::default()
+        }
+    }
+}
+
+impl DramTiming {
+    /// Pushes `start` out of any refresh window it falls into.
+    ///
+    /// Banks refresh every `t_refi` cycles and are unavailable for
+    /// `t_rfc` at the start of each window; an access landing inside
+    /// the blackout waits for it to end. A refresh also closes the row.
+    pub fn after_refresh(&self, start: u64) -> (u64, bool) {
+        if self.t_refi == 0 {
+            return (start, false);
+        }
+        let in_window = start % self.t_refi;
+        if in_window < self.t_rfc {
+            (start - in_window + self.t_rfc, true)
+        } else {
+            (start, false)
+        }
+    }
+
+    /// Latency of a row-buffer hit.
+    pub fn hit_latency(&self) -> Duration {
+        Duration::new(self.t_cas + self.t_burst)
+    }
+
+    /// Latency when the bank has no open row (cold activate).
+    pub fn cold_latency(&self) -> Duration {
+        Duration::new(self.t_rcd + self.t_cas + self.t_burst)
+    }
+
+    /// Latency of a row-buffer conflict (precharge + activate + access).
+    pub fn conflict_latency(&self) -> Duration {
+        Duration::new(self.t_rp + self.t_rcd + self.t_cas + self.t_burst)
+    }
+}
+
+/// The outcome of a bank access, for statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RowResult {
+    /// The requested row was already open.
+    Hit,
+    /// The bank was idle; the row was activated without a precharge.
+    Cold,
+    /// A different row was open and had to be precharged first.
+    Conflict,
+}
+
+/// One DRAM bank with a single open row and in-order service.
+///
+/// # Examples
+///
+/// ```
+/// use pimgfx_engine::Cycle;
+/// use pimgfx_mem::{Bank, DramTiming, RowResult};
+///
+/// let mut bank = Bank::new(DramTiming::default());
+/// let (t1, r1) = bank.access(Cycle::ZERO, 7);
+/// let (t2, r2) = bank.access(t1, 7);
+/// assert_eq!(r1, RowResult::Cold);
+/// assert_eq!(r2, RowResult::Hit);
+/// assert!(t2 > t1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bank {
+    timing: DramTiming,
+    open_row: Option<u64>,
+    busy_until: Cycle,
+    hits: u64,
+    conflicts: u64,
+    colds: u64,
+}
+
+impl Bank {
+    /// Creates an idle bank with all rows closed.
+    pub fn new(timing: DramTiming) -> Self {
+        Self {
+            timing,
+            open_row: None,
+            busy_until: Cycle::ZERO,
+            hits: 0,
+            conflicts: 0,
+            colds: 0,
+        }
+    }
+
+    /// Services an access to `row` arriving at `arrival`.
+    ///
+    /// Returns the completion time (data available at the bank pins) and
+    /// the row-buffer outcome. Requests are serviced in arrival order; an
+    /// access arriving while the bank is busy waits.
+    pub fn access(&mut self, arrival: Cycle, row: u64) -> (Cycle, RowResult) {
+        let raw_start = arrival.max(self.busy_until);
+        let (start_cycles, refreshed) = self.timing.after_refresh(raw_start.get());
+        let start = Cycle::new(start_cycles);
+        if refreshed {
+            // Refresh closes the open row.
+            self.open_row = None;
+        }
+        let (latency, result) = match self.open_row {
+            Some(open) if open == row => (self.timing.hit_latency(), RowResult::Hit),
+            Some(_) => (self.timing.conflict_latency(), RowResult::Conflict),
+            None => (self.timing.cold_latency(), RowResult::Cold),
+        };
+        match result {
+            RowResult::Hit => self.hits += 1,
+            RowResult::Conflict => self.conflicts += 1,
+            RowResult::Cold => self.colds += 1,
+        }
+        self.open_row = Some(row);
+        self.busy_until = start + latency;
+        (self.busy_until, result)
+    }
+
+    /// Earliest cycle a new access could start.
+    pub fn next_free(&self) -> Cycle {
+        self.busy_until
+    }
+
+    /// `(hits, conflicts, colds)` counters.
+    pub fn row_stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.conflicts, self.colds)
+    }
+
+    /// Row-buffer hit rate over all accesses (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.conflicts + self.colds;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Closes the open row and resets timing/statistics.
+    pub fn reset(&mut self) {
+        self.open_row = None;
+        self.busy_until = Cycle::ZERO;
+        self.hits = 0;
+        self.conflicts = 0;
+        self.colds = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_is_cold() {
+        let mut b = Bank::new(DramTiming::default());
+        let (t, r) = b.access(Cycle::ZERO, 0);
+        assert_eq!(r, RowResult::Cold);
+        assert_eq!(t, Cycle::new(12 + 12 + 4));
+    }
+
+    #[test]
+    fn same_row_hits_different_row_conflicts() {
+        let mut b = Bank::new(DramTiming::default());
+        b.access(Cycle::ZERO, 1);
+        let (_, r2) = b.access(Cycle::ZERO, 1);
+        assert_eq!(r2, RowResult::Hit);
+        let (_, r3) = b.access(Cycle::ZERO, 2);
+        assert_eq!(r3, RowResult::Conflict);
+        assert_eq!(b.row_stats(), (1, 1, 1));
+    }
+
+    #[test]
+    fn hit_is_faster_than_conflict() {
+        let t = DramTiming::default();
+        assert!(t.hit_latency() < t.cold_latency());
+        assert!(t.cold_latency() < t.conflict_latency());
+    }
+
+    #[test]
+    fn busy_bank_queues_requests() {
+        let mut b = Bank::new(DramTiming::default());
+        let (t1, _) = b.access(Cycle::ZERO, 0);
+        // Arrives immediately but must wait for the first access.
+        let (t2, _) = b.access(Cycle::ZERO, 0);
+        assert_eq!(t2, t1 + DramTiming::default().hit_latency());
+    }
+
+    #[test]
+    fn hit_rate_computation() {
+        let mut b = Bank::new(DramTiming::default());
+        assert_eq!(b.hit_rate(), 0.0);
+        b.access(Cycle::ZERO, 0);
+        b.access(Cycle::ZERO, 0);
+        b.access(Cycle::ZERO, 0);
+        b.access(Cycle::ZERO, 1);
+        assert!((b.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refresh_window_blocks_and_closes_row() {
+        let t = DramTiming::with_refresh();
+        let mut b = Bank::new(t);
+        // Warm the row outside the blackout.
+        b.access(Cycle::new(1000), 3);
+        b.access(Cycle::new(1100), 3);
+        assert_eq!(b.row_stats().0, 1, "second access hits");
+        // An access landing inside the next refresh blackout is pushed
+        // past it and sees a closed row.
+        let (done, result) = b.access(Cycle::new(7800 + 10), 3);
+        assert!(done.get() >= 7800 + t.t_rfc, "pushed past the blackout");
+        assert_eq!(result, RowResult::Cold, "refresh closed the row");
+    }
+
+    #[test]
+    fn refresh_disabled_by_default() {
+        let t = DramTiming::default();
+        assert_eq!(t.after_refresh(7801), (7801, false));
+        let mut b = Bank::new(t);
+        b.access(Cycle::new(7800), 5);
+        let (_, r) = b.access(Cycle::new(7810), 5);
+        assert_eq!(r, RowResult::Hit, "no refresh interference");
+    }
+
+    #[test]
+    fn reset_closes_row() {
+        let mut b = Bank::new(DramTiming::default());
+        b.access(Cycle::ZERO, 5);
+        b.reset();
+        let (_, r) = b.access(Cycle::ZERO, 5);
+        assert_eq!(r, RowResult::Cold);
+    }
+}

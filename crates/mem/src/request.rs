@@ -1,0 +1,172 @@
+//! Memory requests and packet-size constants.
+
+use crate::traffic::TrafficClass;
+use pimgfx_types::RequestId;
+
+/// Packet-size constants shared by the traffic model.
+///
+/// The paper models the S-TFIM/A-TFIM offloading package as 4× the size of
+/// a normal memory read-request package, and the TFIM response package as
+/// equal to a normal HMC read-response package; these constants encode
+/// that convention.
+pub mod packet {
+    /// Bytes in a normal read-request packet (command + address header).
+    pub const READ_REQUEST_BYTES: u64 = 16;
+    /// Header bytes prepended to every response packet.
+    pub const RESPONSE_HEADER_BYTES: u64 = 16;
+    /// Bytes in one cache line / DRAM burst, the unit of texel transfer.
+    pub const CACHE_LINE_BYTES: u64 = 64;
+    /// Bytes per texel (four-component RGBA, 8 bits per component).
+    pub const TEXEL_BYTES: u64 = 4;
+    /// Bytes in an S-TFIM texture-request package (texture coordinates,
+    /// request ID, shader ID, start cycle): 4× a normal read request.
+    pub const TFIM_REQUEST_BYTES: u64 = 4 * READ_REQUEST_BYTES;
+    /// Bytes in a TFIM response package: same as a normal read response
+    /// (header + one cache line of data).
+    pub const TFIM_RESPONSE_BYTES: u64 = RESPONSE_HEADER_BYTES + CACHE_LINE_BYTES;
+    /// Bytes in an A-TFIM parent-texel offload package. The Offloading
+    /// Unit's offset hash table compresses the parent addresses, keeping
+    /// the package at the 4× read-request size of the paper's model.
+    pub const ATFIM_PARENT_PACKAGE_BYTES: u64 = 4 * READ_REQUEST_BYTES;
+
+    /// Total external bytes for a conventional read of `data` bytes:
+    /// request packet up, header + data down.
+    pub const fn read_total_bytes(data: u64) -> u64 {
+        READ_REQUEST_BYTES + RESPONSE_HEADER_BYTES + data
+    }
+
+    /// Total external bytes for a write of `data` bytes: header + data up,
+    /// no response payload.
+    pub const fn write_total_bytes(data: u64) -> u64 {
+        RESPONSE_HEADER_BYTES + data
+    }
+}
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Data flows memory → requester.
+    Read,
+    /// Data flows requester → memory.
+    Write,
+}
+
+/// A single memory access.
+///
+/// # Examples
+///
+/// ```
+/// use pimgfx_mem::{AccessKind, MemRequest, TrafficClass};
+/// let r = MemRequest::read(TrafficClass::Geometry, 0x40, 64);
+/// assert_eq!(r.kind, AccessKind::Read);
+/// assert_eq!(r.bytes, 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemRequest {
+    /// Tag for matching responses (informational; the timing model is
+    /// in-order per bank).
+    pub id: RequestId,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Which pipeline source produced the request (drives the Fig. 2
+    /// breakdown).
+    pub class: TrafficClass,
+    /// Byte address.
+    pub addr: u64,
+    /// Payload size in bytes.
+    pub bytes: u32,
+}
+
+impl MemRequest {
+    /// Creates a read request.
+    pub fn read(class: TrafficClass, addr: u64, bytes: u32) -> Self {
+        Self {
+            id: RequestId::new(0),
+            kind: AccessKind::Read,
+            class,
+            addr,
+            bytes,
+        }
+    }
+
+    /// Creates a write request.
+    pub fn write(class: TrafficClass, addr: u64, bytes: u32) -> Self {
+        Self {
+            id: RequestId::new(0),
+            kind: AccessKind::Write,
+            class,
+            addr,
+            bytes,
+        }
+    }
+
+    /// Returns the same request with an explicit tag.
+    pub fn with_id(mut self, id: RequestId) -> Self {
+        self.id = id;
+        self
+    }
+
+    /// External bytes this access puts on the host↔memory interface
+    /// (packets in both directions).
+    pub fn external_bytes(&self) -> u64 {
+        match self.kind {
+            AccessKind::Read => packet::read_total_bytes(u64::from(self.bytes)),
+            AccessKind::Write => packet::write_total_bytes(u64::from(self.bytes)),
+        }
+    }
+
+    /// Bytes flowing toward memory (request direction).
+    pub fn upstream_bytes(&self) -> u64 {
+        match self.kind {
+            AccessKind::Read => packet::READ_REQUEST_BYTES,
+            AccessKind::Write => packet::write_total_bytes(u64::from(self.bytes)),
+        }
+    }
+
+    /// Bytes flowing back to the requester (response direction).
+    pub fn downstream_bytes(&self) -> u64 {
+        match self.kind {
+            AccessKind::Read => packet::RESPONSE_HEADER_BYTES + u64::from(self.bytes),
+            AccessKind::Write => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_constants_follow_paper_model() {
+        assert_eq!(packet::TFIM_REQUEST_BYTES, 4 * packet::READ_REQUEST_BYTES);
+        assert_eq!(
+            packet::TFIM_RESPONSE_BYTES,
+            packet::RESPONSE_HEADER_BYTES + packet::CACHE_LINE_BYTES
+        );
+    }
+
+    #[test]
+    fn read_bytes_split_up_and_down() {
+        let r = MemRequest::read(TrafficClass::TextureFetch, 0, 64);
+        assert_eq!(r.upstream_bytes(), 16);
+        assert_eq!(r.downstream_bytes(), 16 + 64);
+        assert_eq!(
+            r.external_bytes(),
+            r.upstream_bytes() + r.downstream_bytes()
+        );
+    }
+
+    #[test]
+    fn write_bytes_are_all_upstream() {
+        let w = MemRequest::write(TrafficClass::ColorBuffer, 0, 64);
+        assert_eq!(w.upstream_bytes(), 16 + 64);
+        assert_eq!(w.downstream_bytes(), 0);
+        assert_eq!(w.external_bytes(), 80);
+    }
+
+    #[test]
+    fn with_id_tags_request() {
+        let r = MemRequest::read(TrafficClass::ZTest, 0, 4).with_id(RequestId::new(9));
+        assert_eq!(r.id, RequestId::new(9));
+    }
+}

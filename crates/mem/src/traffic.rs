@@ -1,0 +1,200 @@
+//! Per-source traffic accounting.
+//!
+//! Fig. 2 of the paper breaks off-chip bandwidth usage into five sources
+//! (texture fetches, frame buffer, geometry, Z test, color buffer); Fig. 12
+//! compares texture traffic across designs. [`TrafficStats`] collects the
+//! byte counts those figures need.
+
+use pimgfx_types::ByteCount;
+use std::fmt;
+
+/// The pipeline source of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TrafficClass {
+    /// Texel fetches issued by texture filtering (plus TFIM packages).
+    TextureFetch,
+    /// Final frame-buffer writes of shaded fragments.
+    FrameBuffer,
+    /// Vertex and index fetches of the geometry stage.
+    Geometry,
+    /// Depth-buffer reads and writes of the (early/late) Z test.
+    ZTest,
+    /// Color-buffer read-modify-write traffic (blending).
+    ColorBuffer,
+}
+
+impl TrafficClass {
+    /// All classes, in the display order of the paper's Fig. 2.
+    pub const ALL: [TrafficClass; 5] = [
+        TrafficClass::TextureFetch,
+        TrafficClass::FrameBuffer,
+        TrafficClass::Geometry,
+        TrafficClass::ZTest,
+        TrafficClass::ColorBuffer,
+    ];
+
+    /// Short label used by report printers.
+    pub fn label(self) -> &'static str {
+        match self {
+            TrafficClass::TextureFetch => "texture",
+            TrafficClass::FrameBuffer => "frame-buffer",
+            TrafficClass::Geometry => "geometry",
+            TrafficClass::ZTest => "z-test",
+            TrafficClass::ColorBuffer => "color-buffer",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            TrafficClass::TextureFetch => 0,
+            TrafficClass::FrameBuffer => 1,
+            TrafficClass::Geometry => 2,
+            TrafficClass::ZTest => 3,
+            TrafficClass::ColorBuffer => 4,
+        }
+    }
+}
+
+impl fmt::Display for TrafficClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Byte counters per [`TrafficClass`], plus request counts.
+///
+/// # Examples
+///
+/// ```
+/// use pimgfx_mem::{TrafficClass, TrafficStats};
+/// let mut t = TrafficStats::new();
+/// t.record(TrafficClass::TextureFetch, 80);
+/// t.record(TrafficClass::Geometry, 20);
+/// assert_eq!(t.total().get(), 100);
+/// assert!((t.fraction(TrafficClass::TextureFetch) - 0.8).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TrafficStats {
+    bytes: [u64; 5],
+    requests: [u64; 5],
+}
+
+impl TrafficStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `bytes` of traffic for `class` (one request).
+    pub fn record(&mut self, class: TrafficClass, bytes: u64) {
+        self.bytes[class.index()] += bytes;
+        self.requests[class.index()] += 1;
+    }
+
+    /// Bytes observed for `class`.
+    pub fn bytes(&self, class: TrafficClass) -> ByteCount {
+        ByteCount::new(self.bytes[class.index()])
+    }
+
+    /// Requests observed for `class`.
+    pub fn requests(&self, class: TrafficClass) -> u64 {
+        self.requests[class.index()]
+    }
+
+    /// Total bytes across all classes.
+    pub fn total(&self) -> ByteCount {
+        ByteCount::new(self.bytes.iter().sum())
+    }
+
+    /// Fraction of total bytes contributed by `class` (0 when empty).
+    pub fn fraction(&self, class: TrafficClass) -> f64 {
+        let total = self.total().get();
+        if total == 0 {
+            0.0
+        } else {
+            self.bytes[class.index()] as f64 / total as f64
+        }
+    }
+
+    /// Merges another set of counters into this one.
+    pub fn merge(&mut self, other: &TrafficStats) {
+        for i in 0..5 {
+            self.bytes[i] += other.bytes[i];
+            self.requests[i] += other.requests[i];
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+impl fmt::Display for TrafficStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for class in TrafficClass::ALL {
+            writeln!(
+                f,
+                "{:>13}: {:>12} ({:5.1}%)",
+                class.label(),
+                self.bytes(class).to_string(),
+                self.fraction(class) * 100.0
+            )?;
+        }
+        write!(f, "{:>13}: {}", "total", self.total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut t = TrafficStats::new();
+        for (i, c) in TrafficClass::ALL.into_iter().enumerate() {
+            t.record(c, (i as u64 + 1) * 10);
+        }
+        let sum: f64 = TrafficClass::ALL.iter().map(|&c| t.fraction(c)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_fractions() {
+        let t = TrafficStats::new();
+        assert_eq!(t.fraction(TrafficClass::ZTest), 0.0);
+        assert_eq!(t.total(), ByteCount::ZERO);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = TrafficStats::new();
+        a.record(TrafficClass::TextureFetch, 100);
+        let mut b = TrafficStats::new();
+        b.record(TrafficClass::TextureFetch, 50);
+        b.record(TrafficClass::ZTest, 25);
+        a.merge(&b);
+        assert_eq!(a.bytes(TrafficClass::TextureFetch).get(), 150);
+        assert_eq!(a.requests(TrafficClass::TextureFetch), 2);
+        assert_eq!(a.bytes(TrafficClass::ZTest).get(), 25);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut t = TrafficStats::new();
+        t.record(TrafficClass::Geometry, 10);
+        t.reset();
+        assert_eq!(t.total(), ByteCount::ZERO);
+        assert_eq!(t.requests(TrafficClass::Geometry), 0);
+    }
+
+    #[test]
+    fn display_lists_all_classes() {
+        let mut t = TrafficStats::new();
+        t.record(TrafficClass::ColorBuffer, 1024);
+        let s = t.to_string();
+        for c in TrafficClass::ALL {
+            assert!(s.contains(c.label()), "missing {c} in {s}");
+        }
+    }
+}

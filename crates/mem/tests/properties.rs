@@ -1,0 +1,139 @@
+//! Property-based tests for the memory-system invariants.
+
+use pimgfx_engine::Cycle;
+use pimgfx_mem::{
+    AddressLayout, Bank, DramTiming, Gddr5, Hmc, MemRequest, MemorySystem, TrafficClass,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Address mapping always lands inside the configured geometry.
+    #[test]
+    fn layout_indices_in_range(
+        addr in any::<u64>(),
+        units in 1u64..64,
+        banks in 1u64..32,
+    ) {
+        let l = AddressLayout::new(units, banks, 2048, 64);
+        prop_assert!(l.unit(addr) < units);
+        prop_assert!(l.bank(addr) < banks);
+    }
+
+    /// `lines_touched` is exact: it equals the number of distinct
+    /// 64-byte lines covered by `[addr, addr + bytes)`.
+    #[test]
+    fn lines_touched_is_exact(addr in 0u64..1_000_000, bytes in 0u64..4096) {
+        let l = AddressLayout::new(8, 16, 2048, 64);
+        let expect = if bytes == 0 {
+            0
+        } else {
+            (addr + bytes - 1) / 64 - addr / 64 + 1
+        };
+        prop_assert_eq!(l.lines_touched(addr, bytes), expect);
+    }
+
+    /// Bank completion times are monotone in arrival order: serving a
+    /// request never finishes before an earlier-issued one.
+    #[test]
+    fn bank_completions_are_monotone(rows in prop::collection::vec(0u64..16, 1..100)) {
+        let mut bank = Bank::new(DramTiming::default());
+        let mut last = Cycle::ZERO;
+        for row in rows {
+            let (done, _) = bank.access(Cycle::ZERO, row);
+            prop_assert!(done >= last, "completion went backwards");
+            last = done;
+        }
+    }
+
+    /// Row-buffer statistics are consistent: hits + conflicts + colds
+    /// equals total accesses, and the hit rate is in [0, 1].
+    #[test]
+    fn bank_stats_are_consistent(rows in prop::collection::vec(0u64..8, 0..200)) {
+        let mut bank = Bank::new(DramTiming::default());
+        let n = rows.len() as u64;
+        for row in rows {
+            bank.access(Cycle::ZERO, row);
+        }
+        let (h, c, k) = bank.row_stats();
+        prop_assert_eq!(h + c + k, n);
+        prop_assert!((0.0..=1.0).contains(&bank.hit_rate()));
+    }
+
+    /// External traffic accounting is exact: total recorded bytes equal
+    /// the sum of the per-request packet sizes, independent of timing.
+    #[test]
+    fn traffic_accounting_is_exact(
+        reqs in prop::collection::vec((0u64..1_000_000, 1u32..512, any::<bool>()), 1..100),
+    ) {
+        let mut mem = Gddr5::with_defaults();
+        let mut expect = 0u64;
+        for (addr, bytes, write) in reqs {
+            let r = if write {
+                MemRequest::write(TrafficClass::TextureFetch, addr, bytes)
+            } else {
+                MemRequest::read(TrafficClass::TextureFetch, addr, bytes)
+            };
+            expect += r.external_bytes();
+            mem.access_external(Cycle::ZERO, &r);
+        }
+        prop_assert_eq!(mem.traffic().total().get(), expect);
+    }
+
+    /// HMC internal accesses never generate external traffic, and
+    /// internal byte accounting matches the payloads.
+    #[test]
+    fn hmc_internal_accounting(
+        reqs in prop::collection::vec((0u64..1_000_000, 1u32..256), 1..100),
+    ) {
+        let mut hmc = Hmc::with_defaults();
+        let mut expect = 0u64;
+        for (addr, bytes) in reqs {
+            let r = MemRequest::read(TrafficClass::TextureFetch, addr, bytes);
+            hmc.access_internal(Cycle::ZERO, &r);
+            expect += u64::from(bytes);
+        }
+        prop_assert_eq!(hmc.traffic().total().get(), 0);
+        prop_assert_eq!(hmc.internal_bytes(), expect);
+    }
+
+    /// Memory service is causal: a request never completes before it
+    /// arrives, under any arrival time.
+    #[test]
+    fn service_is_causal(
+        arrival in 0u64..1_000_000,
+        addr in 0u64..1_000_000,
+        bytes in 1u32..1024,
+    ) {
+        let mut gddr5 = Gddr5::with_defaults();
+        let mut hmc = Hmc::with_defaults();
+        let r = MemRequest::read(TrafficClass::ZTest, addr, bytes);
+        let t = Cycle::new(arrival);
+        prop_assert!(gddr5.access_external(t, &r) > t);
+        prop_assert!(hmc.access_external(t, &r) > t);
+        prop_assert!(hmc.access_internal(t, &r) > t);
+    }
+
+    /// Reset restores a pristine machine: a request sequence replayed
+    /// after reset produces identical timing.
+    #[test]
+    fn reset_restores_determinism(
+        addrs in prop::collection::vec(0u64..100_000, 1..50),
+    ) {
+        let mut mem = Gddr5::with_defaults();
+        let run = |mem: &mut Gddr5, addrs: &[u64]| -> Vec<u64> {
+            addrs
+                .iter()
+                .map(|&a| {
+                    let r = MemRequest::read(TrafficClass::Geometry, a, 64);
+                    mem.access_external(Cycle::ZERO, &r).get()
+                })
+                .collect()
+        };
+        let first = run(&mut mem, &addrs);
+        mem.reset();
+        let second = run(&mut mem, &addrs);
+        prop_assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,179 @@
+//! The Parent Texel Buffer of the A-TFIM logic layer.
+//!
+//! Holds the in-processing parent-texel state between the Texel Generator
+//! and the Combination Unit. The paper sizes it at 256 entries ("equal to
+//! the size of the memory request queue to avoid data loss", §V-D); each
+//! entry carries a parent ID, a temporary value, a done bit, and a count
+//! of unfetched children — 45 bits, 1.41 KB total (§VII-E).
+
+/// Bits per buffer entry (8-bit ID + 32-bit value + 1 done bit + 4-bit
+/// child counter), used by the overhead model of §VII-E.
+pub const ENTRY_BITS: u32 = 8 + 32 + 1 + 4;
+
+/// Occupancy tracker for the 256-entry parent texel buffer.
+///
+/// The timing model uses it for backpressure: when the buffer is full,
+/// newly arriving parent-texel packages stall until entries retire.
+///
+/// # Examples
+///
+/// ```
+/// use pimgfx_pim::ParentTexelBuffer;
+/// let mut buf = ParentTexelBuffer::new(4);
+/// assert_eq!(buf.try_allocate(3), 3);
+/// assert_eq!(buf.try_allocate(3), 1, "only one slot left");
+/// buf.release(2);
+/// assert_eq!(buf.free(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParentTexelBuffer {
+    capacity: usize,
+    occupied: usize,
+    high_water: usize,
+    stalls: u64,
+}
+
+impl ParentTexelBuffer {
+    /// The paper's buffer depth.
+    pub const DEFAULT_ENTRIES: usize = 256;
+
+    /// Creates a buffer with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer needs at least one entry");
+        Self {
+            capacity,
+            occupied: 0,
+            high_water: 0,
+            stalls: 0,
+        }
+    }
+
+    /// Creates the 256-entry buffer of the paper.
+    pub fn with_defaults() -> Self {
+        Self::new(Self::DEFAULT_ENTRIES)
+    }
+
+    /// Allocates up to `want` entries; returns how many were granted
+    /// (possibly zero). A shortfall is recorded as a stall event.
+    pub fn try_allocate(&mut self, want: usize) -> usize {
+        let granted = want.min(self.capacity - self.occupied);
+        if granted < want {
+            self.stalls += 1;
+        }
+        self.occupied += granted;
+        self.high_water = self.high_water.max(self.occupied);
+        granted
+    }
+
+    /// Releases `n` entries back to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more entries are released than are occupied (an
+    /// accounting bug in the caller).
+    pub fn release(&mut self, n: usize) {
+        assert!(
+            n <= self.occupied,
+            "releasing {n} of {} occupied",
+            self.occupied
+        );
+        self.occupied -= n;
+    }
+
+    /// Entries currently free.
+    pub fn free(&self) -> usize {
+        self.capacity - self.occupied
+    }
+
+    /// Entries currently held.
+    pub fn occupied(&self) -> usize {
+        self.occupied
+    }
+
+    /// Peak occupancy observed.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Number of allocation shortfalls (backpressure events).
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Storage overhead in bytes (the §VII-E figure).
+    pub fn storage_bytes(&self) -> u64 {
+        (self.capacity as u64 * u64::from(ENTRY_BITS)).div_ceil(8)
+    }
+
+    /// Empties the buffer and clears statistics.
+    pub fn reset(&mut self) {
+        self.occupied = 0;
+        self.high_water = 0;
+        self.stalls = 0;
+    }
+}
+
+impl Default for ParentTexelBuffer {
+    fn default() -> Self {
+        Self::with_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_storage_figure() {
+        // 256 × 45 bits = 1.41 KB (§VII-E).
+        let buf = ParentTexelBuffer::with_defaults();
+        assert_eq!(buf.storage_bytes(), 1440);
+        assert!((buf.storage_bytes() as f64 / 1024.0 - 1.41).abs() < 0.01);
+    }
+
+    #[test]
+    fn allocate_release_cycle() {
+        let mut b = ParentTexelBuffer::new(8);
+        assert_eq!(b.try_allocate(8), 8);
+        assert_eq!(b.free(), 0);
+        assert_eq!(b.try_allocate(1), 0);
+        assert_eq!(b.stalls(), 1);
+        b.release(8);
+        assert_eq!(b.free(), 8);
+        assert_eq!(b.high_water(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "releasing")]
+    fn over_release_panics() {
+        let mut b = ParentTexelBuffer::new(4);
+        b.release(1);
+    }
+
+    #[test]
+    fn partial_grant_counts_one_stall() {
+        let mut b = ParentTexelBuffer::new(4);
+        assert_eq!(b.try_allocate(6), 4);
+        assert_eq!(b.stalls(), 1);
+        assert_eq!(b.occupied(), 4);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut b = ParentTexelBuffer::new(4);
+        b.try_allocate(4);
+        b.reset();
+        assert_eq!(b.occupied(), 0);
+        assert_eq!(b.high_water(), 0);
+        assert_eq!(b.stalls(), 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Rendering-quality metrics for the `pim-render` GPU simulator.
+//!
+//! The A-TFIM design trades rendering quality for performance through
+//! its camera-angle threshold, and the paper quantifies the loss with
+//! PSNR over the rendered frames (Figs. 15–16), noting that PSNR above
+//! ~70 dB is visually indistinguishable and that the baseline compared
+//! against itself reads as 99 dB (their PSNR tool's cap for identical
+//! images — we reproduce that convention). SSIM is included as a
+//! cross-check, as the paper discusses both metrics.
+//!
+//! # Examples
+//!
+//! ```
+//! use pimgfx_quality::{psnr, FrameImage};
+//! use pimgfx_types::Rgba;
+//!
+//! let a = FrameImage::filled(16, 16, Rgba::gray(0.5));
+//! let b = FrameImage::filled(16, 16, Rgba::gray(0.5));
+//! assert_eq!(psnr(&a, &b), 99.0, "identical frames cap at 99 dB");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod image;
+pub mod metrics;
+
+pub use image::FrameImage;
+pub use metrics::{mse, psnr, ssim};

@@ -1,0 +1,191 @@
+//! PSNR and SSIM between rendered frames.
+
+use crate::image::FrameImage;
+
+/// The PSNR reported for identical images (the convention of the MATLAB
+/// quality-measures tool the paper used, where infinite PSNR is clipped
+/// to 99 dB — the baseline-vs-itself value quoted in §VII-D).
+pub const PSNR_IDENTICAL_DB: f64 = 99.0;
+
+/// Mean squared error over RGB channels, on the 0–255 scale.
+///
+/// # Panics
+///
+/// Panics if the images differ in size.
+pub fn mse(a: &FrameImage, b: &FrameImage) -> f64 {
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "MSE requires same-sized images"
+    );
+    let mut acc = 0.0f64;
+    let mut n = 0u64;
+    for (pa, pb) in a.iter().zip(b.iter()) {
+        for (ca, cb) in [(pa.r, pb.r), (pa.g, pb.g), (pa.b, pb.b)] {
+            let d = f64::from(ca) - f64::from(cb);
+            acc += d * d;
+            n += 1;
+        }
+    }
+    acc / n as f64
+}
+
+/// Peak signal-to-noise ratio in dB (255 peak), capped at
+/// [`PSNR_IDENTICAL_DB`] for identical images.
+///
+/// # Panics
+///
+/// Panics if the images differ in size.
+///
+/// # Examples
+///
+/// ```
+/// use pimgfx_quality::{psnr, FrameImage};
+/// use pimgfx_types::Rgba;
+///
+/// let a = FrameImage::filled(8, 8, Rgba::gray(0.2));
+/// let b = FrameImage::filled(8, 8, Rgba::gray(0.3));
+/// let db = psnr(&a, &b);
+/// assert!(db > 15.0 && db < 40.0);
+/// ```
+pub fn psnr(a: &FrameImage, b: &FrameImage) -> f64 {
+    let e = mse(a, b);
+    if e <= 0.0 {
+        return PSNR_IDENTICAL_DB;
+    }
+    let db = 10.0 * (255.0f64 * 255.0 / e).log10();
+    db.min(PSNR_IDENTICAL_DB)
+}
+
+/// Structural similarity over luma, computed on sliding 8×8 windows
+/// with a 4-pixel stride and averaged (the mean-SSIM convention).
+///
+/// The paper contrasts SSIM with PSNR (§VII-D), noting PSNR is the more
+/// sensitive metric for the high-quality regime its threshold sweep
+/// operates in; this implementation lets that comparison be made here.
+///
+/// # Panics
+///
+/// Panics if the images differ in size.
+pub fn ssim(a: &FrameImage, b: &FrameImage) -> f64 {
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "SSIM requires same-sized images"
+    );
+    let luma = |p: pimgfx_types::PackedRgba| {
+        0.299 * f64::from(p.r) + 0.587 * f64::from(p.g) + 0.114 * f64::from(p.b)
+    };
+    let w = a.width();
+    let h = a.height();
+    let xs: Vec<f64> = a.iter().map(luma).collect();
+    let ys: Vec<f64> = b.iter().map(luma).collect();
+
+    const WIN: u32 = 8;
+    const STRIDE: u32 = 4;
+    // Standard stabilizers for an 8-bit dynamic range.
+    let c1 = (0.01f64 * 255.0) * (0.01 * 255.0);
+    let c2 = (0.03f64 * 255.0) * (0.03 * 255.0);
+
+    let window_ssim = |x0: u32, y0: u32| -> f64 {
+        let x1 = (x0 + WIN).min(w);
+        let y1 = (y0 + WIN).min(h);
+        let n = f64::from((x1 - x0) * (y1 - y0));
+        let (mut sx, mut sy) = (0.0f64, 0.0f64);
+        for y in y0..y1 {
+            for x in x0..x1 {
+                let i = (y * w + x) as usize;
+                sx += xs[i];
+                sy += ys[i];
+            }
+        }
+        let mx = sx / n;
+        let my = sy / n;
+        let (mut vx, mut vy, mut cov) = (0.0f64, 0.0f64, 0.0f64);
+        for y in y0..y1 {
+            for x in x0..x1 {
+                let i = (y * w + x) as usize;
+                vx += (xs[i] - mx) * (xs[i] - mx);
+                vy += (ys[i] - my) * (ys[i] - my);
+                cov += (xs[i] - mx) * (ys[i] - my);
+            }
+        }
+        vx /= n;
+        vy /= n;
+        cov /= n;
+        ((2.0 * mx * my + c1) * (2.0 * cov + c2)) / ((mx * mx + my * my + c1) * (vx + vy + c2))
+    };
+
+    let mut sum = 0.0f64;
+    let mut count = 0u64;
+    let mut y0 = 0;
+    while y0 < h {
+        let mut x0 = 0;
+        while x0 < w {
+            sum += window_ssim(x0, y0);
+            count += 1;
+            x0 += STRIDE;
+        }
+        y0 += STRIDE;
+    }
+    sum / count as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimgfx_types::Rgba;
+
+    fn gradient() -> FrameImage {
+        FrameImage::from_fn(16, 16, |x, y| Rgba::gray((x + y) as f32 / 30.0))
+    }
+
+    #[test]
+    fn identical_images_cap_at_99() {
+        let a = gradient();
+        assert_eq!(psnr(&a, &a.clone()), 99.0);
+        assert_eq!(mse(&a, &a.clone()), 0.0);
+    }
+
+    #[test]
+    fn psnr_decreases_with_error() {
+        let a = gradient();
+        let slightly = FrameImage::from_fn(16, 16, |x, y| Rgba::gray((x + y) as f32 / 30.0 + 0.01));
+        let heavily = FrameImage::from_fn(16, 16, |x, y| Rgba::gray((x + y) as f32 / 30.0 + 0.2));
+        let p_slight = psnr(&a, &slightly);
+        let p_heavy = psnr(&a, &heavily);
+        assert!(p_slight > p_heavy);
+        assert!(p_slight > 40.0, "1% error is high quality: {p_slight}");
+        assert!(p_heavy < 20.0, "20% error is visible: {p_heavy}");
+    }
+
+    #[test]
+    fn psnr_known_value() {
+        // Uniform error of exactly 1 LSB: MSE = 1, PSNR = 20log10(255).
+        let a = FrameImage::filled(8, 8, Rgba::BLACK);
+        let b = FrameImage::from_fn(8, 8, |_, _| Rgba::gray(1.0 / 255.0));
+        let expect = 20.0 * 255.0f64.log10();
+        assert!((psnr(&a, &b) - expect).abs() < 0.1);
+    }
+
+    #[test]
+    fn ssim_identical_is_one() {
+        let a = gradient();
+        assert!((ssim(&a, &a.clone()) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ssim_penalizes_structure_loss() {
+        let a = gradient();
+        let flat = FrameImage::filled(16, 16, Rgba::gray(0.5));
+        assert!(ssim(&a, &flat) < 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "same-sized")]
+    fn size_mismatch_panics() {
+        let a = FrameImage::filled(4, 4, Rgba::BLACK);
+        let b = FrameImage::filled(8, 8, Rgba::BLACK);
+        let _ = psnr(&a, &b);
+    }
+}

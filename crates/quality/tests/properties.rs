@@ -1,0 +1,65 @@
+//! Property-based tests for the quality-metric invariants.
+
+use pimgfx_quality::{mse, psnr, ssim, FrameImage};
+use pimgfx_types::Rgba;
+use proptest::prelude::*;
+
+fn arb_image() -> impl Strategy<Value = FrameImage> {
+    (8u32..24, 8u32..24, any::<u64>()).prop_map(|(w, h, seed)| {
+        FrameImage::from_fn(w, h, |x, y| {
+            let mut v = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((u64::from(x) << 32) | u64::from(y));
+            v ^= v >> 31;
+            Rgba::gray((v & 0xFF) as f32 / 255.0)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// PSNR and MSE are symmetric in their arguments.
+    #[test]
+    fn metrics_are_symmetric(a in arb_image(), seed in any::<u64>()) {
+        let b = FrameImage::from_fn(a.width(), a.height(), |x, y| {
+            let mut v = seed.wrapping_add((u64::from(x) << 16) | u64::from(y));
+            v ^= v >> 13;
+            Rgba::gray((v & 0xFF) as f32 / 255.0)
+        });
+        prop_assert_eq!(mse(&a, &b).to_bits(), mse(&b, &a).to_bits());
+        prop_assert_eq!(psnr(&a, &b).to_bits(), psnr(&b, &a).to_bits());
+        prop_assert!((ssim(&a, &b) - ssim(&b, &a)).abs() < 1e-9);
+    }
+
+    /// Identity: every metric saturates on identical images.
+    #[test]
+    fn identity_saturates(a in arb_image()) {
+        prop_assert_eq!(mse(&a, &a.clone()), 0.0);
+        prop_assert_eq!(psnr(&a, &a.clone()), 99.0);
+        prop_assert!((ssim(&a, &a.clone()) - 1.0).abs() < 1e-9);
+    }
+
+    /// Ranges: PSNR is positive and capped; SSIM lies in [-1, 1].
+    #[test]
+    fn metric_ranges(a in arb_image(), b in arb_image()) {
+        // Only comparable when sizes match; regenerate b at a's size.
+        let b = FrameImage::from_fn(a.width(), a.height(), |x, y| {
+            let (x2, y2) = (x % b.width(), y % b.height());
+            b.pixel(x2, y2).to_rgba()
+        });
+        let p = psnr(&a, &b);
+        prop_assert!(p > 0.0 && p <= 99.0);
+        let s = ssim(&a, &b);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&s), "ssim {s}");
+    }
+
+    /// Monotonicity: amplifying a uniform error never raises PSNR.
+    #[test]
+    fn psnr_monotone_in_error(base in 0.0f32..0.5, e1 in 0.0f32..0.2, scale in 1.0f32..3.0) {
+        let a = FrameImage::filled(16, 16, Rgba::gray(base));
+        let b1 = FrameImage::filled(16, 16, Rgba::gray(base + e1));
+        let b2 = FrameImage::filled(16, 16, Rgba::gray(base + e1 * scale));
+        prop_assert!(psnr(&a, &b1) + 1e-9 >= psnr(&a, &b2));
+    }
+}

@@ -1,0 +1,169 @@
+//! Camera and vertex transformation.
+
+use crate::vertex::{ClipVertex, Vertex};
+use pimgfx_types::{Mat4, Vec3, Vec4};
+
+/// A perspective camera: view + projection transforms plus the eye
+/// position needed for per-vertex view angles.
+///
+/// # Examples
+///
+/// ```
+/// use pimgfx_raster::{Camera, Vertex};
+/// use pimgfx_types::{Vec2, Vec3};
+///
+/// let cam = Camera::look_at(Vec3::new(0.0, 0.0, 5.0), Vec3::ZERO, Vec3::Y, 1.0, 1.0);
+/// let v = Vertex::new(Vec3::ZERO, Vec3::Z, Vec2::ZERO);
+/// let cv = cam.transform_vertex(&v);
+/// assert!(cv.clip.w > 0.0, "a point in front of the camera has positive w");
+/// assert!((cv.view_cos - 1.0).abs() < 1e-5, "normal faces the camera head-on");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Camera {
+    eye: Vec3,
+    view: Mat4,
+    proj: Mat4,
+    view_proj: Mat4,
+}
+
+impl Camera {
+    /// Builds a camera from explicit matrices.
+    pub fn new(eye: Vec3, view: Mat4, proj: Mat4) -> Self {
+        Self {
+            eye,
+            view,
+            proj,
+            view_proj: proj * view,
+        }
+    }
+
+    /// Reconstructs a camera from its eye position and combined
+    /// view-projection matrix — the two pieces the pipeline actually
+    /// consumes. Used by trace deserialization.
+    pub fn from_view_proj(eye: Vec3, view_proj: Mat4) -> Self {
+        Self {
+            eye,
+            view: Mat4::IDENTITY,
+            proj: view_proj,
+            view_proj,
+        }
+    }
+
+    /// Convenience constructor: right-handed look-at with a perspective
+    /// projection (`fov_y` radians, near 0.1, far 1000).
+    pub fn look_at(eye: Vec3, target: Vec3, up: Vec3, fov_y: f32, aspect: f32) -> Self {
+        let view = Mat4::look_at(eye, target, up);
+        let proj = Mat4::perspective(fov_y, aspect, 0.1, 1000.0);
+        Self::new(eye, view, proj)
+    }
+
+    /// The camera position.
+    pub fn eye(&self) -> Vec3 {
+        self.eye
+    }
+
+    /// The combined view-projection matrix.
+    pub fn view_proj(&self) -> &Mat4 {
+        &self.view_proj
+    }
+
+    /// Runs the vertex shader: transform to clip space and compute the
+    /// view-angle cosine used for anisotropy and A-TFIM angle tags.
+    pub fn transform_vertex(&self, v: &Vertex) -> ClipVertex {
+        let clip = self.view_proj.transform(Vec4::from_point(v.position));
+        let to_eye = (self.eye - v.position).normalized();
+        let view_cos = v.normal.normalized().dot(to_eye).abs().clamp(0.0, 1.0);
+        ClipVertex::new(clip, v.uv, view_cos)
+    }
+
+    /// Transforms a whole triangle.
+    pub fn transform_triangle(&self, tri: &[Vertex; 3]) -> [ClipVertex; 3] {
+        [
+            self.transform_vertex(&tri[0]),
+            self.transform_vertex(&tri[1]),
+            self.transform_vertex(&tri[2]),
+        ]
+    }
+
+    /// Maps a clip-space vertex to screen space for a `width`×`height`
+    /// viewport: returns `(x, y, z, 1/w)` with `x, y` in pixels, `z` in
+    /// `[0, 1]` (0 = near), and the reciprocal w used for
+    /// perspective-correct interpolation.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts `w > 0` (the clipper must run first).
+    pub fn to_screen(clip: Vec4, width: u32, height: u32) -> (f32, f32, f32, f32) {
+        debug_assert!(clip.w > 0.0, "to_screen requires clipped vertices");
+        let inv_w = 1.0 / clip.w;
+        let ndc_x = clip.x * inv_w;
+        let ndc_y = clip.y * inv_w;
+        let ndc_z = clip.z * inv_w;
+        let x = (ndc_x * 0.5 + 0.5) * width as f32;
+        // Screen y grows downward.
+        let y = (0.5 - ndc_y * 0.5) * height as f32;
+        let z = ndc_z * 0.5 + 0.5;
+        (x, y, z, inv_w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimgfx_types::Vec2;
+
+    fn cam() -> Camera {
+        Camera::look_at(Vec3::new(0.0, 0.0, 5.0), Vec3::ZERO, Vec3::Y, 1.0, 1.0)
+    }
+
+    #[test]
+    fn center_point_projects_to_screen_center() {
+        let c = cam();
+        let v = Vertex::new(Vec3::ZERO, Vec3::Z, Vec2::ZERO);
+        let cv = c.transform_vertex(&v);
+        let (x, y, z, _) = Camera::to_screen(cv.clip, 640, 480);
+        assert!((x - 320.0).abs() < 1e-2);
+        assert!((y - 240.0).abs() < 1e-2);
+        assert!(z > 0.0 && z < 1.0);
+    }
+
+    #[test]
+    fn grazing_surface_has_small_view_cos() {
+        let c = cam();
+        // Normal perpendicular to the view direction.
+        let v = Vertex::new(Vec3::ZERO, Vec3::Y, Vec2::ZERO);
+        let cv = c.transform_vertex(&v);
+        assert!(cv.view_cos < 1e-5);
+    }
+
+    #[test]
+    fn nearer_points_have_smaller_depth() {
+        let c = cam();
+        let near = c.transform_vertex(&Vertex::new(Vec3::new(0.0, 0.0, 2.0), Vec3::Z, Vec2::ZERO));
+        let far = c.transform_vertex(&Vertex::new(Vec3::new(0.0, 0.0, -2.0), Vec3::Z, Vec2::ZERO));
+        let (_, _, zn, _) = Camera::to_screen(near.clip, 64, 64);
+        let (_, _, zf, _) = Camera::to_screen(far.clip, 64, 64);
+        assert!(zn < zf);
+    }
+
+    #[test]
+    fn screen_y_grows_downward() {
+        let c = cam();
+        let up = c.transform_vertex(&Vertex::new(Vec3::new(0.0, 1.0, 0.0), Vec3::Z, Vec2::ZERO));
+        let (_, y_up, _, _) = Camera::to_screen(up.clip, 640, 480);
+        assert!(y_up < 240.0, "world +y is screen up (smaller y)");
+    }
+
+    #[test]
+    fn transform_triangle_maps_all_three() {
+        let c = cam();
+        let tri = [
+            Vertex::new(Vec3::new(-1.0, 0.0, 0.0), Vec3::Z, Vec2::ZERO),
+            Vertex::new(Vec3::new(1.0, 0.0, 0.0), Vec3::Z, Vec2::new(1.0, 0.0)),
+            Vertex::new(Vec3::new(0.0, 1.0, 0.0), Vec3::Z, Vec2::new(0.5, 1.0)),
+        ];
+        let out = c.transform_triangle(&tri);
+        assert!(out.iter().all(|v| v.clip.w > 0.0));
+        assert_eq!(out[2].uv, Vec2::new(0.5, 1.0));
+    }
+}

@@ -1,0 +1,178 @@
+//! Frustum clipping in clip space (Sutherland–Hodgman).
+//!
+//! Triangles are clipped against the six frustum planes before
+//! perspective division; clipping can split a triangle into up to several
+//! sub-triangles (the paper's clipping stage "removes non-visible
+//! triangles or generates sub-triangles", §II-A).
+
+use crate::vertex::ClipVertex;
+use pimgfx_types::Vec4;
+
+/// The six clip-space half-spaces `dot(plane, v) >= 0`.
+const PLANES: [Vec4; 6] = [
+    Vec4::new(1.0, 0.0, 0.0, 1.0),  // x >= -w  (left)
+    Vec4::new(-1.0, 0.0, 0.0, 1.0), // x <=  w  (right)
+    Vec4::new(0.0, 1.0, 0.0, 1.0),  // y >= -w  (bottom)
+    Vec4::new(0.0, -1.0, 0.0, 1.0), // y <=  w  (top)
+    Vec4::new(0.0, 0.0, 1.0, 1.0),  // z >= -w  (near)
+    Vec4::new(0.0, 0.0, -1.0, 1.0), // z <=  w  (far)
+];
+
+fn signed_dist(plane: Vec4, v: &ClipVertex) -> f32 {
+    plane.dot(v.clip)
+}
+
+/// Clips one polygon against one plane.
+fn clip_against(plane: Vec4, poly: &[ClipVertex]) -> Vec<ClipVertex> {
+    let mut out = Vec::with_capacity(poly.len() + 1);
+    for i in 0..poly.len() {
+        let a = poly[i];
+        let b = poly[(i + 1) % poly.len()];
+        let da = signed_dist(plane, &a);
+        let db = signed_dist(plane, &b);
+        let a_in = da >= 0.0;
+        let b_in = db >= 0.0;
+        if a_in {
+            out.push(a);
+        }
+        if a_in != b_in {
+            // Edge crosses the plane; emit the intersection.
+            let t = da / (da - db);
+            out.push(a.lerp(b, t));
+        }
+    }
+    out
+}
+
+/// Clips a triangle against the view frustum; returns zero or more
+/// triangles (a fan over the clipped polygon).
+///
+/// # Examples
+///
+/// ```
+/// use pimgfx_raster::{clip_triangle, ClipVertex};
+/// use pimgfx_types::{Vec2, Vec4};
+///
+/// // Fully inside: passes through unchanged as one triangle.
+/// let v = |x: f32, y: f32| ClipVertex::new(Vec4::new(x, y, 0.0, 1.0), Vec2::ZERO, 1.0);
+/// let tris = clip_triangle([v(-0.5, -0.5), v(0.5, -0.5), v(0.0, 0.5)]);
+/// assert_eq!(tris.len(), 1);
+///
+/// // Fully outside (behind the near plane): culled.
+/// let behind = |x: f32| ClipVertex::new(Vec4::new(x, 0.0, -2.0, 1.0), Vec2::ZERO, 1.0);
+/// assert!(clip_triangle([behind(-0.5), behind(0.5), behind(0.0)]).is_empty());
+/// ```
+pub fn clip_triangle(tri: [ClipVertex; 3]) -> Vec<[ClipVertex; 3]> {
+    let mut poly: Vec<ClipVertex> = tri.to_vec();
+    for plane in PLANES {
+        if poly.is_empty() {
+            return Vec::new();
+        }
+        poly = clip_against(plane, &poly);
+    }
+    if poly.len() < 3 {
+        return Vec::new();
+    }
+    // Triangulate the convex polygon as a fan.
+    (1..poly.len() - 1)
+        .map(|i| [poly[0], poly[i], poly[i + 1]])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimgfx_types::Vec2;
+
+    fn v(x: f32, y: f32, z: f32, w: f32) -> ClipVertex {
+        ClipVertex::new(Vec4::new(x, y, z, w), Vec2::new(x, y), 1.0)
+    }
+
+    #[test]
+    fn inside_triangle_is_unchanged() {
+        let tri = [
+            v(-0.5, -0.5, 0.0, 1.0),
+            v(0.5, -0.5, 0.0, 1.0),
+            v(0.0, 0.5, 0.0, 1.0),
+        ];
+        let out = clip_triangle(tri);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0][0].clip, tri[0].clip);
+    }
+
+    #[test]
+    fn outside_triangle_is_culled() {
+        // Entirely to the right of x = w.
+        let tri = [
+            v(2.0, 0.0, 0.0, 1.0),
+            v(3.0, 0.0, 0.0, 1.0),
+            v(2.5, 1.0, 0.0, 1.0),
+        ];
+        assert!(clip_triangle(tri).is_empty());
+    }
+
+    #[test]
+    fn straddling_triangle_is_split() {
+        // One vertex far right of the frustum: clipping yields a quad = 2 tris.
+        let tri = [
+            v(-0.5, -0.5, 0.0, 1.0),
+            v(3.0, 0.0, 0.0, 1.0),
+            v(-0.5, 0.5, 0.0, 1.0),
+        ];
+        let out = clip_triangle(tri);
+        assert_eq!(out.len(), 2);
+        // All emitted vertices respect x <= w.
+        for t in &out {
+            for cv in t {
+                assert!(cv.clip.x <= cv.clip.w + 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn near_plane_clip_interpolates_attributes() {
+        // Edge from z=0 (inside) to z=-2 (behind near plane), w=1.
+        let a = ClipVertex::new(Vec4::new(0.0, 0.0, 0.0, 1.0), Vec2::new(0.0, 0.0), 1.0);
+        let b = ClipVertex::new(Vec4::new(0.0, 0.0, -2.0, 1.0), Vec2::new(1.0, 1.0), 0.0);
+        let c = ClipVertex::new(Vec4::new(0.5, 0.0, 0.0, 1.0), Vec2::new(0.0, 1.0), 1.0);
+        let out = clip_triangle([a, b, c]);
+        assert!(!out.is_empty());
+        // Every output vertex satisfies z >= -w, and interpolated uv stays
+        // within the hull of the inputs.
+        for t in &out {
+            for cv in t {
+                assert!(cv.clip.z >= -cv.clip.w - 1e-5);
+                assert!((0.0..=1.0).contains(&cv.uv.x));
+                assert!((0.0..=1.0).contains(&cv.view_cos));
+            }
+        }
+    }
+
+    #[test]
+    fn clip_count_is_bounded() {
+        // A triangle crossing several planes still yields a small fan.
+        let tri = [
+            v(-3.0, -3.0, 0.0, 1.0),
+            v(3.0, -3.0, 0.0, 1.0),
+            v(0.0, 3.0, 0.0, 1.0),
+        ];
+        let out = clip_triangle(tri);
+        assert!(!out.is_empty());
+        assert!(out.len() <= 7, "convex clip of a triangle against 6 planes");
+    }
+
+    #[test]
+    fn degenerate_output_is_dropped() {
+        // Triangle exactly on the right plane edge-on.
+        let tri = [
+            v(1.0, -1.0, 0.0, 1.0),
+            v(1.0, 1.0, 0.0, 1.0),
+            v(1.0, 0.0, 0.0, 1.0),
+        ];
+        let out = clip_triangle(tri);
+        // Zero-area sliver may survive as polygons but never panics.
+        for t in out {
+            assert_eq!(t.len(), 3);
+        }
+    }
+}

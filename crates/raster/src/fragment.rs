@@ -1,0 +1,130 @@
+//! Fragments and fragment tiles.
+
+use pimgfx_types::{Radians, TextureId, TileCoord, Vec2};
+
+/// One shaded pixel candidate produced by the rasterizer.
+///
+/// Carries everything the fragment stage and texture units need: screen
+/// position, depth, perspective-correct texture coordinates with
+/// screen-space derivatives, and the camera angle of the surface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fragment {
+    /// Pixel column.
+    pub x: u32,
+    /// Pixel row.
+    pub y: u32,
+    /// Depth in `[0, 1]` (0 = near plane).
+    pub depth: f32,
+    /// Texture coordinates (normalized).
+    pub uv: Vec2,
+    /// ∂uv/∂x in normalized texture units per pixel.
+    pub duv_dx: Vec2,
+    /// ∂uv/∂y in normalized texture units per pixel.
+    pub duv_dy: Vec2,
+    /// Camera angle of the surface at this pixel (0 = head-on,
+    /// π/2 = grazing), the A-TFIM cache-tag quantity.
+    pub camera_angle: Radians,
+    /// The texture bound to the draw that produced this fragment.
+    pub texture: TextureId,
+}
+
+impl Fragment {
+    /// The tile this fragment belongs to, for a given tile edge.
+    pub fn tile(&self, tile_px: u32) -> TileCoord {
+        TileCoord::new(self.x / tile_px, self.y / tile_px)
+    }
+}
+
+/// A group of fragments belonging to one screen tile — the unit of work
+/// dispatched to a unified-shader cluster (Table I uses 16×16 tiles).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FragmentTile {
+    /// Tile coordinates in tile units.
+    pub coord: TileCoord,
+    /// The covered fragments.
+    pub fragments: Vec<Fragment>,
+}
+
+impl FragmentTile {
+    /// Groups fragments into tiles of `tile_px` pixels, in row-major tile
+    /// order; fragment order within a tile is preserved.
+    pub fn group(fragments: Vec<Fragment>, tile_px: u32) -> Vec<FragmentTile> {
+        assert!(tile_px > 0, "tile size must be positive");
+        let mut tiles: Vec<FragmentTile> = Vec::new();
+        let mut index: std::collections::HashMap<TileCoord, usize> =
+            std::collections::HashMap::new();
+        for f in fragments {
+            let coord = f.tile(tile_px);
+            let at = *index.entry(coord).or_insert_with(|| {
+                tiles.push(FragmentTile {
+                    coord,
+                    fragments: Vec::new(),
+                });
+                tiles.len() - 1
+            });
+            tiles[at].fragments.push(f);
+        }
+        tiles.sort_by_key(|t| (t.coord.ty, t.coord.tx));
+        tiles
+    }
+
+    /// Number of fragments in the tile.
+    pub fn len(&self) -> usize {
+        self.fragments.len()
+    }
+
+    /// True when the tile holds no fragments.
+    pub fn is_empty(&self) -> bool {
+        self.fragments.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frag(x: u32, y: u32) -> Fragment {
+        Fragment {
+            x,
+            y,
+            depth: 0.5,
+            uv: Vec2::ZERO,
+            duv_dx: Vec2::ZERO,
+            duv_dy: Vec2::ZERO,
+            camera_angle: Radians::ZERO,
+            texture: TextureId::new(0),
+        }
+    }
+
+    #[test]
+    fn fragment_tile_assignment() {
+        assert_eq!(frag(0, 0).tile(16), TileCoord::new(0, 0));
+        assert_eq!(frag(15, 15).tile(16), TileCoord::new(0, 0));
+        assert_eq!(frag(16, 0).tile(16), TileCoord::new(1, 0));
+        assert_eq!(frag(0, 16).tile(16), TileCoord::new(0, 1));
+    }
+
+    #[test]
+    fn group_partitions_and_orders_tiles() {
+        let frags = vec![frag(20, 20), frag(1, 1), frag(2, 2), frag(17, 1)];
+        let tiles = FragmentTile::group(frags, 16);
+        assert_eq!(tiles.len(), 3);
+        assert_eq!(tiles[0].coord, TileCoord::new(0, 0));
+        assert_eq!(tiles[0].len(), 2);
+        assert_eq!(tiles[1].coord, TileCoord::new(1, 0));
+        assert_eq!(tiles[2].coord, TileCoord::new(1, 1));
+    }
+
+    #[test]
+    fn group_preserves_intra_tile_order() {
+        let frags = vec![frag(1, 1), frag(2, 2), frag(3, 3)];
+        let tiles = FragmentTile::group(frags, 16);
+        assert_eq!(tiles[0].fragments[0].x, 1);
+        assert_eq!(tiles[0].fragments[2].x, 3);
+    }
+
+    #[test]
+    fn empty_input_yields_no_tiles() {
+        assert!(FragmentTile::group(Vec::new(), 16).is_empty());
+    }
+}

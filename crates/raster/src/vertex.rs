@@ -1,0 +1,92 @@
+//! Vertex types flowing through the geometry stage.
+
+use pimgfx_types::{Vec2, Vec3, Vec4};
+
+/// An input vertex as fetched from the simulated vertex buffer.
+///
+/// # Examples
+///
+/// ```
+/// use pimgfx_raster::Vertex;
+/// use pimgfx_types::{Vec2, Vec3};
+/// let v = Vertex::new(Vec3::ZERO, Vec3::Z, Vec2::new(0.5, 0.5));
+/// assert_eq!(v.uv.x, 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Vertex {
+    /// Object/world-space position.
+    pub position: Vec3,
+    /// Surface normal (unit length expected).
+    pub normal: Vec3,
+    /// Texture coordinates in `[0, 1]` texture space.
+    pub uv: Vec2,
+}
+
+/// Bytes one vertex occupies in the simulated vertex buffer
+/// (position + normal + uv as f32 = 8 × 4 bytes).
+pub const VERTEX_BYTES: u64 = 32;
+
+impl Vertex {
+    /// Creates a vertex.
+    pub const fn new(position: Vec3, normal: Vec3, uv: Vec2) -> Self {
+        Self {
+            position,
+            normal,
+            uv,
+        }
+    }
+}
+
+/// A vertex after the vertex shader: clip-space position plus the
+/// attributes rasterization interpolates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClipVertex {
+    /// Position in clip space (before perspective division).
+    pub clip: Vec4,
+    /// Texture coordinates.
+    pub uv: Vec2,
+    /// |cos θ| between the surface normal and the view direction at this
+    /// vertex; 1 = viewed head-on, 0 = grazing. Interpolated per fragment
+    /// to give each pixel its camera angle (A-TFIM, §V-C).
+    pub view_cos: f32,
+}
+
+impl ClipVertex {
+    /// Creates a clip-space vertex.
+    pub const fn new(clip: Vec4, uv: Vec2, view_cos: f32) -> Self {
+        Self { clip, uv, view_cos }
+    }
+
+    /// Linear interpolation in clip space (used by the clipper; clip-space
+    /// attributes interpolate linearly before perspective division).
+    pub fn lerp(self, rhs: Self, t: f32) -> Self {
+        Self {
+            clip: self.clip.lerp(rhs.clip, t),
+            uv: self.uv.lerp(rhs.uv, t),
+            view_cos: self.view_cos + (rhs.view_cos - self.view_cos) * t,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clip_vertex_lerp_endpoints() {
+        let a = ClipVertex::new(Vec4::new(0.0, 0.0, 0.0, 1.0), Vec2::ZERO, 1.0);
+        let b = ClipVertex::new(Vec4::new(2.0, 2.0, 2.0, 1.0), Vec2::ONE, 0.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        let m = a.lerp(b, 0.5);
+        assert_eq!(m.clip.x, 1.0);
+        assert_eq!(m.uv, Vec2::new(0.5, 0.5));
+        assert_eq!(m.view_cos, 0.5);
+    }
+
+    #[test]
+    fn vertex_bytes_matches_layout() {
+        // 3 (pos) + 3 (normal) + 2 (uv) floats.
+        assert_eq!(VERTEX_BYTES, 8 * 4);
+    }
+}

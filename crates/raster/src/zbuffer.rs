@@ -1,0 +1,252 @@
+//! Depth buffer with early Z and a hierarchical-Z tile pyramid.
+//!
+//! The baseline architecture supports "tiling-based scanning and early Z
+//! test to improve cache and memory access locality" (§II-A). The
+//! hierarchical tier keeps one conservative maximum depth per tile so
+//! whole tiles of an occluded triangle can be rejected without touching
+//! per-pixel storage.
+
+use pimgfx_types::Rect;
+
+/// Outcome of a depth test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ZOutcome {
+    /// Fragment is closer than the stored depth; buffer updated.
+    Pass,
+    /// Fragment is occluded.
+    Fail,
+}
+
+/// A per-pixel depth buffer plus a per-tile maximum pyramid.
+///
+/// Depth convention: `0.0` = near plane, `1.0` = far plane, smaller
+/// passes.
+///
+/// # Examples
+///
+/// ```
+/// use pimgfx_raster::{DepthBuffer, ZOutcome};
+///
+/// let mut z = DepthBuffer::new(32, 32, 16);
+/// assert_eq!(z.test_and_update(5, 5, 0.5), ZOutcome::Pass);
+/// assert_eq!(z.test_and_update(5, 5, 0.9), ZOutcome::Fail);
+/// assert_eq!(z.test_and_update(5, 5, 0.2), ZOutcome::Pass);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DepthBuffer {
+    width: u32,
+    height: u32,
+    tile_px: u32,
+    depths: Vec<f32>,
+    /// Per-tile maximum stored depth (1.0 when untouched).
+    tile_max: Vec<f32>,
+    tiles_x: u32,
+    tests: u64,
+    hiz_rejects: u64,
+}
+
+impl DepthBuffer {
+    /// Creates a cleared buffer (all depths at the far plane).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension or the tile size is zero.
+    pub fn new(width: u32, height: u32, tile_px: u32) -> Self {
+        assert!(
+            width > 0 && height > 0,
+            "framebuffer dimensions must be nonzero"
+        );
+        assert!(tile_px > 0, "tile size must be nonzero");
+        let tiles_x = width.div_ceil(tile_px);
+        let tiles_y = height.div_ceil(tile_px);
+        Self {
+            width,
+            height,
+            tile_px,
+            depths: vec![1.0; (width * height) as usize],
+            tile_max: vec![1.0; (tiles_x * tiles_y) as usize],
+            tiles_x,
+            tests: 0,
+            hiz_rejects: 0,
+        }
+    }
+
+    /// Buffer width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Buffer height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Stored depth at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn depth(&self, x: u32, y: u32) -> f32 {
+        assert!(x < self.width && y < self.height, "depth read out of range");
+        self.depths[(y * self.width + x) as usize]
+    }
+
+    /// Early-Z: tests `depth` against the stored value and updates the
+    /// buffer (and the tile maximum — conservatively monotone) on pass.
+    pub fn test_and_update(&mut self, x: u32, y: u32, depth: f32) -> ZOutcome {
+        assert!(x < self.width && y < self.height, "depth test out of range");
+        self.tests += 1;
+        let idx = (y * self.width + x) as usize;
+        if depth < self.depths[idx] {
+            self.depths[idx] = depth;
+            ZOutcome::Pass
+        } else {
+            ZOutcome::Fail
+        }
+    }
+
+    /// Hierarchical Z: conservatively rejects a triangle for a whole tile
+    /// region when its minimum depth cannot beat any stored pixel.
+    ///
+    /// Callers pass the triangle's screen bbox and min vertex depth;
+    /// returns `true` when every overlapped tile's stored maximum is
+    /// already closer.
+    pub fn hiz_reject(&mut self, bbox: &Rect, tri_min_depth: f32) -> bool {
+        for t in bbox.tiles(self.tile_px) {
+            if t.tx >= self.tiles_x {
+                continue;
+            }
+            let idx = t.linear_index(self.tiles_x) as usize;
+            if idx >= self.tile_max.len() {
+                continue;
+            }
+            if tri_min_depth < self.tile_max[idx] {
+                return false;
+            }
+        }
+        self.hiz_rejects += 1;
+        true
+    }
+
+    /// Recomputes a tile's stored maximum after a batch of updates.
+    /// Called per tile by the rasterizer once a triangle finishes a tile.
+    pub fn refresh_tile_max(&mut self, tx: u32, ty: u32) {
+        let x0 = tx * self.tile_px;
+        let y0 = ty * self.tile_px;
+        if x0 >= self.width || y0 >= self.height {
+            return;
+        }
+        let x1 = (x0 + self.tile_px).min(self.width);
+        let y1 = (y0 + self.tile_px).min(self.height);
+        let mut max = 0.0f32;
+        for y in y0..y1 {
+            for x in x0..x1 {
+                max = max.max(self.depths[(y * self.width + x) as usize]);
+            }
+        }
+        let idx = (ty * self.tiles_x + tx) as usize;
+        self.tile_max[idx] = max;
+    }
+
+    /// `(per-pixel tests, hierarchical rejects)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.tests, self.hiz_rejects)
+    }
+
+    /// Clears the buffer to the far plane.
+    pub fn clear(&mut self) {
+        self.depths.fill(1.0);
+        self.tile_max.fill(1.0);
+        self.tests = 0;
+        self.hiz_rejects = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closer_passes_farther_fails() {
+        let mut z = DepthBuffer::new(8, 8, 4);
+        assert_eq!(z.test_and_update(0, 0, 0.7), ZOutcome::Pass);
+        assert_eq!(z.test_and_update(0, 0, 0.8), ZOutcome::Fail);
+        assert_eq!(z.test_and_update(0, 0, 0.6), ZOutcome::Pass);
+        assert_eq!(z.depth(0, 0), 0.6);
+    }
+
+    #[test]
+    fn equal_depth_fails() {
+        let mut z = DepthBuffer::new(4, 4, 4);
+        z.test_and_update(1, 1, 0.5);
+        assert_eq!(z.test_and_update(1, 1, 0.5), ZOutcome::Fail);
+    }
+
+    #[test]
+    fn hiz_rejects_fully_occluded_region() {
+        let mut z = DepthBuffer::new(16, 16, 16);
+        // Fill the whole (single) tile with near geometry.
+        for y in 0..16 {
+            for x in 0..16 {
+                z.test_and_update(x, y, 0.1);
+            }
+        }
+        z.refresh_tile_max(0, 0);
+        let bbox = Rect::from_size(16, 16);
+        assert!(z.hiz_reject(&bbox, 0.5), "triangle behind everything");
+        assert!(!z.hiz_reject(&bbox, 0.05), "closer triangle survives");
+    }
+
+    #[test]
+    fn hiz_is_conservative_on_fresh_buffer() {
+        let mut z = DepthBuffer::new(16, 16, 16);
+        // Empty buffer: stored max is 1.0, nothing can be rejected.
+        assert!(!z.hiz_reject(&Rect::from_size(16, 16), 0.99));
+    }
+
+    #[test]
+    fn refresh_tile_max_tracks_farthest_pixel() {
+        let mut z = DepthBuffer::new(8, 8, 4);
+        for y in 0..4 {
+            for x in 0..4 {
+                z.test_and_update(x, y, 0.3);
+            }
+        }
+        // One pixel stays at the far plane in the second tile row/col.
+        z.refresh_tile_max(0, 0);
+        assert!(z.hiz_reject(&Rect::new(0, 0, 4, 4), 0.35));
+        // A tile never refreshed still holds 1.0 and cannot reject.
+        assert!(!z.hiz_reject(&Rect::new(4, 4, 8, 8), 0.35));
+    }
+
+    #[test]
+    fn clear_resets_state() {
+        let mut z = DepthBuffer::new(4, 4, 4);
+        z.test_and_update(0, 0, 0.2);
+        z.clear();
+        assert_eq!(z.depth(0, 0), 1.0);
+        assert_eq!(z.stats(), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_test_panics() {
+        let mut z = DepthBuffer::new(4, 4, 4);
+        let _ = z.test_and_update(4, 0, 0.5);
+    }
+
+    #[test]
+    fn stats_count_tests_and_rejects() {
+        let mut z = DepthBuffer::new(16, 16, 16);
+        for y in 0..16 {
+            for x in 0..16 {
+                z.test_and_update(x, y, 0.1);
+            }
+        }
+        z.refresh_tile_max(0, 0);
+        z.hiz_reject(&Rect::from_size(16, 16), 0.9);
+        let (tests, rejects) = z.stats();
+        assert_eq!(tests, 256);
+        assert_eq!(rejects, 1);
+    }
+}

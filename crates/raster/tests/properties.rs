@@ -1,0 +1,127 @@
+//! Property-based tests for the geometry/rasterization invariants.
+
+use pimgfx_raster::{clip_triangle, Camera, ClipVertex, Rasterizer, TriangleSetup, Vertex};
+use pimgfx_types::{Vec2, Vec3, Vec4};
+use proptest::prelude::*;
+
+fn arb_clip_vertex() -> impl Strategy<Value = ClipVertex> {
+    (
+        -3.0f32..3.0,
+        -3.0f32..3.0,
+        -3.0f32..3.0,
+        0.2f32..4.0,
+        0.0f32..1.0,
+        0.0f32..1.0,
+        0.0f32..1.0,
+    )
+        .prop_map(|(x, y, z, w, u, v, cos)| {
+            ClipVertex::new(Vec4::new(x, y, z, w), Vec2::new(u, v), cos)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Clipping output always satisfies every frustum inequality.
+    #[test]
+    fn clipped_vertices_are_inside_the_frustum(
+        a in arb_clip_vertex(),
+        b in arb_clip_vertex(),
+        c in arb_clip_vertex(),
+    ) {
+        for tri in clip_triangle([a, b, c]) {
+            for v in tri {
+                let eps = 1e-3 * v.clip.w.abs().max(1.0);
+                prop_assert!(v.clip.x >= -v.clip.w - eps && v.clip.x <= v.clip.w + eps);
+                prop_assert!(v.clip.y >= -v.clip.w - eps && v.clip.y <= v.clip.w + eps);
+                prop_assert!(v.clip.z >= -v.clip.w - eps && v.clip.z <= v.clip.w + eps);
+                prop_assert!(v.clip.w > 0.0, "clipped vertex must have positive w");
+            }
+        }
+    }
+
+    /// Clipping a fully-inside triangle is the identity; a fully-outside
+    /// one yields nothing.
+    #[test]
+    fn clip_preserves_inside_triangles(
+        xs in prop::collection::vec(-0.9f32..0.9, 6),
+    ) {
+        let v = |x: f32, y: f32| ClipVertex::new(Vec4::new(x, y, 0.0, 1.0), Vec2::ZERO, 1.0);
+        let tri = [v(xs[0], xs[1]), v(xs[2], xs[3]), v(xs[4], xs[5])];
+        let out = clip_triangle(tri);
+        prop_assert_eq!(out.len(), 1);
+        prop_assert_eq!(out[0][0].clip, tri[0].clip);
+    }
+
+    /// Barycentric coordinates sum to one everywhere.
+    #[test]
+    fn barycentrics_sum_to_one(
+        a in arb_clip_vertex(),
+        b in arb_clip_vertex(),
+        c in arb_clip_vertex(),
+        px in 0i32..128,
+        py in 0i32..128,
+    ) {
+        if let Some(setup) = TriangleSetup::new(&[a, b, c], 128, 128) {
+            let (w0, w1, w2) = setup.barycentric(px, py);
+            prop_assert!((w0 + w1 + w2 - 1.0).abs() < 1e-3);
+        }
+    }
+
+    /// Every emitted fragment lies in the viewport, inside the
+    /// triangle's bounding box, with interpolants in range.
+    #[test]
+    fn fragments_are_well_formed(
+        ax in -2.0f32..2.0, ay in -2.0f32..2.0,
+        bx in -2.0f32..2.0, by in -2.0f32..2.0,
+        cx in -2.0f32..2.0, cy in -2.0f32..2.0,
+    ) {
+        let camera = Camera::look_at(
+            Vec3::new(0.0, 0.0, 4.0),
+            Vec3::ZERO,
+            Vec3::Y,
+            1.0,
+            1.0,
+        );
+        let tri = [
+            Vertex::new(Vec3::new(ax, ay, 0.0), Vec3::Z, Vec2::new(0.0, 0.0)),
+            Vertex::new(Vec3::new(bx, by, 0.0), Vec3::Z, Vec2::new(1.0, 0.0)),
+            Vertex::new(Vec3::new(cx, cy, 0.0), Vec3::Z, Vec2::new(0.0, 1.0)),
+        ];
+        let mut raster = Rasterizer::new(96, 96);
+        for f in raster.rasterize(&camera, &tri) {
+            prop_assert!(f.x < 96 && f.y < 96);
+            prop_assert!((0.0..=1.0).contains(&f.depth));
+            prop_assert!(f.camera_angle.as_f32() >= 0.0);
+            prop_assert!(f.camera_angle.as_f32() <= std::f32::consts::FRAC_PI_2 + 1e-3);
+            // uv inside (slightly padded) unit triangle hull.
+            prop_assert!(f.uv.x >= -0.05 && f.uv.x <= 1.05);
+            prop_assert!(f.uv.y >= -0.05 && f.uv.y <= 1.05);
+        }
+    }
+
+    /// Early Z is order-independent for opaque geometry: rasterizing
+    /// two triangles in either order yields the same surviving depth at
+    /// every pixel.
+    #[test]
+    fn depth_result_is_draw_order_independent(z1 in -1.5f32..1.5, z2 in -1.5f32..1.5) {
+        let camera = Camera::look_at(Vec3::new(0.0, 0.0, 4.0), Vec3::ZERO, Vec3::Y, 1.0, 1.0);
+        let tri = |z: f32| {
+            [
+                Vertex::new(Vec3::new(-1.0, -1.0, z), Vec3::Z, Vec2::new(0.0, 0.0)),
+                Vertex::new(Vec3::new(1.0, -1.0, z), Vec3::Z, Vec2::new(1.0, 0.0)),
+                Vertex::new(Vec3::new(0.0, 1.0, z), Vec3::Z, Vec2::new(0.5, 1.0)),
+            ]
+        };
+        let depths = |first: f32, second: f32| {
+            let mut r = Rasterizer::new(48, 48);
+            r.rasterize(&camera, &tri(first));
+            r.rasterize(&camera, &tri(second));
+            (0..48)
+                .flat_map(|y| (0..48).map(move |x| (x, y)))
+                .map(|(x, y)| r.depth_buffer().depth(x, y).to_bits())
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(depths(z1, z2), depths(z2, z1));
+    }
+}

@@ -1,0 +1,196 @@
+//! Cluster throughput model.
+
+use crate::program::ShaderProgram;
+use pimgfx_engine::{Cycle, Duration, MultiServer};
+
+/// Unified-shader configuration, defaults per the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShaderConfig {
+    /// Number of shader clusters (each with a private texture unit).
+    pub clusters: usize,
+    /// Unified shaders per cluster.
+    pub shaders_per_cluster: u32,
+    /// SIMD lanes per shader (simd4-scale ALUs).
+    pub simd_width: u32,
+    /// Pipeline depth (latency of one ALU batch), cycles.
+    pub pipeline_latency: u64,
+}
+
+impl Default for ShaderConfig {
+    fn default() -> Self {
+        Self {
+            clusters: 16,
+            shaders_per_cluster: 16,
+            simd_width: 4,
+            pipeline_latency: 8,
+        }
+    }
+}
+
+impl ShaderConfig {
+    /// Scalar ALU operations one cluster retires per cycle.
+    pub fn ops_per_cycle(&self) -> u64 {
+        u64::from(self.shaders_per_cluster) * u64::from(self.simd_width)
+    }
+}
+
+/// The bank of shader clusters.
+///
+/// Each cluster is modeled as a pipelined server retiring
+/// `shaders_per_cluster × simd_width` scalar ops per cycle; a batch of
+/// invocations occupies its cluster for
+/// `ceil(total_ops / ops_per_cycle)` issue slots.
+///
+/// # Examples
+///
+/// ```
+/// use pimgfx_engine::Cycle;
+/// use pimgfx_shader::{ShaderConfig, ShaderCores, ShaderProgram};
+///
+/// let mut cores = ShaderCores::new(ShaderConfig::default());
+/// let p = ShaderProgram::new(64, 0);
+/// // 256 fragments × 64 ops = 16384 ops; at 64 ops/cycle that is 256
+/// // issue cycles (+ pipeline latency).
+/// let done = cores.shade_fragments(0, Cycle::ZERO, 256, &p);
+/// assert_eq!(done.get(), 256 + 8);
+/// ```
+#[derive(Debug)]
+pub struct ShaderCores {
+    config: ShaderConfig,
+    clusters: MultiServer,
+}
+
+impl ShaderCores {
+    /// Creates the cluster bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero clusters, shaders, or SIMD
+    /// width.
+    pub fn new(config: ShaderConfig) -> Self {
+        assert!(config.clusters > 0, "need at least one cluster");
+        assert!(
+            config.shaders_per_cluster > 0 && config.simd_width > 0,
+            "cluster compute resources must be nonzero"
+        );
+        Self {
+            clusters: MultiServer::new(config.clusters, 1, config.pipeline_latency),
+            config,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ShaderConfig {
+        &self.config
+    }
+
+    /// Runs `count` fragment invocations of `program` on a specific
+    /// cluster (tiles are affinity-scheduled); returns completion time of
+    /// the batch's ALU work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    pub fn shade_fragments(
+        &mut self,
+        cluster: usize,
+        arrival: Cycle,
+        count: u64,
+        program: &ShaderProgram,
+    ) -> Cycle {
+        let slots = self.issue_slots(count, program);
+        self.clusters.issue_on(cluster, arrival, slots)
+    }
+
+    /// Runs `count` vertex invocations on the earliest-free cluster
+    /// (vertices are not tile-bound in the unified-shader model).
+    pub fn shade_vertices(&mut self, arrival: Cycle, count: u64, program: &ShaderProgram) -> Cycle {
+        let slots = self.issue_slots(count, program);
+        self.clusters.issue_weighted(arrival, slots)
+    }
+
+    /// Issue slots (cycles of cluster occupancy) for a batch.
+    fn issue_slots(&self, count: u64, program: &ShaderProgram) -> u64 {
+        let ops = program.total_ops(count);
+        ops.div_ceil(self.config.ops_per_cycle()).max(1)
+    }
+
+    /// Total busy cycles across clusters (for the energy model).
+    pub fn total_busy(&self) -> Duration {
+        self.clusters.total_busy()
+    }
+
+    /// Resets timing between frames.
+    pub fn reset(&mut self) {
+        self.clusters.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_per_cycle_matches_table_one() {
+        // 16 shaders × simd4 = 64 scalar ops per cycle per cluster.
+        assert_eq!(ShaderConfig::default().ops_per_cycle(), 64);
+    }
+
+    #[test]
+    fn empty_batch_still_occupies_one_slot() {
+        let mut cores = ShaderCores::new(ShaderConfig::default());
+        let p = ShaderProgram::new(0, 0);
+        let done = cores.shade_fragments(0, Cycle::ZERO, 0, &p);
+        assert_eq!(done.get(), 1 + 8);
+    }
+
+    #[test]
+    fn clusters_run_independently() {
+        let mut cores = ShaderCores::new(ShaderConfig::default());
+        let p = ShaderProgram::new(64, 0);
+        let a = cores.shade_fragments(0, Cycle::ZERO, 256, &p);
+        let b = cores.shade_fragments(1, Cycle::ZERO, 256, &p);
+        assert_eq!(a, b, "different clusters do not contend");
+        let c = cores.shade_fragments(0, Cycle::ZERO, 256, &p);
+        assert!(c > a, "same cluster serializes");
+    }
+
+    #[test]
+    fn vertex_work_spreads_across_clusters() {
+        let mut cores = ShaderCores::new(ShaderConfig::default());
+        let p = ShaderProgram::vertex_default();
+        let t1 = cores.shade_vertices(Cycle::ZERO, 1000, &p);
+        let t2 = cores.shade_vertices(Cycle::ZERO, 1000, &p);
+        assert_eq!(t1, t2, "second batch lands on an idle cluster");
+    }
+
+    #[test]
+    fn heavier_programs_take_longer() {
+        let mut a = ShaderCores::new(ShaderConfig::default());
+        let mut b = ShaderCores::new(ShaderConfig::default());
+        let light = ShaderProgram::new(8, 0);
+        let heavy = ShaderProgram::new(128, 0);
+        let ta = a.shade_fragments(0, Cycle::ZERO, 256, &light);
+        let tb = b.shade_fragments(0, Cycle::ZERO, 256, &heavy);
+        assert!(tb > ta);
+    }
+
+    #[test]
+    fn busy_accounting_accumulates() {
+        let mut cores = ShaderCores::new(ShaderConfig::default());
+        let p = ShaderProgram::new(64, 0);
+        cores.shade_fragments(0, Cycle::ZERO, 64, &p);
+        assert_eq!(cores.total_busy(), Duration::new(64));
+        cores.reset();
+        assert_eq!(cores.total_busy(), Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn zero_clusters_panics() {
+        let _ = ShaderCores::new(ShaderConfig {
+            clusters: 0,
+            ..ShaderConfig::default()
+        });
+    }
+}

@@ -1,0 +1,75 @@
+//! Per-fragment/per-vertex instruction budgets.
+
+/// The instruction mix of a shader program, the knob workloads use to
+/// model heavier or lighter shading.
+///
+/// # Examples
+///
+/// ```
+/// use pimgfx_shader::ShaderProgram;
+/// let p = ShaderProgram::new(24, 1);
+/// assert_eq!(p.alu_ops, 24);
+/// assert_eq!(p.texture_samples, 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShaderProgram {
+    /// Scalar-equivalent ALU operations per invocation.
+    pub alu_ops: u32,
+    /// Texture samples requested per invocation.
+    pub texture_samples: u32,
+}
+
+impl ShaderProgram {
+    /// Creates a program description.
+    pub const fn new(alu_ops: u32, texture_samples: u32) -> Self {
+        Self {
+            alu_ops,
+            texture_samples,
+        }
+    }
+
+    /// A representative fragment shader: modest arithmetic plus one
+    /// texture lookup (diffuse map), the common case in the paper's
+    /// era of games.
+    pub const fn fragment_default() -> Self {
+        Self {
+            alu_ops: 16,
+            texture_samples: 1,
+        }
+    }
+
+    /// A representative vertex shader: transform + lighting arithmetic,
+    /// no texture access.
+    pub const fn vertex_default() -> Self {
+        Self {
+            alu_ops: 32,
+            texture_samples: 0,
+        }
+    }
+
+    /// Total scalar ALU work for `n` invocations.
+    pub fn total_ops(&self, n: u64) -> u64 {
+        u64::from(self.alu_ops) * n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let f = ShaderProgram::fragment_default();
+        assert!(f.alu_ops > 0);
+        assert_eq!(f.texture_samples, 1);
+        let v = ShaderProgram::vertex_default();
+        assert_eq!(v.texture_samples, 0);
+    }
+
+    #[test]
+    fn total_ops_scales() {
+        let p = ShaderProgram::new(10, 0);
+        assert_eq!(p.total_ops(0), 0);
+        assert_eq!(p.total_ops(256), 2560);
+    }
+}

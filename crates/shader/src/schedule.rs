@@ -1,0 +1,92 @@
+//! Tile-to-cluster scheduling.
+
+use pimgfx_types::TileCoord;
+
+/// Assigns fragment tiles to shader clusters.
+///
+/// Tiles are statically interleaved by tile index (round-robin over the
+/// screen), which keeps a tile's texture footprint resident in its
+/// cluster's private L1 texture cache across draws — the locality the
+/// baseline and A-TFIM designs both rely on.
+///
+/// # Examples
+///
+/// ```
+/// use pimgfx_shader::TileScheduler;
+/// use pimgfx_types::TileCoord;
+///
+/// let sched = TileScheduler::new(16, 40); // 16 clusters, 40 tile columns
+/// let c0 = sched.cluster_for(TileCoord::new(0, 0));
+/// let c1 = sched.cluster_for(TileCoord::new(1, 0));
+/// assert_ne!(c0, c1, "adjacent tiles land on different clusters");
+/// assert_eq!(sched.cluster_for(TileCoord::new(16, 0)), c0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileScheduler {
+    clusters: usize,
+    tiles_x: u32,
+}
+
+impl TileScheduler {
+    /// Creates a scheduler for `clusters` clusters and a screen that is
+    /// `tiles_x` tiles wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn new(clusters: usize, tiles_x: u32) -> Self {
+        assert!(clusters > 0, "need at least one cluster");
+        assert!(tiles_x > 0, "screen must be at least one tile wide");
+        Self { clusters, tiles_x }
+    }
+
+    /// The cluster that owns `tile`.
+    pub fn cluster_for(&self, tile: TileCoord) -> usize {
+        (tile.linear_index(self.tiles_x) % self.clusters as u64) as usize
+    }
+
+    /// Number of clusters being scheduled over.
+    pub fn clusters(&self) -> usize {
+        self.clusters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_covers_all_clusters() {
+        let s = TileScheduler::new(4, 8);
+        let mut seen = std::collections::HashSet::new();
+        for ty in 0..2 {
+            for tx in 0..8 {
+                seen.insert(s.cluster_for(TileCoord::new(tx, ty)));
+            }
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn assignment_is_deterministic() {
+        let s = TileScheduler::new(16, 40);
+        let t = TileCoord::new(7, 3);
+        assert_eq!(s.cluster_for(t), s.cluster_for(t));
+    }
+
+    #[test]
+    fn same_tile_same_cluster_across_rows() {
+        // With tiles_x a multiple of clusters, columns pin to clusters.
+        let s = TileScheduler::new(4, 8);
+        assert_eq!(
+            s.cluster_for(TileCoord::new(3, 0)),
+            s.cluster_for(TileCoord::new(3, 2))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn zero_clusters_panics() {
+        let _ = TileScheduler::new(0, 8);
+    }
+}

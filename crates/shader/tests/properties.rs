@@ -1,0 +1,81 @@
+//! Property-based tests for the shader-cluster timing model.
+
+use pimgfx_engine::Cycle;
+use pimgfx_shader::{ShaderConfig, ShaderCores, ShaderProgram, TileScheduler};
+use pimgfx_types::TileCoord;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Fragment batches on one cluster complete in issue order, and
+    /// completion is causal.
+    #[test]
+    fn cluster_is_causal_and_ordered(
+        batches in prop::collection::vec((0u64..1000, 1u64..512, 1u32..64), 1..50),
+    ) {
+        let mut cores = ShaderCores::new(ShaderConfig::default());
+        let mut last = Cycle::ZERO;
+        for (arrival, count, ops) in batches {
+            let p = ShaderProgram::new(ops, 1);
+            let done = cores.shade_fragments(3, Cycle::new(arrival), count, &p);
+            prop_assert!(done.get() > arrival);
+            prop_assert!(done >= last);
+            last = done;
+        }
+    }
+
+    /// Work conservation: total busy cycles equal the sum of each
+    /// batch's issue slots, independent of arrival pattern.
+    #[test]
+    fn busy_cycles_are_work_conserving(
+        batches in prop::collection::vec((0u64..1000, 1u64..512, 1u32..64), 1..50),
+    ) {
+        let mut cores = ShaderCores::new(ShaderConfig::default());
+        let mut expected = 0u64;
+        let ops_per_cycle = ShaderConfig::default().ops_per_cycle();
+        for (arrival, count, ops) in batches {
+            let p = ShaderProgram::new(ops, 0);
+            cores.shade_fragments(0, Cycle::new(arrival), count, &p);
+            expected += (u64::from(ops) * count).div_ceil(ops_per_cycle).max(1);
+        }
+        prop_assert_eq!(cores.total_busy().get(), expected);
+    }
+
+    /// Heavier programs never finish a batch earlier than lighter ones.
+    #[test]
+    fn heavier_never_faster(count in 1u64..512, light in 1u32..64, extra in 1u32..64) {
+        let mut a = ShaderCores::new(ShaderConfig::default());
+        let mut b = ShaderCores::new(ShaderConfig::default());
+        let ta = a.shade_fragments(0, Cycle::ZERO, count, &ShaderProgram::new(light, 0));
+        let tb =
+            b.shade_fragments(0, Cycle::ZERO, count, &ShaderProgram::new(light + extra, 0));
+        prop_assert!(tb >= ta);
+    }
+
+    /// The tile scheduler is a total function onto valid cluster ids and
+    /// is deterministic.
+    #[test]
+    fn scheduler_is_total_and_deterministic(
+        clusters in 1usize..32,
+        tiles_x in 1u32..128,
+        tx in 0u32..512,
+        ty in 0u32..512,
+    ) {
+        let s = TileScheduler::new(clusters, tiles_x);
+        let t = TileCoord::new(tx, ty);
+        let c = s.cluster_for(t);
+        prop_assert!(c < clusters);
+        prop_assert_eq!(c, s.cluster_for(t));
+    }
+
+    /// Over a full row of tiles, the scheduler spreads work across
+    /// at least min(clusters, tiles_x) distinct clusters.
+    #[test]
+    fn scheduler_spreads_rows(clusters in 1usize..16, tiles_x in 1u32..64) {
+        let s = TileScheduler::new(clusters, tiles_x);
+        let used: std::collections::HashSet<_> =
+            (0..tiles_x).map(|tx| s.cluster_for(TileCoord::new(tx, 0))).collect();
+        prop_assert!(used.len() >= clusters.min(tiles_x as usize));
+    }
+}

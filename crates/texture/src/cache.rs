@@ -1,0 +1,387 @@
+//! Set-associative texture caches, optionally with camera-angle tags.
+//!
+//! Table I of the paper configures a 16 KB 16-way L1 texture cache per
+//! cluster and a shared 128 KB 16-way L2, both with 64-byte lines. The
+//! A-TFIM design extends each line with a 7-bit camera-angle tag: a fetch
+//! that hits the tag array but whose pixel views the surface from a
+//! sufficiently different angle is treated as a miss, forcing the parent
+//! texel to be recomputed in the HMC (§V-C).
+
+use pimgfx_types::{ConfigError, Radians, Result};
+
+/// Texture cache geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+}
+
+impl CacheConfig {
+    /// The paper's L1 texture cache: 16 KB, 16-way, 64 B lines.
+    pub fn l1_default() -> Self {
+        Self {
+            size_bytes: 16 * 1024,
+            ways: 16,
+            line_bytes: 64,
+        }
+    }
+
+    /// The paper's L2 texture cache: 128 KB, 16-way, 64 B lines.
+    pub fn l2_default() -> Self {
+        Self {
+            size_bytes: 128 * 1024,
+            ways: 16,
+            line_bytes: 64,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (u64::from(self.ways) * self.line_bytes)
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if any parameter is zero or the capacity is
+    /// not an exact multiple of `ways × line_bytes`.
+    pub fn validate(&self) -> Result<()> {
+        if self.size_bytes == 0 || self.ways == 0 || self.line_bytes == 0 {
+            return Err(ConfigError::new(
+                "texture cache",
+                "all parameters must be nonzero",
+            ));
+        }
+        if !self
+            .size_bytes
+            .is_multiple_of(u64::from(self.ways) * self.line_bytes)
+        {
+            return Err(ConfigError::new(
+                "texture cache",
+                "capacity must be a whole number of sets",
+            ));
+        }
+        if self.sets() == 0 {
+            return Err(ConfigError::new(
+                "texture cache",
+                "geometry yields zero sets",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Result of a cache probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheOutcome {
+    /// Line present (and angle compatible, if angles are checked).
+    Hit,
+    /// Line absent; it has been filled (and tagged) by this access.
+    Miss,
+    /// Line present but the camera-angle difference exceeded the
+    /// threshold; treated as a miss and re-tagged with the new angle
+    /// (A-TFIM recalculation, §V-C).
+    AngleMiss,
+}
+
+impl CacheOutcome {
+    /// True for any outcome that requires fetching from the next level.
+    pub fn is_miss(self) -> bool {
+        !matches!(self, CacheOutcome::Hit)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    /// Camera angle of the pixel that filled the line (A-TFIM).
+    angle: Radians,
+    /// LRU stamp: larger = more recently used.
+    lru: u64,
+}
+
+/// A set-associative cache with LRU replacement and optional per-line
+/// camera-angle tags.
+///
+/// # Examples
+///
+/// ```
+/// use pimgfx_texture::{CacheConfig, CacheOutcome, TextureCache};
+///
+/// let mut c = TextureCache::new(CacheConfig::l1_default())?;
+/// assert_eq!(c.access(0x40), CacheOutcome::Miss);
+/// assert_eq!(c.access(0x40), CacheOutcome::Hit);
+/// assert_eq!(c.access(0x7f), CacheOutcome::Hit); // same 64B line
+/// # Ok::<(), pimgfx_types::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextureCache {
+    config: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    angle_misses: u64,
+}
+
+impl TextureCache {
+    /// Builds a cache from a validated geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the geometry is invalid.
+    pub fn new(config: CacheConfig) -> Result<Self> {
+        config.validate()?;
+        let sets = (0..config.sets())
+            .map(|_| {
+                vec![
+                    Line {
+                        tag: 0,
+                        valid: false,
+                        angle: Radians::ZERO,
+                        lru: 0
+                    };
+                    config.ways as usize
+                ]
+            })
+            .collect();
+        Ok(Self {
+            config,
+            sets,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            angle_misses: 0,
+        })
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Probes (and on miss, fills) the line containing `addr`.
+    pub fn access(&mut self, addr: u64) -> CacheOutcome {
+        self.access_with_angle(addr, None, Radians::PI)
+    }
+
+    /// Probes with an optional camera angle.
+    ///
+    /// When `angle` is `Some`, a tag hit additionally requires
+    /// `|Δangle| ≤ threshold`; otherwise the access is an [`CacheOutcome::AngleMiss`]
+    /// and the line is re-tagged with the new angle. When `angle` is
+    /// `None` the angle check is skipped (non-A-TFIM designs).
+    pub fn access_with_angle(
+        &mut self,
+        addr: u64,
+        angle: Option<Radians>,
+        threshold: Radians,
+    ) -> CacheOutcome {
+        self.clock += 1;
+        let line_addr = addr / self.config.line_bytes;
+        let set_idx = (line_addr % self.config.sets()) as usize;
+        let tag = line_addr / self.config.sets();
+        let clock = self.clock;
+        let set = &mut self.sets[set_idx];
+
+        // Probe.
+        if let Some(way) = set.iter().position(|l| l.valid && l.tag == tag) {
+            let line = &mut set[way];
+            line.lru = clock;
+            if let Some(a) = angle {
+                if a.abs_diff(line.angle) > threshold {
+                    line.angle = a;
+                    self.angle_misses += 1;
+                    return CacheOutcome::AngleMiss;
+                }
+            }
+            self.hits += 1;
+            return CacheOutcome::Hit;
+        }
+
+        // Fill into the LRU way.
+        let victim = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| if l.valid { l.lru } else { 0 })
+            .map(|(i, _)| i)
+            .expect("cache set is never empty");
+        set[victim] = Line {
+            tag,
+            valid: true,
+            angle: angle.unwrap_or(Radians::ZERO),
+            lru: clock,
+        };
+        self.misses += 1;
+        CacheOutcome::Miss
+    }
+
+    /// `(hits, misses, angle_misses)` counters.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.angle_misses)
+    }
+
+    /// Hit rate over all accesses (angle misses count as misses).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses + self.angle_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Invalidates all lines and clears statistics.
+    pub fn reset(&mut self) {
+        for set in &mut self.sets {
+            for line in set {
+                line.valid = false;
+            }
+        }
+        self.clock = 0;
+        self.hits = 0;
+        self.misses = 0;
+        self.angle_misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache() -> TextureCache {
+        // 2 sets × 2 ways × 64 B = 256 B.
+        TextureCache::new(CacheConfig {
+            size_bytes: 256,
+            ways: 2,
+            line_bytes: 64,
+        })
+        .expect("valid geometry")
+    }
+
+    #[test]
+    fn geometry_is_table_one() {
+        let l1 = CacheConfig::l1_default();
+        assert_eq!(l1.sets(), 16); // 16KB / (16 × 64)
+        let l2 = CacheConfig::l2_default();
+        assert_eq!(l2.sets(), 128);
+        assert!(l1.validate().is_ok());
+        assert!(l2.validate().is_ok());
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small_cache();
+        assert_eq!(c.access(0), CacheOutcome::Miss);
+        assert_eq!(c.access(0), CacheOutcome::Hit);
+        assert_eq!(c.access(63), CacheOutcome::Hit);
+        assert_eq!(c.access(64), CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small_cache();
+        // Set 0 holds lines with even line numbers: 0, 128, 256...
+        assert_eq!(c.access(0), CacheOutcome::Miss); // A
+        assert_eq!(c.access(128), CacheOutcome::Miss); // B
+        assert_eq!(c.access(0), CacheOutcome::Hit); // A refreshed
+        assert_eq!(c.access(256), CacheOutcome::Miss); // evicts B
+        assert_eq!(c.access(0), CacheOutcome::Hit);
+        assert_eq!(c.access(128), CacheOutcome::Miss); // B was evicted
+    }
+
+    #[test]
+    fn angle_within_threshold_hits() {
+        let mut c = small_cache();
+        let t = Radians::from_pi_fraction(0.01);
+        c.access_with_angle(0, Some(Radians::new(0.10)), t);
+        let out = c.access_with_angle(0, Some(Radians::new(0.11)), t);
+        assert_eq!(out, CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn angle_beyond_threshold_misses_and_retags() {
+        let mut c = small_cache();
+        let t = Radians::from_pi_fraction(0.01);
+        c.access_with_angle(0, Some(Radians::new(0.0)), t);
+        let out = c.access_with_angle(0, Some(Radians::new(0.5)), t);
+        assert_eq!(out, CacheOutcome::AngleMiss);
+        // The line now carries the new angle: same angle hits again.
+        let out2 = c.access_with_angle(0, Some(Radians::new(0.5)), t);
+        assert_eq!(out2, CacheOutcome::Hit);
+        assert_eq!(c.stats().2, 1);
+    }
+
+    #[test]
+    fn none_angle_skips_check() {
+        let mut c = small_cache();
+        c.access_with_angle(0, Some(Radians::new(0.0)), Radians::ZERO);
+        assert_eq!(c.access(0), CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn hit_rate_counts_angle_misses_as_misses() {
+        let mut c = small_cache();
+        let t = Radians::ZERO;
+        c.access_with_angle(0, Some(Radians::new(0.0)), t); // miss
+        c.access_with_angle(0, Some(Radians::new(1.0)), t); // angle miss
+        c.access_with_angle(0, Some(Radians::new(1.0)), t); // hit
+        assert!((c.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_geometry() {
+        assert!(TextureCache::new(CacheConfig {
+            size_bytes: 100,
+            ways: 3,
+            line_bytes: 64
+        })
+        .is_err());
+        assert!(TextureCache::new(CacheConfig {
+            size_bytes: 0,
+            ways: 1,
+            line_bytes: 64
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn reset_invalidates() {
+        let mut c = small_cache();
+        c.access(0);
+        c.reset();
+        assert_eq!(c.access(0), CacheOutcome::Miss);
+        assert_eq!(c.stats(), (0, 1, 0));
+    }
+
+    #[test]
+    fn streaming_working_set_larger_than_cache_thrashes() {
+        let mut c = small_cache();
+        // 16 distinct lines through a 4-line cache, twice: all misses.
+        for _ in 0..2 {
+            for i in 0..16u64 {
+                c.access(i * 64);
+            }
+        }
+        assert_eq!(c.stats().0, 0, "no hits expected");
+    }
+
+    #[test]
+    fn repeated_working_set_within_capacity_hits() {
+        let mut c = small_cache();
+        for round in 0..4 {
+            for i in 0..4u64 {
+                let out = c.access(i * 64);
+                if round > 0 {
+                    assert_eq!(out, CacheOutcome::Hit);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Screen-space derivative math: level of detail and anisotropy.
+//!
+//! Given the texture-coordinate derivatives of a pixel (`∂uv/∂x`,
+//! `∂uv/∂y`, in texel units of the base level), the footprint decides
+//! which mip level(s) to read and how elongated the sampling kernel is.
+//! The anisotropy ratio — the elongation of the pixel's projection onto
+//! the texture — is what makes oblique surfaces expensive: a 16:1
+//! footprint needs 16 trilinear probes (128 texels) per pixel.
+
+use pimgfx_types::{Radians, Vec2};
+
+/// The filtering footprint of one pixel on one texture.
+///
+/// # Examples
+///
+/// ```
+/// use pimgfx_texture::Footprint;
+/// use pimgfx_types::Vec2;
+///
+/// // A head-on surface: both derivative vectors have length 4 texels.
+/// let fp = Footprint::from_derivatives(Vec2::new(4.0, 0.0), Vec2::new(0.0, 4.0), 16);
+/// assert_eq!(fp.aniso_ratio, 1);
+/// assert!((fp.lod - 2.0).abs() < 1e-5); // log2(4)
+///
+/// // An oblique surface: 16 texels in x, 2 in y => 8:1 anisotropy.
+/// let fp = Footprint::from_derivatives(Vec2::new(16.0, 0.0), Vec2::new(0.0, 2.0), 16);
+/// assert_eq!(fp.aniso_ratio, 8);
+/// assert!((fp.lod - 1.0).abs() < 1e-5); // lod follows the *minor* axis
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Footprint {
+    /// Mip level of detail (λ); fractional part blends two levels.
+    pub lod: f32,
+    /// Number of anisotropic probes (1 = isotropic), clamped to the
+    /// sampler's maximum and rounded up to the next power of two like
+    /// hardware implementations.
+    pub aniso_ratio: u32,
+    /// Unit direction of the major footprint axis in uv space (texels of
+    /// the base level); meaningful only when `aniso_ratio > 1`.
+    pub major_axis: Vec2,
+    /// Length of the major axis in base-level texels.
+    pub major_len: f32,
+}
+
+impl Footprint {
+    /// Computes the footprint from screen-space derivatives expressed in
+    /// base-level texel units.
+    ///
+    /// `max_aniso` caps the probe count (Table I sweeps up to 16×); a cap
+    /// of 1 disables anisotropic filtering entirely, reproducing the
+    /// paper's "anisotropic filtering disabled" experiment (Fig. 4).
+    pub fn from_derivatives(duv_dx: Vec2, duv_dy: Vec2, max_aniso: u32) -> Self {
+        let max_aniso = max_aniso.max(1);
+        let len_x = duv_dx.length();
+        let len_y = duv_dy.length();
+        let (major, major_len, minor_len) = if len_x >= len_y {
+            (duv_dx, len_x, len_y)
+        } else {
+            (duv_dy, len_y, len_x)
+        };
+
+        // Degenerate footprints (point sampling a flat-on texel) are
+        // isotropic at the base level.
+        if major_len <= f32::EPSILON {
+            return Self {
+                lod: 0.0,
+                aniso_ratio: 1,
+                major_axis: Vec2::new(1.0, 0.0),
+                major_len: 0.0,
+            };
+        }
+
+        let minor_len = minor_len.max(major_len / max_aniso as f32).max(1e-6);
+        let ratio = (major_len / minor_len).max(1.0);
+        // Hardware rounds the probe count up to a power of two.
+        let aniso_ratio = ratio.ceil().min(max_aniso as f32) as u32;
+        let aniso_ratio = aniso_ratio
+            .next_power_of_two()
+            .min(max_aniso.next_power_of_two());
+
+        // LOD follows the minor axis so the kernel stays sharp along the
+        // major axis (the whole point of anisotropic filtering).
+        let lod = minor_len.log2().max(0.0);
+
+        Self {
+            lod,
+            aniso_ratio,
+            major_axis: major / major_len,
+            major_len,
+        }
+    }
+
+    /// The footprint of the same pixel with anisotropy forced off: LOD is
+    /// recomputed from the *major* axis so the kernel covers the whole
+    /// footprint isotropically (blurry but alias-free). This is the
+    /// conventional non-aniso fallback.
+    pub fn isotropic(&self) -> Self {
+        Self {
+            lod: if self.major_len > 0.0 {
+                self.major_len.log2().max(0.0)
+            } else {
+                0.0
+            },
+            aniso_ratio: 1,
+            major_axis: self.major_axis,
+            major_len: self.major_len,
+        }
+    }
+
+    /// The two mip levels a trilinear kernel blends, and the blend weight
+    /// toward the coarser level, clamped to `max_level`.
+    pub fn mip_levels(&self, max_level: f32) -> (usize, usize, f32) {
+        let lod = self.lod.clamp(0.0, max_level);
+        let fine = lod.floor();
+        let coarse = (fine + 1.0).min(max_level);
+        (fine as usize, coarse as usize, lod - fine)
+    }
+
+    /// Texels a conventional (bilinear→trilinear→aniso) filter fetches
+    /// for this footprint: `aniso_ratio` probes × 2 levels × 4 texels.
+    pub fn conventional_texel_count(&self) -> u32 {
+        self.aniso_ratio * 8
+    }
+
+    /// Parent texels the A-TFIM GPU-side fetch needs (aniso disabled
+    /// view): 2 levels × 4 texels.
+    pub fn parent_texel_count(&self) -> u32 {
+        8
+    }
+
+    /// The camera angle of a surface whose normal makes `cos_theta` with
+    /// the view direction — the quantity A-TFIM tags texture-cache lines
+    /// with. Oblique surfaces (small `cos_theta`) have large angles and
+    /// high anisotropy.
+    pub fn camera_angle(cos_theta: f32) -> Radians {
+        Radians::new(cos_theta.clamp(-1.0, 1.0).acos())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isotropic_footprint_has_ratio_one() {
+        let fp = Footprint::from_derivatives(Vec2::new(1.0, 0.0), Vec2::new(0.0, 1.0), 16);
+        assert_eq!(fp.aniso_ratio, 1);
+        assert!((fp.lod - 0.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn oblique_footprint_is_anisotropic() {
+        let fp = Footprint::from_derivatives(Vec2::new(8.0, 0.0), Vec2::new(0.0, 1.0), 16);
+        assert_eq!(fp.aniso_ratio, 8);
+        assert_eq!(fp.major_axis, Vec2::new(1.0, 0.0));
+        assert!((fp.major_len - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_aniso_clamps_ratio_and_blurs_lod() {
+        let fp = Footprint::from_derivatives(Vec2::new(32.0, 0.0), Vec2::new(0.0, 1.0), 4);
+        assert_eq!(fp.aniso_ratio, 4);
+        // minor axis stretched to major/4 = 8 texels -> lod 3.
+        assert!((fp.lod - 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ratio_rounds_to_power_of_two() {
+        let fp = Footprint::from_derivatives(Vec2::new(5.0, 0.0), Vec2::new(0.0, 1.0), 16);
+        assert_eq!(fp.aniso_ratio, 8);
+        let fp = Footprint::from_derivatives(Vec2::new(3.0, 0.0), Vec2::new(0.0, 1.0), 16);
+        assert_eq!(fp.aniso_ratio, 4);
+    }
+
+    #[test]
+    fn degenerate_derivatives_sample_base_level() {
+        let fp = Footprint::from_derivatives(Vec2::ZERO, Vec2::ZERO, 16);
+        assert_eq!(fp.aniso_ratio, 1);
+        assert_eq!(fp.lod, 0.0);
+    }
+
+    #[test]
+    fn disabling_aniso_raises_lod() {
+        let fp = Footprint::from_derivatives(Vec2::new(16.0, 0.0), Vec2::new(0.0, 2.0), 16);
+        let iso = fp.isotropic();
+        assert_eq!(iso.aniso_ratio, 1);
+        assert!(
+            iso.lod > fp.lod,
+            "isotropic fallback picks a blurrier level"
+        );
+        assert!((iso.lod - 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn mip_levels_clamp_to_chain() {
+        let fp = Footprint::from_derivatives(Vec2::new(256.0, 0.0), Vec2::new(0.0, 256.0), 16);
+        let (fine, coarse, w) = fp.mip_levels(3.0);
+        assert_eq!((fine, coarse), (3, 3));
+        assert_eq!(w, 0.0);
+    }
+
+    #[test]
+    fn mip_levels_split_fractional_lod() {
+        let fp = Footprint {
+            lod: 1.25,
+            aniso_ratio: 1,
+            major_axis: Vec2::new(1.0, 0.0),
+            major_len: 2.0,
+        };
+        let (fine, coarse, w) = fp.mip_levels(10.0);
+        assert_eq!((fine, coarse), (1, 2));
+        assert!((w - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn texel_counts_follow_paper_formula() {
+        // 16x aniso => 16*2*4 = 128 texels (paper §II-C).
+        let fp = Footprint::from_derivatives(Vec2::new(16.0, 0.0), Vec2::new(0.0, 1.0), 16);
+        assert_eq!(fp.conventional_texel_count(), 128);
+        assert_eq!(fp.parent_texel_count(), 8);
+    }
+
+    #[test]
+    fn camera_angle_from_cosine() {
+        assert!((Footprint::camera_angle(1.0).as_f32() - 0.0).abs() < 1e-6);
+        assert!((Footprint::camera_angle(0.0).as_f32() - std::f32::consts::FRAC_PI_2).abs() < 1e-6);
+        // Clamps junk cosines instead of returning NaN.
+        assert!(!Footprint::camera_angle(1.5).as_f32().is_nan());
+    }
+}

@@ -1,0 +1,227 @@
+//! Mip-chain generation and mipmapped textures.
+//!
+//! Mipmaps are pre-computed, progressively half-resolution versions of a
+//! texture. Trilinear and anisotropic filtering blend between adjacent
+//! levels; the mip pyramid is also what keeps the texel footprint of a
+//! minified texture bounded.
+
+use crate::image::{TextureImage, WrapMode};
+use pimgfx_types::{Rgba, TextureId};
+
+/// A texture together with its full mip pyramid.
+///
+/// Level 0 is the base image; each further level is a 2×2 box-filtered
+/// half-resolution reduction, down to 1×1.
+///
+/// # Examples
+///
+/// ```
+/// use pimgfx_texture::{MippedTexture, TextureImage};
+/// use pimgfx_types::Rgba;
+///
+/// let base = TextureImage::filled(8, 4, Rgba::WHITE);
+/// let tex = MippedTexture::with_full_chain(base);
+/// assert_eq!(tex.level_count(), 4); // 8x4, 4x2, 2x1, 1x1
+/// assert_eq!(tex.level(3).width(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MippedTexture {
+    id: TextureId,
+    levels: Vec<TextureImage>,
+    wrap: WrapMode,
+}
+
+impl MippedTexture {
+    /// Builds the full mip chain from a base image by repeated 2×2 box
+    /// filtering.
+    pub fn with_full_chain(base: TextureImage) -> Self {
+        let mut levels = vec![base];
+        while {
+            let last = levels.last().expect("chain is never empty");
+            last.width() > 1 || last.height() > 1
+        } {
+            let last = levels.last().expect("chain is never empty");
+            levels.push(downsample(last));
+        }
+        Self {
+            id: TextureId::new(0),
+            levels,
+            wrap: WrapMode::Repeat,
+        }
+    }
+
+    /// Wraps an explicit chain of levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is empty or a level is not (roughly) half the
+    /// previous one in each dimension.
+    pub fn from_levels(levels: Vec<TextureImage>) -> Self {
+        assert!(!levels.is_empty(), "a texture needs at least one level");
+        for w in levels.windows(2) {
+            let expect_w = (w[0].width() / 2).max(1);
+            let expect_h = (w[0].height() / 2).max(1);
+            assert_eq!(
+                (w[1].width(), w[1].height()),
+                (expect_w, expect_h),
+                "mip levels must halve each dimension"
+            );
+        }
+        Self {
+            id: TextureId::new(0),
+            levels,
+            wrap: WrapMode::Repeat,
+        }
+    }
+
+    /// Returns the texture with a specific identifier (used to derive its
+    /// simulated memory addresses).
+    pub fn with_id(mut self, id: TextureId) -> Self {
+        self.id = id;
+        self
+    }
+
+    /// Returns the texture with a specific wrap mode.
+    pub fn with_wrap(mut self, wrap: WrapMode) -> Self {
+        self.wrap = wrap;
+        self
+    }
+
+    /// The texture identifier.
+    pub fn id(&self) -> TextureId {
+        self.id
+    }
+
+    /// The wrap mode applied on sampling.
+    pub fn wrap(&self) -> WrapMode {
+        self.wrap
+    }
+
+    /// Number of mip levels (≥ 1).
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Mip level `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= level_count()`.
+    pub fn level(&self, l: usize) -> &TextureImage {
+        &self.levels[l]
+    }
+
+    /// The highest valid level index.
+    pub fn max_level(&self) -> f32 {
+        (self.levels.len() - 1) as f32
+    }
+
+    /// Base-level width in texels.
+    pub fn width(&self) -> u32 {
+        self.levels[0].width()
+    }
+
+    /// Base-level height in texels.
+    pub fn height(&self) -> u32 {
+        self.levels[0].height()
+    }
+
+    /// Total texel count across all levels (storage footprint).
+    pub fn total_texels(&self) -> u64 {
+        self.levels.iter().map(|l| l.texel_count() as u64).sum()
+    }
+}
+
+/// 2×2 box-filter reduction (averaging), with edge replication for odd
+/// dimensions.
+fn downsample(src: &TextureImage) -> TextureImage {
+    let w = (src.width() / 2).max(1);
+    let h = (src.height() / 2).max(1);
+    TextureImage::from_fn(w, h, |x, y| {
+        let x0 = (2 * x).min(src.width() - 1);
+        let y0 = (2 * y).min(src.height() - 1);
+        let x1 = (2 * x + 1).min(src.width() - 1);
+        let y1 = (2 * y + 1).min(src.height() - 1);
+        average4(
+            src.texel(x0, y0),
+            src.texel(x1, y0),
+            src.texel(x0, y1),
+            src.texel(x1, y1),
+        )
+    })
+}
+
+fn average4(a: Rgba, b: Rgba, c: Rgba, d: Rgba) -> Rgba {
+    (a + b + c + d) * 0.25
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_chain_reaches_one_by_one() {
+        let tex = MippedTexture::with_full_chain(TextureImage::filled(16, 16, Rgba::WHITE));
+        assert_eq!(tex.level_count(), 5);
+        assert_eq!(tex.level(4).width(), 1);
+        assert_eq!(tex.level(4).height(), 1);
+    }
+
+    #[test]
+    fn non_square_chain_halves_each_dimension() {
+        let tex = MippedTexture::with_full_chain(TextureImage::filled(8, 2, Rgba::WHITE));
+        let dims: Vec<_> = (0..tex.level_count())
+            .map(|l| (tex.level(l).width(), tex.level(l).height()))
+            .collect();
+        assert_eq!(dims, vec![(8, 2), (4, 1), (2, 1), (1, 1)]);
+    }
+
+    #[test]
+    fn downsample_averages_blocks() {
+        let base = TextureImage::from_fn(2, 2, |x, y| {
+            if x == 0 && y == 0 {
+                Rgba::WHITE
+            } else {
+                Rgba::BLACK
+            }
+        });
+        let tex = MippedTexture::with_full_chain(base);
+        let top = tex.level(1).texel(0, 0);
+        assert!((top.r - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn constant_texture_stays_constant_across_levels() {
+        let c = Rgba::new(0.2, 0.4, 0.6, 1.0);
+        let tex = MippedTexture::with_full_chain(TextureImage::filled(32, 32, c));
+        for l in 0..tex.level_count() {
+            let t = tex.level(l).texel(0, 0);
+            assert!(t.max_channel_diff(c) < 0.01, "level {l} drifted");
+        }
+    }
+
+    #[test]
+    fn total_texels_sums_pyramid() {
+        let tex = MippedTexture::with_full_chain(TextureImage::filled(4, 4, Rgba::BLACK));
+        // 16 + 4 + 1
+        assert_eq!(tex.total_texels(), 21);
+    }
+
+    #[test]
+    #[should_panic(expected = "halve")]
+    fn from_levels_validates_chain() {
+        let _ = MippedTexture::from_levels(vec![
+            TextureImage::filled(8, 8, Rgba::BLACK),
+            TextureImage::filled(3, 4, Rgba::BLACK),
+        ]);
+    }
+
+    #[test]
+    fn builder_setters() {
+        let tex = MippedTexture::with_full_chain(TextureImage::filled(2, 2, Rgba::BLACK))
+            .with_id(TextureId::new(7))
+            .with_wrap(WrapMode::Clamp);
+        assert_eq!(tex.id(), TextureId::new(7));
+        assert_eq!(tex.wrap(), WrapMode::Clamp);
+    }
+}

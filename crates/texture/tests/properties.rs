@@ -1,0 +1,171 @@
+//! Property-based tests for the texture subsystem's core invariants.
+
+use pimgfx_texture::{
+    filter, CacheConfig, CacheOutcome, Footprint, MippedTexture, Sampler, SamplerConfig,
+    TextureCache, TextureImage, WrapMode,
+};
+use pimgfx_types::{Radians, Rgba, Vec2};
+use proptest::prelude::*;
+
+fn arb_texture() -> impl Strategy<Value = MippedTexture> {
+    (4u32..=64, any::<u64>()).prop_map(|(size, seed)| {
+        let size = size.next_power_of_two();
+        MippedTexture::with_full_chain(TextureImage::from_fn(size, size, |x, y| {
+            // A deterministic pseudo-random pattern per texel.
+            let h = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(u64::from(x) << 32 | u64::from(y));
+            let v = ((h >> 16) & 0xFF) as f32 / 255.0;
+            Rgba::new(v, 1.0 - v, v * 0.5, 1.0)
+        }))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// §V-B of the paper: reordering anisotropic filtering ahead of the
+    /// bilinear/trilinear blend must not change the output color.
+    #[test]
+    fn filter_reorder_identity(
+        tex in arb_texture(),
+        u in 0.0f32..1.0,
+        v in 0.0f32..1.0,
+        dx in 0.1f32..24.0,
+        dy in 0.1f32..24.0,
+        max_aniso in 1u32..=16,
+    ) {
+        let fp = Footprint::from_derivatives(
+            Vec2::new(dx, 0.0),
+            Vec2::new(0.0, dy),
+            max_aniso,
+        );
+        let uv = Vec2::new(u, v);
+        let mut f1 = Vec::new();
+        let conventional = filter::anisotropic_conventional(&tex, uv, &fp, &mut f1);
+        let mut f2 = Vec::new();
+        let mut children = 0;
+        let reordered = filter::anisotropic_reordered(&tex, uv, &fp, &mut f2, &mut children);
+        prop_assert!(
+            conventional.max_channel_diff(reordered) < 1e-3,
+            "reorder mismatch: {conventional:?} vs {reordered:?} (fp {fp:?})"
+        );
+        // The reordered (A-TFIM) order never fetches more parent texels
+        // than a plain trilinear kernel would.
+        prop_assert!(f2.len() <= 8);
+    }
+
+    /// Wrap modes always fold any index into range.
+    #[test]
+    fn wrap_modes_fold_into_range(i in -1000i64..1000, n in 1u32..512) {
+        for mode in [WrapMode::Repeat, WrapMode::Clamp, WrapMode::Mirror] {
+            let w = mode.wrap(i, n);
+            prop_assert!(w < n, "{mode:?} produced {w} for n={n}");
+        }
+    }
+
+    /// Repeat wrapping is periodic.
+    #[test]
+    fn repeat_wrap_is_periodic(i in -500i64..500, n in 1u32..128) {
+        let m = WrapMode::Repeat;
+        prop_assert_eq!(m.wrap(i, n), m.wrap(i + i64::from(n), n));
+    }
+
+    /// Every sampled color stays inside the hull of texel values
+    /// (filters are convex combinations).
+    #[test]
+    fn filtering_is_a_convex_combination(
+        tex in arb_texture(),
+        u in 0.0f32..1.0,
+        v in 0.0f32..1.0,
+        dx in 0.01f32..16.0,
+    ) {
+        let sampler = Sampler::new(SamplerConfig::default());
+        let s = sampler.sample(&tex, Vec2::new(u, v), Vec2::new(dx, 0.0), Vec2::new(0.0, dx));
+        for c in [s.color.r, s.color.g, s.color.b, s.color.a] {
+            prop_assert!((-1e-4..=1.0 + 1e-4).contains(&c), "channel {c} out of hull");
+        }
+    }
+
+    /// The anisotropy ratio is always within [1, next_pow2(max_aniso)]
+    /// and the mip-level pair is always adjacent and in range.
+    #[test]
+    fn footprint_invariants(
+        dxx in -64.0f32..64.0,
+        dxy in -64.0f32..64.0,
+        dyx in -64.0f32..64.0,
+        dyy in -64.0f32..64.0,
+        max_aniso in 1u32..=16,
+        max_level in 0.0f32..12.0,
+    ) {
+        let fp = Footprint::from_derivatives(
+            Vec2::new(dxx, dxy),
+            Vec2::new(dyx, dyy),
+            max_aniso,
+        );
+        prop_assert!(fp.aniso_ratio >= 1);
+        prop_assert!(fp.aniso_ratio <= max_aniso.next_power_of_two());
+        prop_assert!(fp.lod >= 0.0);
+        let (fine, coarse, w) = fp.mip_levels(max_level);
+        prop_assert!(fine <= coarse);
+        prop_assert!(coarse <= max_level as usize);
+        prop_assert!(coarse - fine <= 1);
+        prop_assert!((0.0..=1.0).contains(&w));
+    }
+
+    /// Cache accesses never report a hit for a line that was never
+    /// filled, and the same line twice in a row always hits.
+    #[test]
+    fn cache_fill_then_hit(addrs in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut cache = TextureCache::new(CacheConfig::l1_default()).expect("valid");
+        let mut filled = std::collections::HashSet::new();
+        for addr in addrs {
+            let line = addr / 64;
+            let out = cache.access(addr);
+            if !filled.contains(&line) {
+                prop_assert_eq!(out, CacheOutcome::Miss, "hit on never-filled line");
+            }
+            filled.insert(line);
+            // Immediate re-access of the same line is always a hit
+            // (the line was just filled or refreshed as MRU).
+            prop_assert_eq!(cache.access(addr), CacheOutcome::Hit);
+        }
+    }
+
+    /// An angle-tagged access with a threshold of π never angle-misses.
+    #[test]
+    fn max_threshold_never_angle_misses(
+        addrs in prop::collection::vec(0u64..100_000, 1..100),
+        angles in prop::collection::vec(0.0f32..6.2, 1..100),
+    ) {
+        let mut cache = TextureCache::new(CacheConfig::l1_default()).expect("valid");
+        for (addr, angle) in addrs.iter().zip(angles.iter().cycle()) {
+            let out = cache.access_with_angle(*addr, Some(Radians::new(*angle)), Radians::PI);
+            prop_assert_ne!(out, CacheOutcome::AngleMiss);
+        }
+    }
+
+    /// Mipmap pyramids preserve the mean color (box filtering is an
+    /// average), within 8-bit quantization drift per level.
+    #[test]
+    fn mip_chain_preserves_mean(tex in arb_texture()) {
+        let mean_of = |img: &TextureImage| {
+            let mut sum = 0.0f64;
+            for y in 0..img.height() {
+                for x in 0..img.width() {
+                    sum += f64::from(img.texel(x, y).r);
+                }
+            }
+            sum / f64::from(img.width() * img.height())
+        };
+        let base_mean = mean_of(tex.level(0));
+        let top = tex.level(tex.level_count() - 1);
+        let drift = (mean_of(top) - base_mean).abs();
+        // Allow ~1 LSB of quantization drift per level.
+        prop_assert!(
+            drift < 0.004 * tex.level_count() as f64 + 0.02,
+            "mean drifted {drift} over {} levels",
+            tex.level_count()
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Angle newtype used by the A-TFIM camera-angle approximation.
+//!
+//! The A-TFIM design tags each texture-cache line with the camera angle of
+//! the pixel that produced the cached parent texel. A later fetch may reuse
+//! the cached value only when the absolute angular difference is below a
+//! configurable threshold (the paper sweeps 0.005π … 0.1π radians).
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// An angle in radians.
+///
+/// Kept as a newtype so thresholds in degrees and radians cannot be mixed
+/// up (the paper quotes both: 1.8° = 0.01π rad).
+///
+/// # Examples
+///
+/// ```
+/// use pimgfx_types::Radians;
+/// let t = Radians::from_degrees(1.8);
+/// assert!((t.as_f32() - Radians::from_pi_fraction(0.01).as_f32()).abs() < 1e-4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Radians(f32);
+
+impl Radians {
+    /// The zero angle.
+    pub const ZERO: Self = Self(0.0);
+    /// π radians.
+    pub const PI: Self = Self(std::f32::consts::PI);
+
+    /// Creates an angle from raw radians.
+    #[inline]
+    pub const fn new(radians: f32) -> Self {
+        Self(radians)
+    }
+
+    /// Creates an angle from degrees.
+    #[inline]
+    pub fn from_degrees(deg: f32) -> Self {
+        Self(deg.to_radians())
+    }
+
+    /// Creates an angle expressed as a multiple of π, the notation the
+    /// paper uses for thresholds (e.g. `0.01π`).
+    #[inline]
+    pub fn from_pi_fraction(fraction: f32) -> Self {
+        Self(fraction * std::f32::consts::PI)
+    }
+
+    /// Raw radians value.
+    #[inline]
+    pub const fn as_f32(self) -> f32 {
+        self.0
+    }
+
+    /// Value in degrees.
+    #[inline]
+    pub fn to_degrees(self) -> f32 {
+        self.0.to_degrees()
+    }
+
+    /// Absolute angular difference, folded into `[0, π]`.
+    ///
+    /// Two camera angles that differ by `2π` describe the same viewing
+    /// direction, so the difference is computed on the circle.
+    #[inline]
+    pub fn abs_diff(self, rhs: Self) -> Self {
+        let two_pi = 2.0 * std::f32::consts::PI;
+        let mut d = (self.0 - rhs.0).rem_euclid(two_pi);
+        if d > std::f32::consts::PI {
+            d = two_pi - d;
+        }
+        Self(d)
+    }
+
+    /// Absolute value.
+    #[inline]
+    pub fn abs(self) -> Self {
+        Self(self.0.abs())
+    }
+}
+
+impl Add for Radians {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Radians {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Radians {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} rad ({:.2}°)", self.0, self.to_degrees())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_radian_equivalence() {
+        // The paper's default threshold: 1.8° == 0.01π rad.
+        let a = Radians::from_degrees(1.8);
+        let b = Radians::from_pi_fraction(0.01);
+        assert!((a.as_f32() - b.as_f32()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn abs_diff_is_symmetric() {
+        let a = Radians::new(0.3);
+        let b = Radians::new(1.1);
+        assert!((a.abs_diff(b).as_f32() - b.abs_diff(a).as_f32()).abs() < 1e-6);
+        assert!((a.abs_diff(b).as_f32() - 0.8).abs() < 1e-5);
+    }
+
+    #[test]
+    fn abs_diff_wraps_around_circle() {
+        let a = Radians::new(0.1);
+        let b = Radians::new(2.0 * std::f32::consts::PI - 0.1);
+        assert!((a.abs_diff(b).as_f32() - 0.2).abs() < 1e-5);
+    }
+
+    #[test]
+    fn abs_diff_never_exceeds_pi() {
+        for i in 0..100 {
+            let a = Radians::new(i as f32 * 0.37);
+            let b = Radians::new(i as f32 * -0.53);
+            assert!(a.abs_diff(b).as_f32() <= std::f32::consts::PI + 1e-5);
+            assert!(a.abs_diff(b).as_f32() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn display_contains_both_units() {
+        let s = format!("{}", Radians::from_degrees(90.0));
+        assert!(s.contains("rad"));
+        assert!(s.contains("90.00°"));
+    }
+}

@@ -1,0 +1,78 @@
+//! Common error type for simulator configuration.
+
+use std::error::Error;
+use std::fmt;
+
+/// Convenience alias for results carrying a [`ConfigError`].
+pub type Result<T> = std::result::Result<T, ConfigError>;
+
+/// Error produced when a simulator component is constructed with an
+/// invalid configuration.
+///
+/// # Examples
+///
+/// ```
+/// use pimgfx_types::ConfigError;
+/// let err = ConfigError::new("texture cache", "associativity must be a power of two");
+/// assert_eq!(
+///     err.to_string(),
+///     "invalid texture cache configuration: associativity must be a power of two"
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    component: String,
+    reason: String,
+}
+
+impl ConfigError {
+    /// Creates an error naming the offending `component` and the `reason`
+    /// the configuration was rejected.
+    pub fn new(component: impl Into<String>, reason: impl Into<String>) -> Self {
+        Self {
+            component: component.into(),
+            reason: reason.into(),
+        }
+    }
+
+    /// The component that rejected its configuration.
+    pub fn component(&self) -> &str {
+        &self.component
+    }
+
+    /// Why the configuration was rejected.
+    pub fn reason(&self) -> &str {
+        &self.reason
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid {} configuration: {}",
+            self.component, self.reason
+        )
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_display() {
+        let e = ConfigError::new("hmc", "vault count must divide bank count");
+        assert_eq!(e.component(), "hmc");
+        assert_eq!(e.reason(), "vault count must divide bank count");
+        assert!(e.to_string().starts_with("invalid hmc configuration"));
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<ConfigError>();
+    }
+}

@@ -1,0 +1,135 @@
+//! Typed identifiers used across the simulator.
+//!
+//! Newtypes keep texture handles, shader-cluster indices, HMC vault indices,
+//! memory-request tags and frame numbers from being accidentally mixed.
+
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates an identifier from a raw index.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// The raw index.
+            #[inline]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// The raw index as `usize` (for array indexing).
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// Handle to a texture resident in simulated memory.
+    TextureId,
+    "tex"
+);
+
+id_newtype!(
+    /// Index of a unified-shader cluster (each cluster owns one texture
+    /// unit, per Table I).
+    ClusterId,
+    "cluster"
+);
+
+id_newtype!(
+    /// Index of an HMC vault (a controller plus its DRAM bank stack).
+    VaultId,
+    "vault"
+);
+
+id_newtype!(
+    /// Frame sequence number within a rendered trace.
+    FrameId,
+    "frame"
+);
+
+/// Tag for an in-flight memory or texture request.
+///
+/// 64-bit because a single frame at high resolution can issue hundreds of
+/// millions of texel fetches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct RequestId(pub u64);
+
+impl RequestId {
+    /// Creates a request tag.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// The raw tag.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The next sequential tag.
+    #[inline]
+    pub const fn next(self) -> Self {
+        Self(self.0 + 1)
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(TextureId::new(3).to_string(), "tex3");
+        assert_eq!(ClusterId::new(0).to_string(), "cluster0");
+        assert_eq!(VaultId::new(31).to_string(), "vault31");
+        assert_eq!(FrameId::new(7).to_string(), "frame7");
+        assert_eq!(RequestId::new(42).to_string(), "req42");
+    }
+
+    #[test]
+    fn ids_order_by_raw_value() {
+        assert!(TextureId::new(1) < TextureId::new(2));
+        assert!(RequestId::new(10) > RequestId::new(9));
+    }
+
+    #[test]
+    fn request_id_next_increments() {
+        assert_eq!(RequestId::new(0).next(), RequestId::new(1));
+    }
+
+    #[test]
+    fn index_conversion() {
+        assert_eq!(VaultId::new(5).index(), 5usize);
+        assert_eq!(VaultId::from(9u32).raw(), 9);
+    }
+}

@@ -1,0 +1,50 @@
+//! Shared primitive types for the `pim-render` GPU simulator.
+//!
+//! This crate provides the small, dependency-free vocabulary used by every
+//! other crate in the workspace:
+//!
+//! * [`vec`](mod@vec) — 2/3/4-component `f32` vectors with the usual linear-algebra
+//!   operations needed by a software rasterizer.
+//! * [`mat`] — 4×4 column-major matrices (model/view/projection transforms).
+//! * [`color`] — RGBA colors in both `f32` and packed 8-bit forms.
+//! * [`angle`] — a radians newtype used for the camera-angle approximation
+//!   threshold of the A-TFIM design.
+//! * [`rect`] — integer rectangles and screen-tile arithmetic.
+//! * [`ids`] — typed identifiers (textures, shader clusters, vaults, ...).
+//! * [`bytes`] — byte-count newtype with human-readable formatting.
+//! * [`error`] — the common error type returned by simulator constructors.
+//!
+//! # Examples
+//!
+//! ```
+//! use pimgfx_types::{Vec3, Mat4, Rgba};
+//!
+//! let eye = Vec3::new(0.0, 1.0, 5.0);
+//! let view = Mat4::look_at(eye, Vec3::ZERO, Vec3::new(0.0, 1.0, 0.0));
+//! let p = view.transform_point(Vec3::ZERO);
+//! assert!((p.z + eye.length()).abs() < 1e-4);
+//!
+//! let teal = Rgba::new(0.0, 0.5, 0.5, 1.0);
+//! assert_eq!(teal.to_packed().r, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod angle;
+pub mod bytes;
+pub mod color;
+pub mod error;
+pub mod ids;
+pub mod mat;
+pub mod rect;
+pub mod vec;
+
+pub use angle::Radians;
+pub use bytes::ByteCount;
+pub use color::{PackedRgba, Rgba};
+pub use error::{ConfigError, Result};
+pub use ids::{ClusterId, FrameId, RequestId, TextureId, VaultId};
+pub use mat::Mat4;
+pub use rect::{Rect, TileCoord};
+pub use vec::{Vec2, Vec3, Vec4};

@@ -1,0 +1,276 @@
+//! Integer rectangles and screen-tile arithmetic.
+//!
+//! The simulated rasterizer is tile-based (16×16 pixel tiles per Table I of
+//! the paper); these helpers keep the tile bookkeeping in one place.
+
+use std::fmt;
+
+/// An axis-aligned integer rectangle, half-open on the max edge:
+/// `x ∈ [x0, x1)`, `y ∈ [y0, y1)`.
+///
+/// # Examples
+///
+/// ```
+/// use pimgfx_types::Rect;
+/// let screen = Rect::from_size(640, 480);
+/// assert_eq!(screen.area(), 640 * 480);
+/// assert!(screen.contains(0, 0));
+/// assert!(!screen.contains(640, 0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Rect {
+    /// Inclusive minimum x.
+    pub x0: i32,
+    /// Inclusive minimum y.
+    pub y0: i32,
+    /// Exclusive maximum x.
+    pub x1: i32,
+    /// Exclusive maximum y.
+    pub y1: i32,
+}
+
+/// Coordinates of a screen tile in tile units.
+///
+/// # Examples
+///
+/// ```
+/// use pimgfx_types::TileCoord;
+/// let t = TileCoord::new(2, 3);
+/// assert_eq!(t.pixel_rect(16).x0, 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TileCoord {
+    /// Tile column.
+    pub tx: u32,
+    /// Tile row.
+    pub ty: u32,
+}
+
+impl Rect {
+    /// An empty rectangle at the origin.
+    pub const EMPTY: Self = Self {
+        x0: 0,
+        y0: 0,
+        x1: 0,
+        y1: 0,
+    };
+
+    /// Creates a rectangle from corners. Degenerate inputs (max < min) are
+    /// normalized to an empty rectangle at `(x0, y0)`.
+    pub fn new(x0: i32, y0: i32, x1: i32, y1: i32) -> Self {
+        Self {
+            x0,
+            y0,
+            x1: x1.max(x0),
+            y1: y1.max(y0),
+        }
+    }
+
+    /// Creates a rectangle anchored at the origin with the given size.
+    pub fn from_size(width: u32, height: u32) -> Self {
+        Self::new(0, 0, width as i32, height as i32)
+    }
+
+    /// Width in pixels.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        (self.x1 - self.x0) as u32
+    }
+
+    /// Height in pixels.
+    #[inline]
+    pub fn height(&self) -> u32 {
+        (self.y1 - self.y0) as u32
+    }
+
+    /// Number of pixels covered.
+    #[inline]
+    pub fn area(&self) -> u64 {
+        u64::from(self.width()) * u64::from(self.height())
+    }
+
+    /// True when the rectangle covers no pixels.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.x0 >= self.x1 || self.y0 >= self.y1
+    }
+
+    /// True when the pixel `(x, y)` lies inside.
+    #[inline]
+    pub fn contains(&self, x: i32, y: i32) -> bool {
+        x >= self.x0 && x < self.x1 && y >= self.y0 && y < self.y1
+    }
+
+    /// Intersection with `rhs` (empty if disjoint).
+    pub fn intersect(&self, rhs: &Self) -> Self {
+        let x0 = self.x0.max(rhs.x0);
+        let y0 = self.y0.max(rhs.y0);
+        let x1 = self.x1.min(rhs.x1);
+        let y1 = self.y1.min(rhs.y1);
+        if x0 >= x1 || y0 >= y1 {
+            Self::EMPTY
+        } else {
+            Self { x0, y0, x1, y1 }
+        }
+    }
+
+    /// Smallest rectangle containing both `self` and `rhs`.
+    ///
+    /// Empty rectangles are treated as the identity.
+    pub fn union(&self, rhs: &Self) -> Self {
+        if self.is_empty() {
+            return *rhs;
+        }
+        if rhs.is_empty() {
+            return *self;
+        }
+        Self {
+            x0: self.x0.min(rhs.x0),
+            y0: self.y0.min(rhs.y0),
+            x1: self.x1.max(rhs.x1),
+            y1: self.y1.max(rhs.y1),
+        }
+    }
+
+    /// Iterates over the tiles of size `tile` (pixels) that overlap this
+    /// rectangle, in row-major order. Negative-coordinate regions are
+    /// clipped away (screen space starts at the origin).
+    pub fn tiles(&self, tile: u32) -> impl Iterator<Item = TileCoord> {
+        assert!(tile > 0, "tile size must be positive");
+        let clipped = self.intersect(&Rect::new(0, 0, i32::MAX, i32::MAX));
+        let (tx0, ty0, tx1, ty1) = if clipped.is_empty() {
+            (0, 0, 0, 0)
+        } else {
+            (
+                clipped.x0 as u32 / tile,
+                clipped.y0 as u32 / tile,
+                (clipped.x1 as u32).div_ceil(tile),
+                (clipped.y1 as u32).div_ceil(tile),
+            )
+        };
+        (ty0..ty1).flat_map(move |ty| (tx0..tx1).map(move |tx| TileCoord::new(tx, ty)))
+    }
+}
+
+impl TileCoord {
+    /// Creates tile coordinates.
+    #[inline]
+    pub const fn new(tx: u32, ty: u32) -> Self {
+        Self { tx, ty }
+    }
+
+    /// The pixel rectangle covered by this tile for a given tile size.
+    pub fn pixel_rect(&self, tile: u32) -> Rect {
+        let x0 = (self.tx * tile) as i32;
+        let y0 = (self.ty * tile) as i32;
+        Rect::new(x0, y0, x0 + tile as i32, y0 + tile as i32)
+    }
+
+    /// Row-major linear index within a screen of `tiles_x` tile columns.
+    #[inline]
+    pub fn linear_index(&self, tiles_x: u32) -> u64 {
+        u64::from(self.ty) * u64::from(tiles_x) + u64::from(self.tx)
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{},{})×[{},{})", self.x0, self.x1, self.y0, self.y1)
+    }
+}
+
+impl fmt::Display for TileCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tile({},{})", self.tx, self.ty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degenerate_inputs_normalize_to_empty() {
+        let r = Rect::new(5, 5, 1, 1);
+        assert!(r.is_empty());
+        assert_eq!(r.area(), 0);
+    }
+
+    #[test]
+    fn contains_is_half_open() {
+        let r = Rect::from_size(4, 4);
+        assert!(r.contains(0, 0));
+        assert!(r.contains(3, 3));
+        assert!(!r.contains(4, 3));
+        assert!(!r.contains(3, 4));
+        assert!(!r.contains(-1, 0));
+    }
+
+    #[test]
+    fn intersection_of_disjoint_is_empty() {
+        let a = Rect::from_size(10, 10);
+        let b = Rect::new(20, 20, 30, 30);
+        assert!(a.intersect(&b).is_empty());
+    }
+
+    #[test]
+    fn intersection_overlapping() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(5, 5, 15, 15);
+        assert_eq!(a.intersect(&b), Rect::new(5, 5, 10, 10));
+    }
+
+    #[test]
+    fn union_contains_both() {
+        let a = Rect::new(0, 0, 2, 2);
+        let b = Rect::new(8, 8, 10, 10);
+        let u = a.union(&b);
+        assert!(u.contains(0, 0) && u.contains(9, 9));
+        assert_eq!(u, Rect::new(0, 0, 10, 10));
+        assert_eq!(Rect::EMPTY.union(&a), a);
+        assert_eq!(a.union(&Rect::EMPTY), a);
+    }
+
+    #[test]
+    fn tiles_cover_exactly_overlapped_tiles() {
+        // A 20x20 rect with 16px tiles spans tiles (0,0)..(1,1) inclusive.
+        let r = Rect::from_size(20, 20);
+        let tiles: Vec<_> = r.tiles(16).collect();
+        assert_eq!(
+            tiles,
+            vec![
+                TileCoord::new(0, 0),
+                TileCoord::new(1, 0),
+                TileCoord::new(0, 1),
+                TileCoord::new(1, 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn tiles_of_empty_rect_is_empty() {
+        assert_eq!(Rect::EMPTY.tiles(16).count(), 0);
+    }
+
+    #[test]
+    fn tiles_clip_negative_coordinates() {
+        let r = Rect::new(-32, -32, 16, 16);
+        let tiles: Vec<_> = r.tiles(16).collect();
+        assert_eq!(tiles, vec![TileCoord::new(0, 0)]);
+    }
+
+    #[test]
+    fn tile_pixel_rect_roundtrip() {
+        let t = TileCoord::new(3, 7);
+        let r = t.pixel_rect(16);
+        assert_eq!(r, Rect::new(48, 112, 64, 128));
+        assert_eq!(r.tiles(16).collect::<Vec<_>>(), vec![t]);
+    }
+
+    #[test]
+    fn linear_index_is_row_major() {
+        assert_eq!(TileCoord::new(0, 0).linear_index(10), 0);
+        assert_eq!(TileCoord::new(9, 0).linear_index(10), 9);
+        assert_eq!(TileCoord::new(0, 1).linear_index(10), 10);
+    }
+}

@@ -1,0 +1,497 @@
+//! Small fixed-size `f32` vectors.
+//!
+//! These are the workhorse types of the functional renderer. They are
+//! deliberately minimal: only the operations a software rasterizer and
+//! texture filter actually need, with `Copy` semantics and operator
+//! overloads that mirror GLSL.
+
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A 2-component vector (texture coordinates, screen positions).
+///
+/// # Examples
+///
+/// ```
+/// use pimgfx_types::Vec2;
+/// let uv = Vec2::new(0.25, 0.75);
+/// assert_eq!(uv * 4.0, Vec2::new(1.0, 3.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec2 {
+    /// Horizontal component.
+    pub x: f32,
+    /// Vertical component.
+    pub y: f32,
+}
+
+/// A 3-component vector (positions, normals, directions).
+///
+/// # Examples
+///
+/// ```
+/// use pimgfx_types::Vec3;
+/// let n = Vec3::new(0.0, 3.0, 4.0).normalized();
+/// assert!((n.length() - 1.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// X component.
+    pub x: f32,
+    /// Y component.
+    pub y: f32,
+    /// Z component.
+    pub z: f32,
+}
+
+/// A 4-component homogeneous vector (clip-space positions, RGBA math).
+///
+/// # Examples
+///
+/// ```
+/// use pimgfx_types::{Vec3, Vec4};
+/// let clip = Vec4::from_point(Vec3::new(1.0, 2.0, 3.0));
+/// assert_eq!(clip.w, 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec4 {
+    /// X component.
+    pub x: f32,
+    /// Y component.
+    pub y: f32,
+    /// Z component.
+    pub z: f32,
+    /// W (homogeneous) component.
+    pub w: f32,
+}
+
+impl Vec2 {
+    /// The zero vector.
+    pub const ZERO: Self = Self { x: 0.0, y: 0.0 };
+    /// The all-ones vector.
+    pub const ONE: Self = Self { x: 1.0, y: 1.0 };
+
+    /// Creates a vector from components.
+    #[inline]
+    pub const fn new(x: f32, y: f32) -> Self {
+        Self { x, y }
+    }
+
+    /// Creates a vector with both components set to `v`.
+    #[inline]
+    pub const fn splat(v: f32) -> Self {
+        Self { x: v, y: v }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, rhs: Self) -> f32 {
+        self.x * rhs.x + self.y * rhs.y
+    }
+
+    /// Euclidean length.
+    #[inline]
+    pub fn length(self) -> f32 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean length (avoids the square root).
+    #[inline]
+    pub fn length_squared(self) -> f32 {
+        self.dot(self)
+    }
+
+    /// 2D cross product (signed area of the parallelogram), the edge
+    /// function used by the rasterizer.
+    #[inline]
+    pub fn cross(self, rhs: Self) -> f32 {
+        self.x * rhs.y - self.y * rhs.x
+    }
+
+    /// Component-wise linear interpolation: `self * (1 - t) + rhs * t`.
+    #[inline]
+    pub fn lerp(self, rhs: Self, t: f32) -> Self {
+        self + (rhs - self) * t
+    }
+
+    /// Returns the vector scaled to unit length.
+    ///
+    /// Returns `Vec2::ZERO` for the zero vector rather than producing NaNs.
+    #[inline]
+    pub fn normalized(self) -> Self {
+        let len = self.length();
+        if len > 0.0 {
+            self / len
+        } else {
+            Self::ZERO
+        }
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, rhs: Self) -> Self {
+        Self::new(self.x.min(rhs.x), self.y.min(rhs.y))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, rhs: Self) -> Self {
+        Self::new(self.x.max(rhs.x), self.y.max(rhs.y))
+    }
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Self = Self {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
+    /// The all-ones vector.
+    pub const ONE: Self = Self {
+        x: 1.0,
+        y: 1.0,
+        z: 1.0,
+    };
+    /// Unit vector along +X.
+    pub const X: Self = Self {
+        x: 1.0,
+        y: 0.0,
+        z: 0.0,
+    };
+    /// Unit vector along +Y.
+    pub const Y: Self = Self {
+        x: 0.0,
+        y: 1.0,
+        z: 0.0,
+    };
+    /// Unit vector along +Z.
+    pub const Z: Self = Self {
+        x: 0.0,
+        y: 0.0,
+        z: 1.0,
+    };
+
+    /// Creates a vector from components.
+    #[inline]
+    pub const fn new(x: f32, y: f32, z: f32) -> Self {
+        Self { x, y, z }
+    }
+
+    /// Creates a vector with all components set to `v`.
+    #[inline]
+    pub const fn splat(v: f32) -> Self {
+        Self { x: v, y: v, z: v }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, rhs: Self) -> f32 {
+        self.x * rhs.x + self.y * rhs.y + self.z * rhs.z
+    }
+
+    /// Cross product (right-handed).
+    #[inline]
+    pub fn cross(self, rhs: Self) -> Self {
+        Self::new(
+            self.y * rhs.z - self.z * rhs.y,
+            self.z * rhs.x - self.x * rhs.z,
+            self.x * rhs.y - self.y * rhs.x,
+        )
+    }
+
+    /// Euclidean length.
+    #[inline]
+    pub fn length(self) -> f32 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean length.
+    #[inline]
+    pub fn length_squared(self) -> f32 {
+        self.dot(self)
+    }
+
+    /// Returns the vector scaled to unit length.
+    ///
+    /// Returns `Vec3::ZERO` for the zero vector rather than producing NaNs.
+    #[inline]
+    pub fn normalized(self) -> Self {
+        let len = self.length();
+        if len > 0.0 {
+            self / len
+        } else {
+            Self::ZERO
+        }
+    }
+
+    /// Component-wise linear interpolation.
+    #[inline]
+    pub fn lerp(self, rhs: Self, t: f32) -> Self {
+        self + (rhs - self) * t
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, rhs: Self) -> Self {
+        Self::new(self.x.min(rhs.x), self.y.min(rhs.y), self.z.min(rhs.z))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, rhs: Self) -> Self {
+        Self::new(self.x.max(rhs.x), self.y.max(rhs.y), self.z.max(rhs.z))
+    }
+
+    /// Drops the Z component.
+    #[inline]
+    pub fn xy(self) -> Vec2 {
+        Vec2::new(self.x, self.y)
+    }
+}
+
+impl Vec4 {
+    /// The zero vector.
+    pub const ZERO: Self = Self {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+        w: 0.0,
+    };
+
+    /// Creates a vector from components.
+    #[inline]
+    pub const fn new(x: f32, y: f32, z: f32, w: f32) -> Self {
+        Self { x, y, z, w }
+    }
+
+    /// Embeds a 3D point into homogeneous coordinates with `w = 1`.
+    #[inline]
+    pub const fn from_point(p: Vec3) -> Self {
+        Self {
+            x: p.x,
+            y: p.y,
+            z: p.z,
+            w: 1.0,
+        }
+    }
+
+    /// Embeds a 3D direction into homogeneous coordinates with `w = 0`.
+    #[inline]
+    pub const fn from_direction(d: Vec3) -> Self {
+        Self {
+            x: d.x,
+            y: d.y,
+            z: d.z,
+            w: 0.0,
+        }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, rhs: Self) -> f32 {
+        self.x * rhs.x + self.y * rhs.y + self.z * rhs.z + self.w * rhs.w
+    }
+
+    /// Drops the W component.
+    #[inline]
+    pub fn xyz(self) -> Vec3 {
+        Vec3::new(self.x, self.y, self.z)
+    }
+
+    /// Perspective division: `(x/w, y/w, z/w)`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `w != 0`; in release a zero `w` yields infinities,
+    /// which the clipper is expected to have removed beforehand.
+    #[inline]
+    pub fn project(self) -> Vec3 {
+        debug_assert!(self.w != 0.0, "perspective division by w = 0");
+        Vec3::new(self.x / self.w, self.y / self.w, self.z / self.w)
+    }
+
+    /// Component-wise linear interpolation.
+    #[inline]
+    pub fn lerp(self, rhs: Self, t: f32) -> Self {
+        self + (rhs - self) * t
+    }
+}
+
+macro_rules! impl_vec_ops {
+    ($ty:ty { $($f:ident),+ }) => {
+        impl Add for $ty {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self { $($f: self.$f + rhs.$f),+ }
+            }
+        }
+        impl AddAssign for $ty {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                $(self.$f += rhs.$f;)+
+            }
+        }
+        impl Sub for $ty {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self { $($f: self.$f - rhs.$f),+ }
+            }
+        }
+        impl SubAssign for $ty {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                $(self.$f -= rhs.$f;)+
+            }
+        }
+        impl Mul<f32> for $ty {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f32) -> Self {
+                Self { $($f: self.$f * rhs),+ }
+            }
+        }
+        impl MulAssign<f32> for $ty {
+            #[inline]
+            fn mul_assign(&mut self, rhs: f32) {
+                $(self.$f *= rhs;)+
+            }
+        }
+        impl Mul<$ty> for f32 {
+            type Output = $ty;
+            #[inline]
+            fn mul(self, rhs: $ty) -> $ty {
+                rhs * self
+            }
+        }
+        impl Div<f32> for $ty {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f32) -> Self {
+                Self { $($f: self.$f / rhs),+ }
+            }
+        }
+        impl Neg for $ty {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self { $($f: -self.$f),+ }
+            }
+        }
+    };
+}
+
+impl_vec_ops!(Vec2 { x, y });
+impl_vec_ops!(Vec3 { x, y, z });
+impl_vec_ops!(Vec4 { x, y, z, w });
+
+impl From<(f32, f32)> for Vec2 {
+    fn from((x, y): (f32, f32)) -> Self {
+        Self::new(x, y)
+    }
+}
+
+impl From<(f32, f32, f32)> for Vec3 {
+    fn from((x, y, z): (f32, f32, f32)) -> Self {
+        Self::new(x, y, z)
+    }
+}
+
+impl From<(f32, f32, f32, f32)> for Vec4 {
+    fn from((x, y, z, w): (f32, f32, f32, f32)) -> Self {
+        Self::new(x, y, z, w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec2_arithmetic() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(3.0, -1.0);
+        assert_eq!(a + b, Vec2::new(4.0, 1.0));
+        assert_eq!(a - b, Vec2::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Vec2::new(2.0, 4.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(-a, Vec2::new(-1.0, -2.0));
+        assert_eq!(a / 2.0, Vec2::new(0.5, 1.0));
+    }
+
+    #[test]
+    fn vec2_dot_and_cross() {
+        let a = Vec2::new(1.0, 0.0);
+        let b = Vec2::new(0.0, 1.0);
+        assert_eq!(a.dot(b), 0.0);
+        assert_eq!(a.cross(b), 1.0);
+        assert_eq!(b.cross(a), -1.0);
+    }
+
+    #[test]
+    fn vec2_lerp_endpoints() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(5.0, -2.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec2::new(3.0, 0.0));
+    }
+
+    #[test]
+    fn vec3_cross_is_right_handed() {
+        assert_eq!(Vec3::X.cross(Vec3::Y), Vec3::Z);
+        assert_eq!(Vec3::Y.cross(Vec3::Z), Vec3::X);
+        assert_eq!(Vec3::Z.cross(Vec3::X), Vec3::Y);
+    }
+
+    #[test]
+    fn vec3_normalized_zero_is_zero() {
+        assert_eq!(Vec3::ZERO.normalized(), Vec3::ZERO);
+        let n = Vec3::new(10.0, 0.0, 0.0).normalized();
+        assert!((n.length() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn vec4_projection() {
+        let v = Vec4::new(2.0, 4.0, 6.0, 2.0);
+        assert_eq!(v.project(), Vec3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn vec4_point_vs_direction() {
+        let p = Vec4::from_point(Vec3::ONE);
+        let d = Vec4::from_direction(Vec3::ONE);
+        assert_eq!(p.w, 1.0);
+        assert_eq!(d.w, 0.0);
+    }
+
+    #[test]
+    fn compound_assignment() {
+        let mut v = Vec3::new(1.0, 1.0, 1.0);
+        v += Vec3::ONE;
+        assert_eq!(v, Vec3::splat(2.0));
+        v -= Vec3::ONE;
+        assert_eq!(v, Vec3::ONE);
+        v *= 3.0;
+        assert_eq!(v, Vec3::splat(3.0));
+    }
+
+    #[test]
+    fn min_max_componentwise() {
+        let a = Vec2::new(1.0, 5.0);
+        let b = Vec2::new(3.0, 2.0);
+        assert_eq!(a.min(b), Vec2::new(1.0, 2.0));
+        assert_eq!(a.max(b), Vec2::new(3.0, 5.0));
+    }
+
+    #[test]
+    fn tuple_conversions() {
+        assert_eq!(Vec2::from((1.0, 2.0)), Vec2::new(1.0, 2.0));
+        assert_eq!(Vec3::from((1.0, 2.0, 3.0)), Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(
+            Vec4::from((1.0, 2.0, 3.0, 4.0)),
+            Vec4::new(1.0, 2.0, 3.0, 4.0)
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the primitive-type invariants.
+
+use pimgfx_types::{ByteCount, Mat4, PackedRgba, Radians, Rect, Rgba, Vec2, Vec3};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Angular difference is symmetric, bounded by π, and zero for
+    /// identical angles.
+    #[test]
+    fn radians_abs_diff_invariants(a in -20.0f32..20.0, b in -20.0f32..20.0) {
+        let ra = Radians::new(a);
+        let rb = Radians::new(b);
+        let d1 = ra.abs_diff(rb).as_f32();
+        let d2 = rb.abs_diff(ra).as_f32();
+        prop_assert!((d1 - d2).abs() < 1e-4, "not symmetric: {d1} vs {d2}");
+        prop_assert!((-1e-6..=std::f32::consts::PI + 1e-4).contains(&d1));
+        prop_assert!(ra.abs_diff(ra).as_f32() < 1e-6);
+    }
+
+    /// Packed color round-trips losslessly through f32.
+    #[test]
+    fn packed_rgba_roundtrip(r in any::<u8>(), g in any::<u8>(), b in any::<u8>(), a in any::<u8>()) {
+        let p = PackedRgba::new(r, g, b, a);
+        prop_assert_eq!(p.to_rgba().to_packed(), p);
+        prop_assert_eq!(PackedRgba::from_u32(p.to_u32()), p);
+    }
+
+    /// Color lerp stays inside the channel hull of its endpoints.
+    #[test]
+    fn rgba_lerp_in_hull(
+        a in 0.0f32..1.0, b in 0.0f32..1.0, t in 0.0f32..1.0,
+    ) {
+        let ca = Rgba::gray(a);
+        let cb = Rgba::gray(b);
+        let m = ca.lerp(cb, t);
+        let lo = a.min(b) - 1e-6;
+        let hi = a.max(b) + 1e-6;
+        prop_assert!(m.r >= lo && m.r <= hi);
+    }
+
+    /// Rectangle intersection is commutative and contained in both
+    /// operands; union contains both.
+    #[test]
+    fn rect_set_algebra(
+        ax0 in -50i32..50, ay0 in -50i32..50, aw in 0i32..60, ah in 0i32..60,
+        bx0 in -50i32..50, by0 in -50i32..50, bw in 0i32..60, bh in 0i32..60,
+    ) {
+        let a = Rect::new(ax0, ay0, ax0 + aw, ay0 + ah);
+        let b = Rect::new(bx0, by0, bx0 + bw, by0 + bh);
+        let i1 = a.intersect(&b);
+        let i2 = b.intersect(&a);
+        prop_assert_eq!(i1, i2);
+        prop_assert!(i1.area() <= a.area() && i1.area() <= b.area());
+        let u = a.union(&b);
+        prop_assert!(u.area() >= a.area() && u.area() >= b.area());
+    }
+
+    /// Tiling covers exactly the rectangle: every pixel of the clipped
+    /// rect lies in some produced tile.
+    #[test]
+    fn rect_tiles_cover(w in 1u32..80, h in 1u32..80, tile in 1u32..32) {
+        let r = Rect::from_size(w, h);
+        let tiles: Vec<_> = r.tiles(tile).collect();
+        // Spot-check the four corners of the rect.
+        for (x, y) in [(0, 0), (w - 1, 0), (0, h - 1), (w - 1, h - 1)] {
+            let covered = tiles
+                .iter()
+                .any(|t| t.pixel_rect(tile).contains(x as i32, y as i32));
+            prop_assert!(covered, "pixel ({x},{y}) uncovered");
+        }
+    }
+
+    /// Matrix transforms are linear: M(p + q) == M(p) + M(q) for
+    /// directions.
+    #[test]
+    fn mat4_direction_transform_is_linear(
+        px in -10.0f32..10.0, py in -10.0f32..10.0, pz in -10.0f32..10.0,
+        qx in -10.0f32..10.0, qy in -10.0f32..10.0, qz in -10.0f32..10.0,
+        angle in -3.0f32..3.0,
+    ) {
+        let m = Mat4::rotation_y(angle);
+        let p = Vec3::new(px, py, pz);
+        let q = Vec3::new(qx, qy, qz);
+        let lhs = m.transform_direction(p + q);
+        let rhs = m.transform_direction(p) + m.transform_direction(q);
+        prop_assert!((lhs - rhs).length() < 1e-3);
+    }
+
+    /// Rotations preserve length.
+    #[test]
+    fn rotations_are_isometries(
+        x in -10.0f32..10.0, y in -10.0f32..10.0, z in -10.0f32..10.0,
+        angle in -6.3f32..6.3,
+    ) {
+        let v = Vec3::new(x, y, z);
+        for m in [Mat4::rotation_x(angle), Mat4::rotation_y(angle), Mat4::rotation_z(angle)] {
+            let t = m.transform_direction(v);
+            prop_assert!((t.length() - v.length()).abs() < 1e-2 * v.length().max(1.0));
+        }
+    }
+
+    /// Byte counts form a commutative monoid under addition.
+    #[test]
+    fn byte_count_addition(xs in prop::collection::vec(0u64..1_000_000, 0..20)) {
+        let forward: ByteCount = xs.iter().map(|&b| ByteCount::new(b)).sum();
+        let backward: ByteCount = xs.iter().rev().map(|&b| ByteCount::new(b)).sum();
+        prop_assert_eq!(forward, backward);
+        prop_assert_eq!(forward.get(), xs.iter().sum::<u64>());
+    }
+
+    /// 2D cross product is antisymmetric.
+    #[test]
+    fn vec2_cross_antisymmetry(
+        ax in -100.0f32..100.0, ay in -100.0f32..100.0,
+        bx in -100.0f32..100.0, by in -100.0f32..100.0,
+    ) {
+        let a = Vec2::new(ax, ay);
+        let b = Vec2::new(bx, by);
+        prop_assert!((a.cross(b) + b.cross(a)).abs() < 1e-2);
+    }
+}

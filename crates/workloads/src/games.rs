@@ -1,0 +1,337 @@
+//! The five game profiles of Table II.
+//!
+//! Each profile parameterizes the procedural scene generator to mimic
+//! the texture-statistics envelope of one of the paper's traced titles.
+//! The parameters are synthetic (the real traces are proprietary) but
+//! are chosen so the *relative* behavior across titles — which games are
+//! texture-heavy, which resolutions stress anisotropy hardest — follows
+//! the paper's measurements.
+
+use std::fmt;
+
+/// The rendering library a title used (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphicsApi {
+    /// OpenGL titles.
+    OpenGl,
+    /// Direct3D titles.
+    Direct3d,
+}
+
+impl fmt::Display for GraphicsApi {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphicsApi::OpenGl => f.write_str("OpenGL"),
+            GraphicsApi::Direct3d => f.write_str("D3D"),
+        }
+    }
+}
+
+/// Frame resolutions used in the evaluation (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Resolution {
+    /// 320×240.
+    R320x240,
+    /// 640×480.
+    R640x480,
+    /// 1280×1024.
+    R1280x1024,
+}
+
+impl Resolution {
+    /// All resolutions, ascending.
+    pub const ALL: [Resolution; 3] = [
+        Resolution::R320x240,
+        Resolution::R640x480,
+        Resolution::R1280x1024,
+    ];
+
+    /// `(width, height)` in pixels.
+    pub fn dims(self) -> (u32, u32) {
+        match self {
+            Resolution::R320x240 => (320, 240),
+            Resolution::R640x480 => (640, 480),
+            Resolution::R1280x1024 => (1280, 1024),
+        }
+    }
+
+    /// Pixel count.
+    pub fn pixels(self) -> u64 {
+        let (w, h) = self.dims();
+        u64::from(w) * u64::from(h)
+    }
+}
+
+impl fmt::Display for Resolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (w, h) = self.dims();
+        write!(f, "{w}x{h}")
+    }
+}
+
+/// The five evaluated titles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Game {
+    /// Doom 3 (OpenGL, id Tech 4).
+    Doom3,
+    /// F.E.A.R. (D3D, Jupiter EX).
+    Fear,
+    /// Half-Life 2 (D3D, Source).
+    HalfLife2,
+    /// The Chronicles of Riddick (OpenGL, in-house engine).
+    Riddick,
+    /// Wolfenstein (D3D, id Tech 4).
+    Wolfenstein,
+}
+
+impl Game {
+    /// All titles in the paper's presentation order.
+    pub const ALL: [Game; 5] = [
+        Game::Doom3,
+        Game::Fear,
+        Game::HalfLife2,
+        Game::Riddick,
+        Game::Wolfenstein,
+    ];
+
+    /// Short lowercase label used in reports ("doom3", "hl2", ...).
+    pub fn label(self) -> &'static str {
+        match self {
+            Game::Doom3 => "doom3",
+            Game::Fear => "fear",
+            Game::HalfLife2 => "hl2",
+            Game::Riddick => "riddick",
+            Game::Wolfenstein => "wolf",
+        }
+    }
+
+    /// The profile driving the scene generator.
+    pub fn profile(self) -> GameProfile {
+        match self {
+            Game::Doom3 => GameProfile {
+                game: self,
+                api: GraphicsApi::OpenGl,
+                engine: "Id Tech 4",
+                resolutions: &[
+                    Resolution::R1280x1024,
+                    Resolution::R640x480,
+                    Resolution::R320x240,
+                ],
+                texture_size: 512,
+                texture_count: 10,
+                floor_quads: 12,
+                corridor_depth: 60.0,
+                uv_tiles: 1.3,
+                bumpiness: 0.045,
+                facing_props: 3,
+                overdraw_layers: 1,
+                camera_height: 1.0,
+                camera_step: 0.8,
+                camera_yaw_step: 0.008,
+                shader_alu_ops: 145,
+                seed: 0xD003,
+            },
+            Game::Fear => GameProfile {
+                game: self,
+                api: GraphicsApi::Direct3d,
+                engine: "Jupiter EX",
+                resolutions: &[
+                    Resolution::R1280x1024,
+                    Resolution::R640x480,
+                    Resolution::R320x240,
+                ],
+                texture_size: 512,
+                texture_count: 12,
+                floor_quads: 10,
+                corridor_depth: 50.0,
+                uv_tiles: 1.1,
+                bumpiness: 0.06,
+                facing_props: 5,
+                overdraw_layers: 2,
+                camera_height: 1.1,
+                camera_step: 0.6,
+                camera_yaw_step: 0.010,
+                shader_alu_ops: 170,
+                seed: 0xFEA4,
+            },
+            Game::HalfLife2 => GameProfile {
+                game: self,
+                api: GraphicsApi::Direct3d,
+                engine: "Source Engine",
+                resolutions: &[Resolution::R1280x1024, Resolution::R640x480],
+                texture_size: 1024,
+                texture_count: 12,
+                floor_quads: 14,
+                corridor_depth: 80.0,
+                uv_tiles: 1.5,
+                bumpiness: 0.04,
+                facing_props: 4,
+                overdraw_layers: 1,
+                camera_height: 1.0,
+                camera_step: 1.0,
+                camera_yaw_step: 0.007,
+                shader_alu_ops: 155,
+                seed: 0x1F2,
+            },
+            Game::Riddick => GameProfile {
+                game: self,
+                api: GraphicsApi::OpenGl,
+                engine: "In-House Engine",
+                resolutions: &[Resolution::R640x480],
+                texture_size: 512,
+                texture_count: 8,
+                floor_quads: 10,
+                corridor_depth: 40.0,
+                uv_tiles: 1.0,
+                bumpiness: 0.08,
+                facing_props: 2,
+                overdraw_layers: 2,
+                camera_height: 1.1,
+                camera_step: 0.5,
+                camera_yaw_step: 0.012,
+                shader_alu_ops: 185,
+                seed: 0x41DD,
+            },
+            Game::Wolfenstein => GameProfile {
+                game: self,
+                api: GraphicsApi::Direct3d,
+                engine: "Id Tech 4",
+                resolutions: &[Resolution::R640x480],
+                texture_size: 512,
+                texture_count: 10,
+                floor_quads: 8,
+                corridor_depth: 45.0,
+                uv_tiles: 1.2,
+                bumpiness: 0.05,
+                facing_props: 3,
+                overdraw_layers: 1,
+                camera_height: 1.0,
+                camera_step: 0.7,
+                camera_yaw_step: 0.009,
+                shader_alu_ops: 130,
+                seed: 0x301F,
+            },
+        }
+    }
+
+    /// Every `(game, resolution)` pair of Table II, in order — the eleven
+    /// benchmark columns of the paper's figures.
+    pub fn benchmark_matrix() -> Vec<(Game, Resolution)> {
+        Game::ALL
+            .into_iter()
+            .flat_map(|g| {
+                g.profile()
+                    .resolutions
+                    .iter()
+                    .map(move |&r| (g, r))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Game {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Scene-generation parameters for one title.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GameProfile {
+    /// The title.
+    pub game: Game,
+    /// Rendering library (Table II).
+    pub api: GraphicsApi,
+    /// 3D engine name (Table II).
+    pub engine: &'static str,
+    /// Resolutions evaluated for this title (Table II).
+    pub resolutions: &'static [Resolution],
+    /// Texture edge length (texels) at full detail.
+    pub texture_size: u32,
+    /// Distinct textures in the scene.
+    pub texture_count: u32,
+    /// Floor/wall tessellation (quads per edge).
+    pub floor_quads: u32,
+    /// Corridor depth in world units (longer ⇒ more grazing area).
+    pub corridor_depth: f32,
+    /// Texture repeats across a surface (higher ⇒ denser texel
+    /// footprints).
+    pub uv_tiles: f32,
+    /// Normal perturbation amplitude, radians (camera-angle variance).
+    pub bumpiness: f32,
+    /// Camera-facing props per frame (isotropic content).
+    pub facing_props: u32,
+    /// Extra full-screen overdraw passes (Z/color traffic).
+    pub overdraw_layers: u32,
+    /// Camera height above the floor.
+    pub camera_height: f32,
+    /// Forward camera motion per frame, world units.
+    pub camera_step: f32,
+    /// Camera yaw change per frame, radians.
+    pub camera_yaw_step: f32,
+    /// Fragment-shader ALU ops per pixel.
+    pub shader_alu_ops: u32,
+    /// Deterministic seed for all procedural content.
+    pub seed: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_matrix_matches_table_two() {
+        let m = Game::benchmark_matrix();
+        // 3 + 3 + 2 + 1 + 1 = 10 benchmark columns... plus doom3 covers
+        // three resolutions: total 10.
+        assert_eq!(m.len(), 10);
+        assert_eq!(
+            m.iter().filter(|(g, _)| *g == Game::Doom3).count(),
+            3,
+            "Doom3 runs three resolutions"
+        );
+        assert_eq!(
+            m.iter().filter(|(g, _)| *g == Game::Riddick).count(),
+            1,
+            "Riddick runs 640x480 only"
+        );
+    }
+
+    #[test]
+    fn resolutions_have_correct_dims() {
+        assert_eq!(Resolution::R320x240.dims(), (320, 240));
+        assert_eq!(Resolution::R1280x1024.pixels(), 1280 * 1024);
+        assert_eq!(Resolution::R640x480.to_string(), "640x480");
+    }
+
+    #[test]
+    fn profiles_are_internally_consistent() {
+        for g in Game::ALL {
+            let p = g.profile();
+            assert!(!p.resolutions.is_empty());
+            assert!(p.texture_size.is_power_of_two());
+            assert!(p.texture_count > 0);
+            assert!(p.bumpiness >= 0.0 && p.bumpiness < 0.5);
+            assert!(p.corridor_depth > 0.0);
+            assert_eq!(p.game, g);
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for g in Game::ALL {
+            assert!(seen.insert(g.label()));
+        }
+    }
+
+    #[test]
+    fn apis_match_table_two() {
+        assert_eq!(Game::Doom3.profile().api, GraphicsApi::OpenGl);
+        assert_eq!(Game::Fear.profile().api, GraphicsApi::Direct3d);
+        assert_eq!(Game::HalfLife2.profile().api, GraphicsApi::Direct3d);
+        assert_eq!(Game::Riddick.profile().api, GraphicsApi::OpenGl);
+        assert_eq!(Game::Wolfenstein.profile().api, GraphicsApi::Direct3d);
+    }
+}

@@ -1,0 +1,327 @@
+//! Scene assembly: geometry + textures + a camera walkthrough.
+
+use crate::games::{Game, GameProfile, Resolution};
+use crate::mesh;
+use crate::procedural::{generate, TextureKind};
+use pimgfx_raster::{Camera, Vertex};
+use pimgfx_texture::{MippedTexture, TextureImage};
+use pimgfx_types::{TextureId, Vec3};
+
+/// One draw call: a triangle list bound to a texture.
+#[derive(Debug, Clone)]
+pub struct DrawCall {
+    /// Triangles in world space.
+    pub triangles: Vec<[Vertex; 3]>,
+    /// Bound texture.
+    pub texture: TextureId,
+}
+
+impl DrawCall {
+    /// Triangle count.
+    pub fn len(&self) -> usize {
+        self.triangles.len()
+    }
+
+    /// True when the draw has no triangles.
+    pub fn is_empty(&self) -> bool {
+        self.triangles.is_empty()
+    }
+}
+
+/// A renderable trace: static scene geometry, its textures, and one
+/// camera per frame of the walkthrough.
+#[derive(Debug, Clone)]
+pub struct SceneTrace {
+    /// The title this trace mimics.
+    pub game: Game,
+    /// Frame resolution.
+    pub resolution: Resolution,
+    /// Scene textures, indexed by [`TextureId`].
+    pub textures: Vec<MippedTexture>,
+    /// Static draw calls replayed every frame.
+    pub draws: Vec<DrawCall>,
+    /// One camera per frame.
+    pub cameras: Vec<Camera>,
+    /// Fragment-shader ALU ops per pixel (from the game profile).
+    pub shader_alu_ops: u32,
+}
+
+impl SceneTrace {
+    /// Frame width in pixels.
+    pub fn width(&self) -> u32 {
+        self.resolution.dims().0
+    }
+
+    /// Frame height in pixels.
+    pub fn height(&self) -> u32 {
+        self.resolution.dims().1
+    }
+
+    /// Number of frames in the walkthrough.
+    pub fn frame_count(&self) -> usize {
+        self.cameras.len()
+    }
+
+    /// Total triangles per frame.
+    pub fn triangles_per_frame(&self) -> usize {
+        self.draws.iter().map(DrawCall::len).sum()
+    }
+
+    /// Looks up a texture by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn texture(&self, id: TextureId) -> &MippedTexture {
+        &self.textures[id.index()]
+    }
+}
+
+/// Builds the walkthrough trace for a `(game, resolution)` benchmark
+/// column with `frames` frames.
+///
+/// The scene is a textured corridor: a floor and ceiling seen at grazing
+/// angles (the anisotropy-heavy content), two side walls (moderately
+/// oblique), and a few camera-facing props (isotropic). The camera walks
+/// forward and yaws slightly each frame per the game profile.
+///
+/// # Panics
+///
+/// Panics if `frames` is zero or the resolution is not in the game's
+/// Table II set (use [`build_scene_unchecked`] for exploratory configs).
+pub fn build_scene(game: Game, resolution: Resolution, frames: usize) -> SceneTrace {
+    let profile = game.profile();
+    assert!(
+        profile.resolutions.contains(&resolution),
+        "{game} was not evaluated at {resolution} in Table II"
+    );
+    build_scene_unchecked(&profile, resolution, frames)
+}
+
+/// Builds a trace without the Table II resolution check (for sweeps and
+/// tests at reduced resolutions).
+///
+/// # Panics
+///
+/// Panics if `frames` is zero.
+pub fn build_scene_unchecked(
+    profile: &GameProfile,
+    resolution: Resolution,
+    frames: usize,
+) -> SceneTrace {
+    assert!(frames > 0, "a trace needs at least one frame");
+
+    // Scale texture detail with resolution the way shipped games do
+    // (mip bias toward smaller textures at lower resolutions).
+    // Full-detail textures at every resolution: shipped games of this
+    // era did not rescale assets per display mode, and the resulting
+    // cache pressure is what makes texture fetches dominate off-chip
+    // traffic (Fig. 2).
+    let tex_size = profile.texture_size;
+    let _ = &resolution;
+
+    let textures: Vec<MippedTexture> = (0..profile.texture_count)
+        .map(|i| {
+            let kind = TextureKind::ALL[i as usize % TextureKind::ALL.len()];
+            let img: TextureImage = generate(kind, tex_size, profile.seed ^ u64::from(i));
+            MippedTexture::with_full_chain(img).with_id(TextureId::new(i))
+        })
+        .collect();
+
+    let tex = |i: u32| TextureId::new(i % profile.texture_count);
+    let q = profile.floor_quads;
+    let d = profile.corridor_depth;
+
+    // Floor and ceiling: the grazing-angle, anisotropy-heavy surfaces.
+    let mut draws = vec![DrawCall {
+        triangles: mesh::floor(
+            0.0,
+            8.0,
+            d,
+            q,
+            profile.uv_tiles,
+            profile.bumpiness,
+            profile.seed,
+        ),
+        texture: tex(0),
+    }];
+    draws.push(DrawCall {
+        triangles: mesh::grid(
+            Vec3::new(-4.0, 4.0, 0.0),
+            Vec3::new(8.0, 0.0, 0.0),
+            Vec3::new(0.0, 0.0, -d),
+            -Vec3::Y,
+            q,
+            q,
+            profile.uv_tiles,
+            profile.bumpiness,
+            profile.seed ^ 1,
+        ),
+        texture: tex(1),
+    });
+
+    // Side walls: moderately oblique.
+    draws.push(DrawCall {
+        triangles: mesh::wall(
+            -4.0,
+            0.0,
+            4.0,
+            d,
+            q,
+            profile.uv_tiles * 0.75,
+            profile.bumpiness,
+            profile.seed ^ 2,
+        ),
+        texture: tex(2),
+    });
+    draws.push(DrawCall {
+        triangles: mesh::wall(
+            4.0,
+            0.0,
+            4.0,
+            d,
+            q,
+            profile.uv_tiles * 0.75,
+            profile.bumpiness,
+            profile.seed ^ 3,
+        ),
+        texture: tex(3),
+    });
+
+    // Facing props spaced down the corridor: isotropic content and
+    // overdraw against the walls behind them.
+    for p in 0..profile.facing_props {
+        let z = -6.0 - (p as f32) * d / (profile.facing_props.max(1) as f32 + 1.0);
+        let x = if p % 2 == 0 { -1.5 } else { 1.5 };
+        draws.push(DrawCall {
+            triangles: mesh::facing_quad(
+                Vec3::new(x, 1.5, z),
+                1.0,
+                2.0,
+                profile.bumpiness * 0.5,
+                profile.seed ^ (0x100 + u64::from(p)),
+            ),
+            texture: tex(4 + p),
+        });
+    }
+
+    // Overdraw layers: translucent-style full-width decals close to the
+    // walls, drawn after (and thus z-tested against) the scene.
+    for layer in 0..profile.overdraw_layers.saturating_sub(1) {
+        draws.push(DrawCall {
+            triangles: mesh::facing_quad(
+                Vec3::new(0.0, 2.0, -10.0 - layer as f32 * 8.0),
+                3.0,
+                1.0,
+                0.0,
+                profile.seed ^ (0x200 + u64::from(layer)),
+            ),
+            texture: tex(5 + layer),
+        });
+    }
+
+    // Camera walkthrough: forward motion with slight yaw, looking down
+    // the corridor from near floor height (this is what makes the floor
+    // grazing).
+    let (w, h) = resolution.dims();
+    let aspect = w as f32 / h as f32;
+    let cameras = (0..frames)
+        .map(|f| {
+            let t = f as f32;
+            let yaw = t * profile.camera_yaw_step;
+            let eye = Vec3::new(
+                yaw.sin() * 0.5,
+                profile.camera_height,
+                -t * profile.camera_step,
+            );
+            let target = eye + Vec3::new(yaw.sin(), -0.06, -yaw.cos());
+            Camera::look_at(eye, target, Vec3::Y, std::f32::consts::FRAC_PI_3, aspect)
+        })
+        .collect();
+
+    SceneTrace {
+        game: profile.game,
+        resolution,
+        textures,
+        draws,
+        cameras,
+        shader_alu_ops: profile.shader_alu_ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scene_builds_for_every_benchmark_column() {
+        for (game, res) in Game::benchmark_matrix() {
+            let s = build_scene(game, res, 2);
+            assert!(!s.draws.is_empty(), "{game}@{res}");
+            assert!(s.triangles_per_frame() > 50);
+            assert_eq!(s.frame_count(), 2);
+            assert_eq!(s.textures.len(), game.profile().texture_count as usize);
+        }
+    }
+
+    #[test]
+    fn scene_is_deterministic() {
+        let a = build_scene(Game::Fear, Resolution::R640x480, 1);
+        let b = build_scene(Game::Fear, Resolution::R640x480, 1);
+        assert_eq!(a.triangles_per_frame(), b.triangles_per_frame());
+        assert_eq!(
+            a.draws[0].triangles[0][0].position,
+            b.draws[0].triangles[0][0].position
+        );
+        assert_eq!(
+            a.textures[0].level(0).texel(3, 3),
+            b.textures[0].level(0).texel(3, 3)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "Table II")]
+    fn unlisted_resolution_is_rejected() {
+        let _ = build_scene(Game::Riddick, Resolution::R1280x1024, 1);
+    }
+
+    #[test]
+    fn unchecked_builder_allows_any_resolution() {
+        let p = Game::Riddick.profile();
+        let s = build_scene_unchecked(&p, Resolution::R320x240, 1);
+        assert_eq!(s.width(), 320);
+    }
+
+    #[test]
+    fn texture_detail_is_resolution_independent() {
+        // Games of this era ship one asset set regardless of display
+        // mode; the resulting cache pressure at low resolutions is part
+        // of the Fig. 2 traffic profile.
+        let hi = build_scene(Game::Doom3, Resolution::R1280x1024, 1);
+        let lo = build_scene(Game::Doom3, Resolution::R320x240, 1);
+        assert_eq!(hi.textures[0].width(), lo.textures[0].width());
+        assert_eq!(hi.textures[0].width(), Game::Doom3.profile().texture_size);
+    }
+
+    #[test]
+    fn cameras_advance_each_frame() {
+        let s = build_scene(Game::Doom3, Resolution::R320x240, 3);
+        assert!(s.cameras[1].eye().z < s.cameras[0].eye().z);
+        assert!(s.cameras[2].eye().z < s.cameras[1].eye().z);
+    }
+
+    #[test]
+    fn all_draw_texture_ids_resolve() {
+        let s = build_scene(Game::Fear, Resolution::R1280x1024, 1);
+        for d in &s.draws {
+            assert!(d.texture.index() < s.textures.len());
+            let _ = s.texture(d.texture);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_frames_panics() {
+        let _ = build_scene(Game::Doom3, Resolution::R320x240, 0);
+    }
+}

@@ -1,0 +1,414 @@
+//! Trace capture and replay.
+//!
+//! The paper's evaluation replays ATTILA API traces captured from
+//! running games. This module provides the equivalent facility for our
+//! synthetic traces: a [`SceneTrace`] serializes to a compact,
+//! versioned binary stream (`PGTR` format) and loads back bit-exactly,
+//! so a workload can be generated once, archived, and replayed across
+//! simulator versions or shared between machines.
+//!
+//! Texture *base levels* are stored; the mip pyramid is regenerated on
+//! load (the chain construction is deterministic), which keeps traces
+//! roughly 25 % smaller than storing every level.
+
+use crate::games::{Game, Resolution};
+use crate::scene::{DrawCall, SceneTrace};
+use pimgfx_raster::{Camera, Vertex};
+use pimgfx_texture::{MippedTexture, TextureImage};
+use pimgfx_types::{Mat4, PackedRgba, TextureId, Vec2, Vec3, Vec4};
+use std::io::{self, Read, Write};
+
+/// Magic bytes identifying a trace stream.
+pub const MAGIC: [u8; 4] = *b"PGTR";
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Errors produced while reading a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream is not a trace, or is a different version.
+    Format(String),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::Format(m) => write!(f, "malformed trace: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Result alias for trace I/O.
+pub type TraceResult<T> = Result<T, TraceError>;
+
+// --- primitive writers/readers -----------------------------------------
+
+fn put_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn put_f32<W: Write>(w: &mut W, v: f32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn get_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn get_f32<R: Read>(r: &mut R) -> io::Result<f32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(f32::from_le_bytes(b))
+}
+
+fn put_vec3<W: Write>(w: &mut W, v: Vec3) -> io::Result<()> {
+    put_f32(w, v.x)?;
+    put_f32(w, v.y)?;
+    put_f32(w, v.z)
+}
+
+fn get_vec3<R: Read>(r: &mut R) -> io::Result<Vec3> {
+    Ok(Vec3::new(get_f32(r)?, get_f32(r)?, get_f32(r)?))
+}
+
+fn put_vec2<W: Write>(w: &mut W, v: Vec2) -> io::Result<()> {
+    put_f32(w, v.x)?;
+    put_f32(w, v.y)
+}
+
+fn get_vec2<R: Read>(r: &mut R) -> io::Result<Vec2> {
+    Ok(Vec2::new(get_f32(r)?, get_f32(r)?))
+}
+
+// --- trace format -------------------------------------------------------
+
+/// Serializes `scene` to `w` in `PGTR` format.
+///
+/// # Errors
+///
+/// Propagates any I/O error from `w`.
+///
+/// # Examples
+///
+/// ```
+/// use pimgfx_workloads::{build_scene, trace_io, Game, Resolution};
+///
+/// let scene = build_scene(Game::Wolfenstein, Resolution::R640x480, 1);
+/// let mut buf = Vec::new();
+/// trace_io::save_trace(&scene, &mut buf)?;
+/// let back = trace_io::load_trace(&buf[..])?;
+/// assert_eq!(back.triangles_per_frame(), scene.triangles_per_frame());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn save_trace<W: Write>(scene: &SceneTrace, mut w: W) -> io::Result<()> {
+    w.write_all(&MAGIC)?;
+    put_u32(&mut w, VERSION)?;
+    put_u32(&mut w, game_tag(scene.game))?;
+    put_u32(&mut w, resolution_tag(scene.resolution))?;
+    put_u32(&mut w, scene.shader_alu_ops)?;
+
+    // Textures: base level only.
+    put_u32(&mut w, scene.textures.len() as u32)?;
+    for tex in &scene.textures {
+        let base = tex.level(0);
+        put_u32(&mut w, base.width())?;
+        put_u32(&mut w, base.height())?;
+        for texel in base.iter() {
+            put_u32(&mut w, texel.to_u32())?;
+        }
+    }
+
+    // Draw calls.
+    put_u32(&mut w, scene.draws.len() as u32)?;
+    for draw in &scene.draws {
+        put_u32(&mut w, draw.texture.raw())?;
+        put_u32(&mut w, draw.triangles.len() as u32)?;
+        for tri in &draw.triangles {
+            for v in tri {
+                put_vec3(&mut w, v.position)?;
+                put_vec3(&mut w, v.normal)?;
+                put_vec2(&mut w, v.uv)?;
+            }
+        }
+    }
+
+    // Cameras: eye + view-projection matrix.
+    put_u32(&mut w, scene.cameras.len() as u32)?;
+    for cam in &scene.cameras {
+        put_vec3(&mut w, cam.eye())?;
+        let m = cam.view_proj();
+        for c in 0..4 {
+            let col = m.col(c);
+            put_f32(&mut w, col.x)?;
+            put_f32(&mut w, col.y)?;
+            put_f32(&mut w, col.z)?;
+            put_f32(&mut w, col.w)?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserializes a `PGTR` trace from `r`.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Format`] for a wrong magic/version or
+/// structurally invalid stream, [`TraceError::Io`] for read failures.
+pub fn load_trace<R: Read>(mut r: R) -> TraceResult<SceneTrace> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(TraceError::Format("bad magic".to_string()));
+    }
+    let version = get_u32(&mut r)?;
+    if version != VERSION {
+        return Err(TraceError::Format(format!(
+            "unsupported version {version} (expected {VERSION})"
+        )));
+    }
+    let game = game_from_tag(get_u32(&mut r)?)?;
+    let resolution = resolution_from_tag(get_u32(&mut r)?)?;
+    let shader_alu_ops = get_u32(&mut r)?;
+
+    let tex_count = get_u32(&mut r)? as usize;
+    if tex_count > 4096 {
+        return Err(TraceError::Format(format!(
+            "implausible texture count {tex_count}"
+        )));
+    }
+    let mut textures = Vec::with_capacity(tex_count);
+    for i in 0..tex_count {
+        let w = get_u32(&mut r)?;
+        let h = get_u32(&mut r)?;
+        if w == 0 || h == 0 || w > 8192 || h > 8192 {
+            return Err(TraceError::Format(format!(
+                "implausible texture size {w}x{h}"
+            )));
+        }
+        let mut texels = Vec::with_capacity((w * h) as usize);
+        for _ in 0..w * h {
+            texels.push(PackedRgba::from_u32(get_u32(&mut r)?));
+        }
+        textures.push(
+            MippedTexture::with_full_chain(TextureImage::from_texels(w, h, texels))
+                .with_id(TextureId::new(i as u32)),
+        );
+    }
+
+    let draw_count = get_u32(&mut r)? as usize;
+    if draw_count > 1 << 20 {
+        return Err(TraceError::Format("implausible draw count".to_string()));
+    }
+    let mut draws = Vec::with_capacity(draw_count);
+    for _ in 0..draw_count {
+        let texture = TextureId::new(get_u32(&mut r)?);
+        if texture.index() >= textures.len() {
+            return Err(TraceError::Format(format!(
+                "draw references texture {texture} of {}",
+                textures.len()
+            )));
+        }
+        let tri_count = get_u32(&mut r)? as usize;
+        if tri_count > 1 << 24 {
+            return Err(TraceError::Format("implausible triangle count".to_string()));
+        }
+        let mut triangles = Vec::with_capacity(tri_count);
+        for _ in 0..tri_count {
+            let mut tri = [Vertex::new(Vec3::ZERO, Vec3::Z, Vec2::ZERO); 3];
+            for v in &mut tri {
+                let position = get_vec3(&mut r)?;
+                let normal = get_vec3(&mut r)?;
+                let uv = get_vec2(&mut r)?;
+                *v = Vertex::new(position, normal, uv);
+            }
+            triangles.push(tri);
+        }
+        draws.push(DrawCall { triangles, texture });
+    }
+
+    let cam_count = get_u32(&mut r)? as usize;
+    if cam_count == 0 || cam_count > 1 << 20 {
+        return Err(TraceError::Format("implausible frame count".to_string()));
+    }
+    let mut cameras = Vec::with_capacity(cam_count);
+    for _ in 0..cam_count {
+        let eye = get_vec3(&mut r)?;
+        let mut cols = [Vec4::ZERO; 4];
+        for col in &mut cols {
+            *col = Vec4::new(
+                get_f32(&mut r)?,
+                get_f32(&mut r)?,
+                get_f32(&mut r)?,
+                get_f32(&mut r)?,
+            );
+        }
+        let m = Mat4::from_cols(cols[0], cols[1], cols[2], cols[3]);
+        cameras.push(Camera::from_view_proj(eye, m));
+    }
+
+    Ok(SceneTrace {
+        game,
+        resolution,
+        textures,
+        draws,
+        cameras,
+        shader_alu_ops,
+    })
+}
+
+fn game_tag(g: Game) -> u32 {
+    match g {
+        Game::Doom3 => 0,
+        Game::Fear => 1,
+        Game::HalfLife2 => 2,
+        Game::Riddick => 3,
+        Game::Wolfenstein => 4,
+    }
+}
+
+fn game_from_tag(t: u32) -> TraceResult<Game> {
+    Ok(match t {
+        0 => Game::Doom3,
+        1 => Game::Fear,
+        2 => Game::HalfLife2,
+        3 => Game::Riddick,
+        4 => Game::Wolfenstein,
+        _ => return Err(TraceError::Format(format!("unknown game tag {t}"))),
+    })
+}
+
+fn resolution_tag(r: Resolution) -> u32 {
+    match r {
+        Resolution::R320x240 => 0,
+        Resolution::R640x480 => 1,
+        Resolution::R1280x1024 => 2,
+    }
+}
+
+fn resolution_from_tag(t: u32) -> TraceResult<Resolution> {
+    Ok(match t {
+        0 => Resolution::R320x240,
+        1 => Resolution::R640x480,
+        2 => Resolution::R1280x1024,
+        _ => return Err(TraceError::Format(format!("unknown resolution tag {t}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scene::build_scene_unchecked;
+
+    fn small_scene() -> SceneTrace {
+        let mut p = Game::Riddick.profile();
+        p.texture_count = 2;
+        p.texture_size = 32;
+        p.floor_quads = 2;
+        p.facing_props = 1;
+        build_scene_unchecked(&p, Resolution::R320x240, 2)
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let scene = small_scene();
+        let mut buf = Vec::new();
+        save_trace(&scene, &mut buf).expect("serialize");
+        let back = load_trace(&buf[..]).expect("deserialize");
+        assert_eq!(back.game, scene.game);
+        assert_eq!(back.resolution, scene.resolution);
+        assert_eq!(back.shader_alu_ops, scene.shader_alu_ops);
+        assert_eq!(back.textures.len(), scene.textures.len());
+        assert_eq!(back.draws.len(), scene.draws.len());
+        assert_eq!(back.cameras.len(), scene.cameras.len());
+        assert_eq!(back.triangles_per_frame(), scene.triangles_per_frame());
+    }
+
+    #[test]
+    fn roundtrip_preserves_texels_and_mips() {
+        let scene = small_scene();
+        let mut buf = Vec::new();
+        save_trace(&scene, &mut buf).expect("serialize");
+        let back = load_trace(&buf[..]).expect("deserialize");
+        for (a, b) in scene.textures.iter().zip(&back.textures) {
+            assert_eq!(
+                a.level_count(),
+                b.level_count(),
+                "mips regenerate identically"
+            );
+            for l in 0..a.level_count() {
+                assert_eq!(a.level(l), b.level(l), "level {l} differs");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_geometry_exactly() {
+        let scene = small_scene();
+        let mut buf = Vec::new();
+        save_trace(&scene, &mut buf).expect("serialize");
+        let back = load_trace(&buf[..]).expect("deserialize");
+        for (da, db) in scene.draws.iter().zip(&back.draws) {
+            assert_eq!(da.texture, db.texture);
+            assert_eq!(da.triangles, db.triangles);
+        }
+    }
+
+    #[test]
+    fn cameras_replay_identically() {
+        use pimgfx_raster::Vertex;
+        let scene = small_scene();
+        let mut buf = Vec::new();
+        save_trace(&scene, &mut buf).expect("serialize");
+        let back = load_trace(&buf[..]).expect("deserialize");
+        let v = Vertex::new(Vec3::new(0.3, 0.7, -2.0), Vec3::Y, Vec2::new(0.2, 0.8));
+        for (a, b) in scene.cameras.iter().zip(&back.cameras) {
+            let ca = a.transform_vertex(&v);
+            let cb = b.transform_vertex(&v);
+            assert_eq!(ca.clip, cb.clip, "clip positions must be bit-identical");
+            assert!((ca.view_cos - cb.view_cos).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let err = load_trace(&b"NOPE"[..]).expect_err("bad magic");
+        assert!(matches!(err, TraceError::Format(_)));
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        let err = load_trace(&buf[..]).expect_err("bad version");
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn rejects_truncated_streams() {
+        let scene = small_scene();
+        let mut buf = Vec::new();
+        save_trace(&scene, &mut buf).expect("serialize");
+        let err = load_trace(&buf[..buf.len() / 2]).expect_err("truncated");
+        assert!(matches!(err, TraceError::Io(_)));
+    }
+
+    #[test]
+    fn rejects_dangling_texture_reference() {
+        let mut scene = small_scene();
+        scene.draws[0].texture = TextureId::new(99);
+        let mut buf = Vec::new();
+        save_trace(&scene, &mut buf).expect("serialize");
+        let err = load_trace(&buf[..]).expect_err("dangling texture");
+        assert!(err.to_string().contains("references texture"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the workload generators and trace I/O.
+
+use pimgfx_workloads::{build_scene_unchecked, trace_io, Game, Resolution};
+use proptest::prelude::*;
+
+fn arb_profile() -> impl Strategy<Value = pimgfx_workloads::GameProfile> {
+    (
+        prop::sample::select(Game::ALL.to_vec()),
+        2u32..6,      // floor_quads
+        2u32..6,      // texture_count
+        5u32..7,      // log2 texture_size (32..64)
+        0u32..3,      // facing props
+        1u32..3,      // overdraw layers
+        any::<u64>(), // seed
+    )
+        .prop_map(|(game, quads, textures, log_size, props, layers, seed)| {
+            let mut p = game.profile();
+            p.floor_quads = quads;
+            p.texture_count = textures;
+            p.texture_size = 1 << log_size;
+            p.facing_props = props;
+            p.overdraw_layers = layers;
+            p.seed = seed;
+            p
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Scene generation is a pure function of its profile.
+    #[test]
+    fn scene_generation_is_deterministic(profile in arb_profile()) {
+        let a = build_scene_unchecked(&profile, Resolution::R320x240, 1);
+        let b = build_scene_unchecked(&profile, Resolution::R320x240, 1);
+        prop_assert_eq!(a.triangles_per_frame(), b.triangles_per_frame());
+        prop_assert_eq!(a.textures.len(), b.textures.len());
+        for (ta, tb) in a.textures.iter().zip(&b.textures) {
+            prop_assert_eq!(ta.level(0), tb.level(0));
+        }
+        for (da, db) in a.draws.iter().zip(&b.draws) {
+            prop_assert_eq!(&da.triangles, &db.triangles);
+        }
+    }
+
+    /// Every generated scene is structurally valid: nonempty draws,
+    /// resolvable texture references, unit-ish normals, and one camera
+    /// per frame.
+    #[test]
+    fn scenes_are_structurally_valid(profile in arb_profile(), frames in 1usize..4) {
+        let s = build_scene_unchecked(&profile, Resolution::R320x240, frames);
+        prop_assert!(!s.draws.is_empty());
+        prop_assert_eq!(s.cameras.len(), frames);
+        for d in &s.draws {
+            prop_assert!(d.texture.index() < s.textures.len());
+            for tri in &d.triangles {
+                for v in tri {
+                    prop_assert!((v.normal.length() - 1.0).abs() < 1e-3);
+                    prop_assert!(v.position.length() < 1e4);
+                }
+            }
+        }
+    }
+
+    /// Trace serialization round-trips any generated scene exactly.
+    #[test]
+    fn trace_roundtrip_is_exact(profile in arb_profile()) {
+        let scene = build_scene_unchecked(&profile, Resolution::R320x240, 2);
+        let mut buf = Vec::new();
+        trace_io::save_trace(&scene, &mut buf).expect("serialize");
+        let back = trace_io::load_trace(&buf[..]).expect("deserialize");
+        prop_assert_eq!(back.game, scene.game);
+        prop_assert_eq!(back.shader_alu_ops, scene.shader_alu_ops);
+        prop_assert_eq!(back.draws.len(), scene.draws.len());
+        for (da, db) in scene.draws.iter().zip(&back.draws) {
+            prop_assert_eq!(&da.triangles, &db.triangles);
+            prop_assert_eq!(da.texture, db.texture);
+        }
+        for (ta, tb) in scene.textures.iter().zip(&back.textures) {
+            prop_assert_eq!(ta.level(0), tb.level(0));
+            prop_assert_eq!(ta.level_count(), tb.level_count());
+        }
+    }
+
+    /// A truncated trace never parses (no silent partial loads).
+    #[test]
+    fn truncated_traces_fail(profile in arb_profile(), cut in 5usize..95) {
+        let scene = build_scene_unchecked(&profile, Resolution::R320x240, 1);
+        let mut buf = Vec::new();
+        trace_io::save_trace(&scene, &mut buf).expect("serialize");
+        let end = buf.len() * cut / 100;
+        prop_assert!(trace_io::load_trace(&buf[..end]).is_err());
+    }
+}

@@ -1,0 +1,106 @@
+//! Build a scene from scratch with the public API — no game profile —
+//! and run it through the simulator. Shows how downstream users drive
+//! the library with their own geometry, textures, and camera path.
+//!
+//! ```text
+//! cargo run --release --example custom_scene
+//! ```
+
+use pim_render::pimgfx::{Design, SimConfig, Simulator};
+use pim_render::raster::{Camera, Vertex};
+use pim_render::texture::{MippedTexture, TextureImage};
+use pim_render::types::{Rgba, TextureId, Vec2, Vec3};
+use pim_render::workloads::{DrawCall, Game, Resolution, SceneTrace};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A procedural texture: concentric rings (high-frequency content
+    //    that makes filtering quality visible).
+    let rings = TextureImage::from_fn(256, 256, |x, y| {
+        let dx = x as f32 - 128.0;
+        let dy = y as f32 - 128.0;
+        let d = (dx * dx + dy * dy).sqrt();
+        if ((d / 12.0) as u32).is_multiple_of(2) {
+            Rgba::new(0.9, 0.6, 0.1, 1.0)
+        } else {
+            Rgba::new(0.1, 0.2, 0.6, 1.0)
+        }
+    });
+    let texture = MippedTexture::with_full_chain(rings).with_id(TextureId::new(0));
+
+    // 2. A single large ground quad, viewed at a grazing angle — the
+    //    worst case for anisotropic filtering.
+    let quad = |a: Vec3, b: Vec3, c: Vec3, d: Vec3| -> Vec<[Vertex; 3]> {
+        let uv = |u: f32, v: f32| Vec2::new(u, v);
+        let n = Vec3::Y;
+        vec![
+            [
+                Vertex::new(a, n, uv(0.0, 0.0)),
+                Vertex::new(b, n, uv(4.0, 0.0)),
+                Vertex::new(c, n, uv(4.0, 4.0)),
+            ],
+            [
+                Vertex::new(a, n, uv(0.0, 0.0)),
+                Vertex::new(c, n, uv(4.0, 4.0)),
+                Vertex::new(d, n, uv(0.0, 4.0)),
+            ],
+        ]
+    };
+    let ground = quad(
+        Vec3::new(-20.0, 0.0, 5.0),
+        Vec3::new(20.0, 0.0, 5.0),
+        Vec3::new(20.0, 0.0, -120.0),
+        Vec3::new(-20.0, 0.0, -120.0),
+    );
+
+    // 3. A low camera skimming the plane.
+    let cameras = (0..3)
+        .map(|i| {
+            let eye = Vec3::new(0.0, 0.8, -2.0 * i as f32);
+            Camera::look_at(
+                eye,
+                eye + Vec3::new(0.0, -0.05, -1.0),
+                Vec3::Y,
+                std::f32::consts::FRAC_PI_3,
+                320.0 / 240.0,
+            )
+        })
+        .collect();
+
+    let scene = SceneTrace {
+        game: Game::Doom3, // label only; the content is fully custom
+        resolution: Resolution::R320x240,
+        textures: vec![texture],
+        draws: vec![DrawCall {
+            triangles: ground,
+            texture: TextureId::new(0),
+        }],
+        cameras,
+        shader_alu_ops: 64,
+    };
+
+    // 4. Simulate baseline vs A-TFIM on the custom scene.
+    let mut base_sim = Simulator::new(SimConfig::default())?;
+    let base = base_sim.render_trace(&scene)?;
+    let mut atfim_sim = Simulator::new(SimConfig::builder().design(Design::ATfim).build()?)?;
+    let atfim = atfim_sim.render_trace(&scene)?;
+
+    println!(
+        "custom grazing-plane scene ({} frames):",
+        scene.frame_count()
+    );
+    println!("  baseline: {} cycles", base.total_cycles);
+    println!(
+        "  a-tfim  : {} cycles ({:.2}x)",
+        atfim.total_cycles,
+        atfim.render_speedup_vs(&base)
+    );
+    println!(
+        "  filtering speedup: {:.2}x (mean aniso work {:.1} texels/sample)",
+        atfim.texture_speedup_vs(&base),
+        base.texture.conventional_texels as f64 / base.texture.samples.max(1) as f64
+    );
+    base.image.save_ppm("target/custom_baseline.ppm")?;
+    atfim.image.save_ppm("target/custom_atfim.ppm")?;
+    println!("  frames written to target/custom_*.ppm");
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Compare all four design points of the paper on one benchmark column,
+//! printing the per-design metrics behind Figs. 10–13.
+//!
+//! ```text
+//! cargo run --release --example design_comparison [-- <game> <WxH> <frames>]
+//! ```
+//!
+//! Games: doom3, fear, hl2, riddick, wolf. Resolutions: 320x240,
+//! 640x480, 1280x1024 (must be a Table II combination).
+
+use pim_render::mem::TrafficClass;
+use pim_render::pimgfx::{Design, SimConfig, Simulator};
+use pim_render::workloads::{build_scene, Game, Resolution};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let game = match args.first().map(String::as_str) {
+        Some("fear") => Game::Fear,
+        Some("hl2") => Game::HalfLife2,
+        Some("riddick") => Game::Riddick,
+        Some("wolf") => Game::Wolfenstein,
+        _ => Game::Doom3,
+    };
+    let resolution = match args.get(1).map(String::as_str) {
+        Some("640x480") => Resolution::R640x480,
+        Some("1280x1024") => Resolution::R1280x1024,
+        _ => Resolution::R320x240,
+    };
+    let frames = args.get(2).and_then(|f| f.parse().ok()).unwrap_or(2);
+
+    let scene = build_scene(game, resolution, frames);
+    println!("benchmark {game}-{resolution}, {frames} frames\n");
+    println!(
+        "{:<10} {:>10} {:>14} {:>14} {:>12} {:>12}",
+        "design", "cycles", "tex latency", "tex traffic", "total MB", "energy nJ"
+    );
+
+    let mut baseline_cycles = 0u64;
+    for design in Design::ALL {
+        let config = SimConfig::builder().design(design).build()?;
+        let mut sim = Simulator::new(config)?;
+        let r = sim.render_trace(&scene)?;
+        if design == Design::Baseline {
+            baseline_cycles = r.total_cycles;
+        }
+        println!(
+            "{:<10} {:>10} {:>11.1} cy {:>14} {:>11.2} {:>12.0}",
+            design.label(),
+            r.total_cycles,
+            r.texture.avg_latency(),
+            r.traffic.bytes(TrafficClass::TextureFetch).to_string(),
+            r.traffic.total().as_mib(),
+            r.energy.total_nj(),
+        );
+    }
+    println!("\n(baseline renders the trace in {baseline_cycles} GPU cycles; smaller is faster)");
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Sweep the A-TFIM camera-angle threshold and measure the
+//! performance–quality tradeoff (the experiment behind Figs. 14–16),
+//! writing the rendered frames as PPM images for visual inspection.
+//!
+//! ```text
+//! cargo run --release --example quality_sweep [-- <output-dir>]
+//! ```
+
+use pim_render::pimgfx::{Design, SimConfig, Simulator};
+use pim_render::quality::psnr;
+use pim_render::workloads::{build_scene, Game, Resolution};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/quality".to_string());
+    std::fs::create_dir_all(&out_dir)?;
+
+    let scene = build_scene(Game::Fear, Resolution::R320x240, 2);
+
+    // Reference image from the exact baseline.
+    let mut baseline = Simulator::new(SimConfig::default())?;
+    let base = baseline.render_trace(&scene)?;
+    base.image.save_ppm(format!("{out_dir}/baseline.ppm"))?;
+
+    println!(
+        "{:<14} {:>14} {:>10} {:>14}",
+        "threshold", "render speedup", "PSNR dB", "recalc rate"
+    );
+    for fraction in [0.005f32, 0.01, 0.05, 0.1] {
+        let config = SimConfig::builder()
+            .design(Design::ATfim)
+            .angle_threshold_pi_fraction(fraction)
+            .build()?;
+        let mut sim = Simulator::new(config)?;
+        let r = sim.render_trace(&scene)?;
+        let name = format!("{out_dir}/atfim_{fraction}pi.ppm");
+        r.image.save_ppm(&name)?;
+        let probes = r.texture.l1_hits + r.texture.l1_misses + r.texture.l1_angle_misses;
+        let recalc = if probes == 0 {
+            0.0
+        } else {
+            r.texture.l1_angle_misses as f64 / probes as f64
+        };
+        println!(
+            "{:<14} {:>13.2}x {:>10.1} {:>13.2}%",
+            format!("{fraction}pi"),
+            r.render_speedup_vs(&base),
+            psnr(&base.image, &r.image),
+            recalc * 100.0
+        );
+    }
+
+    // No recalculation at all: fastest, lowest quality.
+    let config = SimConfig::builder()
+        .design(Design::ATfim)
+        .no_recalculation()
+        .build()?;
+    let mut sim = Simulator::new(config)?;
+    let r = sim.render_trace(&scene)?;
+    r.image.save_ppm(format!("{out_dir}/atfim_no_recalc.ppm"))?;
+    println!(
+        "{:<14} {:>13.2}x {:>10.1} {:>13.2}%",
+        "no-recalc",
+        r.render_speedup_vs(&base),
+        psnr(&base.image, &r.image),
+        0.0
+    );
+
+    println!("\nframes written to {out_dir}/ (PPM, viewable with any image tool)");
+    Ok(())
+}

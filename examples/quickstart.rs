@@ -1,0 +1,50 @@
+//! Quickstart: render one game walkthrough under the baseline GPU and
+//! the A-TFIM PIM design, and compare them.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pim_render::pimgfx::{Design, SimConfig, Simulator};
+use pim_render::quality::psnr;
+use pim_render::workloads::{build_scene, Game, Resolution};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A two-frame walkthrough of the Doom 3-like corridor at 320x240.
+    let scene = build_scene(Game::Doom3, Resolution::R320x240, 2);
+    println!(
+        "scene: {} triangles/frame, {} textures, {} frames at {}x{}",
+        scene.triangles_per_frame(),
+        scene.textures.len(),
+        scene.frame_count(),
+        scene.width(),
+        scene.height()
+    );
+
+    // Baseline: conventional GPU with GDDR5.
+    let mut baseline = Simulator::new(SimConfig::default())?;
+    let base = baseline.render_trace(&scene)?;
+    println!("\n--- baseline ---\n{base}");
+
+    // A-TFIM: anisotropic filtering reordered into the HMC logic layer.
+    let config = SimConfig::builder().design(Design::ATfim).build()?;
+    let mut atfim = Simulator::new(config)?;
+    let fast = atfim.render_trace(&scene)?;
+    println!("\n--- a-tfim ---\n{fast}");
+
+    println!("\nrender speedup   : {:.2}x", fast.render_speedup_vs(&base));
+    println!("filtering speedup: {:.2}x", fast.texture_speedup_vs(&base));
+    println!(
+        "texture traffic  : {:.2}x",
+        fast.traffic_normalized_to(&base)
+    );
+    println!(
+        "energy           : {:.2}x",
+        fast.energy_normalized_to(&base)
+    );
+    println!(
+        "image quality    : {:.1} dB PSNR",
+        psnr(&base.image, &fast.image)
+    );
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Capture a workload to a `PGTR` trace file, reload it, and verify the
+//! replay is bit-identical — the workflow the paper's ATTILA traces
+//! enable for its commercial-game workloads.
+//!
+//! ```text
+//! cargo run --release --example trace_replay [-- <trace-path>]
+//! ```
+
+use pim_render::pimgfx::{SimConfig, Simulator};
+use pim_render::quality::psnr;
+use pim_render::workloads::{build_scene, trace_io, Game, Resolution};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/wolf_640.pgtr".to_string());
+
+    // 1. Capture: generate the workload and archive it.
+    let scene = build_scene(Game::Wolfenstein, Resolution::R640x480, 2);
+    let file = std::fs::File::create(&path)?;
+    trace_io::save_trace(&scene, file)?;
+    let bytes = std::fs::metadata(&path)?.len();
+    println!(
+        "captured {path}: {:.2} MiB ({} draws, {} textures, {} frames)",
+        bytes as f64 / (1024.0 * 1024.0),
+        scene.draws.len(),
+        scene.textures.len(),
+        scene.frame_count()
+    );
+
+    // 2. Replay: load the archived trace and render it.
+    let replayed = trace_io::load_trace(std::fs::File::open(&path)?)?;
+    let mut original_sim = Simulator::new(SimConfig::default())?;
+    let original = original_sim.render_trace(&scene)?;
+    let mut replay_sim = Simulator::new(SimConfig::default())?;
+    let replay = replay_sim.render_trace(&replayed)?;
+
+    // 3. The replay must be indistinguishable from the live workload.
+    println!(
+        "original: {} cycles | replay: {} cycles",
+        original.total_cycles, replay.total_cycles
+    );
+    println!(
+        "image match: {:.1} dB PSNR (99.0 = bit-identical)",
+        psnr(&original.image, &replay.image)
+    );
+    assert_eq!(
+        original.total_cycles, replay.total_cycles,
+        "timing must replay exactly"
+    );
+    assert_eq!(original.traffic.total(), replay.traffic.total());
+    assert_eq!(psnr(&original.image, &replay.image), 99.0);
+    println!("replay verified bit-identical");
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Workload characterization: print the per-column statistics that
+//! drive the paper's results — triangle counts, texture working sets,
+//! fragment volumes, and the anisotropy-ratio distribution each scene
+//! presents to the texture units.
+//!
+//! ```text
+//! cargo run --release --example workload_stats
+//! ```
+
+use pim_render::pimgfx::{SimConfig, Simulator};
+use pim_render::workloads::{build_scene, Game};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:<18} {:>6} {:>5} {:>9} {:>10} {:>10} {:>6} {:>26}",
+        "benchmark", "tris", "texs", "tex MiB", "fragments", "texels/smp", "aniso", "ratio histogram 1/2/4/8/16"
+    );
+    for (game, res) in Game::benchmark_matrix() {
+        let scene = build_scene(game, res, 1);
+        let tex_mib: f64 = scene
+            .textures
+            .iter()
+            .map(|t| t.total_texels() as f64 * 4.0)
+            .sum::<f64>()
+            / (1024.0 * 1024.0);
+        let mut sim = Simulator::new(SimConfig::default())?;
+        let r = sim.render_trace(&scene)?;
+        let h = r.texture.aniso_histogram;
+        let total: u64 = h.iter().sum::<u64>().max(1);
+        println!(
+            "{:<18} {:>6} {:>5} {:>9.1} {:>10} {:>10.1} {:>5.1}x {:>5.0}/{:>4.0}/{:>4.0}/{:>4.0}/{:>3.0}%",
+            format!("{game}-{res}"),
+            scene.triangles_per_frame(),
+            scene.textures.len(),
+            tex_mib,
+            r.raster.fragments_out,
+            r.texture.conventional_texels as f64 / r.texture.samples.max(1) as f64,
+            r.texture.mean_aniso_ratio(),
+            h[0] as f64 * 100.0 / total as f64,
+            h[1] as f64 * 100.0 / total as f64,
+            h[2] as f64 * 100.0 / total as f64,
+            h[3] as f64 * 100.0 / total as f64,
+            h[4] as f64 * 100.0 / total as f64,
+        );
+    }
+    println!("\n(texels/smp = conventional texel volume per sample; aniso = mean applied ratio)");
+    Ok(())
+}

@@ -1,0 +1,221 @@
+//! Integration tests asserting the *shape* of the paper's headline
+//! results on a reduced benchmark column: who wins, in which direction,
+//! and with monotone tradeoffs. These are the automated counterparts of
+//! the figures EXPERIMENTS.md records quantitatively.
+
+use pim_render::pimgfx::{Design, RenderReport, SimConfig, Simulator};
+use pim_render::quality::psnr;
+use pim_render::types::Radians;
+use pim_render::workloads::{build_scene_unchecked, Game, Resolution, SceneTrace};
+
+fn scene() -> SceneTrace {
+    // Near-full-scale textures: the energy and traffic claims depend on
+    // realistic texture working sets (tiny textures make the baseline
+    // artificially cache-resident).
+    let mut profile = Game::Doom3.profile();
+    profile.floor_quads = 5;
+    profile.texture_count = 8;
+    profile.texture_size = 256;
+    profile.facing_props = 1;
+    build_scene_unchecked(&profile, Resolution::R320x240, 2)
+}
+
+fn run_with(config: SimConfig, scene: &SceneTrace) -> RenderReport {
+    let mut sim = Simulator::new(config).expect("simulator builds");
+    sim.render_trace(scene).expect("trace renders")
+}
+
+#[test]
+fn fig4_shape_disabling_aniso_speeds_filtering_and_cuts_traffic() {
+    let s = scene();
+    let base = run_with(SimConfig::default(), &s);
+    let off = run_with(
+        SimConfig::builder().max_aniso(1).build().expect("valid"),
+        &s,
+    );
+    assert!(
+        off.texture_speedup_vs(&base) > 1.0,
+        "aniso-off filtering speedup {:.2}",
+        off.texture_speedup_vs(&base)
+    );
+    assert!(
+        off.traffic_normalized_to(&base) < 1.0,
+        "aniso-off traffic {:.2}",
+        off.traffic_normalized_to(&base)
+    );
+}
+
+#[test]
+fn fig10_shape_atfim_wins_texture_filtering() {
+    let s = scene();
+    let base = run_with(SimConfig::default(), &s);
+    let mk = |d| run_with(SimConfig::builder().design(d).build().expect("valid"), &s);
+    let bpim = mk(Design::BPim);
+    let stfim = mk(Design::STfim);
+    let atfim = mk(Design::ATfim);
+    let a = atfim.texture_speedup_vs(&base);
+    assert!(a > 1.3, "a-tfim filtering speedup {a:.2}");
+    assert!(a > bpim.texture_speedup_vs(&base));
+    assert!(a > stfim.texture_speedup_vs(&base));
+}
+
+#[test]
+fn fig12_shape_traffic_ordering() {
+    let s = scene();
+    let base = run_with(SimConfig::default(), &s);
+    let mk = |d| run_with(SimConfig::builder().design(d).build().expect("valid"), &s);
+    let stfim = mk(Design::STfim);
+    let loose = run_with(
+        SimConfig::builder()
+            .design(Design::ATfim)
+            .angle_threshold_pi_fraction(0.05)
+            .build()
+            .expect("valid"),
+        &s,
+    );
+    let strict = run_with(
+        SimConfig::builder()
+            .design(Design::ATfim)
+            .angle_threshold_pi_fraction(0.01)
+            .build()
+            .expect("valid"),
+        &s,
+    );
+    // S-TFIM inflates texture traffic well past everything else.
+    assert!(stfim.traffic_normalized_to(&base) > 1.5);
+    // A looser angle threshold reduces traffic (fewer recalculations).
+    assert!(loose.traffic_normalized_to(&base) < strict.traffic_normalized_to(&base));
+}
+
+#[test]
+fn fig13_shape_atfim_saves_energy_stfim_wastes_it() {
+    // Energy depends on absolute traffic volumes, so this one runs the
+    // real Table II column (full Doom 3 profile at 320x240) rather than
+    // the reduced scene.
+    let s = pim_render::workloads::build_scene(Game::Doom3, Resolution::R320x240, 2);
+    let base = run_with(SimConfig::default(), &s);
+    let mk = |d| run_with(SimConfig::builder().design(d).build().expect("valid"), &s);
+    let bpim = mk(Design::BPim);
+    let stfim = mk(Design::STfim);
+    let atfim = mk(Design::ATfim);
+    assert!(
+        atfim.energy_normalized_to(&base) < 1.0,
+        "a-tfim energy {:.2}",
+        atfim.energy_normalized_to(&base)
+    );
+    assert!(
+        stfim.energy_normalized_to(&base) > bpim.energy_normalized_to(&base),
+        "s-tfim must burn more than b-pim"
+    );
+}
+
+#[test]
+fn fig14_fig15_shape_threshold_monotonicity() {
+    let s = scene();
+    let base = run_with(SimConfig::default(), &s);
+    let mut speedups = Vec::new();
+    let mut psnrs = Vec::new();
+    for f in [0.005f32, 0.05] {
+        let r = run_with(
+            SimConfig::builder()
+                .design(Design::ATfim)
+                .angle_threshold_pi_fraction(f)
+                .build()
+                .expect("valid"),
+            &s,
+        );
+        speedups.push(r.render_speedup_vs(&base));
+        psnrs.push(psnr(&base.image, &r.image));
+    }
+    assert!(
+        speedups[1] >= speedups[0],
+        "looser threshold must not be slower: {speedups:?}"
+    );
+    assert!(
+        psnrs[0] >= psnrs[1],
+        "stricter threshold must not be lower quality: {psnrs:?}"
+    );
+}
+
+#[test]
+fn zero_threshold_recalculates_everything_exactly() {
+    let s = scene();
+    let base = run_with(SimConfig::default(), &s);
+    let exact = run_with(
+        SimConfig::builder()
+            .design(Design::ATfim)
+            .angle_threshold(Radians::ZERO)
+            .build()
+            .expect("valid"),
+        &s,
+    );
+    // Recalculating on any angle difference gives near-lossless output
+    // (only exactly-equal-angle reuse remains).
+    assert!(
+        psnr(&base.image, &exact.image) > 50.0,
+        "zero threshold should be near-exact: {:.1} dB",
+        psnr(&base.image, &exact.image)
+    );
+}
+
+#[test]
+fn ablation_consolidation_reduces_internal_reads() {
+    let s = scene();
+    let with = run_with(
+        SimConfig::builder()
+            .design(Design::ATfim)
+            .build()
+            .expect("valid"),
+        &s,
+    );
+    let without = run_with(
+        SimConfig::builder()
+            .design(Design::ATfim)
+            .consolidation(false)
+            .build()
+            .expect("valid"),
+        &s,
+    );
+    assert!(
+        with.texture.merged_child_reads > 0,
+        "consolidation must merge"
+    );
+    assert_eq!(without.texture.merged_child_reads, 0);
+    assert!(with.texture.child_reads < without.texture.child_reads);
+}
+
+#[test]
+fn ablation_package_compression_is_traffic_only() {
+    let s = scene();
+    let with = run_with(
+        SimConfig::builder()
+            .design(Design::ATfim)
+            .build()
+            .expect("valid"),
+        &s,
+    );
+    let without = run_with(
+        SimConfig::builder()
+            .design(Design::ATfim)
+            .offload_compression(false)
+            .build()
+            .expect("valid"),
+        &s,
+    );
+    // Compression changes package bytes only — never the rendered image
+    // or the offload count.
+    assert_eq!(psnr(&with.image, &without.image), 99.0);
+    assert_eq!(
+        with.texture.offload_packages,
+        without.texture.offload_packages
+    );
+    assert_ne!(with.texture_traffic(), without.texture_traffic());
+}
+
+#[test]
+fn overhead_analysis_matches_paper_scale() {
+    let r = pim_render::pimgfx::analyze_overhead(&SimConfig::default());
+    assert!(r.hmc_area_fraction > 0.02 && r.hmc_area_fraction < 0.05);
+    assert!(r.gpu_area_fraction < 0.01);
+    assert_eq!(r.parent_buffer_bytes, 1440);
+}

@@ -1,0 +1,175 @@
+//! Integration tests for the extension features beyond the paper's core
+//! evaluation: block texture compression, multi-cube HMC arrays, shared
+//! MTUs, the EWA quality reference, and trace capture/replay.
+
+use pim_render::pimgfx::{Design, RenderReport, SimConfig, Simulator};
+use pim_render::quality::{psnr, ssim};
+use pim_render::workloads::{build_scene_unchecked, trace_io, Game, Resolution, SceneTrace};
+
+fn scene() -> SceneTrace {
+    let mut profile = Game::Fear.profile();
+    profile.floor_quads = 4;
+    profile.texture_count = 4;
+    profile.texture_size = 128;
+    profile.facing_props = 1;
+    build_scene_unchecked(&profile, Resolution::R320x240, 1)
+}
+
+fn run(config: SimConfig, s: &SceneTrace) -> RenderReport {
+    let mut sim = Simulator::new(config).expect("simulator builds");
+    sim.render_trace(s).expect("trace renders")
+}
+
+#[test]
+fn texture_compression_cuts_traffic_on_every_design() {
+    let s = scene();
+    for design in [Design::Baseline, Design::BPim, Design::ATfim] {
+        let raw = run(
+            SimConfig::builder().design(design).build().expect("valid"),
+            &s,
+        );
+        let bc = run(
+            SimConfig::builder()
+                .design(design)
+                .compressed_textures(true)
+                .build()
+                .expect("valid"),
+            &s,
+        );
+        assert!(
+            bc.texture_traffic() < raw.texture_traffic(),
+            "{design}: {} vs {}",
+            bc.texture_traffic(),
+            raw.texture_traffic()
+        );
+    }
+}
+
+#[test]
+fn texture_compression_is_lossy_but_mild() {
+    let s = scene();
+    let raw = run(SimConfig::default(), &s);
+    let bc = run(
+        SimConfig::builder()
+            .compressed_textures(true)
+            .build()
+            .expect("valid"),
+        &s,
+    );
+    let db = psnr(&raw.image, &bc.image);
+    assert!(db < 99.0, "BC1 must introduce some loss");
+    assert!(db > 25.0, "BC1 loss should be mild: {db} dB");
+    assert!(ssim(&raw.image, &bc.image) > 0.8);
+}
+
+#[test]
+fn compression_composes_with_atfim() {
+    // The paper's orthogonality claim (§VIII): compression and A-TFIM
+    // each cut texture bytes, and together cut more than either alone.
+    let s = scene();
+    let base = run(SimConfig::default(), &s);
+    let both = run(
+        SimConfig::builder()
+            .design(Design::ATfim)
+            .compressed_textures(true)
+            .build()
+            .expect("valid"),
+        &s,
+    );
+    assert!(both.energy_normalized_to(&base) < 1.0);
+}
+
+#[test]
+fn multi_cube_is_functionally_transparent() {
+    let s = scene();
+    let one = run(
+        SimConfig::builder()
+            .design(Design::ATfim)
+            .build()
+            .expect("valid"),
+        &s,
+    );
+    let four = run(
+        SimConfig::builder()
+            .design(Design::ATfim)
+            .hmc_cubes(4)
+            .build()
+            .expect("valid"),
+        &s,
+    );
+    // The image is identical — cube count is purely structural.
+    assert_eq!(psnr(&one.image, &four.image), 99.0);
+    assert_eq!(one.texture.samples, four.texture.samples);
+    // More cubes never slow the render down.
+    assert!(four.total_cycles <= one.total_cycles + one.total_cycles / 20);
+}
+
+#[test]
+fn shared_mtus_contend() {
+    let s = scene();
+    let private = run(
+        SimConfig::builder()
+            .design(Design::STfim)
+            .build()
+            .expect("valid"),
+        &s,
+    );
+    let shared = run(
+        SimConfig::builder()
+            .design(Design::STfim)
+            .mtus(2)
+            .build()
+            .expect("valid"),
+        &s,
+    );
+    // Fewer MTUs than clusters serialize texture requests (§IV's
+    // area-vs-contention tradeoff).
+    assert!(
+        shared.total_cycles > private.total_cycles,
+        "2 MTUs {} vs 16 MTUs {}",
+        shared.total_cycles,
+        private.total_cycles
+    );
+    // Identical output either way.
+    assert_eq!(psnr(&private.image, &shared.image), 99.0);
+}
+
+#[test]
+fn trace_roundtrip_replays_simulation_exactly() {
+    let s = scene();
+    let mut buf = Vec::new();
+    trace_io::save_trace(&s, &mut buf).expect("serialize");
+    let replay = trace_io::load_trace(&buf[..]).expect("deserialize");
+
+    let a = run(SimConfig::default(), &s);
+    let b = run(SimConfig::default(), &replay);
+    assert_eq!(a.total_cycles, b.total_cycles);
+    assert_eq!(a.traffic.total(), b.traffic.total());
+    assert_eq!(psnr(&a.image, &b.image), 99.0);
+}
+
+#[test]
+fn ewa_reference_agrees_with_probe_filter_on_scene_textures() {
+    use pim_render::texture::{ewa, Sampler, SamplerConfig};
+    use pim_render::types::Vec2;
+    let s = scene();
+    let sampler = Sampler::new(SamplerConfig::default());
+    let tex = &s.textures[2]; // the band-limited noise texture
+    let mut worst = 0.0f32;
+    for (u, v, dx, dy) in [
+        (0.3f32, 0.4f32, 3.0f32, 1.0f32),
+        (0.7, 0.2, 6.0, 1.5),
+        (0.1, 0.9, 2.0, 2.0),
+    ] {
+        let probe = sampler.sample(tex, Vec2::new(u, v), Vec2::new(dx, 0.0), Vec2::new(0.0, dy));
+        let (exact, _) = ewa::filter(
+            tex,
+            Vec2::new(u, v),
+            Vec2::new(dx, 0.0),
+            Vec2::new(0.0, dy),
+            16,
+        );
+        worst = worst.max(probe.color.max_channel_diff(exact));
+    }
+    assert!(worst < 0.15, "probe filter strays from EWA: {worst}");
+}
