@@ -13,11 +13,11 @@
 //! additionally drops each figure's data as `DIR/<figure>.csv`.
 
 use pimgfx::{analyze_overhead, Design, SimConfig};
-use pimgfx_bench::{geomean, mean, CsvSink, Harness, Variant, THRESHOLD_SWEEP};
+use pimgfx_bench::{geomean, mean, CsvSink, Harness, HarnessResult, Variant, THRESHOLD_SWEEP};
 use pimgfx_mem::TrafficClass;
 use pimgfx_workloads::{Game, Resolution};
 
-fn main() {
+fn main() -> HarnessResult<()> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let frames = args
@@ -36,7 +36,7 @@ fn main() {
         .position(|a| a == "--csv")
         .and_then(|i| args.get(i + 1))
         .map(std::path::PathBuf::from);
-    let csv = CsvSink::new(csv_dir);
+    let csv = CsvSink::new(csv_dir)?;
     // `--csv <dir>` consumes its value; drop it from the figure list.
     let figs: Vec<&str> = figs
         .into_iter()
@@ -62,41 +62,42 @@ fn main() {
         table2();
     }
     if want("fig2") {
-        fig2(&mut h, &columns, &csv);
+        fig2(&mut h, &columns, &csv)?;
     }
     if want("fig4") {
-        fig4(&mut h, &columns, &csv);
+        fig4(&mut h, &columns, &csv)?;
     }
     if want("fig5") {
-        fig5(&mut h, &columns, &csv);
+        fig5(&mut h, &columns, &csv)?;
     }
     if want("fig10") {
-        fig10(&mut h, &columns, &csv);
+        fig10(&mut h, &columns, &csv)?;
     }
     if want("fig11") {
-        fig11(&mut h, &columns, &csv);
+        fig11(&mut h, &columns, &csv)?;
     }
     if want("fig12") {
-        fig12(&mut h, &columns, &csv);
+        fig12(&mut h, &columns, &csv)?;
     }
     if want("fig13") {
-        fig13(&mut h, &columns, &csv);
+        fig13(&mut h, &columns, &csv)?;
     }
     if want("fig14") {
-        fig14(&mut h, &columns, &csv);
+        fig14(&mut h, &columns, &csv)?;
     }
     if want("fig15") {
-        fig15(&mut h, &columns, &csv);
+        fig15(&mut h, &columns, &csv)?;
     }
     if want("fig16") {
-        fig16(&mut h, &columns, &csv);
+        fig16(&mut h, &columns, &csv)?;
     }
     if want("overhead") {
         overhead();
     }
     if want("ablation") {
-        ablation(&mut h, &columns);
+        ablation(&mut h, &columns)?;
     }
+    Ok(())
 }
 
 fn header(title: &str) {
@@ -183,7 +184,7 @@ fn table2() {
     }
 }
 
-fn fig2(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) {
+fn fig2(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) -> HarnessResult<()> {
     header("Fig. 2 — memory bandwidth usage breakdown (baseline GPU)");
     println!(
         "{:<18} {:>9} {:>13} {:>10} {:>8} {:>13}",
@@ -192,7 +193,7 @@ fn fig2(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) {
     let mut tex_fracs = Vec::new();
     let mut rows: Vec<Vec<String>> = Vec::new();
     for &(g, r) in columns {
-        let rep = h.baseline(g, r);
+        let rep = h.baseline(g, r)?;
         let t = &rep.traffic;
         println!(
             "{:<18} {:>8.1}% {:>12.1}% {:>9.1}% {:>7.1}% {:>12.1}%",
@@ -224,14 +225,15 @@ fn fig2(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) {
             "color_buffer",
         ],
         &rows,
-    );
+    )?;
     println!(
         "average texture share: {:.1}%  (paper: ~60%)",
         mean(&tex_fracs) * 100.0
     );
+    Ok(())
 }
 
-fn fig4(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) {
+fn fig4(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) -> HarnessResult<()> {
     header("Fig. 4 — texture filtering with anisotropic filtering disabled");
     println!(
         "{:<18} {:>18} {:>18}",
@@ -241,8 +243,8 @@ fn fig4(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) {
     let mut traffics = Vec::new();
     let mut rows: Vec<Vec<String>> = Vec::new();
     for &(g, r) in columns {
-        let base = h.baseline(g, r);
-        let off = h.run(g, r, Variant::AnisoOff).clone();
+        let base = h.baseline(g, r)?;
+        let off = h.run(g, r, Variant::AnisoOff)?.clone();
         let s = off.texture_speedup_vs(&base);
         let t = off.traffic_normalized_to(&base);
         println!(
@@ -263,15 +265,16 @@ fn fig4(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) {
         "fig04",
         &["benchmark", "filtering_speedup", "texture_traffic"],
         &rows,
-    );
+    )?;
     println!(
         "average: {:.2}x speedup (paper: 1.1x avg, up to 4.2x), {:.2}x traffic (paper: 0.66x avg)",
         geomean(&speedups),
         mean(&traffics)
     );
+    Ok(())
 }
 
-fn fig5(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) {
+fn fig5(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) -> HarnessResult<()> {
     header("Fig. 5 — B-PIM speedup over the baseline");
     println!(
         "{:<18} {:>16} {:>18}",
@@ -281,8 +284,8 @@ fn fig5(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) {
     let mut ts = Vec::new();
     let mut rows: Vec<Vec<String>> = Vec::new();
     for &(g, r) in columns {
-        let base = h.baseline(g, r);
-        let bpim = h.run(g, r, Variant::Design(Design::BPim)).clone();
+        let base = h.baseline(g, r)?;
+        let bpim = h.run(g, r, Variant::Design(Design::BPim))?.clone();
         let render = bpim.render_speedup_vs(&base);
         let tex = bpim.texture_speedup_vs(&base);
         println!(
@@ -303,19 +306,20 @@ fn fig5(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) {
         "fig05",
         &["benchmark", "render_speedup", "filtering_speedup"],
         &rows,
-    );
+    )?;
     println!(
         "average: {:.2}x render (paper: 1.27x), {:.2}x filtering (paper: 1.07x)",
         geomean(&rs),
         geomean(&ts)
     );
+    Ok(())
 }
 
 fn design_rows(
     h: &mut Harness,
     columns: &[(Game, Resolution)],
     metric: impl Fn(&pimgfx::RenderReport, &pimgfx::RenderReport) -> f64,
-) -> Vec<(String, [f64; 4])> {
+) -> HarnessResult<Vec<(String, [f64; 4])>> {
     let variants = [
         Variant::Design(Design::Baseline),
         Variant::Design(Design::BPim),
@@ -324,18 +328,18 @@ fn design_rows(
     ];
     let mut rows = Vec::new();
     for &(g, r) in columns {
-        let base = h.baseline(g, r);
+        let base = h.baseline(g, r)?;
         let mut row = [0.0f64; 4];
         for (i, v) in variants.into_iter().enumerate() {
-            let rep = h.run(g, r, v).clone();
+            let rep = h.run(g, r, v)?.clone();
             row[i] = metric(&rep, &base);
         }
         rows.push((Harness::column_label(g, r), row));
     }
-    rows
+    Ok(rows)
 }
 
-fn write_design_csv(csv: &CsvSink, figure: &str, rows: &[(String, [f64; 4])]) {
+fn write_design_csv(csv: &CsvSink, figure: &str, rows: &[(String, [f64; 4])]) -> HarnessResult<()> {
     let data: Vec<Vec<String>> = rows
         .iter()
         .map(|(label, row)| {
@@ -348,7 +352,7 @@ fn write_design_csv(csv: &CsvSink, figure: &str, rows: &[(String, [f64; 4])]) {
         figure,
         &["benchmark", "baseline", "b_pim", "s_tfim", "a_tfim"],
         &data,
-    );
+    )
 }
 
 fn print_design_table(rows: &[(String, [f64; 4])], unit: &str) {
@@ -382,23 +386,25 @@ fn print_design_table(rows: &[(String, [f64; 4])], unit: &str) {
     );
 }
 
-fn fig10(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) {
+fn fig10(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) -> HarnessResult<()> {
     header("Fig. 10 — texture filtering speedup by design (A-TFIM @ 0.01pi)");
-    let rows = design_rows(h, columns, |rep, base| rep.texture_speedup_vs(base));
-    write_design_csv(csv, "fig10", &rows);
+    let rows = design_rows(h, columns, |rep, base| rep.texture_speedup_vs(base))?;
+    write_design_csv(csv, "fig10", &rows)?;
     print_design_table(&rows, "x");
     println!("paper: a-tfim 3.97x avg (up to 6.4x)");
+    Ok(())
 }
 
-fn fig11(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) {
+fn fig11(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) -> HarnessResult<()> {
     header("Fig. 11 — overall 3D rendering speedup by design");
-    let rows = design_rows(h, columns, |rep, base| rep.render_speedup_vs(base));
-    write_design_csv(csv, "fig11", &rows);
+    let rows = design_rows(h, columns, |rep, base| rep.render_speedup_vs(base))?;
+    write_design_csv(csv, "fig11", &rows)?;
     print_design_table(&rows, "x");
     println!("paper: b-pim 1.27x, a-tfim 1.43x (up to 1.65x) avg");
+    Ok(())
 }
 
-fn fig12(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) {
+fn fig12(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) -> HarnessResult<()> {
     header("Fig. 12 — texture memory traffic normalized to baseline");
     println!(
         "{:<18} {:>9} {:>9} {:>9} {:>13} {:>13}",
@@ -407,19 +413,19 @@ fn fig12(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) {
     let mut avgs = [Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new()];
     let mut rows: Vec<Vec<String>> = Vec::new();
     for &(g, r) in columns {
-        let base = h.baseline(g, r);
+        let base = h.baseline(g, r)?;
         let vals = [
             1.0,
-            h.run(g, r, Variant::Design(Design::BPim))
+            h.run(g, r, Variant::Design(Design::BPim))?
                 .clone()
                 .traffic_normalized_to(&base),
-            h.run(g, r, Variant::Design(Design::STfim))
+            h.run(g, r, Variant::Design(Design::STfim))?
                 .clone()
                 .traffic_normalized_to(&base),
-            h.run(g, r, Variant::AtfimThreshold(0.01))
+            h.run(g, r, Variant::AtfimThreshold(0.01))?
                 .clone()
                 .traffic_normalized_to(&base),
-            h.run(g, r, Variant::AtfimThreshold(0.05))
+            h.run(g, r, Variant::AtfimThreshold(0.05))?
                 .clone()
                 .traffic_normalized_to(&base),
         ];
@@ -450,24 +456,26 @@ fn fig12(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) {
             "atfim_005pi",
         ],
         &rows,
-    );
+    )?;
     println!(
         "average: s-tfim {:.2}x (paper: 2.79x), atfim@.01pi {:.2}x (paper: ~1.1x), atfim@.05pi {:.2}x (paper: 0.72x)",
         mean(&avgs[2]),
         mean(&avgs[3]),
         mean(&avgs[4])
     );
+    Ok(())
 }
 
-fn fig13(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) {
+fn fig13(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) -> HarnessResult<()> {
     header("Fig. 13 — energy normalized to baseline");
-    let rows = design_rows(h, columns, |rep, base| rep.energy_normalized_to(base));
-    write_design_csv(csv, "fig13", &rows);
+    let rows = design_rows(h, columns, |rep, base| rep.energy_normalized_to(base))?;
+    write_design_csv(csv, "fig13", &rows)?;
     print_design_table(&rows, "x");
     println!("paper: a-tfim 0.78x avg (22% less than baseline), s-tfim above b-pim");
+    Ok(())
 }
 
-fn fig14(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) {
+fn fig14(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) -> HarnessResult<()> {
     header("Fig. 14 — A-TFIM render speedup vs camera-angle threshold");
     print!("{:<18}", "benchmark");
     for f in THRESHOLD_SWEEP {
@@ -477,12 +485,12 @@ fn fig14(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) {
     let mut avgs = vec![Vec::new(); THRESHOLD_SWEEP.len() + 1];
     let mut rows: Vec<Vec<String>> = Vec::new();
     for &(g, r) in columns {
-        let base = h.baseline(g, r);
+        let base = h.baseline(g, r)?;
         let mut row = vec![Harness::column_label(g, r)];
         print!("{:<18}", Harness::column_label(g, r));
         for (i, f) in THRESHOLD_SWEEP.into_iter().enumerate() {
             let s = h
-                .run(g, r, Variant::AtfimThreshold(f))
+                .run(g, r, Variant::AtfimThreshold(f))?
                 .clone()
                 .render_speedup_vs(&base);
             print!(" {:>10.2}x", s);
@@ -490,7 +498,7 @@ fn fig14(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) {
             avgs[i].push(s);
         }
         let s = h
-            .run(g, r, Variant::AtfimNoRecalc)
+            .run(g, r, Variant::AtfimNoRecalc)?
             .clone()
             .render_speedup_vs(&base);
         println!(" {:>10.2}x", s);
@@ -509,16 +517,17 @@ fn fig14(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) {
             "no_recalc",
         ],
         &rows,
-    );
+    )?;
     print!("{:<18}", "average");
     for a in &avgs {
         print!(" {:>10.2}x", geomean(a));
     }
     println!();
     println!("paper: speedup grows monotonically with the threshold (1.33x..1.48x band)");
+    Ok(())
 }
 
-fn fig15(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) {
+fn fig15(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) -> HarnessResult<()> {
     header("Fig. 15 — image quality (PSNR dB vs baseline) vs threshold");
     print!("{:<18}", "benchmark");
     for f in THRESHOLD_SWEEP {
@@ -531,12 +540,12 @@ fn fig15(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) {
         let mut row = vec![Harness::column_label(g, r)];
         print!("{:<18}", Harness::column_label(g, r));
         for (i, f) in THRESHOLD_SWEEP.into_iter().enumerate() {
-            let db = h.psnr_vs_baseline(g, r, Variant::AtfimThreshold(f));
+            let db = h.psnr_vs_baseline(g, r, Variant::AtfimThreshold(f))?;
             print!(" {:>11.1}", db);
             row.push(format!("{db:.2}"));
             avgs[i].push(db);
         }
-        let db = h.psnr_vs_baseline(g, r, Variant::AtfimNoRecalc);
+        let db = h.psnr_vs_baseline(g, r, Variant::AtfimNoRecalc)?;
         println!(" {:>11.1}", db);
         row.push(format!("{db:.2}"));
         rows.push(row);
@@ -553,16 +562,17 @@ fn fig15(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) {
             "no_recalc",
         ],
         &rows,
-    );
+    )?;
     print!("{:<18}", "average");
     for a in &avgs {
         print!(" {:>11.1}", mean(a));
     }
     println!();
     println!("paper: PSNR decreases as the threshold loosens; >70 dB is visually lossless");
+    Ok(())
 }
 
-fn fig16(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) {
+fn fig16(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) -> HarnessResult<()> {
     header("Fig. 16 — performance-quality tradeoff (averaged over benchmarks)");
     println!(
         "{:<12} {:>16} {:>12}",
@@ -578,10 +588,10 @@ fn fig16(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) {
         let mut speedups = Vec::new();
         let mut psnrs = Vec::new();
         for &(g, r) in columns {
-            let base = h.baseline(g, r);
-            let s = h.run(g, r, v).clone().render_speedup_vs(&base);
+            let base = h.baseline(g, r)?;
+            let s = h.run(g, r, v)?.clone().render_speedup_vs(&base);
             speedups.push(s);
-            psnrs.push(h.psnr_vs_baseline(g, r, v));
+            psnrs.push(h.psnr_vs_baseline(g, r, v)?);
         }
         println!(
             "{:<12} {:>15.2}x {:>12.1}",
@@ -595,8 +605,9 @@ fn fig16(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) {
             format!("{:.2}", mean(&psnrs)),
         ]);
     }
-    csv.write_figure("fig16", &["threshold", "render_speedup", "psnr_db"], &rows);
+    csv.write_figure("fig16", &["threshold", "render_speedup", "psnr_db"], &rows)?;
     println!("paper: speedup rises and PSNR falls as the threshold loosens; 0.01pi is the knee");
+    Ok(())
 }
 
 fn overhead() {
@@ -620,17 +631,17 @@ fn overhead() {
     );
 }
 
-fn ablation(h: &mut Harness, columns: &[(Game, Resolution)]) {
+fn ablation(h: &mut Harness, columns: &[(Game, Resolution)]) -> HarnessResult<()> {
     header("Ablations — A-TFIM design choices");
     println!(
         "{:<18} {:>12} {:>14} {:>14}",
         "benchmark", "a-tfim", "no-consolidate", "no-compress"
     );
     for &(g, r) in columns {
-        let base = h.baseline(g, r);
-        let full = h.run(g, r, Variant::Design(Design::ATfim)).clone();
-        let nc = h.run(g, r, Variant::AtfimNoConsolidation).clone();
-        let np = h.run(g, r, Variant::AtfimNoCompression).clone();
+        let base = h.baseline(g, r)?;
+        let full = h.run(g, r, Variant::Design(Design::ATfim))?.clone();
+        let nc = h.run(g, r, Variant::AtfimNoConsolidation)?.clone();
+        let np = h.run(g, r, Variant::AtfimNoCompression)?.clone();
         println!(
             "{:<18} {:>11.2}x {:>13.2}x {:>13.2}x",
             Harness::column_label(g, r),
@@ -747,4 +758,5 @@ fn ablation(h: &mut Harness, columns: &[(Game, Resolution)]) {
         );
     }
     println!("(A-TFIM's child reads ride the internal bandwidth the sweep varies)");
+    Ok(())
 }

@@ -6,14 +6,20 @@
 //! baseline and three designs does not re-simulate the baseline four
 //! times.
 
+// --- lint wall (checked byte-for-byte by `cargo xtask lint`) ---
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![warn(clippy::dbg_macro, clippy::print_stdout, clippy::print_stderr)]
 
 use pimgfx::{Design, RenderReport, SimConfig, Simulator};
 use pimgfx_quality::psnr;
-use pimgfx_types::Result;
+use pimgfx_types::{ConfigError, Error, Result};
 use pimgfx_workloads::{build_scene, Game, Resolution, SceneTrace};
 use std::collections::HashMap;
+
+/// Result alias for harness operations, which can fail on configuration
+/// *or* I/O (CSV output).
+pub type HarnessResult<T> = std::result::Result<T, Error>;
 
 /// A design variant to simulate — a design point plus the experiment
 /// knobs the paper sweeps.
@@ -132,35 +138,59 @@ impl Harness {
 
     /// Runs (or recalls) one experiment cell.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration or simulation fails — harness callers
-    /// are experiment drivers where any failure is a bug.
-    pub fn run(&mut self, game: Game, res: Resolution, variant: Variant) -> &RenderReport {
+    /// Propagates configuration and simulation failures.
+    pub fn run(
+        &mut self,
+        game: Game,
+        res: Resolution,
+        variant: Variant,
+    ) -> HarnessResult<&RenderReport> {
         let key = (game, res, variant.label());
         if !self.reports.contains_key(&key) {
             // Build the scene first (separate borrow).
             self.scene(game, res);
-            let scene = self.scenes.get(&(game, res)).expect("scene just built");
-            let config = variant.config().expect("variant config is valid");
-            let mut sim = Simulator::new(config).expect("simulator builds");
-            let report = sim.render_trace(scene).expect("trace renders");
+            let Some(scene) = self.scenes.get(&(game, res)) else {
+                return Err(
+                    ConfigError::new("harness", "scene cache lost a just-built scene").into(),
+                );
+            };
+            let config = variant.config()?;
+            let mut sim = Simulator::new(config)?;
+            let report = sim.render_trace(scene)?;
             self.reports.insert(key.clone(), report);
         }
-        self.reports.get(&key).expect("just inserted")
+        self.reports
+            .get(&key)
+            .ok_or_else(|| ConfigError::new("harness", "report cache lost a just-run cell").into())
     }
 
     /// Convenience: the baseline report for a column.
-    pub fn baseline(&mut self, game: Game, res: Resolution) -> RenderReport {
-        self.run(game, res, Variant::Design(Design::Baseline))
-            .clone()
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and simulation failures.
+    pub fn baseline(&mut self, game: Game, res: Resolution) -> HarnessResult<RenderReport> {
+        Ok(self
+            .run(game, res, Variant::Design(Design::Baseline))?
+            .clone())
     }
 
     /// PSNR of a variant's last frame against the baseline's.
-    pub fn psnr_vs_baseline(&mut self, game: Game, res: Resolution, variant: Variant) -> f64 {
-        let base = self.baseline(game, res);
-        let img = self.run(game, res, variant).image.clone();
-        psnr(&base.image, &img)
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and simulation failures.
+    pub fn psnr_vs_baseline(
+        &mut self,
+        game: Game,
+        res: Resolution,
+        variant: Variant,
+    ) -> HarnessResult<f64> {
+        let base = self.baseline(game, res)?;
+        let img = self.run(game, res, variant)?.image.clone();
+        Ok(psnr(&base.image, &img))
     }
 }
 
@@ -179,25 +209,32 @@ impl CsvSink {
     /// Creates a sink writing into `dir` (created if missing), or a
     /// no-op sink for `None`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the directory cannot be created — the harness treats a
-    /// requested-but-unwritable output directory as a fatal setup error.
-    pub fn new(dir: Option<std::path::PathBuf>) -> Self {
+    /// Fails if the requested output directory cannot be created.
+    pub fn new(dir: Option<std::path::PathBuf>) -> HarnessResult<Self> {
         if let Some(d) = &dir {
-            std::fs::create_dir_all(d).expect("csv output directory must be creatable");
+            std::fs::create_dir_all(d)
+                .map_err(|e| Error::io(format!("creating csv directory {}", d.display()), e))?;
         }
-        Self { dir }
+        Ok(Self { dir })
     }
 
     /// Writes one figure's data as CSV: a header row and one row per
     /// benchmark/series entry. No-op without a directory.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on I/O failure (fatal for an experiment harness).
-    pub fn write_figure(&self, figure: &str, header: &[&str], rows: &[Vec<String>]) {
-        let Some(dir) = &self.dir else { return };
+    /// Fails if the CSV file cannot be written.
+    pub fn write_figure(
+        &self,
+        figure: &str,
+        header: &[&str],
+        rows: &[Vec<String>],
+    ) -> HarnessResult<()> {
+        let Some(dir) = &self.dir else {
+            return Ok(());
+        };
         let mut out = String::new();
         out.push_str(&header.join(","));
         out.push('\n');
@@ -205,7 +242,8 @@ impl CsvSink {
             out.push_str(&row.join(","));
             out.push('\n');
         }
-        std::fs::write(dir.join(format!("{figure}.csv")), out).expect("csv file must be writable");
+        let path = dir.join(format!("{figure}.csv"));
+        std::fs::write(&path, out).map_err(|e| Error::io(format!("writing {}", path.display()), e))
     }
 }
 
@@ -221,16 +259,80 @@ pub fn bench_scene() -> SceneTrace {
     pimgfx_workloads::build_scene_unchecked(&profile, Resolution::R320x240, 1)
 }
 
-/// Runs one variant over a scene and returns its report (criterion body).
+/// Runs one variant over a scene and returns its report (bench body).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on configuration or simulation failure (bench drivers treat
-/// any failure as a bug).
-pub fn run_variant(scene: &SceneTrace, variant: Variant) -> RenderReport {
-    let config = variant.config().expect("variant config is valid");
-    let mut sim = Simulator::new(config).expect("simulator builds");
-    sim.render_trace(scene).expect("trace renders")
+/// Propagates configuration and simulation failures.
+pub fn run_variant(scene: &SceneTrace, variant: Variant) -> Result<RenderReport> {
+    let config = variant.config()?;
+    let mut sim = Simulator::new(config)?;
+    sim.render_trace(scene)
+}
+
+/// Minimal std-only micro-benchmark harness for the `benches/fig*.rs`
+/// targets (all declared `harness = false`).
+///
+/// The workspace builds offline with zero external dependencies, so the
+/// figure benches cannot link criterion; this module provides the small
+/// subset they need — named benchmark groups, a sample count, and
+/// wall-clock statistics printed per function.
+// Printing timing lines to stdout is this module's entire job.
+#[allow(clippy::print_stdout)]
+pub mod microbench {
+    pub use std::hint::black_box;
+    use std::time::{Duration, Instant};
+
+    /// A named group of timed functions (mirrors the criterion group
+    /// shape so the `fig*.rs` sources stay close to their original form).
+    #[derive(Debug)]
+    pub struct BenchGroup {
+        name: String,
+        samples: usize,
+    }
+
+    impl BenchGroup {
+        /// Starts a group; `name` prefixes every printed line.
+        pub fn new(name: impl Into<String>) -> Self {
+            Self {
+                name: name.into(),
+                samples: 10,
+            }
+        }
+
+        /// Sets how many timed samples each function runs (min 1).
+        pub fn sample_size(&mut self, samples: usize) {
+            self.samples = samples.max(1);
+        }
+
+        /// Times `f` over the configured number of samples (after one
+        /// untimed warm-up call) and prints min/median/mean wall time.
+        pub fn bench_function<R>(&mut self, id: impl AsRef<str>, mut f: impl FnMut() -> R) {
+            black_box(f());
+            let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+            for _ in 0..self.samples {
+                let start = Instant::now();
+                black_box(f());
+                times.push(start.elapsed());
+            }
+            times.sort_unstable();
+            let min = times[0];
+            let median = times[times.len() / 2];
+            let mean = times.iter().sum::<Duration>() / times.len() as u32;
+            println!(
+                "{}/{:<28} min {:>10.3?}  median {:>10.3?}  mean {:>10.3?}  ({} samples)",
+                self.name,
+                id.as_ref(),
+                min,
+                median,
+                mean,
+                times.len()
+            );
+        }
+
+        /// Ends the group (kept for criterion-shape compatibility).
+        pub fn finish(self) {}
+    }
 }
 
 /// Geometric mean of a slice (the paper's "average speedup" style).
@@ -300,17 +402,19 @@ mod tests {
     #[test]
     fn csv_sink_writes_and_noop() {
         // No-op sink does nothing.
-        let sink = CsvSink::new(None);
-        sink.write_figure("nothing", &["a"], &[vec!["1".to_string()]]);
+        let sink = CsvSink::new(None).expect("no-op sink");
+        sink.write_figure("nothing", &["a"], &[vec!["1".to_string()]])
+            .expect("no-op write");
 
         // Real sink writes a parseable CSV.
         let dir = std::env::temp_dir().join("pimgfx_csv_test");
-        let sink = CsvSink::new(Some(dir.clone()));
+        let sink = CsvSink::new(Some(dir.clone())).expect("temp dir sink");
         sink.write_figure(
             "figx",
             &["benchmark", "value"],
             &[vec!["doom3".to_string(), "1.50".to_string()]],
-        );
+        )
+        .expect("csv written");
         let body = std::fs::read_to_string(dir.join("figx.csv")).expect("file written");
         assert_eq!(
             body,

@@ -170,10 +170,39 @@ impl SimConfig {
         if self.sampler.max_aniso == 0 {
             return Err(ConfigError::new("simulator", "max anisotropy must be >= 1"));
         }
-        if self.angle_threshold.as_f32() < 0.0 {
+        let threshold = self.angle_threshold.as_f32();
+        if !threshold.is_finite() {
+            return Err(ConfigError::new(
+                "simulator",
+                "angle threshold must be finite",
+            ));
+        }
+        if threshold < 0.0 {
             return Err(ConfigError::new(
                 "simulator",
                 "angle threshold must be >= 0",
+            ));
+        }
+        // The paper sweeps 0.005π–0.1π (Figs. 14–16); π itself is the
+        // A-TFIM-no sentinel set by `no_recalculation()`. Anything above
+        // π cannot be a camera-angle difference and indicates a mixed-up
+        // unit at the call site.
+        if threshold > std::f32::consts::PI {
+            return Err(ConfigError::new(
+                "simulator",
+                "angle threshold above pi is meaningless; use no_recalculation() for the A-TFIM-no variant",
+            ));
+        }
+        if self.mtus > self.shader.clusters {
+            return Err(ConfigError::new(
+                "simulator",
+                "more MTUs than shader clusters: S-TFIM gives each cluster at most one private MTU (§IV)",
+            ));
+        }
+        if self.design == Design::Baseline && self.hmc_cubes != 1 {
+            return Err(ConfigError::new(
+                "simulator",
+                "hmc_cubes is an HMC knob; the GDDR5 baseline must leave it at 1",
             ));
         }
         Ok(())
@@ -369,6 +398,7 @@ mod tests {
     #[test]
     fn mtu_and_cube_knobs() {
         let c = SimConfig::builder()
+            .design(Design::STfim)
             .mtus(4)
             .hmc_cubes(2)
             .build()
@@ -377,6 +407,54 @@ mod tests {
         assert_eq!(c.hmc_cubes, 2);
         assert!(SimConfig::builder().mtus(0).build().is_err());
         assert!(SimConfig::builder().hmc_cubes(0).build().is_err());
+    }
+
+    #[test]
+    fn angle_threshold_paper_sweep_accepted_bounds_rejected() {
+        // Every point of the paper's Figs. 14–16 sweep validates, and so
+        // does the no-recalculation sentinel (exactly π).
+        for f in [0.005f32, 0.01, 0.05, 0.1] {
+            assert!(SimConfig::builder()
+                .design(Design::ATfim)
+                .angle_threshold_pi_fraction(f)
+                .build()
+                .is_ok());
+        }
+        assert!(SimConfig::builder().no_recalculation().build().is_ok());
+
+        // Out-of-range and non-finite thresholds return Err, not panic.
+        assert!(SimConfig::builder()
+            .angle_threshold_pi_fraction(-0.01)
+            .build()
+            .is_err());
+        assert!(SimConfig::builder()
+            .angle_threshold_pi_fraction(1.01)
+            .build()
+            .is_err());
+        assert!(SimConfig::builder()
+            .angle_threshold_pi_fraction(f32::NAN)
+            .build()
+            .is_err());
+        assert!(SimConfig::builder()
+            .angle_threshold_pi_fraction(f32::INFINITY)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn invalid_design_memory_combos_rejected() {
+        // The GDDR5 baseline has no cubes to configure.
+        assert!(SimConfig::builder()
+            .design(Design::Baseline)
+            .hmc_cubes(2)
+            .build()
+            .is_err());
+        // More MTUs than clusters is structurally meaningless (§IV).
+        assert!(SimConfig::builder()
+            .design(Design::STfim)
+            .mtus(32)
+            .build()
+            .is_err());
     }
 
     #[test]

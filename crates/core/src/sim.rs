@@ -212,6 +212,8 @@ impl Simulator {
             let frag_end = frame_end;
             let rop_done = rop.flush_frame(frame_end, &mut self.mem);
             frame_end = frame_end.max(rop_done).max(self.texture.last_completion());
+            // Opt-in diagnostic channel; stderr is the intended sink.
+            #[allow(clippy::print_stderr)]
             if std::env::var_os("PIMGFX_TRACE_PHASES").is_some() {
                 eprintln!(
                     "phase trace: geom {} | fragments {} | rop {} | tex_last {}",
@@ -263,6 +265,40 @@ impl Simulator {
                 energy.add_dram_bytes(internal);
             }
         }
+
+        // Conservation invariants (debug builds). Frames run back to
+        // back, so the per-frame partition must cover the run exactly;
+        // per-class traffic can never exceed the grand total; and no
+        // aggregate busy counter can exceed its unit count x wall-clock.
+        debug_assert_eq!(
+            per_frame.iter().map(|f| f.cycles).sum::<u64>(),
+            clock.get(),
+            "per-frame cycles must partition total_cycles"
+        );
+        debug_assert_eq!(
+            per_frame.iter().map(|f| f.texture_samples).sum::<u64>(),
+            self.texture.stats().samples,
+            "per-frame texture samples must sum to the trace total"
+        );
+        debug_assert_eq!(
+            per_frame.iter().map(|f| f.fragments).sum::<u64>(),
+            raster_total.fragments_out,
+            "per-frame fragments must sum to the raster total"
+        );
+        debug_assert!(
+            self.mem
+                .traffic()
+                .bytes(pimgfx_mem::TrafficClass::TextureFetch)
+                <= self.mem.traffic().total(),
+            "texture traffic cannot exceed total external traffic"
+        );
+        debug_assert!(
+            self.cores.total_busy().get()
+                <= clock
+                    .get()
+                    .saturating_mul(self.config.shader.clusters as u64),
+            "aggregate shader busy cycles cannot exceed clusters x wall-clock"
+        );
 
         Ok(RenderReport {
             design: self.config.design,

@@ -136,7 +136,12 @@ impl RenderReport {
     /// Total texture traffic on the external interface (the Fig. 12
     /// quantity).
     pub fn texture_traffic(&self) -> ByteCount {
-        self.traffic.bytes(TrafficClass::TextureFetch)
+        let tex = self.traffic.bytes(TrafficClass::TextureFetch);
+        debug_assert!(
+            tex <= self.traffic.total(),
+            "per-class traffic cannot exceed the grand total"
+        );
+        tex
     }
 
     /// Overall rendering speedup of `self` relative to `baseline`

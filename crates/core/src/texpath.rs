@@ -174,6 +174,7 @@ impl TexturePath {
     ) -> (Rgba, Cycle) {
         self.sample_quad(cluster, issue, std::slice::from_ref(frag), tex, layout, mem)
             .pop()
+            // lint:allow(no-panic) — sample_quad returns exactly one entry per input fragment and we pass exactly one
             .expect("one fragment in, one sample out")
     }
 
@@ -286,6 +287,7 @@ impl TexturePath {
         let cube = mem.cube_index(quad_lines.first().copied().unwrap_or(0));
         let hmc = mem
             .hmc_for(quad_lines.first().copied().unwrap_or(0))
+            // lint:allow(no-panic) — design/backend pairing is rejected by SimConfig::validate, so S-TFIM always runs over HMC
             .expect("S-TFIM requires an HMC backend (enforced by Simulator::new)");
         hmc.record_external_traffic(TrafficClass::TextureFetch, packet::TFIM_REQUEST_BYTES);
         let at_cube = hmc.send_to_cube(issue, packet::TFIM_REQUEST_BYTES);
@@ -296,6 +298,7 @@ impl TexturePath {
         };
         // Clusters share MTUs round-robin when fewer MTUs than clusters
         // are configured (the paper's area-saving variant, §IV).
+        // lint:allow(no-panic) — TexturePath::new allocates MTU banks whenever the design is S-TFIM; this branch is S-TFIM-only
         let banks = self.mtus.as_mut().expect("S-TFIM path owns MTUs");
         let bank = &mut banks[cube];
         let mtu = cluster % bank.len();
@@ -362,6 +365,7 @@ impl TexturePath {
             let cube = mem.cube_index(quad_miss[0]);
             let hmc = mem
                 .hmc_for(quad_miss[0])
+                // lint:allow(no-panic) — design/backend pairing is rejected by SimConfig::validate, so A-TFIM always runs over HMC
                 .expect("A-TFIM requires an HMC backend (enforced by Simulator::new)");
             let pkg_bytes = self.offload.package_bytes(&quad_miss);
             hmc.record_external_traffic(TrafficClass::TextureFetch, pkg_bytes);
@@ -375,6 +379,7 @@ impl TexturePath {
             let resp = self
                 .atfim
                 .as_mut()
+                // lint:allow(no-panic) — TexturePath::new allocates the logic layer whenever the design is A-TFIM; this branch is A-TFIM-only
                 .expect("A-TFIM path owns the logic layer")[cube]
                 .process(at_cube, &batch, hmc);
             let resp_bytes = self.offload.response_bytes(quad_miss.len());

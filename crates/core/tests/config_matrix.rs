@@ -19,12 +19,17 @@ fn all_design_knob_combinations_render() {
     for design in Design::ALL {
         for compressed in [false, true] {
             for cubes in [1usize, 2] {
-                let config = SimConfig::builder()
+                let build = SimConfig::builder()
                     .design(design)
                     .compressed_textures(compressed)
                     .hmc_cubes(cubes)
-                    .build()
-                    .expect("valid config");
+                    .build();
+                if design == Design::Baseline && cubes != 1 {
+                    // The GDDR5 baseline has no cubes to configure.
+                    assert!(build.is_err(), "baseline must reject hmc_cubes={cubes}");
+                    continue;
+                }
+                let config = build.expect("valid config");
                 let mut sim = Simulator::new(config).expect("simulator builds");
                 let r = sim.render_trace(&scene).expect("trace renders");
                 assert!(r.total_cycles > 0, "{design} bc={compressed} cubes={cubes}");

@@ -22,8 +22,10 @@
 //! assert!(report.link_nj > report.tsv_nj, "links cost more than TSVs");
 //! ```
 
+// --- lint wall (checked byte-for-byte by `cargo xtask lint`) ---
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![warn(clippy::dbg_macro, clippy::print_stdout, clippy::print_stderr)]
 
 pub mod model;
 pub mod params;

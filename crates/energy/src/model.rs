@@ -117,17 +117,17 @@ impl EnergyModel {
 
     /// Adds shader-cluster busy cycles.
     pub fn add_shader_busy(&mut self, busy: Duration) {
-        self.shader_pj += self.params.shader_cycle_pj * busy.get() as f64;
+        self.shader_pj += self.params.shader_cycle_pj * busy.as_f64();
     }
 
     /// Adds GPU texture-unit busy cycles.
     pub fn add_texture_busy(&mut self, busy: Duration) {
-        self.texture_pj += self.params.texture_cycle_pj * busy.get() as f64;
+        self.texture_pj += self.params.texture_cycle_pj * busy.as_f64();
     }
 
     /// Adds logic-layer compute busy cycles (MTU / A-TFIM units).
     pub fn add_pim_busy(&mut self, busy: Duration) {
-        self.pim_pj += self.params.pim_cycle_pj * busy.get() as f64;
+        self.pim_pj += self.params.pim_cycle_pj * busy.as_f64();
     }
 
     /// Adds texture-cache accesses.
@@ -166,7 +166,7 @@ impl EnergyModel {
             + self.tsv_pj
             + self.dram_pj
             + self.gddr5_pj;
-        EnergyReport {
+        let report = EnergyReport {
             shader_nj: self.shader_pj * to_nj,
             texture_nj: self.texture_pj * to_nj,
             pim_nj: self.pim_pj * to_nj,
@@ -176,7 +176,13 @@ impl EnergyModel {
             dram_nj: self.dram_pj * to_nj,
             gddr5_nj: self.gddr5_pj * to_nj,
             leakage_nj: dynamic_pj * self.params.leakage_fraction * to_nj,
-        }
+        };
+        debug_assert!(
+            (report.total_nj() - (dynamic_pj * to_nj + report.leakage_nj)).abs()
+                <= report.total_nj().abs() * 1e-9 + 1e-9,
+            "energy components must sum to the reported total"
+        );
+        report
     }
 
     /// Clears all accumulated energy.

@@ -105,7 +105,13 @@ impl<T> EventQueue<T> {
             if t > now {
                 break;
             }
-            out.push(self.pop().expect("peeked event must pop"));
+            match self.pop() {
+                Some(event) => {
+                    debug_assert!(event.0 <= now, "drained event must be due by `now`");
+                    out.push(event);
+                }
+                None => break,
+            }
         }
         out
     }

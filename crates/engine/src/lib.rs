@@ -32,8 +32,10 @@
 //! assert_eq!(c2, Cycle::new(6)); // second op waits one initiation interval
 //! ```
 
+// --- lint wall (checked byte-for-byte by `cargo xtask lint`) ---
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![warn(clippy::dbg_macro, clippy::print_stdout, clippy::print_stderr)]
 
 pub mod bandwidth;
 pub mod event;

@@ -75,6 +75,15 @@ impl Cycle {
     pub fn saturating_add(self, d: Duration) -> Self {
         Self(self.0.saturating_add(d.0))
     }
+
+    /// The cycle count as a float, for ratio and rate arithmetic.
+    ///
+    /// Prefer this over `get() as f64` so unit-erasing casts stay inside
+    /// this module (enforced by the `unit-cast` rule of `cargo xtask lint`).
+    #[inline]
+    pub const fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
 }
 
 impl Duration {
@@ -103,6 +112,15 @@ impl Duration {
     #[inline]
     pub fn max(self, rhs: Self) -> Self {
         Self(self.0.max(rhs.0))
+    }
+
+    /// The span as a float, for energy and utilization arithmetic.
+    ///
+    /// Prefer this over `get() as f64` so unit-erasing casts stay inside
+    /// this module (enforced by the `unit-cast` rule of `cargo xtask lint`).
+    #[inline]
+    pub const fn as_f64(self) -> f64 {
+        self.0 as f64
     }
 }
 

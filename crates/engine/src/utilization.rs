@@ -52,7 +52,7 @@ impl Utilization {
         if end.get() == 0 {
             0.0
         } else {
-            self.busy.get() as f64 / end.get() as f64
+            self.busy.as_f64() / end.as_f64()
         }
     }
 

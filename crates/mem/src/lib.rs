@@ -36,8 +36,10 @@
 //! assert!(t_hmc < t_gddr5, "HMC sustains higher external bandwidth");
 //! ```
 
+// --- lint wall (checked byte-for-byte by `cargo xtask lint`) ---
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![warn(clippy::dbg_macro, clippy::print_stdout, clippy::print_stderr)]
 
 pub mod bank;
 pub mod gddr5;

@@ -40,8 +40,10 @@
 //! assert!(resp.child_reads >= 4, "each parent expands into children");
 //! ```
 
+// --- lint wall (checked byte-for-byte by `cargo xtask lint`) ---
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![warn(clippy::dbg_macro, clippy::print_stdout, clippy::print_stderr)]
 
 pub mod atfim;
 pub mod consolidate;

@@ -89,7 +89,9 @@ impl Mtu {
         if self.inflight.len() >= self.config.queue_depth {
             // Stall until the oldest in-flight request retires.
             self.stalls += 1;
-            start = *self.inflight.front().expect("queue is full, so nonempty");
+            if let Some(&oldest) = self.inflight.front() {
+                start = oldest;
+            }
         }
 
         // Address generation: texel_count addresses over addr_alus lanes.

@@ -19,8 +19,10 @@
 //! assert_eq!(psnr(&a, &b), 99.0, "identical frames cap at 99 dB");
 //! ```
 
+// --- lint wall (checked byte-for-byte by `cargo xtask lint`) ---
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![warn(clippy::dbg_macro, clippy::print_stdout, clippy::print_stderr)]
 
 pub mod image;
 pub mod metrics;

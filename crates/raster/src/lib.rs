@@ -33,8 +33,10 @@
 //! assert!(!frags.is_empty(), "an on-screen triangle produces fragments");
 //! ```
 
+// --- lint wall (checked byte-for-byte by `cargo xtask lint`) ---
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![warn(clippy::dbg_macro, clippy::print_stdout, clippy::print_stderr)]
 
 pub mod camera;
 pub mod clip;

@@ -206,12 +206,14 @@ impl TextureCache {
         }
 
         // Fill into the LRU way.
+        // Falls back to way 0 in the degenerate (validated-unreachable)
+        // zero-associativity case rather than panicking.
         let victim = set
             .iter()
             .enumerate()
             .min_by_key(|(_, l)| if l.valid { l.lru } else { 0 })
             .map(|(i, _)| i)
-            .expect("cache set is never empty");
+            .unwrap_or(0);
         set[victim] = Line {
             tag,
             valid: true,

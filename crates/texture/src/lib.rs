@@ -53,8 +53,10 @@
 //! assert_eq!(s.fetches.len(), 4);
 //! ```
 
+// --- lint wall (checked byte-for-byte by `cargo xtask lint`) ---
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![warn(clippy::dbg_macro, clippy::print_stdout, clippy::print_stderr)]
 
 pub mod cache;
 pub mod compress;

@@ -36,12 +36,12 @@ impl MippedTexture {
     /// filtering.
     pub fn with_full_chain(base: TextureImage) -> Self {
         let mut levels = vec![base];
-        while {
-            let last = levels.last().expect("chain is never empty");
-            last.width() > 1 || last.height() > 1
-        } {
-            let last = levels.last().expect("chain is never empty");
-            levels.push(downsample(last));
+        while let Some(last) = levels.last() {
+            if last.width() <= 1 && last.height() <= 1 {
+                break;
+            }
+            let next = downsample(last);
+            levels.push(next);
         }
         Self {
             id: TextureId::new(0),

@@ -1,6 +1,5 @@
-//! Common error type for simulator configuration.
+//! Common error types for simulator configuration and tooling.
 
-use std::error::Error;
 use std::fmt;
 
 /// Convenience alias for results carrying a [`ConfigError`].
@@ -56,7 +55,67 @@ impl fmt::Display for ConfigError {
     }
 }
 
-impl Error for ConfigError {}
+impl std::error::Error for ConfigError {}
+
+/// Unified error for fallible simulator and harness paths.
+///
+/// Library code never panics (enforced by the `no-panic` rule of
+/// `cargo xtask lint`); anything that can fail — configuration
+/// validation, rendering, or harness I/O — surfaces through this type.
+///
+/// # Examples
+///
+/// ```
+/// use pimgfx_types::{ConfigError, Error};
+/// let e: Error = ConfigError::new("hmc", "zero vaults").into();
+/// assert!(e.to_string().contains("hmc"));
+/// ```
+#[derive(Debug)]
+pub enum Error {
+    /// A component rejected its configuration.
+    Config(ConfigError),
+    /// An I/O operation failed (`context` names the operation).
+    Io {
+        /// What the harness was doing when the operation failed.
+        context: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+}
+
+impl Error {
+    /// Wraps an I/O error with a description of the failed operation.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        Self::Io {
+            context: context.into(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Config(e) => e.fmt(f),
+            Error::Io { context, source } => write!(f, "{context}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Config(e) => Some(e),
+            Error::Io { source, .. } => Some(source),
+        }
+    }
+}
+
+impl From<ConfigError> for Error {
+    fn from(e: ConfigError) -> Self {
+        Error::Config(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -12,6 +12,7 @@
 //! * [`rect`] — integer rectangles and screen-tile arithmetic.
 //! * [`ids`] — typed identifiers (textures, shader clusters, vaults, ...).
 //! * [`bytes`] — byte-count newtype with human-readable formatting.
+//! * [`rng`] — a tiny deterministic PRNG for procedural workload synthesis.
 //! * [`error`] — the common error type returned by simulator constructors.
 //!
 //! # Examples
@@ -28,8 +29,10 @@
 //! assert_eq!(teal.to_packed().r, 0);
 //! ```
 
+// --- lint wall (checked byte-for-byte by `cargo xtask lint`) ---
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![warn(clippy::dbg_macro, clippy::print_stdout, clippy::print_stderr)]
 
 pub mod angle;
 pub mod bytes;
@@ -38,13 +41,15 @@ pub mod error;
 pub mod ids;
 pub mod mat;
 pub mod rect;
+pub mod rng;
 pub mod vec;
 
 pub use angle::Radians;
 pub use bytes::ByteCount;
 pub use color::{PackedRgba, Rgba};
-pub use error::{ConfigError, Result};
+pub use error::{ConfigError, Error, Result};
 pub use ids::{ClusterId, FrameId, RequestId, TextureId, VaultId};
 pub use mat::Mat4;
 pub use rect::{Rect, TileCoord};
+pub use rng::TinyRng;
 pub use vec::{Vec2, Vec3, Vec4};

@@ -9,9 +9,7 @@
 //! variation that the A-TFIM threshold trades against quality.
 
 use pimgfx_raster::Vertex;
-use pimgfx_types::{Vec2, Vec3};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use pimgfx_types::{TinyRng, Vec2, Vec3};
 
 /// Tessellates a rectangular grid into triangles.
 ///
@@ -57,7 +55,7 @@ pub fn grid(
     seed: u64,
 ) -> Vec<[Vertex; 3]> {
     assert!(nu > 0 && nv > 0, "grid resolution must be nonzero");
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = TinyRng::seed_from_u64(seed);
     // Perturbation axes spanning the surface.
     let tan_u = edge_u.normalized();
     let tan_v = edge_v.normalized();
@@ -68,10 +66,10 @@ pub fn grid(
     // regions and different surfaces still differ enough to trigger
     // recalculation at strict thresholds.
     let (pa, pb) = (
-        rng.gen_range(0.0..std::f32::consts::TAU),
-        rng.gen_range(0.0..std::f32::consts::TAU),
+        rng.gen_range_f32(0.0, std::f32::consts::TAU),
+        rng.gen_range_f32(0.0, std::f32::consts::TAU),
     );
-    let (fa, fb) = (rng.gen_range(1.5..3.5f32), rng.gen_range(1.5..3.5f32));
+    let (fa, fb) = (rng.gen_range_f32(1.5, 3.5), rng.gen_range_f32(1.5, 3.5));
 
     let vertex = |i: u32, j: u32| -> Vertex {
         let fu = i as f32 / nu as f32;

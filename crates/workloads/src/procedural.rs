@@ -6,9 +6,7 @@
 //! PSNR in Figs. 15–16 would read as a false 99 dB everywhere.
 
 use pimgfx_texture::TextureImage;
-use pimgfx_types::Rgba;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use pimgfx_types::{Rgba, TinyRng};
 
 /// Texture families the scene generators draw from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -59,7 +57,7 @@ pub fn generate(kind: TextureKind, size: u32, seed: u64) -> TextureImage {
 }
 
 fn checker(size: u32, seed: u64) -> TextureImage {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = TinyRng::seed_from_u64(seed);
     let cell = (size / 8).max(1);
     let a = random_color(&mut rng, 0.7, 1.0);
     let b = random_color(&mut rng, 0.0, 0.3);
@@ -73,7 +71,7 @@ fn checker(size: u32, seed: u64) -> TextureImage {
 }
 
 fn brick(size: u32, seed: u64) -> TextureImage {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0xB41C);
+    let mut rng = TinyRng::seed_from_u64(seed ^ 0xB41C);
     let brick_h = (size / 8).max(2);
     let brick_w = (size / 4).max(4);
     let mortar = Rgba::gray(0.75);
@@ -104,9 +102,9 @@ fn brick(size: u32, seed: u64) -> TextureImage {
 
 fn noise(size: u32, seed: u64) -> TextureImage {
     // Two-octave value noise on an 8x8 then 16x16 lattice.
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x0153);
-    let lattice8: Vec<f32> = (0..81).map(|_| rng.gen_range(0.0..1.0)).collect();
-    let lattice16: Vec<f32> = (0..289).map(|_| rng.gen_range(0.0..1.0)).collect();
+    let mut rng = TinyRng::seed_from_u64(seed ^ 0x0153);
+    let lattice8: Vec<f32> = (0..81).map(|_| rng.next_f32()).collect();
+    let lattice16: Vec<f32> = (0..289).map(|_| rng.next_f32()).collect();
     let tint = random_color(&mut rng, 0.4, 1.0);
     let sample = |lat: &[f32], n: u32, u: f32, v: f32| -> f32 {
         let fu = u * n as f32;
@@ -129,7 +127,7 @@ fn noise(size: u32, seed: u64) -> TextureImage {
 }
 
 fn stone(size: u32, seed: u64) -> TextureImage {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x570E);
+    let mut rng = TinyRng::seed_from_u64(seed ^ 0x570E);
     let base = random_color(&mut rng, 0.35, 0.55);
     TextureImage::from_fn(size, size, |x, y| {
         // Speckle at 4-texel granularity with modest amplitude: visible
@@ -147,11 +145,11 @@ fn stone(size: u32, seed: u64) -> TextureImage {
     })
 }
 
-fn random_color(rng: &mut SmallRng, lo: f32, hi: f32) -> Rgba {
+fn random_color(rng: &mut TinyRng, lo: f32, hi: f32) -> Rgba {
     Rgba::new(
-        rng.gen_range(lo..hi),
-        rng.gen_range(lo..hi),
-        rng.gen_range(lo..hi),
+        rng.gen_range_f32(lo, hi),
+        rng.gen_range_f32(lo, hi),
+        rng.gen_range_f32(lo, hi),
         1.0,
     )
 }

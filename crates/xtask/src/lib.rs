@@ -1,0 +1,183 @@
+//! Repo-specific static analysis for the pim-render workspace.
+//!
+//! This crate implements `cargo xtask lint`: a zero-dependency,
+//! offline-capable pass over the whole workspace that enforces the
+//! invariants the HPCA'17 reproduction's credibility rests on — cycles,
+//! bytes, and nanojoules must never be silently mixed or dropped, and
+//! library code must stay panic-free so accounting errors surface as
+//! typed [`pimgfx_types::Error`] values instead of aborts.
+//!
+//! # Rules
+//!
+//! | rule | meaning |
+//! |------|---------|
+//! | `no-panic` | no `unwrap()` / `expect()` / `panic!` / `unreachable!` / `todo!` / `unimplemented!` in non-test library code under `crates/*/src` |
+//! | `unit-cast` | no unit-erasing `.get() as <num>` / `.as_f32() as <num>` on `ByteCount` / `Cycle` / `Duration` / `Radians` outside the owning module |
+//! | `lint-wall` | every crate's `lib.rs` carries the canonical lint-wall header, byte-for-byte |
+//! | `manifest` | every `crates/*/Cargo.toml` inherits workspace metadata and uses only workspace-declared dependencies |
+//! | `fig-drift` | `crates/bench/benches/fig*.rs` and the figure-bench references in `EXPERIMENTS.md` stay in sync |
+//!
+//! # Allowlist
+//!
+//! A violation is suppressed by a comment on the same line or the line
+//! directly above:
+//!
+//! ```text
+//! // lint:allow(no-panic) — queue is bounded by construction, pop cannot fail
+//! ```
+//!
+//! The justification after the dash is mandatory; an allowlist entry
+//! without one is itself a diagnostic.
+
+// --- lint wall (checked byte-for-byte by `cargo xtask lint`) ---
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![warn(clippy::dbg_macro, clippy::print_stdout, clippy::print_stderr)]
+
+pub mod rules;
+pub mod source;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One finding of the lint pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule that fired (`no-panic`, `unit-cast`, ...).
+    pub rule: &'static str,
+    /// File the finding is in, workspace-relative where possible.
+    pub path: String,
+    /// 1-based line number (0 for whole-file findings).
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: [{}] {}", self.path, self.rule, self.message)
+        } else {
+            write!(
+                f,
+                "{}:{}: [{}] {}",
+                self.path, self.line, self.rule, self.message
+            )
+        }
+    }
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for stable output.
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let p = entry.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+fn rel(root: &Path, p: &Path) -> String {
+    p.strip_prefix(root)
+        .unwrap_or(p)
+        .to_string_lossy()
+        .into_owned()
+}
+
+/// Runs every rule over the workspace rooted at `root`.
+///
+/// # Errors
+///
+/// Returns an I/O error only when the workspace layout itself is
+/// unreadable (missing `crates/` directory or root manifest); unreadable
+/// individual files are reported as diagnostics instead.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    let workspace_manifest = std::fs::read_to_string(root.join("Cargo.toml"))?;
+    let workspace_deps = rules::manifest::workspace_dependency_names(&workspace_manifest);
+
+    for crate_dir in &crate_dirs {
+        // Source rules over crates/*/src (library code only).
+        let src_dir = crate_dir.join("src");
+        for file in rust_files(&src_dir) {
+            let path = rel(root, &file);
+            // Binary entry points are not library code: they may use
+            // expect/panic at the top level like any CLI.
+            if path.contains("/src/bin/") || path.ends_with("/src/main.rs") {
+                continue;
+            }
+            match std::fs::read_to_string(&file) {
+                Ok(text) => {
+                    diags.extend(rules::no_panic::check(&path, &text));
+                    diags.extend(rules::unit_cast::check(&path, &text));
+                    if path.ends_with("/src/lib.rs") {
+                        diags.extend(rules::lint_wall::check(&path, &text));
+                    }
+                }
+                Err(e) => diags.push(Diagnostic {
+                    rule: "io",
+                    path,
+                    line: 0,
+                    message: format!("unreadable source file: {e}"),
+                }),
+            }
+        }
+
+        // Manifest rule.
+        let manifest_path = crate_dir.join("Cargo.toml");
+        let path = rel(root, &manifest_path);
+        match std::fs::read_to_string(&manifest_path) {
+            Ok(text) => diags.extend(rules::manifest::check(&path, &text, &workspace_deps)),
+            Err(e) => diags.push(Diagnostic {
+                rule: "io",
+                path,
+                line: 0,
+                message: format!("unreadable manifest: {e}"),
+            }),
+        }
+    }
+
+    // The facade crate's lib.rs carries the wall too.
+    let facade = root.join("src/lib.rs");
+    if let Ok(text) = std::fs::read_to_string(&facade) {
+        diags.extend(rules::lint_wall::check(&rel(root, &facade), &text));
+        diags.extend(rules::no_panic::check(&rel(root, &facade), &text));
+        diags.extend(rules::unit_cast::check(&rel(root, &facade), &text));
+    }
+
+    // Figure/doc drift.
+    let bench_names: Vec<String> = rust_files(&crates_dir.join("bench/benches"))
+        .iter()
+        .filter_map(|p| p.file_name().map(|n| n.to_string_lossy().into_owned()))
+        .filter(|n| n.starts_with("fig"))
+        .collect();
+    let experiments = std::fs::read_to_string(root.join("EXPERIMENTS.md")).unwrap_or_default();
+    diags.extend(rules::figures::check(
+        "EXPERIMENTS.md",
+        &bench_names,
+        &experiments,
+    ));
+
+    diags.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(diags)
+}

@@ -1,0 +1,72 @@
+//! CLI entry point for `cargo xtask`.
+//!
+//! Subcommands:
+//!
+//! * `lint` — run the workspace static-analysis pass; exit 1 on findings.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Locates the workspace root: the first ancestor of the xtask manifest
+/// directory whose `Cargo.toml` declares `[workspace]`.
+fn workspace_root() -> PathBuf {
+    let manifest_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut dir: &Path = &manifest_dir;
+    while let Some(parent) = dir.parent() {
+        let candidate = parent.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&candidate) {
+            if text.contains("[workspace]") {
+                return parent.to_path_buf();
+            }
+        }
+        dir = parent;
+    }
+    manifest_dir
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(),
+        Some("help") | None => {
+            eprintln!("usage: cargo xtask lint");
+            eprintln!();
+            eprintln!("  lint   run the repo-specific static-analysis pass over the workspace");
+            eprintln!("         (rules: no-panic, unit-cast, lint-wall, manifest, fig-drift;");
+            eprintln!("          suppress with `// lint:allow(<rule>) — <reason>`)");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("error: unknown xtask subcommand `{other}` (try `cargo xtask lint`)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn lint() -> ExitCode {
+    let root = workspace_root();
+    match xtask::lint_workspace(&root) {
+        Ok(diags) if diags.is_empty() => {
+            eprintln!("cargo xtask lint: workspace is clean");
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                eprintln!("{d}");
+            }
+            eprintln!(
+                "cargo xtask lint: {} finding{} — see above",
+                diags.len(),
+                if diags.len() == 1 { "" } else { "s" }
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!(
+                "cargo xtask lint: cannot read workspace at {}: {e}",
+                root.display()
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! The lint rules themselves.
+//!
+//! Every rule is a pure function from source text to diagnostics, so the
+//! self-tests can feed seeded violation fixtures without touching the
+//! filesystem. [`crate::lint_workspace`] wires them to the real tree.
+
+use crate::source;
+use crate::Diagnostic;
+
+/// `no-panic`: non-test library code must not contain panicking macros
+/// or panicking `Option`/`Result` extractors.
+pub mod no_panic {
+    use super::{source, Diagnostic};
+
+    /// The rule name used in diagnostics and `lint:allow(...)` entries.
+    pub const RULE: &str = "no-panic";
+
+    const PATTERNS: [&str; 6] = [
+        ".unwrap()",
+        ".expect(",
+        "panic!",
+        "unreachable!",
+        "todo!",
+        "unimplemented!",
+    ];
+
+    /// Checks one library source file.
+    #[must_use]
+    pub fn check(path: &str, text: &str) -> Vec<Diagnostic> {
+        let stripped = source::strip(text);
+        let mask = source::test_mask(&stripped);
+        let raw_lines: Vec<&str> = text.lines().collect();
+        let mut out = Vec::new();
+
+        for (idx, line) in stripped.lines().enumerate() {
+            if mask.get(idx).copied().unwrap_or(false) {
+                continue;
+            }
+            // An allowlist entry with no justification is itself flagged.
+            if source::allow_missing_reason(raw_lines.get(idx).unwrap_or(&""), RULE) {
+                out.push(Diagnostic {
+                    rule: RULE,
+                    path: path.to_string(),
+                    line: idx + 1,
+                    message: "allowlist entry is missing its justification".to_string(),
+                });
+                continue;
+            }
+            for pat in PATTERNS {
+                if line.contains(pat) {
+                    if source::is_allowed(&raw_lines, idx, RULE) {
+                        continue;
+                    }
+                    out.push(Diagnostic {
+                        rule: RULE,
+                        path: path.to_string(),
+                        line: idx + 1,
+                        message: format!(
+                            "`{}` in library code; return `pimgfx_types::Error` instead \
+                             (or justify with `// lint:allow({RULE}) — <reason>`)",
+                            pat.trim_matches(['.', '('])
+                        ),
+                    });
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `unit-cast`: the raw value inside `ByteCount` / `Cycle` / `Duration` /
+/// `Radians` must not be cast straight into unit-less arithmetic outside
+/// the module that owns the newtype.
+pub mod unit_cast {
+    use super::{source, Diagnostic};
+
+    /// The rule name used in diagnostics and `lint:allow(...)` entries.
+    pub const RULE: &str = "unit-cast";
+
+    /// Files that define the unit newtypes and may touch raw values.
+    pub const OWNING_MODULES: [&str; 3] = [
+        "crates/types/src/bytes.rs",
+        "crates/types/src/angle.rs",
+        "crates/engine/src/time.rs",
+    ];
+
+    const NUMERIC: [&str; 10] = [
+        "u8", "u16", "u32", "u64", "usize", "i32", "i64", "isize", "f32", "f64",
+    ];
+
+    fn cast_after(line: &str, accessor: &str) -> Option<String> {
+        let mut search = 0;
+        while let Some(pos) = line[search..].find(accessor) {
+            let after = &line[search + pos + accessor.len()..];
+            let after_trim = after.trim_start();
+            if let Some(rest) = after_trim.strip_prefix("as ") {
+                let rest = rest.trim_start();
+                for ty in NUMERIC {
+                    if rest.starts_with(ty) {
+                        return Some(format!("{accessor} as {ty}"));
+                    }
+                }
+            }
+            search += pos + accessor.len();
+        }
+        None
+    }
+
+    /// Checks one library source file.
+    #[must_use]
+    pub fn check(path: &str, text: &str) -> Vec<Diagnostic> {
+        if OWNING_MODULES.iter().any(|m| path.ends_with(m)) {
+            return Vec::new();
+        }
+        let stripped = source::strip(text);
+        let mask = source::test_mask(&stripped);
+        let raw_lines: Vec<&str> = text.lines().collect();
+        let mut out = Vec::new();
+
+        for (idx, line) in stripped.lines().enumerate() {
+            if mask.get(idx).copied().unwrap_or(false) {
+                continue;
+            }
+            if source::allow_missing_reason(raw_lines.get(idx).unwrap_or(&""), RULE) {
+                out.push(Diagnostic {
+                    rule: RULE,
+                    path: path.to_string(),
+                    line: idx + 1,
+                    message: "allowlist entry is missing its justification".to_string(),
+                });
+                continue;
+            }
+            for accessor in [".get()", ".as_f32()"] {
+                if let Some(found) = cast_after(line, accessor) {
+                    if source::is_allowed(&raw_lines, idx, RULE) {
+                        continue;
+                    }
+                    out.push(Diagnostic {
+                        rule: RULE,
+                        path: path.to_string(),
+                        line: idx + 1,
+                        message: format!(
+                            "unit-erasing `{found}`; use the typed conversion \
+                             (`as_f64()` and friends) so clock-domain and traffic \
+                             math stays dimensioned"
+                        ),
+                    });
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `lint-wall`: every crate's `lib.rs` carries the canonical header.
+pub mod lint_wall {
+    use super::Diagnostic;
+
+    /// The rule name used in diagnostics.
+    pub const RULE: &str = "lint-wall";
+
+    /// The canonical header block, verified byte-for-byte.
+    pub const CANONICAL: &str = "\
+// --- lint wall (checked byte-for-byte by `cargo xtask lint`) ---
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![warn(clippy::dbg_macro, clippy::print_stdout, clippy::print_stderr)]
+";
+
+    /// Checks one `lib.rs`.
+    #[must_use]
+    pub fn check(path: &str, text: &str) -> Vec<Diagnostic> {
+        if text.contains(CANONICAL) {
+            return Vec::new();
+        }
+        let message = if text.contains("lint wall") {
+            "lint-wall header present but differs from the canonical block; \
+             it is compared byte-for-byte"
+        } else {
+            "missing the canonical lint-wall header \
+             (`#![forbid(unsafe_code)]`, `#![deny(missing_docs)]`, clippy warns)"
+        };
+        vec![Diagnostic {
+            rule: RULE,
+            path: path.to_string(),
+            line: 0,
+            message: message.to_string(),
+        }]
+    }
+}
+
+/// `manifest`: member manifests inherit workspace metadata and only use
+/// workspace-declared dependencies.
+pub mod manifest {
+    use super::Diagnostic;
+
+    /// The rule name used in diagnostics.
+    pub const RULE: &str = "manifest";
+
+    /// Metadata keys every member must inherit with `key.workspace = true`.
+    pub const REQUIRED_WORKSPACE_KEYS: [&str; 7] = [
+        "version",
+        "edition",
+        "license",
+        "repository",
+        "authors",
+        "keywords",
+        "categories",
+    ];
+
+    /// Extracts the dependency names declared in the root manifest's
+    /// `[workspace.dependencies]` table.
+    #[must_use]
+    pub fn workspace_dependency_names(workspace_manifest: &str) -> Vec<String> {
+        let mut names = Vec::new();
+        let mut in_table = false;
+        for line in workspace_manifest.lines() {
+            let t = line.trim();
+            if t.starts_with('[') {
+                in_table = t == "[workspace.dependencies]";
+                continue;
+            }
+            if in_table && !t.is_empty() && !t.starts_with('#') {
+                if let Some((name, _)) = t.split_once('=') {
+                    names.push(name.trim().to_string());
+                }
+            }
+        }
+        names
+    }
+
+    /// Checks one member `Cargo.toml`.
+    #[must_use]
+    pub fn check(path: &str, text: &str, workspace_deps: &[String]) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+
+        for key in REQUIRED_WORKSPACE_KEYS {
+            let inherited = format!("{key}.workspace = true");
+            let spelled = format!("{key} = {{ workspace = true }}");
+            if !text.contains(&inherited) && !text.contains(&spelled) {
+                out.push(Diagnostic {
+                    rule: RULE,
+                    path: path.to_string(),
+                    line: 0,
+                    message: format!("package metadata `{key}` must inherit the workspace value"),
+                });
+            }
+        }
+
+        let mut section = String::new();
+        for (idx, line) in text.lines().enumerate() {
+            let t = line.trim();
+            if t.starts_with('[') {
+                section = t.to_string();
+                continue;
+            }
+            let in_deps = section == "[dependencies]"
+                || section == "[dev-dependencies]"
+                || section == "[build-dependencies]";
+            if !in_deps || t.is_empty() || t.starts_with('#') {
+                continue;
+            }
+            let Some((name, spec)) = t.split_once('=') else {
+                continue;
+            };
+            let (name, spec) = (name.trim(), spec.trim());
+            if !spec.contains("workspace = true") {
+                out.push(Diagnostic {
+                    rule: RULE,
+                    path: path.to_string(),
+                    line: idx + 1,
+                    message: format!(
+                        "dependency `{name}` must be `{{ workspace = true }}`, \
+                         not an inline version/path/git spec"
+                    ),
+                });
+            } else if !workspace_deps.iter().any(|d| d == name) {
+                out.push(Diagnostic {
+                    rule: RULE,
+                    path: path.to_string(),
+                    line: idx + 1,
+                    message: format!(
+                        "dependency `{name}` is not declared in [workspace.dependencies]"
+                    ),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// `fig-drift`: the figure benches and `EXPERIMENTS.md` must reference
+/// each other exactly.
+pub mod figures {
+    use super::Diagnostic;
+
+    /// The rule name used in diagnostics.
+    pub const RULE: &str = "fig-drift";
+
+    /// Extracts `fig*.rs` tokens referenced in a markdown document.
+    #[must_use]
+    pub fn referenced_benches(markdown: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        let bytes = markdown.as_bytes();
+        let mut i = 0;
+        while let Some(pos) = markdown[i..].find("fig") {
+            let start = i + pos;
+            let mut end = start;
+            while end < bytes.len()
+                && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_' || bytes[end] == b'.')
+            {
+                end += 1;
+            }
+            let token = &markdown[start..end];
+            if token.ends_with(".rs") && !out.iter().any(|t| t == token) {
+                out.push(token.to_string());
+            }
+            i = end.max(start + 3);
+        }
+        out.sort();
+        out
+    }
+
+    /// Cross-checks bench file names against the markdown references.
+    #[must_use]
+    pub fn check(doc_path: &str, bench_files: &[String], markdown: &str) -> Vec<Diagnostic> {
+        let referenced = referenced_benches(markdown);
+        let mut out = Vec::new();
+        for bench in bench_files {
+            if !referenced.iter().any(|r| r == bench) {
+                out.push(Diagnostic {
+                    rule: RULE,
+                    path: doc_path.to_string(),
+                    line: 0,
+                    message: format!(
+                        "bench `crates/bench/benches/{bench}` is not referenced in {doc_path}"
+                    ),
+                });
+            }
+        }
+        for r in &referenced {
+            if !bench_files.iter().any(|b| b == r) {
+                out.push(Diagnostic {
+                    rule: RULE,
+                    path: doc_path.to_string(),
+                    line: 0,
+                    message: format!("{doc_path} references `{r}` but no such bench file exists"),
+                });
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,243 @@
+//! Self-tests: every lint rule must fire on a seeded violation fixture,
+//! stay quiet on clean code, and honor the allowlist mechanism.
+
+use xtask::rules::{figures, lint_wall, manifest, no_panic, unit_cast};
+
+// ---------------------------------------------------------------- no-panic
+
+#[test]
+fn no_panic_fires_on_each_seeded_violation() {
+    for (name, fixture) in [
+        ("unwrap", "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n"),
+        (
+            "expect",
+            "pub fn f(x: Option<u32>) -> u32 { x.expect(\"boom\") }\n",
+        ),
+        ("panic", "pub fn f() { panic!(\"nope\"); }\n"),
+        ("unreachable", "pub fn f() { unreachable!(); }\n"),
+        ("todo", "pub fn f() { todo!(); }\n"),
+        ("unimplemented", "pub fn f() { unimplemented!(); }\n"),
+    ] {
+        let diags = no_panic::check("crates/demo/src/lib.rs", fixture);
+        assert_eq!(diags.len(), 1, "{name}: expected exactly one finding");
+        assert_eq!(diags[0].rule, "no-panic");
+        assert_eq!(diags[0].line, 1);
+    }
+}
+
+#[test]
+fn no_panic_ignores_comments_strings_and_tests() {
+    let fixture = r#"
+//! Docs may say unwrap() and panic! freely.
+pub fn f() -> u32 {
+    // a comment mentioning .unwrap() is fine
+    let s = "messages may say panic! too";
+    s.len() as u32
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        Some(1).unwrap();
+        panic!("tests may panic");
+    }
+}
+"#;
+    assert!(no_panic::check("crates/demo/src/lib.rs", fixture).is_empty());
+}
+
+#[test]
+fn no_panic_allowlist_suppresses_with_reason() {
+    let same_line =
+        "pub fn f(q: &[u32]) -> u32 { q.first().copied().unwrap() } // lint:allow(no-panic) — queue verified nonempty by caller contract\n";
+    assert!(no_panic::check("crates/demo/src/lib.rs", same_line).is_empty());
+
+    let prev_line = "\
+// lint:allow(no-panic) — heap was peeked nonempty directly above
+pub fn f(q: Vec<u32>) -> u32 { q.last().copied().unwrap() }
+";
+    assert!(no_panic::check("crates/demo/src/lib.rs", prev_line).is_empty());
+}
+
+#[test]
+fn no_panic_allowlist_without_reason_is_flagged() {
+    let fixture = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() } // lint:allow(no-panic)\n";
+    let diags = no_panic::check("crates/demo/src/lib.rs", fixture);
+    assert_eq!(diags.len(), 1);
+    assert!(diags[0].message.contains("justification"), "{}", diags[0]);
+}
+
+#[test]
+fn no_panic_does_not_match_unwrap_or() {
+    let fixture = "pub fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) + x.unwrap_or_default() }\n";
+    assert!(no_panic::check("crates/demo/src/lib.rs", fixture).is_empty());
+}
+
+// --------------------------------------------------------------- unit-cast
+
+#[test]
+fn unit_cast_fires_on_get_then_cast() {
+    let fixture = "pub fn f(b: ByteCount) -> f64 { b.get() as f64 * 2.0 }\n";
+    let diags = unit_cast::check("crates/demo/src/lib.rs", fixture);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].rule, "unit-cast");
+    assert!(diags[0].message.contains(".get() as f64"), "{}", diags[0]);
+}
+
+#[test]
+fn unit_cast_fires_on_radians_cast() {
+    let fixture = "pub fn f(r: Radians) -> f64 { r.as_f32() as f64 }\n";
+    assert_eq!(unit_cast::check("crates/demo/src/lib.rs", fixture).len(), 1);
+}
+
+#[test]
+fn unit_cast_quiet_on_typed_conversions_and_owning_modules() {
+    let clean = "pub fn f(b: ByteCount) -> f64 { b.as_f64() * 2.0 }\n";
+    assert!(unit_cast::check("crates/demo/src/lib.rs", clean).is_empty());
+
+    let raw = "pub fn f(b: ByteCount) -> f64 { b.get() as f64 }\n";
+    for owner in unit_cast::OWNING_MODULES {
+        assert!(
+            unit_cast::check(owner, raw).is_empty(),
+            "{owner} owns its raw representation"
+        );
+    }
+}
+
+#[test]
+fn unit_cast_allowlist_suppresses() {
+    let fixture = "pub fn f(b: ByteCount) -> f64 { b.get() as f64 } // lint:allow(unit-cast) — formatting only, feeds a display percentage\n";
+    assert!(unit_cast::check("crates/demo/src/lib.rs", fixture).is_empty());
+}
+
+// --------------------------------------------------------------- lint-wall
+
+#[test]
+fn lint_wall_accepts_canonical_header() {
+    let lib = format!("//! Docs.\n\n{}\npub mod m;\n", lint_wall::CANONICAL);
+    assert!(lint_wall::check("crates/demo/src/lib.rs", &lib).is_empty());
+}
+
+#[test]
+fn lint_wall_rejects_missing_or_mutated_header() {
+    let missing = "//! Docs.\n#![forbid(unsafe_code)]\npub mod m;\n";
+    let diags = lint_wall::check("crates/demo/src/lib.rs", missing);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].rule, "lint-wall");
+
+    // One byte off (warn instead of deny) must not pass.
+    let mutated = lint_wall::CANONICAL.replace("deny(missing_docs)", "warn(missing_docs)");
+    let lib = format!("//! Docs.\n\n{mutated}\n");
+    assert_eq!(lint_wall::check("crates/demo/src/lib.rs", &lib).len(), 1);
+}
+
+// ---------------------------------------------------------------- manifest
+
+const WORKSPACE_MANIFEST: &str = r#"
+[workspace]
+members = ["crates/a"]
+
+[workspace.dependencies]
+pimgfx-types = { path = "crates/types" }
+pimgfx-engine = { path = "crates/engine" }
+"#;
+
+fn member(metadata: &str, deps: &str) -> String {
+    format!("[package]\nname = \"demo\"\n{metadata}\n[dependencies]\n{deps}")
+}
+
+#[test]
+fn manifest_accepts_conforming_member() {
+    let meta = manifest::REQUIRED_WORKSPACE_KEYS
+        .iter()
+        .map(|k| format!("{k}.workspace = true\n"))
+        .collect::<String>();
+    let toml = member(&meta, "pimgfx-types = { workspace = true }\n");
+    let deps = manifest::workspace_dependency_names(WORKSPACE_MANIFEST);
+    assert_eq!(deps, vec!["pimgfx-types", "pimgfx-engine"]);
+    assert!(manifest::check("crates/a/Cargo.toml", &toml, &deps).is_empty());
+}
+
+#[test]
+fn manifest_rejects_inline_version_and_undeclared_dep() {
+    let meta = manifest::REQUIRED_WORKSPACE_KEYS
+        .iter()
+        .map(|k| format!("{k}.workspace = true\n"))
+        .collect::<String>();
+    let deps = manifest::workspace_dependency_names(WORKSPACE_MANIFEST);
+
+    let pinned = member(&meta, "rand = \"0.8\"\n");
+    let diags = manifest::check("crates/a/Cargo.toml", &pinned, &deps);
+    assert_eq!(diags.len(), 1);
+    assert!(
+        diags[0].message.contains("workspace = true"),
+        "{}",
+        diags[0]
+    );
+
+    let undeclared = member(&meta, "mystery = { workspace = true }\n");
+    let diags = manifest::check("crates/a/Cargo.toml", &undeclared, &deps);
+    assert_eq!(diags.len(), 1);
+    assert!(
+        diags[0].message.contains("[workspace.dependencies]"),
+        "{}",
+        diags[0]
+    );
+}
+
+#[test]
+fn manifest_rejects_missing_metadata_inheritance() {
+    let toml = member("version = \"0.1.0\"\n", "");
+    let deps = manifest::workspace_dependency_names(WORKSPACE_MANIFEST);
+    let diags = manifest::check("crates/a/Cargo.toml", &toml, &deps);
+    // All seven keys missing (a literal version does not count).
+    assert_eq!(diags.len(), manifest::REQUIRED_WORKSPACE_KEYS.len());
+}
+
+// ---------------------------------------------------------------- fig-drift
+
+#[test]
+fn figures_in_sync_is_quiet() {
+    let benches = vec![
+        "fig02_bandwidth_breakdown.rs".to_string(),
+        "fig10_texture_speedup.rs".to_string(),
+    ];
+    let md = "See `benches/fig02_bandwidth_breakdown.rs` and `benches/fig10_texture_speedup.rs`.";
+    assert!(figures::check("EXPERIMENTS.md", &benches, md).is_empty());
+}
+
+#[test]
+fn figures_detects_drift_both_directions() {
+    let benches = vec!["fig02_bandwidth_breakdown.rs".to_string()];
+
+    // Bench exists, doc never mentions it.
+    let diags = figures::check("EXPERIMENTS.md", &benches, "no references here");
+    assert_eq!(diags.len(), 1);
+    assert!(diags[0].message.contains("not referenced"), "{}", diags[0]);
+
+    // Doc references a bench that does not exist.
+    let md = "See `benches/fig02_bandwidth_breakdown.rs` and `benches/fig99_ghost.rs`.";
+    let diags = figures::check("EXPERIMENTS.md", &benches, md);
+    assert_eq!(diags.len(), 1);
+    assert!(diags[0].message.contains("fig99_ghost.rs"), "{}", diags[0]);
+}
+
+// ------------------------------------------------------------- whole repo
+
+#[test]
+fn real_workspace_is_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("xtask lives two levels below the workspace root");
+    let diags = xtask::lint_workspace(root).expect("workspace is readable");
+    assert!(
+        diags.is_empty(),
+        "`cargo xtask lint` must exit clean; findings:\n{}",
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

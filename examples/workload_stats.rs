@@ -13,7 +13,14 @@ use pim_render::workloads::{build_scene, Game};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "{:<18} {:>6} {:>5} {:>9} {:>10} {:>10} {:>6} {:>26}",
-        "benchmark", "tris", "texs", "tex MiB", "fragments", "texels/smp", "aniso", "ratio histogram 1/2/4/8/16"
+        "benchmark",
+        "tris",
+        "texs",
+        "tex MiB",
+        "fragments",
+        "texels/smp",
+        "aniso",
+        "ratio histogram 1/2/4/8/16"
     );
     for (game, res) in Game::benchmark_matrix() {
         let scene = build_scene(game, res, 1);

@@ -35,6 +35,11 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+// --- lint wall (checked byte-for-byte by `cargo xtask lint`) ---
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![warn(clippy::dbg_macro, clippy::print_stdout, clippy::print_stderr)]
+
 pub use pimgfx;
 pub use pimgfx_energy as energy;
 pub use pimgfx_engine as engine;
