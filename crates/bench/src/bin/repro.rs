@@ -3,23 +3,114 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--quick] [--frames N] [--csv DIR] [table1 table2 fig2 fig4
-//!        fig5 fig10 fig11 fig12 fig13 fig14 fig15 fig16 overhead
-//!        ablation all]
+//! repro [--quick] [--serial] [--frames N] [--csv DIR] [table1 table2
+//!        fig2 fig4 fig5 fig10 fig11 fig12 fig13 fig14 fig15 fig16
+//!        overhead ablation all]
 //! ```
 //!
 //! With no figure arguments, everything runs. `--quick` restricts the
 //! benchmark columns to a small subset (useful for smoke runs); `--csv`
 //! additionally drops each figure's data as `DIR/<figure>.csv`.
+//!
+//! By default the experiment matrix is precomputed in parallel across
+//! `available_parallelism()` workers (override with `PIMGFX_THREADS`,
+//! see `docs/PARALLELISM.md`); `--serial` forces the historical
+//! one-cell-at-a-time path. Both modes produce byte-identical tables
+//! and CSV files. Every run also writes a machine-readable
+//! `BENCH_repro.json` manifest (per-figure wall-times, cells/sec,
+//! worker count, per-cell report summaries) next to the CSV output —
+//! or into the working directory without `--csv`.
+//!
+//! A figure that fails to compute no longer aborts the remaining
+//! figures: the error is printed to stderr, recorded in the manifest,
+//! and the process exits nonzero after everything else ran.
 
 use pimgfx::{analyze_overhead, Design, SimConfig};
-use pimgfx_bench::{geomean, mean, CsvSink, Harness, HarnessResult, Variant, THRESHOLD_SWEEP};
+use pimgfx_bench::manifest::{CellSummary, FigureTiming, RunManifest};
+use pimgfx_bench::{
+    geomean, mean, CsvSink, Harness, HarnessResult, Sweep, Variant, THRESHOLD_SWEEP,
+};
 use pimgfx_mem::TrafficClass;
+use pimgfx_types::ConfigError;
 use pimgfx_workloads::{Game, Resolution};
+use std::time::Instant;
+
+/// Everything `repro` can regenerate, in output order.
+const SECTIONS: [&str; 14] = [
+    "table1", "table2", "fig2", "fig4", "fig5", "fig10", "fig11", "fig12", "fig13", "fig14",
+    "fig15", "fig16", "overhead", "ablation",
+];
+
+/// The design variants a section's cells need (benchmark-matrix cells
+/// only; the ablation section's structural sweeps stay serial because
+/// each probes a bespoke `SimConfig`, not a `Variant`).
+fn section_variants(section: &str) -> Vec<Variant> {
+    let designs = || Design::ALL.map(Variant::Design).to_vec();
+    let thresholds = || {
+        let mut v: Vec<Variant> = vec![Variant::Design(Design::Baseline)];
+        v.extend(THRESHOLD_SWEEP.map(Variant::AtfimThreshold));
+        v.push(Variant::AtfimNoRecalc);
+        v
+    };
+    match section {
+        "fig2" => vec![Variant::Design(Design::Baseline)],
+        "fig4" => vec![Variant::Design(Design::Baseline), Variant::AnisoOff],
+        "fig5" => vec![
+            Variant::Design(Design::Baseline),
+            Variant::Design(Design::BPim),
+        ],
+        "fig10" | "fig11" | "fig13" => designs(),
+        "fig12" => {
+            let mut v = designs();
+            v.push(Variant::AtfimThreshold(0.01));
+            v.push(Variant::AtfimThreshold(0.05));
+            v
+        }
+        "fig14" | "fig15" | "fig16" => thresholds(),
+        "ablation" => vec![
+            Variant::Design(Design::Baseline),
+            Variant::Design(Design::ATfim),
+            Variant::AtfimNoConsolidation,
+            Variant::AtfimNoCompression,
+        ],
+        _ => Vec::new(),
+    }
+}
+
+/// Runs one section's printer.
+fn run_section(
+    section: &str,
+    h: &mut Harness,
+    columns: &[(Game, Resolution)],
+    csv: &CsvSink,
+) -> HarnessResult<()> {
+    match section {
+        "table1" => table1(),
+        "table2" => table2(),
+        "fig2" => fig2(h, columns, csv)?,
+        "fig4" => fig4(h, columns, csv)?,
+        "fig5" => fig5(h, columns, csv)?,
+        "fig10" => fig10(h, columns, csv)?,
+        "fig11" => fig11(h, columns, csv)?,
+        "fig12" => fig12(h, columns, csv)?,
+        "fig13" => fig13(h, columns, csv)?,
+        "fig14" => fig14(h, columns, csv)?,
+        "fig15" => fig15(h, columns, csv)?,
+        "fig16" => fig16(h, columns, csv)?,
+        "overhead" => overhead(),
+        "ablation" => ablation(h, columns)?,
+        other => {
+            return Err(ConfigError::new("repro", format!("unknown figure `{other}`")).into());
+        }
+    }
+    Ok(())
+}
 
 fn main() -> HarnessResult<()> {
+    let run_start = Instant::now();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let serial = args.iter().any(|a| a == "--serial");
     let frames = args
         .iter()
         .position(|a| a == "--frames")
@@ -36,7 +127,7 @@ fn main() -> HarnessResult<()> {
         .position(|a| a == "--csv")
         .and_then(|i| args.get(i + 1))
         .map(std::path::PathBuf::from);
-    let csv = CsvSink::new(csv_dir)?;
+    let csv = CsvSink::new(csv_dir.clone())?;
     // `--csv <dir>` consumes its value; drop it from the figure list.
     let figs: Vec<&str> = figs
         .into_iter()
@@ -50,54 +141,118 @@ fn main() -> HarnessResult<()> {
         })
         .collect();
     let all = figs.is_empty() || figs.contains(&"all");
-    let want = |f: &str| all || figs.contains(&f);
+    // Unknown section names must fail loudly, not silently no-op.
+    for f in &figs {
+        if *f != "all" && !SECTIONS.contains(f) {
+            return Err(ConfigError::new("repro", format!("unknown figure `{f}`")).into());
+        }
+    }
+    let requested: Vec<&str> = SECTIONS
+        .into_iter()
+        .filter(|s| all || figs.contains(s))
+        .collect();
 
     let mut h = Harness::new(frames);
     let columns = Harness::columns(quick);
 
-    if want("table1") {
-        table1();
+    // Fan the union of every requested section's cells out across the
+    // worker pool up front; the serial printers below then run entirely
+    // from the memoized cache, so their stdout/CSV bytes are identical
+    // to a `--serial` run.
+    let mut workers = 1;
+    let mut cells_executed = 0;
+    if !serial {
+        let mut sweep = Sweep::new();
+        for section in &requested {
+            sweep.extend_matrix(&columns, &section_variants(section));
+        }
+        let stats = h.precompute(&sweep)?;
+        workers = stats.workers;
+        cells_executed = stats.cells_executed;
+        eprintln!(
+            "[repro] precomputed {} cells on {} workers in {:.1}s ({:.2} cells/s)",
+            stats.cells_executed,
+            stats.workers,
+            stats.wall.as_secs_f64(),
+            stats.cells_per_sec()
+        );
     }
-    if want("table2") {
-        table2();
+
+    let mut figures: Vec<FigureTiming> = Vec::with_capacity(requested.len());
+    let mut failures: Vec<String> = Vec::new();
+    for section in &requested {
+        let t0 = Instant::now();
+        let status = match run_section(section, &mut h, &columns, &csv) {
+            Ok(()) => "ok".to_string(),
+            Err(e) => {
+                eprintln!("[repro] {section} FAILED: {e}");
+                failures.push((*section).to_string());
+                format!("error: {e}")
+            }
+        };
+        figures.push(FigureTiming {
+            figure: (*section).to_string(),
+            wall_ms: t0.elapsed().as_secs_f64() * 1000.0,
+            status,
+        });
     }
-    if want("fig2") {
-        fig2(&mut h, &columns, &csv)?;
+
+    // Machine-readable run manifest, next to the CSVs (or in the
+    // working directory without --csv).
+    let digest_input = format!(
+        "frames={frames};quick={quick};columns={};sections={}",
+        columns
+            .iter()
+            .map(|&(g, r)| Harness::column_label(g, r))
+            .collect::<Vec<_>>()
+            .join("+"),
+        requested.join("+")
+    );
+    let cell_reports: Vec<CellSummary> = h
+        .report_cells()
+        .into_iter()
+        .map(|(column, variant, report)| CellSummary::from_report(&column, &variant, report))
+        .collect();
+    let total_wall_ms = run_start.elapsed().as_secs_f64() * 1000.0;
+    let manifest = RunManifest {
+        tool: "repro".to_string(),
+        frames,
+        quick,
+        serial,
+        workers: if serial { 1 } else { workers },
+        config_digest: pimgfx_bench::manifest::fnv1a_digest(&digest_input),
+        cells: if serial {
+            cell_reports.len()
+        } else {
+            cells_executed
+        },
+        total_wall_ms,
+        cells_per_sec: if total_wall_ms > 0.0 {
+            cell_reports.len() as f64 / (total_wall_ms / 1000.0)
+        } else {
+            0.0
+        },
+        figures,
+        cell_reports,
+    };
+    let manifest_path = csv_dir
+        .unwrap_or_else(|| std::path::PathBuf::from("."))
+        .join(pimgfx_bench::manifest::FILE_NAME);
+    manifest.write(&manifest_path)?;
+    eprintln!(
+        "[repro] manifest: {} ({} cells, {} workers, {:.1}s total)",
+        manifest_path.display(),
+        manifest.cells,
+        manifest.workers,
+        total_wall_ms / 1000.0
+    );
+
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        // Nonzero exit: a failed figure must never look like a clean run.
+        Err(ConfigError::new("repro", format!("figures failed: {}", failures.join(", "))).into())
     }
-    if want("fig4") {
-        fig4(&mut h, &columns, &csv)?;
-    }
-    if want("fig5") {
-        fig5(&mut h, &columns, &csv)?;
-    }
-    if want("fig10") {
-        fig10(&mut h, &columns, &csv)?;
-    }
-    if want("fig11") {
-        fig11(&mut h, &columns, &csv)?;
-    }
-    if want("fig12") {
-        fig12(&mut h, &columns, &csv)?;
-    }
-    if want("fig13") {
-        fig13(&mut h, &columns, &csv)?;
-    }
-    if want("fig14") {
-        fig14(&mut h, &columns, &csv)?;
-    }
-    if want("fig15") {
-        fig15(&mut h, &columns, &csv)?;
-    }
-    if want("fig16") {
-        fig16(&mut h, &columns, &csv)?;
-    }
-    if want("overhead") {
-        overhead();
-    }
-    if want("ablation") {
-        ablation(&mut h, &columns)?;
-    }
-    Ok(())
 }
 
 fn header(title: &str) {

@@ -1,21 +1,59 @@
 //! Shared harness for regenerating the paper's tables and figures.
 //!
-//! The `repro` binary and the criterion benches both drive experiments
+//! The `repro` binary and the figure benches both drive experiments
 //! through [`Harness`], which builds scenes, runs the simulator for each
 //! design variant, and memoizes reports so a figure that needs the
 //! baseline and three designs does not re-simulate the baseline four
 //! times.
+//!
+//! # Module map
+//!
+//! | module | role |
+//! |---|---|
+//! | crate root | [`Harness`] (memoizing runner), [`Variant`] (design + experiment knobs), [`Sweep`] (job-matrix builder), [`CsvSink`] |
+//! | [`pool`] | `std::thread::scope` worker pool with deterministic, input-ordered merge |
+//! | [`manifest`] | `BENCH_repro.json` run manifests (per-figure wall-times, cells/sec, per-cell report summaries) |
+//! | [`microbench`] | std-only timing harness for the `benches/fig*.rs` targets |
+//!
+//! # Parallel sweeps
+//!
+//! The experiment matrix — every `(game, resolution, variant)` cell of
+//! Table II × the design points — is embarrassingly parallel. Build the
+//! cell list with [`Sweep`], fan it out with [`Harness::precompute`],
+//! then print figures from the warm cache; because the pool merges
+//! results in input order and the printers only read memoized reports,
+//! the output (stdout tables, `results/*.csv`) is byte-identical to a
+//! serial run. See `docs/PARALLELISM.md` for the design and the
+//! `PIMGFX_THREADS` override.
+//!
+//! ```no_run
+//! use pimgfx_bench::{Harness, Sweep, Variant};
+//! use pimgfx::Design;
+//!
+//! let mut h = Harness::new(2);
+//! let columns = Harness::columns(true);
+//! let sweep = Sweep::matrix(&columns, &[Variant::Design(Design::Baseline),
+//!                                       Variant::Design(Design::ATfim)]);
+//! let stats = h.precompute(&sweep)?; // parallel fan-out
+//! assert_eq!(stats.cells_executed, sweep.len());
+//! // every later h.run(...) on these cells is a cache hit
+//! # Ok::<(), pimgfx_types::Error>(())
+//! ```
 
 // --- lint wall (checked byte-for-byte by `cargo xtask lint`) ---
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::dbg_macro, clippy::print_stdout, clippy::print_stderr)]
 
+pub mod manifest;
+pub mod pool;
+
 use pimgfx::{Design, RenderReport, SimConfig, Simulator};
 use pimgfx_quality::psnr;
 use pimgfx_types::{ConfigError, Error, Result};
-use pimgfx_workloads::{build_scene, Game, Resolution, SceneTrace};
-use std::collections::HashMap;
+use pimgfx_workloads::{Game, Resolution, SceneCache, SceneTrace};
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
 
 /// Result alias for harness operations, which can fail on configuration
 /// *or* I/O (CSV output).
@@ -88,12 +126,117 @@ impl Variant {
 /// first, ending with the no-recalculation configuration.
 pub const THRESHOLD_SWEEP: [f32; 4] = [0.005, 0.01, 0.05, 0.1];
 
+/// One cell of the experiment matrix: a benchmark column plus the
+/// design variant to simulate on it.
+pub type Cell = (Game, Resolution, Variant);
+
+/// Builder for the job matrix a parallel sweep executes.
+///
+/// A sweep is an ordered list of [`Cell`]s; [`Harness::precompute`]
+/// deduplicates it (first occurrence wins), skips already-memoized
+/// cells, and fans the rest out across the [`pool`]. Order matters only
+/// for reproducible scheduling — results are merged deterministically
+/// either way.
+///
+/// # Examples
+///
+/// ```
+/// use pimgfx_bench::{Sweep, Variant};
+/// use pimgfx::Design;
+/// use pimgfx_workloads::{Game, Resolution};
+///
+/// let columns = [(Game::Doom3, Resolution::R320x240)];
+/// let sweep = Sweep::matrix(&columns, &[Variant::Design(Design::Baseline)])
+///     .cell(Game::Doom3, Resolution::R320x240, Variant::AnisoOff);
+/// assert_eq!(sweep.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Sweep {
+    cells: Vec<Cell>,
+}
+
+impl Sweep {
+    /// An empty sweep.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cross product `columns × variants`, columns-major (all
+    /// variants of a column are adjacent, matching the serial printers'
+    /// traversal order).
+    pub fn matrix(columns: &[(Game, Resolution)], variants: &[Variant]) -> Self {
+        let mut s = Self::new();
+        s.extend_matrix(columns, variants);
+        s
+    }
+
+    /// Appends one cell.
+    #[must_use]
+    pub fn cell(mut self, game: Game, res: Resolution, variant: Variant) -> Self {
+        self.cells.push((game, res, variant));
+        self
+    }
+
+    /// Appends the cross product `columns × variants`.
+    pub fn extend_matrix(&mut self, columns: &[(Game, Resolution)], variants: &[Variant]) {
+        for &(g, r) in columns {
+            for &v in variants {
+                self.cells.push((g, r, v));
+            }
+        }
+    }
+
+    /// Merges another sweep's cells after this one's.
+    pub fn extend(&mut self, other: &Sweep) {
+        self.cells.extend_from_slice(&other.cells);
+    }
+
+    /// The cells in insertion order (duplicates retained; precompute
+    /// deduplicates).
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Number of cells (including duplicates).
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when no cell has been added.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+/// What a [`Harness::precompute`] fan-out actually did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Cells simulated by this call (deduplicated, cache misses only).
+    pub cells_executed: usize,
+    /// Worker threads the pool used.
+    pub workers: usize,
+    /// Wall-clock time of the fan-out (scene builds + simulations).
+    pub wall: Duration,
+}
+
+impl SweepStats {
+    /// Cells per wall-clock second (0 when nothing ran).
+    pub fn cells_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 || self.cells_executed == 0 {
+            0.0
+        } else {
+            self.cells_executed as f64 / secs
+        }
+    }
+}
+
 /// Memoizing experiment runner.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Harness {
     /// Frames per walkthrough.
     frames: usize,
-    scenes: HashMap<(Game, Resolution), SceneTrace>,
+    scenes: SceneCache,
     reports: HashMap<(Game, Resolution, String), RenderReport>,
 }
 
@@ -107,9 +250,14 @@ impl Harness {
         assert!(frames > 0, "need at least one frame");
         Self {
             frames,
-            scenes: HashMap::new(),
+            scenes: SceneCache::new(frames),
             reports: HashMap::new(),
         }
+    }
+
+    /// Frames per walkthrough column.
+    pub fn frames(&self) -> usize {
+        self.frames
     }
 
     /// The benchmark columns of Table II, or a reduced quick set.
@@ -129,18 +277,36 @@ impl Harness {
         format!("{game}-{res}")
     }
 
-    fn scene(&mut self, game: Game, res: Resolution) -> &SceneTrace {
-        let frames = self.frames;
-        self.scenes
-            .entry((game, res))
-            .or_insert_with(|| build_scene(game, res, frames))
+    /// The shared scene cache (each column's trace is built once and
+    /// shared across variants and worker threads).
+    pub fn scenes(&self) -> &SceneCache {
+        &self.scenes
     }
 
     /// Runs (or recalls) one experiment cell.
     ///
+    /// This is the *serial* path: a cache miss simulates the cell on the
+    /// calling thread. Use [`Harness::precompute`] first to fan a whole
+    /// job matrix out across workers; subsequent `run` calls then hit
+    /// the memoized reports.
+    ///
     /// # Errors
     ///
     /// Propagates configuration and simulation failures.
+    ///
+    /// # Examples
+    ///
+    /// ```no_run
+    /// use pimgfx_bench::{Harness, Variant};
+    /// use pimgfx::Design;
+    /// use pimgfx_workloads::{Game, Resolution};
+    ///
+    /// let mut h = Harness::new(2);
+    /// let report = h.run(Game::Doom3, Resolution::R320x240,
+    ///                    Variant::Design(Design::ATfim))?;
+    /// println!("{} cycles", report.total_cycles);
+    /// # Ok::<(), pimgfx_types::Error>(())
+    /// ```
     pub fn run(
         &mut self,
         game: Game,
@@ -149,21 +315,91 @@ impl Harness {
     ) -> HarnessResult<&RenderReport> {
         let key = (game, res, variant.label());
         if !self.reports.contains_key(&key) {
-            // Build the scene first (separate borrow).
-            self.scene(game, res);
-            let Some(scene) = self.scenes.get(&(game, res)) else {
-                return Err(
-                    ConfigError::new("harness", "scene cache lost a just-built scene").into(),
-                );
-            };
-            let config = variant.config()?;
-            let mut sim = Simulator::new(config)?;
-            let report = sim.render_trace(scene)?;
+            let scene = self.scenes.get(game, res);
+            let report = simulate_cell(&scene, variant)?;
             self.reports.insert(key.clone(), report);
         }
         self.reports
             .get(&key)
             .ok_or_else(|| ConfigError::new("harness", "report cache lost a just-run cell").into())
+    }
+
+    /// Fans every not-yet-memoized cell of `sweep` out across the
+    /// worker [`pool`] and memoizes the results.
+    ///
+    /// Cells are deduplicated (first occurrence wins) and scheduled
+    /// dynamically; unique scenes are built first — also in parallel —
+    /// so no worker ever rebuilds a column another variant already
+    /// needs. The merge is deterministic (input order), which together
+    /// with the serial printers makes parallel output byte-identical to
+    /// serial output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first configuration or simulation failure, in
+    /// cell order; reports from cells before the failing one stay
+    /// memoized.
+    pub fn precompute(&mut self, sweep: &Sweep) -> HarnessResult<SweepStats> {
+        let start = Instant::now();
+
+        // Deduplicate against both the sweep itself and the cache.
+        let mut seen: HashSet<(Game, Resolution, String)> = HashSet::new();
+        let mut todo: Vec<(Game, Resolution, Variant, String)> = Vec::new();
+        for &(g, r, v) in sweep.cells() {
+            let label = v.label();
+            let key = (g, r, label.clone());
+            if !self.reports.contains_key(&key) && seen.insert(key) {
+                todo.push((g, r, v, label));
+            }
+        }
+        let workers = pool::worker_count(todo.len());
+        if todo.is_empty() {
+            return Ok(SweepStats {
+                cells_executed: 0,
+                workers,
+                wall: start.elapsed(),
+            });
+        }
+
+        // Phase 1: build each unique scene once, in parallel.
+        let mut columns: Vec<(Game, Resolution)> = Vec::new();
+        for &(g, r, _, _) in &todo {
+            if !columns.contains(&(g, r)) {
+                columns.push((g, r));
+            }
+        }
+        let scenes = &self.scenes;
+        pool::run_ordered(&columns, pool::worker_count(columns.len()), |&(g, r)| {
+            scenes.get(g, r);
+        });
+
+        // Phase 2: simulate all cells; merge preserves `todo` order.
+        let results: Vec<HarnessResult<RenderReport>> =
+            pool::run_ordered(&todo, workers, |&(g, r, v, _)| {
+                simulate_cell(&scenes.get(g, r), v)
+            });
+
+        let cells_executed = todo.len();
+        for ((g, r, _, label), result) in todo.into_iter().zip(results) {
+            self.reports.insert((g, r, label), result?);
+        }
+        Ok(SweepStats {
+            cells_executed,
+            workers,
+            wall: start.elapsed(),
+        })
+    }
+
+    /// Every memoized report, sorted by `(column label, variant label)`
+    /// — the deterministic order the run manifest records.
+    pub fn report_cells(&self) -> Vec<(String, String, &RenderReport)> {
+        let mut cells: Vec<(String, String, &RenderReport)> = self
+            .reports
+            .iter()
+            .map(|((g, r, label), rep)| (Self::column_label(*g, *r), label.clone(), rep))
+            .collect();
+        cells.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+        cells
     }
 
     /// Convenience: the baseline report for a column.
@@ -259,6 +495,15 @@ pub fn bench_scene() -> SceneTrace {
     pimgfx_workloads::build_scene_unchecked(&profile, Resolution::R320x240, 1)
 }
 
+/// Simulates one `(scene, variant)` cell: the worker-thread body of
+/// every sweep (each worker owns its [`Simulator`]; only the scene is
+/// shared, read-only).
+fn simulate_cell(scene: &SceneTrace, variant: Variant) -> HarnessResult<RenderReport> {
+    let config = variant.config()?;
+    let mut sim = Simulator::new(config)?;
+    Ok(sim.render_trace(scene)?)
+}
+
 /// Runs one variant over a scene and returns its report (bench body).
 ///
 /// # Errors
@@ -268,6 +513,25 @@ pub fn run_variant(scene: &SceneTrace, variant: Variant) -> Result<RenderReport>
     let config = variant.config()?;
     let mut sim = Simulator::new(config)?;
     sim.render_trace(scene)
+}
+
+/// Runs several variants of one scene through the worker [`pool`],
+/// returning reports in `variants` order (the parallel counterpart of
+/// mapping [`run_variant`] — used by the `fig*` micro-benchmarks to
+/// time sweep fan-out).
+///
+/// # Errors
+///
+/// Propagates the first configuration or simulation failure, in
+/// variant order.
+pub fn run_variants_parallel(
+    scene: &SceneTrace,
+    variants: &[Variant],
+) -> Result<Vec<RenderReport>> {
+    let workers = pool::worker_count(variants.len());
+    pool::run_ordered(variants, workers, |&v| run_variant(scene, v))
+        .into_iter()
+        .collect()
 }
 
 /// Minimal std-only micro-benchmark harness for the `benches/fig*.rs`
@@ -432,5 +696,60 @@ doom3,1.50
             assert!(full.contains(&c));
         }
         assert_eq!(full.len(), 10);
+    }
+
+    #[test]
+    fn sweep_matrix_is_columns_major() {
+        let columns = [
+            (Game::Doom3, Resolution::R320x240),
+            (Game::Wolfenstein, Resolution::R640x480),
+        ];
+        let variants = [
+            Variant::Design(Design::Baseline),
+            Variant::Design(Design::ATfim),
+        ];
+        let sweep = Sweep::matrix(&columns, &variants);
+        assert_eq!(sweep.len(), 4);
+        assert_eq!(sweep.cells()[0].0, Game::Doom3);
+        assert_eq!(sweep.cells()[1].0, Game::Doom3, "variants adjacent");
+        assert_eq!(sweep.cells()[2].0, Game::Wolfenstein);
+    }
+
+    #[test]
+    fn sweep_builder_composes() {
+        let mut a = Sweep::new().cell(
+            Game::Doom3,
+            Resolution::R320x240,
+            Variant::Design(Design::Baseline),
+        );
+        assert!(!a.is_empty());
+        let b = Sweep::new().cell(Game::Doom3, Resolution::R320x240, Variant::AnisoOff);
+        a.extend(&b);
+        assert_eq!(a.len(), 2);
+        assert!(Sweep::new().is_empty());
+    }
+
+    #[test]
+    fn sweep_stats_rate() {
+        let s = SweepStats {
+            cells_executed: 10,
+            workers: 2,
+            wall: std::time::Duration::from_secs(5),
+        };
+        assert!((s.cells_per_sec() - 2.0).abs() < 1e-12);
+        let idle = SweepStats {
+            cells_executed: 0,
+            workers: 1,
+            wall: std::time::Duration::ZERO,
+        };
+        assert_eq!(idle.cells_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn harness_exposes_frames_and_scene_cache() {
+        let h = Harness::new(3);
+        assert_eq!(h.frames(), 3);
+        assert_eq!(h.scenes().frames(), 3);
+        assert!(h.report_cells().is_empty());
     }
 }

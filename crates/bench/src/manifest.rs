@@ -1,0 +1,357 @@
+//! Machine-readable run manifests (`BENCH_repro.json`).
+//!
+//! Every `repro` sweep emits one [`RunManifest`]: wall-time per figure,
+//! aggregate cells/second, the worker count the pool resolved, a digest
+//! of the sweep configuration, and a per-cell summary of every
+//! [`RenderReport`] the harness produced. The file
+//! is the repo's performance-trajectory datapoint — successive PRs can
+//! diff manifests to see what a change did to sweep throughput — and an
+//! observability surface for tooling (it is plain JSON, written without
+//! any external dependency by [`RunManifest::to_json`]).
+//!
+//! The schema is versioned ([`SCHEMA_VERSION`]); consumers should ignore
+//! unknown fields so the schema can grow additively.
+
+use crate::HarnessResult;
+use pimgfx::RenderReport;
+use pimgfx_types::Error;
+
+/// Version of the manifest layout; bumped on breaking field changes.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Default file name, written into the CSV directory when one is given
+/// (else the working directory).
+pub const FILE_NAME: &str = "BENCH_repro.json";
+
+/// Wall-time record for one figure (or table/analysis section).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureTiming {
+    /// Figure name as passed to `repro` (`fig11`, `table1`, ...).
+    pub figure: String,
+    /// Wall-clock milliseconds spent inside the figure printer.
+    pub wall_ms: f64,
+    /// `"ok"`, or the error display of a failed figure.
+    pub status: String,
+}
+
+impl FigureTiming {
+    /// True when the figure completed without error.
+    pub fn is_ok(&self) -> bool {
+        self.status == "ok"
+    }
+}
+
+/// Per-cell summary of one simulated `(column, variant)` report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSummary {
+    /// Benchmark column label (`doom3-320x240`).
+    pub column: String,
+    /// Variant label (`a-tfim@0.05pi`).
+    pub variant: String,
+    /// Frames rendered.
+    pub frames: u32,
+    /// Total cycles for the trace.
+    pub total_cycles: u64,
+    /// Texture samples issued.
+    pub texture_samples: u64,
+    /// Mean per-sample filtering latency, cycles.
+    pub avg_latency_cycles: f64,
+    /// External (off-chip) bytes, all traffic classes.
+    pub external_bytes: u64,
+    /// External texture-fetch bytes (the Fig. 12 quantity).
+    pub texture_bytes: u64,
+    /// Bytes moved on internal HMC paths.
+    pub internal_bytes: u64,
+    /// Total energy, nanojoules.
+    pub energy_nj: f64,
+}
+
+impl CellSummary {
+    /// Summarizes one harness report.
+    pub fn from_report(column: &str, variant: &str, report: &RenderReport) -> Self {
+        Self {
+            column: column.to_string(),
+            variant: variant.to_string(),
+            frames: report.frames,
+            total_cycles: report.total_cycles,
+            texture_samples: report.texture.samples,
+            avg_latency_cycles: report.texture.avg_latency(),
+            external_bytes: report.traffic.total().get(),
+            texture_bytes: report.texture_traffic().get(),
+            internal_bytes: report.internal_bytes,
+            energy_nj: report.energy.total_nj(),
+        }
+    }
+}
+
+/// The manifest of one `repro` sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// Tool that produced the manifest (`repro`).
+    pub tool: String,
+    /// Frames per benchmark column.
+    pub frames: usize,
+    /// Whether the reduced `--quick` column set was used.
+    pub quick: bool,
+    /// Whether the sweep ran serially (`--serial`) instead of through
+    /// the worker pool.
+    pub serial: bool,
+    /// Worker threads the pool resolved (1 in serial mode).
+    pub workers: usize,
+    /// FNV-1a digest of the sweep configuration (frames, column set,
+    /// figure list) — manifests with equal digests are comparable runs.
+    pub config_digest: String,
+    /// Distinct simulation cells executed.
+    pub cells: usize,
+    /// End-to-end wall-clock milliseconds for the whole sweep.
+    pub total_wall_ms: f64,
+    /// Cells per wall-clock second (0 when no cell ran).
+    pub cells_per_sec: f64,
+    /// Per-figure wall times, in execution order.
+    pub figures: Vec<FigureTiming>,
+    /// Per-cell report summaries, sorted by (column, variant).
+    pub cell_reports: Vec<CellSummary>,
+}
+
+impl RunManifest {
+    /// Serializes the manifest as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n");
+        push_kv(&mut s, 1, "schema_version", &SCHEMA_VERSION.to_string());
+        push_kv(&mut s, 1, "tool", &quote(&self.tool));
+        push_kv(&mut s, 1, "frames", &self.frames.to_string());
+        push_kv(&mut s, 1, "quick", &self.quick.to_string());
+        push_kv(&mut s, 1, "serial", &self.serial.to_string());
+        push_kv(&mut s, 1, "workers", &self.workers.to_string());
+        push_kv(&mut s, 1, "config_digest", &quote(&self.config_digest));
+        push_kv(&mut s, 1, "cells", &self.cells.to_string());
+        push_kv(&mut s, 1, "total_wall_ms", &json_f64(self.total_wall_ms));
+        push_kv(&mut s, 1, "cells_per_sec", &json_f64(self.cells_per_sec));
+
+        s.push_str("  \"figures\": [\n");
+        for (i, f) in self.figures.iter().enumerate() {
+            s.push_str("    {");
+            s.push_str(&format!(
+                "\"figure\": {}, \"wall_ms\": {}, \"status\": {}",
+                quote(&f.figure),
+                json_f64(f.wall_ms),
+                quote(&f.status)
+            ));
+            s.push('}');
+            if i + 1 < self.figures.len() {
+                s.push(',');
+            }
+            s.push('\n');
+        }
+        s.push_str("  ],\n");
+
+        s.push_str("  \"cell_reports\": [\n");
+        for (i, c) in self.cell_reports.iter().enumerate() {
+            s.push_str("    {");
+            s.push_str(&format!(
+                "\"column\": {}, \"variant\": {}, \"frames\": {}, \
+                 \"total_cycles\": {}, \"texture_samples\": {}, \
+                 \"avg_latency_cycles\": {}, \"external_bytes\": {}, \
+                 \"texture_bytes\": {}, \"internal_bytes\": {}, \
+                 \"energy_nj\": {}",
+                quote(&c.column),
+                quote(&c.variant),
+                c.frames,
+                c.total_cycles,
+                c.texture_samples,
+                json_f64(c.avg_latency_cycles),
+                c.external_bytes,
+                c.texture_bytes,
+                c.internal_bytes,
+                json_f64(c.energy_nj)
+            ));
+            s.push('}');
+            if i + 1 < self.cell_reports.len() {
+                s.push(',');
+            }
+            s.push('\n');
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Writes the manifest to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file cannot be written.
+    pub fn write(&self, path: &std::path::Path) -> HarnessResult<()> {
+        std::fs::write(path, self.to_json())
+            .map_err(|e| Error::io(format!("writing manifest {}", path.display()), e))
+    }
+}
+
+/// FNV-1a 64-bit digest over a canonical configuration string, hex
+/// encoded. Stable across platforms and runs; used to key comparable
+/// sweeps in [`RunManifest::config_digest`].
+pub fn fnv1a_digest(canonical: &str) -> String {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for b in canonical.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    format!("{h:016x}")
+}
+
+fn push_kv(s: &mut String, indent: usize, key: &str, value: &str) {
+    for _ in 0..indent {
+        s.push_str("  ");
+    }
+    s.push('"');
+    s.push_str(key);
+    s.push_str("\": ");
+    s.push_str(value);
+    s.push_str(",\n");
+}
+
+/// JSON has no NaN/Infinity; clamp them to null-safe 0 (never produced
+/// by real sweeps, but the writer must stay valid regardless).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+/// Minimal JSON string quoting (the labels we emit are ASCII, but stay
+/// correct for arbitrary input).
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunManifest {
+        RunManifest {
+            tool: "repro".to_string(),
+            frames: 2,
+            quick: true,
+            serial: false,
+            workers: 4,
+            config_digest: fnv1a_digest("frames=2;quick"),
+            cells: 3,
+            total_wall_ms: 1234.5,
+            cells_per_sec: 2.43,
+            figures: vec![
+                FigureTiming {
+                    figure: "fig11".to_string(),
+                    wall_ms: 1000.0,
+                    status: "ok".to_string(),
+                },
+                FigureTiming {
+                    figure: "fig15".to_string(),
+                    wall_ms: 234.5,
+                    status: "error: invalid harness configuration: x".to_string(),
+                },
+            ],
+            cell_reports: vec![CellSummary {
+                column: "doom3-320x240".to_string(),
+                variant: "a-tfim@0.05pi".to_string(),
+                frames: 2,
+                total_cycles: 42,
+                texture_samples: 7,
+                avg_latency_cycles: 6.0,
+                external_bytes: 100,
+                texture_bytes: 60,
+                internal_bytes: 30,
+                energy_nj: 1.5,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_has_all_top_level_keys_and_balances() {
+        let j = sample().to_json();
+        for key in [
+            "schema_version",
+            "tool",
+            "frames",
+            "quick",
+            "serial",
+            "workers",
+            "config_digest",
+            "cells",
+            "total_wall_ms",
+            "cells_per_sec",
+            "figures",
+            "cell_reports",
+        ] {
+            assert!(j.contains(&format!("\"{key}\"")), "missing {key}:\n{j}");
+        }
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "balanced braces"
+        );
+        assert_eq!(
+            j.matches('[').count(),
+            j.matches(']').count(),
+            "balanced brackets"
+        );
+        assert!(j.contains("\"wall_ms\": 1000.000"));
+        assert!(j.contains("\"variant\": \"a-tfim@0.05pi\""));
+    }
+
+    #[test]
+    fn quoting_escapes_specials() {
+        assert_eq!(quote("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(quote("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn digest_is_stable_and_input_sensitive() {
+        assert_eq!(fnv1a_digest("abc"), fnv1a_digest("abc"));
+        assert_ne!(fnv1a_digest("abc"), fnv1a_digest("abd"));
+        assert_eq!(fnv1a_digest(""), format!("{:016x}", 0xcbf29ce484222325u64));
+    }
+
+    #[test]
+    fn nonfinite_floats_stay_valid_json() {
+        assert_eq!(json_f64(f64::NAN), "0.0");
+        assert_eq!(json_f64(f64::INFINITY), "0.0");
+        assert_eq!(json_f64(2.5), "2.500");
+    }
+
+    #[test]
+    fn figure_timing_status() {
+        assert!(sample().figures[0].is_ok());
+        assert!(!sample().figures[1].is_ok());
+    }
+
+    #[test]
+    fn manifest_writes_to_disk() {
+        let dir = std::env::temp_dir().join("pimgfx_manifest_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join(FILE_NAME);
+        sample().write(&path).expect("written");
+        let body = std::fs::read_to_string(&path).expect("readable");
+        assert!(body.starts_with("{\n"));
+        assert!(body.ends_with("}\n"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,168 @@
+//! Zero-dependency parallel worker pool for sweep fan-out.
+//!
+//! The reproduction's experiment matrix — `(game, resolution, design
+//! variant)` cells — is embarrassingly parallel: every cell is an
+//! independent simulation with no shared mutable state (the
+//! [`Simulator`](pimgfx::Simulator) and
+//! [`SceneTrace`](pimgfx_workloads::SceneTrace) are `Send + Sync`, and
+//! scenes are shared read-only through
+//! [`SceneCache`](pimgfx_workloads::SceneCache)). This module fans such
+//! job lists out across [`std::thread::scope`] workers while keeping the
+//! *merge deterministic*: results come back in input order regardless of
+//! which worker finished first, so everything downstream (CSV rows,
+//! printed tables, manifests) is byte-identical to a serial run. The
+//! guarantee is enforced by the serial-vs-parallel equivalence test in
+//! `crates/bench/tests/parallel_equivalence.rs` and documented in
+//! `docs/PARALLELISM.md`.
+//!
+//! Worker count resolution: the `PIMGFX_THREADS` environment variable
+//! when set to a positive integer, otherwise
+//! [`std::thread::available_parallelism`], always clamped to the number
+//! of jobs (a 1-job sweep never spawns idle threads).
+//!
+//! # Examples
+//!
+//! ```
+//! use pimgfx_bench::pool;
+//!
+//! let squares = pool::run_ordered(&[1u64, 2, 3, 4], 2, |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]); // input order, always
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Environment variable overriding the worker count (positive integer;
+/// `1` forces a degenerate single-worker pool, useful for determinism
+/// A/B checks).
+pub const THREADS_ENV: &str = "PIMGFX_THREADS";
+
+/// The worker count the pool would use for an unbounded job list:
+/// [`THREADS_ENV`] when set to a positive integer, else
+/// [`std::thread::available_parallelism`] (1 if even that is unknown).
+pub fn configured_workers() -> usize {
+    if let Some(n) = std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// [`configured_workers`] clamped to the job count (never 0; a pool for
+/// an empty job list still reports 1 so rates stay well-defined).
+pub fn worker_count(jobs: usize) -> usize {
+    configured_workers().clamp(1, jobs.max(1))
+}
+
+/// Runs `f` over every item on `workers` scoped threads, returning the
+/// results **in input order**.
+///
+/// Work is distributed dynamically (an atomic cursor), so long cells —
+/// e.g. 1280×1024 columns — do not serialize behind a static partition.
+/// The output order is reconstructed on merge, which is what makes a
+/// parallel sweep's downstream output byte-identical to a serial one.
+///
+/// `workers` is clamped to `[1, items.len()]`; passing
+/// [`worker_count`]`(items.len())` is the usual choice. A panic on a
+/// worker thread propagates to the caller once all workers have been
+/// joined (the [`std::thread::scope`] contract).
+pub fn run_ordered<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                // The receiver outlives the scope; a send can only fail
+                // if the main thread is already unwinding, in which case
+                // stopping early is exactly right.
+                if tx.send((i, f(&items[i]))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+    });
+
+    // Deterministic merge: reorder by input index.
+    let mut tagged: Vec<(usize, R)> = rx.into_iter().collect();
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order_at_any_width() {
+        let items: Vec<u64> = (0..64).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3).collect();
+        for workers in [1, 2, 7, 64, 1000] {
+            let got = run_ordered(&items, workers, |&x| x * 3);
+            assert_eq!(got, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let got: Vec<u64> = run_ordered(&[] as &[u64], 8, |&x| x);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn single_worker_is_the_degenerate_serial_pool() {
+        // Record execution order: one worker must walk jobs front-to-back.
+        let seen = std::sync::Mutex::new(Vec::new());
+        let items: Vec<usize> = (0..16).collect();
+        let got = run_ordered(&items, 1, |&x| {
+            seen.lock().expect("test mutex").push(x);
+            x + 1
+        });
+        assert_eq!(got, (1..=16).collect::<Vec<_>>());
+        assert_eq!(*seen.lock().expect("test mutex"), items);
+    }
+
+    #[test]
+    fn uneven_work_still_merges_in_order() {
+        // Early items sleep so later items finish first on wide pools.
+        let items: Vec<u64> = (0..8).collect();
+        let got = run_ordered(&items, 8, |&x| {
+            if x < 2 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            x
+        });
+        assert_eq!(got, items);
+    }
+
+    #[test]
+    fn worker_count_is_clamped_and_nonzero() {
+        assert_eq!(worker_count(0), 1);
+        assert_eq!(worker_count(1), 1);
+        assert!(worker_count(usize::MAX) >= 1);
+        assert!(configured_workers() >= 1);
+    }
+}

@@ -1,0 +1,147 @@
+//! Serial-vs-parallel equivalence: the determinism guarantee of
+//! `docs/PARALLELISM.md`, enforced.
+//!
+//! A parallel sweep must be an *optimization only*: every report, CSV
+//! byte, and manifest summary must be identical to what a serial run
+//! produces. These tests run the same small sweep (a) cell-by-cell
+//! through the lazy serial path (`Harness::run`), (b) through the
+//! parallel fan-out (`Harness::precompute`), and (c) through a
+//! degenerate one-worker pool, and require byte-identical CSV output
+//! and field-identical report summaries from all three.
+
+use pimgfx::Design;
+use pimgfx_bench::manifest::CellSummary;
+use pimgfx_bench::{
+    bench_scene, pool, run_variant, run_variants_parallel, CsvSink, Harness, Sweep, Variant,
+};
+use pimgfx_workloads::{Game, Resolution};
+
+/// The sweep under test: one small column, three designs. Small enough
+/// for a debug-profile CI run, wide enough that scene sharing and the
+/// deterministic merge both matter.
+fn test_sweep() -> Sweep {
+    Sweep::matrix(
+        &[(Game::Doom3, Resolution::R320x240)],
+        &[
+            Variant::Design(Design::Baseline),
+            Variant::Design(Design::BPim),
+            Variant::Design(Design::ATfim),
+        ],
+    )
+}
+
+/// Collapses a harness's memoized reports into comparable summaries,
+/// in the deterministic `report_cells` order.
+fn summaries(h: &Harness) -> Vec<CellSummary> {
+    h.report_cells()
+        .into_iter()
+        .map(|(column, variant, report)| CellSummary::from_report(&column, &variant, report))
+        .collect()
+}
+
+/// Writes every memoized cell as one CSV file and returns its bytes.
+fn csv_bytes(h: &Harness, dir: &std::path::Path) -> Vec<u8> {
+    let sink = CsvSink::new(Some(dir.to_path_buf())).expect("create csv dir");
+    let rows: Vec<Vec<String>> = h
+        .report_cells()
+        .into_iter()
+        .map(|(column, variant, r)| {
+            vec![
+                column,
+                variant,
+                r.total_cycles.to_string(),
+                r.texture.samples.to_string(),
+                r.energy.total_nj().to_string(),
+            ]
+        })
+        .collect();
+    sink.write_figure(
+        "equivalence",
+        &["column", "variant", "cycles", "samples", "energy_nj"],
+        &rows,
+    )
+    .expect("write csv");
+    std::fs::read(dir.join("equivalence.csv")).expect("read csv back")
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("pimgfx-equiv-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn parallel_precompute_matches_serial_run_byte_for_byte() {
+    let sweep = test_sweep();
+
+    // Serial: the lazy memoizing path, one cell at a time, in order.
+    let mut serial = Harness::new(1);
+    for &(g, r, v) in sweep.cells() {
+        serial.run(g, r, v).expect("serial cell");
+    }
+
+    // Parallel: fan the same sweep out across the worker pool.
+    let mut parallel = Harness::new(1);
+    let stats = parallel.precompute(&sweep).expect("parallel sweep");
+    assert_eq!(stats.cells_executed, sweep.len());
+
+    assert_eq!(summaries(&serial), summaries(&parallel));
+
+    let serial_dir = temp_dir("serial");
+    let parallel_dir = temp_dir("parallel");
+    let serial_csv = csv_bytes(&serial, &serial_dir);
+    let parallel_csv = csv_bytes(&parallel, &parallel_dir);
+    std::fs::remove_dir_all(&serial_dir).ok();
+    std::fs::remove_dir_all(&parallel_dir).ok();
+
+    assert!(!serial_csv.is_empty());
+    assert_eq!(
+        serial_csv, parallel_csv,
+        "parallel sweep must produce byte-identical CSV output"
+    );
+}
+
+#[test]
+fn one_worker_pool_is_equivalent_to_wide_pool() {
+    // The degenerate pool: same sweep forced through a single worker
+    // (`PIMGFX_THREADS=1` is the user-facing spelling of the same thing;
+    // here the width is pinned directly so the test cannot race other
+    // tests over the environment).
+    let scene = bench_scene();
+    let variants = [
+        Variant::Design(Design::Baseline),
+        Variant::Design(Design::STfim),
+        Variant::Design(Design::ATfim),
+    ];
+
+    let narrow: Vec<CellSummary> = pool::run_ordered(&variants, 1, |&v| {
+        run_variant(&scene, v).expect("narrow cell")
+    })
+    .iter()
+    .map(|r| CellSummary::from_report("bench", "v", r))
+    .collect();
+
+    let wide: Vec<CellSummary> = run_variants_parallel(&scene, &variants)
+        .expect("wide sweep")
+        .iter()
+        .map(|r| CellSummary::from_report("bench", "v", r))
+        .collect();
+
+    assert_eq!(narrow.len(), variants.len());
+    assert_eq!(narrow, wide);
+}
+
+#[test]
+fn threads_env_override_is_honored() {
+    // `configured_workers` reads the environment on every call, so this
+    // is safe to assert directly; restore afterwards to stay polite to
+    // tests running later in the same process.
+    let saved = std::env::var(pool::THREADS_ENV).ok();
+    std::env::set_var(pool::THREADS_ENV, "3");
+    assert_eq!(pool::configured_workers(), 3);
+    assert_eq!(pool::worker_count(2), 2, "still clamped to the job count");
+    match saved {
+        Some(v) => std::env::set_var(pool::THREADS_ENV, v),
+        None => std::env::remove_var(pool::THREADS_ENV),
+    }
+}

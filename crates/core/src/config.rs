@@ -1,4 +1,14 @@
 //! Simulator configuration (the paper's Table I) with a builder.
+//!
+//! [`SimConfig`] gathers every knob the paper fixes in Table I — shader
+//! clusters, texture units, GDDR5 vs. HMC memory, PIM filtering units —
+//! plus the [`Design`] point under evaluation, and validates the whole
+//! bundle before a [`Simulator`](crate::Simulator) is built (invalid
+//! combinations are [`ConfigError`]s, never panics). The builder starts
+//! from the published Table I values, so a plain
+//! `SimConfig::builder().build()` reproduces the paper's baseline GPU;
+//! individual setters express the ablations (§VII) and the A-TFIM
+//! anisotropic threshold sweep (Fig. 14–16).
 
 use crate::design::Design;
 use pimgfx_mem::{Gddr5Config, HmcConfig};

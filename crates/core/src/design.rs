@@ -1,4 +1,11 @@
 //! The four evaluated design points.
+//!
+//! [`Design`] selects which architecture of the paper a simulation
+//! models: the conventional GDDR5 [`Design::Baseline`], the
+//! HMC-swapped [`Design::BPim`] (§III), the all-filtering-in-memory
+//! [`Design::STfim`] (§IV), and the split-filtering [`Design::ATfim`]
+//! (§V). [`Design::ALL`] lists them in the paper's presentation order,
+//! which is the order the figure sweeps (Figs. 10–13) iterate.
 
 use std::fmt;
 

@@ -8,6 +8,17 @@
 //! resource — compute pipelines, texture units, external interface, or
 //! DRAM banks — which is how the bandwidth-bound behavior the paper
 //! targets emerges without a hand-tuned bottleneck switch.
+//!
+//! # Thread safety
+//!
+//! [`Simulator`] is `Send + Sync` (asserted at compile time below): it
+//! owns all of its mutable state and uses no interior mutability, so a
+//! parallel sweep (`pimgfx-bench`) can give each worker thread its own
+//! simulator while all workers share one read-only
+//! [`SceneTrace`]. Rendering still takes
+//! `&mut self` — one simulator is one hardware instance; parallelism
+//! comes from running independent experiment cells, never from sharing
+//! a simulator.
 
 use crate::backend::MemoryBackend;
 use crate::config::SimConfig;
@@ -52,6 +63,16 @@ pub struct Simulator {
     texture: TexturePath,
 }
 
+// Sweep workers move simulators across threads and share scene traces
+// by reference; keep both guarantees checked at compile time so a new
+// field with interior mutability cannot silently break the parallel
+// harness.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Simulator>();
+    assert_send_sync::<crate::stats::RenderReport>();
+};
+
 impl Simulator {
     /// Builds a simulator from a validated configuration.
     ///
@@ -82,6 +103,23 @@ impl Simulator {
 
     /// Renders every frame of `scene`, returning the accumulated report
     /// (the image is the last frame's).
+    ///
+    /// # Examples
+    ///
+    /// Render a short synthetic trace on the paper's baseline GPU and
+    /// read the headline metric (total cycles):
+    ///
+    /// ```
+    /// use pimgfx::{Design, SimConfig, Simulator};
+    /// use pimgfx_workloads::{build_scene, Game, Resolution};
+    ///
+    /// let config = SimConfig::builder().design(Design::Baseline).build()?;
+    /// let mut sim = Simulator::new(config)?;
+    /// let scene = build_scene(Game::Doom3, Resolution::R320x240, 1);
+    /// let report = sim.render_trace(&scene)?;
+    /// assert!(report.total_cycles > 0);
+    /// # Ok::<(), pimgfx_types::ConfigError>(())
+    /// ```
     ///
     /// # Errors
     ///

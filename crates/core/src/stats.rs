@@ -1,4 +1,12 @@
 //! Simulation statistics and the per-run report.
+//!
+//! [`RenderReport`] is the simulator's single output artifact: cycle and
+//! frame-rate results (Fig. 10), off-chip/in-stack traffic split
+//! (Figs. 11–12), energy (Fig. 13), texture-path counters, and the
+//! functionally rendered frames used for the PSNR quality comparison
+//! (Fig. 15). Reports are plain owned data — `Send + Sync`, cheap to
+//! collect from parallel sweep workers, and everything `pimgfx-bench`
+//! prints or serializes into run manifests is derived from them.
 
 use crate::design::Design;
 use pimgfx_energy::EnergyReport;

@@ -34,14 +34,23 @@
 #![deny(missing_docs)]
 #![warn(clippy::dbg_macro, clippy::print_stdout, clippy::print_stderr)]
 
+/// Angles as a `Radians` newtype (anisotropy thresholds, camera deltas).
 pub mod angle;
+/// Traffic and capacity accounting as a `ByteCount` newtype.
 pub mod bytes;
+/// Linear and packed sRGB color types for the functional renderer.
 pub mod color;
+/// The workspace-wide `Error` type and `Result` alias.
 pub mod error;
+/// Typed identifiers (textures, clusters, vaults, requests, frames).
 pub mod ids;
+/// 4×4 column-major matrices for the geometry pipeline.
 pub mod mat;
+/// Integer rectangles and screen-tile arithmetic.
 pub mod rect;
+/// Small deterministic RNG for the synthetic workloads.
 pub mod rng;
+/// Small fixed-size `f32` vectors for geometry and shading.
 pub mod vec;
 
 pub use angle::Radians;

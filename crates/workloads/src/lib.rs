@@ -42,4 +42,4 @@ pub mod scene;
 pub mod trace_io;
 
 pub use games::{Game, GameProfile, Resolution};
-pub use scene::{build_scene, build_scene_unchecked, DrawCall, SceneTrace};
+pub use scene::{build_scene, build_scene_unchecked, DrawCall, SceneCache, SceneTrace};

@@ -1,4 +1,12 @@
 //! Scene assembly: geometry + textures + a camera walkthrough.
+//!
+//! Besides the one-shot builders ([`build_scene`] /
+//! [`build_scene_unchecked`]), this module provides [`SceneCache`]: a
+//! thread-safe, memoizing store of built traces. A parallel sweep (see
+//! `pimgfx-bench`) runs many `(game, resolution, variant)` cells that
+//! share the same scene; the cache builds each `(game, resolution)`
+//! trace once and hands every worker an [`Arc`] to it instead of
+//! regenerating the geometry and textures per design variant.
 
 use crate::games::{Game, GameProfile, Resolution};
 use crate::mesh;
@@ -6,6 +14,8 @@ use crate::procedural::{generate, TextureKind};
 use pimgfx_raster::{Camera, Vertex};
 use pimgfx_texture::{MippedTexture, TextureImage};
 use pimgfx_types::{TextureId, Vec3};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// One draw call: a triangle list bound to a texture.
 #[derive(Debug, Clone)]
@@ -74,6 +84,97 @@ impl SceneTrace {
     /// Panics if the id is out of range.
     pub fn texture(&self, id: TextureId) -> &MippedTexture {
         &self.textures[id.index()]
+    }
+}
+
+// Scene traces cross sweep-worker threads by shared reference; keep the
+// guarantee checked at compile time so a future field cannot silently
+// drop it.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SceneTrace>();
+};
+
+/// A thread-safe, memoizing cache of walkthrough traces.
+///
+/// Every `(game, resolution)` column is built at most once (per cache);
+/// concurrent readers share the result through an [`Arc`]. This is what
+/// lets a parallel sweep fan design variants of the same column out
+/// across workers without regenerating the scene per variant.
+///
+/// # Examples
+///
+/// ```
+/// use pimgfx_workloads::{Game, Resolution, SceneCache};
+///
+/// let cache = SceneCache::new(1);
+/// let a = cache.get(Game::Doom3, Resolution::R320x240);
+/// let b = cache.get(Game::Doom3, Resolution::R320x240);
+/// assert!(std::sync::Arc::ptr_eq(&a, &b), "second get is a cache hit");
+/// ```
+#[derive(Debug)]
+pub struct SceneCache {
+    frames: usize,
+    inner: Mutex<HashMap<(Game, Resolution), Arc<SceneTrace>>>,
+}
+
+impl SceneCache {
+    /// Creates a cache whose traces all have `frames` frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is zero (a trace needs at least one frame).
+    pub fn new(frames: usize) -> Self {
+        assert!(frames > 0, "a trace needs at least one frame");
+        Self {
+            frames,
+            inner: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Frames per cached trace.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// Number of distinct columns built so far.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// True when no column has been built yet.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Returns the trace for a benchmark column, building it on first
+    /// use.
+    ///
+    /// The (deterministic, hence idempotent) build runs outside the
+    /// cache lock so other columns stay available while one builds; if
+    /// two threads race on the same cold column, the first insertion
+    /// wins and both receive the same [`Arc`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resolution is not in the game's Table II set (same
+    /// contract as [`build_scene`]).
+    pub fn get(&self, game: Game, res: Resolution) -> Arc<SceneTrace> {
+        if let Some(scene) = self.lock().get(&(game, res)) {
+            return Arc::clone(scene);
+        }
+        let built = Arc::new(build_scene(game, res, self.frames));
+        Arc::clone(
+            self.lock()
+                .entry((game, res))
+                .or_insert_with(|| Arc::clone(&built)),
+        )
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<(Game, Resolution), Arc<SceneTrace>>> {
+        // A poisoned lock only means another worker panicked mid-insert;
+        // the map itself is always in a consistent state.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -323,5 +424,44 @@ mod tests {
     #[should_panic(expected = "at least one frame")]
     fn zero_frames_panics() {
         let _ = build_scene(Game::Doom3, Resolution::R320x240, 0);
+    }
+
+    #[test]
+    fn scene_cache_builds_once_and_shares() {
+        let cache = SceneCache::new(1);
+        assert!(cache.is_empty());
+        let a = cache.get(Game::Doom3, Resolution::R320x240);
+        let b = cache.get(Game::Doom3, Resolution::R320x240);
+        assert!(Arc::ptr_eq(&a, &b), "same column shares one trace");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(a.frame_count(), 1);
+    }
+
+    #[test]
+    fn scene_cache_is_shareable_across_threads() {
+        let cache = SceneCache::new(1);
+        let texels = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    s.spawn(|| {
+                        cache.get(Game::Doom3, Resolution::R320x240).textures[0]
+                            .level(0)
+                            .texel(3, 3)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .collect::<Vec<_>>()
+        });
+        assert_eq!(texels[0], texels[1], "threads observe the same scene");
+        assert_eq!(cache.len(), 1, "racing builds collapse to one entry");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn scene_cache_rejects_zero_frames() {
+        let _ = SceneCache::new(0);
     }
 }

@@ -5,7 +5,7 @@
 //! invariants the HPCA'17 reproduction's credibility rests on — cycles,
 //! bytes, and nanojoules must never be silently mixed or dropped, and
 //! library code must stay panic-free so accounting errors surface as
-//! typed [`pimgfx_types::Error`] values instead of aborts.
+//! typed `pimgfx_types::Error` values instead of aborts.
 //!
 //! # Rules
 //!
@@ -13,6 +13,7 @@
 //! |------|---------|
 //! | `no-panic` | no `unwrap()` / `expect()` / `panic!` / `unreachable!` / `todo!` / `unimplemented!` in non-test library code under `crates/*/src` |
 //! | `unit-cast` | no unit-erasing `.get() as <num>` / `.as_f32() as <num>` on `ByteCount` / `Cycle` / `Duration` / `Radians` outside the owning module |
+//! | `pub-docs` | every public item under `crates/types/src` carries rustdoc (offline, pre-rustc mirror of `deny(missing_docs)`) |
 //! | `lint-wall` | every crate's `lib.rs` carries the canonical lint-wall header, byte-for-byte |
 //! | `manifest` | every `crates/*/Cargo.toml` inherits workspace metadata and uses only workspace-declared dependencies |
 //! | `fig-drift` | `crates/bench/benches/fig*.rs` and the figure-bench references in `EXPERIMENTS.md` stay in sync |
@@ -130,6 +131,9 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
                 Ok(text) => {
                     diags.extend(rules::no_panic::check(&path, &text));
                     diags.extend(rules::unit_cast::check(&path, &text));
+                    if path.starts_with("crates/types/src") {
+                        diags.extend(rules::pub_docs::check(&path, &text));
+                    }
                     if path.ends_with("/src/lib.rs") {
                         diags.extend(rules::lint_wall::check(&path, &text));
                     }

@@ -154,6 +154,111 @@ pub mod unit_cast {
     }
 }
 
+/// `pub-docs`: public items in the foundation crate must carry rustdoc.
+///
+/// `#![deny(missing_docs)]` already enforces this at compile time (the
+/// lint wall), but only once rustc runs; this rule reports the same gap
+/// offline, file-by-file, with the workspace's diagnostic format and
+/// allowlist. It is wired to `crates/types/src` — the vocabulary crate
+/// every other crate builds on — where an undocumented public item is
+/// always a review blocker.
+pub mod pub_docs {
+    use super::{source, Diagnostic};
+
+    /// The rule name used in diagnostics and `lint:allow(...)` entries.
+    pub const RULE: &str = "pub-docs";
+
+    /// Item keywords that introduce a documentable public item.
+    const ITEMS: [&str; 9] = [
+        "fn", "struct", "enum", "trait", "const", "static", "type", "mod", "union",
+    ];
+
+    /// The item keyword a (stripped) line declares publicly, if any.
+    /// `pub(crate)`/`pub(super)` items are not public API and `pub use`
+    /// re-exports inherit the original item's docs, so neither counts;
+    /// struct fields (`pub name: T`) are left to `deny(missing_docs)`.
+    fn public_item(stripped_line: &str) -> Option<&'static str> {
+        let rest = stripped_line.trim_start().strip_prefix("pub")?;
+        if rest.starts_with('(') {
+            return None;
+        }
+        // A `$metavariable` means this is a macro_rules! template; the
+        // expanded item takes its docs from the expansion site.
+        if rest.contains('$') {
+            return None;
+        }
+        let mut words = rest.split_whitespace();
+        let mut word = words.next()?;
+        while matches!(word, "unsafe" | "async" | "extern") {
+            word = words.next()?;
+        }
+        let word = word
+            .split(['<', '(', '{', ':', ';', '='])
+            .next()
+            .unwrap_or(word);
+        ITEMS.iter().find(|k| **k == word).copied()
+    }
+
+    /// Whether the item declared at `idx` has a doc comment, looking
+    /// upward past attribute lines (`#[derive(...)]`, `#[must_use]`, ...)
+    /// which legally sit between the docs and the declaration.
+    fn has_doc(raw_lines: &[&str], idx: usize) -> bool {
+        let mut i = idx;
+        while i > 0 {
+            i -= 1;
+            let t = raw_lines[i].trim_start();
+            if t.starts_with("#[doc") {
+                return true;
+            }
+            if t.starts_with("#[") || t.starts_with("#!") || t.starts_with(")]") {
+                continue;
+            }
+            return t.starts_with("///") || t.starts_with("/**");
+        }
+        false
+    }
+
+    /// Checks one library source file.
+    #[must_use]
+    pub fn check(path: &str, text: &str) -> Vec<Diagnostic> {
+        let stripped = source::strip(text);
+        let mask = source::test_mask(&stripped);
+        let raw_lines: Vec<&str> = text.lines().collect();
+        let mut out = Vec::new();
+
+        for (idx, line) in stripped.lines().enumerate() {
+            if mask.get(idx).copied().unwrap_or(false) {
+                continue;
+            }
+            if source::allow_missing_reason(raw_lines.get(idx).unwrap_or(&""), RULE) {
+                out.push(Diagnostic {
+                    rule: RULE,
+                    path: path.to_string(),
+                    line: idx + 1,
+                    message: "allowlist entry is missing its justification".to_string(),
+                });
+                continue;
+            }
+            let Some(kind) = public_item(line) else {
+                continue;
+            };
+            if has_doc(&raw_lines, idx) || source::is_allowed(&raw_lines, idx, RULE) {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: RULE,
+                path: path.to_string(),
+                line: idx + 1,
+                message: format!(
+                    "public `{kind}` has no rustdoc; document it with `///` \
+                     (or justify with `// lint:allow({RULE}) — <reason>`)"
+                ),
+            });
+        }
+        out
+    }
+}
+
 /// `lint-wall`: every crate's `lib.rs` carries the canonical header.
 pub mod lint_wall {
     use super::Diagnostic;

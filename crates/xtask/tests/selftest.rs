@@ -1,7 +1,7 @@
 //! Self-tests: every lint rule must fire on a seeded violation fixture,
 //! stay quiet on clean code, and honor the allowlist mechanism.
 
-use xtask::rules::{figures, lint_wall, manifest, no_panic, unit_cast};
+use xtask::rules::{figures, lint_wall, manifest, no_panic, pub_docs, unit_cast};
 
 // ---------------------------------------------------------------- no-panic
 
@@ -108,6 +108,75 @@ fn unit_cast_quiet_on_typed_conversions_and_owning_modules() {
 fn unit_cast_allowlist_suppresses() {
     let fixture = "pub fn f(b: ByteCount) -> f64 { b.get() as f64 } // lint:allow(unit-cast) — formatting only, feeds a display percentage\n";
     assert!(unit_cast::check("crates/demo/src/lib.rs", fixture).is_empty());
+}
+
+// ---------------------------------------------------------------- pub-docs
+
+#[test]
+fn pub_docs_fires_on_each_undocumented_item_kind() {
+    for (kind, fixture) in [
+        ("fn", "pub fn f() {}\n"),
+        ("struct", "pub struct S;\n"),
+        ("enum", "pub enum E { A }\n"),
+        ("trait", "pub trait T {}\n"),
+        ("const", "pub const C: u32 = 1;\n"),
+        ("static", "pub static G: u32 = 1;\n"),
+        ("type", "pub type A = u32;\n"),
+        ("mod", "pub mod m;\n"),
+        ("fn", "pub unsafe fn f() {}\n"),
+        ("const", "pub const fn f() -> u32 { 1 }\n"),
+    ] {
+        let diags = pub_docs::check("crates/types/src/lib.rs", fixture);
+        assert_eq!(diags.len(), 1, "{kind}: expected exactly one finding");
+        assert_eq!(diags[0].rule, "pub-docs");
+        assert!(diags[0].message.contains(kind), "{}", diags[0]);
+    }
+}
+
+#[test]
+fn pub_docs_accepts_documented_items_even_through_attributes() {
+    let fixture = "\
+/// Documented directly.
+pub fn f() {}
+
+/// Documented with attributes between the docs and the item.
+#[derive(Debug, Clone)]
+#[must_use]
+pub struct S;
+
+#[doc = \"Attribute-form docs also count.\"]
+pub enum E { A }
+";
+    assert!(pub_docs::check("crates/types/src/lib.rs", fixture).is_empty());
+}
+
+#[test]
+fn pub_docs_skips_non_public_api() {
+    let fixture = "\
+pub(crate) fn internal() {}
+pub(super) struct Hidden;
+pub use other::Thing;
+fn private() {}
+/// A documented struct whose fields are rustc's problem.
+pub struct S { pub field: u32 }
+#[cfg(test)]
+mod tests {
+    pub fn helper() {}
+}
+";
+    assert!(pub_docs::check("crates/types/src/lib.rs", fixture).is_empty());
+}
+
+#[test]
+fn pub_docs_allowlist_follows_house_rules() {
+    let allowed =
+        "pub fn f() {} // lint:allow(pub-docs) — generated shim, documented at the call site\n";
+    assert!(pub_docs::check("crates/types/src/lib.rs", allowed).is_empty());
+
+    let bare = "pub fn f() {} // lint:allow(pub-docs)\n";
+    let diags = pub_docs::check("crates/types/src/lib.rs", bare);
+    assert_eq!(diags.len(), 1);
+    assert!(diags[0].message.contains("justification"), "{}", diags[0]);
 }
 
 // --------------------------------------------------------------- lint-wall
