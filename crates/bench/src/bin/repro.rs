@@ -3,14 +3,17 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--quick] [--serial] [--frames N] [--csv DIR] [table1 table2
-//!        fig2 fig4 fig5 fig10 fig11 fig12 fig13 fig14 fig15 fig16
-//!        overhead ablation all]
+//! repro [--quick] [--serial] [--trace] [--frames N] [--csv DIR]
+//!       [table1 table2 fig2 fig4 fig5 fig10 fig11 fig12 fig13 fig14
+//!        fig15 fig16 overhead ablation all]
 //! ```
 //!
 //! With no figure arguments, everything runs. `--quick` restricts the
 //! benchmark columns to a small subset (useful for smoke runs); `--csv`
 //! additionally drops each figure's data as `DIR/<figure>.csv`.
+//! `--trace` prints a per-cell cycle-conservation audit table and makes
+//! an audit failure exit nonzero; the full per-stage breakdown is in
+//! the manifest either way (schema v2, see `docs/OBSERVABILITY.md`).
 //!
 //! By default the experiment matrix is precomputed in parallel across
 //! `available_parallelism()` workers (override with `PIMGFX_THREADS`,
@@ -111,6 +114,7 @@ fn main() -> HarnessResult<()> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let serial = args.iter().any(|a| a == "--serial");
+    let trace = args.iter().any(|a| a == "--trace");
     let frames = args
         .iter()
         .position(|a| a == "--frames")
@@ -213,6 +217,43 @@ fn main() -> HarnessResult<()> {
         .into_iter()
         .map(|(column, variant, report)| CellSummary::from_report(&column, &variant, report))
         .collect();
+
+    // `--trace`: surface the per-cell cycle-conservation audit. The
+    // audit always runs (its verdict is in every manifest cell); the
+    // flag adds the table and turns a violation into a nonzero exit.
+    if trace {
+        header("Trace audit — per-stage cycle conservation");
+        println!(
+            "{:<18} {:<22} {:>7} {:>8}",
+            "benchmark", "variant", "stages", "audit"
+        );
+        let mut bad = 0usize;
+        for c in &cell_reports {
+            println!(
+                "{:<18} {:<22} {:>7} {:>8}",
+                c.column,
+                c.variant,
+                c.stages.len(),
+                if c.audit_ok() { "ok" } else { "FAIL" }
+            );
+            if !c.audit_ok() {
+                eprintln!(
+                    "[repro] trace audit FAILED for {}/{}: {}",
+                    c.column, c.variant, c.trace_audit
+                );
+                bad += 1;
+            }
+        }
+        println!(
+            "({} cells audited; full per-stage breakdown in {})",
+            cell_reports.len(),
+            pimgfx_bench::manifest::FILE_NAME
+        );
+        if bad > 0 {
+            failures.push(format!("trace-audit({bad} cells)"));
+        }
+    }
+
     let total_wall_ms = run_start.elapsed().as_secs_f64() * 1000.0;
     let manifest = RunManifest {
         tool: "repro".to_string(),

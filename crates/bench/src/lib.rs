@@ -352,7 +352,7 @@ impl Harness {
                 todo.push((g, r, v, label));
             }
         }
-        let workers = pool::worker_count(todo.len());
+        let workers = pool::worker_count(todo.len())?;
         if todo.is_empty() {
             return Ok(SweepStats {
                 cells_executed: 0,
@@ -369,7 +369,7 @@ impl Harness {
             }
         }
         let scenes = &self.scenes;
-        pool::run_ordered(&columns, pool::worker_count(columns.len()), |&(g, r)| {
+        pool::run_ordered(&columns, pool::worker_count(columns.len())?, |&(g, r)| {
             scenes.get(g, r);
         });
 
@@ -417,7 +417,10 @@ impl Harness {
     ///
     /// # Errors
     ///
-    /// Propagates configuration and simulation failures.
+    /// Propagates configuration and simulation failures, and the
+    /// metric's dimension-mismatch rejection (impossible here by
+    /// construction — both frames come from the same resolution cell —
+    /// but surfaced rather than swallowed).
     pub fn psnr_vs_baseline(
         &mut self,
         game: Game,
@@ -426,7 +429,7 @@ impl Harness {
     ) -> HarnessResult<f64> {
         let base = self.baseline(game, res)?;
         let img = self.run(game, res, variant)?.image.clone();
-        Ok(psnr(&base.image, &img))
+        psnr(&base.image, &img)
     }
 }
 
@@ -528,7 +531,7 @@ pub fn run_variants_parallel(
     scene: &SceneTrace,
     variants: &[Variant],
 ) -> Result<Vec<RenderReport>> {
-    let workers = pool::worker_count(variants.len());
+    let workers = pool::worker_count(variants.len())?;
     pool::run_ordered(variants, workers, |&v| run_variant(scene, v))
         .into_iter()
         .collect()

@@ -11,13 +11,24 @@
 //!
 //! The schema is versioned ([`SCHEMA_VERSION`]); consumers should ignore
 //! unknown fields so the schema can grow additively.
+//!
+//! Schema v2 (this version) adds two per-cell fields on top of v1 —
+//! both additive, so v1 consumers keep working:
+//!
+//! - `"stages"`: the per-stage cycle/ops/bytes/stalls breakdown from
+//!   the report's `pimgfx_engine::trace::StageTrace` (see
+//!   `docs/OBSERVABILITY.md` for the stage taxonomy), and
+//! - `"trace_audit"`: the outcome of
+//!   [`RenderReport::audit`](pimgfx::RenderReport::audit) for that cell
+//!   (`"ok"`, or the conservation violation's error display).
 
 use crate::HarnessResult;
 use pimgfx::RenderReport;
 use pimgfx_types::Error;
 
 /// Version of the manifest layout; bumped on breaking field changes.
-pub const SCHEMA_VERSION: u32 = 1;
+/// v2 added the per-cell `stages` breakdown and `trace_audit` fields.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Default file name, written into the CSV directory when one is given
 /// (else the working directory).
@@ -39,6 +50,23 @@ impl FigureTiming {
     pub fn is_ok(&self) -> bool {
         self.status == "ok"
     }
+}
+
+/// One row of a cell's per-stage trace breakdown (schema v2): the
+/// stage name plus the four counters every stage carries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSummary {
+    /// Stage name from the trace taxonomy (`shader.alu`, `tex.filter`,
+    /// `mem.external.texture`, `pim.atfim.buffer`, ...).
+    pub stage: String,
+    /// Cycles the stage spent doing work.
+    pub busy_cycles: u64,
+    /// Operations the stage completed (requests, fragments, ...).
+    pub ops: u64,
+    /// Bytes the stage moved.
+    pub bytes: u64,
+    /// Cycles (or events) the stage spent stalled on backpressure.
+    pub stalls: u64,
 }
 
 /// Per-cell summary of one simulated `(column, variant)` report.
@@ -64,10 +92,17 @@ pub struct CellSummary {
     pub internal_bytes: u64,
     /// Total energy, nanojoules.
     pub energy_nj: f64,
+    /// Outcome of the cycle-conservation audit for this cell: `"ok"`,
+    /// or the violated invariant's error display (schema v2).
+    pub trace_audit: String,
+    /// Per-stage counter breakdown, in trace-recording order
+    /// (schema v2).
+    pub stages: Vec<StageSummary>,
 }
 
 impl CellSummary {
-    /// Summarizes one harness report.
+    /// Summarizes one harness report, including its per-stage trace
+    /// breakdown and the outcome of the cycle-conservation audit.
     pub fn from_report(column: &str, variant: &str, report: &RenderReport) -> Self {
         Self {
             column: column.to_string(),
@@ -80,7 +115,27 @@ impl CellSummary {
             texture_bytes: report.texture_traffic().get(),
             internal_bytes: report.internal_bytes,
             energy_nj: report.energy.total_nj(),
+            trace_audit: match report.audit() {
+                Ok(()) => "ok".to_string(),
+                Err(e) => format!("error: {e}"),
+            },
+            stages: report
+                .trace
+                .iter()
+                .map(|(stage, c)| StageSummary {
+                    stage: stage.to_string(),
+                    busy_cycles: c.busy_cycles,
+                    ops: c.ops,
+                    bytes: c.bytes,
+                    stalls: c.stalls,
+                })
+                .collect(),
         }
+    }
+
+    /// True when this cell's cycle-conservation audit passed.
+    pub fn audit_ok(&self) -> bool {
+        self.trace_audit == "ok"
     }
 }
 
@@ -154,7 +209,7 @@ impl RunManifest {
                  \"total_cycles\": {}, \"texture_samples\": {}, \
                  \"avg_latency_cycles\": {}, \"external_bytes\": {}, \
                  \"texture_bytes\": {}, \"internal_bytes\": {}, \
-                 \"energy_nj\": {}",
+                 \"energy_nj\": {}, \"trace_audit\": {},\n",
                 quote(&c.column),
                 quote(&c.variant),
                 c.frames,
@@ -164,9 +219,25 @@ impl RunManifest {
                 c.external_bytes,
                 c.texture_bytes,
                 c.internal_bytes,
-                json_f64(c.energy_nj)
+                json_f64(c.energy_nj),
+                quote(&c.trace_audit)
             ));
-            s.push('}');
+            s.push_str("     \"stages\": [");
+            for (j, stage) in c.stages.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&format!(
+                    "{{\"stage\": {}, \"busy_cycles\": {}, \"ops\": {}, \
+                     \"bytes\": {}, \"stalls\": {}}}",
+                    quote(&stage.stage),
+                    stage.busy_cycles,
+                    stage.ops,
+                    stage.bytes,
+                    stage.stalls
+                ));
+            }
+            s.push_str("]}");
             if i + 1 < self.cell_reports.len() {
                 s.push(',');
             }
@@ -280,6 +351,23 @@ mod tests {
                 texture_bytes: 60,
                 internal_bytes: 30,
                 energy_nj: 1.5,
+                trace_audit: "ok".to_string(),
+                stages: vec![
+                    StageSummary {
+                        stage: "shader.alu".to_string(),
+                        busy_cycles: 40,
+                        ops: 0,
+                        bytes: 0,
+                        stalls: 0,
+                    },
+                    StageSummary {
+                        stage: "mem.external.texture".to_string(),
+                        busy_cycles: 0,
+                        ops: 2,
+                        bytes: 60,
+                        stalls: 0,
+                    },
+                ],
             }],
         }
     }
@@ -315,6 +403,29 @@ mod tests {
         );
         assert!(j.contains("\"wall_ms\": 1000.000"));
         assert!(j.contains("\"variant\": \"a-tfim@0.05pi\""));
+    }
+
+    #[test]
+    fn schema_v2_emits_trace_audit_and_stage_breakdown() {
+        let j = sample().to_json();
+        assert!(j.contains("\"schema_version\": 2"), "{j}");
+        assert!(j.contains("\"trace_audit\": \"ok\""), "{j}");
+        assert!(
+            j.contains(
+                "{\"stage\": \"shader.alu\", \"busy_cycles\": 40, \
+                 \"ops\": 0, \"bytes\": 0, \"stalls\": 0}"
+            ),
+            "{j}"
+        );
+        assert!(j.contains("\"stage\": \"mem.external.texture\""), "{j}");
+        assert!(sample().cell_reports[0].audit_ok());
+        // An empty trace still serializes as a (valid, empty) array.
+        let mut bare = sample();
+        bare.cell_reports[0].stages.clear();
+        bare.cell_reports[0].trace_audit = "error: drift".to_string();
+        let j = bare.to_json();
+        assert!(j.contains("\"stages\": []"), "{j}");
+        assert!(!bare.cell_reports[0].audit_ok());
     }
 
     #[test]

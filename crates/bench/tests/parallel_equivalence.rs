@@ -138,8 +138,17 @@ fn threads_env_override_is_honored() {
     // tests running later in the same process.
     let saved = std::env::var(pool::THREADS_ENV).ok();
     std::env::set_var(pool::THREADS_ENV, "3");
-    assert_eq!(pool::configured_workers(), 3);
-    assert_eq!(pool::worker_count(2), 2, "still clamped to the job count");
+    assert_eq!(pool::configured_workers().expect("valid override"), 3);
+    assert_eq!(
+        pool::worker_count(2).expect("valid override"),
+        2,
+        "still clamped to the job count"
+    );
+    std::env::set_var(pool::THREADS_ENV, "abc");
+    assert!(
+        pool::configured_workers().is_err(),
+        "a typo'd override must be a hard error, not a silent fallback"
+    );
     match saved {
         Some(v) => std::env::set_var(pool::THREADS_ENV, v),
         None => std::env::remove_var(pool::THREADS_ENV),

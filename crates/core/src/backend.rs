@@ -10,6 +10,7 @@
 
 use crate::config::SimConfig;
 use crate::design::Design;
+use pimgfx_engine::trace::{stage, StageCounters, StageTrace};
 use pimgfx_engine::Cycle;
 use pimgfx_mem::{Gddr5, Hmc, MemRequest, MemorySystem, TrafficStats};
 use pimgfx_types::Result;
@@ -92,6 +93,29 @@ impl MemoryBackend {
             merged.reset();
             for c in cubes {
                 merged.merge(c.traffic());
+            }
+        }
+    }
+
+    /// Records the memory-side stages: one `mem.external.<class>` stage
+    /// per traffic class (audited against the report totals), the
+    /// `mem.internal` byte counter, and the backend's channel stages
+    /// (GDDR5 buses, or HMC links and TSVs — informational).
+    ///
+    /// On a multi-cube backend, call [`MemoryBackend::sync_traffic`]
+    /// first so the merged per-class view is current.
+    pub fn record_trace(&self, trace: &mut StageTrace) {
+        self.traffic().record_trace(trace);
+        trace.record(
+            stage::MEM_INTERNAL,
+            StageCounters::traffic(0, self.internal_bytes()),
+        );
+        match self {
+            MemoryBackend::Gddr5(m) => m.record_channel_trace(trace),
+            MemoryBackend::Hmc { cubes, .. } => {
+                for c in cubes {
+                    c.record_channel_trace(trace);
+                }
             }
         }
     }
@@ -227,6 +251,34 @@ mod tests {
         assert!(b.traffic().total().get() > 0);
         b.reset();
         assert_eq!(b.traffic().total().get(), 0);
+    }
+
+    #[test]
+    fn trace_conserves_traffic_and_internal_bytes() {
+        let config = SimConfig::builder()
+            .design(Design::BPim)
+            .hmc_cubes(2)
+            .build()
+            .expect("valid");
+        let mut b = MemoryBackend::from_config(&config).expect("valid");
+        b.access_external(
+            Cycle::ZERO,
+            &MemRequest::read(TrafficClass::TextureFetch, 0, 64),
+        );
+        b.access_external(
+            Cycle::ZERO,
+            &MemRequest::write(TrafficClass::FrameBuffer, CUBE_REGION_BYTES, 128),
+        );
+        b.sync_traffic();
+        let mut t = StageTrace::new();
+        b.record_trace(&mut t);
+        assert_eq!(
+            t.bytes_sum(stage::MEM_EXTERNAL_PREFIX),
+            b.traffic().total().get()
+        );
+        assert_eq!(t.counters(stage::MEM_INTERNAL).bytes, b.internal_bytes());
+        assert!(t.counters(stage::MEM_HMC_LINK).bytes > 0);
+        assert!(t.counters(stage::MEM_HMC_TSV).busy_cycles > 0);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! traffic for overdraw.
 
 use crate::backend::MemoryBackend;
+use pimgfx_engine::trace::{stage, StageCounters, StageTrace};
 use pimgfx_engine::Cycle;
 use pimgfx_mem::{MemRequest, MemorySystem, TrafficClass};
 use pimgfx_raster::Fragment;
@@ -39,6 +40,10 @@ pub struct Rop {
     tile_activity: HashMap<TileCoord, (u64, u64)>,
     first_writes: u64,
     rewrites: u64,
+    /// Fragments retired over the whole trace (survives `begin_frame`).
+    retired_total: u64,
+    /// Bytes flushed to memory over the whole trace.
+    flushed_bytes_total: u64,
 }
 
 impl Rop {
@@ -61,11 +66,14 @@ impl Rop {
             tile_activity: HashMap::new(),
             first_writes: 0,
             rewrites: 0,
+            retired_total: 0,
+            flushed_bytes_total: 0,
         }
     }
 
     /// Retires one shaded fragment: records its write class.
     pub fn retire(&mut self, frag: &Fragment) {
+        self.retired_total += 1;
         let idx = (frag.y * self.width + frag.x) as usize;
         let tile = frag.tile(self.tile_px);
         let entry = self.tile_activity.entry(tile).or_insert((0, 0));
@@ -95,6 +103,7 @@ impl Rop {
             let z_write = MemRequest::write(TrafficClass::ZTest, Z_BASE + tile_off, z_block as u32);
             done = done.max(mem.access_external(when, &z_read));
             done = done.max(mem.access_external(when, &z_write));
+            self.flushed_bytes_total += z_read.external_bytes() + z_write.external_bytes();
             // Final color block store (compressed).
             let c_write = MemRequest::write(
                 TrafficClass::FrameBuffer,
@@ -102,11 +111,13 @@ impl Rop {
                 c_block as u32,
             );
             done = done.max(mem.access_external(when, &c_write));
+            self.flushed_bytes_total += c_write.external_bytes();
             // Overdraw read-modify-writes: 8 bytes per rewritten pixel.
             if rewrites > 0 {
                 let bytes = (rewrites * 2 * SAMPLE_BYTES).min(u64::from(u32::MAX)) as u32;
                 let rmw = MemRequest::read(TrafficClass::ColorBuffer, COLOR_BASE + tile_off, bytes);
                 done = done.max(mem.access_external(when, &rmw));
+                self.flushed_bytes_total += rmw.external_bytes();
             }
         }
         self.begin_frame();
@@ -117,6 +128,20 @@ impl Rop {
     /// frame so far.
     pub fn stats(&self) -> (u64, u64) {
         (self.first_writes, self.rewrites)
+    }
+
+    /// Records the `rop` stage: fragments retired as `ops`, flushed
+    /// framebuffer traffic as `bytes`, both cumulative over the trace.
+    /// The flushed bytes are counted as charged on the external
+    /// interface (payload plus packet headers), so they equal the
+    /// Z-test, frame-buffer, and color-buffer traffic exactly — the
+    /// auditor cross-checks this against the memory system's per-class
+    /// counters.
+    pub fn record_trace(&self, trace: &mut StageTrace) {
+        trace.record(
+            stage::ROP,
+            StageCounters::traffic(self.retired_total, self.flushed_bytes_total),
+        );
     }
 
     /// Clears per-frame state.
@@ -214,5 +239,24 @@ mod tests {
         // The same pixel is a first write again next frame.
         rop.retire(&frag(0, 0));
         assert_eq!(rop.stats(), (1, 0));
+    }
+
+    #[test]
+    fn trace_matches_charged_external_traffic() {
+        let mut rop = Rop::new(32, 32, 16);
+        rop.retire(&frag(0, 0));
+        rop.retire(&frag(0, 0)); // overdraw
+        rop.retire(&frag(20, 20));
+        let mut m = mem();
+        rop.flush_frame(Cycle::ZERO, &mut m);
+
+        let mut t = pimgfx_engine::StageTrace::new();
+        rop.record_trace(&mut t);
+        let c = t.counters(pimgfx_engine::trace::stage::ROP);
+        assert_eq!(c.ops, 3, "all retired fragments traced across flushes");
+        let charged = m.traffic().bytes(TrafficClass::ZTest).get()
+            + m.traffic().bytes(TrafficClass::FrameBuffer).get()
+            + m.traffic().bytes(TrafficClass::ColorBuffer).get();
+        assert_eq!(c.bytes, charged, "rop stage bytes conserve ROP traffic");
     }
 }

@@ -28,6 +28,7 @@ use crate::rop::Rop;
 use crate::stats::{FrameStats, RenderReport};
 use crate::texpath::TexturePath;
 use pimgfx_energy::{EnergyModel, EnergyParams};
+use pimgfx_engine::trace::{stage, StageCounters, StageTrace};
 use pimgfx_engine::{Cycle, InFlightWindow};
 use pimgfx_mem::MemorySystem;
 use pimgfx_quality::FrameImage;
@@ -183,6 +184,9 @@ impl Simulator {
         let mut frames = 0u32;
         let mut per_frame: Vec<FrameStats> = Vec::with_capacity(scene.cameras.len());
         let mut samples_before = 0u64;
+        let mut per_frame_trace: Vec<StageTrace> = Vec::with_capacity(scene.cameras.len());
+        let mut trace_snapshot = StageTrace::new();
+        let mut window_stalls = 0u64;
 
         for camera in &scene.cameras {
             let frame_start = clock;
@@ -215,7 +219,7 @@ impl Simulator {
                 .collect();
             for tile in &tiles {
                 let cluster = scheduler.cluster_for(tile.coord);
-                let issue_at = geom_done.max(windows[cluster].gate());
+                let issue_at = windows[cluster].gate_from(geom_done);
                 let alu_done = self.cores.shade_fragments(
                     cluster,
                     issue_at,
@@ -263,6 +267,14 @@ impl Simulator {
             }
 
             clock = frame_end;
+            // Per-frame trace slice: the compute-side counters are
+            // cumulative, so each frame is the delta since the last
+            // snapshot (the windows are per-frame, so their stalls
+            // accumulate into a running total first).
+            window_stalls += windows.iter().map(InFlightWindow::stalls).sum::<u64>();
+            let cumulative = self.compute_trace(&rop, window_stalls);
+            per_frame_trace.push(cumulative.delta_since(&trace_snapshot));
+            trace_snapshot = cumulative;
             let samples_now = self.texture.stats().samples;
             per_frame.push(FrameStats {
                 frame: frames,
@@ -338,7 +350,12 @@ impl Simulator {
             "aggregate shader busy cycles cannot exceed clusters x wall-clock"
         );
 
-        Ok(RenderReport {
+        // Assemble the full stage trace: the compute-side stages plus
+        // the memory-side stages (recorded once, post-`sync_traffic`).
+        let mut trace = self.compute_trace(&rop, window_stalls);
+        self.mem.record_trace(&mut trace);
+
+        let report = RenderReport {
             design: self.config.design,
             frames,
             total_cycles: clock.get(),
@@ -352,7 +369,30 @@ impl Simulator {
             energy: energy.report(),
             image,
             per_frame,
-        })
+            trace,
+            per_frame_trace,
+        };
+        debug_assert!(
+            report.audit().is_ok(),
+            "cycle-accounting audit failed: {:?}",
+            report.audit().err()
+        );
+        Ok(report)
+    }
+
+    /// Snapshot of every compute-side stage's cumulative counters:
+    /// shader ALUs, the in-flight-window stall total, the full texture
+    /// path (GPU pipes plus MTU / A-TFIM logic layers), and the ROP.
+    fn compute_trace(&self, rop: &Rop, window_stalls: u64) -> StageTrace {
+        let mut t = StageTrace::new();
+        t.record(
+            stage::SHADER_ALU,
+            StageCounters::busy(self.cores.total_busy().get()),
+        );
+        t.record(stage::SHADER_WINDOW, StageCounters::stalled(window_stalls));
+        self.texture.record_trace(&mut t);
+        rop.record_trace(&mut t);
+        t
     }
 
     /// Resets all hardware state (between independent experiments).
@@ -418,12 +458,12 @@ mod tests {
         for d in [Design::BPim, Design::STfim] {
             let r = run(d);
             // Exact filtering designs produce the identical image.
-            let db = pimgfx_quality::psnr(&base.image, &r.image);
+            let db = pimgfx_quality::psnr(&base.image, &r.image).expect("same resolution");
             assert!(db > 55.0, "{d} diverged: {db} dB");
         }
         // A-TFIM at the default threshold is approximate but close.
         let at = run(Design::ATfim);
-        let db = pimgfx_quality::psnr(&base.image, &at.image);
+        let db = pimgfx_quality::psnr(&base.image, &at.image).expect("same resolution");
         assert!(db > 30.0, "a-tfim too lossy: {db} dB");
     }
 
@@ -476,6 +516,17 @@ mod tests {
         assert_eq!(sample_sum, r.texture.samples);
         assert!(r.per_frame.iter().all(|f| f.fragments > 0));
         assert_eq!(r.per_frame[1].frame, 1);
+    }
+
+    #[test]
+    fn trace_audit_passes_for_all_designs() {
+        for d in [Design::Baseline, Design::BPim, Design::STfim, Design::ATfim] {
+            let r = run(d);
+            r.audit().unwrap_or_else(|e| panic!("{d}: {e}"));
+            assert!(!r.trace.is_empty());
+            assert_eq!(r.trace.busy_sum("tex."), r.texture_busy_cycles, "{d}");
+            assert_eq!(r.per_frame_trace.len(), 1, "{d}");
+        }
     }
 
     #[test]

@@ -10,10 +10,11 @@
 
 use crate::design::Design;
 use pimgfx_energy::EnergyReport;
+use pimgfx_engine::trace::{stage, StageTrace};
 use pimgfx_mem::{TrafficClass, TrafficStats};
 use pimgfx_quality::FrameImage;
 use pimgfx_raster::RasterStats;
-use pimgfx_types::ByteCount;
+use pimgfx_types::{ByteCount, ConfigError};
 use std::fmt;
 
 /// Counters accumulated by the texture path.
@@ -138,6 +139,13 @@ pub struct RenderReport {
     pub image: FrameImage,
     /// Per-frame summaries, in trace order.
     pub per_frame: Vec<FrameStats>,
+    /// Per-stage counters over the whole run (the taxonomy in
+    /// [`pimgfx_engine::trace::stage`]); [`RenderReport::audit`]
+    /// asserts these conserve the headline totals above.
+    pub trace: StageTrace,
+    /// Per-frame deltas of the compute-side stages (memory traffic is
+    /// accounted once, at end of run, so it is absent here).
+    pub per_frame_trace: Vec<StageTrace>,
 }
 
 impl RenderReport {
@@ -179,6 +187,142 @@ impl RenderReport {
     /// Total energy normalized to `baseline` (the Fig. 13 metric).
     pub fn energy_normalized_to(&self, baseline: &RenderReport) -> f64 {
         self.energy.normalized_to(&baseline.energy)
+    }
+
+    /// Cycle-conservation audit: asserts that the per-stage trace sums
+    /// reproduce every headline total in this report — exactly for
+    /// integer counters, within `1e-9` relative for energy.
+    ///
+    /// Checks, in order:
+    /// - `shader.alu` busy cycles equal [`RenderReport::shader_busy_cycles`];
+    /// - `tex.addr` + `tex.filter` busy cycles equal
+    ///   [`RenderReport::texture_busy_cycles`];
+    /// - `pim.mtu.filter` + `pim.atfim.generate` + `pim.atfim.combine`
+    ///   busy cycles equal [`RenderReport::pim_busy_cycles`]
+    ///   (`pim.mtu.addr` is informational and deliberately excluded);
+    /// - each `mem.external.<class>` stage's bytes equal the per-class
+    ///   traffic counter, and their sum equals the traffic total;
+    /// - `mem.internal` bytes equal [`RenderReport::internal_bytes`];
+    /// - `rop` ops equal the retired fragment count and `rop` bytes
+    ///   equal the Z-test + frame-buffer + color-buffer traffic;
+    /// - the per-frame trace partitions the run: one entry per frame,
+    ///   and each stage's per-frame deltas sum to its trace total;
+    /// - the energy components independently re-summed equal
+    ///   [`EnergyReport::total_nj`] within `1e-9` relative.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the first counter that fails to
+    /// conserve.
+    pub fn audit(&self) -> pimgfx_types::Result<()> {
+        let fail = |what: String| Err(ConfigError::new("audit", what));
+
+        let shader = self.trace.busy_sum(stage::SHADER_ALU);
+        if shader != self.shader_busy_cycles {
+            return fail(format!(
+                "shader.alu busy {shader} != shader_busy_cycles {}",
+                self.shader_busy_cycles
+            ));
+        }
+        let tex = self.trace.busy_sum("tex.");
+        if tex != self.texture_busy_cycles {
+            return fail(format!(
+                "tex.* busy {tex} != texture_busy_cycles {}",
+                self.texture_busy_cycles
+            ));
+        }
+        let pim = self.trace.busy_sum(stage::PIM_MTU_FILTER)
+            + self.trace.busy_sum(stage::PIM_ATFIM_GENERATE)
+            + self.trace.busy_sum(stage::PIM_ATFIM_COMBINE);
+        if pim != self.pim_busy_cycles {
+            return fail(format!(
+                "pim filter/generate/combine busy {pim} != pim_busy_cycles {}",
+                self.pim_busy_cycles
+            ));
+        }
+        for class in TrafficClass::ALL {
+            let name = format!("{}{}", stage::MEM_EXTERNAL_PREFIX, class.label());
+            let c = self.trace.counters(&name);
+            let want = self.traffic.bytes(class).get();
+            if c.bytes != want {
+                return fail(format!("{name} bytes {} != traffic {want}", c.bytes));
+            }
+            if c.ops != self.traffic.requests(class) {
+                return fail(format!(
+                    "{name} ops {} != traffic requests {}",
+                    c.ops,
+                    self.traffic.requests(class)
+                ));
+            }
+        }
+        let external = self.trace.bytes_sum(stage::MEM_EXTERNAL_PREFIX);
+        if external != self.traffic.total().get() {
+            return fail(format!(
+                "mem.external.* bytes {external} != traffic total {}",
+                self.traffic.total()
+            ));
+        }
+        let internal = self.trace.counters(stage::MEM_INTERNAL).bytes;
+        if internal != self.internal_bytes {
+            return fail(format!(
+                "mem.internal bytes {internal} != internal_bytes {}",
+                self.internal_bytes
+            ));
+        }
+        let rop = self.trace.counters(stage::ROP);
+        if rop.ops != self.raster.fragments_out {
+            return fail(format!(
+                "rop ops {} != retired fragments {}",
+                rop.ops, self.raster.fragments_out
+            ));
+        }
+        let rop_traffic = self.traffic.bytes(TrafficClass::ZTest).get()
+            + self.traffic.bytes(TrafficClass::FrameBuffer).get()
+            + self.traffic.bytes(TrafficClass::ColorBuffer).get();
+        if rop.bytes != rop_traffic {
+            return fail(format!(
+                "rop bytes {} != z-test + frame-buffer + color-buffer traffic {rop_traffic}",
+                rop.bytes
+            ));
+        }
+        if self.per_frame_trace.len() != self.frames as usize {
+            return fail(format!(
+                "{} per-frame traces for {} frames",
+                self.per_frame_trace.len(),
+                self.frames
+            ));
+        }
+        let mut frame_sum = StageTrace::new();
+        for t in &self.per_frame_trace {
+            frame_sum.merge(t);
+        }
+        for (name, summed) in frame_sum.iter() {
+            if *summed != self.trace.counters(name) {
+                return fail(format!(
+                    "per-frame deltas for {name} sum to {summed:?} but the run total is {:?}",
+                    self.trace.counters(name)
+                ));
+            }
+        }
+        let e = &self.energy;
+        let component_sum = e.shader_nj
+            + e.texture_nj
+            + e.pim_nj
+            + e.cache_nj
+            + e.link_nj
+            + e.tsv_nj
+            + e.dram_nj
+            + e.gddr5_nj
+            + e.leakage_nj;
+        let total = e.total_nj();
+        if !(component_sum.is_finite() && total.is_finite())
+            || (component_sum - total).abs() > 1e-9 * total.abs().max(1.0)
+        {
+            return fail(format!(
+                "energy components sum to {component_sum} nJ but total_nj is {total} nJ"
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -229,6 +373,8 @@ mod tests {
             energy: EnergyReport::default(),
             image: FrameImage::filled(2, 2, Rgba::BLACK),
             per_frame: Vec::new(),
+            trace: StageTrace::new(),
+            per_frame_trace: vec![StageTrace::new()],
         }
     }
 
@@ -273,6 +419,19 @@ mod tests {
             ..TextureStats::default()
         };
         assert!((t.l1_hit_rate() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn audit_accepts_consistent_and_flags_drift() {
+        use pimgfx_engine::trace::StageCounters;
+        let mut r = report(100, 10, 1);
+        assert!(r.audit().is_ok(), "all-zero report conserves trivially");
+        r.shader_busy_cycles = 7;
+        let err = r.audit().expect_err("untraced busy cycles must fail");
+        assert!(err.to_string().contains("shader.alu"), "got: {err}");
+        r.shader_busy_cycles = 0;
+        r.trace.record(stage::ROP, StageCounters::traffic(5, 0));
+        assert!(r.audit().is_err(), "rop ops without retired fragments");
     }
 
     #[test]

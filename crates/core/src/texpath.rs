@@ -24,6 +24,7 @@ use crate::config::SimConfig;
 use crate::design::Design;
 use crate::stats::TextureStats;
 use crate::texunit::TextureUnits;
+use pimgfx_engine::trace::StageTrace;
 use pimgfx_engine::{Cycle, Duration};
 use pimgfx_mem::{packet, MemRequest, MemorySystem, TrafficClass};
 use pimgfx_pim::{AtfimLogicLayer, MtuBank, OffloadUnit, ParentFetchBatch, TextureRequest};
@@ -159,6 +160,22 @@ impl TexturePath {
     /// Latest texture completion (frame-end accounting).
     pub fn last_completion(&self) -> Cycle {
         self.units.last_completion()
+    }
+
+    /// Records every texture-path stage into `trace`: the GPU
+    /// address/filter pipes always, plus the MTU bank (S-TFIM) or the
+    /// A-TFIM logic layer when the design instantiates them. The
+    /// recorded busy cycles conserve [`TexturePath::gpu_busy`] and
+    /// [`TexturePath::pim_busy`] by construction — the auditor checks
+    /// exactly that.
+    pub fn record_trace(&self, trace: &mut StageTrace) {
+        self.units.record_trace(trace);
+        for bank in self.mtus.iter().flatten() {
+            bank.record_trace(trace);
+        }
+        for logic in self.atfim.iter().flatten() {
+            logic.record_trace(trace);
+        }
     }
 
     /// Samples a single fragment (convenience wrapper over

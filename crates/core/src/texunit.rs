@@ -10,6 +10,7 @@
 //! HMC.
 
 use crate::config::TextureUnitConfig;
+use pimgfx_engine::trace::{stage, StageTrace};
 use pimgfx_engine::{Cycle, Duration, Server};
 
 /// The bank of per-cluster texture units.
@@ -34,7 +35,9 @@ impl TextureUnits {
             "texture unit ALU counts must be nonzero"
         );
         Self {
+            // trace:stage(tex.addr)
             addr_pipes: (0..config.units).map(|_| Server::new(1, 1)).collect(),
+            // trace:stage(tex.filter)
             filter_pipes: (0..config.units)
                 .map(|_| Server::new(1, config.pipeline_latency))
                 .collect(),
@@ -97,6 +100,18 @@ impl TextureUnits {
             .collect()
     }
 
+    /// Records the GPU texture stages into a trace: one `tex.addr` and
+    /// one `tex.filter` entry, each merged across all units so
+    /// `busy_cycles` sums to [`TextureUnits::total_busy`].
+    pub fn record_trace(&self, trace: &mut StageTrace) {
+        for pipe in &self.addr_pipes {
+            trace.record_server(stage::TEX_ADDR, pipe);
+        }
+        for pipe in &self.filter_pipes {
+            trace.record_server(stage::TEX_FILTER, pipe);
+        }
+    }
+
     /// Latest completion among all units (frame-end accounting).
     pub fn last_completion(&self) -> Cycle {
         self.filter_pipes
@@ -129,23 +144,24 @@ mod tests {
     #[test]
     fn occupancy_scales_with_texel_count() {
         let mut u = units();
-        // 8 texels at 6 addresses/cycle = 2 slots.
+        // 8 texels at 6 addresses/cycle = 2 slots; the last slot starts
+        // one cycle in, plus the 1-cycle address latency.
         let a8 = u.generate_addresses(0, Cycle::ZERO, 8);
-        assert_eq!(a8, Cycle::new(2 + 1));
+        assert_eq!(a8, Cycle::new(1 + 1));
         // 128 texels (16x aniso) = 22 slots, queued behind the first.
         let a128 = u.generate_addresses(0, Cycle::ZERO, 128);
-        assert_eq!(a128, Cycle::new(2 + 22 + 1));
+        assert_eq!(a128, Cycle::new(2 + 21 + 1));
     }
 
     #[test]
     fn filtering_uses_dual_issue_alus() {
         let mut u = units();
-        // 8 texels at 16/cycle = 1 slot + latency.
+        // 8 texels at 16/cycle = 1 slot; completes at start + latency.
         let f = u.filter(0, Cycle::ZERO, 8);
-        assert_eq!(f, Cycle::new(1 + 8));
-        // 128 texels = 8 slots.
+        assert_eq!(f, Cycle::new(8));
+        // 128 texels = 8 slots; the last starts 7 cycles in.
         let f2 = u.filter(1, Cycle::ZERO, 128);
-        assert_eq!(f2, Cycle::new(8 + 8));
+        assert_eq!(f2, Cycle::new(7 + 8));
     }
 
     #[test]
@@ -160,7 +176,7 @@ mod tests {
     fn zero_texels_clamp_to_one_slot() {
         let mut u = units();
         let f = u.filter(0, Cycle::ZERO, 0);
-        assert_eq!(f, Cycle::new(1 + 8));
+        assert_eq!(f, Cycle::new(8));
     }
 
     #[test]
@@ -174,5 +190,21 @@ mod tests {
         u.reset();
         assert_eq!(u.samples(), 0);
         assert_eq!(u.total_busy(), Duration::ZERO);
+    }
+
+    #[test]
+    fn trace_conserves_busy_cycles() {
+        let mut u = units();
+        u.generate_addresses(0, Cycle::ZERO, 8);
+        u.generate_addresses(3, Cycle::ZERO, 128);
+        u.filter(0, Cycle::new(3), 8);
+        u.filter(3, Cycle::new(5), 128);
+        let mut t = StageTrace::new();
+        u.record_trace(&mut t);
+        assert_eq!(
+            t.counters(stage::TEX_ADDR).busy_cycles + t.counters(stage::TEX_FILTER).busy_cycles,
+            u.total_busy().get()
+        );
+        assert_eq!(t.counters(stage::TEX_FILTER).ops, u.samples());
     }
 }

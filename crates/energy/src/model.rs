@@ -275,6 +275,40 @@ mod tests {
     }
 
     #[test]
+    fn lane_merged_utilization_cannot_overscale_dynamic_energy() {
+        use pimgfx_engine::{Cycle, Utilization};
+
+        // Four lanes each busy 75 of 100 cycles, merged the way
+        // `MultiServer::total_busy` folds per-lane counters together.
+        let mut merged = Utilization::new();
+        for _ in 0..4 {
+            merged.add_busy(Duration::new(75));
+        }
+        let end = Cycle::new(100);
+        let lanes = 4;
+
+        // The regression: the single-lane fraction exceeds 1.0 on a
+        // merged counter, and scaling a lane-budget's worth of busy
+        // cycles by it charges more dynamic energy than the hardware
+        // could physically burn.
+        let naive = merged.fraction_of(end);
+        assert!(naive > 1.0, "merged counter must expose the bug: {naive}");
+        let params = EnergyParams::default();
+        let physical_max_nj = params.shader_cycle_pj * (lanes * 100) as f64 * 1e-3;
+        let mut over = EnergyModel::new(params);
+        over.add_shader_busy(Duration::new((naive * (lanes * 100) as f64).round() as u64));
+        assert!(over.report().shader_nj > physical_max_nj);
+
+        // The lane-aware fraction stays in [0, 1], so the same scaling
+        // can never exceed the all-lanes-always-busy energy ceiling.
+        let f = merged.fraction_of_lanes(end, lanes as usize);
+        assert!((f - 0.75).abs() < 1e-12);
+        let mut m = EnergyModel::new(params);
+        m.add_shader_busy(Duration::new((f * (lanes * 100) as f64).round() as u64));
+        assert!(m.report().shader_nj <= physical_max_nj + 1e-12);
+    }
+
+    #[test]
     fn display_mentions_all_components() {
         let r = EnergyModel::new(EnergyParams::default()).report();
         let s = r.to_string();

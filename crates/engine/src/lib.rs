@@ -14,6 +14,8 @@
 //! * [`Bandwidth`] — a byte-serialized channel (memory buses, HMC serial
 //!   links, TSV columns) with busy-time accounting.
 //! * [`utilization`] — busy-cycle counters shared by the energy model.
+//! * [`trace`] — the per-stage counter registry ([`StageTrace`]) behind
+//!   the workspace's cycle-conservation auditor.
 //!
 //! All primitives are deterministic: replaying the same event stream
 //! yields bit-identical timing.
@@ -24,12 +26,12 @@
 //! use pimgfx_engine::{Cycle, Server};
 //!
 //! // A filtering pipeline: one result per cycle, 4-cycle latency.
-//! // Completion = issue slot (1 cycle) + pipeline latency.
+//! // Completion = start of the op's issue slot + pipeline latency.
 //! let mut alu = Server::new(1, 4);
 //! let c1 = alu.issue(Cycle::ZERO);
 //! let c2 = alu.issue(Cycle::ZERO);
-//! assert_eq!(c1, Cycle::new(5));
-//! assert_eq!(c2, Cycle::new(6)); // second op waits one initiation interval
+//! assert_eq!(c1, Cycle::new(4));
+//! assert_eq!(c2, Cycle::new(5)); // second op waits one initiation interval
 //! ```
 
 // --- lint wall (checked byte-for-byte by `cargo xtask lint`) ---
@@ -41,6 +43,7 @@ pub mod bandwidth;
 pub mod event;
 pub mod server;
 pub mod time;
+pub mod trace;
 pub mod utilization;
 pub mod window;
 
@@ -48,5 +51,6 @@ pub use bandwidth::Bandwidth;
 pub use event::EventQueue;
 pub use server::{MultiServer, Server};
 pub use time::{Cycle, Duration};
+pub use trace::{StageCounters, StageTrace};
 pub use utilization::Utilization;
 pub use window::InFlightWindow;

@@ -16,12 +16,12 @@ use crate::utilization::Utilization;
 /// ```
 /// use pimgfx_engine::{Cycle, Server};
 /// // One op per 2 cycles, 10-cycle pipeline depth.
-/// // Completion = issue slot (2 cycles) + pipeline latency.
+/// // Completion = start of the op's issue slot + pipeline latency.
 /// let mut s = Server::new(2, 10);
+/// assert_eq!(s.issue(Cycle::ZERO), Cycle::new(10));
 /// assert_eq!(s.issue(Cycle::ZERO), Cycle::new(12));
-/// assert_eq!(s.issue(Cycle::ZERO), Cycle::new(14));
 /// // An op arriving after the pipe drained starts immediately.
-/// assert_eq!(s.issue(Cycle::new(100)), Cycle::new(112));
+/// assert_eq!(s.issue(Cycle::new(100)), Cycle::new(110));
 /// ```
 #[derive(Debug, Clone)]
 pub struct Server {
@@ -62,12 +62,20 @@ impl Server {
     /// Issues an operation that occupies `weight` initiation slots (e.g. a
     /// texture request needing `weight` ALU passes). Returns completion
     /// time.
+    ///
+    /// The full occupancy (`weight × initiation_interval`) reserves the
+    /// pipe front end and counts as busy cycles, but completion is the
+    /// *last* initiation slot plus the pipeline latency — the initiation
+    /// interval of the slot itself must not be folded into latency, or a
+    /// `Server::new(2, 10)` would report its first op at cycle 12 instead
+    /// of `start + latency = 10`.
     pub fn issue_weighted(&mut self, arrival: Cycle, weight: u64) -> Cycle {
         let start = arrival.max(self.next_issue);
-        let occupancy = self.initiation_interval.times(weight.max(1));
+        let slots = weight.max(1);
+        let occupancy = self.initiation_interval.times(slots);
         self.next_issue = start + occupancy;
         self.util.add_busy(occupancy);
-        start + occupancy + self.latency
+        start + self.initiation_interval.times(slots - 1) + self.latency
     }
 
     /// The earliest cycle at which a new operation could start.
@@ -98,10 +106,10 @@ impl Server {
 /// use pimgfx_engine::{Cycle, MultiServer};
 /// let mut units = MultiServer::new(2, 1, 5);
 /// // Two ops at t=0 run in parallel on different units.
-/// assert_eq!(units.issue(Cycle::ZERO), Cycle::new(6));
-/// assert_eq!(units.issue(Cycle::ZERO), Cycle::new(6));
+/// assert_eq!(units.issue(Cycle::ZERO), Cycle::new(5));
+/// assert_eq!(units.issue(Cycle::ZERO), Cycle::new(5));
 /// // The third queues behind one of them.
-/// assert_eq!(units.issue(Cycle::ZERO), Cycle::new(7));
+/// assert_eq!(units.issue(Cycle::ZERO), Cycle::new(6));
 /// ```
 #[derive(Debug, Clone)]
 pub struct MultiServer {
@@ -154,6 +162,21 @@ impl MultiServer {
         self.servers.iter().map(|s| s.utilization().busy()).sum()
     }
 
+    /// Lane-merged busy-cycle accounting.
+    ///
+    /// The returned counter sums busy cycles over *all* lanes, so
+    /// fractions must be taken with
+    /// [`Utilization::fraction_of_lanes`], not
+    /// [`Utilization::fraction_of`] — against a single-lane denominator
+    /// the merged counter can exceed 1.0.
+    pub fn utilization(&self) -> Utilization {
+        let mut merged = Utilization::new();
+        for s in &self.servers {
+            merged.merge(s.utilization());
+        }
+        merged
+    }
+
     /// Resets all lanes.
     pub fn reset(&mut self) {
         for s in &mut self.servers {
@@ -183,24 +206,33 @@ mod tests {
     fn server_pipelines_back_to_back_ops() {
         let mut s = Server::new(1, 4);
         let c: Vec<_> = (0..4).map(|_| s.issue(Cycle::ZERO).get()).collect();
-        assert_eq!(c, vec![5, 6, 7, 8]);
+        assert_eq!(c, vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn first_op_completes_at_start_plus_latency() {
+        // The regression the audit layer caught: the initiation interval
+        // must occupy the pipe, not delay the completion of the op itself.
+        let mut s = Server::new(2, 10);
+        assert_eq!(s.issue(Cycle::ZERO), Cycle::new(10));
+        assert_eq!(s.next_free(), Cycle::new(2));
     }
 
     #[test]
     fn server_idles_until_arrival() {
         let mut s = Server::new(1, 0);
         s.issue(Cycle::ZERO);
-        assert_eq!(s.issue(Cycle::new(50)), Cycle::new(51));
+        assert_eq!(s.issue(Cycle::new(50)), Cycle::new(50));
     }
 
     #[test]
     fn weighted_issue_occupies_multiple_slots() {
         let mut s = Server::new(2, 0);
-        // weight 3 => 6 cycles of occupancy.
-        assert_eq!(s.issue_weighted(Cycle::ZERO, 3), Cycle::new(6));
+        // weight 3 => 6 cycles of occupancy; the last slot starts at 4.
+        assert_eq!(s.issue_weighted(Cycle::ZERO, 3), Cycle::new(4));
         assert_eq!(s.next_free(), Cycle::new(6));
         // weight 0 is clamped to 1.
-        assert_eq!(s.issue_weighted(Cycle::ZERO, 0), Cycle::new(8));
+        assert_eq!(s.issue_weighted(Cycle::ZERO, 0), Cycle::new(6));
     }
 
     #[test]
@@ -221,8 +253,8 @@ mod tests {
     fn multi_server_spreads_load() {
         let mut m = MultiServer::new(4, 1, 0);
         let times: Vec<_> = (0..8).map(|_| m.issue(Cycle::ZERO).get()).collect();
-        // 4 lanes: first four finish at 1, next four at 2.
-        assert_eq!(times, vec![1, 1, 1, 1, 2, 2, 2, 2]);
+        // 4 lanes, zero latency: first four finish at 0, next four at 1.
+        assert_eq!(times, vec![0, 0, 0, 0, 1, 1, 1, 1]);
     }
 
     #[test]
@@ -230,8 +262,8 @@ mod tests {
         let mut m = MultiServer::new(2, 1, 0);
         let a = m.issue_on(0, Cycle::ZERO, 1);
         let b = m.issue_on(0, Cycle::ZERO, 1);
-        assert_eq!(a, Cycle::new(1));
-        assert_eq!(b, Cycle::new(2)); // lane 1 never used
+        assert_eq!(a, Cycle::new(0));
+        assert_eq!(b, Cycle::new(1)); // lane 1 never used
     }
 
     #[test]
@@ -251,5 +283,16 @@ mod tests {
         assert_eq!(m.total_busy(), Duration::new(6));
         m.reset();
         assert_eq!(m.total_busy(), Duration::ZERO);
+    }
+
+    #[test]
+    fn multi_utilization_merges_all_lanes() {
+        let mut m = MultiServer::new(3, 2, 5);
+        for _ in 0..5 {
+            m.issue(Cycle::ZERO);
+        }
+        let merged = m.utilization();
+        assert_eq!(merged.busy(), m.total_busy());
+        assert_eq!(merged.events(), 5);
     }
 }

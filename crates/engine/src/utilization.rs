@@ -48,12 +48,40 @@ impl Utilization {
 
     /// Busy fraction of a run that lasted until `end` (0 when `end` is
     /// cycle zero).
+    ///
+    /// Only valid for a *single* resource: a counter merged across
+    /// parallel lanes (e.g. `MultiServer::total_busy`) can exceed `end`
+    /// and push this fraction past 1.0. For merged counters use
+    /// [`Utilization::fraction_of_lanes`].
     pub fn fraction_of(&self, end: Cycle) -> f64 {
         if end.get() == 0 {
             0.0
         } else {
             self.busy.as_f64() / end.as_f64()
         }
+    }
+
+    /// Busy fraction of a run across `lanes` parallel lanes: busy cycles
+    /// divided by `lanes × end` (0 when `end` is cycle zero; `lanes` is
+    /// clamped to at least 1).
+    ///
+    /// Acts as an audit hook: in debug builds, a result above 1.0 —
+    /// meaning more busy cycles were recorded than the lanes could have
+    /// delivered, the over-scaling bug this method exists to prevent —
+    /// trips a `debug_assert`.
+    pub fn fraction_of_lanes(&self, end: Cycle, lanes: usize) -> f64 {
+        if end.get() == 0 {
+            return 0.0;
+        }
+        let lanes = lanes.max(1);
+        let f = self.busy.as_f64() / (end.as_f64() * lanes as f64);
+        debug_assert!(
+            f <= 1.0 + 1e-9,
+            "utilization audit: {} busy cycles exceed {lanes} lane(s) x {} cycles",
+            self.busy,
+            end.get()
+        );
+        f
     }
 
     /// Merges another counter into this one.
@@ -80,6 +108,23 @@ mod tests {
     fn fraction_handles_zero_end() {
         let u = Utilization::new();
         assert_eq!(u.fraction_of(Cycle::ZERO), 0.0);
+        assert_eq!(u.fraction_of_lanes(Cycle::ZERO, 4), 0.0);
+    }
+
+    #[test]
+    fn lane_merged_counters_need_the_lane_aware_fraction() {
+        // 4 lanes each busy 75/100 cycles, merged into one counter.
+        let mut u = Utilization::new();
+        u.add_busy(Duration::new(300));
+        let end = Cycle::new(100);
+        // The single-lane fraction over-reports (this is the energy
+        // over-scaling bug the audit layer guards against)...
+        assert!(u.fraction_of(end) > 1.0);
+        // ...while the lane-aware fraction stays in range.
+        let f = u.fraction_of_lanes(end, 4);
+        assert!((f - 0.75).abs() < 1e-12);
+        // Zero lanes are clamped rather than dividing by zero.
+        assert!((u.fraction_of_lanes(Cycle::new(300), 0) - 1.0).abs() < 1e-12);
     }
 
     #[test]

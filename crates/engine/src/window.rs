@@ -29,6 +29,7 @@ use crate::time::Cycle;
 pub struct InFlightWindow {
     ring: Vec<Cycle>,
     head: usize,
+    stalls: u64,
 }
 
 impl InFlightWindow {
@@ -43,6 +44,7 @@ impl InFlightWindow {
         Self {
             ring: vec![epoch; depth],
             head: 0,
+            stalls: 0,
         }
     }
 
@@ -50,6 +52,24 @@ impl InFlightWindow {
     /// the item `depth` positions back.
     pub fn gate(&self) -> Cycle {
         self.ring[self.head]
+    }
+
+    /// The issue time for an item arriving at `arrival`: the later of
+    /// the arrival and the gate. Counts a stall when the window (not the
+    /// arrival) is the limiter, so backpressure shows up in stage traces.
+    pub fn gate_from(&mut self, arrival: Cycle) -> Cycle {
+        let gate = self.gate();
+        if gate > arrival {
+            self.stalls += 1;
+        }
+        arrival.max(gate)
+    }
+
+    /// Times `gate_from` found the window full (cumulative; survives
+    /// per-frame [`InFlightWindow::reset`] so a whole-trace stage
+    /// breakdown sees every stall).
+    pub fn stalls(&self) -> u64 {
+        self.stalls
     }
 
     /// Records the completion time of the item just issued.
@@ -63,7 +83,8 @@ impl InFlightWindow {
         self.ring.len()
     }
 
-    /// Resets every slot to `epoch` (a new frame).
+    /// Resets every slot to `epoch` (a new frame). The stall counter is
+    /// preserved: a reset marks a frame boundary, not a new trace.
     pub fn reset(&mut self, epoch: Cycle) {
         self.ring.fill(epoch);
         self.head = 0;
@@ -107,6 +128,18 @@ mod tests {
         w.retire(Cycle::new(200));
         w.reset(Cycle::new(50));
         assert_eq!(w.gate(), Cycle::new(50));
+    }
+
+    #[test]
+    fn gate_from_counts_only_real_stalls() {
+        let mut w = InFlightWindow::new(1, Cycle::ZERO);
+        assert_eq!(w.gate_from(Cycle::new(3)), Cycle::new(3));
+        assert_eq!(w.stalls(), 0); // window was open
+        w.retire(Cycle::new(10));
+        assert_eq!(w.gate_from(Cycle::new(4)), Cycle::new(10));
+        assert_eq!(w.stalls(), 1); // window was the limiter
+        w.reset(Cycle::ZERO);
+        assert_eq!(w.stalls(), 1); // frame reset keeps the trace counter
     }
 
     #[test]

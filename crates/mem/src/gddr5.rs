@@ -5,6 +5,7 @@ use crate::layout::AddressLayout;
 use crate::request::MemRequest;
 use crate::traffic::TrafficStats;
 use crate::MemorySystem;
+use pimgfx_engine::trace::{stage, StageTrace};
 use pimgfx_engine::{Bandwidth, Cycle, Duration};
 
 /// Fixed command/address-bus latency per read command, cycles.
@@ -169,6 +170,16 @@ impl Gddr5 {
             .max()
             .unwrap_or(0);
         (bus_busy, max_bus_free, max_bank_free)
+    }
+
+    /// Records the `mem.gddr5.bus` stage: DQ-bus busy cycles, transfer
+    /// events, and wire bytes, merged across all channels. Wire bytes
+    /// include request/response headers and so exceed the per-class
+    /// payload counters — the stage is informational, not audited.
+    pub fn record_channel_trace(&self, trace: &mut StageTrace) {
+        for bus in &self.buses {
+            trace.record_bandwidth(stage::MEM_GDDR5_BUS, bus);
+        }
     }
 
     fn bank_index(&self, addr: u64) -> usize {

@@ -13,6 +13,7 @@ use crate::layout::AddressLayout;
 use crate::request::MemRequest;
 use crate::traffic::TrafficStats;
 use crate::MemorySystem;
+use pimgfx_engine::trace::{stage, StageTrace};
 use pimgfx_engine::{Bandwidth, Cycle, Duration};
 use pimgfx_types::{ConfigError, Result};
 
@@ -234,6 +235,18 @@ impl Hmc {
         }
         self.internal_bytes += u64::from(req.bytes);
         done
+    }
+
+    /// Records the cube's channel stages: `mem.hmc.link` (TX and RX
+    /// SerDes merged) and `mem.hmc.tsv` (all vault columns merged).
+    /// Wire bytes include package headers and per-line splitting, so
+    /// these stages are informational, not audited.
+    pub fn record_channel_trace(&self, trace: &mut StageTrace) {
+        trace.record_bandwidth(stage::MEM_HMC_LINK, &self.link_tx);
+        trace.record_bandwidth(stage::MEM_HMC_LINK, &self.link_rx);
+        for tsv in &self.vault_tsv {
+            trace.record_bandwidth(stage::MEM_HMC_TSV, tsv);
+        }
     }
 
     /// Row-buffer hit rate across all banks.

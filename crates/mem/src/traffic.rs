@@ -5,6 +5,7 @@
 //! compares texture traffic across designs. [`TrafficStats`] collects the
 //! byte counts those figures need.
 
+use pimgfx_engine::trace::{stage, StageCounters, StageTrace};
 use pimgfx_types::ByteCount;
 use std::fmt;
 
@@ -116,6 +117,21 @@ impl TrafficStats {
         }
     }
 
+    /// Records one `mem.external.<label>` stage per traffic class:
+    /// requests as `ops`, bytes as `bytes`. Summed over the
+    /// `mem.external.` prefix, the stage bytes equal
+    /// [`TrafficStats::total`] by construction — the auditor checks
+    /// exactly that against the report totals.
+    pub fn record_trace(&self, trace: &mut StageTrace) {
+        for class in TrafficClass::ALL {
+            let name = format!("{}{}", stage::MEM_EXTERNAL_PREFIX, class.label());
+            trace.record(
+                &name,
+                StageCounters::traffic(self.requests(class), self.bytes(class).get()),
+            );
+        }
+    }
+
     /// Merges another set of counters into this one.
     pub fn merge(&mut self, other: &TrafficStats) {
         for i in 0..5 {
@@ -186,6 +202,21 @@ mod tests {
         t.reset();
         assert_eq!(t.total(), ByteCount::ZERO);
         assert_eq!(t.requests(TrafficClass::Geometry), 0);
+    }
+
+    #[test]
+    fn trace_stages_conserve_totals() {
+        let mut t = TrafficStats::new();
+        t.record(TrafficClass::TextureFetch, 96);
+        t.record(TrafficClass::TextureFetch, 32);
+        t.record(TrafficClass::ZTest, 64);
+        let mut trace = StageTrace::new();
+        t.record_trace(&mut trace);
+        assert_eq!(trace.len(), 5, "one stage per class, even when zero");
+        assert_eq!(trace.bytes_sum(stage::MEM_EXTERNAL_PREFIX), t.total().get());
+        let tex = trace.counters("mem.external.texture");
+        assert_eq!(tex.ops, 2);
+        assert_eq!(tex.bytes, 128);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use crate::consolidate::ChildConsolidator;
 use crate::parent_buffer::ParentTexelBuffer;
+use pimgfx_engine::trace::{stage, StageCounters, StageTrace};
 use pimgfx_engine::{Cycle, Duration, Server};
 use pimgfx_mem::{Hmc, MemRequest, MemorySystem, TrafficClass};
 
@@ -73,6 +74,7 @@ impl TexelGenerator {
     /// Creates the generator.
     pub fn new(alus: u32, stage_latency: u64) -> Self {
         Self {
+            // trace:stage(pim.atfim.generate)
             pipe: Server::new(1, stage_latency),
             alus: alus.max(1),
             generated: 0,
@@ -143,6 +145,7 @@ impl CombinationUnit {
     /// Creates the unit.
     pub fn new(alus: u32, stage_latency: u64) -> Self {
         Self {
+            // trace:stage(pim.atfim.combine)
             pipe: Server::new(1, stage_latency),
             alus: alus.max(1),
             combined: 0,
@@ -288,6 +291,24 @@ impl AtfimLogicLayer {
         self.generator.busy() + self.combiner.busy()
     }
 
+    /// Records the A-TFIM stages: generator and combiner busy cycles
+    /// (summing to [`AtfimLogicLayer::compute_busy`]) plus the Parent
+    /// Texel Buffer's backpressure stalls under `pim.atfim.buffer`.
+    pub fn record_trace(&self, trace: &mut StageTrace) {
+        trace.record(
+            stage::PIM_ATFIM_GENERATE,
+            StageCounters::busy(self.generator.busy().get()).with_ops(self.generator.generated()),
+        );
+        trace.record(
+            stage::PIM_ATFIM_COMBINE,
+            StageCounters::busy(self.combiner.busy().get()).with_ops(self.combiner.combined()),
+        );
+        trace.record(
+            stage::PIM_ATFIM_BUFFER,
+            StageCounters::stalled(self.parent_buffer.stalls()),
+        );
+    }
+
     /// Resets all state.
     pub fn reset(&mut self) {
         self.generator.reset();
@@ -423,6 +444,34 @@ mod tests {
         );
         assert_eq!(resp.completion, Cycle::new(5));
         assert_eq!(resp.child_reads, 0);
+    }
+
+    #[test]
+    fn trace_conserves_compute_busy_and_buffer_stalls() {
+        let mut hmc = Hmc::with_defaults();
+        // A one-entry buffer stalls every multi-parent batch.
+        let cfg = AtfimConfig {
+            parent_buffer_entries: 1,
+            ..AtfimConfig::default()
+        };
+        let mut logic = AtfimLogicLayer::new(cfg);
+        logic.process(Cycle::ZERO, &batch(8, 4), &mut hmc);
+        logic.process(Cycle::ZERO, &batch(8, 4), &mut hmc);
+
+        let mut t = StageTrace::new();
+        logic.record_trace(&mut t);
+        let gen = t.counters(stage::PIM_ATFIM_GENERATE);
+        let com = t.counters(stage::PIM_ATFIM_COMBINE);
+        assert_eq!(
+            gen.busy_cycles + com.busy_cycles,
+            logic.compute_busy().get(),
+            "stage busy cycles conserve compute_busy"
+        );
+        assert_eq!(
+            t.counters(stage::PIM_ATFIM_BUFFER).stalls,
+            logic.parent_buffer().stalls()
+        );
+        assert!(t.counters(stage::PIM_ATFIM_BUFFER).stalls > 0);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! design), and the filtered texture returns over the RX link. When the
 //! queue fills, the MTU asserts a stall back to its shader cluster.
 
+use pimgfx_engine::trace::{stage, StageCounters, StageTrace};
 use pimgfx_engine::{Cycle, Duration, Server};
 use pimgfx_mem::{Hmc, MemRequest, MemorySystem, TrafficClass};
 
@@ -63,7 +64,9 @@ impl Mtu {
     /// Creates an MTU.
     pub fn new(config: MtuConfig) -> Self {
         Self {
+            // trace:stage(pim.mtu.addr)
             addr_pipe: Server::new(1, 1),
+            // trace:stage(pim.mtu.filter)
             filter_pipe: Server::new(1, config.pipeline_latency),
             inflight: std::collections::VecDeque::new(),
             stalls: 0,
@@ -125,6 +128,13 @@ impl Mtu {
     /// Busy cycles of the filtering datapath (for energy).
     pub fn filter_busy(&self) -> Duration {
         self.filter_pipe.utilization().busy()
+    }
+
+    /// Busy cycles of the address-generation pipe (trace-only; the
+    /// energy model's `pim_busy` deliberately covers the filtering
+    /// datapath alone, see `docs/OBSERVABILITY.md`).
+    pub fn addr_busy(&self) -> Duration {
+        self.addr_pipe.utilization().busy()
     }
 
     /// Resets timing state.
@@ -207,6 +217,19 @@ impl MtuBank {
     /// Total filtering-datapath busy cycles across MTUs.
     pub fn filter_busy(&self) -> Duration {
         self.mtus.iter().map(Mtu::filter_busy).sum()
+    }
+
+    /// Records the MTU stages: `pim.mtu.addr` (informational) and
+    /// `pim.mtu.filter`, whose `busy_cycles` equal
+    /// [`MtuBank::filter_busy`] and whose `stalls` are the bank's
+    /// queue-full stalls.
+    pub fn record_trace(&self, trace: &mut StageTrace) {
+        for m in &self.mtus {
+            trace.record_server(stage::PIM_MTU_ADDR, &m.addr_pipe);
+            trace.record_server(stage::PIM_MTU_FILTER, &m.filter_pipe);
+        }
+        let (_, stalls) = self.stats();
+        trace.record(stage::PIM_MTU_FILTER, StageCounters::stalled(stalls));
     }
 
     /// Resets every MTU.
@@ -305,5 +328,27 @@ mod tests {
         bank.reset();
         assert_eq!(bank.stats(), (0, 0));
         assert_eq!(bank.filter_busy(), pimgfx_engine::Duration::ZERO);
+    }
+
+    #[test]
+    fn trace_conserves_filter_busy_and_stalls() {
+        let mut hmc = Hmc::with_defaults();
+        let cfg = MtuConfig {
+            queue_depth: 1,
+            ..MtuConfig::default()
+        };
+        let mut bank = MtuBank::new(2, cfg);
+        for _ in 0..3 {
+            bank.process(0, Cycle::ZERO, &req(4, 32), &mut hmc);
+            bank.process(1, Cycle::ZERO, &req(4, 32), &mut hmc);
+        }
+        let mut t = StageTrace::new();
+        bank.record_trace(&mut t);
+        assert_eq!(
+            t.counters(stage::PIM_MTU_FILTER).busy_cycles,
+            bank.filter_busy().get()
+        );
+        assert_eq!(t.counters(stage::PIM_MTU_FILTER).stalls, bank.stats().1);
+        assert!(t.counters(stage::PIM_MTU_ADDR).busy_cycles > 0);
     }
 }

@@ -16,7 +16,8 @@
 //!
 //! let a = FrameImage::filled(16, 16, Rgba::gray(0.5));
 //! let b = FrameImage::filled(16, 16, Rgba::gray(0.5));
-//! assert_eq!(psnr(&a, &b), 99.0, "identical frames cap at 99 dB");
+//! let db = psnr(&a, &b).expect("same dimensions");
+//! assert_eq!(db, 99.0, "identical frames cap at 99 dB");
 //! ```
 
 // --- lint wall (checked byte-for-byte by `cargo xtask lint`) ---

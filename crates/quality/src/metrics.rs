@@ -1,23 +1,39 @@
 //! PSNR and SSIM between rendered frames.
 
 use crate::image::FrameImage;
+use pimgfx_types::{ConfigError, Error};
 
 /// The PSNR reported for identical images (the convention of the MATLAB
 /// quality-measures tool the paper used, where infinite PSNR is clipped
 /// to 99 dB — the baseline-vs-itself value quoted in §VII-D).
 pub const PSNR_IDENTICAL_DB: f64 = 99.0;
 
+/// Rejects mismatched image dimensions with a descriptive error.
+fn check_dims(metric: &str, a: &FrameImage, b: &FrameImage) -> Result<(), Error> {
+    if (a.width(), a.height()) == (b.width(), b.height()) {
+        Ok(())
+    } else {
+        Err(ConfigError::new(
+            "quality metrics",
+            format!(
+                "{metric} requires same-sized images, got {}x{} vs {}x{}",
+                a.width(),
+                a.height(),
+                b.width(),
+                b.height()
+            ),
+        )
+        .into())
+    }
+}
+
 /// Mean squared error over RGB channels, on the 0–255 scale.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the images differ in size.
-pub fn mse(a: &FrameImage, b: &FrameImage) -> f64 {
-    assert_eq!(
-        (a.width(), a.height()),
-        (b.width(), b.height()),
-        "MSE requires same-sized images"
-    );
+/// Returns [`Error`] if the images differ in size.
+pub fn mse(a: &FrameImage, b: &FrameImage) -> Result<f64, Error> {
+    check_dims("MSE", a, b)?;
     let mut acc = 0.0f64;
     let mut n = 0u64;
     for (pa, pb) in a.iter().zip(b.iter()) {
@@ -27,15 +43,15 @@ pub fn mse(a: &FrameImage, b: &FrameImage) -> f64 {
             n += 1;
         }
     }
-    acc / n as f64
+    Ok(acc / n as f64)
 }
 
 /// Peak signal-to-noise ratio in dB (255 peak), capped at
 /// [`PSNR_IDENTICAL_DB`] for identical images.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the images differ in size.
+/// Returns [`Error`] if the images differ in size.
 ///
 /// # Examples
 ///
@@ -45,16 +61,16 @@ pub fn mse(a: &FrameImage, b: &FrameImage) -> f64 {
 ///
 /// let a = FrameImage::filled(8, 8, Rgba::gray(0.2));
 /// let b = FrameImage::filled(8, 8, Rgba::gray(0.3));
-/// let db = psnr(&a, &b);
+/// let db = psnr(&a, &b).expect("same dimensions");
 /// assert!(db > 15.0 && db < 40.0);
 /// ```
-pub fn psnr(a: &FrameImage, b: &FrameImage) -> f64 {
-    let e = mse(a, b);
+pub fn psnr(a: &FrameImage, b: &FrameImage) -> Result<f64, Error> {
+    let e = mse(a, b)?;
     if e <= 0.0 {
-        return PSNR_IDENTICAL_DB;
+        return Ok(PSNR_IDENTICAL_DB);
     }
     let db = 10.0 * (255.0f64 * 255.0 / e).log10();
-    db.min(PSNR_IDENTICAL_DB)
+    Ok(db.min(PSNR_IDENTICAL_DB))
 }
 
 /// Structural similarity over luma, computed on sliding 8×8 windows
@@ -64,15 +80,11 @@ pub fn psnr(a: &FrameImage, b: &FrameImage) -> f64 {
 /// sensitive metric for the high-quality regime its threshold sweep
 /// operates in; this implementation lets that comparison be made here.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the images differ in size.
-pub fn ssim(a: &FrameImage, b: &FrameImage) -> f64 {
-    assert_eq!(
-        (a.width(), a.height()),
-        (b.width(), b.height()),
-        "SSIM requires same-sized images"
-    );
+/// Returns [`Error`] if the images differ in size.
+pub fn ssim(a: &FrameImage, b: &FrameImage) -> Result<f64, Error> {
+    check_dims("SSIM", a, b)?;
     let luma = |p: pimgfx_types::PackedRgba| {
         0.299 * f64::from(p.r) + 0.587 * f64::from(p.g) + 0.114 * f64::from(p.b)
     };
@@ -128,7 +140,7 @@ pub fn ssim(a: &FrameImage, b: &FrameImage) -> f64 {
         }
         y0 += STRIDE;
     }
-    sum / count as f64
+    Ok(sum / count as f64)
 }
 
 #[cfg(test)]
@@ -143,8 +155,8 @@ mod tests {
     #[test]
     fn identical_images_cap_at_99() {
         let a = gradient();
-        assert_eq!(psnr(&a, &a.clone()), 99.0);
-        assert_eq!(mse(&a, &a.clone()), 0.0);
+        assert_eq!(psnr(&a, &a.clone()).expect("same size"), 99.0);
+        assert_eq!(mse(&a, &a.clone()).expect("same size"), 0.0);
     }
 
     #[test]
@@ -152,8 +164,8 @@ mod tests {
         let a = gradient();
         let slightly = FrameImage::from_fn(16, 16, |x, y| Rgba::gray((x + y) as f32 / 30.0 + 0.01));
         let heavily = FrameImage::from_fn(16, 16, |x, y| Rgba::gray((x + y) as f32 / 30.0 + 0.2));
-        let p_slight = psnr(&a, &slightly);
-        let p_heavy = psnr(&a, &heavily);
+        let p_slight = psnr(&a, &slightly).expect("same size");
+        let p_heavy = psnr(&a, &heavily).expect("same size");
         assert!(p_slight > p_heavy);
         assert!(p_slight > 40.0, "1% error is high quality: {p_slight}");
         assert!(p_heavy < 20.0, "20% error is visible: {p_heavy}");
@@ -165,27 +177,30 @@ mod tests {
         let a = FrameImage::filled(8, 8, Rgba::BLACK);
         let b = FrameImage::from_fn(8, 8, |_, _| Rgba::gray(1.0 / 255.0));
         let expect = 20.0 * 255.0f64.log10();
-        assert!((psnr(&a, &b) - expect).abs() < 0.1);
+        assert!((psnr(&a, &b).expect("same size") - expect).abs() < 0.1);
     }
 
     #[test]
     fn ssim_identical_is_one() {
         let a = gradient();
-        assert!((ssim(&a, &a.clone()) - 1.0).abs() < 1e-9);
+        assert!((ssim(&a, &a.clone()).expect("same size") - 1.0).abs() < 1e-9);
     }
 
     #[test]
     fn ssim_penalizes_structure_loss() {
         let a = gradient();
         let flat = FrameImage::filled(16, 16, Rgba::gray(0.5));
-        assert!(ssim(&a, &flat) < 0.9);
+        assert!(ssim(&a, &flat).expect("same size") < 0.9);
     }
 
     #[test]
-    #[should_panic(expected = "same-sized")]
-    fn size_mismatch_panics() {
+    fn size_mismatch_is_rejected_by_every_metric() {
         let a = FrameImage::filled(4, 4, Rgba::BLACK);
         let b = FrameImage::filled(8, 8, Rgba::BLACK);
-        let _ = psnr(&a, &b);
+        assert!(mse(&a, &b).is_err());
+        assert!(psnr(&a, &b).is_err());
+        assert!(ssim(&a, &b).is_err());
+        let msg = psnr(&a, &b).expect_err("mismatched sizes").to_string();
+        assert!(msg.contains("4x4") && msg.contains("8x8"), "got: {msg}");
     }
 }

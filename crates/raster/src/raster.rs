@@ -125,6 +125,9 @@ impl Rasterizer {
 
     /// Scans a prepared triangle tile by tile.
     fn scan(&mut self, setup: &TriangleSetup, out: &mut Vec<Fragment>) {
+        // `out` is shared across the clipped sub-triangles of one
+        // rasterize() call; count only the fragments this scan appends.
+        let emitted_before = out.len();
         // Hierarchical Z: drop the whole triangle when every overlapped
         // tile is already covered by closer geometry.
         if self.zbuffer.hiz_reject(&setup.bbox, setup.min_depth()) {
@@ -166,7 +169,7 @@ impl Rasterizer {
                 touched.push(tile);
             }
         }
-        self.stats.fragments_out += out.len() as u64;
+        self.stats.fragments_out += (out.len() - emitted_before) as u64;
         self.stats.tiles_touched += touched.len() as u64;
         // Sync the z-test counter kept by the buffer.
         let (tests, _) = self.zbuffer.stats();
@@ -212,6 +215,24 @@ mod tests {
             assert!(f.camera_angle.as_f32() >= 0.0);
             assert!(f.camera_angle.as_f32() <= std::f32::consts::FRAC_PI_2 + 1e-4);
         }
+    }
+
+    #[test]
+    fn clipped_triangles_do_not_double_count_fragments() {
+        let mut r = Rasterizer::new(64, 64);
+        // One vertex behind the camera: near-plane clipping splits the
+        // triangle into two sub-triangles scanned into one output vec.
+        let tri = [
+            Vertex::new(Vec3::new(-1.0, -1.0, 0.0), Vec3::Z, Vec2::ZERO),
+            Vertex::new(Vec3::new(1.0, -1.0, 0.0), Vec3::Z, Vec2::new(1.0, 0.0)),
+            Vertex::new(Vec3::new(0.0, 1.0, 4.5), Vec3::Z, Vec2::new(0.5, 1.0)),
+        ];
+        let frags = r.rasterize(&cam(), &tri);
+        assert!(
+            r.stats().triangles_clipped >= 2,
+            "triangle must actually split for this regression test"
+        );
+        assert_eq!(r.stats().fragments_out, frags.len() as u64);
     }
 
     #[test]

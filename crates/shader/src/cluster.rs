@@ -50,9 +50,10 @@ impl ShaderConfig {
 /// let mut cores = ShaderCores::new(ShaderConfig::default());
 /// let p = ShaderProgram::new(64, 0);
 /// // 256 fragments × 64 ops = 16384 ops; at 64 ops/cycle that is 256
-/// // issue cycles (+ pipeline latency).
+/// // issue cycles; the batch completes when its last issue slot
+/// // (cycle 255) clears the 8-cycle pipeline.
 /// let done = cores.shade_fragments(0, Cycle::ZERO, 256, &p);
-/// assert_eq!(done.get(), 256 + 8);
+/// assert_eq!(done.get(), 255 + 8);
 /// ```
 #[derive(Debug)]
 pub struct ShaderCores {
@@ -140,8 +141,11 @@ mod tests {
     fn empty_batch_still_occupies_one_slot() {
         let mut cores = ShaderCores::new(ShaderConfig::default());
         let p = ShaderProgram::new(0, 0);
+        // A degenerate batch is clamped to one issue slot: it completes
+        // at slot-start + pipeline latency and charges one busy cycle.
         let done = cores.shade_fragments(0, Cycle::ZERO, 0, &p);
-        assert_eq!(done.get(), 1 + 8);
+        assert_eq!(done.get(), 8);
+        assert_eq!(cores.total_busy(), Duration::new(1));
     }
 
     #[test]

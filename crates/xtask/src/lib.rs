@@ -15,6 +15,7 @@
 //! | `unit-cast` | no unit-erasing `.get() as <num>` / `.as_f32() as <num>` on `ByteCount` / `Cycle` / `Duration` / `Radians` outside the owning module |
 //! | `pub-docs` | every public item under `crates/types/src` carries rustdoc (offline, pre-rustc mirror of `deny(missing_docs)`) |
 //! | `lint-wall` | every crate's `lib.rs` carries the canonical lint-wall header, byte-for-byte |
+//! | `trace-stage` | every `Server`/`MultiServer` constructed in `crates/core`, `crates/mem`, `crates/pim` carries a `trace:stage(<name>)` marker tying it to the cycle-conservation trace taxonomy (see `docs/OBSERVABILITY.md`) |
 //! | `manifest` | every `crates/*/Cargo.toml` inherits workspace metadata and uses only workspace-declared dependencies |
 //! | `fig-drift` | `crates/bench/benches/fig*.rs` and the figure-bench references in `EXPERIMENTS.md` stay in sync |
 //!
@@ -131,6 +132,7 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
                 Ok(text) => {
                     diags.extend(rules::no_panic::check(&path, &text));
                     diags.extend(rules::unit_cast::check(&path, &text));
+                    diags.extend(rules::trace_stage::check(&path, &text));
                     if path.starts_with("crates/types/src") {
                         diags.extend(rules::pub_docs::check(&path, &text));
                     }

@@ -259,6 +259,89 @@ pub mod pub_docs {
     }
 }
 
+/// `trace-stage`: every `Server`/`MultiServer` constructed in the
+/// timing crates must be tied to a trace stage.
+///
+/// The cycle-conservation auditor (`docs/OBSERVABILITY.md`) can only
+/// audit what is attributed: a pipeline server constructed without a
+/// stage is busy time that silently never reaches the trace. The rule
+/// requires a `trace:stage(<name>)` marker comment on the construction
+/// line or within the few lines above it (rustfmt may split the
+/// constructor across lines); intentionally untraced units carry a
+/// `lint:allow(trace-stage) — <reason>` justification instead.
+pub mod trace_stage {
+    use super::{source, Diagnostic};
+
+    /// The rule name used in diagnostics and `lint:allow(...)` entries.
+    pub const RULE: &str = "trace-stage";
+
+    /// Crate source trees whose servers feed audited report totals.
+    pub const TRACED_CRATES: [&str; 3] = ["crates/core/src", "crates/mem/src", "crates/pim/src"];
+
+    /// How far above a construction the marker may sit (a rustfmt-split
+    /// `(0..n).map(|_| Server::new(...))` puts it a couple lines up).
+    const MARKER_WINDOW: usize = 3;
+
+    /// Whether the rule applies to `path`.
+    #[must_use]
+    pub fn applies(path: &str) -> bool {
+        TRACED_CRATES.iter().any(|c| path.starts_with(c))
+    }
+
+    fn has_marker(raw_lines: &[&str], idx: usize) -> bool {
+        let lo = idx.saturating_sub(MARKER_WINDOW);
+        raw_lines[lo..=idx.min(raw_lines.len().saturating_sub(1))]
+            .iter()
+            .any(|l| l.contains("trace:stage("))
+    }
+
+    /// Checks one library source file.
+    #[must_use]
+    pub fn check(path: &str, text: &str) -> Vec<Diagnostic> {
+        if !applies(path) {
+            return Vec::new();
+        }
+        let stripped = source::strip(text);
+        let mask = source::test_mask(&stripped);
+        let raw_lines: Vec<&str> = text.lines().collect();
+        let mut out = Vec::new();
+
+        for (idx, line) in stripped.lines().enumerate() {
+            if mask.get(idx).copied().unwrap_or(false) {
+                continue;
+            }
+            if source::allow_missing_reason(raw_lines.get(idx).unwrap_or(&""), RULE) {
+                out.push(Diagnostic {
+                    rule: RULE,
+                    path: path.to_string(),
+                    line: idx + 1,
+                    message: "allowlist entry is missing its justification".to_string(),
+                });
+                continue;
+            }
+            // `MultiServer::new(` contains `Server::new(`, so one
+            // pattern covers both constructors.
+            if !line.contains("Server::new(") {
+                continue;
+            }
+            if has_marker(&raw_lines, idx) || source::is_allowed(&raw_lines, idx, RULE) {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: RULE,
+                path: path.to_string(),
+                line: idx + 1,
+                message: format!(
+                    "server constructed without a `trace:stage(<name>)` marker; \
+                     tie it to a stage in `pimgfx_engine::trace::stage` \
+                     (or justify with `// lint:allow({RULE}) — <reason>`)"
+                ),
+            });
+        }
+        out
+    }
+}
+
 /// `lint-wall`: every crate's `lib.rs` carries the canonical header.
 pub mod lint_wall {
     use super::Diagnostic;

@@ -1,7 +1,7 @@
 //! Self-tests: every lint rule must fire on a seeded violation fixture,
 //! stay quiet on clean code, and honor the allowlist mechanism.
 
-use xtask::rules::{figures, lint_wall, manifest, no_panic, pub_docs, unit_cast};
+use xtask::rules::{figures, lint_wall, manifest, no_panic, pub_docs, trace_stage, unit_cast};
 
 // ---------------------------------------------------------------- no-panic
 
@@ -175,6 +175,63 @@ fn pub_docs_allowlist_follows_house_rules() {
 
     let bare = "pub fn f() {} // lint:allow(pub-docs)\n";
     let diags = pub_docs::check("crates/types/src/lib.rs", bare);
+    assert_eq!(diags.len(), 1);
+    assert!(diags[0].message.contains("justification"), "{}", diags[0]);
+}
+
+// ------------------------------------------------------------- trace-stage
+
+#[test]
+fn trace_stage_fires_on_unmarked_server_construction() {
+    for fixture in [
+        "pub fn f() -> Server { Server::new(1, 4) }\n",
+        "pub fn f() -> MultiServer { MultiServer::new(16, 1, 4) }\n",
+    ] {
+        let diags = trace_stage::check("crates/core/src/texunit.rs", fixture);
+        assert_eq!(diags.len(), 1, "{fixture}");
+        assert_eq!(diags[0].rule, "trace-stage");
+        assert!(diags[0].message.contains("trace:stage"), "{}", diags[0]);
+    }
+}
+
+#[test]
+fn trace_stage_accepts_marked_constructions() {
+    // Same line.
+    let same = "pub fn f() -> Server { Server::new(1, 4) } // trace:stage(tex.filter)\n";
+    assert!(trace_stage::check("crates/pim/src/mtu.rs", same).is_empty());
+
+    // Line above.
+    let above = "\
+// trace:stage(tex.addr)
+pub fn f() -> Server { Server::new(1, 1) }
+";
+    assert!(trace_stage::check("crates/core/src/texunit.rs", above).is_empty());
+
+    // A rustfmt-split construction with the marker a few lines up.
+    let split = "\
+// trace:stage(tex.filter)
+let pipes: Vec<Server> = (0..units)
+    .map(|_| Server::new(1, latency))
+    .collect();
+";
+    assert!(trace_stage::check("crates/core/src/texunit.rs", split).is_empty());
+}
+
+#[test]
+fn trace_stage_scope_tests_and_allowlist() {
+    let bare = "pub fn f() -> Server { Server::new(1, 4) }\n";
+    // Out-of-scope crates are untouched.
+    assert!(trace_stage::check("crates/engine/src/server.rs", bare).is_empty());
+    assert!(trace_stage::check("crates/bench/src/lib.rs", bare).is_empty());
+    // Test code inside a traced crate is exempt.
+    let in_tests = "#[cfg(test)]\nmod tests {\n    fn t() { Server::new(1, 4); }\n}\n";
+    assert!(trace_stage::check("crates/core/src/texunit.rs", in_tests).is_empty());
+    // Allowlist with a reason suppresses; without one it is flagged.
+    let allowed =
+        "let s = Server::new(1, 4); // lint:allow(trace-stage) — measurement scaffold, never ticks the clock\n";
+    assert!(trace_stage::check("crates/mem/src/gddr5.rs", allowed).is_empty());
+    let bare_allow = "let s = Server::new(1, 4); // lint:allow(trace-stage)\n";
+    let diags = trace_stage::check("crates/mem/src/gddr5.rs", bare_allow);
     assert_eq!(diags.len(), 1);
     assert!(diags[0].message.contains("justification"), "{}", diags[0]);
 }

@@ -58,13 +58,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     reference.save_ppm(format!("{out_dir}/ewa_reference.ppm"))?;
 
     println!("{:<26} {:>10} {:>8}", "filter", "PSNR dB", "SSIM");
-    let score = |name: &str, img: &FrameImage| {
+    let score = |name: &str, img: &FrameImage| -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "{:<26} {:>10.1} {:>8.3}",
             name,
-            psnr(&reference, img),
-            ssim(&reference, img)
+            psnr(&reference, img)?,
+            ssim(&reference, img)?
         );
+        Ok(())
     };
 
     // Hardware-style anisotropic probes (what the baseline GPU runs).
@@ -73,7 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         aniso.sample(t, uv, dx, dy).color
     });
     img.save_ppm(format!("{out_dir}/probes_16x.ppm"))?;
-    score("anisotropic probes 16x", &img);
+    score("anisotropic probes 16x", &img)?;
 
     // The A-TFIM reordered form (must match the probes exactly).
     let reordered = Sampler::new(SamplerConfig {
@@ -84,7 +85,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         reordered.sample(t, uv, dx, dy).color
     });
     img.save_ppm(format!("{out_dir}/atfim_reordered.ppm"))?;
-    score("a-tfim reordered (exact)", &img);
+    score("a-tfim reordered (exact)", &img)?;
 
     // Anisotropy capped at 4x (mid-quality setting).
     let aniso4 = Sampler::new(SamplerConfig {
@@ -95,7 +96,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         aniso4.sample(t, uv, dx, dy).color
     });
     img.save_ppm(format!("{out_dir}/probes_4x.ppm"))?;
-    score("anisotropic probes 4x", &img);
+    score("anisotropic probes 4x", &img)?;
 
     // Anisotropy disabled: trilinear over the blurred major axis — the
     // Fig. 4 configuration. Far rows go visibly muddy.
@@ -107,7 +108,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         trilinear.sample(t, uv, dx, dy).color
     });
     img.save_ppm(format!("{out_dir}/aniso_off.ppm"))?;
-    score("anisotropic off (blurry)", &img);
+    score("anisotropic off (blurry)", &img)?;
 
     println!("\nimages written to {out_dir}/ — compare the lower (grazing) half");
     Ok(())

@@ -46,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{:<14} {:>13.2}x {:>10.1} {:>13.2}%",
             format!("{fraction}pi"),
             r.render_speedup_vs(&base),
-            psnr(&base.image, &r.image),
+            psnr(&base.image, &r.image)?,
             recalc * 100.0
         );
     }
@@ -63,7 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<14} {:>13.2}x {:>10.1} {:>13.2}%",
         "no-recalc",
         r.render_speedup_vs(&base),
-        psnr(&base.image, &r.image),
+        psnr(&base.image, &r.image)?,
         0.0
     );
 

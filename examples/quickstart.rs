@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "image quality    : {:.1} dB PSNR",
-        psnr(&base.image, &fast.image)
+        psnr(&base.image, &fast.image)?
     );
     Ok(())
 }

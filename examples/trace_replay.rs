@@ -42,14 +42,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "image match: {:.1} dB PSNR (99.0 = bit-identical)",
-        psnr(&original.image, &replay.image)
+        psnr(&original.image, &replay.image)?
     );
     assert_eq!(
         original.total_cycles, replay.total_cycles,
         "timing must replay exactly"
     );
     assert_eq!(original.traffic.total(), replay.traffic.total());
-    assert_eq!(psnr(&original.image, &replay.image), 99.0);
+    assert_eq!(psnr(&original.image, &replay.image)?, 99.0);
     println!("replay verified bit-identical");
     Ok(())
 }

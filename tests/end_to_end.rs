@@ -44,7 +44,7 @@ fn exact_designs_produce_identical_images() {
     for d in [Design::BPim, Design::STfim] {
         let r = run(d);
         assert_eq!(
-            psnr(&base.image, &r.image),
+            psnr(&base.image, &r.image).expect("same resolution"),
             99.0,
             "{d} must be numerically identical to the baseline"
         );
@@ -55,7 +55,7 @@ fn exact_designs_produce_identical_images() {
 fn atfim_image_is_approximate_but_close() {
     let base = run(Design::Baseline);
     let at = run(Design::ATfim);
-    let db = psnr(&base.image, &at.image);
+    let db = psnr(&base.image, &at.image).expect("same resolution");
     assert!(db > 25.0, "a-tfim too lossy: {db} dB");
     assert!(db < 99.0, "a-tfim at 0.01π must show *some* approximation");
 }
@@ -136,7 +136,7 @@ fn rendering_is_deterministic_across_runs() {
     let b = run(Design::ATfim);
     assert_eq!(a.total_cycles, b.total_cycles);
     assert_eq!(a.traffic.total(), b.traffic.total());
-    assert_eq!(psnr(&a.image, &b.image), 99.0);
+    assert_eq!(psnr(&a.image, &b.image).expect("same resolution"), 99.0);
 }
 
 #[test]

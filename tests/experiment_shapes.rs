@@ -125,7 +125,7 @@ fn fig14_fig15_shape_threshold_monotonicity() {
             &s,
         );
         speedups.push(r.render_speedup_vs(&base));
-        psnrs.push(psnr(&base.image, &r.image));
+        psnrs.push(psnr(&base.image, &r.image).expect("same resolution"));
     }
     assert!(
         speedups[1] >= speedups[0],
@@ -152,9 +152,9 @@ fn zero_threshold_recalculates_everything_exactly() {
     // Recalculating on any angle difference gives near-lossless output
     // (only exactly-equal-angle reuse remains).
     assert!(
-        psnr(&base.image, &exact.image) > 50.0,
+        psnr(&base.image, &exact.image).expect("same resolution") > 50.0,
         "zero threshold should be near-exact: {:.1} dB",
-        psnr(&base.image, &exact.image)
+        psnr(&base.image, &exact.image).expect("same resolution")
     );
 }
 
@@ -204,7 +204,10 @@ fn ablation_package_compression_is_traffic_only() {
     );
     // Compression changes package bytes only — never the rendered image
     // or the offload count.
-    assert_eq!(psnr(&with.image, &without.image), 99.0);
+    assert_eq!(
+        psnr(&with.image, &without.image).expect("same resolution"),
+        99.0
+    );
     assert_eq!(
         with.texture.offload_packages,
         without.texture.offload_packages

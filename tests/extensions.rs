@@ -56,10 +56,10 @@ fn texture_compression_is_lossy_but_mild() {
             .expect("valid"),
         &s,
     );
-    let db = psnr(&raw.image, &bc.image);
+    let db = psnr(&raw.image, &bc.image).expect("same resolution");
     assert!(db < 99.0, "BC1 must introduce some loss");
     assert!(db > 25.0, "BC1 loss should be mild: {db} dB");
-    assert!(ssim(&raw.image, &bc.image) > 0.8);
+    assert!(ssim(&raw.image, &bc.image).expect("same resolution") > 0.8);
 }
 
 #[test]
@@ -98,7 +98,10 @@ fn multi_cube_is_functionally_transparent() {
         &s,
     );
     // The image is identical — cube count is purely structural.
-    assert_eq!(psnr(&one.image, &four.image), 99.0);
+    assert_eq!(
+        psnr(&one.image, &four.image).expect("same resolution"),
+        99.0
+    );
     assert_eq!(one.texture.samples, four.texture.samples);
     // More cubes never slow the render down.
     assert!(four.total_cycles <= one.total_cycles + one.total_cycles / 20);
@@ -131,7 +134,10 @@ fn shared_mtus_contend() {
         private.total_cycles
     );
     // Identical output either way.
-    assert_eq!(psnr(&private.image, &shared.image), 99.0);
+    assert_eq!(
+        psnr(&private.image, &shared.image).expect("same resolution"),
+        99.0
+    );
 }
 
 #[test]
@@ -145,7 +151,7 @@ fn trace_roundtrip_replays_simulation_exactly() {
     let b = run(SimConfig::default(), &replay);
     assert_eq!(a.total_cycles, b.total_cycles);
     assert_eq!(a.traffic.total(), b.traffic.total());
-    assert_eq!(psnr(&a.image, &b.image), 99.0);
+    assert_eq!(psnr(&a.image, &b.image).expect("same resolution"), 99.0);
 }
 
 #[test]
