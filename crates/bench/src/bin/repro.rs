@@ -31,56 +31,17 @@
 use pimgfx::{analyze_overhead, Design, SimConfig};
 use pimgfx_bench::manifest::{CellSummary, FigureTiming, RunManifest};
 use pimgfx_bench::{
-    geomean, mean, CsvSink, Harness, HarnessResult, Sweep, Variant, THRESHOLD_SWEEP,
+    geomean, mean, section_variants, CsvSink, Harness, HarnessResult, Sweep, Variant, SECTIONS,
+    THRESHOLD_SWEEP,
 };
 use pimgfx_mem::TrafficClass;
 use pimgfx_types::ConfigError;
 use pimgfx_workloads::{Game, Resolution};
 use std::time::Instant;
 
-/// Everything `repro` can regenerate, in output order.
-const SECTIONS: [&str; 14] = [
-    "table1", "table2", "fig2", "fig4", "fig5", "fig10", "fig11", "fig12", "fig13", "fig14",
-    "fig15", "fig16", "overhead", "ablation",
-];
-
-/// The design variants a section's cells need (benchmark-matrix cells
-/// only; the ablation section's structural sweeps stay serial because
-/// each probes a bespoke `SimConfig`, not a `Variant`).
-fn section_variants(section: &str) -> Vec<Variant> {
-    let designs = || Design::ALL.map(Variant::Design).to_vec();
-    let thresholds = || {
-        let mut v: Vec<Variant> = vec![Variant::Design(Design::Baseline)];
-        v.extend(THRESHOLD_SWEEP.map(Variant::AtfimThreshold));
-        v.push(Variant::AtfimNoRecalc);
-        v
-    };
-    match section {
-        "fig2" => vec![Variant::Design(Design::Baseline)],
-        "fig4" => vec![Variant::Design(Design::Baseline), Variant::AnisoOff],
-        "fig5" => vec![
-            Variant::Design(Design::Baseline),
-            Variant::Design(Design::BPim),
-        ],
-        "fig10" | "fig11" | "fig13" => designs(),
-        "fig12" => {
-            let mut v = designs();
-            v.push(Variant::AtfimThreshold(0.01));
-            v.push(Variant::AtfimThreshold(0.05));
-            v
-        }
-        "fig14" | "fig15" | "fig16" => thresholds(),
-        "ablation" => vec![
-            Variant::Design(Design::Baseline),
-            Variant::Design(Design::ATfim),
-            Variant::AtfimNoConsolidation,
-            Variant::AtfimNoCompression,
-        ],
-        _ => Vec::new(),
-    }
-}
-
-/// Runs one section's printer.
+/// Runs one section's printer. The section list and per-section variant
+/// sets live in `pimgfx_bench::{SECTIONS, section_variants}`, shared
+/// with the `pimgfx-serve` daemon.
 fn run_section(
     section: &str,
     h: &mut Harness,
@@ -267,6 +228,7 @@ fn main() -> HarnessResult<()> {
         } else {
             cells_executed
         },
+        scene_evictions: h.scene_evictions(),
         total_wall_ms,
         cells_per_sec: if total_wall_ms > 0.0 {
             cell_reports.len() as f64 / (total_wall_ms / 1000.0)

@@ -126,6 +126,56 @@ impl Variant {
 /// first, ending with the no-recalculation configuration.
 pub const THRESHOLD_SWEEP: [f32; 4] = [0.005, 0.01, 0.05, 0.1];
 
+/// Everything the reproduction can regenerate, in output order: the
+/// section names accepted by the `repro` binary and by `pimgfx-serve`
+/// job submissions.
+pub const SECTIONS: [&str; 14] = [
+    "table1", "table2", "fig2", "fig4", "fig5", "fig10", "fig11", "fig12", "fig13", "fig14",
+    "fig15", "fig16", "overhead", "ablation",
+];
+
+/// The design variants a section's benchmark-matrix cells need (empty
+/// for the sections that print static tables or run bespoke structural
+/// sweeps — `table1`, `table2`, `overhead`; the `ablation` section's
+/// structural sweeps stay serial because each probes a bespoke
+/// `SimConfig`, not a [`Variant`]).
+///
+/// Shared between the `repro` precompute fan-out and `pimgfx-serve`
+/// job expansion, so a served section simulates exactly the cells the
+/// batch binary would.
+pub fn section_variants(section: &str) -> Vec<Variant> {
+    let designs = || Design::ALL.map(Variant::Design).to_vec();
+    let thresholds = || {
+        let mut v: Vec<Variant> = vec![Variant::Design(Design::Baseline)];
+        v.extend(THRESHOLD_SWEEP.map(Variant::AtfimThreshold));
+        v.push(Variant::AtfimNoRecalc);
+        v
+    };
+    match section {
+        "fig2" => vec![Variant::Design(Design::Baseline)],
+        "fig4" => vec![Variant::Design(Design::Baseline), Variant::AnisoOff],
+        "fig5" => vec![
+            Variant::Design(Design::Baseline),
+            Variant::Design(Design::BPim),
+        ],
+        "fig10" | "fig11" | "fig13" => designs(),
+        "fig12" => {
+            let mut v = designs();
+            v.push(Variant::AtfimThreshold(0.01));
+            v.push(Variant::AtfimThreshold(0.05));
+            v
+        }
+        "fig14" | "fig15" | "fig16" => thresholds(),
+        "ablation" => vec![
+            Variant::Design(Design::Baseline),
+            Variant::Design(Design::ATfim),
+            Variant::AtfimNoConsolidation,
+            Variant::AtfimNoCompression,
+        ],
+        _ => Vec::new(),
+    }
+}
+
 /// One cell of the experiment matrix: a benchmark column plus the
 /// design variant to simulate on it.
 pub type Cell = (Game, Resolution, Variant);
@@ -255,6 +305,25 @@ impl Harness {
         }
     }
 
+    /// Like [`Harness::new`], but with the scene cache bounded to
+    /// `scene_capacity` resident columns (LRU eviction) — the
+    /// constructor for long-lived processes such as `pimgfx-serve`,
+    /// where an unbounded cache would grow with every distinct column
+    /// ever requested. Evictions are visible via
+    /// [`SceneCache::evictions`] on [`Harness::scenes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` or `scene_capacity` is zero.
+    pub fn with_scene_capacity(frames: usize, scene_capacity: usize) -> Self {
+        assert!(frames > 0, "need at least one frame");
+        Self {
+            frames,
+            scenes: SceneCache::with_capacity(frames, scene_capacity),
+            reports: HashMap::new(),
+        }
+    }
+
     /// Frames per walkthrough column.
     pub fn frames(&self) -> usize {
         self.frames
@@ -281,6 +350,12 @@ impl Harness {
     /// shared across variants and worker threads).
     pub fn scenes(&self) -> &SceneCache {
         &self.scenes
+    }
+
+    /// Scene-cache evictions so far (always 0 for [`Harness::new`]'s
+    /// unbounded cache) — surfaced in the run manifest.
+    pub fn scene_evictions(&self) -> u64 {
+        self.scenes.evictions()
     }
 
     /// Runs (or recalls) one experiment cell.
@@ -754,5 +829,35 @@ doom3,1.50
         assert_eq!(h.frames(), 3);
         assert_eq!(h.scenes().frames(), 3);
         assert!(h.report_cells().is_empty());
+    }
+
+    #[test]
+    fn harness_scene_capacity_bounds_the_cache() {
+        let h = Harness::with_scene_capacity(2, 3);
+        assert_eq!(h.scenes().capacity(), Some(3));
+        assert_eq!(h.scenes().evictions(), 0);
+        assert_eq!(Harness::new(2).scenes().capacity(), None);
+    }
+
+    #[test]
+    fn section_variants_cover_every_section() {
+        // Static sections expand to nothing; every figure section
+        // includes the baseline (the normalization denominator).
+        for s in SECTIONS {
+            let vs = section_variants(s);
+            match s {
+                "table1" | "table2" | "overhead" => assert!(vs.is_empty(), "{s}"),
+                _ => assert!(
+                    vs.contains(&Variant::Design(Design::Baseline)),
+                    "{s} must include the baseline"
+                ),
+            }
+        }
+        assert!(section_variants("not-a-section").is_empty());
+        // fig14-16 sweep every threshold plus the no-recalc point.
+        assert_eq!(
+            section_variants("fig14").len(),
+            1 + THRESHOLD_SWEEP.len() + 1
+        );
     }
 }

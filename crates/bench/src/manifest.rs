@@ -137,6 +137,52 @@ impl CellSummary {
     pub fn audit_ok(&self) -> bool {
         self.trace_audit == "ok"
     }
+
+    /// Serializes this cell as the exact JSON object
+    /// [`RunManifest::to_json`] embeds in `cell_reports`.
+    ///
+    /// Public so other manifest producers (the `pimgfx-serve` per-job
+    /// manifests) emit byte-identical cell records — the served-vs-local
+    /// equivalence test in `crates/serve/tests/` depends on it.
+    pub fn to_json_object(&self) -> String {
+        let mut s = String::with_capacity(512);
+        s.push('{');
+        s.push_str(&format!(
+            "\"column\": {}, \"variant\": {}, \"frames\": {}, \
+             \"total_cycles\": {}, \"texture_samples\": {}, \
+             \"avg_latency_cycles\": {}, \"external_bytes\": {}, \
+             \"texture_bytes\": {}, \"internal_bytes\": {}, \
+             \"energy_nj\": {}, \"trace_audit\": {},\n",
+            quote(&self.column),
+            quote(&self.variant),
+            self.frames,
+            self.total_cycles,
+            self.texture_samples,
+            json_f64(self.avg_latency_cycles),
+            self.external_bytes,
+            self.texture_bytes,
+            self.internal_bytes,
+            json_f64(self.energy_nj),
+            quote(&self.trace_audit)
+        ));
+        s.push_str("     \"stages\": [");
+        for (j, stage) in self.stages.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "{{\"stage\": {}, \"busy_cycles\": {}, \"ops\": {}, \
+                 \"bytes\": {}, \"stalls\": {}}}",
+                quote(&stage.stage),
+                stage.busy_cycles,
+                stage.ops,
+                stage.bytes,
+                stage.stalls
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
 }
 
 /// The manifest of one `repro` sweep.
@@ -158,6 +204,10 @@ pub struct RunManifest {
     pub config_digest: String,
     /// Distinct simulation cells executed.
     pub cells: usize,
+    /// Scene-cache columns evicted during the run (always 0 for the
+    /// unbounded default cache; nonzero only under a configured LRU
+    /// bound). Additive field; consumers ignoring it keep working.
+    pub scene_evictions: u64,
     /// End-to-end wall-clock milliseconds for the whole sweep.
     pub total_wall_ms: f64,
     /// Cells per wall-clock second (0 when no cell ran).
@@ -181,6 +231,12 @@ impl RunManifest {
         push_kv(&mut s, 1, "workers", &self.workers.to_string());
         push_kv(&mut s, 1, "config_digest", &quote(&self.config_digest));
         push_kv(&mut s, 1, "cells", &self.cells.to_string());
+        push_kv(
+            &mut s,
+            1,
+            "scene_evictions",
+            &self.scene_evictions.to_string(),
+        );
         push_kv(&mut s, 1, "total_wall_ms", &json_f64(self.total_wall_ms));
         push_kv(&mut s, 1, "cells_per_sec", &json_f64(self.cells_per_sec));
 
@@ -203,41 +259,8 @@ impl RunManifest {
 
         s.push_str("  \"cell_reports\": [\n");
         for (i, c) in self.cell_reports.iter().enumerate() {
-            s.push_str("    {");
-            s.push_str(&format!(
-                "\"column\": {}, \"variant\": {}, \"frames\": {}, \
-                 \"total_cycles\": {}, \"texture_samples\": {}, \
-                 \"avg_latency_cycles\": {}, \"external_bytes\": {}, \
-                 \"texture_bytes\": {}, \"internal_bytes\": {}, \
-                 \"energy_nj\": {}, \"trace_audit\": {},\n",
-                quote(&c.column),
-                quote(&c.variant),
-                c.frames,
-                c.total_cycles,
-                c.texture_samples,
-                json_f64(c.avg_latency_cycles),
-                c.external_bytes,
-                c.texture_bytes,
-                c.internal_bytes,
-                json_f64(c.energy_nj),
-                quote(&c.trace_audit)
-            ));
-            s.push_str("     \"stages\": [");
-            for (j, stage) in c.stages.iter().enumerate() {
-                if j > 0 {
-                    s.push_str(", ");
-                }
-                s.push_str(&format!(
-                    "{{\"stage\": {}, \"busy_cycles\": {}, \"ops\": {}, \
-                     \"bytes\": {}, \"stalls\": {}}}",
-                    quote(&stage.stage),
-                    stage.busy_cycles,
-                    stage.ops,
-                    stage.bytes,
-                    stage.stalls
-                ));
-            }
-            s.push_str("]}");
+            s.push_str("    ");
+            s.push_str(&c.to_json_object());
             if i + 1 < self.cell_reports.len() {
                 s.push(',');
             }
@@ -294,7 +317,13 @@ fn json_f64(x: f64) -> String {
 }
 
 /// Minimal JSON string quoting (the labels we emit are ASCII, but stay
-/// correct for arbitrary input).
+/// correct for arbitrary input). Public so other zero-dependency JSON
+/// writers in the workspace (the `pimgfx-serve` job manifests) quote
+/// identically to this module.
+pub fn json_quote(s: &str) -> String {
+    quote(s)
+}
+
 fn quote(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
@@ -326,6 +355,7 @@ mod tests {
             workers: 4,
             config_digest: fnv1a_digest("frames=2;quick"),
             cells: 3,
+            scene_evictions: 0,
             total_wall_ms: 1234.5,
             cells_per_sec: 2.43,
             figures: vec![
@@ -384,6 +414,7 @@ mod tests {
             "workers",
             "config_digest",
             "cells",
+            "scene_evictions",
             "total_wall_ms",
             "cells_per_sec",
             "figures",
@@ -432,6 +463,21 @@ mod tests {
     fn quoting_escapes_specials() {
         assert_eq!(quote("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
         assert_eq!(quote("\u{1}"), "\"\\u0001\"");
+        assert_eq!(json_quote("a\"b"), quote("a\"b"));
+    }
+
+    #[test]
+    fn cell_object_is_embedded_verbatim_in_manifest() {
+        // `pimgfx-serve` job manifests embed `CellSummary::to_json_object`
+        // directly; served results are only byte-comparable with local
+        // runs if the sweep manifest embeds the very same bytes.
+        let m = sample();
+        let cell = m.cell_reports[0].to_json_object();
+        assert!(cell.starts_with('{') && cell.ends_with('}'), "{cell}");
+        assert!(
+            m.to_json().contains(&cell),
+            "manifest does not embed the cell object verbatim:\n{cell}"
+        );
     }
 
     #[test]

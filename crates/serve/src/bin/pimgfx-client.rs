@@ -1,0 +1,272 @@
+//! `pimgfx-client` — CLI for a running `pimgfx-serve` daemon.
+//!
+//! ```text
+//! pimgfx-client --addr HOST:PORT submit --game G --resolution WxH
+//!               [--variant LABEL]... [--section NAME]... [--trace]
+//!               [--deadline-ms N] [--wait] [--timeout-ms N]
+//! pimgfx-client --addr HOST:PORT status JOB
+//! pimgfx-client --addr HOST:PORT wait JOB [--timeout-ms N]
+//! pimgfx-client --addr HOST:PORT fetch JOB [--out FILE]
+//! pimgfx-client --addr HOST:PORT cancel JOB
+//! pimgfx-client --addr HOST:PORT shutdown
+//! ```
+//!
+//! Exit codes: 0 success, 1 failure, **2** when the server rejected a
+//! submission with `Busy` backpressure, 3 when it is shutting down.
+
+use pimgfx_serve::job::variant_from_label;
+use pimgfx_serve::{Client, JobId, JobSpec, JobState, Response};
+use pimgfx_workloads::{Game, Resolution};
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "usage: pimgfx-client --addr HOST:PORT \
+<submit|status|wait|fetch|cancel|shutdown> [options]";
+
+const EXIT_BUSY: u8 = 2;
+const EXIT_DRAINING: u8 = 3;
+
+fn take_value(args: &[String], flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    args.get(i + 1).cloned()
+}
+
+fn take_values(args: &[String], flag: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for (i, a) in args.iter().enumerate() {
+        if a == flag {
+            if let Some(v) = args.get(i + 1) {
+                out.push(v.clone());
+            }
+        }
+    }
+    out
+}
+
+fn parse_game(s: &str) -> Option<Game> {
+    Game::ALL.into_iter().find(|g| g.label() == s)
+}
+
+fn parse_resolution(s: &str) -> Option<Resolution> {
+    Resolution::ALL.into_iter().find(|r| r.to_string() == s)
+}
+
+fn parse_job(args: &[String]) -> Option<JobId> {
+    args.iter()
+        .find(|a| !a.starts_with("--"))
+        .and_then(|a| a.parse().ok())
+}
+
+fn timeout_of(args: &[String]) -> Duration {
+    let ms = take_value(args, "--timeout-ms")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(600_000u64);
+    Duration::from_millis(ms)
+}
+
+fn wait_and_report(client: &mut Client, id: JobId, timeout: Duration) -> ExitCode {
+    match client.wait(id, timeout, Duration::from_millis(100)) {
+        Ok(JobState::Done { cells }) => {
+            println!("done: {cells} cells");
+            ExitCode::SUCCESS
+        }
+        Ok(JobState::Failed(m)) => {
+            eprintln!("failed: {m}");
+            ExitCode::FAILURE
+        }
+        Ok(JobState::Cancelled(m)) => {
+            eprintln!("cancelled: {m}");
+            ExitCode::FAILURE
+        }
+        Ok(other) => {
+            eprintln!("unexpected non-terminal state: {other:?}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn submit(client: &mut Client, args: &[String]) -> ExitCode {
+    let Some(game) = take_value(args, "--game").as_deref().and_then(parse_game) else {
+        let labels: Vec<&str> = Game::ALL.iter().map(|g| g.label()).collect();
+        eprintln!("error: --game must be one of: {}", labels.join(", "));
+        return ExitCode::FAILURE;
+    };
+    let Some(resolution) = take_value(args, "--resolution")
+        .as_deref()
+        .and_then(parse_resolution)
+    else {
+        let labels: Vec<String> = Resolution::ALL.iter().map(|r| r.to_string()).collect();
+        eprintln!("error: --resolution must be one of: {}", labels.join(", "));
+        return ExitCode::FAILURE;
+    };
+    let mut variants = Vec::new();
+    for label in take_values(args, "--variant") {
+        match variant_from_label(&label) {
+            Some(v) => variants.push(v),
+            None => {
+                eprintln!("error: unknown variant label `{label}` (try `baseline`, `a-tfim`, `a-tfim@0.05pi`, ...)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let spec = JobSpec {
+        game,
+        resolution,
+        variants,
+        sections: take_values(args, "--section"),
+        trace: args.iter().any(|a| a == "--trace"),
+        deadline_ms: take_value(args, "--deadline-ms")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0),
+    };
+    match client.submit(&spec) {
+        Ok(Response::Submitted(id)) => {
+            println!("job {id}");
+            if args.iter().any(|a| a == "--wait") {
+                wait_and_report(client, id, timeout_of(args))
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Ok(Response::Busy { depth, capacity }) => {
+            eprintln!("busy: {depth}/{capacity} jobs outstanding; retry later");
+            ExitCode::from(EXIT_BUSY)
+        }
+        Ok(Response::ShuttingDown) => {
+            eprintln!("server is draining and refuses new jobs");
+            ExitCode::from(EXIT_DRAINING)
+        }
+        Ok(Response::Error(e)) => {
+            eprintln!("rejected: {e}");
+            ExitCode::FAILURE
+        }
+        Ok(other) => {
+            eprintln!("unexpected response: {other:?}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
+        eprintln!("{USAGE}");
+        return if args.is_empty() {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+    let Some(addr) = take_value(&args, "--addr") else {
+        eprintln!("error: --addr HOST:PORT is required\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let Some(cmd_at) = args.iter().position(|a| {
+        matches!(
+            a.as_str(),
+            "submit" | "status" | "wait" | "fetch" | "cancel" | "shutdown"
+        )
+    }) else {
+        eprintln!("error: no command\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let cmd = args[cmd_at].clone();
+    let rest: Vec<String> = args[cmd_at + 1..].to_vec();
+
+    let mut client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: connecting to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match cmd.as_str() {
+        "submit" => submit(&mut client, &rest),
+        "status" => {
+            let Some(id) = parse_job(&rest) else {
+                eprintln!("error: status needs a job id");
+                return ExitCode::FAILURE;
+            };
+            match client.status(id) {
+                Ok(state) => {
+                    println!("{state:?}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "wait" => {
+            let Some(id) = parse_job(&rest) else {
+                eprintln!("error: wait needs a job id");
+                return ExitCode::FAILURE;
+            };
+            wait_and_report(&mut client, id, timeout_of(&rest))
+        }
+        "fetch" => {
+            let Some(id) = parse_job(&rest) else {
+                eprintln!("error: fetch needs a job id");
+                return ExitCode::FAILURE;
+            };
+            match client.fetch_manifest(id) {
+                Ok(manifest) => {
+                    if let Some(path) = take_value(&rest, "--out") {
+                        if let Err(e) = std::fs::write(&path, &manifest) {
+                            eprintln!("error: writing {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                        eprintln!("wrote {path}");
+                    } else {
+                        print!("{manifest}");
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "cancel" => {
+            let Some(id) = parse_job(&rest) else {
+                eprintln!("error: cancel needs a job id");
+                return ExitCode::FAILURE;
+            };
+            match client.cancel(id) {
+                Ok(state) => {
+                    println!("{state:?}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "shutdown" => match client.shutdown() {
+            Ok(()) => {
+                eprintln!("server is draining");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        other => {
+            eprintln!("error: unknown command `{other}`\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,531 @@
+//! The `pimgfx-serve` daemon: accept loop, scheduler, and drain logic.
+//!
+//! One scheduler thread pops job tokens off the bounded queue and runs
+//! each job's cells through `pimgfx_bench::pool` over a shared
+//! [`SceneCache`]; connection handlers are cheap detached threads that
+//! only parse frames and touch the job registry. Graceful drain (a
+//! `Shutdown` request, or [`DrainHandle::drain`] from a signal
+//! watcher) finishes every accepted job, flushes results, refuses new
+//! submissions with `ShuttingDown`, and returns from [`Server::run`]
+//! so the process can exit 0.
+
+use crate::job::{job_manifest_json, job_variants};
+use crate::protocol::{self, JobId, JobSpec, JobState, Request, Response};
+use crate::queue::{BoundedQueue, PushError};
+use pimgfx_bench::manifest::CellSummary;
+use pimgfx_bench::{pool, run_variant, Harness, HarnessResult, SECTIONS};
+use pimgfx_types::{ConfigError, Error};
+use pimgfx_workloads::{Game, SceneCache};
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Frames simulated per job column.
+    pub frames: usize,
+    /// Bound on outstanding jobs (queued + running); submissions over
+    /// it get `Busy`.
+    pub queue_capacity: usize,
+    /// Default per-job deadline in milliseconds applied when a spec
+    /// says 0; 0 here means "no deadline".
+    pub default_deadline_ms: u64,
+    /// Optional LRU bound on resident scene columns (`None` =
+    /// unbounded, matching the local harness default).
+    pub scene_capacity: Option<usize>,
+    /// When set, every finished job's manifest is also flushed to
+    /// `<dir>/job-<id>.json`.
+    pub results_dir: Option<PathBuf>,
+    /// Test scaffolding: sleep this long before a job's first cell,
+    /// widening backpressure/cancellation windows deterministically
+    /// (the daemon maps `PIMGFX_SERVE_HOLD_MS` onto it).
+    pub hold_before_job: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            frames: 2,
+            queue_capacity: 4,
+            default_deadline_ms: 0,
+            scene_capacity: None,
+            results_dir: None,
+            hold_before_job: Duration::ZERO,
+        }
+    }
+}
+
+/// Job execution phase, kept in the server-side registry.
+#[derive(Debug)]
+enum Phase {
+    Queued,
+    Running { done: Arc<AtomicU32>, total: u32 },
+    Done { manifest: String, cells: u32 },
+    Failed(String),
+    Cancelled(String),
+}
+
+#[derive(Debug)]
+struct JobEntry {
+    spec: JobSpec,
+    cancel: Arc<AtomicBool>,
+    phase: Phase,
+}
+
+#[derive(Debug)]
+struct Shared {
+    config: ServeConfig,
+    queue: BoundedQueue<JobId>,
+    jobs: Mutex<HashMap<JobId, JobEntry>>,
+    next_id: AtomicU64,
+    draining: Arc<AtomicBool>,
+    scenes: SceneCache,
+}
+
+impl Shared {
+    /// Registry state is plain data; recover from a poisoned lock
+    /// rather than wedging every connection.
+    fn jobs(&self) -> MutexGuard<'_, HashMap<JobId, JobEntry>> {
+        self.jobs.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn set_phase(&self, id: JobId, phase: Phase) {
+        if let Some(entry) = self.jobs().get_mut(&id) {
+            entry.phase = phase;
+        }
+    }
+}
+
+/// Handle for requesting a graceful drain from outside the server
+/// (e.g. a SIGTERM watcher thread in the daemon binary).
+#[derive(Debug, Clone)]
+pub struct DrainHandle(Arc<AtomicBool>);
+
+impl DrainHandle {
+    /// Starts the drain: in-flight and queued jobs finish, new
+    /// submissions are refused, and [`Server::run`] returns.
+    pub fn drain(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+}
+
+/// A bound, not-yet-running server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listener and builds the shared state.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address cannot be bound or the configuration is
+    /// invalid (zero frames or queue capacity).
+    pub fn bind(config: ServeConfig) -> HarnessResult<Self> {
+        if config.frames == 0 {
+            return Err(ConfigError::new("pimgfx-serve", "frames must be at least 1").into());
+        }
+        if config.queue_capacity == 0 {
+            return Err(
+                ConfigError::new("pimgfx-serve", "queue capacity must be at least 1").into(),
+            );
+        }
+        if let Some(0) = config.scene_capacity {
+            return Err(ConfigError::new(
+                "pimgfx-serve",
+                "scene cache capacity must be at least 1 column (omit for unbounded)",
+            )
+            .into());
+        }
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| Error::io(format!("binding {}", config.addr), e))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| Error::io("reading bound address", e))?;
+        let scenes = match config.scene_capacity {
+            Some(cap) => SceneCache::with_capacity(config.frames, cap),
+            None => SceneCache::new(config.frames),
+        };
+        let queue = BoundedQueue::new(config.queue_capacity);
+        Ok(Self {
+            listener,
+            addr,
+            shared: Arc::new(Shared {
+                config,
+                queue,
+                jobs: Mutex::new(HashMap::new()),
+                next_id: AtomicU64::new(0),
+                draining: Arc::new(AtomicBool::new(false)),
+                scenes,
+            }),
+        })
+    }
+
+    /// The actually bound address (resolves an ephemeral port request).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle that triggers a graceful drain from another thread.
+    pub fn drain_handle(&self) -> DrainHandle {
+        DrainHandle(Arc::clone(&self.shared.draining))
+    }
+
+    /// Runs the daemon until drained: accepts connections, schedules
+    /// jobs, and returns `Ok(())` once a drain request has been
+    /// honored (all accepted jobs finished, results flushed).
+    ///
+    /// # Errors
+    ///
+    /// Fails on fatal listener errors or a panicked scheduler thread.
+    pub fn run(self) -> HarnessResult<()> {
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| Error::io("setting listener nonblocking", e))?;
+        let shared = self.shared;
+        let scheduler = {
+            let sh = Arc::clone(&shared);
+            std::thread::spawn(move || scheduler_loop(&sh))
+        };
+        let fatal = loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let sh = Arc::clone(&shared);
+                    // Detached on purpose: a drain must not wait on
+                    // idle client connections, only on accepted jobs.
+                    std::thread::spawn(move || handle_connection(&sh, stream));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if shared.draining.load(Ordering::SeqCst) && shared.queue.is_idle() {
+                        break None;
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    shared.draining.store(true, Ordering::SeqCst);
+                    break Some(Error::io("accepting connection", e));
+                }
+            }
+        };
+        shared.queue.close();
+        if scheduler.join().is_err() {
+            return Err(ConfigError::new("pimgfx-serve", "scheduler thread panicked").into());
+        }
+        match fatal {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+fn scheduler_loop(shared: &Shared) {
+    loop {
+        match shared.queue.pop_timeout(Duration::from_millis(50)) {
+            Some(id) => {
+                execute_job(shared, id);
+                shared.queue.task_done();
+            }
+            None => {
+                let drained = shared.draining.load(Ordering::SeqCst) && shared.queue.is_idle();
+                if drained || shared.queue.is_closed() {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Runs one job to a terminal phase. Never panics: every failure path
+/// lands in `Phase::Failed`/`Phase::Cancelled` so clients always get
+/// an answer.
+fn execute_job(shared: &Shared, id: JobId) {
+    let (spec, cancel, done) = {
+        let mut jobs = shared.jobs();
+        let Some(entry) = jobs.get_mut(&id) else {
+            return;
+        };
+        if entry.cancel.load(Ordering::SeqCst) {
+            entry.phase = Phase::Cancelled("cancelled before start".to_string());
+            return;
+        }
+        let variants = job_variants(&entry.spec);
+        let total = u32::try_from(variants.len()).unwrap_or(u32::MAX);
+        let done = Arc::new(AtomicU32::new(0));
+        entry.phase = Phase::Running {
+            done: Arc::clone(&done),
+            total,
+        };
+        (entry.spec.clone(), Arc::clone(&entry.cancel), done)
+    };
+
+    let deadline_ms = if spec.deadline_ms > 0 {
+        spec.deadline_ms
+    } else {
+        shared.config.default_deadline_ms
+    };
+    let deadline = (deadline_ms > 0).then(|| Instant::now() + Duration::from_millis(deadline_ms));
+    if shared.config.hold_before_job > Duration::ZERO {
+        std::thread::sleep(shared.config.hold_before_job);
+    }
+
+    let variants = job_variants(&spec);
+    let total = variants.len();
+    let workers = match pool::worker_count(total) {
+        Ok(w) => w,
+        Err(e) => {
+            shared.set_phase(id, Phase::Failed(format!("resolving worker count: {e}")));
+            return;
+        }
+    };
+    // Columns are validated against Table II at submission, so the
+    // scene build cannot hit the cache's invalid-column panic here.
+    let scene = shared.scenes.get(spec.game, spec.resolution);
+    let results = pool::run_ordered(&variants, workers, |&v| {
+        let expired = deadline.is_some_and(|d| Instant::now() >= d);
+        if cancel.load(Ordering::SeqCst) || expired {
+            None
+        } else {
+            done.fetch_add(1, Ordering::SeqCst);
+            Some(run_variant(&scene, v))
+        }
+    });
+
+    let skipped = results.iter().filter(|r| r.is_none()).count();
+    if skipped > 0 {
+        let ran = total - skipped;
+        let reason = if cancel.load(Ordering::SeqCst) {
+            format!("cancelled by client after {ran} of {total} cells")
+        } else {
+            format!("deadline of {deadline_ms} ms exceeded after {ran} of {total} cells")
+        };
+        shared.set_phase(id, Phase::Cancelled(reason));
+        return;
+    }
+
+    let column = Harness::column_label(spec.game, spec.resolution);
+    let mut cells: Vec<CellSummary> = Vec::with_capacity(total);
+    for (v, res) in variants.iter().zip(results) {
+        match res {
+            Some(Ok(report)) => {
+                cells.push(CellSummary::from_report(&column, &v.label(), &report));
+            }
+            Some(Err(e)) => {
+                shared.set_phase(id, Phase::Failed(format!("cell {}: {e}", v.label())));
+                return;
+            }
+            None => {}
+        }
+    }
+
+    if spec.trace {
+        let bad = cells.iter().filter(|c| !c.audit_ok()).count();
+        if bad > 0 {
+            shared.set_phase(
+                id,
+                Phase::Failed(format!(
+                    "trace audit failed for {bad} of {} cells",
+                    cells.len()
+                )),
+            );
+            return;
+        }
+    }
+
+    let manifest = job_manifest_json(id, &spec, shared.config.frames, &cells);
+    if let Some(dir) = &shared.config.results_dir {
+        let write = std::fs::create_dir_all(dir)
+            .and_then(|()| std::fs::write(dir.join(format!("job-{id}.json")), &manifest));
+        if let Err(e) = write {
+            shared.set_phase(
+                id,
+                Phase::Failed(format!("writing result to {}: {e}", dir.display())),
+            );
+            return;
+        }
+    }
+    let cell_count = u32::try_from(cells.len()).unwrap_or(u32::MAX);
+    shared.set_phase(
+        id,
+        Phase::Done {
+            manifest,
+            cells: cell_count,
+        },
+    );
+}
+
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        match protocol::read_request(&mut reader) {
+            Ok(Some(req)) => {
+                let resp = dispatch(shared, &req);
+                if protocol::write_response(&mut writer, &resp).is_err() {
+                    break;
+                }
+            }
+            Ok(None) => break,
+            Err(e) => {
+                // Best-effort error reply; the connection is done
+                // either way (framing is unrecoverable mid-stream).
+                let _ = protocol::write_response(
+                    &mut writer,
+                    &Response::Error(format!("protocol error: {e}")),
+                );
+                break;
+            }
+        }
+    }
+}
+
+fn dispatch(shared: &Shared, req: &Request) -> Response {
+    match req {
+        Request::SubmitJob(spec) => submit(shared, spec),
+        Request::JobStatus(id) => status(shared, *id),
+        Request::FetchResult(id) => fetch(shared, *id),
+        Request::CancelJob(id) => cancel(shared, *id),
+        Request::Shutdown => {
+            shared.draining.store(true, Ordering::SeqCst);
+            Response::ShuttingDown
+        }
+    }
+}
+
+fn submit(shared: &Shared, spec: &JobSpec) -> Response {
+    if shared.draining.load(Ordering::SeqCst) {
+        return Response::ShuttingDown;
+    }
+    if !Game::benchmark_matrix().contains(&(spec.game, spec.resolution)) {
+        return Response::Error(format!(
+            "{} is not a Table II benchmark column",
+            Harness::column_label(spec.game, spec.resolution)
+        ));
+    }
+    for s in &spec.sections {
+        if !SECTIONS.contains(&s.as_str()) {
+            return Response::Error(format!(
+                "unknown section `{s}` (expected one of: {})",
+                SECTIONS.join(", ")
+            ));
+        }
+    }
+    if job_variants(spec).is_empty() {
+        return Response::Error(
+            "job selects no simulation cells; pass variants or figure sections".to_string(),
+        );
+    }
+    let id = shared.next_id.fetch_add(1, Ordering::SeqCst) + 1;
+    shared.jobs().insert(
+        id,
+        JobEntry {
+            spec: spec.clone(),
+            cancel: Arc::new(AtomicBool::new(false)),
+            phase: Phase::Queued,
+        },
+    );
+    match shared.queue.try_push(id) {
+        Ok(()) => Response::Submitted(id),
+        Err(PushError::Full { depth, capacity }) => {
+            shared.jobs().remove(&id);
+            Response::Busy {
+                depth: u32::try_from(depth).unwrap_or(u32::MAX),
+                capacity: u32::try_from(capacity).unwrap_or(u32::MAX),
+            }
+        }
+        Err(PushError::Closed) => {
+            shared.jobs().remove(&id);
+            Response::ShuttingDown
+        }
+    }
+}
+
+fn state_of(entry: &JobEntry) -> JobState {
+    match &entry.phase {
+        Phase::Queued => JobState::Queued,
+        Phase::Running { done, total } => JobState::Running {
+            done: done.load(Ordering::SeqCst),
+            total: *total,
+        },
+        Phase::Done { cells, .. } => JobState::Done { cells: *cells },
+        Phase::Failed(m) => JobState::Failed(m.clone()),
+        Phase::Cancelled(m) => JobState::Cancelled(m.clone()),
+    }
+}
+
+fn status(shared: &Shared, id: JobId) -> Response {
+    match shared.jobs().get(&id) {
+        Some(entry) => Response::Status(state_of(entry)),
+        None => Response::Error(format!("unknown job {id}")),
+    }
+}
+
+fn fetch(shared: &Shared, id: JobId) -> Response {
+    match shared.jobs().get(&id) {
+        Some(entry) => match &entry.phase {
+            Phase::Done { manifest, .. } => Response::JobResult {
+                manifest_json: manifest.clone(),
+            },
+            Phase::Failed(m) => Response::Error(format!("job {id} failed: {m}")),
+            Phase::Cancelled(m) => Response::Error(format!("job {id} was cancelled: {m}")),
+            Phase::Queued | Phase::Running { .. } => {
+                Response::Error(format!("job {id} is not finished"))
+            }
+        },
+        None => Response::Error(format!("unknown job {id}")),
+    }
+}
+
+fn cancel(shared: &Shared, id: JobId) -> Response {
+    match shared.jobs().get(&id) {
+        Some(entry) => {
+            entry.cancel.store(true, Ordering::SeqCst);
+            Response::Status(state_of(entry))
+        }
+        None => Response::Error(format!("unknown job {id}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_validates_configuration() {
+        let bad_frames = ServeConfig {
+            frames: 0,
+            ..ServeConfig::default()
+        };
+        assert!(Server::bind(bad_frames).is_err());
+        let bad_queue = ServeConfig {
+            queue_capacity: 0,
+            ..ServeConfig::default()
+        };
+        assert!(Server::bind(bad_queue).is_err());
+        let bad_cache = ServeConfig {
+            scene_capacity: Some(0),
+            ..ServeConfig::default()
+        };
+        assert!(Server::bind(bad_cache).is_err());
+    }
+
+    #[test]
+    fn ephemeral_bind_reports_a_real_port() {
+        let server = Server::bind(ServeConfig::default()).expect("bind 127.0.0.1:0");
+        assert_ne!(server.local_addr().port(), 0);
+    }
+}

@@ -1,0 +1,292 @@
+//! Loopback integration tests: a real daemon on an ephemeral port, a
+//! real client, real sockets.
+//!
+//! The headline assertion is byte-equivalence: a manifest fetched over
+//! the wire is identical to the one computed from a local
+//! harness run of the same job. The rest exercises the robustness
+//! story end-to-end — `Busy` backpressure at capacity, deadline
+//! cancellation between cells, client cancellation, and graceful
+//! drain that finishes in-flight work, flushes results, and lets
+//! `Server::run` return cleanly.
+
+use pimgfx::Design;
+use pimgfx_bench::manifest::CellSummary;
+use pimgfx_bench::{Harness, Variant};
+use pimgfx_serve::job::job_manifest_json;
+use pimgfx_serve::{Client, JobSpec, JobState, Response, ServeConfig, Server};
+use pimgfx_workloads::{Game, Resolution};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+type ServerHandle = JoinHandle<pimgfx_bench::HarnessResult<()>>;
+
+fn start(config: ServeConfig) -> (SocketAddr, ServerHandle) {
+    let server = Server::bind(config).expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+fn baseline_spec() -> JobSpec {
+    JobSpec {
+        game: Game::Doom3,
+        resolution: Resolution::R320x240,
+        variants: vec![Variant::Design(Design::Baseline)],
+        sections: Vec::new(),
+        trace: true,
+        deadline_ms: 0,
+    }
+}
+
+fn submit_ok(client: &mut Client, spec: &JobSpec) -> u64 {
+    match client.submit(spec).expect("submit") {
+        Response::Submitted(id) => id,
+        other => panic!("expected Submitted, got {other:?}"),
+    }
+}
+
+const WAIT: Duration = Duration::from_secs(300);
+const POLL: Duration = Duration::from_millis(50);
+
+#[test]
+fn served_result_matches_local_harness_byte_for_byte() {
+    let results_dir =
+        std::env::temp_dir().join(format!("pimgfx_serve_equiv_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&results_dir);
+    let (addr, handle) = start(ServeConfig {
+        frames: 1,
+        results_dir: Some(results_dir.clone()),
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(addr).expect("connect");
+
+    let spec = baseline_spec();
+    let id = submit_ok(&mut client, &spec);
+    let state = client.wait(id, WAIT, POLL).expect("wait");
+    assert_eq!(state, JobState::Done { cells: 1 }, "job must finish");
+    let served = client.fetch_manifest(id).expect("fetch");
+
+    // The same job, computed directly through the local harness.
+    let mut h = Harness::new(1);
+    let report = h
+        .run(
+            spec.game,
+            spec.resolution,
+            Variant::Design(Design::Baseline),
+        )
+        .expect("local run")
+        .clone();
+    let cell = CellSummary::from_report(
+        &Harness::column_label(spec.game, spec.resolution),
+        "baseline",
+        &report,
+    );
+    let local = job_manifest_json(id, &spec, 1, &[cell]);
+    assert_eq!(
+        served, local,
+        "served manifest must be byte-identical to the harness-direct one"
+    );
+
+    // The flushed result file carries the same bytes.
+    let on_disk = std::fs::read_to_string(results_dir.join(format!("job-{id}.json")))
+        .expect("result file flushed");
+    assert_eq!(on_disk, served);
+
+    client.shutdown().expect("shutdown");
+    handle
+        .join()
+        .expect("server thread")
+        .expect("clean drain after shutdown");
+    let _ = std::fs::remove_dir_all(&results_dir);
+}
+
+#[test]
+fn over_capacity_submission_gets_busy_backpressure() {
+    let (addr, handle) = start(ServeConfig {
+        frames: 1,
+        queue_capacity: 1,
+        hold_before_job: Duration::from_millis(300),
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(addr).expect("connect");
+
+    let first = submit_ok(&mut client, &baseline_spec());
+    // The queue bounds *outstanding* work, so while the first job is
+    // queued or running the second submission must bounce.
+    match client.submit(&baseline_spec()).expect("submit #2") {
+        Response::Busy { depth, capacity } => {
+            assert_eq!((depth, capacity), (1, 1));
+        }
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    assert_eq!(
+        client.wait(first, WAIT, POLL).expect("wait"),
+        JobState::Done { cells: 1 }
+    );
+    // Capacity freed: a new submission is accepted again.
+    let second = submit_ok(&mut client, &baseline_spec());
+    assert_eq!(
+        client.wait(second, WAIT, POLL).expect("wait #2"),
+        JobState::Done { cells: 1 }
+    );
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("clean drain");
+}
+
+#[test]
+fn deadline_cancels_between_cells() {
+    let (addr, handle) = start(ServeConfig {
+        frames: 1,
+        hold_before_job: Duration::from_millis(200),
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(addr).expect("connect");
+
+    let spec = JobSpec {
+        deadline_ms: 1, // expires during the hold, before any cell
+        variants: vec![
+            Variant::Design(Design::Baseline),
+            Variant::Design(Design::BPim),
+        ],
+        ..baseline_spec()
+    };
+    let id = submit_ok(&mut client, &spec);
+    match client.wait(id, WAIT, POLL).expect("wait") {
+        JobState::Cancelled(reason) => {
+            assert!(reason.contains("deadline"), "{reason}");
+            assert!(reason.contains("0 of 2"), "{reason}");
+        }
+        other => panic!("expected deadline cancellation, got {other:?}"),
+    }
+    // A cancelled job has no fetchable result.
+    assert!(client.fetch_manifest(id).is_err());
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("clean drain");
+}
+
+#[test]
+fn client_cancellation_lands_between_cells() {
+    let (addr, handle) = start(ServeConfig {
+        frames: 1,
+        hold_before_job: Duration::from_millis(400),
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(addr).expect("connect");
+
+    let id = submit_ok(&mut client, &baseline_spec());
+    client.cancel(id).expect("cancel accepted");
+    match client.wait(id, WAIT, POLL).expect("wait") {
+        JobState::Cancelled(reason) => {
+            assert!(reason.contains("cancelled"), "{reason}");
+        }
+        other => panic!("expected cancellation, got {other:?}"),
+    }
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("clean drain");
+}
+
+#[test]
+fn shutdown_drains_inflight_work_then_run_returns_ok() {
+    let results_dir =
+        std::env::temp_dir().join(format!("pimgfx_serve_drain_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&results_dir);
+    let (addr, handle) = start(ServeConfig {
+        frames: 1,
+        results_dir: Some(results_dir.clone()),
+        hold_before_job: Duration::from_millis(300),
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(addr).expect("connect");
+
+    // Job in flight, then an immediate drain request.
+    let id = submit_ok(&mut client, &baseline_spec());
+    client.shutdown().expect("shutdown");
+    // While draining, new work is refused.
+    match client
+        .submit(&baseline_spec())
+        .expect("submit during drain")
+    {
+        Response::ShuttingDown => {}
+        other => panic!("expected ShuttingDown, got {other:?}"),
+    }
+    // run() only returns once the accepted job finished...
+    handle.join().expect("server thread").expect("clean drain");
+    // ...and its manifest was flushed on the way out.
+    let body = std::fs::read_to_string(results_dir.join(format!("job-{id}.json")))
+        .expect("in-flight job flushed during drain");
+    assert!(body.contains("\"schema_version\": 2"), "{body}");
+    let _ = std::fs::remove_dir_all(&results_dir);
+}
+
+#[test]
+fn invalid_submissions_are_rejected_with_reasons() {
+    let (addr, handle) = start(ServeConfig {
+        frames: 1,
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(addr).expect("connect");
+
+    // Wolfenstein only runs 640x480 in Table II.
+    let bad_column = JobSpec {
+        game: Game::Wolfenstein,
+        resolution: Resolution::R320x240,
+        ..baseline_spec()
+    };
+    match client.submit(&bad_column).expect("reply") {
+        Response::Error(e) => assert!(e.contains("Table II"), "{e}"),
+        other => panic!("expected Error, got {other:?}"),
+    }
+
+    let bad_section = JobSpec {
+        variants: Vec::new(),
+        sections: vec!["fig99".to_string()],
+        ..baseline_spec()
+    };
+    match client.submit(&bad_section).expect("reply") {
+        Response::Error(e) => assert!(e.contains("unknown section"), "{e}"),
+        other => panic!("expected Error, got {other:?}"),
+    }
+
+    // Static sections select zero simulation cells.
+    let no_cells = JobSpec {
+        variants: Vec::new(),
+        sections: vec!["table1".to_string()],
+        ..baseline_spec()
+    };
+    match client.submit(&no_cells).expect("reply") {
+        Response::Error(e) => assert!(e.contains("no simulation cells"), "{e}"),
+        other => panic!("expected Error, got {other:?}"),
+    }
+
+    // Operations on unknown jobs answer with errors, not hangs.
+    assert!(client.status(999).is_err());
+    assert!(client.fetch_manifest(999).is_err());
+    assert!(client.cancel(999).is_err());
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("clean drain");
+}
+
+#[test]
+fn results_dir_is_optional() {
+    // Sanity check the PathBuf plumbing: no results dir, still Done.
+    let (addr, handle) = start(ServeConfig {
+        frames: 1,
+        results_dir: None::<PathBuf>.clone(),
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(addr).expect("connect");
+    let id = submit_ok(&mut client, &baseline_spec());
+    assert_eq!(
+        client.wait(id, WAIT, POLL).expect("wait"),
+        JobState::Done { cells: 1 }
+    );
+    assert!(client
+        .fetch_manifest(id)
+        .expect("fetch")
+        .contains("\"tool\": \"pimgfx-serve\""));
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("clean drain");
+}

@@ -1,0 +1,224 @@
+//! Wire-protocol coverage: every frame round-trips byte-exactly, and
+//! corrupt streams (bad magic, future version, truncation, oversized
+//! lengths, trailing bytes) are rejected as `Format` errors — never a
+//! panic or an unbounded allocation.
+
+use pimgfx::Design;
+use pimgfx_bench::Variant;
+use pimgfx_serve::protocol::{
+    read_request, read_response, write_request, write_response, JobSpec, JobState, ProtocolError,
+    Request, Response, MAGIC, MAX_PAYLOAD, VERSION,
+};
+use pimgfx_workloads::{Game, Resolution};
+
+fn spec() -> JobSpec {
+    JobSpec {
+        game: Game::Fear,
+        resolution: Resolution::R640x480,
+        variants: vec![
+            Variant::Design(Design::Baseline),
+            Variant::Design(Design::BPim),
+            Variant::Design(Design::STfim),
+            Variant::Design(Design::ATfim),
+            Variant::AnisoOff,
+            Variant::AtfimThreshold(0.05),
+            Variant::AtfimNoRecalc,
+            Variant::AtfimNoConsolidation,
+            Variant::AtfimNoCompression,
+        ],
+        sections: vec!["fig11".to_string(), "fig14".to_string()],
+        trace: true,
+        deadline_ms: 1234,
+    }
+}
+
+fn encode_request(req: &Request) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_request(&mut buf, req).expect("encode request");
+    buf
+}
+
+fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_response(&mut buf, resp).expect("encode response");
+    buf
+}
+
+fn all_requests() -> Vec<Request> {
+    vec![
+        Request::SubmitJob(spec()),
+        Request::JobStatus(42),
+        Request::FetchResult(u64::MAX),
+        Request::CancelJob(7),
+        Request::Shutdown,
+    ]
+}
+
+fn all_responses() -> Vec<Response> {
+    vec![
+        Response::Submitted(9),
+        Response::Busy {
+            depth: 4,
+            capacity: 4,
+        },
+        Response::Status(JobState::Queued),
+        Response::Status(JobState::Running { done: 3, total: 9 }),
+        Response::Status(JobState::Done { cells: 9 }),
+        Response::Status(JobState::Failed("cell x: boom".to_string())),
+        Response::Status(JobState::Cancelled("deadline".to_string())),
+        Response::JobResult {
+            manifest_json: "{\n  \"schema_version\": 2\n}\n".to_string(),
+        },
+        Response::Error("unknown job 5".to_string()),
+        Response::ShuttingDown,
+    ]
+}
+
+#[test]
+fn every_request_round_trips() {
+    for req in all_requests() {
+        let buf = encode_request(&req);
+        let mut cur: &[u8] = &buf;
+        let back = read_request(&mut cur)
+            .expect("decode")
+            .expect("one frame present");
+        assert_eq!(back, req);
+        assert!(cur.is_empty(), "decoder must consume the whole frame");
+    }
+}
+
+#[test]
+fn every_response_round_trips() {
+    for resp in all_responses() {
+        let buf = encode_response(&resp);
+        let mut cur: &[u8] = &buf;
+        let back = read_response(&mut cur).expect("decode");
+        assert_eq!(back, resp);
+        assert!(cur.is_empty(), "decoder must consume the whole frame");
+    }
+}
+
+#[test]
+fn pipelined_frames_decode_in_order() {
+    let mut buf = Vec::new();
+    for req in all_requests() {
+        buf.extend_from_slice(&encode_request(&req));
+    }
+    let mut cur: &[u8] = &buf;
+    for expected in all_requests() {
+        let got = read_request(&mut cur).expect("decode").expect("frame");
+        assert_eq!(got, expected);
+    }
+    assert!(matches!(read_request(&mut cur), Ok(None)), "clean EOF");
+}
+
+#[test]
+fn bad_magic_is_rejected() {
+    let mut buf = encode_request(&Request::Shutdown);
+    buf[0] ^= 0xff;
+    let mut cur: &[u8] = &buf;
+    let err = read_request(&mut cur).expect_err("must reject");
+    assert!(matches!(err, ProtocolError::Format(_)), "{err}");
+    assert!(format!("{err}").contains("magic"), "{err}");
+}
+
+#[test]
+fn future_version_is_rejected() {
+    let mut buf = encode_request(&Request::Shutdown);
+    let future = (VERSION + 1).to_le_bytes();
+    buf[MAGIC.len()..MAGIC.len() + 4].copy_from_slice(&future);
+    let mut cur: &[u8] = &buf;
+    let err = read_request(&mut cur).expect_err("must reject");
+    assert!(format!("{err}").contains("version"), "{err}");
+}
+
+#[test]
+fn truncation_at_every_boundary_is_a_format_error() {
+    let full = encode_request(&Request::SubmitJob(spec()));
+    for cut in [1, 3, 5, 8, 12, 16, full.len() / 2, full.len() - 1] {
+        let mut cur: &[u8] = &full[..cut];
+        let err = read_request(&mut cur).expect_err("truncated stream must fail");
+        assert!(
+            matches!(err, ProtocolError::Format(_)),
+            "cut at {cut}: {err}"
+        );
+    }
+}
+
+#[test]
+fn oversized_declared_payload_is_rejected_without_allocation() {
+    // Hand-craft a header declaring a payload bigger than MAX_PAYLOAD.
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&5u32.to_le_bytes()); // Shutdown kind
+    let declared = u32::try_from(MAX_PAYLOAD + 1).expect("fits u32");
+    buf.extend_from_slice(&declared.to_le_bytes());
+    let mut cur: &[u8] = &buf;
+    let err = read_request(&mut cur).expect_err("must reject");
+    assert!(format!("{err}").contains("MAX_PAYLOAD"), "{err}");
+}
+
+#[test]
+fn lying_length_with_short_payload_is_a_format_error() {
+    // Declared length 100, only 3 payload bytes on the wire.
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&2u32.to_le_bytes()); // JobStatus kind
+    buf.extend_from_slice(&100u32.to_le_bytes());
+    buf.extend_from_slice(&[1, 2, 3]);
+    let mut cur: &[u8] = &buf;
+    let err = read_request(&mut cur).expect_err("must reject");
+    assert!(format!("{err}").contains("truncated"), "{err}");
+}
+
+#[test]
+fn trailing_payload_bytes_are_rejected() {
+    // A Shutdown frame whose payload should be empty but carries junk.
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&5u32.to_le_bytes());
+    buf.extend_from_slice(&4u32.to_le_bytes());
+    buf.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef]);
+    let mut cur: &[u8] = &buf;
+    let err = read_request(&mut cur).expect_err("must reject");
+    assert!(format!("{err}").contains("trailing"), "{err}");
+}
+
+#[test]
+fn unknown_kinds_are_rejected() {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&99u32.to_le_bytes());
+    buf.extend_from_slice(&0u32.to_le_bytes());
+    let mut cur: &[u8] = &buf;
+    assert!(read_request(&mut cur).is_err());
+
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&1u32.to_le_bytes()); // SubmitJob kind on the response side
+    buf.extend_from_slice(&0u32.to_le_bytes());
+    let mut cur: &[u8] = &buf;
+    assert!(read_response(&mut cur).is_err());
+}
+
+#[test]
+fn corrupt_variant_tag_is_rejected() {
+    let req = Request::SubmitJob(JobSpec {
+        variants: vec![Variant::AnisoOff],
+        sections: Vec::new(),
+        ..spec()
+    });
+    let mut buf = encode_request(&req);
+    // The variant tag (value 4 = AnisoOff) is the u32 right after
+    // magic+version+kind+len+game+res+count; corrupt it to 200.
+    let tag_at = 17 + 4 + 4 + 4;
+    buf[tag_at..tag_at + 4].copy_from_slice(&200u32.to_le_bytes());
+    let mut cur: &[u8] = &buf;
+    let err = read_request(&mut cur).expect_err("must reject");
+    assert!(format!("{err}").contains("variant tag"), "{err}");
+}

@@ -102,6 +102,13 @@ const _: () = {
 /// lets a parallel sweep fan design variants of the same column out
 /// across workers without regenerating the scene per variant.
 ///
+/// By default the cache is unbounded — a batch sweep touches each
+/// column once, so nothing ever needs to be dropped. A long-lived
+/// process (the `pimgfx-serve` daemon) instead constructs it with
+/// [`SceneCache::with_capacity`], which bounds the resident column
+/// count with least-recently-used eviction; evictions are counted and
+/// surfaced through [`SceneCache::evictions`].
+///
 /// # Examples
 ///
 /// ```
@@ -115,11 +122,21 @@ const _: () = {
 #[derive(Debug)]
 pub struct SceneCache {
     frames: usize,
-    inner: Mutex<HashMap<(Game, Resolution), Arc<SceneTrace>>>,
+    capacity: Option<usize>,
+    inner: Mutex<CacheState>,
+}
+
+/// Mutex-guarded interior of a [`SceneCache`]: the memo map plus the
+/// recency list (least-recently-used first) and the eviction counter.
+#[derive(Debug, Default)]
+struct CacheState {
+    map: HashMap<(Game, Resolution), Arc<SceneTrace>>,
+    lru: Vec<(Game, Resolution)>,
+    evictions: u64,
 }
 
 impl SceneCache {
-    /// Creates a cache whose traces all have `frames` frames.
+    /// Creates an unbounded cache whose traces all have `frames` frames.
     ///
     /// # Panics
     ///
@@ -128,8 +145,27 @@ impl SceneCache {
         assert!(frames > 0, "a trace needs at least one frame");
         Self {
             frames,
-            inner: Mutex::new(HashMap::new()),
+            capacity: None,
+            inner: Mutex::new(CacheState::default()),
         }
+    }
+
+    /// Creates a cache bounded to `capacity` resident columns; the
+    /// least-recently-used column is evicted when a build would exceed
+    /// the bound. A re-requested evicted column is simply rebuilt (the
+    /// builds are deterministic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` or `capacity` is zero.
+    pub fn with_capacity(frames: usize, capacity: usize) -> Self {
+        assert!(
+            capacity > 0,
+            "a bounded cache needs capacity for at least one column"
+        );
+        let mut cache = Self::new(frames);
+        cache.capacity = Some(capacity);
+        cache
     }
 
     /// Frames per cached trace.
@@ -137,14 +173,25 @@ impl SceneCache {
         self.frames
     }
 
-    /// Number of distinct columns built so far.
-    pub fn len(&self) -> usize {
-        self.lock().len()
+    /// The resident-column bound, or `None` for an unbounded cache.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
     }
 
-    /// True when no column has been built yet.
+    /// Number of columns evicted so far (always 0 for an unbounded
+    /// cache). Monotonic over the cache's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.lock().evictions
+    }
+
+    /// Number of distinct columns resident right now.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// True when no column is resident.
     pub fn is_empty(&self) -> bool {
-        self.lock().is_empty()
+        self.lock().map.is_empty()
     }
 
     /// Returns the trace for a benchmark column, building it on first
@@ -153,25 +200,47 @@ impl SceneCache {
     /// The (deterministic, hence idempotent) build runs outside the
     /// cache lock so other columns stay available while one builds; if
     /// two threads race on the same cold column, the first insertion
-    /// wins and both receive the same [`Arc`].
+    /// wins and both receive the same [`Arc`]. On a bounded cache the
+    /// access also refreshes the column's recency, and the insert
+    /// evicts least-recently-used columns down to the bound (handed-out
+    /// [`Arc`]s stay valid — eviction only drops the cache's own
+    /// reference).
     ///
     /// # Panics
     ///
     /// Panics if the resolution is not in the game's Table II set (same
     /// contract as [`build_scene`]).
     pub fn get(&self, game: Game, res: Resolution) -> Arc<SceneTrace> {
-        if let Some(scene) = self.lock().get(&(game, res)) {
-            return Arc::clone(scene);
+        let key = (game, res);
+        {
+            let mut st = self.lock();
+            if let Some(scene) = st.map.get(&key) {
+                let scene = Arc::clone(scene);
+                Self::touch(&mut st.lru, key);
+                return scene;
+            }
         }
         let built = Arc::new(build_scene(game, res, self.frames));
-        Arc::clone(
-            self.lock()
-                .entry((game, res))
-                .or_insert_with(|| Arc::clone(&built)),
-        )
+        let mut st = self.lock();
+        let out = Arc::clone(st.map.entry(key).or_insert_with(|| Arc::clone(&built)));
+        Self::touch(&mut st.lru, key);
+        if let Some(cap) = self.capacity {
+            while st.map.len() > cap && !st.lru.is_empty() {
+                let victim = st.lru.remove(0);
+                st.map.remove(&victim);
+                st.evictions += 1;
+            }
+        }
+        out
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<(Game, Resolution), Arc<SceneTrace>>> {
+    /// Moves `key` to the most-recently-used end of the recency list.
+    fn touch(lru: &mut Vec<(Game, Resolution)>, key: (Game, Resolution)) {
+        lru.retain(|k| *k != key);
+        lru.push(key);
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheState> {
         // A poisoned lock only means another worker panicked mid-insert;
         // the map itself is always in a consistent state.
         self.inner.lock().unwrap_or_else(PoisonError::into_inner)
@@ -463,5 +532,46 @@ mod tests {
     #[should_panic(expected = "at least one frame")]
     fn scene_cache_rejects_zero_frames() {
         let _ = SceneCache::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn scene_cache_rejects_zero_capacity() {
+        let _ = SceneCache::with_capacity(1, 0);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache = SceneCache::new(1);
+        assert_eq!(cache.capacity(), None);
+        cache.get(Game::Doom3, Resolution::R320x240);
+        cache.get(Game::Fear, Resolution::R320x240);
+        cache.get(Game::Doom3, Resolution::R640x480);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        let cache = SceneCache::with_capacity(1, 2);
+        assert_eq!(cache.capacity(), Some(2));
+        let doom = cache.get(Game::Doom3, Resolution::R320x240);
+        cache.get(Game::Fear, Resolution::R320x240);
+        // Touch doom3 so fear becomes the LRU victim.
+        cache.get(Game::Doom3, Resolution::R320x240);
+        cache.get(Game::Doom3, Resolution::R640x480);
+        assert_eq!(cache.len(), 2, "bound holds");
+        assert_eq!(cache.evictions(), 1, "fear evicted");
+        // The handed-out Arc stays valid, and doom3 is still a hit.
+        assert_eq!(doom.frame_count(), 1);
+        let doom_again = cache.get(Game::Doom3, Resolution::R320x240);
+        assert!(
+            Arc::ptr_eq(&doom, &doom_again),
+            "doom3 survived the eviction"
+        );
+        // An evicted column rebuilds into a fresh allocation.
+        let fear_again = cache.get(Game::Fear, Resolution::R320x240);
+        assert_eq!(fear_again.game, Game::Fear);
+        assert_eq!(cache.evictions(), 2, "rebuilding fear evicted doom3@640");
     }
 }

@@ -53,25 +53,64 @@ impl From<io::Error> for TraceError {
 pub type TraceResult<T> = Result<T, TraceError>;
 
 // --- primitive writers/readers -----------------------------------------
+//
+// The little-endian scalar codec is shared with the `PGRPC` wire
+// protocol in `pimgfx-serve`, hence public.
 
-fn put_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+/// Writes one little-endian `u32`.
+///
+/// # Errors
+///
+/// Propagates any I/O error from `w`.
+pub fn put_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
 
-fn put_f32<W: Write>(w: &mut W, v: f32) -> io::Result<()> {
+/// Writes one little-endian IEEE-754 `f32` (bit-exact round trip).
+///
+/// # Errors
+///
+/// Propagates any I/O error from `w`.
+pub fn put_f32<W: Write>(w: &mut W, v: f32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
 
-fn get_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+/// Reads one little-endian `u32`.
+///
+/// # Errors
+///
+/// Propagates any I/O error from `r`, including `UnexpectedEof` on a
+/// truncated stream.
+pub fn get_u32<R: Read>(r: &mut R) -> io::Result<u32> {
     let mut b = [0u8; 4];
     r.read_exact(&mut b)?;
     Ok(u32::from_le_bytes(b))
 }
 
-fn get_f32<R: Read>(r: &mut R) -> io::Result<f32> {
+/// Reads one little-endian IEEE-754 `f32` (bit-exact round trip).
+///
+/// # Errors
+///
+/// Propagates any I/O error from `r`, including `UnexpectedEof` on a
+/// truncated stream.
+pub fn get_f32<R: Read>(r: &mut R) -> io::Result<f32> {
     let mut b = [0u8; 4];
     r.read_exact(&mut b)?;
     Ok(f32::from_le_bytes(b))
+}
+
+/// Upper bound on any single `Vec::with_capacity` reservation made
+/// while decoding (in elements). A stream may *declare* a much larger
+/// collection — up to the structural caps — but the reader only
+/// reserves up to this much ahead of the bytes actually arriving, so a
+/// malicious or corrupt length field cannot trigger a huge up-front
+/// allocation; the vector then grows amortized as real data is read.
+pub const PREALLOC_CAP: usize = 1 << 16;
+
+/// `Vec::with_capacity` clamped by [`PREALLOC_CAP`]: trust the declared
+/// length only as far as a bounded reservation.
+fn vec_capped<T>(declared: usize) -> Vec<T> {
+    Vec::with_capacity(declared.min(PREALLOC_CAP))
 }
 
 fn put_vec3<W: Write>(w: &mut W, v: Vec3) -> io::Result<()> {
@@ -165,9 +204,25 @@ pub fn save_trace<W: Write>(scene: &SceneTrace, mut w: W) -> io::Result<()> {
 ///
 /// # Errors
 ///
-/// Returns [`TraceError::Format`] for a wrong magic/version or
-/// structurally invalid stream, [`TraceError::Io`] for read failures.
-pub fn load_trace<R: Read>(mut r: R) -> TraceResult<SceneTrace> {
+/// Returns [`TraceError::Format`] for a wrong magic/version, a
+/// structurally invalid stream, or a stream that ends before the
+/// declared contents (truncation is a malformed trace, not an I/O
+/// accident — the caller gets one consistent error class for "these
+/// bytes are not a trace"). [`TraceError::Io`] is reserved for real
+/// read failures from the underlying reader. Declared lengths are never
+/// trusted with more than a [`PREALLOC_CAP`]-element reservation, so an
+/// oversized length field fails with `Format` once the stream runs dry
+/// instead of attempting a huge allocation first.
+pub fn load_trace<R: Read>(r: R) -> TraceResult<SceneTrace> {
+    match load_trace_inner(r) {
+        Err(TraceError::Io(e)) if e.kind() == io::ErrorKind::UnexpectedEof => Err(
+            TraceError::Format("truncated stream: ended before the declared contents".to_string()),
+        ),
+        other => other,
+    }
+}
+
+fn load_trace_inner<R: Read>(mut r: R) -> TraceResult<SceneTrace> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if magic != MAGIC {
@@ -189,7 +244,7 @@ pub fn load_trace<R: Read>(mut r: R) -> TraceResult<SceneTrace> {
             "implausible texture count {tex_count}"
         )));
     }
-    let mut textures = Vec::with_capacity(tex_count);
+    let mut textures = vec_capped(tex_count);
     for i in 0..tex_count {
         let w = get_u32(&mut r)?;
         let h = get_u32(&mut r)?;
@@ -198,7 +253,7 @@ pub fn load_trace<R: Read>(mut r: R) -> TraceResult<SceneTrace> {
                 "implausible texture size {w}x{h}"
             )));
         }
-        let mut texels = Vec::with_capacity((w * h) as usize);
+        let mut texels = vec_capped((w * h) as usize);
         for _ in 0..w * h {
             texels.push(PackedRgba::from_u32(get_u32(&mut r)?));
         }
@@ -212,7 +267,7 @@ pub fn load_trace<R: Read>(mut r: R) -> TraceResult<SceneTrace> {
     if draw_count > 1 << 20 {
         return Err(TraceError::Format("implausible draw count".to_string()));
     }
-    let mut draws = Vec::with_capacity(draw_count);
+    let mut draws = vec_capped(draw_count);
     for _ in 0..draw_count {
         let texture = TextureId::new(get_u32(&mut r)?);
         if texture.index() >= textures.len() {
@@ -225,7 +280,7 @@ pub fn load_trace<R: Read>(mut r: R) -> TraceResult<SceneTrace> {
         if tri_count > 1 << 24 {
             return Err(TraceError::Format("implausible triangle count".to_string()));
         }
-        let mut triangles = Vec::with_capacity(tri_count);
+        let mut triangles = vec_capped(tri_count);
         for _ in 0..tri_count {
             let mut tri = [Vertex::new(Vec3::ZERO, Vec3::Z, Vec2::ZERO); 3];
             for v in &mut tri {
@@ -243,7 +298,7 @@ pub fn load_trace<R: Read>(mut r: R) -> TraceResult<SceneTrace> {
     if cam_count == 0 || cam_count > 1 << 20 {
         return Err(TraceError::Format("implausible frame count".to_string()));
     }
-    let mut cameras = Vec::with_capacity(cam_count);
+    let mut cameras = vec_capped(cam_count);
     for _ in 0..cam_count {
         let eye = get_vec3(&mut r)?;
         let mut cols = [Vec4::ZERO; 4];
@@ -269,7 +324,9 @@ pub fn load_trace<R: Read>(mut r: R) -> TraceResult<SceneTrace> {
     })
 }
 
-fn game_tag(g: Game) -> u32 {
+/// Stable wire tag for a [`Game`] (shared by `PGTR` and the
+/// `pimgfx-serve` protocol; append-only — existing tags never change).
+pub fn game_tag(g: Game) -> u32 {
     match g {
         Game::Doom3 => 0,
         Game::Fear => 1,
@@ -279,7 +336,12 @@ fn game_tag(g: Game) -> u32 {
     }
 }
 
-fn game_from_tag(t: u32) -> TraceResult<Game> {
+/// Inverse of [`game_tag`].
+///
+/// # Errors
+///
+/// Returns [`TraceError::Format`] for an unknown tag.
+pub fn game_from_tag(t: u32) -> TraceResult<Game> {
     Ok(match t {
         0 => Game::Doom3,
         1 => Game::Fear,
@@ -290,7 +352,9 @@ fn game_from_tag(t: u32) -> TraceResult<Game> {
     })
 }
 
-fn resolution_tag(r: Resolution) -> u32 {
+/// Stable wire tag for a [`Resolution`] (shared by `PGTR` and the
+/// `pimgfx-serve` protocol; append-only — existing tags never change).
+pub fn resolution_tag(r: Resolution) -> u32 {
     match r {
         Resolution::R320x240 => 0,
         Resolution::R640x480 => 1,
@@ -298,7 +362,12 @@ fn resolution_tag(r: Resolution) -> u32 {
     }
 }
 
-fn resolution_from_tag(t: u32) -> TraceResult<Resolution> {
+/// Inverse of [`resolution_tag`].
+///
+/// # Errors
+///
+/// Returns [`TraceError::Format`] for an unknown tag.
+pub fn resolution_from_tag(t: u32) -> TraceResult<Resolution> {
     Ok(match t {
         0 => Resolution::R320x240,
         1 => Resolution::R640x480,
@@ -394,12 +463,52 @@ mod tests {
     }
 
     #[test]
-    fn rejects_truncated_streams() {
+    fn rejects_truncated_streams_as_format_errors() {
         let scene = small_scene();
         let mut buf = Vec::new();
         save_trace(&scene, &mut buf).expect("serialize");
-        let err = load_trace(&buf[..buf.len() / 2]).expect_err("truncated");
-        assert!(matches!(err, TraceError::Io(_)));
+        // Cutting the stream anywhere — mid-header, mid-texture,
+        // mid-geometry — must yield Format ("not a trace"), never a
+        // panic and never a leaked UnexpectedEof.
+        for cut in [2, 10, buf.len() / 4, buf.len() / 2, buf.len() - 1] {
+            let err = load_trace(&buf[..cut]).expect_err("truncated");
+            assert!(
+                matches!(&err, TraceError::Format(m) if m.contains("truncated") || m.contains("magic")),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_declared_lengths_fail_without_huge_allocation() {
+        // A stream that *declares* the maximum allowed triangle count
+        // (1 << 24, just under the structural cap) but carries no data.
+        // The reader must reserve at most PREALLOC_CAP elements and
+        // fail with Format once the stream runs dry.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes()); // game: doom3
+        buf.extend_from_slice(&0u32.to_le_bytes()); // resolution: 320x240
+        buf.extend_from_slice(&8u32.to_le_bytes()); // shader alu ops
+        buf.extend_from_slice(&1u32.to_le_bytes()); // one texture...
+        buf.extend_from_slice(&1u32.to_le_bytes()); // ...1x1
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&0xff00ff00u32.to_le_bytes()); // its texel
+        buf.extend_from_slice(&1u32.to_le_bytes()); // one draw
+        buf.extend_from_slice(&0u32.to_le_bytes()); // texture 0
+        buf.extend_from_slice(&(1u32 << 24).to_le_bytes()); // declares 16M tris
+        let err = load_trace(&buf[..]).expect_err("stream is empty past the header");
+        assert!(
+            matches!(&err, TraceError::Format(m) if m.contains("truncated")),
+            "{err}"
+        );
+
+        // One past the cap is rejected structurally, before any read.
+        let pos = buf.len() - 4;
+        buf[pos..].copy_from_slice(&((1u32 << 24) + 1).to_le_bytes());
+        let err = load_trace(&buf[..]).expect_err("implausible count");
+        assert!(err.to_string().contains("triangle count"), "{err}");
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! | `trace-stage` | every `Server`/`MultiServer` constructed in `crates/core`, `crates/mem`, `crates/pim` carries a `trace:stage(<name>)` marker tying it to the cycle-conservation trace taxonomy (see `docs/OBSERVABILITY.md`) |
 //! | `manifest` | every `crates/*/Cargo.toml` inherits workspace metadata and uses only workspace-declared dependencies |
 //! | `fig-drift` | `crates/bench/benches/fig*.rs` and the figure-bench references in `EXPERIMENTS.md` stay in sync |
+//! | `protocol-version` | the `PGRPC` wire-frame definitions in `crates/serve/src/protocol.rs` match the committed `crates/serve/protocol.snapshot`; changing a frame without bumping `VERSION` fails the pass |
 //!
 //! # Allowlist
 //!
@@ -183,6 +184,19 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
         &bench_names,
         &experiments,
     ));
+
+    // Wire-protocol freeze: PGRPC frame drift without a VERSION bump.
+    let protocol_path = crates_dir.join("serve/src/protocol.rs");
+    if let Ok(text) = std::fs::read_to_string(&protocol_path) {
+        let snapshot_path = crates_dir.join("serve/protocol.snapshot");
+        let snapshot = std::fs::read_to_string(&snapshot_path).ok();
+        diags.extend(rules::protocol_version::check(
+            &rel(root, &protocol_path),
+            &text,
+            &rel(root, &snapshot_path),
+            snapshot.as_deref(),
+        ));
+    }
 
     diags.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     Ok(diags)

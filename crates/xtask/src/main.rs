@@ -32,8 +32,10 @@ fn main() -> ExitCode {
             eprintln!("usage: cargo xtask lint");
             eprintln!();
             eprintln!("  lint   run the repo-specific static-analysis pass over the workspace");
-            eprintln!("         (rules: no-panic, unit-cast, lint-wall, manifest, fig-drift;");
-            eprintln!("          suppress with `// lint:allow(<rule>) — <reason>`)");
+            eprintln!("         (rules: no-panic, unit-cast, lint-wall, manifest, fig-drift,");
+            eprintln!(
+                "          protocol-version; suppress with `// lint:allow(<rule>) — <reason>`)"
+            );
             ExitCode::SUCCESS
         }
         Some(other) => {

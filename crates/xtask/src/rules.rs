@@ -541,3 +541,147 @@ pub mod figures {
         out
     }
 }
+
+/// `protocol-version`: the `PGRPC` frame definitions in
+/// `crates/serve/src/protocol.rs` must not change without a `VERSION`
+/// bump. A committed snapshot (`crates/serve/protocol.snapshot`) pins
+/// the pair `(version, digest-of-frame-region)`; editing the frame
+/// structs while leaving `VERSION` untouched makes the digests disagree
+/// and the rule fires. Comment/doc-only edits are exempt — the digest
+/// is computed over comment-stripped, whitespace-normalized code.
+pub mod protocol_version {
+    use super::{source, Diagnostic};
+
+    /// The rule name used in diagnostics.
+    pub const RULE: &str = "protocol-version";
+
+    /// The file holding the wire-frame definitions.
+    pub const PROTOCOL_FILE: &str = "crates/serve/src/protocol.rs";
+
+    /// The committed snapshot pinning `(version, digest)`.
+    pub const SNAPSHOT_FILE: &str = "crates/serve/protocol.snapshot";
+
+    const BEGIN: &str = "// protocol:frames:begin";
+    const END: &str = "// protocol:frames:end";
+
+    /// Extracts the marker-delimited frame-definition region.
+    #[must_use]
+    pub fn frame_region(text: &str) -> Option<&str> {
+        let b = text.find(BEGIN)?;
+        let e = text.find(END)?;
+        (e > b).then(|| &text[b + BEGIN.len()..e])
+    }
+
+    /// Parses `const VERSION: u32 = N;` out of the (stripped) region.
+    #[must_use]
+    pub fn declared_version(stripped_region: &str) -> Option<u32> {
+        let needle = "VERSION: u32 =";
+        let at = stripped_region.find(needle)?;
+        let rest = stripped_region[at + needle.len()..].trim_start();
+        let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+        digits.parse().ok()
+    }
+
+    /// FNV-1a 64 over the comment-stripped, whitespace-normalized
+    /// region: each non-blank line is trimmed and terminated with `\n`.
+    #[must_use]
+    pub fn digest(region: &str) -> String {
+        let stripped = source::strip(region);
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for line in stripped.lines() {
+            let t = line.trim();
+            if t.is_empty() {
+                continue;
+            }
+            for b in t.bytes().chain(std::iter::once(b'\n')) {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        format!("{h:016x}")
+    }
+
+    /// Parses a snapshot file: `version=N` and `digest=HEX` lines.
+    #[must_use]
+    pub fn parse_snapshot(text: &str) -> Option<(u32, String)> {
+        let mut version = None;
+        let mut dig = None;
+        for line in text.lines() {
+            let line = line.trim();
+            if let Some(v) = line.strip_prefix("version=") {
+                version = v.trim().parse().ok();
+            } else if let Some(d) = line.strip_prefix("digest=") {
+                dig = Some(d.trim().to_string());
+            }
+        }
+        Some((version?, dig?))
+    }
+
+    /// Cross-checks the protocol source against the snapshot.
+    #[must_use]
+    pub fn check(
+        protocol_path: &str,
+        protocol_text: &str,
+        snapshot_path: &str,
+        snapshot: Option<&str>,
+    ) -> Vec<Diagnostic> {
+        let diag = |path: &str, message: String| Diagnostic {
+            rule: RULE,
+            path: path.to_string(),
+            line: 0,
+            message,
+        };
+        let Some(region) = frame_region(protocol_text) else {
+            return vec![diag(
+                protocol_path,
+                format!("missing `{BEGIN}` / `{END}` markers around the frame definitions"),
+            )];
+        };
+        let Some(version) = declared_version(&source::strip(region)) else {
+            return vec![diag(
+                protocol_path,
+                "no `const VERSION: u32 = <n>;` inside the frame region".to_string(),
+            )];
+        };
+        let d = digest(region);
+        let Some(snap_text) = snapshot else {
+            return vec![diag(
+                snapshot_path,
+                format!("snapshot file is missing; create it with lines `version={version}` and `digest={d}`"),
+            )];
+        };
+        let Some((snap_version, snap_digest)) = parse_snapshot(snap_text) else {
+            return vec![diag(
+                snapshot_path,
+                format!(
+                    "snapshot is unparsable; expected lines `version={version}` and `digest={d}`"
+                ),
+            )];
+        };
+        match (d == snap_digest, version == snap_version) {
+            (true, true) => Vec::new(),
+            (true, false) => vec![diag(
+                snapshot_path,
+                format!(
+                    "snapshot says version {snap_version} but the source declares VERSION {version} \
+                     with unchanged frame definitions; restore VERSION or refresh the snapshot"
+                ),
+            )],
+            (false, true) => vec![diag(
+                protocol_path,
+                format!(
+                    "PGRPC frame definitions changed (digest {d}, snapshot {snap_digest}) without a \
+                     VERSION bump; bump `VERSION` past {snap_version} and update {snapshot_path} to \
+                     `digest={d}`"
+                ),
+            )],
+            (false, false) => vec![diag(
+                snapshot_path,
+                format!(
+                    "frame definitions and VERSION both changed; refresh the snapshot with lines \
+                     `version={version}` and `digest={d}`"
+                ),
+            )],
+        }
+    }
+}

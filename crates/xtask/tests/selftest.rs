@@ -1,7 +1,9 @@
 //! Self-tests: every lint rule must fire on a seeded violation fixture,
 //! stay quiet on clean code, and honor the allowlist mechanism.
 
-use xtask::rules::{figures, lint_wall, manifest, no_panic, pub_docs, trace_stage, unit_cast};
+use xtask::rules::{
+    figures, lint_wall, manifest, no_panic, protocol_version, pub_docs, trace_stage, unit_cast,
+};
 
 // ---------------------------------------------------------------- no-panic
 
@@ -346,6 +348,106 @@ fn figures_detects_drift_both_directions() {
     let diags = figures::check("EXPERIMENTS.md", &benches, md);
     assert_eq!(diags.len(), 1);
     assert!(diags[0].message.contains("fig99_ghost.rs"), "{}", diags[0]);
+}
+
+// ------------------------------------------------------- protocol-version
+
+const PROTOCOL_FIXTURE: &str = "\
+//! Wire protocol.
+// protocol:frames:begin
+/// Frame magic.
+pub const MAGIC: [u8; 5] = *b\"PGRPC\";
+/// Wire version.
+pub const VERSION: u32 = 1;
+/// A request.
+pub enum Request {
+    /// Stop.
+    Shutdown,
+}
+// protocol:frames:end
+fn helper() {}
+";
+
+fn fixture_snapshot() -> String {
+    let region = protocol_version::frame_region(PROTOCOL_FIXTURE).expect("markers present");
+    format!("version=1\ndigest={}\n", protocol_version::digest(region))
+}
+
+#[test]
+fn protocol_version_matching_snapshot_is_quiet() {
+    let snap = fixture_snapshot();
+    let diags = protocol_version::check("p.rs", PROTOCOL_FIXTURE, "p.snapshot", Some(&snap));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn protocol_version_comment_only_edits_are_exempt() {
+    let snap = fixture_snapshot();
+    let edited = PROTOCOL_FIXTURE.replace("/// A request.", "/// A client request frame.");
+    let diags = protocol_version::check("p.rs", &edited, "p.snapshot", Some(&snap));
+    assert!(
+        diags.is_empty(),
+        "doc edits must not demand a bump: {diags:?}"
+    );
+}
+
+#[test]
+fn protocol_version_frame_change_without_bump_fires() {
+    let snap = fixture_snapshot();
+    let edited = PROTOCOL_FIXTURE.replace("Shutdown,", "Shutdown,\n    /// New.\n    Ping,");
+    let diags = protocol_version::check("p.rs", &edited, "p.snapshot", Some(&snap));
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].rule, protocol_version::RULE);
+    assert!(diags[0].message.contains("without a"), "{}", diags[0]);
+    assert!(diags[0].message.contains("VERSION bump"), "{}", diags[0]);
+}
+
+#[test]
+fn protocol_version_bump_with_stale_snapshot_says_refresh() {
+    let snap = fixture_snapshot();
+    let edited = PROTOCOL_FIXTURE
+        .replace("Shutdown,", "Shutdown,\n    /// New.\n    Ping,")
+        .replace("VERSION: u32 = 1", "VERSION: u32 = 2");
+    let diags = protocol_version::check("p.rs", &edited, "p.snapshot", Some(&snap));
+    assert_eq!(diags.len(), 1);
+    assert!(
+        diags[0].message.contains("refresh the snapshot"),
+        "{}",
+        diags[0]
+    );
+    assert!(diags[0].message.contains("version=2"), "{}", diags[0]);
+}
+
+#[test]
+fn protocol_version_missing_snapshot_tells_how_to_create_it() {
+    let diags = protocol_version::check("p.rs", PROTOCOL_FIXTURE, "p.snapshot", None);
+    assert_eq!(diags.len(), 1);
+    assert!(diags[0].message.contains("version=1"), "{}", diags[0]);
+    assert!(diags[0].message.contains("digest="), "{}", diags[0]);
+}
+
+#[test]
+fn protocol_version_missing_markers_or_version_fire() {
+    let snap = fixture_snapshot();
+    let no_markers = "pub const VERSION: u32 = 1;\n";
+    let diags = protocol_version::check("p.rs", no_markers, "p.snapshot", Some(&snap));
+    assert_eq!(diags.len(), 1);
+    assert!(diags[0].message.contains("markers"), "{}", diags[0]);
+
+    let no_version = PROTOCOL_FIXTURE.replace("pub const VERSION: u32 = 1;", "");
+    let diags = protocol_version::check("p.rs", &no_version, "p.snapshot", Some(&snap));
+    assert_eq!(diags.len(), 1);
+    assert!(diags[0].message.contains("VERSION"), "{}", diags[0]);
+}
+
+#[test]
+fn protocol_version_snapshot_round_trips() {
+    assert_eq!(
+        protocol_version::parse_snapshot("version=3\ndigest=abc123\n"),
+        Some((3, "abc123".to_string()))
+    );
+    assert_eq!(protocol_version::parse_snapshot("digest=abc123\n"), None);
+    assert_eq!(protocol_version::parse_snapshot("garbage"), None);
 }
 
 // ------------------------------------------------------------- whole repo
