@@ -1,0 +1,38 @@
+//! Micro-benchmark: frontend build vs backend replay
+//!
+//! Times the two halves of the split render pipeline on the reduced
+//! benchmark scene: the variant-invariant frontend pass
+//! (`FragmentStream::build` — transform, clip, rasterize, tile-bin,
+//! quad-group) once, and the variant-specific backend replay
+//! (`render_replay`) for each design point. The ratio shows how much a
+//! multi-variant sweep saves by paying the frontend once per column.
+
+use pimgfx::{Design, FragmentStream, SimConfig, Simulator};
+use pimgfx_bench::microbench::BenchGroup;
+use pimgfx_bench::{bench_scene, Variant};
+use std::sync::Arc;
+
+fn main() {
+    let scene = Arc::new(bench_scene());
+    let tile_px = SimConfig::default().tile_px;
+    let mut group = BenchGroup::new("frontend_replay");
+    group.sample_size(10);
+    group.bench_function("frontend", || {
+        FragmentStream::build(Arc::clone(&scene), tile_px)
+            .expect("frontend builds")
+            .fragment_count()
+    });
+    let stream = FragmentStream::build(Arc::clone(&scene), tile_px).expect("frontend builds");
+    for design in Design::ALL {
+        group.bench_function(format!("backend_{}", design.label()), || {
+            let config = Variant::Design(design).config().expect("valid config");
+            Simulator::new(config)
+                .expect("valid config")
+                .render_replay(&stream)
+                .expect("replay runs")
+                .texture
+                .latency_cycles
+        });
+    }
+    group.finish();
+}

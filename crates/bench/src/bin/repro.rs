@@ -13,7 +13,7 @@
 //! additionally drops each figure's data as `DIR/<figure>.csv`.
 //! `--trace` prints a per-cell cycle-conservation audit table and makes
 //! an audit failure exit nonzero; the full per-stage breakdown is in
-//! the manifest either way (schema v2, see `docs/OBSERVABILITY.md`).
+//! the manifest either way (schema v3, see `docs/OBSERVABILITY.md`).
 //!
 //! By default the experiment matrix is precomputed in parallel across
 //! `available_parallelism()` workers (override with `PIMGFX_THREADS`,
@@ -176,7 +176,16 @@ fn main() -> HarnessResult<()> {
     let cell_reports: Vec<CellSummary> = h
         .report_cells()
         .into_iter()
-        .map(|(column, variant, report)| CellSummary::from_report(&column, &variant, report))
+        .map(|(column, variant, report)| {
+            let mut cell = CellSummary::from_report(&column, &variant, report);
+            // Schema v3: attach the frontend/backend wall split the
+            // harness recorded when it simulated the cell.
+            if let Some(w) = h.wall_split(&column, &variant) {
+                cell.frontend_wall_ms = Some(w.frontend_ms);
+                cell.backend_wall_ms = Some(w.backend_ms);
+            }
+            cell
+        })
         .collect();
 
     // `--trace`: surface the per-cell cycle-conservation audit. The
@@ -229,6 +238,9 @@ fn main() -> HarnessResult<()> {
             cells_executed
         },
         scene_evictions: h.scene_evictions(),
+        frontend_cache: pimgfx_bench::manifest::FrontendCacheSummary::from_stats(
+            h.frontend_cache_stats(),
+        ),
         total_wall_ms,
         cells_per_sec: if total_wall_ms > 0.0 {
             cell_reports.len() as f64 / (total_wall_ms / 1000.0)
@@ -814,10 +826,17 @@ fn ablation(h: &mut Harness, columns: &[(Game, Resolution)]) -> HarnessResult<()
     // representative column.
     let (g, r) = columns[0];
     let frames = 2;
-    let scene = pimgfx_workloads::build_scene(g, r, frames);
+    let scene = std::sync::Arc::new(pimgfx_workloads::build_scene(g, r, frames));
+    // Every structural knob below (compression, MTU count, cube count,
+    // vault bandwidth) leaves the frontend untouched, so one fragment
+    // stream serves all seventeen bespoke simulations; replay is
+    // byte-identical to a direct render.
+    let stream =
+        pimgfx::FragmentStream::build(std::sync::Arc::clone(&scene), SimConfig::default().tile_px)
+            .expect("frontend builds");
     let run = |config: pimgfx::SimConfig| -> pimgfx::RenderReport {
         let mut sim = pimgfx::Simulator::new(config).expect("valid config");
-        sim.render_trace(&scene).expect("renders")
+        sim.render_replay(&stream).expect("renders")
     };
     let base = run(SimConfig::default());
 

@@ -48,11 +48,12 @@
 pub mod manifest;
 pub mod pool;
 
-use pimgfx::{Design, RenderReport, SimConfig, Simulator};
+use pimgfx::{Design, FragmentStreamCache, FrontendCacheStats, RenderReport, SimConfig, Simulator};
 use pimgfx_quality::psnr;
 use pimgfx_types::{ConfigError, Error, Result};
 use pimgfx_workloads::{Game, Resolution, SceneCache, SceneTrace};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Result alias for harness operations, which can fail on configuration
@@ -281,13 +282,29 @@ impl SweepStats {
     }
 }
 
+/// Wall-clock split of one simulated cell: time spent obtaining the
+/// variant-invariant frontend artifact (the [`pimgfx::FragmentStream`];
+/// near zero on a stream-cache hit) versus time spent in the
+/// variant-specific backend replay. Surfaced per cell in the run
+/// manifest (schema v3).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WallSplit {
+    /// Milliseconds spent in `FragmentStreamCache::get` — the frontend
+    /// build on a miss, a map lookup on a hit.
+    pub frontend_ms: f64,
+    /// Milliseconds spent replaying the backend (all timing models).
+    pub backend_ms: f64,
+}
+
 /// Memoizing experiment runner.
 #[derive(Debug)]
 pub struct Harness {
     /// Frames per walkthrough.
     frames: usize,
     scenes: SceneCache,
+    streams: Arc<FragmentStreamCache>,
     reports: HashMap<(Game, Resolution, String), RenderReport>,
+    walls: HashMap<(String, String), WallSplit>,
 }
 
 impl Harness {
@@ -301,7 +318,9 @@ impl Harness {
         Self {
             frames,
             scenes: SceneCache::new(frames),
+            streams: Arc::new(FragmentStreamCache::new(SimConfig::default().tile_px)),
             reports: HashMap::new(),
+            walls: HashMap::new(),
         }
     }
 
@@ -320,7 +339,15 @@ impl Harness {
         Self {
             frames,
             scenes: SceneCache::with_capacity(frames, scene_capacity),
+            // Frontend streams are bounded alongside the scenes: a
+            // stream is useless once its scene is gone, and both grow
+            // with the set of distinct columns ever requested.
+            streams: Arc::new(FragmentStreamCache::with_capacity(
+                SimConfig::default().tile_px,
+                scene_capacity,
+            )),
             reports: HashMap::new(),
+            walls: HashMap::new(),
         }
     }
 
@@ -358,6 +385,27 @@ impl Harness {
         self.scenes.evictions()
     }
 
+    /// The shared frontend-stream cache (each column's rasterized
+    /// fragment stream is built once and replayed by every variant).
+    pub fn streams(&self) -> &Arc<FragmentStreamCache> {
+        &self.streams
+    }
+
+    /// Snapshot of the frontend-stream cache's hit/miss/eviction
+    /// counters — surfaced in the run manifest (schema v3).
+    pub fn frontend_cache_stats(&self) -> FrontendCacheStats {
+        self.streams.stats()
+    }
+
+    /// The wall-clock frontend/backend split recorded when a cell was
+    /// simulated, keyed by `(column label, variant label)`. `None` for
+    /// cells never run by this harness.
+    pub fn wall_split(&self, column: &str, variant: &str) -> Option<WallSplit> {
+        self.walls
+            .get(&(column.to_string(), variant.to_string()))
+            .copied()
+    }
+
     /// Runs (or recalls) one experiment cell.
     ///
     /// This is the *serial* path: a cache miss simulates the cell on the
@@ -391,7 +439,9 @@ impl Harness {
         let key = (game, res, variant.label());
         if !self.reports.contains_key(&key) {
             let scene = self.scenes.get(game, res);
-            let report = simulate_cell(&scene, variant)?;
+            let (report, wall) = simulate_cell(&scene, variant, &self.streams)?;
+            self.walls
+                .insert((Self::column_label(game, res), variant.label()), wall);
             self.reports.insert(key.clone(), report);
         }
         self.reports
@@ -436,7 +486,11 @@ impl Harness {
             });
         }
 
-        // Phase 1: build each unique scene once, in parallel.
+        // Phase 1: build each unique scene — and its frontend fragment
+        // stream — once, in parallel. Pre-warming the stream cache here
+        // means phase 2's workers all hit it, so no two workers ever
+        // duplicate a column's rasterization work by racing on a cold
+        // entry.
         let mut columns: Vec<(Game, Resolution)> = Vec::new();
         for &(g, r, _, _) in &todo {
             if !columns.contains(&(g, r)) {
@@ -444,19 +498,27 @@ impl Harness {
             }
         }
         let scenes = &self.scenes;
-        pool::run_ordered(&columns, pool::worker_count(columns.len())?, |&(g, r)| {
-            scenes.get(g, r);
-        });
+        let streams = &self.streams;
+        let warmed: Vec<Result<()>> =
+            pool::run_ordered(&columns, pool::worker_count(columns.len())?, |&(g, r)| {
+                streams.get(&scenes.get(g, r)).map(|_| ())
+            });
+        for w in warmed {
+            w?;
+        }
 
         // Phase 2: simulate all cells; merge preserves `todo` order.
-        let results: Vec<HarnessResult<RenderReport>> =
+        let results: Vec<HarnessResult<(RenderReport, WallSplit)>> =
             pool::run_ordered(&todo, workers, |&(g, r, v, _)| {
-                simulate_cell(&scenes.get(g, r), v)
+                simulate_cell(&scenes.get(g, r), v, streams)
             });
 
         let cells_executed = todo.len();
-        for ((g, r, _, label), result) in todo.into_iter().zip(results) {
-            self.reports.insert((g, r, label), result?);
+        for ((g, r, v, label), result) in todo.into_iter().zip(results) {
+            let (report, wall) = result?;
+            self.walls
+                .insert((Self::column_label(g, r), v.label()), wall);
+            self.reports.insert((g, r, label), report);
         }
         Ok(SweepStats {
             cells_executed,
@@ -574,12 +636,48 @@ pub fn bench_scene() -> SceneTrace {
 }
 
 /// Simulates one `(scene, variant)` cell: the worker-thread body of
-/// every sweep (each worker owns its [`Simulator`]; only the scene is
-/// shared, read-only).
-fn simulate_cell(scene: &SceneTrace, variant: Variant) -> HarnessResult<RenderReport> {
+/// every sweep (each worker owns its [`Simulator`]; only the scene and
+/// the frontend stream are shared, read-only).
+///
+/// The variant-invariant frontend comes from the stream cache (built on
+/// first use, replayed by every later variant of the column); the
+/// variant-specific backend replays it, which is byte-identical to a
+/// direct `render_trace`. The returned [`WallSplit`] attributes the
+/// cell's wall time to the two passes.
+fn simulate_cell(
+    scene: &Arc<SceneTrace>,
+    variant: Variant,
+    streams: &FragmentStreamCache,
+) -> HarnessResult<(RenderReport, WallSplit)> {
     let config = variant.config()?;
     let mut sim = Simulator::new(config)?;
-    Ok(sim.render_trace(scene)?)
+    if sim.config().tile_px != streams.tile_px() {
+        // A variant binned at a different tile size cannot replay the
+        // shared stream; render directly (no variant does this today).
+        let start = Instant::now();
+        let report = sim.render_trace(scene)?;
+        let backend_ms = start.elapsed().as_secs_f64() * 1000.0;
+        return Ok((
+            report,
+            WallSplit {
+                frontend_ms: 0.0,
+                backend_ms,
+            },
+        ));
+    }
+    let start = Instant::now();
+    let stream = streams.get(scene)?;
+    let frontend_ms = start.elapsed().as_secs_f64() * 1000.0;
+    let start = Instant::now();
+    let report = sim.render_replay(&stream)?;
+    let backend_ms = start.elapsed().as_secs_f64() * 1000.0;
+    Ok((
+        report,
+        WallSplit {
+            frontend_ms,
+            backend_ms,
+        },
+    ))
 }
 
 /// Runs one variant over a scene and returns its report (bench body).
@@ -591,6 +689,30 @@ pub fn run_variant(scene: &SceneTrace, variant: Variant) -> Result<RenderReport>
     let config = variant.config()?;
     let mut sim = Simulator::new(config)?;
     sim.render_trace(scene)
+}
+
+/// Runs one variant over a scene through a shared frontend-stream cache
+/// — the replay counterpart of [`run_variant`], with byte-identical
+/// results. Used by `pimgfx-serve`, where many variants of one job (and
+/// consecutive jobs on the same column) share the frontend pass.
+///
+/// # Errors
+///
+/// Propagates configuration and simulation failures. Falls back to a
+/// direct render when the variant's tile size does not match the
+/// cache's.
+pub fn run_variant_replay(
+    scene: &Arc<SceneTrace>,
+    variant: Variant,
+    streams: &FragmentStreamCache,
+) -> Result<RenderReport> {
+    let config = variant.config()?;
+    let mut sim = Simulator::new(config)?;
+    if sim.config().tile_px != streams.tile_px() {
+        return sim.render_trace(scene);
+    }
+    let stream = streams.get(scene)?;
+    sim.render_replay(&stream)
 }
 
 /// Runs several variants of one scene through the worker [`pool`],

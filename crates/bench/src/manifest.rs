@@ -12,8 +12,8 @@
 //! The schema is versioned ([`SCHEMA_VERSION`]); consumers should ignore
 //! unknown fields so the schema can grow additively.
 //!
-//! Schema v2 (this version) adds two per-cell fields on top of v1 —
-//! both additive, so v1 consumers keep working:
+//! Schema v2 added two per-cell fields on top of v1 — both additive,
+//! so v1 consumers keep working:
 //!
 //! - `"stages"`: the per-stage cycle/ops/bytes/stalls breakdown from
 //!   the report's `pimgfx_engine::trace::StageTrace` (see
@@ -21,14 +21,28 @@
 //! - `"trace_audit"`: the outcome of
 //!   [`RenderReport::audit`](pimgfx::RenderReport::audit) for that cell
 //!   (`"ok"`, or the conservation violation's error display).
+//!
+//! Schema v3 (this version) adds the frontend-stream cache's
+//! observability — again additively:
+//!
+//! - top-level `"frontend_cache"`: the shared
+//!   [`pimgfx::FragmentStreamCache`]'s hit/miss/eviction counters for
+//!   the run, and
+//! - per-cell `"frontend_wall_ms"` / `"backend_wall_ms"`: the cell's
+//!   wall-clock split between obtaining the variant-invariant frontend
+//!   artifact and replaying the variant-specific backend. Both are
+//!   optional and *omitted* when not measured (the `pimgfx-serve` job
+//!   manifests leave them out to stay byte-deterministic).
 
 use crate::HarnessResult;
 use pimgfx::RenderReport;
 use pimgfx_types::Error;
 
 /// Version of the manifest layout; bumped on breaking field changes.
-/// v2 added the per-cell `stages` breakdown and `trace_audit` fields.
-pub const SCHEMA_VERSION: u32 = 2;
+/// v2 added the per-cell `stages` breakdown and `trace_audit` fields;
+/// v3 added the top-level `frontend_cache` counters and the optional
+/// per-cell `frontend_wall_ms` / `backend_wall_ms` split.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Default file name, written into the CSV directory when one is given
 /// (else the working directory).
@@ -95,6 +109,13 @@ pub struct CellSummary {
     /// Outcome of the cycle-conservation audit for this cell: `"ok"`,
     /// or the violated invariant's error display (schema v2).
     pub trace_audit: String,
+    /// Milliseconds spent obtaining the frontend fragment stream for
+    /// this cell (schema v3; `None` when not measured — the field is
+    /// then omitted from the JSON).
+    pub frontend_wall_ms: Option<f64>,
+    /// Milliseconds spent in the backend replay for this cell
+    /// (schema v3; `None` when not measured — omitted from the JSON).
+    pub backend_wall_ms: Option<f64>,
     /// Per-stage counter breakdown, in trace-recording order
     /// (schema v2).
     pub stages: Vec<StageSummary>,
@@ -119,6 +140,8 @@ impl CellSummary {
                 Ok(()) => "ok".to_string(),
                 Err(e) => format!("error: {e}"),
             },
+            frontend_wall_ms: None,
+            backend_wall_ms: None,
             stages: report
                 .trace
                 .iter()
@@ -165,6 +188,15 @@ impl CellSummary {
             json_f64(self.energy_nj),
             quote(&self.trace_audit)
         ));
+        // Schema v3 wall-split fields: omitted entirely when not
+        // measured, so producers that never time cells (the serve job
+        // manifests) stay byte-deterministic.
+        if let Some(ms) = self.frontend_wall_ms {
+            s.push_str(&format!("     \"frontend_wall_ms\": {},\n", json_f64(ms)));
+        }
+        if let Some(ms) = self.backend_wall_ms {
+            s.push_str(&format!("     \"backend_wall_ms\": {},\n", json_f64(ms)));
+        }
         s.push_str("     \"stages\": [");
         for (j, stage) in self.stages.iter().enumerate() {
             if j > 0 {
@@ -182,6 +214,31 @@ impl CellSummary {
         }
         s.push_str("]}");
         s
+    }
+}
+
+/// Frontend-stream cache counters for one run (schema v3): how many
+/// cell simulations hit the shared [`pimgfx::FragmentStreamCache`],
+/// how many built a stream, and how many streams a bounded cache
+/// evicted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrontendCacheSummary {
+    /// Cells served from a resident stream.
+    pub hits: u64,
+    /// Cells (or pre-warm passes) that built a stream.
+    pub misses: u64,
+    /// Streams evicted from a bounded cache.
+    pub evictions: u64,
+}
+
+impl FrontendCacheSummary {
+    /// Converts the simulator-side counters into the manifest record.
+    pub fn from_stats(stats: pimgfx::FrontendCacheStats) -> Self {
+        Self {
+            hits: stats.hits,
+            misses: stats.misses,
+            evictions: stats.evictions,
+        }
     }
 }
 
@@ -208,6 +265,8 @@ pub struct RunManifest {
     /// unbounded default cache; nonzero only under a configured LRU
     /// bound). Additive field; consumers ignoring it keep working.
     pub scene_evictions: u64,
+    /// Frontend-stream cache counters for the run (schema v3).
+    pub frontend_cache: FrontendCacheSummary,
     /// End-to-end wall-clock milliseconds for the whole sweep.
     pub total_wall_ms: f64,
     /// Cells per wall-clock second (0 when no cell ran).
@@ -236,6 +295,15 @@ impl RunManifest {
             1,
             "scene_evictions",
             &self.scene_evictions.to_string(),
+        );
+        push_kv(
+            &mut s,
+            1,
+            "frontend_cache",
+            &format!(
+                "{{\"hits\": {}, \"misses\": {}, \"evictions\": {}}}",
+                self.frontend_cache.hits, self.frontend_cache.misses, self.frontend_cache.evictions
+            ),
         );
         push_kv(&mut s, 1, "total_wall_ms", &json_f64(self.total_wall_ms));
         push_kv(&mut s, 1, "cells_per_sec", &json_f64(self.cells_per_sec));
@@ -356,6 +424,11 @@ mod tests {
             config_digest: fnv1a_digest("frames=2;quick"),
             cells: 3,
             scene_evictions: 0,
+            frontend_cache: FrontendCacheSummary {
+                hits: 2,
+                misses: 1,
+                evictions: 0,
+            },
             total_wall_ms: 1234.5,
             cells_per_sec: 2.43,
             figures: vec![
@@ -382,6 +455,8 @@ mod tests {
                 internal_bytes: 30,
                 energy_nj: 1.5,
                 trace_audit: "ok".to_string(),
+                frontend_wall_ms: None,
+                backend_wall_ms: None,
                 stages: vec![
                     StageSummary {
                         stage: "shader.alu".to_string(),
@@ -415,6 +490,7 @@ mod tests {
             "config_digest",
             "cells",
             "scene_evictions",
+            "frontend_cache",
             "total_wall_ms",
             "cells_per_sec",
             "figures",
@@ -437,9 +513,29 @@ mod tests {
     }
 
     #[test]
+    fn schema_v3_emits_frontend_cache_and_optional_walls() {
+        let j = sample().to_json();
+        assert!(j.contains("\"schema_version\": 3"), "{j}");
+        assert!(
+            j.contains("\"frontend_cache\": {\"hits\": 2, \"misses\": 1, \"evictions\": 0}"),
+            "{j}"
+        );
+        // Unmeasured walls are omitted entirely, not emitted as null —
+        // the serve job manifests depend on this for byte determinism.
+        assert!(!j.contains("frontend_wall_ms"), "{j}");
+        assert!(!j.contains("backend_wall_ms"), "{j}");
+        let mut timed = sample();
+        timed.cell_reports[0].frontend_wall_ms = Some(12.3456);
+        timed.cell_reports[0].backend_wall_ms = Some(78.9);
+        let j = timed.to_json();
+        assert!(j.contains("\"frontend_wall_ms\": 12.346"), "{j}");
+        assert!(j.contains("\"backend_wall_ms\": 78.900"), "{j}");
+        assert_eq!(j.matches('{').count(), j.matches('}').count(), "{j}");
+    }
+
+    #[test]
     fn schema_v2_emits_trace_audit_and_stage_breakdown() {
         let j = sample().to_json();
-        assert!(j.contains("\"schema_version\": 2"), "{j}");
         assert!(j.contains("\"trace_audit\": \"ok\""), "{j}");
         assert!(
             j.contains(

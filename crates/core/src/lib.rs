@@ -45,11 +45,13 @@
 pub mod backend;
 pub mod config;
 pub mod design;
+mod fxhash;
 pub mod geometry;
 pub mod overhead;
 pub mod rop;
 pub mod sim;
 pub mod stats;
+pub mod stream;
 pub mod texpath;
 pub mod texunit;
 
@@ -75,5 +77,6 @@ pub use design::Design;
 pub use overhead::{analyze as analyze_overhead, OverheadReport};
 pub use sim::Simulator;
 pub use stats::{RenderReport, TextureStats};
+pub use stream::{FragmentStream, FragmentStreamCache, FrontendCacheStats};
 pub use texpath::TexturePath;
 pub use texunit::TextureUnits;

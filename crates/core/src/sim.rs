@@ -26,13 +26,14 @@ use crate::design::Design;
 use crate::geometry;
 use crate::rop::Rop;
 use crate::stats::{FrameStats, RenderReport};
+use crate::stream::{FragmentStream, StreamData};
 use crate::texpath::TexturePath;
 use pimgfx_energy::{EnergyModel, EnergyParams};
 use pimgfx_engine::trace::{stage, StageCounters, StageTrace};
 use pimgfx_engine::{Cycle, InFlightWindow};
 use pimgfx_mem::MemorySystem;
 use pimgfx_quality::FrameImage;
-use pimgfx_raster::{FragmentTile, RasterStats, Rasterizer};
+use pimgfx_raster::RasterStats;
 use pimgfx_shader::{ShaderCores, ShaderProgram, TileScheduler};
 use pimgfx_texture::TextureLayout;
 use pimgfx_types::{ConfigError, Result, Rgba};
@@ -124,13 +125,45 @@ impl Simulator {
     ///
     /// # Errors
     ///
-    /// Returns [`ConfigError`] if the scene references more textures
-    /// than the layout heap can hold (never, in practice) or is empty.
+    /// Returns [`ConfigError`] if the scene is empty.
     pub fn render_trace(&mut self, scene: &SceneTrace) -> Result<RenderReport> {
-        if scene.cameras.is_empty() {
-            return Err(ConfigError::new("simulator", "scene has no frames"));
-        }
+        // The variant-invariant frontend (rasterize, bin, quad-group)
+        // followed immediately by the variant-specific backend — the
+        // same two passes a cached replay runs, so a direct render and
+        // a replay are byte-identical by construction.
+        let data = StreamData::build(scene, self.config.tile_px)?;
+        self.replay_impl(scene, &data)
+    }
 
+    /// Renders from a prebuilt [`FragmentStream`] instead of
+    /// rasterizing, producing a report byte-identical to
+    /// [`render_trace`](Self::render_trace) on the stream's scene. All
+    /// cycle-bearing stages — geometry timing, shading, texture layout,
+    /// filtering, caching, ROP, DRAM, energy — still run per call, so
+    /// every design point replays its own timing; only the purely
+    /// functional frontend is skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the stream was binned at a
+    /// different tile size than this simulator's configuration.
+    pub fn render_replay(&mut self, stream: &FragmentStream) -> Result<RenderReport> {
+        if stream.tile_px() != self.config.tile_px {
+            return Err(ConfigError::new(
+                "simulator",
+                format!(
+                    "stream binned at tile_px {} cannot replay on tile_px {}",
+                    stream.tile_px(),
+                    self.config.tile_px
+                ),
+            ));
+        }
+        self.replay_impl(stream.scene(), stream.data())
+    }
+
+    /// The variant-specific backend: drives shading, texturing, ROP,
+    /// memory, and energy over an already-built fragment stream.
+    fn replay_impl(&mut self, scene: &SceneTrace, data: &StreamData) -> Result<RenderReport> {
         // Lay textures out in the simulated address space. With several
         // HMC cubes, textures go round-robin into per-cube regions so a
         // whole mip pyramid always lives in one cube (§V-E).
@@ -170,7 +203,6 @@ impl Simulator {
 
         let width = scene.width();
         let height = scene.height();
-        let mut raster = Rasterizer::with_tile_size(width, height, self.config.tile_px);
         let mut rop = Rop::new(width, height, self.config.tile_px);
         let scheduler = TileScheduler::new(
             self.config.shader.clusters,
@@ -187,60 +219,61 @@ impl Simulator {
         let mut per_frame_trace: Vec<StageTrace> = Vec::with_capacity(scene.cameras.len());
         let mut trace_snapshot = StageTrace::new();
         let mut window_stalls = 0u64;
+        let mut quad_results: Vec<(Rgba, Cycle)> = Vec::new();
 
-        for camera in &scene.cameras {
+        for fe in &data.frames {
             let frame_start = clock;
-            raster.begin_frame();
             rop.begin_frame();
             image = FrameImage::filled(width, height, Rgba::BLACK);
 
-            // 1. Geometry processing.
+            // 1. Geometry processing (its vertex traffic and ALU work
+            // are timing, so it runs per variant, not in the frontend).
             let geom_done =
                 geometry::process_frame(frame_start, scene, &mut self.cores, &mut self.mem);
 
-            // 2. Rasterization (functional early-Z across all draws).
-            let mut fragments = Vec::new();
-            for draw in &scene.draws {
-                raster.bind_texture(draw.texture);
-                for tri in &draw.triangles {
-                    fragments.extend(raster.rasterize(camera, tri));
-                }
-            }
-
-            // 3. Fragment processing, tile by tile. A cluster may work a
-            // bounded number of tiles ahead of the oldest unretired one —
+            // 2. Fragment processing, tile by tile, over the stream's
+            // prebuilt raster output. A cluster may work a bounded
+            // number of tiles ahead of the oldest unretired one —
             // texture latency beyond that slack throttles issue, as
             // finite in-flight fragment storage does in hardware.
             const TILE_WINDOW: usize = 4;
-            let tiles = FragmentTile::group(fragments, self.config.tile_px);
             let mut frame_end = geom_done;
             let mut windows: Vec<InFlightWindow> = (0..self.config.shader.clusters)
                 .map(|_| InFlightWindow::new(TILE_WINDOW, geom_done))
                 .collect();
-            for tile in &tiles {
-                let cluster = scheduler.cluster_for(tile.coord);
+            let tile_end = (fe.tile_start + fe.tile_len) as usize;
+            for te in &data.tiles[fe.tile_start as usize..tile_end] {
+                let cluster = scheduler.cluster_for(te.coord);
                 let issue_at = windows[cluster].gate_from(geom_done);
                 let alu_done = self.cores.shade_fragments(
                     cluster,
                     issue_at,
-                    tile.len() as u64,
+                    u64::from(te.frag_len),
                     &fragment_program,
                 );
                 let mut tile_done = alu_done;
                 // Texture requests are issued at 2x2-quad granularity
-                // (the texture unit serves whole fragment groups).
-                for quad in quads(&tile.fragments) {
+                // (the texture unit serves whole fragment groups); the
+                // stream stores each tile's fragments quad-contiguously,
+                // in the same first-occurrence quad order the simulator
+                // always issued.
+                let mut offset = te.frag_start as usize;
+                let quad_end = (te.quad_start + te.quad_len) as usize;
+                for &len in &data.quad_lens[te.quad_start as usize..quad_end] {
+                    let quad = &data.fragments[offset..offset + len as usize];
+                    offset += len as usize;
                     let tex = texture_of(quad[0].texture);
                     let layout = &layouts[quad[0].texture.index()];
-                    let results = self.texture.sample_quad(
+                    self.texture.sample_quad_into(
                         cluster,
                         issue_at,
-                        &quad,
+                        quad,
                         tex,
                         layout,
                         &mut self.mem,
+                        &mut quad_results,
                     );
-                    for (frag, (color, done)) in quad.iter().zip(results) {
+                    for (frag, &(color, done)) in quad.iter().zip(&quad_results) {
                         tile_done = tile_done.max(done);
                         image.put(frag.x, frag.y, color.clamped());
                         rop.retire(frag);
@@ -250,7 +283,7 @@ impl Simulator {
                 frame_end = frame_end.max(tile_done);
             }
 
-            // 4. ROP write-back.
+            // 3. ROP write-back.
             let frag_end = frame_end;
             let rop_done = rop.flush_frame(frame_end, &mut self.mem);
             frame_end = frame_end.max(rop_done).max(self.texture.last_completion());
@@ -279,13 +312,13 @@ impl Simulator {
             per_frame.push(FrameStats {
                 frame: frames,
                 cycles: frame_end.since(frame_start).get(),
-                // begin_frame() reset the rasterizer's counters, so its
-                // stats are already per-frame here.
-                fragments: raster.stats().fragments_out,
+                // The frontend captured per-frame raster counters when
+                // it built the stream.
+                fragments: fe.raster.fragments_out,
                 texture_samples: samples_now - samples_before,
             });
             samples_before = samples_now;
-            let r = raster.stats();
+            let r = fe.raster;
             raster_total.triangles_in += r.triangles_in;
             raster_total.triangles_clipped += r.triangles_clipped;
             raster_total.hiz_rejected += r.hiz_rejected;
@@ -401,23 +434,6 @@ impl Simulator {
         self.cores.reset();
         self.texture.reset();
     }
-}
-
-/// Groups a tile's fragments into 2x2 pixel quads sharing one texture
-/// (fragments of different textures in the same quad are split).
-fn quads(fragments: &[pimgfx_raster::Fragment]) -> Vec<Vec<pimgfx_raster::Fragment>> {
-    let mut map: std::collections::HashMap<(u32, u32, u32), usize> =
-        std::collections::HashMap::new();
-    let mut out: Vec<Vec<pimgfx_raster::Fragment>> = Vec::new();
-    for f in fragments {
-        let key = (f.x / 2, f.y / 2, f.texture.raw());
-        let idx = *map.entry(key).or_insert_with(|| {
-            out.push(Vec::with_capacity(4));
-            out.len() - 1
-        });
-        out[idx].push(*f);
-    }
-    out
 }
 
 #[cfg(test)]

@@ -111,7 +111,12 @@ pub struct FrameStats {
 }
 
 /// The full result of simulating a trace under one configuration.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field — cycles, counters, energy, the
+/// rendered image, and the stage traces — so replay-equivalence tests
+/// can assert a cached-frontend replay is bit-identical to a direct
+/// render.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RenderReport {
     /// The design simulated.
     pub design: Design,

@@ -1,0 +1,567 @@
+//! The variant-invariant frontend artifact and its cache.
+//!
+//! Everything upstream of texturing — vertex transform, clipping,
+//! rasterization with early-Z, tile binning, and 2x2-quad grouping — is
+//! purely functional and depends only on the scene, never on the design
+//! point, memory geometry, or sampler configuration. A sweep column that
+//! renders the same scene through many variants therefore repeats that
+//! work identically per variant. [`FragmentStream`] captures one
+//! frontend pass as a compact, immutable, structure-of-arrays artifact;
+//! [`Simulator::render_replay`](crate::sim::Simulator::render_replay)
+//! re-runs only the variant-*dependent* backend (geometry timing,
+//! shading, texture layout/filtering/caching, ROP, DRAM, energy) over
+//! it, producing a report byte-identical to a direct
+//! [`render_trace`](crate::sim::Simulator::render_trace).
+//!
+//! What is deliberately **not** stored here:
+//!
+//! * texture layouts — byte addresses depend on the memory's cube
+//!   count, so replay recomputes them per variant;
+//! * any cycle quantity — all timing is charged during replay;
+//! * transcoded texels — compression is a variant knob.
+//!
+//! [`FragmentStreamCache`] memoizes streams per benchmark column
+//! (keyed by game, resolution, and frame count) so a multi-variant
+//! column pays the frontend exactly once; it mirrors the scene cache's
+//! locking discipline (build outside the lock, first insertion wins,
+//! LRU eviction on a bounded cache) and additionally counts hits and
+//! misses for run-manifest reporting.
+
+use crate::fxhash::FxBuildHasher;
+use pimgfx_raster::{Fragment, FragmentTile, RasterStats, Rasterizer};
+use pimgfx_types::{ConfigError, Result, TileCoord};
+use pimgfx_workloads::{Game, Resolution, SceneTrace};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// One frontend pass over a scene: every post-raster fragment of every
+/// frame, tiled and quad-grouped, plus the per-frame raster counters.
+///
+/// The artifact is immutable and `Send + Sync`; sweep workers share one
+/// stream by [`Arc`] while each drives its own simulator backend.
+///
+/// # Examples
+///
+/// ```no_run
+/// use pimgfx::{Design, FragmentStream, SimConfig, Simulator};
+/// use pimgfx_workloads::{build_scene, Game, Resolution};
+/// use std::sync::Arc;
+///
+/// let scene = Arc::new(build_scene(Game::Doom3, Resolution::R320x240, 1));
+/// let config = SimConfig::default();
+/// let stream = FragmentStream::build(Arc::clone(&scene), config.tile_px)?;
+/// // Replay through two designs; the frontend ran once.
+/// for design in [Design::Baseline, Design::ATfim] {
+///     let config = SimConfig::builder().design(design).build()?;
+///     let mut sim = Simulator::new(config)?;
+///     let report = sim.render_replay(&stream)?;
+///     assert!(report.total_cycles > 0);
+/// }
+/// # Ok::<(), pimgfx_types::ConfigError>(())
+/// ```
+#[derive(Debug)]
+pub struct FragmentStream {
+    scene: Arc<SceneTrace>,
+    tile_px: u32,
+    data: StreamData,
+    build_wall: Duration,
+}
+
+// Pool workers and the serve scheduler hand streams across threads
+// behind an `Arc`; keep the guarantee checked at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<FragmentStream>();
+    assert_send_sync::<FragmentStreamCache>();
+};
+
+impl FragmentStream {
+    /// Runs the frontend (rasterize, bin, quad-group) for every frame
+    /// of `scene` at the given tile size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the scene has no frames or
+    /// `tile_px` is zero.
+    pub fn build(scene: Arc<SceneTrace>, tile_px: u32) -> Result<Self> {
+        let start = Instant::now();
+        let data = StreamData::build(&scene, tile_px)?;
+        Ok(Self {
+            scene,
+            tile_px,
+            data,
+            build_wall: start.elapsed(),
+        })
+    }
+
+    /// The scene this stream was built from.
+    pub fn scene(&self) -> &Arc<SceneTrace> {
+        &self.scene
+    }
+
+    /// Tile size (pixels) the fragments were binned with. Replay
+    /// requires the simulator's `tile_px` to match.
+    pub fn tile_px(&self) -> u32 {
+        self.tile_px
+    }
+
+    /// Wall-clock time the frontend pass took, for manifest accounting.
+    pub fn build_wall(&self) -> Duration {
+        self.build_wall
+    }
+
+    /// Frames captured.
+    pub fn frame_count(&self) -> usize {
+        self.data.frames.len()
+    }
+
+    /// Total post-early-Z fragments across all frames.
+    pub fn fragment_count(&self) -> u64 {
+        self.data.fragments.len() as u64
+    }
+
+    /// Total 2x2 texture quads across all frames.
+    pub fn quad_count(&self) -> u64 {
+        self.data.quad_lens.len() as u64
+    }
+
+    /// The raw index, for the replay loop.
+    pub(crate) fn data(&self) -> &StreamData {
+        &self.data
+    }
+}
+
+/// Structure-of-arrays fragment index: one flat fragment buffer (quads
+/// stored contiguously, in first-occurrence quad order within each
+/// tile), a parallel per-quad length array, and tile/frame directories
+/// of ranges into them.
+#[derive(Debug, Default)]
+pub(crate) struct StreamData {
+    /// All fragments of all frames, grouped quad-contiguously per tile.
+    pub(crate) fragments: Vec<Fragment>,
+    /// Fragment count of each quad, in tile order (a 2x2 quad normally
+    /// holds up to 4 fragments, but overdraw across draw calls sharing
+    /// a texture can stack more, hence not a fixed 4).
+    pub(crate) quad_lens: Vec<u16>,
+    /// Per-tile ranges into `fragments` and `quad_lens`.
+    pub(crate) tiles: Vec<TileEntry>,
+    /// Per-frame ranges into `tiles`, plus that frame's raster stats.
+    pub(crate) frames: Vec<FrameEntry>,
+}
+
+/// One binned tile: its coordinate plus its fragment and quad ranges.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TileEntry {
+    pub(crate) coord: TileCoord,
+    pub(crate) frag_start: u32,
+    pub(crate) frag_len: u32,
+    pub(crate) quad_start: u32,
+    pub(crate) quad_len: u32,
+}
+
+/// One frame: its tile range plus the rasterizer's per-frame counters.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FrameEntry {
+    pub(crate) tile_start: u32,
+    pub(crate) tile_len: u32,
+    pub(crate) raster: RasterStats,
+}
+
+impl StreamData {
+    /// Runs the full frontend for every camera of `scene`.
+    pub(crate) fn build(scene: &SceneTrace, tile_px: u32) -> Result<Self> {
+        if scene.cameras.is_empty() {
+            return Err(ConfigError::new("simulator", "scene has no frames"));
+        }
+        if tile_px == 0 {
+            return Err(ConfigError::new("simulator", "tile size must be nonzero"));
+        }
+        let mut raster = Rasterizer::with_tile_size(scene.width(), scene.height(), tile_px);
+        let mut grouper = QuadGrouper::default();
+        let mut data = Self::default();
+        for camera in &scene.cameras {
+            raster.begin_frame();
+            let mut fragments = Vec::new();
+            for draw in &scene.draws {
+                raster.bind_texture(draw.texture);
+                for tri in &draw.triangles {
+                    fragments.extend(raster.rasterize(camera, tri));
+                }
+            }
+            let tiles = FragmentTile::group(fragments, tile_px);
+            let tile_start = data.tiles.len() as u32;
+            for tile in &tiles {
+                let frag_start = data.fragments.len() as u32;
+                let quad_start = data.quad_lens.len() as u32;
+                grouper.group_into(&tile.fragments, &mut data.fragments, &mut data.quad_lens);
+                data.tiles.push(TileEntry {
+                    coord: tile.coord,
+                    frag_start,
+                    frag_len: data.fragments.len() as u32 - frag_start,
+                    quad_start,
+                    quad_len: data.quad_lens.len() as u32 - quad_start,
+                });
+            }
+            data.frames.push(FrameEntry {
+                tile_start,
+                tile_len: data.tiles.len() as u32 - tile_start,
+                raster: *raster.stats(),
+            });
+        }
+        Ok(data)
+    }
+}
+
+/// Reusable scratch for grouping a tile's fragments into 2x2 pixel
+/// quads sharing one texture (fragments of different textures in the
+/// same quad are split). Quads are emitted in first-occurrence order
+/// and fragments keep their rasterization order within a quad — exactly
+/// the grouping the simulator's fragment loop historically produced
+/// with per-quad `Vec`s, but scattered into one flat buffer with no
+/// steady-state allocation.
+#[derive(Debug, Default)]
+struct QuadGrouper {
+    /// Quad key → dense quad index (within the current tile).
+    map: HashMap<(u32, u32, u32), u32, FxBuildHasher>,
+    /// Fragment count per quad (pass 1), then consumed as write cursors.
+    counts: Vec<u32>,
+    /// Scatter cursor per quad: absolute index into the output buffer.
+    cursors: Vec<u32>,
+}
+
+impl QuadGrouper {
+    /// Groups `frags`, appending fragments quad-contiguously to
+    /// `out_frags` and one length per quad to `out_lens`.
+    fn group_into(
+        &mut self,
+        frags: &[Fragment],
+        out_frags: &mut Vec<Fragment>,
+        out_lens: &mut Vec<u16>,
+    ) {
+        self.map.clear();
+        self.counts.clear();
+        // Pass 1: assign dense quad indices in first-occurrence order
+        // and count each quad's fragments.
+        for f in frags {
+            let key = (f.x / 2, f.y / 2, f.texture.raw());
+            match self.map.entry(key) {
+                Entry::Occupied(e) => {
+                    let quad = *e.get();
+                    self.counts[quad as usize] += 1;
+                }
+                Entry::Vacant(v) => {
+                    v.insert(self.counts.len() as u32);
+                    self.counts.push(1);
+                }
+            }
+        }
+        let Some(&first) = frags.first() else { return };
+        // Pass 2: prefix-sum the counts into scatter cursors, then
+        // place every fragment directly at its quad's next slot.
+        self.cursors.clear();
+        let mut acc = out_frags.len() as u32;
+        for &count in &self.counts {
+            self.cursors.push(acc);
+            acc += count;
+        }
+        out_frags.resize(acc as usize, first);
+        for f in frags {
+            let key = (f.x / 2, f.y / 2, f.texture.raw());
+            // Every key was inserted in pass 1.
+            let quad = self.map[&key] as usize;
+            out_frags[self.cursors[quad] as usize] = *f;
+            self.cursors[quad] += 1;
+        }
+        out_lens.extend(
+            self.counts
+                .iter()
+                .map(|&c| c.min(u32::from(u16::MAX)) as u16),
+        );
+    }
+}
+
+/// Hit/miss/eviction counters of a [`FragmentStreamCache`], snapshotted
+/// for run manifests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrontendCacheStats {
+    /// Requests served from a resident stream.
+    pub hits: u64,
+    /// Requests that built a stream (a lost insertion race still counts
+    /// as a miss: the frontend work was done).
+    pub misses: u64,
+    /// Streams evicted from a bounded cache.
+    pub evictions: u64,
+}
+
+/// Key of one cached stream: the benchmark column identity. Frame count
+/// participates because harnesses with different `--frames` must not
+/// share streams; `tile_px` is fixed per cache instead of per key.
+type StreamKey = (Game, Resolution, usize);
+
+/// A memo of [`FragmentStream`]s shared across sweep workers, keyed by
+/// (game, resolution, frame count).
+///
+/// Same discipline as the workload scene cache: the (deterministic,
+/// hence idempotent) frontend build runs *outside* the cache lock so
+/// other columns stay available while one builds; if two threads race
+/// on the same cold column the first insertion wins and both receive
+/// the same [`Arc`]. A bounded cache evicts least-recently-used streams
+/// (handed-out [`Arc`]s stay valid — eviction only drops the cache's
+/// own reference).
+#[derive(Debug)]
+pub struct FragmentStreamCache {
+    tile_px: u32,
+    capacity: Option<usize>,
+    inner: Mutex<StreamCacheState>,
+}
+
+/// Mutex-guarded interior: memo map, recency list (least-recently-used
+/// first), and the usage counters.
+#[derive(Debug, Default)]
+struct StreamCacheState {
+    map: HashMap<StreamKey, Arc<FragmentStream>>,
+    lru: Vec<StreamKey>,
+    stats: FrontendCacheStats,
+}
+
+impl FragmentStreamCache {
+    /// Creates an unbounded cache whose streams are all binned at
+    /// `tile_px`.
+    pub fn new(tile_px: u32) -> Self {
+        Self {
+            tile_px,
+            capacity: None,
+            inner: Mutex::new(StreamCacheState::default()),
+        }
+    }
+
+    /// Creates a cache bounded to `capacity` resident streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(tile_px: u32, capacity: usize) -> Self {
+        assert!(
+            capacity > 0,
+            "a bounded cache needs capacity for at least one stream"
+        );
+        let mut cache = Self::new(tile_px);
+        cache.capacity = Some(capacity);
+        cache
+    }
+
+    /// Tile size every cached stream was binned with.
+    pub fn tile_px(&self) -> u32 {
+        self.tile_px
+    }
+
+    /// The resident-stream bound, or `None` for an unbounded cache.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Number of streams resident right now.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// True when no stream is resident.
+    pub fn is_empty(&self) -> bool {
+        self.lock().map.is_empty()
+    }
+
+    /// Snapshot of the hit/miss/eviction counters.
+    pub fn stats(&self) -> FrontendCacheStats {
+        self.lock().stats
+    }
+
+    /// Returns the stream for `scene`, running the frontend on first
+    /// use. The scene is identified by (game, resolution, frame count)
+    /// — the same identity the scene cache builds deterministic traces
+    /// under — so two [`Arc`]s to equal traces share one stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the frontend rejects the scene
+    /// (no frames).
+    pub fn get(&self, scene: &Arc<SceneTrace>) -> Result<Arc<FragmentStream>> {
+        let key = (scene.game, scene.resolution, scene.frame_count());
+        {
+            let mut st = self.lock();
+            if let Some(stream) = st.map.get(&key) {
+                let stream = Arc::clone(stream);
+                st.stats.hits += 1;
+                Self::touch(&mut st.lru, key);
+                return Ok(stream);
+            }
+        }
+        let built = Arc::new(FragmentStream::build(Arc::clone(scene), self.tile_px)?);
+        let mut st = self.lock();
+        st.stats.misses += 1;
+        let out = Arc::clone(st.map.entry(key).or_insert_with(|| Arc::clone(&built)));
+        Self::touch(&mut st.lru, key);
+        if let Some(cap) = self.capacity {
+            while st.map.len() > cap && !st.lru.is_empty() {
+                let victim = st.lru.remove(0);
+                st.map.remove(&victim);
+                st.stats.evictions += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Moves `key` to the most-recently-used end of the recency list.
+    fn touch(lru: &mut Vec<StreamKey>, key: StreamKey) {
+        lru.retain(|k| *k != key);
+        lru.push(key);
+    }
+
+    /// Locks the interior, recovering from a poisoned mutex (the state
+    /// is counters and Arcs — always valid).
+    fn lock(&self) -> MutexGuard<'_, StreamCacheState> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimgfx_workloads::build_scene_unchecked;
+
+    fn tiny_scene(frames: usize) -> SceneTrace {
+        let mut profile = Game::Doom3.profile();
+        profile.floor_quads = 4;
+        profile.texture_count = 4;
+        profile.facing_props = 1;
+        build_scene_unchecked(&profile, Resolution::R320x240, frames)
+    }
+
+    /// The historical quad grouping: per-quad `Vec`s in first-occurrence
+    /// order, fragments in arrival order. The flat grouper must match it
+    /// exactly — quad order feeds the texture units and the image/ROP
+    /// retire order, so any deviation changes timing and pixels.
+    fn reference_quads(fragments: &[Fragment]) -> Vec<Vec<Fragment>> {
+        let mut map: std::collections::HashMap<(u32, u32, u32), usize> =
+            std::collections::HashMap::new();
+        let mut out: Vec<Vec<Fragment>> = Vec::new();
+        for f in fragments {
+            let key = (f.x / 2, f.y / 2, f.texture.raw());
+            let idx = *map.entry(key).or_insert_with(|| {
+                out.push(Vec::with_capacity(4));
+                out.len() - 1
+            });
+            out[idx].push(*f);
+        }
+        out
+    }
+
+    #[test]
+    fn grouper_matches_reference_on_real_tiles() {
+        let scene = tiny_scene(1);
+        let data = StreamData::build(&scene, 32).expect("builds");
+        assert!(!data.tiles.is_empty());
+        let mut checked_quads = 0usize;
+        for tile in &data.tiles {
+            let frags = &data.fragments
+                [tile.frag_start as usize..(tile.frag_start + tile.frag_len) as usize];
+            let lens = &data.quad_lens
+                [tile.quad_start as usize..(tile.quad_start + tile.quad_len) as usize];
+            assert_eq!(
+                lens.iter().map(|&l| l as usize).sum::<usize>(),
+                frags.len(),
+                "quad lengths partition the tile's fragments"
+            );
+            let mut offset = 0usize;
+            for &len in lens {
+                let quad = &frags[offset..offset + len as usize];
+                let key = (quad[0].x / 2, quad[0].y / 2, quad[0].texture.raw());
+                assert!(
+                    quad.iter()
+                        .all(|f| (f.x / 2, f.y / 2, f.texture.raw()) == key),
+                    "a quad holds one 2x2 block of one texture"
+                );
+                offset += len as usize;
+                checked_quads += 1;
+            }
+        }
+        assert_eq!(checked_quads, data.quad_lens.len());
+    }
+
+    #[test]
+    fn grouper_preserves_reference_order_exactly() {
+        let scene = tiny_scene(1);
+        let tile_px = 32;
+        // Rebuild the per-tile raster-order fragment lists independently.
+        let mut raster = Rasterizer::with_tile_size(scene.width(), scene.height(), tile_px);
+        raster.begin_frame();
+        let mut fragments = Vec::new();
+        for draw in &scene.draws {
+            raster.bind_texture(draw.texture);
+            for tri in &draw.triangles {
+                fragments.extend(raster.rasterize(&scene.cameras[0], tri));
+            }
+        }
+        let tiles = FragmentTile::group(fragments, tile_px);
+        let mut grouper = QuadGrouper::default();
+        for tile in &tiles {
+            let expected: Vec<Fragment> = reference_quads(&tile.fragments)
+                .into_iter()
+                .flatten()
+                .collect();
+            let expected_lens: Vec<u16> = reference_quads(&tile.fragments)
+                .iter()
+                .map(|q| q.len() as u16)
+                .collect();
+            let mut flat = Vec::new();
+            let mut lens = Vec::new();
+            grouper.group_into(&tile.fragments, &mut flat, &mut lens);
+            assert_eq!(flat, expected, "flat scatter must equal reference order");
+            assert_eq!(lens, expected_lens);
+        }
+    }
+
+    #[test]
+    fn stream_rejects_empty_scene_and_zero_tile() {
+        let mut scene = tiny_scene(1);
+        scene.cameras.clear();
+        assert!(StreamData::build(&scene, 32).is_err());
+        let scene = tiny_scene(1);
+        assert!(StreamData::build(&scene, 0).is_err());
+    }
+
+    #[test]
+    fn cache_hits_and_misses_are_counted() {
+        let cache = FragmentStreamCache::new(32);
+        let scene = Arc::new(tiny_scene(1));
+        let a = cache.get(&scene).expect("builds");
+        let b = cache.get(&scene).expect("hits");
+        assert!(Arc::ptr_eq(&a, &b), "second request shares the stream");
+        assert_eq!(
+            cache.stats(),
+            FrontendCacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        let cache = FragmentStreamCache::with_capacity(32, 1);
+        let one = Arc::new(tiny_scene(1));
+        let two = Arc::new(tiny_scene(2));
+        let first = cache.get(&one).expect("builds");
+        let _ = cache.get(&two).expect("builds and evicts");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().evictions, 1);
+        // The handed-out Arc survives eviction.
+        assert!(first.fragment_count() > 0);
+        // Re-requesting the evicted column is a miss again.
+        let _ = cache.get(&one).expect("rebuilds");
+        assert_eq!(cache.stats().misses, 3);
+    }
+}

@@ -22,6 +22,7 @@
 use crate::backend::MemoryBackend;
 use crate::config::SimConfig;
 use crate::design::Design;
+use crate::fxhash::FxBuildHasher;
 use crate::stats::TextureStats;
 use crate::texunit::TextureUnits;
 use pimgfx_engine::trace::StageTrace;
@@ -30,7 +31,8 @@ use pimgfx_mem::{packet, MemRequest, MemorySystem, TrafficClass};
 use pimgfx_pim::{AtfimLogicLayer, MtuBank, OffloadUnit, ParentFetchBatch, TextureRequest};
 use pimgfx_raster::Fragment;
 use pimgfx_texture::{
-    filter, CacheOutcome, MippedTexture, Sampler, SamplerConfig, TextureCache, TextureLayout,
+    filter, CacheOutcome, FetchSet, MippedTexture, Sampler, SamplerConfig, TextureCache,
+    TextureLayout,
 };
 use pimgfx_types::{Radians, Result, Rgba, Vec2};
 use std::collections::HashMap;
@@ -42,6 +44,49 @@ const L2_HIT_CYCLES: u64 = 8;
 
 /// Key identifying one parent texel in the functional value store.
 type ParentKey = (u32, u8, u32, u32);
+
+/// Reusable per-path scratch buffers: cleared and refilled every quad so
+/// the steady-state sampling loop performs no heap allocation.
+#[derive(Debug, Default)]
+struct PathScratch {
+    /// Fetch-trace recorder for [`Sampler::sample_into`].
+    fetches: FetchSet,
+    /// Deduplicated line addresses of one fragment's fetch trace.
+    lines: Vec<u64>,
+    /// Probe offsets of the current anisotropic kernel.
+    offsets: Vec<(i64, i64)>,
+    /// Quad-level deduplicated offload miss lines (A-TFIM).
+    quad_miss: Vec<u64>,
+    /// Quad-level deduplicated plain miss lines (A-TFIM).
+    plain_lines: Vec<u64>,
+    /// Per-fragment A-TFIM results for the current quad.
+    parts: Vec<AtfimFragment>,
+}
+
+/// An inline list of cache-line addresses, capacity 8 — a fragment's
+/// parent texels are at most 4 bilinear corners × 2 mip levels, so the
+/// per-fragment A-TFIM line sets never heap-allocate.
+#[derive(Debug, Clone, Copy, Default)]
+struct LineList {
+    lines: [u64; 8],
+    len: u8,
+}
+
+impl LineList {
+    fn push(&mut self, line: u64) {
+        debug_assert!(usize::from(self.len) < self.lines.len());
+        self.lines[usize::from(self.len)] = line;
+        self.len += 1;
+    }
+
+    fn as_slice(&self) -> &[u64] {
+        &self.lines[..usize::from(self.len)]
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
 
 /// The texture subsystem of one simulated GPU, specialized by design.
 #[derive(Debug)]
@@ -59,10 +104,12 @@ pub struct TexturePath {
     offload: OffloadUnit,
     /// A-TFIM functional store: last computed value and camera angle per
     /// parent texel.
-    parent_values: HashMap<ParentKey, (Radians, Rgba)>,
+    parent_values: HashMap<ParentKey, (Radians, Rgba), FxBuildHasher>,
     /// Bytes per texel line on the wire (64 raw; 16 under block
     /// compression).
     line_bytes: u32,
+    /// Reusable per-quad scratch buffers (no steady-state allocation).
+    scratch: PathScratch,
     stats: TextureStats,
 }
 
@@ -74,15 +121,16 @@ enum ProbeOutcome {
 }
 
 /// Per-fragment functional result of the A-TFIM GPU-side pass.
+#[derive(Debug, Clone, Copy)]
 struct AtfimFragment {
     color: Rgba,
     parents: u32,
     hit_ready: Duration,
     /// Misses that need the logic layer (non-degenerate aniso kernels).
-    miss_lines: Vec<u64>,
+    miss_lines: LineList,
     /// Misses whose kernel collapsed to a single texel per parent: a
     /// plain memory read, no offload.
-    plain_miss_lines: Vec<u64>,
+    plain_miss_lines: LineList,
     aniso_ratio: u32,
     major_axis_x: bool,
 }
@@ -119,8 +167,9 @@ impl TexturePath {
                     .collect()
             }),
             offload: OffloadUnit::new(config.compress_offload),
-            parent_values: HashMap::new(),
+            parent_values: HashMap::default(),
             line_bytes: if config.compressed_textures { 16 } else { 64 },
+            scratch: PathScratch::default(),
             stats: TextureStats::default(),
         })
     }
@@ -211,21 +260,45 @@ impl TexturePath {
         layout: &TextureLayout,
         mem: &mut MemoryBackend,
     ) -> Vec<(Rgba, Cycle)> {
+        let mut out = Vec::with_capacity(frags.len());
+        self.sample_quad_into(cluster, issue, frags, tex, layout, mem, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`TexturePath::sample_quad`]: clears
+    /// `out` and fills it with one `(color, completion)` per fragment,
+    /// letting the hot replay loop reuse a single buffer across quads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frags` is empty or the fragments reference different
+    /// textures.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sample_quad_into(
+        &mut self,
+        cluster: usize,
+        issue: Cycle,
+        frags: &[Fragment],
+        tex: &MippedTexture,
+        layout: &TextureLayout,
+        mem: &mut MemoryBackend,
+        out: &mut Vec<(Rgba, Cycle)>,
+    ) {
         assert!(!frags.is_empty(), "a quad needs at least one fragment");
         debug_assert!(frags.iter().all(|f| f.texture == frags[0].texture));
 
-        let out = match self.design {
+        out.clear();
+        match self.design {
             Design::Baseline | Design::BPim => {
-                self.quad_conventional(cluster, issue, frags, tex, layout, mem)
+                self.quad_conventional(cluster, issue, frags, tex, layout, mem, out);
             }
-            Design::STfim => self.quad_stfim(cluster, issue, frags, tex, layout, mem),
-            Design::ATfim => self.quad_atfim(cluster, issue, frags, tex, layout, mem),
-        };
-        for (_, done) in &out {
+            Design::STfim => self.quad_stfim(cluster, issue, frags, tex, layout, mem, out),
+            Design::ATfim => self.quad_atfim(cluster, issue, frags, tex, layout, mem, out),
+        }
+        for (_, done) in out.iter() {
             self.stats.samples += 1;
             self.stats.latency_cycles += done.since(issue).get();
         }
-        out
     }
 
     /// Derivatives in base-level texel units for one fragment.
@@ -238,6 +311,7 @@ impl TexturePath {
     }
 
     /// Baseline / B-PIM: full filtering on the GPU texture unit.
+    #[allow(clippy::too_many_arguments)]
     fn quad_conventional(
         &mut self,
         cluster: usize,
@@ -246,31 +320,34 @@ impl TexturePath {
         tex: &MippedTexture,
         layout: &TextureLayout,
         mem: &mut MemoryBackend,
-    ) -> Vec<(Rgba, Cycle)> {
-        let mut out = Vec::with_capacity(frags.len());
+        out: &mut Vec<(Rgba, Cycle)>,
+    ) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let sampler = self.sampler;
         for frag in frags {
             let (ddx, ddy) = Self::texel_derivs(tex, frag);
-            let trace = self.sampler.sample(tex, frag.uv, ddx, ddy);
-            let texels = trace.conventional_texels.max(trace.fetches.len() as u32);
+            let info = sampler.sample_into(tex, frag.uv, ddx, ddy, &mut scratch.fetches);
+            let texels = info.conventional_texels.max(scratch.fetches.len() as u32);
             self.stats.conventional_texels += u64::from(texels);
-            self.stats.record_aniso(trace.aniso_ratio);
+            self.stats.record_aniso(info.aniso_ratio);
             let addr_done = self.units.generate_addresses(cluster, issue, texels);
 
-            let lines = dedup_lines(&trace.fetches, layout);
+            dedup_lines_into(scratch.fetches.fetches(), layout, &mut scratch.lines);
             let mut data_ready = addr_done;
-            for line in lines {
+            for &line in &scratch.lines {
                 let ready = self.fetch_line(cluster, addr_done, line, mem);
                 data_ready = data_ready.max(ready);
             }
             self.stats.texels_filtered_gpu += u64::from(texels);
             let done = self.units.filter(cluster, data_ready, texels);
-            out.push((trace.color, done));
+            out.push((info.color, done));
         }
-        out
+        self.scratch = scratch;
     }
 
     /// S-TFIM: one request package per quad to the cluster's MTU; the
     /// filtered textures come back in one response.
+    #[allow(clippy::too_many_arguments)]
     fn quad_stfim(
         &mut self,
         cluster: usize,
@@ -279,25 +356,29 @@ impl TexturePath {
         tex: &MippedTexture,
         layout: &TextureLayout,
         mem: &mut MemoryBackend,
-    ) -> Vec<(Rgba, Cycle)> {
-        let mut colors = Vec::with_capacity(frags.len());
+        out: &mut Vec<(Rgba, Cycle)>,
+    ) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let sampler = self.sampler;
         let mut quad_lines: Vec<u64> = Vec::new();
         let mut texel_total = 0u32;
         for frag in frags {
             let (ddx, ddy) = Self::texel_derivs(tex, frag);
-            let trace = self.sampler.sample(tex, frag.uv, ddx, ddy);
-            let texels = trace.conventional_texels.max(trace.fetches.len() as u32);
+            let info = sampler.sample_into(tex, frag.uv, ddx, ddy, &mut scratch.fetches);
+            let texels = info.conventional_texels.max(scratch.fetches.len() as u32);
             self.stats.conventional_texels += u64::from(texels);
-            self.stats.record_aniso(trace.aniso_ratio);
+            self.stats.record_aniso(info.aniso_ratio);
             texel_total += texels;
-            for f in &trace.fetches {
+            for f in scratch.fetches.fetches() {
                 let line = layout.texel_line_addr(f.x, f.y, usize::from(f.level));
                 if !quad_lines.contains(&line) {
                     quad_lines.push(line);
                 }
             }
-            colors.push(trace.color);
+            // Completion is quad-wide and not known yet; patched below.
+            out.push((info.color, issue));
         }
+        self.scratch = scratch;
 
         // The whole request maps to one cube: all its texels belong to
         // one texture, which the simulator placed inside one cube region.
@@ -323,11 +404,14 @@ impl TexturePath {
         hmc.record_external_traffic(TrafficClass::TextureFetch, packet::TFIM_RESPONSE_BYTES);
         let done = hmc.send_to_host(mtu_done, packet::TFIM_RESPONSE_BYTES);
         self.stats.offload_packages += 1;
-        colors.into_iter().map(|c| (c, done)).collect()
+        for entry in out.iter_mut() {
+            entry.1 = done;
+        }
     }
 
     /// A-TFIM: parent texels through angle-tagged caches; quad-level
     /// misses offloaded in one package to the logic layer.
+    #[allow(clippy::too_many_arguments)]
     fn quad_atfim(
         &mut self,
         cluster: usize,
@@ -336,12 +420,15 @@ impl TexturePath {
         tex: &MippedTexture,
         layout: &TextureLayout,
         mem: &mut MemoryBackend,
-    ) -> Vec<(Rgba, Cycle)> {
+        out: &mut Vec<(Rgba, Cycle)>,
+    ) {
         // GPU-side functional + cache pass, per fragment.
-        let parts: Vec<AtfimFragment> = frags
-            .iter()
-            .map(|f| self.atfim_fragment(cluster, f, tex, layout))
-            .collect();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut parts = std::mem::take(&mut scratch.parts);
+        parts.clear();
+        for f in frags {
+            parts.push(self.atfim_fragment(cluster, f, tex, layout, &mut scratch));
+        }
 
         // Address generation for the quad's parents.
         let total_parents: u32 = parts.iter().map(|p| p.parents).sum();
@@ -350,25 +437,27 @@ impl TexturePath {
             .generate_addresses(cluster, issue, total_parents.max(1));
 
         // One offload package for all quad misses.
-        let mut quad_miss: Vec<u64> = Vec::new();
+        let quad_miss = &mut scratch.quad_miss;
+        quad_miss.clear();
         for p in &parts {
-            for &l in &p.miss_lines {
+            for &l in p.miss_lines.as_slice() {
                 if !quad_miss.contains(&l) {
                     quad_miss.push(l);
                 }
             }
         }
         // Degenerate-kernel misses are ordinary texel reads.
-        let mut plain_lines: Vec<u64> = Vec::new();
+        let plain_lines = &mut scratch.plain_lines;
+        plain_lines.clear();
         for p in &parts {
-            for &l in &p.plain_miss_lines {
+            for &l in p.plain_miss_lines.as_slice() {
                 if !plain_lines.contains(&l) {
                     plain_lines.push(l);
                 }
             }
         }
         let mut plain_ready = addr_done;
-        for line in plain_lines {
+        for &line in plain_lines.iter() {
             let req = MemRequest::read(TrafficClass::TextureFetch, line, self.line_bytes);
             plain_ready = plain_ready.max(mem.access_external(addr_done, &req));
         }
@@ -384,7 +473,7 @@ impl TexturePath {
                 .hmc_for(quad_miss[0])
                 // lint:allow(no-panic) — design/backend pairing is rejected by SimConfig::validate, so A-TFIM always runs over HMC
                 .expect("A-TFIM requires an HMC backend (enforced by Simulator::new)");
-            let pkg_bytes = self.offload.package_bytes(&quad_miss);
+            let pkg_bytes = self.offload.package_bytes(quad_miss);
             hmc.record_external_traffic(TrafficClass::TextureFetch, pkg_bytes);
             let at_cube = hmc.send_to_cube(addr_done, pkg_bytes);
             let batch = ParentFetchBatch {
@@ -408,8 +497,7 @@ impl TexturePath {
         }
 
         // Per-fragment GPU-side bilinear/trilinear over the parents.
-        let mut out = Vec::with_capacity(parts.len());
-        for p in parts {
+        for p in &parts {
             let mut data_ready = addr_done + p.hit_ready;
             if !p.miss_lines.is_empty() {
                 data_ready = data_ready.max(miss_ready);
@@ -421,7 +509,8 @@ impl TexturePath {
             let done = self.units.filter(cluster, data_ready, p.parents.max(1));
             out.push((p.color, done));
         }
-        out
+        scratch.parts = parts;
+        self.scratch = scratch;
     }
 
     /// The A-TFIM GPU-side pass for one fragment: probe angle-tagged
@@ -432,6 +521,7 @@ impl TexturePath {
         frag: &Fragment,
         tex: &MippedTexture,
         layout: &TextureLayout,
+        scratch: &mut PathScratch,
     ) -> AtfimFragment {
         let (ddx, ddy) = Self::texel_derivs(tex, frag);
         let fp = self.sampler.footprint(ddx, ddy);
@@ -451,96 +541,107 @@ impl TexturePath {
         self.stats.conventional_texels += u64::from(fp.conventional_texel_count());
         self.stats.record_aniso(fp.aniso_ratio);
 
-        let mut parent_lines: Vec<u64> = Vec::with_capacity(8);
-        let mut miss_lines = Vec::new();
-        let mut plain_miss_lines = Vec::new();
+        let mut parent_lines = LineList::default();
+        let mut miss_lines = LineList::default();
+        let mut plain_miss_lines = LineList::default();
         let mut hit_ready = Duration::ZERO;
-        // Cache outcome per probed line: reuse of the stored parent value
-        // is only legal on a cache *hit* — a capacity miss refetches and
-        // recomputes in hardware, so the functional side must too.
-        let mut line_hit: HashMap<u64, bool> = HashMap::new();
+        // Cache outcome per probed line, parallel to `parent_lines`:
+        // reuse of the stored parent value is only legal on a cache *hit*
+        // — a capacity miss refetches and recomputes in hardware, so the
+        // functional side must too.
+        let mut line_hit = [false; 8];
 
-        let mut level_color = |path: &mut Self, level: usize, div: i64| -> Rgba {
-            let (x0, y0, fx, fy) = filter::bilinear_corners(tex, frag.uv, level);
-            let img = tex.level(level);
-            let wrap = tex.wrap();
-            let fine_scale = 1.0 / (1u32 << fine.min(31)) as f32;
-            let offsets: Vec<(i64, i64)> = filter::probe_offsets(&fp, fp.aniso_ratio, fine_scale)
-                .into_iter()
-                .map(|(dx, dy)| (dx / div, dy / div))
-                .collect();
-            // Degenerate kernel: every probe lands on the parent texel
-            // itself (common at the coarser of the two blended levels).
-            // The "average over children" is then exactly the texel — no
-            // child set exists, so there is nothing to offload and no
-            // camera angle to compare: it is an ordinary texel fetch.
-            let degenerate = offsets.iter().all(|&o| o == (0, 0));
-            let mut corners = [Rgba::TRANSPARENT; 4];
-            for (ci, (cx, cy)) in [(0i64, 0i64), (1, 0), (0, 1), (1, 1)]
-                .into_iter()
-                .enumerate()
-            {
-                let wx = wrap.wrap(x0 + cx, img.width());
-                let wy = wrap.wrap(y0 + cy, img.height());
-                let line = layout.texel_line_addr(wx, wy, level);
-                if !parent_lines.contains(&line) {
-                    parent_lines.push(line);
-                    let outcome = if degenerate {
-                        path.probe_plain(cluster, line)
-                    } else {
-                        path.probe_with_angle(cluster, line, angle)
-                    };
-                    line_hit.insert(line, !matches!(outcome, ProbeOutcome::Miss));
-                    match outcome {
-                        ProbeOutcome::L1Hit => {
-                            hit_ready = hit_ready.max(Duration::new(L1_HIT_CYCLES));
-                        }
-                        ProbeOutcome::L2Hit => {
-                            hit_ready = hit_ready.max(Duration::new(L2_HIT_CYCLES));
-                        }
-                        ProbeOutcome::Miss if degenerate => plain_miss_lines.push(line),
-                        ProbeOutcome::Miss => miss_lines.push(line),
+        let mut level_color =
+            |path: &mut Self, scratch: &mut PathScratch, level: usize, div: i64| -> Rgba {
+                let (x0, y0, fx, fy) = filter::bilinear_corners(tex, frag.uv, level);
+                let img = tex.level(level);
+                let wrap = tex.wrap();
+                let fine_scale = 1.0 / (1u32 << fine.min(31)) as f32;
+                filter::probe_offsets_into(&fp, fp.aniso_ratio, fine_scale, &mut scratch.offsets);
+                if div != 1 {
+                    for o in scratch.offsets.iter_mut() {
+                        *o = (o.0 / div, o.1 / div);
                     }
                 }
-                // Functional: reuse the stored parent value only when the
-                // cache actually hit (with a compatible angle); any miss —
-                // capacity or angle — recomputes with this fragment's own
-                // footprint, as the hardware would.
-                let cached_in_hw = line_hit.get(&line).copied().unwrap_or(false);
-                let key: ParentKey = (tex.id().raw(), level as u8, wx, wy);
-                let reuse = match path.parent_values.get(&key) {
-                    Some((stored_angle, value))
-                        if cached_in_hw && stored_angle.abs_diff(angle) <= path.angle_threshold =>
-                    {
-                        Some(*value)
-                    }
-                    _ => None,
-                };
-                corners[ci] = match reuse {
-                    Some(v) => v,
-                    None => {
-                        let v = filter::average_children(tex, x0 + cx, y0 + cy, level, &offsets);
-                        path.parent_values.insert(key, (angle, v));
-                        v
-                    }
-                };
-            }
-            corners[0]
-                .lerp(corners[1], fx)
-                .lerp(corners[2].lerp(corners[3], fx), fy)
-        };
+                let offsets = &scratch.offsets;
+                // Degenerate kernel: every probe lands on the parent texel
+                // itself (common at the coarser of the two blended levels).
+                // The "average over children" is then exactly the texel — no
+                // child set exists, so there is nothing to offload and no
+                // camera angle to compare: it is an ordinary texel fetch.
+                let degenerate = offsets.iter().all(|&o| o == (0, 0));
+                let mut corners = [Rgba::TRANSPARENT; 4];
+                for (ci, (cx, cy)) in [(0i64, 0i64), (1, 0), (0, 1), (1, 1)]
+                    .into_iter()
+                    .enumerate()
+                {
+                    let wx = wrap.wrap(x0 + cx, img.width());
+                    let wy = wrap.wrap(y0 + cy, img.height());
+                    let line = layout.texel_line_addr(wx, wy, level);
+                    let slot = match parent_lines.as_slice().iter().position(|&l| l == line) {
+                        Some(i) => i,
+                        None => {
+                            let i = usize::from(parent_lines.len);
+                            parent_lines.push(line);
+                            let outcome = if degenerate {
+                                path.probe_plain(cluster, line)
+                            } else {
+                                path.probe_with_angle(cluster, line, angle)
+                            };
+                            line_hit[i] = !matches!(outcome, ProbeOutcome::Miss);
+                            match outcome {
+                                ProbeOutcome::L1Hit => {
+                                    hit_ready = hit_ready.max(Duration::new(L1_HIT_CYCLES));
+                                }
+                                ProbeOutcome::L2Hit => {
+                                    hit_ready = hit_ready.max(Duration::new(L2_HIT_CYCLES));
+                                }
+                                ProbeOutcome::Miss if degenerate => plain_miss_lines.push(line),
+                                ProbeOutcome::Miss => miss_lines.push(line),
+                            }
+                            i
+                        }
+                    };
+                    // Functional: reuse the stored parent value only when the
+                    // cache actually hit (with a compatible angle); any miss —
+                    // capacity or angle — recomputes with this fragment's own
+                    // footprint, as the hardware would.
+                    let cached_in_hw = line_hit[slot];
+                    let key: ParentKey = (tex.id().raw(), level as u8, wx, wy);
+                    let reuse = match path.parent_values.get(&key) {
+                        Some((stored_angle, value))
+                            if cached_in_hw
+                                && stored_angle.abs_diff(angle) <= path.angle_threshold =>
+                        {
+                            Some(*value)
+                        }
+                        _ => None,
+                    };
+                    corners[ci] = match reuse {
+                        Some(v) => v,
+                        None => {
+                            let v = filter::average_children(tex, x0 + cx, y0 + cy, level, offsets);
+                            path.parent_values.insert(key, (angle, v));
+                            v
+                        }
+                    };
+                }
+                corners[0]
+                    .lerp(corners[1], fx)
+                    .lerp(corners[2].lerp(corners[3], fx), fy)
+            };
 
-        let c_fine = level_color(self, fine, 1);
+        let c_fine = level_color(self, scratch, fine, 1);
         let color = if coarse == fine || w == 0.0 {
             c_fine
         } else {
-            let c_coarse = level_color(self, coarse, 2);
+            let c_coarse = level_color(self, scratch, coarse, 2);
             c_fine.lerp(c_coarse, w)
         };
 
         AtfimFragment {
             color,
-            parents: parent_lines.len() as u32,
+            parents: u32::from(parent_lines.len),
             hit_ready,
             miss_lines,
             plain_miss_lines,
@@ -668,16 +769,23 @@ impl TexturePath {
     }
 }
 
-/// Deduplicated cache-line addresses of a fetch trace.
-fn dedup_lines(fetches: &[pimgfx_texture::TexelFetch], layout: &TextureLayout) -> Vec<u64> {
-    let mut lines = Vec::with_capacity(fetches.len());
+/// Deduplicated cache-line addresses of a fetch trace, written into a
+/// caller-provided scratch buffer (cleared first) so the per-quad hot
+/// loop does not allocate. Order is **first occurrence**, not sorted:
+/// the lines feed LRU caches, so reordering them would change hit/miss
+/// sequences and therefore timing.
+fn dedup_lines_into(
+    fetches: &[pimgfx_texture::TexelFetch],
+    layout: &TextureLayout,
+    lines: &mut Vec<u64>,
+) {
+    lines.clear();
     for f in fetches {
         let line = layout.texel_line_addr(f.x, f.y, usize::from(f.level));
         if !lines.contains(&line) {
             lines.push(line);
         }
     }
-    lines
 }
 
 #[cfg(test)]
@@ -717,6 +825,42 @@ mod tests {
             TexturePath::new(&config).expect("valid"),
             MemoryBackend::from_config(&config).expect("valid"),
         )
+    }
+
+    /// `dedup_lines_into` must produce exactly what the old
+    /// allocate-per-quad dedup produced: same lines, same first-occurrence
+    /// order (the order drives LRU cache state and thus timing).
+    #[test]
+    fn dedup_lines_into_preserves_order_and_content() {
+        let (_, layout) = test_texture();
+        let fetches: Vec<pimgfx_texture::TexelFetch> = [
+            (4u32, 4u32, 0u8),
+            (5, 4, 0),
+            (4, 4, 0), // duplicate texel
+            (20, 9, 0),
+            (2, 2, 1),
+            (5, 4, 0), // duplicate texel
+            (3, 2, 1), // may share a line with (2,2,1)
+        ]
+        .into_iter()
+        .map(|(x, y, level)| pimgfx_texture::TexelFetch { x, y, level })
+        .collect();
+
+        // Reference: the historical fresh-Vec dedup.
+        let mut want: Vec<u64> = Vec::new();
+        for f in &fetches {
+            let line = layout.texel_line_addr(f.x, f.y, usize::from(f.level));
+            if !want.contains(&line) {
+                want.push(line);
+            }
+        }
+
+        let mut got = vec![0xdead_beef; 2]; // stale scratch must be cleared
+        dedup_lines_into(&fetches, &layout, &mut got);
+        assert_eq!(got, want);
+        // Reuse without clearing in between: still identical.
+        dedup_lines_into(&fetches, &layout, &mut got);
+        assert_eq!(got, want);
     }
 
     #[test]

@@ -1,0 +1,87 @@
+//! Replay equivalence: rendering from a cached [`FragmentStream`] must
+//! be byte-identical to a direct `render_trace` — same cycles, same
+//! counters, same energy, same pixels, same stage traces — for every
+//! design point. The frontend is variant-invariant; everything
+//! cycle-bearing re-runs during replay, so nothing may drift.
+
+use pimgfx::{Design, FragmentStream, FragmentStreamCache, SimConfig, Simulator};
+use pimgfx_workloads::{build_scene_unchecked, Game, Resolution, SceneTrace};
+use std::sync::Arc;
+
+/// Reduced-profile scenes (debug-build friendly) for two games.
+fn small_scene(game: Game, frames: usize) -> SceneTrace {
+    let mut profile = game.profile();
+    profile.floor_quads = 4;
+    profile.texture_count = 4;
+    profile.facing_props = 1;
+    build_scene_unchecked(&profile, Resolution::R320x240, frames)
+}
+
+#[test]
+fn replay_is_byte_identical_across_games_and_designs() {
+    for game in [Game::Doom3, Game::Wolfenstein] {
+        let scene = Arc::new(small_scene(game, 2));
+        let config = SimConfig::default();
+        let stream =
+            FragmentStream::build(Arc::clone(&scene), config.tile_px).expect("frontend builds");
+        assert_eq!(stream.frame_count(), 2);
+        assert!(stream.fragment_count() > 0);
+        for design in [Design::Baseline, Design::BPim, Design::STfim, Design::ATfim] {
+            let config = SimConfig::builder()
+                .design(design)
+                .build()
+                .expect("valid config");
+            let direct = Simulator::new(config.clone())
+                .expect("valid config")
+                .render_trace(&scene)
+                .expect("direct render");
+            let replayed = Simulator::new(config)
+                .expect("valid config")
+                .render_replay(&stream)
+                .expect("replay");
+            assert_eq!(
+                direct, replayed,
+                "{game:?}/{design}: replay diverged from direct render"
+            );
+            replayed
+                .audit()
+                .unwrap_or_else(|e| panic!("{game:?}/{design}: audit failed on replay: {e}"));
+        }
+    }
+}
+
+#[test]
+fn replay_rejects_mismatched_tile_size() {
+    let scene = Arc::new(small_scene(Game::Doom3, 1));
+    let other_tile = SimConfig::default().tile_px * 2;
+    let stream = FragmentStream::build(Arc::clone(&scene), other_tile).expect("frontend builds");
+    let mut sim = Simulator::new(SimConfig::default()).expect("valid config");
+    assert!(sim.render_replay(&stream).is_err());
+}
+
+#[test]
+fn cached_stream_serves_a_whole_variant_column() {
+    let cache = FragmentStreamCache::new(SimConfig::default().tile_px);
+    let scene = Arc::new(small_scene(Game::Doom3, 1));
+    let direct = Simulator::new(SimConfig::default())
+        .expect("valid config")
+        .render_trace(&scene)
+        .expect("direct render");
+    for design in [Design::Baseline, Design::BPim, Design::STfim, Design::ATfim] {
+        let stream = cache.get(&scene).expect("stream");
+        let config = SimConfig::builder()
+            .design(design)
+            .build()
+            .expect("valid config");
+        let report = Simulator::new(config)
+            .expect("valid config")
+            .render_replay(&stream)
+            .expect("replay");
+        if design == Design::Baseline {
+            assert_eq!(direct, report, "cached replay diverged");
+        }
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.misses, 1, "the column's frontend ran exactly once");
+    assert_eq!(stats.hits, 3, "the other three variants hit the cache");
+}

@@ -74,7 +74,7 @@ impl fmt::Display for TrafficClass {
 /// assert_eq!(t.total().get(), 100);
 /// assert!((t.fraction(TrafficClass::TextureFetch) - 0.8).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TrafficStats {
     bytes: [u64; 5],
     requests: [u64; 5],

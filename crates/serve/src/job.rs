@@ -69,7 +69,7 @@ pub fn job_digest(spec: &JobSpec, frames: usize) -> String {
     ))
 }
 
-/// Serializes a finished job as deterministic schema-v2 JSON.
+/// Serializes a finished job as deterministic schema-v3 JSON.
 ///
 /// Cells are sorted by `(column, variant)` — the same canonical order
 /// `Harness::report_cells` uses — and embedded via
@@ -183,6 +183,10 @@ mod tests {
             internal_bytes: 0,
             energy_nj: 0.5,
             trace_audit: "ok".to_string(),
+            // Job manifests must stay byte-deterministic, so the
+            // schema-v3 wall-split fields are left unset (omitted).
+            frontend_wall_ms: None,
+            backend_wall_ms: None,
             stages: Vec::new(),
         };
         // Input order baseline, b-pim — output must sort by variant.
@@ -195,7 +199,7 @@ mod tests {
         let base_at = a.find("\"variant\": \"baseline\"").expect("baseline cell");
         let bpim_at = a.find("\"variant\": \"b-pim\"").expect("b-pim cell");
         assert!(bpim_at < base_at, "cells must sort by variant:\n{a}");
-        assert!(a.contains("\"schema_version\": 2"), "{a}");
+        assert!(a.contains("\"schema_version\": 3"), "{a}");
         assert!(a.contains("\"tool\": \"pimgfx-serve\""), "{a}");
         assert!(a.contains("\"job\": 3"), "{a}");
         assert!(!a.contains("wall_ms"), "no wall-clock fields:\n{a}");

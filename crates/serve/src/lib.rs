@@ -6,7 +6,7 @@
 //! simulation jobs (one Table II benchmark column plus a set of design
 //! variants and/or figure sections) over a zero-dependency TCP
 //! protocol, the daemon fans the job's cells across the worker pool,
-//! and results come back as the same schema-v2 manifest cells a local
+//! and results come back as the same schema-v3 manifest cells a local
 //! `repro` run writes — byte-for-byte (the loopback integration test
 //! in `tests/` enforces the equivalence).
 //!

@@ -124,7 +124,7 @@ pub enum Response {
     Status(JobState),
     /// A finished job's result.
     JobResult {
-        /// The deterministic per-job manifest (schema v2 cells).
+        /// The deterministic per-job manifest (schema v3 cells).
         manifest_json: String,
     },
     /// Request-level failure (unknown job, invalid spec, ...).

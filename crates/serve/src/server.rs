@@ -12,8 +12,9 @@
 use crate::job::{job_manifest_json, job_variants};
 use crate::protocol::{self, JobId, JobSpec, JobState, Request, Response};
 use crate::queue::{BoundedQueue, PushError};
+use pimgfx::{FragmentStreamCache, SimConfig};
 use pimgfx_bench::manifest::CellSummary;
-use pimgfx_bench::{pool, run_variant, Harness, HarnessResult, SECTIONS};
+use pimgfx_bench::{pool, run_variant_replay, Harness, HarnessResult, SECTIONS};
 use pimgfx_types::{ConfigError, Error};
 use pimgfx_workloads::{Game, SceneCache};
 use std::collections::HashMap;
@@ -88,6 +89,9 @@ struct Shared {
     next_id: AtomicU64,
     draining: Arc<AtomicBool>,
     scenes: SceneCache,
+    /// Frontend streams shared across jobs: consecutive variants (and
+    /// consecutive jobs) on one column pay the frontend pass once.
+    streams: FragmentStreamCache,
 }
 
 impl Shared {
@@ -157,6 +161,13 @@ impl Server {
             Some(cap) => SceneCache::with_capacity(config.frames, cap),
             None => SceneCache::new(config.frames),
         };
+        // The stream cache mirrors the scene cache's bound: a column's
+        // frontend artifact is useless once its scene is evicted.
+        let tile_px = SimConfig::default().tile_px;
+        let streams = match config.scene_capacity {
+            Some(cap) => FragmentStreamCache::with_capacity(tile_px, cap),
+            None => FragmentStreamCache::new(tile_px),
+        };
         let queue = BoundedQueue::new(config.queue_capacity);
         Ok(Self {
             listener,
@@ -168,6 +179,7 @@ impl Server {
                 next_id: AtomicU64::new(0),
                 draining: Arc::new(AtomicBool::new(false)),
                 scenes,
+                streams,
             }),
         })
     }
@@ -292,15 +304,31 @@ fn execute_job(shared: &Shared, id: JobId) {
     // Columns are validated against Table II at submission, so the
     // scene build cannot hit the cache's invalid-column panic here.
     let scene = shared.scenes.get(spec.game, spec.resolution);
+    // Pre-warm the column's frontend stream on the scheduler thread so
+    // pool workers hitting a cold column don't race duplicate builds.
+    if let Err(e) = shared.streams.get(&scene) {
+        shared.set_phase(id, Phase::Failed(format!("frontend pass: {e}")));
+        return;
+    }
     let results = pool::run_ordered(&variants, workers, |&v| {
         let expired = deadline.is_some_and(|d| Instant::now() >= d);
         if cancel.load(Ordering::SeqCst) || expired {
             None
         } else {
             done.fetch_add(1, Ordering::SeqCst);
-            Some(run_variant(&scene, v))
+            Some(run_variant_replay(&scene, v, &shared.streams))
         }
     });
+    // Operational visibility for the smoke test and operators: one
+    // line per job on stderr, the daemon's diagnostic channel.
+    #[allow(clippy::print_stderr)]
+    {
+        let stats = shared.streams.stats();
+        eprintln!(
+            "pimgfx-serve: job {id}: frontend_cache hits={} misses={} evictions={}",
+            stats.hits, stats.misses, stats.evictions
+        );
+    }
 
     let skipped = results.iter().filter(|r| r.is_none()).count();
     if skipped > 0 {

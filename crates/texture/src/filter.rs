@@ -59,6 +59,143 @@ pub struct SampleTrace {
     pub aniso_ratio: u32,
 }
 
+/// A sink for the deduplicated fetch trace a filter produces.
+///
+/// Two implementations exist: the plain `Vec<TexelFetch>` (linear-scan
+/// dedup — simple, and what the public filter examples use) and
+/// [`FetchSet`] (hashed dedup with reusable storage — the simulator's
+/// hot path). Both record fetches in **first-occurrence order**, so the
+/// resulting trace — and therefore every cache access and timing input
+/// derived from it — is identical whichever sink is used.
+pub trait FetchSink {
+    /// Records `fetch` unless an identical fetch was already recorded.
+    fn record(&mut self, fetch: TexelFetch);
+}
+
+impl FetchSink for Vec<TexelFetch> {
+    fn record(&mut self, fetch: TexelFetch) {
+        if !self.contains(&fetch) {
+            self.push(fetch);
+        }
+    }
+}
+
+/// A reusable deduplicating fetch recorder with O(1) membership tests.
+///
+/// Functionally equivalent to recording into a `Vec<TexelFetch>` (same
+/// fetches, same first-occurrence order — asserted by unit tests), but
+/// the membership test is an open-addressed probe instead of a linear
+/// scan, and [`FetchSet::clear`] retains the allocation, so a sampler
+/// loop touches the allocator only while warming up.
+#[derive(Debug, Clone)]
+pub struct FetchSet {
+    /// Open-addressed table of `(generation, index-into-fetches)` slots;
+    /// a slot is live only when its generation matches the current one,
+    /// which makes `clear` O(1) instead of a table wipe.
+    slots: Vec<(u32, u32)>,
+    generation: u32,
+    fetches: Vec<TexelFetch>,
+}
+
+impl Default for FetchSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FetchSet {
+    /// Initial slot count (power of two; grows by rehashing at 50% load).
+    const INITIAL_SLOTS: usize = 256;
+
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self {
+            slots: vec![(0, 0); Self::INITIAL_SLOTS],
+            generation: 1,
+            fetches: Vec::with_capacity(64),
+        }
+    }
+
+    /// Forgets all recorded fetches but keeps the allocations.
+    pub fn clear(&mut self) {
+        self.fetches.clear();
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // Generation wrapped: stale slots could alias. Wipe once
+            // every 2^32 clears.
+            self.slots.iter_mut().for_each(|s| *s = (0, 0));
+            self.generation = 1;
+        }
+    }
+
+    /// The recorded fetches, in first-occurrence order.
+    pub fn fetches(&self) -> &[TexelFetch] {
+        &self.fetches
+    }
+
+    /// Number of distinct fetches recorded.
+    pub fn len(&self) -> usize {
+        self.fetches.len()
+    }
+
+    /// True when nothing has been recorded since the last clear.
+    pub fn is_empty(&self) -> bool {
+        self.fetches.is_empty()
+    }
+
+    /// Fibonacci-hash slot index for a fetch.
+    fn hash(fetch: &TexelFetch, mask: u64) -> usize {
+        let key = (u64::from(fetch.x) << 32) ^ (u64::from(fetch.y) << 8) ^ u64::from(fetch.level);
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32 & mask) as usize
+    }
+
+    /// Doubles the table and re-inserts every live fetch.
+    fn grow(&mut self) {
+        let new_len = self.slots.len() * 2;
+        self.slots = vec![(0, 0); new_len];
+        let mask = (new_len - 1) as u64;
+        for (i, f) in self.fetches.iter().enumerate() {
+            let mut slot = Self::hash(f, mask);
+            while self.slots[slot].0 == self.generation {
+                slot = (slot + 1) & mask as usize;
+            }
+            self.slots[slot] = (self.generation, i as u32);
+        }
+    }
+}
+
+impl FetchSink for FetchSet {
+    fn record(&mut self, fetch: TexelFetch) {
+        if self.fetches.len() * 2 >= self.slots.len() {
+            self.grow();
+        }
+        let mask = (self.slots.len() - 1) as u64;
+        let mut slot = Self::hash(&fetch, mask);
+        loop {
+            let (gen, idx) = self.slots[slot];
+            if gen != self.generation {
+                self.slots[slot] = (self.generation, self.fetches.len() as u32);
+                self.fetches.push(fetch);
+                return;
+            }
+            if self.fetches[idx as usize] == fetch {
+                return;
+            }
+            slot = (slot + 1) & mask as usize;
+        }
+    }
+}
+
+/// Reads one texel with wrap applied, without recording a fetch — the
+/// read half of [`read_texel`], for texel reads that happen *inside* an
+/// averaging unit (A-TFIM child reads) and are accounted as internal
+/// traffic, not as fetch-trace entries.
+pub fn texel_at(tex: &MippedTexture, x: i64, y: i64, level: usize) -> Rgba {
+    let img = tex.level(level);
+    let wrap = tex.wrap();
+    img.texel(wrap.wrap(x, img.width()), wrap.wrap(y, img.height()))
+}
+
 /// Wraps a texel coordinate pair and reads the texture, recording the
 /// (wrapped) fetch.
 fn read_texel(
@@ -66,20 +203,17 @@ fn read_texel(
     x: i64,
     y: i64,
     level: usize,
-    fetches: &mut Vec<TexelFetch>,
+    fetches: &mut impl FetchSink,
 ) -> Rgba {
     let img = tex.level(level);
     let wrap = tex.wrap();
     let wx = wrap.wrap(x, img.width());
     let wy = wrap.wrap(y, img.height());
-    let fetch = TexelFetch {
+    fetches.record(TexelFetch {
         x: wx,
         y: wy,
         level: level as u8,
-    };
-    if !fetches.contains(&fetch) {
-        fetches.push(fetch);
-    }
+    });
     img.texel(wx, wy)
 }
 
@@ -95,7 +229,7 @@ fn bilinear_setup(uv_texels: Vec2) -> (i64, i64, f32, f32) {
 }
 
 /// Point-samples the nearest texel.
-pub fn point(tex: &MippedTexture, uv: Vec2, level: usize, fetches: &mut Vec<TexelFetch>) -> Rgba {
+pub fn point(tex: &MippedTexture, uv: Vec2, level: usize, fetches: &mut impl FetchSink) -> Rgba {
     let img = tex.level(level);
     let x = (uv.x * img.width() as f32).floor() as i64;
     let y = (uv.y * img.height() as f32).floor() as i64;
@@ -110,7 +244,7 @@ pub fn bilinear_at(
     uv: Vec2,
     level: usize,
     offset: (i64, i64),
-    fetches: &mut Vec<TexelFetch>,
+    fetches: &mut impl FetchSink,
 ) -> Rgba {
     let img = tex.level(level);
     let uv_texels = Vec2::new(uv.x * img.width() as f32, uv.y * img.height() as f32);
@@ -124,18 +258,13 @@ pub fn bilinear_at(
 }
 
 /// Bilinear filter without a probe offset.
-pub fn bilinear(
-    tex: &MippedTexture,
-    uv: Vec2,
-    level: usize,
-    fetches: &mut Vec<TexelFetch>,
-) -> Rgba {
+pub fn bilinear(tex: &MippedTexture, uv: Vec2, level: usize, fetches: &mut impl FetchSink) -> Rgba {
     bilinear_at(tex, uv, level, (0, 0), fetches)
 }
 
 /// Trilinear filter: bilinear on two adjacent levels blended by the
 /// fractional LOD.
-pub fn trilinear(tex: &MippedTexture, uv: Vec2, lod: f32, fetches: &mut Vec<TexelFetch>) -> Rgba {
+pub fn trilinear(tex: &MippedTexture, uv: Vec2, lod: f32, fetches: &mut impl FetchSink) -> Rgba {
     let fp = Footprint {
         lod,
         aniso_ratio: 1,
@@ -155,6 +284,16 @@ pub fn trilinear(tex: &MippedTexture, uv: Vec2, lod: f32, fetches: &mut Vec<Texe
 /// anisotropic kernel at `level`. Offsets are symmetric around zero and
 /// texel-aligned so all probes share bilinear weights (see module docs).
 pub fn probe_offsets(fp: &Footprint, n: u32, level_scale: f32) -> Vec<(i64, i64)> {
+    let mut out = Vec::new();
+    probe_offsets_into(fp, n, level_scale, &mut out);
+    out
+}
+
+/// [`probe_offsets`] writing into a caller-provided scratch buffer
+/// (cleared first), so a per-fragment sampling loop reuses one
+/// allocation instead of building a fresh `Vec` per kernel.
+pub fn probe_offsets_into(fp: &Footprint, n: u32, level_scale: f32, out: &mut Vec<(i64, i64)>) {
+    out.clear();
     // Probes span the major axis; step ≈ major_len / n, in texels of the
     // addressed level (coarser levels shrink the footprint by 2^level).
     let span = fp.major_len * level_scale;
@@ -163,14 +302,13 @@ pub fn probe_offsets(fp: &Footprint, n: u32, level_scale: f32) -> Vec<(i64, i64)
     // (over-blurring magnified surfaces whose minor axis is sub-texel).
     // Hardware drops the excess probes; so do we.
     let n = n.max(1).min((span.ceil() as u32).max(1));
-    let mut out = Vec::with_capacity(n as usize);
+    out.reserve(n as usize);
     let step = (span / n as f32).max(1.0);
     for i in 0..n {
         let centered = i as f32 - (n as f32 - 1.0) / 2.0;
         let d = fp.major_axis * (centered * step);
         out.push((d.x.round() as i64, d.y.round() as i64));
     }
-    out
 }
 
 /// Conventional anisotropic filter (Fig. 7A): `ratio` trilinear probes
@@ -180,7 +318,7 @@ pub fn anisotropic_conventional(
     tex: &MippedTexture,
     uv: Vec2,
     fp: &Footprint,
-    fetches: &mut Vec<TexelFetch>,
+    fetches: &mut impl FetchSink,
 ) -> Rgba {
     let (fine, coarse, w) = fp.mip_levels(tex.max_level());
     let mut acc = Rgba::TRANSPARENT;
@@ -215,7 +353,7 @@ pub fn anisotropic_reordered(
     tex: &MippedTexture,
     uv: Vec2,
     fp: &Footprint,
-    parent_fetches: &mut Vec<TexelFetch>,
+    parent_fetches: &mut impl FetchSink,
     child_reads: &mut u64,
 ) -> Rgba {
     let (fine, coarse, w) = fp.mip_levels(tex.max_level());
@@ -230,31 +368,23 @@ pub fn anisotropic_reordered(
         let (x0, y0, fx, fy) = bilinear_setup(uv_texels);
         let mut corners = [Rgba::TRANSPARENT; 4];
         let corner_off = [(0i64, 0i64), (1, 0), (0, 1), (1, 1)];
-        let mut scratch = Vec::new();
         for (ci, &(cx, cy)) in corner_off.iter().enumerate() {
             let mut acc = Rgba::TRANSPARENT;
             for &(dx, dy) in &offsets {
-                acc += read_texel(
-                    tex,
-                    x0 + cx + dx / div,
-                    y0 + cy + dy / div,
-                    level,
-                    &mut scratch,
-                );
+                // Child reads happen inside the averaging unit: they are
+                // counted, not recorded as external fetches.
+                acc += texel_at(tex, x0 + cx + dx / div, y0 + cy + dy / div, level);
                 *child_reads += 1;
             }
             corners[ci] = acc * (1.0 / n as f32);
             // The *parent* fetch recorded on the GPU side is the
             // unshifted corner texel.
             let wrap = tex.wrap();
-            let fetch = TexelFetch {
+            parent_fetches.record(TexelFetch {
                 x: wrap.wrap(x0 + cx, img.width()),
                 y: wrap.wrap(y0 + cy, img.height()),
                 level: level as u8,
-            };
-            if !parent_fetches.contains(&fetch) {
-                parent_fetches.push(fetch);
-            }
+            });
         }
         (corners[0], corners[1], corners[2], corners[3], fx, fy)
     };
@@ -291,10 +421,9 @@ pub fn average_children(
     level: usize,
     offsets: &[(i64, i64)],
 ) -> Rgba {
-    let mut scratch = Vec::new();
     let mut acc = Rgba::TRANSPARENT;
     for &(dx, dy) in offsets {
-        acc += read_texel(tex, base_x + dx, base_y + dy, level, &mut scratch);
+        acc += texel_at(tex, base_x + dx, base_y + dy, level);
     }
     acc * (1.0 / offsets.len().max(1) as f32)
 }
@@ -487,5 +616,67 @@ mod tests {
         let _ = bilinear(&tex, Vec2::new(0.5, 0.5), 0, &mut f);
         let _ = bilinear(&tex, Vec2::new(0.5, 0.5), 0, &mut f);
         assert_eq!(f.len(), 4);
+    }
+
+    /// [`FetchSet`] must be observationally identical to `Vec` dedup:
+    /// same fetches, same first-occurrence order, across heavy aniso
+    /// kernels that exercise growth and collisions.
+    #[test]
+    fn fetch_set_matches_vec_dedup_order() {
+        let tex = checker_tex();
+        let mut vec_sink = Vec::new();
+        let mut set_sink = FetchSet::new();
+        for (dx, dy) in [(16.0, 1.0), (8.0, 0.5), (4.0, 2.0)] {
+            let fp = Footprint::from_derivatives(Vec2::new(dx, 0.0), Vec2::new(0.0, dy), 16);
+            for uv in [
+                Vec2::new(0.5, 0.5),
+                Vec2::new(0.13, 0.77),
+                Vec2::new(0.99, 0.01),
+                Vec2::new(0.25, 0.25),
+            ] {
+                let c_vec = anisotropic_conventional(&tex, uv, &fp, &mut vec_sink);
+                let c_set = anisotropic_conventional(&tex, uv, &fp, &mut set_sink);
+                assert_eq!(c_vec, c_set);
+            }
+        }
+        assert_eq!(vec_sink.as_slice(), set_sink.fetches());
+    }
+
+    /// `clear` must forget fetches without leaking stale entries into
+    /// the next use (generation mechanism).
+    #[test]
+    fn fetch_set_clear_resets_membership() {
+        let tex = gradient_tex();
+        let mut set = FetchSet::new();
+        let _ = bilinear(&tex, Vec2::new(0.5, 0.5), 0, &mut set);
+        assert_eq!(set.len(), 4);
+        set.clear();
+        assert!(set.is_empty());
+        let _ = bilinear(&tex, Vec2::new(0.5, 0.5), 0, &mut set);
+        assert_eq!(set.len(), 4, "cleared set re-records the same fetches");
+    }
+
+    #[test]
+    fn fetch_set_grows_past_initial_slots() {
+        let mut set = FetchSet::new();
+        let mut vec = Vec::new();
+        for i in 0..1000u32 {
+            let f = TexelFetch {
+                x: i % 37,
+                y: i / 37,
+                level: (i % 3) as u8,
+            };
+            set.record(f);
+            vec.record(f);
+        }
+        assert_eq!(vec.as_slice(), set.fetches());
+    }
+
+    #[test]
+    fn probe_offsets_into_matches_probe_offsets() {
+        let fp = Footprint::from_derivatives(Vec2::new(8.0, 0.0), Vec2::new(0.0, 1.0), 16);
+        let mut scratch = vec![(9i64, 9i64); 3]; // stale garbage must be cleared
+        probe_offsets_into(&fp, fp.aniso_ratio, 1.0, &mut scratch);
+        assert_eq!(scratch, probe_offsets(&fp, fp.aniso_ratio, 1.0));
     }
 }

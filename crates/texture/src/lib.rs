@@ -70,9 +70,9 @@ pub mod sampler;
 
 pub use cache::{CacheConfig, CacheOutcome, TextureCache};
 pub use compress::CompressedTexture;
-pub use filter::{FilterMode, SampleTrace, TexelFetch};
+pub use filter::{FetchSet, FetchSink, FilterMode, SampleTrace, TexelFetch};
 pub use footprint::Footprint;
 pub use image::{TextureImage, WrapMode};
 pub use layout::TextureLayout;
 pub use mipmap::MippedTexture;
-pub use sampler::{Sampler, SamplerConfig};
+pub use sampler::{SampleInfo, Sampler, SamplerConfig};

@@ -1,8 +1,8 @@
 //! Sampler configuration and the user-facing sampling entry point.
 
 use crate::filter::{
-    anisotropic_conventional, anisotropic_reordered, bilinear, point, trilinear, FilterMode,
-    SampleTrace,
+    anisotropic_conventional, anisotropic_reordered, bilinear, point, trilinear, FetchSet,
+    FilterMode, SampleTrace,
 };
 use crate::footprint::Footprint;
 use crate::mipmap::MippedTexture;
@@ -50,6 +50,20 @@ impl Default for SamplerConfig {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Sampler {
     config: SamplerConfig,
+}
+
+/// The scalar half of a [`SampleTrace`]: everything [`Sampler::sample`]
+/// returns except the fetch list, which [`Sampler::sample_into`] leaves in
+/// the caller's reusable [`FetchSet`] instead of a fresh `Vec`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleInfo {
+    /// Filtered RGBA result.
+    pub color: pimgfx_types::Rgba,
+    /// Texels the conventional pipeline would have fetched (see
+    /// [`SampleTrace::conventional_texels`]).
+    pub conventional_texels: u32,
+    /// The anisotropy ratio actually applied.
+    pub aniso_ratio: u32,
 }
 
 impl Sampler {
@@ -142,6 +156,70 @@ impl Sampler {
                         color,
                         conventional_texels: fp.aniso_ratio * 4 * levels,
                         fetches,
+                        aniso_ratio: fp.aniso_ratio,
+                    }
+                }
+            }
+        }
+    }
+
+    /// [`Sampler::sample`] writing its fetch trace into a caller-provided
+    /// [`FetchSet`] (cleared first) instead of allocating a `Vec` — the
+    /// simulator's per-fragment hot path. The recorded fetches and the
+    /// returned scalars are identical to [`Sampler::sample`]'s.
+    pub fn sample_into(
+        &self,
+        tex: &MippedTexture,
+        uv: Vec2,
+        duv_dx: Vec2,
+        duv_dy: Vec2,
+        fetches: &mut FetchSet,
+    ) -> SampleInfo {
+        fetches.clear();
+        let fp = self.footprint(duv_dx, duv_dy);
+        match self.config.filter {
+            FilterMode::Point => {
+                let (fine, _, _) = fp.mip_levels(tex.max_level());
+                let color = point(tex, uv, fine, fetches);
+                SampleInfo {
+                    color,
+                    conventional_texels: fetches.len() as u32,
+                    aniso_ratio: 1,
+                }
+            }
+            FilterMode::Bilinear => {
+                let (fine, _, _) = fp.mip_levels(tex.max_level());
+                let color = bilinear(tex, uv, fine, fetches);
+                SampleInfo {
+                    color,
+                    conventional_texels: fetches.len() as u32,
+                    aniso_ratio: 1,
+                }
+            }
+            FilterMode::Trilinear => {
+                let color = trilinear(tex, uv, fp.lod, fetches);
+                SampleInfo {
+                    color,
+                    conventional_texels: fetches.len() as u32,
+                    aniso_ratio: 1,
+                }
+            }
+            FilterMode::Anisotropic => {
+                if self.config.reordered {
+                    let mut children = 0;
+                    let color = anisotropic_reordered(tex, uv, &fp, fetches, &mut children);
+                    SampleInfo {
+                        color,
+                        conventional_texels: children as u32,
+                        aniso_ratio: fp.aniso_ratio,
+                    }
+                } else {
+                    let color = anisotropic_conventional(tex, uv, &fp, fetches);
+                    let (fine, coarse, w) = fp.mip_levels(tex.max_level());
+                    let levels = if coarse == fine || w == 0.0 { 1 } else { 2 };
+                    SampleInfo {
+                        color,
+                        conventional_texels: fp.aniso_ratio * 4 * levels,
                         aniso_ratio: fp.aniso_ratio,
                     }
                 }
@@ -261,6 +339,45 @@ mod tests {
         assert_eq!(s.aniso_ratio, 8);
         // ratio × 4 corners × (1 or 2 levels, depending on fractional LOD).
         assert!(s.conventional_texels == 8 * 4 || s.conventional_texels == 8 * 8);
+    }
+
+    #[test]
+    fn sample_into_matches_sample_across_modes() {
+        let t = tex();
+        let mut set = FetchSet::new();
+        for filter in [
+            FilterMode::Point,
+            FilterMode::Bilinear,
+            FilterMode::Trilinear,
+            FilterMode::Anisotropic,
+        ] {
+            for reordered in [false, true] {
+                let s = Sampler::new(SamplerConfig {
+                    filter,
+                    reordered,
+                    ..SamplerConfig::default()
+                });
+                for (uv, dx, dy) in [
+                    (
+                        Vec2::new(0.37, 0.61),
+                        Vec2::new(6.0, 0.0),
+                        Vec2::new(0.0, 1.5),
+                    ),
+                    (
+                        Vec2::new(0.9, 0.1),
+                        Vec2::new(0.0, 12.0),
+                        Vec2::new(2.0, 0.0),
+                    ),
+                ] {
+                    let full = s.sample(&t, uv, dx, dy);
+                    let info = s.sample_into(&t, uv, dx, dy, &mut set);
+                    assert_eq!(full.color, info.color);
+                    assert_eq!(full.conventional_texels, info.conventional_texels);
+                    assert_eq!(full.aniso_ratio, info.aniso_ratio);
+                    assert_eq!(full.fetches.as_slice(), set.fetches());
+                }
+            }
+        }
     }
 
     #[test]
