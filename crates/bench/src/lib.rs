@@ -50,9 +50,9 @@ pub mod pool;
 
 use pimgfx::{Design, FragmentStreamCache, FrontendCacheStats, RenderReport, SimConfig, Simulator};
 use pimgfx_quality::psnr;
-use pimgfx_types::{ConfigError, Error, Result};
+use pimgfx_types::{ConfigError, Error, FxHashSet, Result};
 use pimgfx_workloads::{Game, Resolution, SceneCache, SceneTrace};
-use std::collections::{HashMap, HashSet};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -303,8 +303,10 @@ pub struct Harness {
     frames: usize,
     scenes: SceneCache,
     streams: Arc<FragmentStreamCache>,
-    reports: HashMap<(Game, Resolution, String), RenderReport>,
-    walls: HashMap<(String, String), WallSplit>,
+    // BTreeMap, not a hash map: report cells are iterated into CSV and
+    // manifest output, so the container order itself must be stable.
+    reports: BTreeMap<(Game, Resolution, String), RenderReport>,
+    walls: BTreeMap<(String, String), WallSplit>,
 }
 
 impl Harness {
@@ -319,8 +321,8 @@ impl Harness {
             frames,
             scenes: SceneCache::new(frames),
             streams: Arc::new(FragmentStreamCache::new(SimConfig::default().tile_px)),
-            reports: HashMap::new(),
-            walls: HashMap::new(),
+            reports: BTreeMap::new(),
+            walls: BTreeMap::new(),
         }
     }
 
@@ -346,8 +348,8 @@ impl Harness {
                 SimConfig::default().tile_px,
                 scene_capacity,
             )),
-            reports: HashMap::new(),
-            walls: HashMap::new(),
+            reports: BTreeMap::new(),
+            walls: BTreeMap::new(),
         }
     }
 
@@ -465,10 +467,12 @@ impl Harness {
     /// cell order; reports from cells before the failing one stay
     /// memoized.
     pub fn precompute(&mut self, sweep: &Sweep) -> HarnessResult<SweepStats> {
+        // det:boundary — sweep wall-time for SweepStats reporting only;
+        // simulated cycles come from the replay, never from this clock.
         let start = Instant::now();
 
         // Deduplicate against both the sweep itself and the cache.
-        let mut seen: HashSet<(Game, Resolution, String)> = HashSet::new();
+        let mut seen: FxHashSet<(Game, Resolution, String)> = FxHashSet::default();
         let mut todo: Vec<(Game, Resolution, Variant, String)> = Vec::new();
         for &(g, r, v) in sweep.cells() {
             let label = v.label();
@@ -654,6 +658,7 @@ fn simulate_cell(
     if sim.config().tile_px != streams.tile_px() {
         // A variant binned at a different tile size cannot replay the
         // shared stream; render directly (no variant does this today).
+        // det:boundary — backend wall-time for WallSplit reporting.
         let start = Instant::now();
         let report = sim.render_trace(scene)?;
         let backend_ms = start.elapsed().as_secs_f64() * 1000.0;
@@ -665,9 +670,11 @@ fn simulate_cell(
             },
         ));
     }
+    // det:boundary — frontend wall-time for WallSplit reporting.
     let start = Instant::now();
     let stream = streams.get(scene)?;
     let frontend_ms = start.elapsed().as_secs_f64() * 1000.0;
+    // det:boundary — backend wall-time for WallSplit reporting.
     let start = Instant::now();
     let report = sim.render_replay(&stream)?;
     let backend_ms = start.elapsed().as_secs_f64() * 1000.0;
@@ -775,6 +782,7 @@ pub mod microbench {
             black_box(f());
             let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
             for _ in 0..self.samples {
+                // det:boundary — this *is* the wall-clock being measured.
                 let start = Instant::now();
                 black_box(f());
                 times.push(start.elapsed());
@@ -804,6 +812,8 @@ pub fn geomean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
+    // float:reassoc-ok — slice-order reduction over ≤ tens of values;
+    // consumed at 3-sig-fig display precision, far beyond any ULP drift.
     let log_sum: f64 = xs.iter().map(|x| x.max(1e-12).ln()).sum();
     (log_sum / xs.len() as f64).exp()
 }
@@ -813,6 +823,8 @@ pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
+    // float:reassoc-ok — slice-order reduction over ≤ tens of values;
+    // consumed at 3-sig-fig display precision, far beyond any ULP drift.
     xs.iter().sum::<f64>() / xs.len() as f64
 }
 

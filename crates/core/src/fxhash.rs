@@ -1,49 +1,8 @@
 //! Deterministic FxHash-style hasher for hot integer-keyed maps.
 //!
-//! The std default (SipHash) dominates profiles on the per-texel and
-//! per-quad maps; keys here are small integer tuples with no adversarial
-//! source, so a multiply-rotate mix is both sufficient and much cheaper.
-//! Iteration order is never observed by any caller (lookups only), so
-//! swapping the hasher cannot change simulation results.
+//! The implementation lives in [`pimgfx_types::fxhash`] so every crate
+//! in the workspace can reach the sanctioned deterministic maps; this
+//! module re-exports it under the historical `crate::fxhash` path used
+//! by the texture-path and fragment-stream caches.
 
-use std::hash::BuildHasherDefault;
-
-/// Multiply-rotate hasher over the written words.
-#[derive(Debug, Default)]
-pub(crate) struct FxHasher {
-    hash: u64,
-}
-
-impl FxHasher {
-    const SEED: u64 = 0x517c_c1b7_2722_0a95;
-
-    fn add(&mut self, v: u64) {
-        self.hash = (self.hash.rotate_left(5) ^ v).wrapping_mul(Self::SEED);
-    }
-}
-
-impl std::hash::Hasher for FxHasher {
-    fn finish(&self) -> u64 {
-        self.hash
-    }
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.add(u64::from(b));
-        }
-    }
-    fn write_u8(&mut self, v: u8) {
-        self.add(u64::from(v));
-    }
-    fn write_u32(&mut self, v: u32) {
-        self.add(u64::from(v));
-    }
-    fn write_u64(&mut self, v: u64) {
-        self.add(v);
-    }
-    fn write_usize(&mut self, v: usize) {
-        self.add(v as u64);
-    }
-}
-
-/// `BuildHasher` plugging [`FxHasher`] into `HashMap`.
-pub(crate) type FxBuildHasher = BuildHasherDefault<FxHasher>;
+pub use pimgfx_types::fxhash::{FxBuildHasher, FxHashMap, FxHashSet};

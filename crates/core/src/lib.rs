@@ -45,7 +45,7 @@
 pub mod backend;
 pub mod config;
 pub mod design;
-mod fxhash;
+pub mod fxhash;
 pub mod geometry;
 pub mod overhead;
 pub mod rop;

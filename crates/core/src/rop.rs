@@ -9,12 +9,12 @@
 //! traffic for overdraw.
 
 use crate::backend::MemoryBackend;
+use crate::fxhash::FxHashMap;
 use pimgfx_engine::trace::{stage, StageCounters, StageTrace};
 use pimgfx_engine::Cycle;
 use pimgfx_mem::{MemRequest, MemorySystem, TrafficClass};
 use pimgfx_raster::Fragment;
 use pimgfx_types::TileCoord;
-use std::collections::HashMap;
 
 /// Base address of the simulated depth buffer.
 const Z_BASE: u64 = 0x0000_0000;
@@ -37,7 +37,7 @@ pub struct Rop {
     written: Vec<bool>,
     width: u32,
     /// Per-tile: (fragments retired, overdraw rewrites).
-    tile_activity: HashMap<TileCoord, (u64, u64)>,
+    tile_activity: FxHashMap<TileCoord, (u64, u64)>,
     first_writes: u64,
     rewrites: u64,
     /// Fragments retired over the whole trace (survives `begin_frame`).
@@ -63,7 +63,7 @@ impl Rop {
             tiles_x: width.div_ceil(tile_px),
             written: vec![false; (width * height) as usize],
             width,
-            tile_activity: HashMap::new(),
+            tile_activity: FxHashMap::default(),
             first_writes: 0,
             rewrites: 0,
             retired_total: 0,

@@ -27,12 +27,11 @@
 //! LRU eviction on a bounded cache) and additionally counts hits and
 //! misses for run-manifest reporting.
 
-use crate::fxhash::FxBuildHasher;
+use crate::fxhash::FxHashMap;
 use pimgfx_raster::{Fragment, FragmentTile, RasterStats, Rasterizer};
 use pimgfx_types::{ConfigError, Result, TileCoord};
 use pimgfx_workloads::{Game, Resolution, SceneTrace};
 use std::collections::hash_map::Entry;
-use std::collections::HashMap;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -86,6 +85,8 @@ impl FragmentStream {
     /// Returns [`ConfigError`] when the scene has no frames or
     /// `tile_px` is zero.
     pub fn build(scene: Arc<SceneTrace>, tile_px: u32) -> Result<Self> {
+        // det:boundary — frontend build wall-time, reported in run
+        // manifests only; never feeds cycle accounting or figure CSVs.
         let start = Instant::now();
         let data = StreamData::build(&scene, tile_px)?;
         Ok(Self {
@@ -224,7 +225,7 @@ impl StreamData {
 #[derive(Debug, Default)]
 struct QuadGrouper {
     /// Quad key → dense quad index (within the current tile).
-    map: HashMap<(u32, u32, u32), u32, FxBuildHasher>,
+    map: FxHashMap<(u32, u32, u32), u32>,
     /// Fragment count per quad (pass 1), then consumed as write cursors.
     counts: Vec<u32>,
     /// Scatter cursor per quad: absolute index into the output buffer.
@@ -314,6 +315,7 @@ type StreamKey = (Game, Resolution, usize);
 pub struct FragmentStreamCache {
     tile_px: u32,
     capacity: Option<usize>,
+    // lock:rank(40, core.stream.cache)
     inner: Mutex<StreamCacheState>,
 }
 
@@ -321,7 +323,7 @@ pub struct FragmentStreamCache {
 /// first), and the usage counters.
 #[derive(Debug, Default)]
 struct StreamCacheState {
-    map: HashMap<StreamKey, Arc<FragmentStream>>,
+    map: FxHashMap<StreamKey, Arc<FragmentStream>>,
     lru: Vec<StreamKey>,
     stats: FrontendCacheStats,
 }

@@ -22,7 +22,7 @@
 use crate::backend::MemoryBackend;
 use crate::config::SimConfig;
 use crate::design::Design;
-use crate::fxhash::FxBuildHasher;
+use crate::fxhash::FxHashMap;
 use crate::stats::TextureStats;
 use crate::texunit::TextureUnits;
 use pimgfx_engine::trace::StageTrace;
@@ -35,7 +35,6 @@ use pimgfx_texture::{
     TextureLayout,
 };
 use pimgfx_types::{Radians, Result, Rgba, Vec2};
-use std::collections::HashMap;
 
 /// Latency of an L1 texture-cache hit, cycles.
 const L1_HIT_CYCLES: u64 = 1;
@@ -104,7 +103,7 @@ pub struct TexturePath {
     offload: OffloadUnit,
     /// A-TFIM functional store: last computed value and camera angle per
     /// parent texel.
-    parent_values: HashMap<ParentKey, (Radians, Rgba), FxBuildHasher>,
+    parent_values: FxHashMap<ParentKey, (Radians, Rgba)>,
     /// Bytes per texel line on the wire (64 raw; 16 under block
     /// compression).
     line_bytes: u32,
@@ -167,7 +166,7 @@ impl TexturePath {
                     .collect()
             }),
             offload: OffloadUnit::new(config.compress_offload),
-            parent_values: HashMap::default(),
+            parent_values: FxHashMap::default(),
             line_bytes: if config.compressed_textures { 16 } else { 64 },
             scratch: PathScratch::default(),
             stats: TextureStats::default(),

@@ -7,7 +7,7 @@
 //! the anisotropy axis, the merge rate is substantial — it is one of the
 //! ablations DESIGN.md calls out.
 
-use std::collections::HashSet;
+use pimgfx_types::fxhash::{FxBuildHasher, FxHashSet};
 
 /// Deduplicates child-texel line addresses within one offload package.
 ///
@@ -49,7 +49,7 @@ impl ChildConsolidator {
         if !self.enabled {
             return fetches;
         }
-        let mut seen = HashSet::with_capacity(fetches.len());
+        let mut seen = FxHashSet::with_capacity_and_hasher(fetches.len(), FxBuildHasher::default());
         let mut out = Vec::with_capacity(fetches.len());
         for f in fetches {
             if seen.insert(f) {

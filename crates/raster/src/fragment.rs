@@ -51,8 +51,8 @@ impl FragmentTile {
     pub fn group(fragments: Vec<Fragment>, tile_px: u32) -> Vec<FragmentTile> {
         assert!(tile_px > 0, "tile size must be positive");
         let mut tiles: Vec<FragmentTile> = Vec::new();
-        let mut index: std::collections::HashMap<TileCoord, usize> =
-            std::collections::HashMap::new();
+        let mut index: pimgfx_types::FxHashMap<TileCoord, usize> =
+            pimgfx_types::FxHashMap::default();
         for f in fragments {
             let coord = f.tile(tile_px);
             let at = *index.entry(coord).or_insert_with(|| {

@@ -111,11 +111,13 @@ impl Client {
     /// Transport failures, unknown jobs, or timeout (as
     /// [`ProtocolError::Format`], naming the last observed state).
     pub fn wait(&mut self, id: JobId, timeout: Duration, poll: Duration) -> ProtoResult<JobState> {
+        // det:boundary — client-side polling deadline, wall-clock only.
         let deadline = Instant::now() + timeout;
         loop {
             let state = self.status(id)?;
             match state {
                 JobState::Queued | JobState::Running { .. } => {
+                    // det:boundary — wall-clock check of that deadline.
                     if Instant::now() >= deadline {
                         return Err(ProtocolError::Format(format!(
                             "timed out after {:.1}s waiting for job {id} (last state: {state:?})",

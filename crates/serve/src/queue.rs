@@ -39,7 +39,9 @@ struct State<T> {
 #[derive(Debug)]
 pub struct BoundedQueue<T> {
     capacity: usize,
+    // lock:rank(20, serve.queue.state)
     state: Mutex<State<T>>,
+    // lock:rank(21, serve.queue.ready)
     ready: Condvar,
 }
 
@@ -97,6 +99,8 @@ impl<T> BoundedQueue<T> {
     /// timeout or when the queue is closed and empty. A popped item
     /// stays *outstanding* until [`BoundedQueue::task_done`].
     pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
+        // det:boundary — pop deadline is wall-clock service time; it
+        // bounds waiting only and never reaches simulated results.
         let deadline = Instant::now() + timeout;
         let mut st = self.lock();
         loop {
@@ -106,6 +110,7 @@ impl<T> BoundedQueue<T> {
             if st.closed {
                 return None;
             }
+            // det:boundary — re-check of the same wall-clock deadline.
             let now = Instant::now();
             if now >= deadline {
                 return None;

@@ -15,9 +15,8 @@ use crate::queue::{BoundedQueue, PushError};
 use pimgfx::{FragmentStreamCache, SimConfig};
 use pimgfx_bench::manifest::CellSummary;
 use pimgfx_bench::{pool, run_variant_replay, Harness, HarnessResult, SECTIONS};
-use pimgfx_types::{ConfigError, Error};
+use pimgfx_types::{ConfigError, Error, FxHashMap};
 use pimgfx_workloads::{Game, SceneCache};
-use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -85,7 +84,8 @@ struct JobEntry {
 struct Shared {
     config: ServeConfig,
     queue: BoundedQueue<JobId>,
-    jobs: Mutex<HashMap<JobId, JobEntry>>,
+    // lock:rank(10, serve.server.jobs)
+    jobs: Mutex<FxHashMap<JobId, JobEntry>>,
     next_id: AtomicU64,
     draining: Arc<AtomicBool>,
     scenes: SceneCache,
@@ -97,7 +97,7 @@ struct Shared {
 impl Shared {
     /// Registry state is plain data; recover from a poisoned lock
     /// rather than wedging every connection.
-    fn jobs(&self) -> MutexGuard<'_, HashMap<JobId, JobEntry>> {
+    fn jobs(&self) -> MutexGuard<'_, FxHashMap<JobId, JobEntry>> {
         self.jobs.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
@@ -175,7 +175,7 @@ impl Server {
             shared: Arc::new(Shared {
                 config,
                 queue,
-                jobs: Mutex::new(HashMap::new()),
+                jobs: Mutex::new(FxHashMap::default()),
                 next_id: AtomicU64::new(0),
                 draining: Arc::new(AtomicBool::new(false)),
                 scenes,
@@ -287,6 +287,8 @@ fn execute_job(shared: &Shared, id: JobId) {
     } else {
         shared.config.default_deadline_ms
     };
+    // det:boundary — job deadline is wall-clock service policy; it
+    // cancels work but never feeds simulated results.
     let deadline = (deadline_ms > 0).then(|| Instant::now() + Duration::from_millis(deadline_ms));
     if shared.config.hold_before_job > Duration::ZERO {
         std::thread::sleep(shared.config.hold_before_job);
@@ -311,6 +313,7 @@ fn execute_job(shared: &Shared, id: JobId) {
         return;
     }
     let results = pool::run_ordered(&variants, workers, |&v| {
+        // det:boundary — wall-clock check against the job deadline.
         let expired = deadline.is_some_and(|d| Instant::now() >= d);
         if cancel.load(Ordering::SeqCst) || expired {
             None

@@ -1,0 +1,95 @@
+//! Deterministic FxHash-style hasher and map aliases.
+//!
+//! The std `HashMap` default (`RandomState`/SipHash) seeds itself from
+//! process entropy, so iteration order differs run to run — a silent
+//! determinism hazard for any map whose contents ever reach a report,
+//! manifest, or CSV, and a profile hotspot on the per-texel and per-quad
+//! maps. Keys in this workspace are small integer tuples with no
+//! adversarial source, so a fixed-seed multiply-rotate mix is both
+//! sufficient and much cheaper.
+//!
+//! [`FxHashMap`] / [`FxHashSet`] are the sanctioned alternatives the
+//! `nondeterminism` lint points at (`docs/STATIC_ANALYSIS.md`): same
+//! API, deterministic hash, no ambient seeding. Note that hash-order
+//! iteration is still *arbitrary* (insertion-dependent), just
+//! reproducible; data that must come out sorted belongs in a `BTreeMap`
+//! or behind an explicit sort.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::BuildHasherDefault;
+
+/// Multiply-rotate hasher over the written words.
+#[derive(Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    const SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+    fn add(&mut self, v: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ v).wrapping_mul(Self::SEED);
+    }
+}
+
+impl std::hash::Hasher for FxHasher {
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(u64::from(b));
+        }
+    }
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// `BuildHasher` plugging [`FxHasher`] into the std collections.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` with the deterministic [`FxHasher`]; construct with
+/// `FxHashMap::default()` or `with_capacity_and_hasher`.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` with the deterministic [`FxHasher`]; construct with
+/// `FxHashSet::default()` or `with_capacity_and_hasher`.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn hashes_are_stable_across_hashers() {
+        let key = (3u32, 7u32, 11u32);
+        assert_eq!(hash_of(&key), hash_of(&key));
+        assert_ne!(hash_of(&key), hash_of(&(3u32, 7u32, 12u32)));
+    }
+
+    #[test]
+    fn map_and_set_aliases_round_trip() {
+        let mut m: FxHashMap<(u32, u32), u64> = FxHashMap::default();
+        m.insert((1, 2), 42);
+        assert_eq!(m.get(&(1, 2)), Some(&42));
+
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        assert!(s.insert(9));
+        assert!(s.contains(&9));
+    }
+}

@@ -12,6 +12,8 @@
 //! * [`rect`] — integer rectangles and screen-tile arithmetic.
 //! * [`ids`] — typed identifiers (textures, shader clusters, vaults, ...).
 //! * [`bytes`] — byte-count newtype with human-readable formatting.
+//! * [`fxhash`] — deterministic FxHash-style hasher plus `FxHashMap`/`FxHashSet`
+//!   aliases (the sanctioned alternative to ambient-seeded std maps).
 //! * [`rng`] — a tiny deterministic PRNG for procedural workload synthesis.
 //! * [`error`] — the common error type returned by simulator constructors.
 //!
@@ -42,6 +44,8 @@ pub mod bytes;
 pub mod color;
 /// The workspace-wide `Error` type and `Result` alias.
 pub mod error;
+/// Deterministic FxHash-style hasher and `FxHashMap`/`FxHashSet` aliases.
+pub mod fxhash;
 /// Typed identifiers (textures, clusters, vaults, requests, frames).
 pub mod ids;
 /// 4×4 column-major matrices for the geometry pipeline.
@@ -57,6 +61,7 @@ pub use angle::Radians;
 pub use bytes::ByteCount;
 pub use color::{PackedRgba, Rgba};
 pub use error::{ConfigError, Error, Result};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use ids::{ClusterId, FrameId, RequestId, TextureId, VaultId};
 pub use mat::Mat4;
 pub use rect::{Rect, TileCoord};

@@ -70,7 +70,7 @@ impl fmt::Display for Resolution {
 }
 
 /// The five evaluated titles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Game {
     /// Doom 3 (OpenGL, id Tech 4).
     Doom3,

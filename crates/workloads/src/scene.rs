@@ -13,8 +13,7 @@ use crate::mesh;
 use crate::procedural::{generate, TextureKind};
 use pimgfx_raster::{Camera, Vertex};
 use pimgfx_texture::{MippedTexture, TextureImage};
-use pimgfx_types::{TextureId, Vec3};
-use std::collections::HashMap;
+use pimgfx_types::{FxHashMap, TextureId, Vec3};
 use std::sync::{Arc, Mutex, PoisonError};
 
 /// One draw call: a triangle list bound to a texture.
@@ -123,6 +122,7 @@ const _: () = {
 pub struct SceneCache {
     frames: usize,
     capacity: Option<usize>,
+    // lock:rank(30, workloads.scene.cache)
     inner: Mutex<CacheState>,
 }
 
@@ -130,7 +130,7 @@ pub struct SceneCache {
 /// recency list (least-recently-used first) and the eviction counter.
 #[derive(Debug, Default)]
 struct CacheState {
-    map: HashMap<(Game, Resolution), Arc<SceneTrace>>,
+    map: FxHashMap<(Game, Resolution), Arc<SceneTrace>>,
     lru: Vec<(Game, Resolution)>,
     evictions: u64,
 }

@@ -7,10 +7,27 @@
 use crate::source;
 use crate::Diagnostic;
 
+/// `nondeterminism`: no ambient-seeded maps, undeclared wall-clock
+/// reads, or unseeded entropy in library code.
+pub mod nondeterminism;
+
+/// `lock-order`: every lock field is ranked and nested acquisitions
+/// follow strictly increasing ranks.
+pub mod lock_order;
+
+/// `float-reduction`: no reassociation-prone float accumulation without
+/// a justified `float:reassoc-ok` marker.
+pub mod float_reduction;
+
+/// `stale-allow`: every `lint:allow` comment still suppresses a live
+/// finding.
+pub mod stale_allow;
+
 /// `no-panic`: non-test library code must not contain panicking macros
 /// or panicking `Option`/`Result` extractors.
 pub mod no_panic {
     use super::{source, Diagnostic};
+    use std::collections::BTreeMap;
 
     /// The rule name used in diagnostics and `lint:allow(...)` entries.
     pub const RULE: &str = "no-panic";
@@ -24,47 +41,62 @@ pub mod no_panic {
         "unimplemented!",
     ];
 
-    /// Checks one library source file.
+    /// Checks one library source file. The pattern scan runs over a
+    /// whitespace-normalized view of the file so a method chain rustfmt
+    /// split across lines (`.\n    unwrap()`) is still seen; the
+    /// diagnostic lands on the line where the match begins.
     #[must_use]
     pub fn check(path: &str, text: &str) -> Vec<Diagnostic> {
         let stripped = source::strip(text);
         let mask = source::test_mask(&stripped);
         let raw_lines: Vec<&str> = text.lines().collect();
+        let norm = source::Normalized::new(&stripped);
         let mut out = Vec::new();
 
-        for (idx, line) in stripped.lines().enumerate() {
+        // An allowlist entry with no justification is itself flagged.
+        for (idx, raw) in raw_lines.iter().enumerate() {
             if mask.get(idx).copied().unwrap_or(false) {
                 continue;
             }
-            // An allowlist entry with no justification is itself flagged.
-            if source::allow_missing_reason(raw_lines.get(idx).unwrap_or(&""), RULE) {
-                out.push(Diagnostic {
-                    rule: RULE,
-                    path: path.to_string(),
-                    line: idx + 1,
-                    message: "allowlist entry is missing its justification".to_string(),
-                });
-                continue;
+            if source::allow_missing_reason(raw, RULE) {
+                out.push(Diagnostic::new(
+                    RULE,
+                    path,
+                    idx + 1,
+                    "allowlist entry is missing its justification".to_string(),
+                ));
             }
-            for pat in PATTERNS {
-                if line.contains(pat) {
-                    if source::is_allowed(&raw_lines, idx, RULE) {
-                        continue;
-                    }
-                    out.push(Diagnostic {
-                        rule: RULE,
-                        path: path.to_string(),
-                        line: idx + 1,
-                        message: format!(
+        }
+
+        // One finding per line; earlier patterns take priority when two
+        // match on the same line (mirrors the historical per-line scan).
+        let mut by_line: BTreeMap<usize, Diagnostic> = BTreeMap::new();
+        for pat in PATTERNS {
+            for (_pos, line) in norm.find_all(pat) {
+                let idx = line - 1;
+                if mask.get(idx).copied().unwrap_or(false)
+                    || by_line.contains_key(&line)
+                    || source::is_allowed(&raw_lines, idx, RULE)
+                {
+                    continue;
+                }
+                by_line.insert(
+                    line,
+                    Diagnostic::new(
+                        RULE,
+                        path,
+                        line,
+                        format!(
                             "`{}` in library code; return `pimgfx_types::Error` instead \
                              (or justify with `// lint:allow({RULE}) — <reason>`)",
                             pat.trim_matches(['.', '('])
                         ),
-                    });
-                    break;
-                }
+                    ),
+                );
             }
         }
+        out.extend(by_line.into_values());
+        out.sort_by_key(|d| d.line);
         out
     }
 }
@@ -123,12 +155,12 @@ pub mod unit_cast {
                 continue;
             }
             if source::allow_missing_reason(raw_lines.get(idx).unwrap_or(&""), RULE) {
-                out.push(Diagnostic {
-                    rule: RULE,
-                    path: path.to_string(),
-                    line: idx + 1,
-                    message: "allowlist entry is missing its justification".to_string(),
-                });
+                out.push(Diagnostic::new(
+                    RULE,
+                    path,
+                    idx + 1,
+                    "allowlist entry is missing its justification".to_string(),
+                ));
                 continue;
             }
             for accessor in [".get()", ".as_f32()"] {
@@ -136,16 +168,16 @@ pub mod unit_cast {
                     if source::is_allowed(&raw_lines, idx, RULE) {
                         continue;
                     }
-                    out.push(Diagnostic {
-                        rule: RULE,
-                        path: path.to_string(),
-                        line: idx + 1,
-                        message: format!(
+                    out.push(Diagnostic::new(
+                        RULE,
+                        path,
+                        idx + 1,
+                        format!(
                             "unit-erasing `{found}`; use the typed conversion \
                              (`as_f64()` and friends) so clock-domain and traffic \
                              math stays dimensioned"
                         ),
-                    });
+                    ));
                     break;
                 }
             }
@@ -231,12 +263,12 @@ pub mod pub_docs {
                 continue;
             }
             if source::allow_missing_reason(raw_lines.get(idx).unwrap_or(&""), RULE) {
-                out.push(Diagnostic {
-                    rule: RULE,
-                    path: path.to_string(),
-                    line: idx + 1,
-                    message: "allowlist entry is missing its justification".to_string(),
-                });
+                out.push(Diagnostic::new(
+                    RULE,
+                    path,
+                    idx + 1,
+                    "allowlist entry is missing its justification".to_string(),
+                ));
                 continue;
             }
             let Some(kind) = public_item(line) else {
@@ -245,15 +277,15 @@ pub mod pub_docs {
             if has_doc(&raw_lines, idx) || source::is_allowed(&raw_lines, idx, RULE) {
                 continue;
             }
-            out.push(Diagnostic {
-                rule: RULE,
-                path: path.to_string(),
-                line: idx + 1,
-                message: format!(
+            out.push(Diagnostic::new(
+                RULE,
+                path,
+                idx + 1,
+                format!(
                     "public `{kind}` has no rustdoc; document it with `///` \
                      (or justify with `// lint:allow({RULE}) — <reason>`)"
                 ),
-            });
+            ));
         }
         out
     }
@@ -311,12 +343,12 @@ pub mod trace_stage {
                 continue;
             }
             if source::allow_missing_reason(raw_lines.get(idx).unwrap_or(&""), RULE) {
-                out.push(Diagnostic {
-                    rule: RULE,
-                    path: path.to_string(),
-                    line: idx + 1,
-                    message: "allowlist entry is missing its justification".to_string(),
-                });
+                out.push(Diagnostic::new(
+                    RULE,
+                    path,
+                    idx + 1,
+                    "allowlist entry is missing its justification".to_string(),
+                ));
                 continue;
             }
             // `MultiServer::new(` contains `Server::new(`, so one
@@ -327,16 +359,16 @@ pub mod trace_stage {
             if has_marker(&raw_lines, idx) || source::is_allowed(&raw_lines, idx, RULE) {
                 continue;
             }
-            out.push(Diagnostic {
-                rule: RULE,
-                path: path.to_string(),
-                line: idx + 1,
-                message: format!(
+            out.push(Diagnostic::new(
+                RULE,
+                path,
+                idx + 1,
+                format!(
                     "server constructed without a `trace:stage(<name>)` marker; \
                      tie it to a stage in `pimgfx_engine::trace::stage` \
                      (or justify with `// lint:allow({RULE}) — <reason>`)"
                 ),
-            });
+            ));
         }
         out
     }
@@ -370,12 +402,7 @@ pub mod lint_wall {
             "missing the canonical lint-wall header \
              (`#![forbid(unsafe_code)]`, `#![deny(missing_docs)]`, clippy warns)"
         };
-        vec![Diagnostic {
-            rule: RULE,
-            path: path.to_string(),
-            line: 0,
-            message: message.to_string(),
-        }]
+        vec![Diagnostic::new(RULE, path, 0, message.to_string())]
     }
 }
 
@@ -428,12 +455,12 @@ pub mod manifest {
             let inherited = format!("{key}.workspace = true");
             let spelled = format!("{key} = {{ workspace = true }}");
             if !text.contains(&inherited) && !text.contains(&spelled) {
-                out.push(Diagnostic {
-                    rule: RULE,
-                    path: path.to_string(),
-                    line: 0,
-                    message: format!("package metadata `{key}` must inherit the workspace value"),
-                });
+                out.push(Diagnostic::new(
+                    RULE,
+                    path,
+                    0,
+                    format!("package metadata `{key}` must inherit the workspace value"),
+                ));
             }
         }
 
@@ -455,24 +482,22 @@ pub mod manifest {
             };
             let (name, spec) = (name.trim(), spec.trim());
             if !spec.contains("workspace = true") {
-                out.push(Diagnostic {
-                    rule: RULE,
-                    path: path.to_string(),
-                    line: idx + 1,
-                    message: format!(
+                out.push(Diagnostic::new(
+                    RULE,
+                    path,
+                    idx + 1,
+                    format!(
                         "dependency `{name}` must be `{{ workspace = true }}`, \
                          not an inline version/path/git spec"
                     ),
-                });
+                ));
             } else if !workspace_deps.iter().any(|d| d == name) {
-                out.push(Diagnostic {
-                    rule: RULE,
-                    path: path.to_string(),
-                    line: idx + 1,
-                    message: format!(
-                        "dependency `{name}` is not declared in [workspace.dependencies]"
-                    ),
-                });
+                out.push(Diagnostic::new(
+                    RULE,
+                    path,
+                    idx + 1,
+                    format!("dependency `{name}` is not declared in [workspace.dependencies]"),
+                ));
             }
         }
         out
@@ -518,24 +543,22 @@ pub mod figures {
         let mut out = Vec::new();
         for bench in bench_files {
             if !referenced.iter().any(|r| r == bench) {
-                out.push(Diagnostic {
-                    rule: RULE,
-                    path: doc_path.to_string(),
-                    line: 0,
-                    message: format!(
-                        "bench `crates/bench/benches/{bench}` is not referenced in {doc_path}"
-                    ),
-                });
+                out.push(Diagnostic::new(
+                    RULE,
+                    doc_path,
+                    0,
+                    format!("bench `crates/bench/benches/{bench}` is not referenced in {doc_path}"),
+                ));
             }
         }
         for r in &referenced {
             if !bench_files.iter().any(|b| b == r) {
-                out.push(Diagnostic {
-                    rule: RULE,
-                    path: doc_path.to_string(),
-                    line: 0,
-                    message: format!("{doc_path} references `{r}` but no such bench file exists"),
-                });
+                out.push(Diagnostic::new(
+                    RULE,
+                    doc_path,
+                    0,
+                    format!("{doc_path} references `{r}` but no such bench file exists"),
+                ));
             }
         }
         out
@@ -625,12 +648,7 @@ pub mod protocol_version {
         snapshot_path: &str,
         snapshot: Option<&str>,
     ) -> Vec<Diagnostic> {
-        let diag = |path: &str, message: String| Diagnostic {
-            rule: RULE,
-            path: path.to_string(),
-            line: 0,
-            message,
-        };
+        let diag = |path: &str, message: String| Diagnostic::new(RULE, path, 0, message);
         let Some(region) = frame_region(protocol_text) else {
             return vec![diag(
                 protocol_path,

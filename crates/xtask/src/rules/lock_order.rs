@@ -1,0 +1,350 @@
+//! `lock-order`: every lock field is ranked, and nested acquisitions
+//! follow strictly increasing ranks.
+//!
+//! The serve daemon, the scene cache, and the frontend stream cache
+//! each guard state with `Mutex`/`Condvar` fields. A deadlock needs two
+//! locks held in opposite orders somewhere — so the workspace pins a
+//! single global acquisition order: every lock *declaration* carries a
+//! `lock:rank(<n>, <name>)` marker, and this rule rebuilds the
+//! acquisition nesting from the source text and fails when a lock is
+//! acquired while one of equal or higher rank is already held.
+//!
+//! The nesting model is lexical: a guard is considered held from its
+//! acquisition site to the end of the enclosing brace scope. That is
+//! conservative for temporaries (`self.lock().field = x;` "holds" to
+//! the scope end) but safe — it can only over-report nesting, never
+//! miss one. Guard-returning wrapper methods (any `fn` whose signature
+//! names `MutexGuard`/`RwLock*Guard`) are resolved to the lock they
+//! acquire, so `self.lock()` call sites count against the wrapped
+//! lock's rank.
+
+use crate::source;
+use crate::Diagnostic;
+
+/// The rule name used in diagnostics and `lint:allow(...)` entries.
+pub const RULE: &str = "lock-order";
+
+/// The rank marker every lock declaration must carry.
+pub const MARKER: &str = "lock:rank(";
+
+/// A ranked lock declaration.
+struct Lock {
+    field: String,
+    rank: u32,
+    rank_name: String,
+}
+
+/// Splits a leading Rust identifier off `s`.
+fn leading_ident(s: &str) -> Option<(&str, &str)> {
+    let end = s
+        .find(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+        .unwrap_or(s.len());
+    (end > 0).then(|| (&s[..end], &s[end..]))
+}
+
+/// The identifier ending right before byte `pos` of `text`.
+fn trailing_ident(text: &str, pos: usize) -> &str {
+    let bytes = text.as_bytes();
+    let mut start = pos;
+    while start > 0 {
+        let b = bytes[start - 1];
+        if b.is_ascii_alphanumeric() || b == b'_' {
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    &text[start..pos]
+}
+
+/// Parses `lock:rank(<n>, <name>)` out of a raw line.
+fn parse_rank(raw_line: &str) -> Option<(u32, String)> {
+    let pos = raw_line.find(MARKER)?;
+    let rest = &raw_line[pos + MARKER.len()..];
+    let close = rest.find(')')?;
+    let inner = &rest[..close];
+    let (num, name) = inner.split_once(',')?;
+    let rank = num.trim().parse::<u32>().ok()?;
+    let name = name.trim();
+    (!name.is_empty()).then(|| (rank, name.to_string()))
+}
+
+/// Detects a lock field declaration on a trimmed stripped line and
+/// returns the field name. Initializer lines (`Mutex::new(...)`),
+/// imports, and guard-returning signatures do not match.
+fn lock_decl(line: &str) -> Option<String> {
+    let t = line.trim_start();
+    if t.starts_with("use ") || t.starts_with("fn ") || t.starts_with("let ") || t.contains("->") {
+        return None;
+    }
+    let mut t = t;
+    if let Some(rest) = t.strip_prefix("pub") {
+        t = rest.trim_start();
+        if let Some(rest) = t.strip_prefix('(') {
+            t = rest.split_once(')')?.1.trim_start();
+        }
+    }
+    let (field, rest) = leading_ident(t)?;
+    let mut ty = rest.trim_start().strip_prefix(':')?.trim_start();
+    loop {
+        if let Some(r) = ty.strip_prefix("Arc<") {
+            ty = r;
+        } else if let Some(r) = ty.strip_prefix("Box<") {
+            ty = r;
+        } else if let Some(r) = ty.strip_prefix("std::sync::") {
+            ty = r;
+        } else if let Some(r) = ty.strip_prefix("sync::") {
+            ty = r;
+        } else {
+            break;
+        }
+    }
+    let is_lock = ty.starts_with("Mutex<")
+        || ty.starts_with("RwLock<")
+        || (ty.starts_with("Condvar") && !ty[7..].starts_with("::"));
+    is_lock.then(|| field.to_string())
+}
+
+/// Method names whose call on a lock field acquires (or, for a Condvar,
+/// re-enters) the lock.
+const ACQUIRE_METHODS: [&str; 5] = ["lock", "read", "write", "wait", "wait_timeout"];
+
+/// Checks one library source file.
+#[must_use]
+pub fn check(path: &str, text: &str) -> Vec<Diagnostic> {
+    let stripped = source::strip(text);
+    let mask = source::test_mask(&stripped);
+    let raw_lines: Vec<&str> = text.lines().collect();
+    let stripped_lines: Vec<&str> = stripped.lines().collect();
+    let mut out = Vec::new();
+
+    for (idx, raw) in raw_lines.iter().enumerate() {
+        if mask.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        if source::allow_missing_reason(raw, RULE) {
+            out.push(Diagnostic::new(
+                RULE,
+                path,
+                idx + 1,
+                "allowlist entry is missing its justification".to_string(),
+            ));
+        }
+    }
+
+    // Pass 1: ranked lock declarations.
+    let mut locks: Vec<Lock> = Vec::new();
+    for (idx, line) in stripped_lines.iter().enumerate() {
+        if mask.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let Some(field) = lock_decl(line) else {
+            continue;
+        };
+        if source::is_allowed(&raw_lines, idx, RULE) {
+            continue;
+        }
+        if !source::has_marker(&raw_lines, idx, MARKER) {
+            out.push(Diagnostic::new(
+                RULE,
+                path,
+                idx + 1,
+                format!(
+                    "lock field `{field}` has no `lock:rank(<n>, <name>)` marker; place it \
+                     in the global acquisition order (see docs/STATIC_ANALYSIS.md)"
+                ),
+            ));
+            continue;
+        }
+        let marker_line = if raw_lines.get(idx).is_some_and(|l| l.contains(MARKER)) {
+            idx
+        } else {
+            idx.saturating_sub(1)
+        };
+        let Some((rank, rank_name)) = raw_lines.get(marker_line).and_then(|l| parse_rank(l)) else {
+            out.push(Diagnostic::new(
+                RULE,
+                path,
+                idx + 1,
+                format!(
+                    "unparsable `lock:rank` marker on lock field `{field}`; expected \
+                     `lock:rank(<n>, <name>)` with a numeric rank"
+                ),
+            ));
+            continue;
+        };
+        if let Some(dup) = locks.iter().find(|l| l.rank == rank) {
+            out.push(Diagnostic::new(
+                RULE,
+                path,
+                idx + 1,
+                format!(
+                    "lock field `{field}` reuses rank {rank}, already taken by \
+                     `{}` ({}); ranks must be unique within a file",
+                    dup.field, dup.rank_name
+                ),
+            ));
+            continue;
+        }
+        locks.push(Lock {
+            field: field.clone(),
+            rank,
+            rank_name,
+        });
+    }
+    if locks.is_empty() {
+        out.sort_by_key(|d| d.line);
+        return out;
+    }
+
+    // Pass 2: guard-returning wrappers — map the wrapper's method name
+    // to the lock its body acquires first.
+    let mut wrappers: Vec<(String, usize)> = Vec::new(); // (fn name, lock index)
+    for (idx, line) in stripped_lines.iter().enumerate() {
+        if mask.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let t = line.trim_start();
+        let Some(sig) = t
+            .strip_prefix("fn ")
+            .or_else(|| t.strip_prefix("pub fn "))
+            .or_else(|| t.strip_prefix("pub(crate) fn "))
+        else {
+            continue;
+        };
+        if !(line.contains("MutexGuard")
+            || line.contains("RwLockReadGuard")
+            || line.contains("RwLockWriteGuard"))
+        {
+            continue;
+        }
+        let Some((name, _)) = leading_ident(sig) else {
+            continue;
+        };
+        // First tracked acquisition in the (brace-matched) body.
+        let mut depth = 0usize;
+        let mut opened = false;
+        'body: for body_line in stripped_lines.iter().skip(idx) {
+            for field_pos in acquisitions(body_line) {
+                if let Some(li) = locks
+                    .iter()
+                    .position(|l| l.field == trailing_ident(body_line, field_pos))
+                {
+                    wrappers.push((name.to_string(), li));
+                    break 'body;
+                }
+            }
+            for c in body_line.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        if opened && depth == 0 {
+                            break 'body;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    // Pass 3: lexical acquisition scan over the whitespace-normalized
+    // text (so a rustfmt-split chain like `self\n.ready\n.wait_timeout(`
+    // still resolves its receiver). A held entry is released when the
+    // brace depth drops below its acquisition depth.
+    let norm = source::Normalized::new(&stripped);
+    let mut held: Vec<(usize, usize, usize)> = Vec::new(); // (lock idx, depth, line)
+    let mut depth = 0usize;
+    let bytes = norm.text.as_bytes();
+    for (pos, &b) in bytes.iter().enumerate() {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth = depth.saturating_sub(1);
+                held.retain(|&(_, d, _)| d <= depth);
+            }
+            b'.' => {
+                let rest = &norm.text[pos + 1..];
+                let Some(method) = ACQUIRE_METHODS
+                    .iter()
+                    .find(|m| rest.strip_prefix(**m).is_some_and(|r| r.starts_with('(')))
+                else {
+                    continue;
+                };
+                let line = norm.line_at(pos);
+                let idx = line - 1;
+                if mask.get(idx).copied().unwrap_or(false) {
+                    continue;
+                }
+                let receiver = trailing_ident(&norm.text, pos);
+                let target = locks.iter().position(|l| l.field == receiver).or_else(|| {
+                    wrappers
+                        .iter()
+                        .find(|(name, _)| name.as_str() == *method && receiver == "self")
+                        .map(|(_, li)| *li)
+                });
+                let Some(li) = target else {
+                    continue;
+                };
+                if source::is_allowed(&raw_lines, idx, RULE) {
+                    continue;
+                }
+                let new = &locks[li];
+                for &(hi, _, held_line) in &held {
+                    let h = &locks[hi];
+                    if hi == li {
+                        out.push(Diagnostic::new(
+                            RULE,
+                            path,
+                            line,
+                            format!(
+                                "`{}` (rank {}, {}) acquired again while already held \
+                                 (acquired line {held_line}); self-deadlock",
+                                new.field, new.rank, new.rank_name
+                            ),
+                        ));
+                    } else if h.rank >= new.rank {
+                        out.push(Diagnostic::new(
+                            RULE,
+                            path,
+                            line,
+                            format!(
+                                "rank inversion: acquiring `{}` (rank {}, {}) while holding \
+                                 `{}` (rank {}, {}, acquired line {held_line}); nested \
+                                 acquisitions must follow strictly increasing ranks",
+                                new.field, new.rank, new.rank_name, h.field, h.rank, h.rank_name
+                            ),
+                        ));
+                    }
+                }
+                held.push((li, depth, line));
+            }
+            _ => {}
+        }
+    }
+
+    out.sort_by_key(|d| d.line);
+    out
+}
+
+/// Byte offsets of the `.` of each `.<acquire-method>(` call on `line`
+/// (used by the wrapper-body scan, where the call is single-line).
+fn acquisitions(line: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (i, b) in line.bytes().enumerate() {
+        if b != b'.' {
+            continue;
+        }
+        let rest = &line[i + 1..];
+        for m in ACQUIRE_METHODS {
+            if rest.strip_prefix(m).is_some_and(|r| r.starts_with('(')) && !out.contains(&i) {
+                out.push(i);
+            }
+        }
+    }
+    out
+}

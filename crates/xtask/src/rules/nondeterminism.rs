@@ -1,0 +1,227 @@
+//! `nondeterminism`: library code must not construct ambient-seeded
+//! hash containers, read wall clocks undeclared, or draw unseeded
+//! entropy.
+//!
+//! The simulator's contract is that a `(scene, config)` pair renders to
+//! byte-identical reports run after run. Three std conveniences
+//! silently break that:
+//!
+//! - `std::collections::HashMap` / `HashSet` with the default
+//!   `RandomState` hasher iterate in a per-process random order, so any
+//!   map whose iteration feeds a report reorders output between runs.
+//!   `pimgfx_types::fxhash::{FxHashMap, FxHashSet}` are the sanctioned
+//!   deterministic replacements (`BTreeMap` where the order itself is
+//!   meaningful).
+//! - `Instant::now()` / `SystemTime::now()` leak wall-clock time.
+//!   Timing *service* operations (bench walls, queue deadlines) is
+//!   legitimate, so a wall-clock read is permitted when declared with a
+//!   `det:boundary — <reason>` marker asserting the value never reaches
+//!   simulated results.
+//! - `thread_rng()` / `from_entropy()` / `RandomState` pull OS entropy.
+//!   All simulator randomness must come from the seeded `SplitMix64`
+//!   streams.
+
+use crate::source;
+use crate::Diagnostic;
+use std::collections::BTreeMap;
+
+/// The rule name used in diagnostics and `lint:allow(...)` entries.
+pub const RULE: &str = "nondeterminism";
+
+/// The wall-clock declaration marker (justification mandatory).
+pub const MARKER: &str = "det:boundary";
+
+/// Ambient-seeded constructor calls (checked with an identifier
+/// boundary on the left, so `FxHashMap::default(` never matches).
+const CONSTRUCTORS: [&str; 6] = [
+    "HashMap::new(",
+    "HashMap::with_capacity(",
+    "HashMap::default(",
+    "HashSet::new(",
+    "HashSet::with_capacity(",
+    "HashSet::default(",
+];
+
+/// Unseeded entropy sources.
+const ENTROPY: [&str; 4] = [
+    "thread_rng(",
+    "from_entropy(",
+    "RandomState::new(",
+    "RandomState::default(",
+];
+
+/// Wall-clock reads that require a [`MARKER`] declaration.
+const CLOCKS: [&str; 2] = ["Instant::now(", "SystemTime::now("];
+
+/// True when the normalized segment containing `pos` is a `use`
+/// declaration (scans back to the previous `;`/`{`/`}`); a re-export of
+/// a std type is wiring, not a construction site.
+fn in_use_decl(norm: &source::Normalized, pos: usize) -> bool {
+    let head = &norm.text[..pos];
+    let start = head.rfind([';', '{', '}']).map_or(0, |i| i + 1);
+    let mut seg = &norm.text[start..pos];
+    if let Some(rest) = seg.strip_prefix("pub") {
+        // `pub use` / `pub(crate) use` — skip a visibility qualifier.
+        seg = rest;
+        if let Some(close) = seg.strip_prefix("(").and_then(|r| r.find(')')) {
+            seg = &seg[close + 2..];
+        }
+    }
+    seg.starts_with("use")
+}
+
+/// Counts top-level generic arguments of the list opening right after
+/// `open` (the byte index of `<`). Returns `None` when the list never
+/// closes within a sane window (then it was not a generic list).
+fn generic_arity(text: &str, open: usize) -> Option<usize> {
+    let bytes = text.as_bytes();
+    let mut angle = 1usize;
+    let mut nested = 0usize; // parens + brackets
+    let mut commas = 0usize;
+    let mut prev = b'<';
+    let mut i = open + 1;
+    let limit = (open + 400).min(bytes.len());
+    while i < limit {
+        match bytes[i] {
+            b'<' => angle += 1,
+            b'>' if prev == b'-' || prev == b'=' => {} // `->` / `=>`
+            b'>' => {
+                angle -= 1;
+                if angle == 0 {
+                    // A rustfmt-split vertical list leaves a trailing
+                    // comma (`HashMap<K,V,>`); it is not an argument.
+                    let trailing = usize::from(prev == b',');
+                    return Some(commas + 1 - trailing);
+                }
+            }
+            b'(' | b'[' => nested += 1,
+            b')' | b']' => nested = nested.saturating_sub(1),
+            b',' if angle == 1 && nested == 0 => commas += 1,
+            _ => {}
+        }
+        prev = bytes[i];
+        i += 1;
+    }
+    None
+}
+
+/// Checks one library source file.
+#[must_use]
+pub fn check(path: &str, text: &str) -> Vec<Diagnostic> {
+    let stripped = source::strip(text);
+    let mask = source::test_mask(&stripped);
+    let raw_lines: Vec<&str> = text.lines().collect();
+    let norm = source::Normalized::new(&stripped);
+    let mut by_line: BTreeMap<usize, Diagnostic> = BTreeMap::new();
+    let mut out = Vec::new();
+
+    for (idx, raw) in raw_lines.iter().enumerate() {
+        if mask.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        if source::allow_missing_reason(raw, RULE) {
+            out.push(Diagnostic::new(
+                RULE,
+                path,
+                idx + 1,
+                "allowlist entry is missing its justification".to_string(),
+            ));
+        }
+    }
+
+    let flag = |line: usize, message: String, by_line: &mut BTreeMap<usize, Diagnostic>| {
+        let idx = line - 1;
+        if mask.get(idx).copied().unwrap_or(false)
+            || by_line.contains_key(&line)
+            || source::is_allowed(&raw_lines, idx, RULE)
+        {
+            return;
+        }
+        by_line.insert(line, Diagnostic::new(RULE, path, line, message));
+    };
+
+    // Ambient-seeded constructors and unseeded entropy.
+    for pat in CONSTRUCTORS.iter().chain(ENTROPY.iter()) {
+        for (pos, line) in norm.find_all(pat) {
+            if norm.prev_is_ident(pos) {
+                continue;
+            }
+            flag(
+                line,
+                format!(
+                    "`{}` is ambient-seeded and iterates in per-process random order; \
+                     use `pimgfx_types::fxhash::{{FxHashMap, FxHashSet}}` (or `BTreeMap` \
+                     when the iteration order feeds output)",
+                    pat.trim_end_matches('(')
+                ),
+                &mut by_line,
+            );
+        }
+    }
+
+    // Default-hasher type positions: `HashMap<K, V>` (two arguments,
+    // i.e. no explicit hasher) and `HashSet<T>`.
+    for (pat, default_arity) in [("HashMap<", 2usize), ("HashSet<", 1usize)] {
+        for (pos, line) in norm.find_all(pat) {
+            if norm.prev_is_ident(pos) || in_use_decl(&norm, pos) {
+                continue;
+            }
+            if generic_arity(&norm.text, pos + pat.len() - 1) == Some(default_arity) {
+                flag(
+                    line,
+                    format!(
+                        "`{}K, ...>` with the default `RandomState` hasher; name a \
+                         deterministic hasher (`pimgfx_types::fxhash`) or use `BTreeMap`",
+                        pat
+                    ),
+                    &mut by_line,
+                );
+            }
+        }
+    }
+
+    // Wall-clock reads must be declared at a det:boundary.
+    for pat in CLOCKS {
+        for (_pos, line) in norm.find_all(pat) {
+            let idx = line - 1;
+            if mask.get(idx).copied().unwrap_or(false) || source::is_allowed(&raw_lines, idx, RULE)
+            {
+                continue;
+            }
+            let clock = pat.trim_end_matches('(');
+            if let Some(marker_line) = source::marker_line(&raw_lines, idx, MARKER) {
+                // Marker present; its justification is still mandatory.
+                let missing = raw_lines
+                    .get(marker_line)
+                    .is_some_and(|l| source::marker_missing_reason(l, MARKER));
+                if missing && !by_line.contains_key(&line) {
+                    by_line.insert(
+                        line,
+                        Diagnostic::new(
+                            RULE,
+                            path,
+                            line,
+                            format!(
+                                "`{MARKER}` marker for `{clock}` is missing its justification \
+                                 (state why the value never reaches simulated results)"
+                            ),
+                        ),
+                    );
+                }
+                continue;
+            }
+            flag(
+                line,
+                format!(
+                    "`{clock}` without a `{MARKER} — <reason>` marker; wall-clock \
+                     reads must declare that they never reach simulated results"
+                ),
+                &mut by_line,
+            );
+        }
+    }
+
+    out.extend(by_line.into_values());
+    out.sort_by_key(|d| d.line);
+    out
+}

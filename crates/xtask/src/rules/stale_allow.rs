@@ -1,0 +1,87 @@
+//! `stale-allow`: every `lint:allow(<rule>)` comment must still
+//! suppress a live finding.
+//!
+//! Allowlist entries rot: the flagged call gets refactored away, the
+//! comment stays, and a year later nobody knows whether deleting it is
+//! safe — so suppressions only ever accumulate. This pass closes the
+//! loop. [`crate::lint_source_file`] re-runs every rule on a *disarmed*
+//! copy of the file (all suppression tags neutralized, see
+//! [`crate::source::disarm`]) and hands this module the lines each rule
+//! *would* flag; an allow entry is live only if its rule would fire on
+//! the entry's own line or the line directly below (the two placements
+//! the allow grammar covers). Anything else — including an entry naming
+//! a rule that does not exist — is itself a diagnostic.
+
+use crate::source;
+use crate::Diagnostic;
+
+/// The rule name used in diagnostics.
+pub const RULE: &str = "stale-allow";
+
+/// Checks one library source file. `potential` maps each rule that ran
+/// on this file to the 1-based lines it would flag with every
+/// suppression disarmed.
+#[must_use]
+pub fn check(path: &str, text: &str, potential: &[(&'static str, Vec<usize>)]) -> Vec<Diagnostic> {
+    let mask = source::test_mask(&source::strip(text));
+    // Strings blanked, comments kept: any tag surviving this view is
+    // necessarily inside a real comment, not in a string literal.
+    let comments_view = source::strip_strings(text);
+    let mut out = Vec::new();
+
+    for (idx, line) in comments_view.lines().enumerate() {
+        if mask.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let trimmed = line.trim_start();
+        // Doc comments may *mention* the grammar without being entries.
+        if trimmed.starts_with("///") || trimmed.starts_with("//!") {
+            continue;
+        }
+        let mut search = 0;
+        while let Some(found) = line[search..].find("lint:allow(") {
+            let name_start = search + found + "lint:allow(".len();
+            search = name_start;
+            let Some(close) = line[name_start..].find(')') else {
+                out.push(Diagnostic::new(
+                    RULE,
+                    path,
+                    idx + 1,
+                    "unterminated `lint:allow(` entry".to_string(),
+                ));
+                continue;
+            };
+            let rule = line[name_start..name_start + close].trim();
+            if !crate::RULE_NAMES.contains(&rule) {
+                out.push(Diagnostic::new(
+                    RULE,
+                    path,
+                    idx + 1,
+                    format!(
+                        "`lint:allow({rule})` names an unknown rule; see the rule table \
+                         in docs/STATIC_ANALYSIS.md"
+                    ),
+                ));
+                continue;
+            }
+            // Live iff the rule would fire on this line (inline allow)
+            // or the next (standalone allow above the violation).
+            let live = potential
+                .iter()
+                .filter(|(name, _)| *name == rule)
+                .any(|(_, lines)| lines.contains(&(idx + 1)) || lines.contains(&(idx + 2)));
+            if !live {
+                out.push(Diagnostic::new(
+                    RULE,
+                    path,
+                    idx + 1,
+                    format!(
+                        "stale `lint:allow({rule})` — the rule no longer fires on this \
+                         or the next line; delete the entry"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}

@@ -11,6 +11,18 @@
 /// exact line structure of `src`.
 #[must_use]
 pub fn strip(src: &str) -> String {
+    scrub(src, false)
+}
+
+/// Replaces string/char literal contents with spaces but keeps comments
+/// verbatim — the view the stale-allow pass scans, where any surviving
+/// suppression tag is necessarily inside a real comment.
+#[must_use]
+pub fn strip_strings(src: &str) -> String {
+    scrub(src, true)
+}
+
+fn scrub(src: &str, keep_comments: bool) -> String {
     let bytes = src.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
@@ -22,7 +34,7 @@ pub fn strip(src: &str) -> String {
         // Line comment.
         if b == b'/' && next == Some(b'/') {
             while i < bytes.len() && bytes[i] != b'\n' {
-                out.push(b' ');
+                out.push(if keep_comments { bytes[i] } else { b' ' });
                 i += 1;
             }
             continue;
@@ -30,22 +42,27 @@ pub fn strip(src: &str) -> String {
         // Block comment (nested).
         if b == b'/' && next == Some(b'*') {
             let mut depth = 1;
-            out.push(b' ');
-            out.push(b' ');
+            let keep = |c: u8| if keep_comments { c } else { b' ' };
+            out.push(keep(b'/'));
+            out.push(keep(b'*'));
             i += 2;
             while i < bytes.len() && depth > 0 {
                 if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
                     depth += 1;
-                    out.push(b' ');
-                    out.push(b' ');
+                    out.push(keep(b'/'));
+                    out.push(keep(b'*'));
                     i += 2;
                 } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
                     depth -= 1;
-                    out.push(b' ');
-                    out.push(b' ');
+                    out.push(keep(b'*'));
+                    out.push(keep(b'/'));
                     i += 2;
                 } else {
-                    out.push(if bytes[i] == b'\n' { b'\n' } else { b' ' });
+                    out.push(if bytes[i] == b'\n' {
+                        b'\n'
+                    } else {
+                        keep(bytes[i])
+                    });
                     i += 1;
                 }
             }
@@ -198,6 +215,148 @@ pub fn test_mask(stripped: &str) -> Vec<bool> {
     mask
 }
 
+/// Already-stripped source with all whitespace removed, plus a map from
+/// byte position back to the 1-based source line. Rules scan this to
+/// survive rustfmt splitting an expression across lines (`.expect(`
+/// after a chained call, a `HashMap<K,\n V>` type, ...).
+#[derive(Debug)]
+pub struct Normalized {
+    /// The stripped source with every whitespace char removed.
+    pub text: String,
+    line_of: Vec<usize>,
+}
+
+impl Normalized {
+    /// Builds the normalized view of (already stripped) `src`.
+    #[must_use]
+    pub fn new(stripped: &str) -> Self {
+        let mut text = String::with_capacity(stripped.len());
+        let mut line_of = Vec::with_capacity(stripped.len());
+        for (idx, line) in stripped.lines().enumerate() {
+            for ch in line.chars() {
+                if !ch.is_whitespace() {
+                    text.push(ch);
+                    for _ in 0..ch.len_utf8() {
+                        line_of.push(idx + 1);
+                    }
+                }
+            }
+        }
+        Self { text, line_of }
+    }
+
+    /// The 1-based source line a byte position of `text` came from.
+    #[must_use]
+    pub fn line_at(&self, pos: usize) -> usize {
+        self.line_of.get(pos).copied().unwrap_or(1)
+    }
+
+    /// All `(byte position, 1-based line)` occurrences of `pat`.
+    #[must_use]
+    pub fn find_all(&self, pat: &str) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let mut from = 0;
+        while let Some(at) = self.text[from..].find(pat) {
+            let pos = from + at;
+            out.push((pos, self.line_at(pos)));
+            from = pos + 1;
+        }
+        out
+    }
+
+    /// True when the byte before `pos` continues an identifier — used to
+    /// reject `FxHashMap<` when scanning for `HashMap<`.
+    #[must_use]
+    pub fn prev_is_ident(&self, pos: usize) -> bool {
+        pos > 0
+            && self
+                .text
+                .as_bytes()
+                .get(pos - 1)
+                .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+    }
+}
+
+/// Neutralizes every suppression tag (`lint:allow(`, `det:boundary`,
+/// `float:reassoc-ok`) so a rule re-run reports what it *would* flag —
+/// the input to the suppressed counters and the stale-allow pass. Line
+/// structure is preserved; `lock:rank` markers are left alone because
+/// they are compliance, not suppression.
+#[must_use]
+pub fn disarm(src: &str) -> String {
+    src.replace("lint:allow(", "lint:disarmed(")
+        .replace("det:boundary", "det:disarmed")
+        .replace("float:reassoc-ok", "float:disarmed")
+}
+
+/// Byte offset where `raw_line`'s trailing `//` comment begins, if any.
+/// `stripped_line` must be the same line after [`strip`]: a real
+/// comment's `//` is blanked *and* blanks everything to the end of the
+/// line, which distinguishes it from `//` inside a string literal
+/// (where code resumes after the closing quote).
+#[must_use]
+pub fn comment_start(raw_line: &str, stripped_line: &str) -> Option<usize> {
+    let raw = raw_line.as_bytes();
+    let stripped = stripped_line.as_bytes();
+    let mut i = 0;
+    while i + 1 < raw.len() {
+        if raw[i] == b'/'
+            && raw[i + 1] == b'/'
+            && stripped
+                .get(i..)
+                .is_some_and(|rest| !rest.is_empty() && rest.iter().all(|b| *b == b' '))
+        {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// The 0-based line carrying `marker` for a finding on line `idx`:
+/// the line itself, or any line of the contiguous block of standalone
+/// `//` comments directly above it (markers often share a wrapped
+/// two-line comment).
+#[must_use]
+pub fn marker_line(raw_lines: &[&str], idx: usize, marker: &str) -> Option<usize> {
+    if raw_lines.get(idx).is_some_and(|l| l.contains(marker)) {
+        return Some(idx);
+    }
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let line = raw_lines.get(i)?;
+        if !line.trim_start().starts_with("//") {
+            return None;
+        }
+        if line.contains(marker) {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// True when line `idx` (0-based) carries `marker` on the same line or
+/// in the comment block directly above (the placement grammar shared by
+/// `det:boundary` and `float:reassoc-ok`).
+#[must_use]
+pub fn has_marker(raw_lines: &[&str], idx: usize, marker: &str) -> bool {
+    marker_line(raw_lines, idx, marker).is_some()
+}
+
+/// Scans a raw line for `marker` missing its mandatory justification
+/// (same grammar as [`allow_missing_reason`]: at least 8 characters
+/// after the dash).
+#[must_use]
+pub fn marker_missing_reason(raw_line: &str, marker: &str) -> bool {
+    let Some(pos) = raw_line.find(marker) else {
+        return false;
+    };
+    let rest =
+        raw_line[pos + marker.len()..].trim_start_matches([' ', '\u{2014}', '-', ':', '\u{2013}']);
+    rest.trim().len() < 8
+}
+
 /// True when line `idx` (0-based) of `raw_lines` is allowlisted for
 /// `rule` — a `lint:allow(<rule>)` comment on the same line or the line
 /// directly above.
@@ -297,6 +456,58 @@ mod tests {
         assert!(is_allowed(&lines, 2, "no-panic"));
         assert!(!is_allowed(&lines, 3, "no-panic"));
         assert!(!is_allowed(&lines, 1, "unit-cast"), "rule name must match");
+    }
+
+    #[test]
+    fn normalized_joins_split_expressions() {
+        let stripped = strip("let x = opt\n    .unwrap();\n");
+        let norm = Normalized::new(&stripped);
+        let hits = norm.find_all(".unwrap()");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].1, 2, "finding maps to the line the match starts on");
+        assert!(norm.prev_is_ident(hits[0].0), "`opt` precedes the dot");
+    }
+
+    #[test]
+    fn disarm_neutralizes_suppressions_but_not_ranks() {
+        let src = "// lint:allow(no-panic) — x\n// det:boundary — y\n// float:reassoc-ok — z\n// lock:rank(10, a.b)\n";
+        let out = disarm(src);
+        assert!(!out.contains("lint:allow("));
+        assert!(!out.contains("det:boundary"));
+        assert!(!out.contains("float:reassoc-ok"));
+        assert!(
+            out.contains("lock:rank(10, a.b)"),
+            "ranks are compliance, not suppression"
+        );
+        assert_eq!(out.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn strip_strings_keeps_comments_blanks_literals() {
+        let out = strip_strings("let s = \"lint:allow(no-panic)\"; // lint:allow(no-panic) — ok\n");
+        let first = out.find("lint:allow").expect("comment tag survives");
+        assert!(out[first..].starts_with("lint:allow(no-panic) — ok"));
+        assert_eq!(
+            out.matches("lint:allow").count(),
+            1,
+            "string-literal tag is blanked"
+        );
+    }
+
+    #[test]
+    fn marker_line_walks_wrapped_comment_blocks() {
+        let lines = [
+            "// det:boundary — wall-time for the run manifest,",
+            "// never feeds cycle accounting.",
+            "let t = Instant::now();",
+            "let u = Instant::now();",
+        ];
+        assert_eq!(marker_line(&lines, 2, "det:boundary"), Some(0));
+        assert!(has_marker(&lines, 2, "det:boundary"));
+        assert!(
+            !has_marker(&lines, 3, "det:boundary"),
+            "a code line breaks the comment-block walk"
+        );
     }
 
     #[test]

@@ -2,8 +2,10 @@
 //! stay quiet on clean code, and honor the allowlist mechanism.
 
 use xtask::rules::{
-    figures, lint_wall, manifest, no_panic, protocol_version, pub_docs, trace_stage, unit_cast,
+    figures, float_reduction, lint_wall, lock_order, manifest, no_panic, nondeterminism,
+    protocol_version, pub_docs, stale_allow, trace_stage, unit_cast,
 };
+use xtask::{BaselineStats, Diagnostic, LintReport, RuleStats, Severity};
 
 // ---------------------------------------------------------------- no-panic
 
@@ -450,6 +452,547 @@ fn protocol_version_snapshot_round_trips() {
     assert_eq!(protocol_version::parse_snapshot("garbage"), None);
 }
 
+// ---------------------------------------------- no-panic multiline chains
+
+#[test]
+fn no_panic_sees_rustfmt_split_method_chains() {
+    // Regression: the historical per-line scan missed `.unwrap()` when
+    // rustfmt moved it onto its own line.
+    let split = "\
+pub fn f(x: Option<u32>) -> u32 {
+    x.map(|v| v + 1)
+        .unwrap()
+}
+";
+    let diags = no_panic::check("crates/demo/src/lib.rs", split);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].line, 3, "finding lands where the match begins");
+
+    // An allow on the split line (or directly above it) still works.
+    let allowed = "\
+pub fn f(x: Option<u32>) -> u32 {
+    x.map(|v| v + 1)
+        .unwrap() // lint:allow(no-panic) — caller feeds Some by contract
+}
+";
+    assert!(no_panic::check("crates/demo/src/lib.rs", allowed).is_empty());
+
+    let expect_split = "\
+pub fn f(x: Option<u32>) -> u32 {
+    x
+        .expect(
+            \"long message\",
+        )
+}
+";
+    assert_eq!(
+        no_panic::check("crates/demo/src/lib.rs", expect_split).len(),
+        1
+    );
+}
+
+// ---------------------------------------------------------- nondeterminism
+
+#[test]
+fn nondeterminism_fires_on_ambient_seeded_constructors() {
+    for ctor in [
+        "HashMap::new()",
+        "HashMap::with_capacity(8)",
+        "HashMap::default()",
+        "HashSet::new()",
+        "HashSet::default()",
+    ] {
+        let fixture = format!("pub fn f() {{ let m = {ctor}; }}\n");
+        let diags = nondeterminism::check("crates/demo/src/lib.rs", &fixture);
+        assert_eq!(diags.len(), 1, "{ctor}");
+        assert_eq!(diags[0].rule, "nondeterminism");
+        assert!(diags[0].message.contains("ambient-seeded"), "{}", diags[0]);
+    }
+}
+
+#[test]
+fn nondeterminism_fires_on_default_hasher_type_positions() {
+    let two_arg = "pub struct S {\n    map: HashMap<String, u32>,\n}\n";
+    let diags = nondeterminism::check("crates/demo/src/lib.rs", two_arg);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].line, 2);
+
+    let one_arg = "pub struct S {\n    set: HashSet<(u32, u32)>,\n}\n";
+    assert_eq!(
+        nondeterminism::check("crates/demo/src/lib.rs", one_arg).len(),
+        1
+    );
+
+    // A rustfmt-split type is still seen.
+    let split = "pub struct S {\n    map: HashMap<\n        String,\n        u32,\n    >,\n}\n";
+    assert_eq!(
+        nondeterminism::check("crates/demo/src/lib.rs", split).len(),
+        1
+    );
+}
+
+#[test]
+fn nondeterminism_accepts_seeded_hashers_and_fx_aliases() {
+    let fixture = "\
+use pimgfx_types::fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub struct S {
+    a: FxHashMap<String, u32>,
+    b: FxHashSet<u32>,
+    c: HashMap<String, u32, FxBuildHasher>,
+    d: std::collections::HashMap<String, u32, FxBuildHasher>,
+}
+pub fn f() -> FxHashMap<String, u32> { FxHashMap::default() }
+";
+    let diags = nondeterminism::check("crates/demo/src/lib.rs", fixture);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn nondeterminism_skips_use_decls_and_tests() {
+    let fixture = "\
+pub use std::collections::HashMap;
+#[cfg(test)]
+mod tests {
+    fn t() { let m: HashMap<u32, u32> = HashMap::new(); }
+}
+";
+    assert!(nondeterminism::check("crates/demo/src/lib.rs", fixture).is_empty());
+}
+
+#[test]
+fn nondeterminism_wall_clock_needs_det_boundary() {
+    let bare = "pub fn f() { let t = Instant::now(); }\n";
+    let diags = nondeterminism::check("crates/demo/src/lib.rs", bare);
+    assert_eq!(diags.len(), 1);
+    assert!(diags[0].message.contains("det:boundary"), "{}", diags[0]);
+
+    let system = "pub fn f() { let t = SystemTime::now(); }\n";
+    assert_eq!(
+        nondeterminism::check("crates/demo/src/lib.rs", system).len(),
+        1
+    );
+
+    // Marker with a justification — same line, directly above, or in a
+    // wrapped two-line comment — suppresses.
+    for marked in [
+        "pub fn f() { let t = Instant::now(); } // det:boundary — wall-time report field only\n",
+        "// det:boundary — wall-time report field only\npub fn f() { let t = Instant::now(); }\n",
+        "// det:boundary — wall-time report field,\n// never feeds simulated results.\npub fn f() { let t = Instant::now(); }\n",
+    ] {
+        let diags = nondeterminism::check("crates/demo/src/lib.rs", marked);
+        assert!(diags.is_empty(), "{marked:?} -> {diags:?}");
+    }
+
+    // A bare marker without a justification is itself a finding.
+    let bare_marker = "// det:boundary\npub fn f() { let t = Instant::now(); }\n";
+    let diags = nondeterminism::check("crates/demo/src/lib.rs", bare_marker);
+    assert_eq!(diags.len(), 1);
+    assert!(diags[0].message.contains("justification"), "{}", diags[0]);
+}
+
+#[test]
+fn nondeterminism_fires_on_unseeded_entropy() {
+    for src in [
+        "thread_rng()",
+        "SmallRng::from_entropy()",
+        "RandomState::new()",
+    ] {
+        let fixture = format!("pub fn f() {{ let r = {src}; }}\n");
+        let diags = nondeterminism::check("crates/demo/src/lib.rs", &fixture);
+        assert_eq!(diags.len(), 1, "{src}");
+    }
+}
+
+#[test]
+fn nondeterminism_allowlist_follows_house_rules() {
+    let allowed = "pub fn f() { let m = HashMap::new(); } // lint:allow(nondeterminism) — iteration order never observed, drained unordered\n";
+    assert!(nondeterminism::check("crates/demo/src/lib.rs", allowed).is_empty());
+
+    let bare = "pub fn f() { let m = HashMap::new(); } // lint:allow(nondeterminism)\n";
+    let diags = nondeterminism::check("crates/demo/src/lib.rs", bare);
+    assert_eq!(diags.len(), 1);
+    assert!(diags[0].message.contains("justification"), "{}", diags[0]);
+}
+
+// -------------------------------------------------------------- lock-order
+
+const RANKED_PAIR: &str = "\
+pub struct Q {
+    // lock:rank(10, demo.q.state)
+    state: Mutex<u32>,
+    // lock:rank(20, demo.q.ready)
+    ready: Condvar,
+}
+impl Q {
+    pub fn wait(&self) {
+        let g = self.state.lock().unwrap();
+        let _g = self.ready.wait(g).unwrap();
+    }
+}
+";
+
+#[test]
+fn lock_order_accepts_increasing_ranks() {
+    let diags = lock_order::check("crates/demo/src/lib.rs", RANKED_PAIR);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn lock_order_requires_a_rank_on_every_lock() {
+    for decl in [
+        "state: Mutex<u32>,",
+        "state: RwLock<u32>,",
+        "state: Condvar,",
+    ] {
+        let fixture = format!("pub struct Q {{\n    {decl}\n}}\n");
+        let diags = lock_order::check("crates/demo/src/lib.rs", &fixture);
+        assert_eq!(diags.len(), 1, "{decl}");
+        assert!(diags[0].message.contains("lock:rank"), "{}", diags[0]);
+    }
+
+    // Initializers and imports are not declarations.
+    let quiet = "\
+use std::sync::{Condvar, Mutex};
+pub fn f() -> Mutex<u32> { Mutex::new(0) }
+";
+    assert!(lock_order::check("crates/demo/src/lib.rs", quiet).is_empty());
+}
+
+#[test]
+fn lock_order_detects_rank_inversion() {
+    // Same shape as RANKED_PAIR with the ranks swapped: waiting on the
+    // condvar (now rank 10) while holding the mutex (rank 20) inverts.
+    let inverted = RANKED_PAIR
+        .replace("lock:rank(10, demo.q.state)", "lock:rank(20, demo.q.state)")
+        .replace("lock:rank(20, demo.q.ready)", "lock:rank(10, demo.q.ready)");
+    let diags = lock_order::check("crates/demo/src/lib.rs", &inverted);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert!(diags[0].message.contains("rank inversion"), "{}", diags[0]);
+    assert!(
+        diags[0].message.contains("strictly increasing"),
+        "{}",
+        diags[0]
+    );
+}
+
+#[test]
+fn lock_order_detects_self_deadlock() {
+    let fixture = "\
+pub struct Q {
+    // lock:rank(10, demo.q.state)
+    state: Mutex<u32>,
+}
+impl Q {
+    pub fn f(&self) {
+        let a = self.state.lock().unwrap();
+        let b = self.state.lock().unwrap();
+    }
+}
+";
+    let diags = lock_order::check("crates/demo/src/lib.rs", fixture);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert!(diags[0].message.contains("self-deadlock"), "{}", diags[0]);
+}
+
+#[test]
+fn lock_order_releases_at_scope_end() {
+    // Two sequential acquisitions in sibling scopes do not nest.
+    let fixture = "\
+pub struct Q {
+    // lock:rank(10, demo.q.state)
+    state: Mutex<u32>,
+}
+impl Q {
+    pub fn f(&self) {
+        {
+            let a = self.state.lock().unwrap();
+        }
+        let b = self.state.lock().unwrap();
+    }
+}
+";
+    let diags = lock_order::check("crates/demo/src/lib.rs", fixture);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn lock_order_resolves_guard_returning_wrappers() {
+    let fixture = "\
+pub struct C {
+    // lock:rank(30, demo.c.inner)
+    inner: Mutex<u32>,
+    // lock:rank(10, demo.c.low)
+    low: Mutex<u32>,
+}
+impl C {
+    fn lock(&self) -> MutexGuard<'_, u32> {
+        self.inner.lock().unwrap()
+    }
+    pub fn bad(&self) {
+        let g = self.lock();
+        let h = self.low.lock().unwrap();
+    }
+}
+";
+    let diags = lock_order::check("crates/demo/src/lib.rs", fixture);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert!(
+        diags[0].message.contains("demo.c.inner"),
+        "the wrapper call must count as the wrapped lock: {}",
+        diags[0]
+    );
+}
+
+#[test]
+fn lock_order_flags_duplicate_and_unparsable_ranks() {
+    let dup = "\
+pub struct Q {
+    // lock:rank(10, demo.q.a)
+    a: Mutex<u32>,
+    // lock:rank(10, demo.q.b)
+    b: Mutex<u32>,
+}
+";
+    let diags = lock_order::check("crates/demo/src/lib.rs", dup);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert!(diags[0].message.contains("reuses rank 10"), "{}", diags[0]);
+
+    let bad = "\
+pub struct Q {
+    // lock:rank(first, demo.q.a)
+    a: Mutex<u32>,
+}
+";
+    let diags = lock_order::check("crates/demo/src/lib.rs", bad);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert!(diags[0].message.contains("unparsable"), "{}", diags[0]);
+}
+
+#[test]
+fn lock_order_allowlist_and_tests_are_exempt() {
+    let allowed = "\
+pub struct Q {
+    // lint:allow(lock-order) — single test-harness lock, never nested
+    state: Mutex<u32>,
+}
+";
+    assert!(lock_order::check("crates/demo/src/lib.rs", allowed).is_empty());
+
+    let in_tests = "\
+#[cfg(test)]
+mod tests {
+    struct Q { state: Mutex<u32> }
+}
+";
+    assert!(lock_order::check("crates/demo/src/lib.rs", in_tests).is_empty());
+}
+
+// --------------------------------------------------------- float-reduction
+
+#[test]
+fn float_reduction_is_warn_severity() {
+    let fixture = "pub fn f(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }\n";
+    let diags = float_reduction::check("crates/demo/src/lib.rs", fixture);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].severity, Severity::Warn);
+    assert!(!diags[0].baselined, "baselining happens at report level");
+}
+
+#[test]
+fn float_reduction_fires_on_float_reductions_only() {
+    // Turbofish sums and an inferred float sum fire.
+    let turbo = "pub fn f(xs: &[f32]) -> f32 { xs.iter().sum::<f32>() }\n";
+    assert_eq!(
+        float_reduction::check("crates/demo/src/lib.rs", turbo).len(),
+        1
+    );
+
+    let inferred = "pub fn f(xs: &[f64]) -> f64 {\n    let s: f64 = xs.iter().sum();\n    s\n}\n";
+    assert_eq!(
+        float_reduction::check("crates/demo/src/lib.rs", inferred).len(),
+        1
+    );
+
+    let fold = "pub fn f(xs: &[f64]) -> f64 { xs.iter().fold(0.0, |a, b| a + b) }\n";
+    assert_eq!(
+        float_reduction::check("crates/demo/src/lib.rs", fold).len(),
+        1
+    );
+
+    let fma = "pub fn f(a: f64, b: f64, c: f64) -> f64 { a.mul_add(b, c) }\n";
+    assert_eq!(
+        float_reduction::check("crates/demo/src/lib.rs", fma).len(),
+        1
+    );
+
+    // Integer reductions stay quiet — even when the next statement
+    // mentions floats (the evidence window is backward-only).
+    let ints = "\
+pub fn f(xs: &[u64]) -> f64 {
+    let total: u64 = xs.iter().sum();
+    total as f64
+}
+";
+    let diags = float_reduction::check("crates/demo/src/lib.rs", ints);
+    assert!(diags.is_empty(), "{diags:?}");
+
+    let durations = "pub fn f(xs: &[Duration]) -> Duration { xs.iter().sum::<Duration>() }\n";
+    assert!(float_reduction::check("crates/demo/src/lib.rs", durations).is_empty());
+}
+
+#[test]
+fn float_reduction_marker_suppresses_with_justification() {
+    let marked = "\
+// float:reassoc-ok — slice-order sum over ≤ 8 values, consumed at
+// 3-sig-fig display precision.
+pub fn f(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }
+";
+    assert!(float_reduction::check("crates/demo/src/lib.rs", marked).is_empty());
+
+    let bare = "// float:reassoc-ok\npub fn f(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }\n";
+    let diags = float_reduction::check("crates/demo/src/lib.rs", bare);
+    assert_eq!(diags.len(), 1);
+    assert!(diags[0].message.contains("justification"), "{}", diags[0]);
+
+    let allowed = "pub fn f(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() } // lint:allow(float-reduction) — display-only three significant figures\n";
+    assert!(float_reduction::check("crates/demo/src/lib.rs", allowed).is_empty());
+}
+
+// ------------------------------------------------------------- stale-allow
+
+#[test]
+fn stale_allow_accepts_live_entries() {
+    // Inline allow: the rule would fire on the entry's own line.
+    let inline = "x.unwrap(); // lint:allow(no-panic) — verified nonempty above\n";
+    let potential = vec![("no-panic", vec![1])];
+    assert!(stale_allow::check("crates/demo/src/lib.rs", inline, &potential).is_empty());
+
+    // Standalone allow above the violation.
+    let above = "// lint:allow(no-panic) — verified nonempty above\nx.unwrap();\n";
+    let potential = vec![("no-panic", vec![2])];
+    assert!(stale_allow::check("crates/demo/src/lib.rs", above, &potential).is_empty());
+}
+
+#[test]
+fn stale_allow_flags_rotted_and_unknown_entries() {
+    // The violation was refactored away; the comment stayed.
+    let rotted = "// lint:allow(no-panic) — verified nonempty above\nlet x = y.unwrap_or(0);\n";
+    let potential = vec![("no-panic", Vec::new())];
+    let diags = stale_allow::check("crates/demo/src/lib.rs", rotted, &potential);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert!(diags[0].message.contains("stale"), "{}", diags[0]);
+
+    // An entry naming a rule that does not exist.
+    let unknown = "x.unwrap(); // lint:allow(no-panics) — typo in the rule name\n";
+    let diags = stale_allow::check("crates/demo/src/lib.rs", unknown, &[]);
+    assert_eq!(diags.len(), 1);
+    assert!(diags[0].message.contains("unknown rule"), "{}", diags[0]);
+}
+
+#[test]
+fn stale_allow_skips_docs_strings_and_tests() {
+    let fixture = "\
+/// Suppress with `lint:allow(no-panic)` where justified.
+//! Module docs may mention lint:allow(no-panic) too.
+pub fn f() -> String { \"lint:allow(no-panic)\".to_string() }
+#[cfg(test)]
+mod tests {
+    // lint:allow(no-panic) — test fixtures may carry entries
+    fn t() {}
+}
+";
+    let diags = stale_allow::check("crates/demo/src/lib.rs", fixture, &[]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---------------------------------------------------- report and severity
+
+#[test]
+fn severity_mapping_and_blocking() {
+    assert_eq!(xtask::severity_of("float-reduction"), Severity::Warn);
+    for rule in [
+        "no-panic",
+        "nondeterminism",
+        "lock-order",
+        "stale-allow",
+        "baseline",
+    ] {
+        assert_eq!(xtask::severity_of(rule), Severity::Deny, "{rule}");
+    }
+
+    let deny = Diagnostic::new("no-panic", "a.rs", 1, "m".to_string());
+    assert!(deny.is_blocking());
+
+    let mut warn = Diagnostic::new("float-reduction", "a.rs", 1, "m".to_string());
+    assert!(warn.is_blocking(), "unbaselined warn findings block");
+    warn.baselined = true;
+    assert!(!warn.is_blocking(), "baselined warn findings pass");
+}
+
+#[test]
+fn json_report_golden() {
+    let mut rules = std::collections::BTreeMap::new();
+    rules.insert(
+        "no-panic",
+        RuleStats {
+            fired: 1,
+            suppressed: 2,
+        },
+    );
+    let report = LintReport {
+        diagnostics: vec![Diagnostic::new(
+            "no-panic",
+            "crates/a/src/lib.rs",
+            3,
+            "`unwrap()` in \"library\" code".to_string(),
+        )],
+        rules,
+        baseline: BaselineStats {
+            entries: 1,
+            matched: 1,
+            stale: 0,
+        },
+    };
+    let expected = "{
+  \"schema_version\": 1,
+  \"findings\": [
+    {\"rule\": \"no-panic\", \"severity\": \"deny\", \"path\": \"crates/a/src/lib.rs\", \"line\": 3, \"baselined\": false, \"message\": \"`unwrap()` in \\\"library\\\" code\"}
+  ],
+  \"rules\": {
+    \"no-panic\": {\"fired\": 1, \"suppressed\": 2}
+  },
+  \"baseline\": {\"entries\": 1, \"matched\": 1, \"stale\": 0},
+  \"summary\": {\"total\": 1, \"deny_count\": 1, \"warn_count\": 0, \"baselined_count\": 0, \"blocking_count\": 1}
+}";
+    assert_eq!(report.to_json(), expected);
+    assert_eq!(report.deny_count(), 1);
+    assert_eq!(report.blocking_count(), 1);
+    assert!(!report.is_clean());
+}
+
+#[test]
+fn github_annotations_escape_and_mark_severity() {
+    let mut warn = Diagnostic::new("float-reduction", "b.rs", 7, "50%\nof cases".to_string());
+    warn.baselined = true;
+    let report = LintReport {
+        diagnostics: vec![
+            Diagnostic::new("no-panic", "a.rs", 3, "bad".to_string()),
+            warn,
+        ],
+        rules: std::collections::BTreeMap::new(),
+        baseline: BaselineStats::default(),
+    };
+    let out = report.to_github();
+    assert!(
+        out.contains("::error file=a.rs,line=3::[no-panic] bad"),
+        "{out}"
+    );
+    assert!(
+        out.contains("::warning file=b.rs,line=7::[float-reduction] 50%25%0Aof cases (baselined)"),
+        "{out}"
+    );
+}
+
 // ------------------------------------------------------------- whole repo
 
 #[test]
@@ -458,14 +1001,21 @@ fn real_workspace_is_clean() {
         .parent()
         .and_then(std::path::Path::parent)
         .expect("xtask lives two levels below the workspace root");
-    let diags = xtask::lint_workspace(root).expect("workspace is readable");
+    let report = xtask::lint_workspace(root).expect("workspace is readable");
+    let blocking: Vec<String> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.is_blocking())
+        .map(ToString::to_string)
+        .collect();
     assert!(
-        diags.is_empty(),
-        "`cargo xtask lint` must exit clean; findings:\n{}",
-        diags
-            .iter()
-            .map(ToString::to_string)
-            .collect::<Vec<_>>()
-            .join("\n")
+        report.is_clean(),
+        "`cargo xtask lint` must exit clean; blocking findings:\n{}",
+        blocking.join("\n")
     );
+    // The JSON report round-trips the keys CI greps for.
+    let json = report.to_json();
+    assert!(json.contains("\"blocking_count\": 0"), "{json}");
+    assert!(json.contains("\"deny_count\": 0"), "{json}");
+    assert!(json.contains("\"schema_version\": 1"), "{json}");
 }
