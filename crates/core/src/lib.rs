@@ -75,6 +75,7 @@ pub use backend::MemoryBackend;
 pub use config::{SimConfig, SimConfigBuilder, TextureUnitConfig};
 pub use design::Design;
 pub use overhead::{analyze as analyze_overhead, OverheadReport};
+pub use pimgfx_types::KernelMode;
 pub use sim::Simulator;
 pub use stats::{RenderReport, TextureStats};
 pub use stream::{FragmentStream, FragmentStreamCache, FrontendCacheStats};

@@ -36,7 +36,7 @@ use pimgfx_quality::FrameImage;
 use pimgfx_raster::RasterStats;
 use pimgfx_shader::{ShaderCores, ShaderProgram, TileScheduler};
 use pimgfx_texture::TextureLayout;
-use pimgfx_types::{ConfigError, Result, Rgba};
+use pimgfx_types::{ConfigError, F32x4, Result, Rgba};
 use pimgfx_workloads::SceneTrace;
 
 /// Base address of the simulated texture heap.
@@ -221,10 +221,12 @@ impl Simulator {
         let mut window_stalls = 0u64;
         let mut quad_results: Vec<(Rgba, Cycle)> = Vec::new();
 
+        let lane_kernels = self.config.sampler.kernels.is_lanes();
+
         for fe in &data.frames {
             let frame_start = clock;
             rop.begin_frame();
-            image = FrameImage::filled(width, height, Rgba::BLACK);
+            image.fill(Rgba::BLACK);
 
             // 1. Geometry processing (its vertex traffic and ALU work
             // are timing, so it runs per variant, not in the frontend).
@@ -273,9 +275,21 @@ impl Simulator {
                         &mut self.mem,
                         &mut quad_results,
                     );
+                    if lane_kernels {
+                        // Lane-clamped retire: fold the quad's
+                        // displayable-range clamp into channel-major
+                        // F32x4 passes before the order-sensitive
+                        // scalar writes below. Per-lane clamp is
+                        // bit-identical to `Rgba::clamped` (see
+                        // `pimgfx_types::lanes`).
+                        for r in quad_results.iter_mut() {
+                            r.0 = F32x4::from_rgba(r.0).clamp01().to_rgba();
+                        }
+                    }
                     for (frag, &(color, done)) in quad.iter().zip(&quad_results) {
                         tile_done = tile_done.max(done);
-                        image.put(frag.x, frag.y, color.clamped());
+                        let color = if lane_kernels { color } else { color.clamped() };
+                        image.put(frag.x, frag.y, color);
                         rop.retire(frag);
                     }
                 }

@@ -50,8 +50,13 @@ type ParentKey = (u32, u8, u32, u32);
 struct PathScratch {
     /// Fetch-trace recorder for [`Sampler::sample_into`].
     fetches: FetchSet,
+    /// Per-fetch line addresses (batch-computed, pre-dedup).
+    line_addrs: Vec<u64>,
     /// Deduplicated line addresses of one fragment's fetch trace.
     lines: Vec<u64>,
+    /// Quad-wide deduplicated request lines (S-TFIM); drained into the
+    /// MTU request each quad and its capacity reclaimed afterwards.
+    stfim_lines: Vec<u64>,
     /// Probe offsets of the current anisotropic kernel.
     offsets: Vec<(i64, i64)>,
     /// Quad-level deduplicated offload miss lines (A-TFIM).
@@ -331,7 +336,12 @@ impl TexturePath {
             self.stats.record_aniso(info.aniso_ratio);
             let addr_done = self.units.generate_addresses(cluster, issue, texels);
 
-            dedup_lines_into(scratch.fetches.fetches(), layout, &mut scratch.lines);
+            dedup_lines_into(
+                scratch.fetches.fetches(),
+                layout,
+                &mut scratch.line_addrs,
+                &mut scratch.lines,
+            );
             let mut data_ready = addr_done;
             for &line in &scratch.lines {
                 let ready = self.fetch_line(cluster, addr_done, line, mem);
@@ -359,7 +369,7 @@ impl TexturePath {
     ) {
         let mut scratch = std::mem::take(&mut self.scratch);
         let sampler = self.sampler;
-        let mut quad_lines: Vec<u64> = Vec::new();
+        scratch.stfim_lines.clear();
         let mut texel_total = 0u32;
         for frag in frags {
             let (ddx, ddy) = Self::texel_derivs(tex, frag);
@@ -368,15 +378,19 @@ impl TexturePath {
             self.stats.conventional_texels += u64::from(texels);
             self.stats.record_aniso(info.aniso_ratio);
             texel_total += texels;
-            for f in scratch.fetches.fetches() {
-                let line = layout.texel_line_addr(f.x, f.y, usize::from(f.level));
-                if !quad_lines.contains(&line) {
-                    quad_lines.push(line);
+            layout.texel_line_addrs_into(scratch.fetches.fetches(), &mut scratch.line_addrs);
+            for &line in &scratch.line_addrs {
+                if !scratch.stfim_lines.contains(&line) {
+                    scratch.stfim_lines.push(line);
                 }
             }
             // Completion is quad-wide and not known yet; patched below.
             out.push((info.color, issue));
         }
+        // Drained into the request below; the capacity is handed back to
+        // the scratch buffer after the MTU call so steady state stays
+        // allocation-free.
+        let quad_lines = std::mem::take(&mut scratch.stfim_lines);
         self.scratch = scratch;
 
         // The whole request maps to one cube: all its texels belong to
@@ -388,7 +402,7 @@ impl TexturePath {
             .expect("S-TFIM requires an HMC backend (enforced by Simulator::new)");
         hmc.record_external_traffic(TrafficClass::TextureFetch, packet::TFIM_REQUEST_BYTES);
         let at_cube = hmc.send_to_cube(issue, packet::TFIM_REQUEST_BYTES);
-        let req = TextureRequest {
+        let mut req = TextureRequest {
             texel_line_addrs: quad_lines,
             texel_count: texel_total,
             line_bytes: self.line_bytes,
@@ -403,6 +417,7 @@ impl TexturePath {
         hmc.record_external_traffic(TrafficClass::TextureFetch, packet::TFIM_RESPONSE_BYTES);
         let done = hmc.send_to_host(mtu_done, packet::TFIM_RESPONSE_BYTES);
         self.stats.offload_packages += 1;
+        self.scratch.stfim_lines = std::mem::take(&mut req.texel_line_addrs);
         for entry in out.iter_mut() {
             entry.1 = done;
         }
@@ -550,85 +565,94 @@ impl TexturePath {
         // functional side must too.
         let mut line_hit = [false; 8];
 
-        let mut level_color =
-            |path: &mut Self, scratch: &mut PathScratch, level: usize, div: i64| -> Rgba {
-                let (x0, y0, fx, fy) = filter::bilinear_corners(tex, frag.uv, level);
-                let img = tex.level(level);
-                let wrap = tex.wrap();
-                let fine_scale = 1.0 / (1u32 << fine.min(31)) as f32;
-                filter::probe_offsets_into(&fp, fp.aniso_ratio, fine_scale, &mut scratch.offsets);
-                if div != 1 {
-                    for o in scratch.offsets.iter_mut() {
-                        *o = (o.0 / div, o.1 / div);
-                    }
+        let mut level_color = |path: &mut Self,
+                               scratch: &mut PathScratch,
+                               level: usize,
+                               div: i64|
+         -> Rgba {
+            let (x0, y0, fx, fy) = filter::bilinear_corners(tex, frag.uv, level);
+            let img = tex.level(level);
+            let wrap = tex.wrap();
+            let fine_scale = 1.0 / (1u32 << fine.min(31)) as f32;
+            filter::probe_offsets_into(&fp, fp.aniso_ratio, fine_scale, &mut scratch.offsets);
+            if div != 1 {
+                for o in scratch.offsets.iter_mut() {
+                    *o = (o.0 / div, o.1 / div);
                 }
-                let offsets = &scratch.offsets;
-                // Degenerate kernel: every probe lands on the parent texel
-                // itself (common at the coarser of the two blended levels).
-                // The "average over children" is then exactly the texel — no
-                // child set exists, so there is nothing to offload and no
-                // camera angle to compare: it is an ordinary texel fetch.
-                let degenerate = offsets.iter().all(|&o| o == (0, 0));
-                let mut corners = [Rgba::TRANSPARENT; 4];
-                for (ci, (cx, cy)) in [(0i64, 0i64), (1, 0), (0, 1), (1, 1)]
-                    .into_iter()
-                    .enumerate()
-                {
-                    let wx = wrap.wrap(x0 + cx, img.width());
-                    let wy = wrap.wrap(y0 + cy, img.height());
-                    let line = layout.texel_line_addr(wx, wy, level);
-                    let slot = match parent_lines.as_slice().iter().position(|&l| l == line) {
-                        Some(i) => i,
-                        None => {
-                            let i = usize::from(parent_lines.len);
-                            parent_lines.push(line);
-                            let outcome = if degenerate {
-                                path.probe_plain(cluster, line)
-                            } else {
-                                path.probe_with_angle(cluster, line, angle)
-                            };
-                            line_hit[i] = !matches!(outcome, ProbeOutcome::Miss);
-                            match outcome {
-                                ProbeOutcome::L1Hit => {
-                                    hit_ready = hit_ready.max(Duration::new(L1_HIT_CYCLES));
-                                }
-                                ProbeOutcome::L2Hit => {
-                                    hit_ready = hit_ready.max(Duration::new(L2_HIT_CYCLES));
-                                }
-                                ProbeOutcome::Miss if degenerate => plain_miss_lines.push(line),
-                                ProbeOutcome::Miss => miss_lines.push(line),
+            }
+            let offsets = &scratch.offsets;
+            // Degenerate kernel: every probe lands on the parent texel
+            // itself (common at the coarser of the two blended levels).
+            // The "average over children" is then exactly the texel — no
+            // child set exists, so there is nothing to offload and no
+            // camera angle to compare: it is an ordinary texel fetch.
+            let degenerate = offsets.iter().all(|&o| o == (0, 0));
+            let mut corners = [Rgba::TRANSPARENT; 4];
+            for (ci, (cx, cy)) in [(0i64, 0i64), (1, 0), (0, 1), (1, 1)]
+                .into_iter()
+                .enumerate()
+            {
+                let wx = wrap.wrap(x0 + cx, img.width());
+                let wy = wrap.wrap(y0 + cy, img.height());
+                let line = layout.texel_line_addr(wx, wy, level);
+                let slot = match parent_lines.as_slice().iter().position(|&l| l == line) {
+                    Some(i) => i,
+                    None => {
+                        let i = usize::from(parent_lines.len);
+                        parent_lines.push(line);
+                        let outcome = if degenerate {
+                            path.probe_plain(cluster, line)
+                        } else {
+                            path.probe_with_angle(cluster, line, angle)
+                        };
+                        line_hit[i] = !matches!(outcome, ProbeOutcome::Miss);
+                        match outcome {
+                            ProbeOutcome::L1Hit => {
+                                hit_ready = hit_ready.max(Duration::new(L1_HIT_CYCLES));
                             }
-                            i
+                            ProbeOutcome::L2Hit => {
+                                hit_ready = hit_ready.max(Duration::new(L2_HIT_CYCLES));
+                            }
+                            ProbeOutcome::Miss if degenerate => plain_miss_lines.push(line),
+                            ProbeOutcome::Miss => miss_lines.push(line),
                         }
-                    };
-                    // Functional: reuse the stored parent value only when the
-                    // cache actually hit (with a compatible angle); any miss —
-                    // capacity or angle — recomputes with this fragment's own
-                    // footprint, as the hardware would.
-                    let cached_in_hw = line_hit[slot];
-                    let key: ParentKey = (tex.id().raw(), level as u8, wx, wy);
-                    let reuse = match path.parent_values.get(&key) {
-                        Some((stored_angle, value))
-                            if cached_in_hw
-                                && stored_angle.abs_diff(angle) <= path.angle_threshold =>
-                        {
-                            Some(*value)
-                        }
-                        _ => None,
-                    };
-                    corners[ci] = match reuse {
-                        Some(v) => v,
-                        None => {
-                            let v = filter::average_children(tex, x0 + cx, y0 + cy, level, offsets);
-                            path.parent_values.insert(key, (angle, v));
-                            v
-                        }
-                    };
-                }
-                corners[0]
-                    .lerp(corners[1], fx)
-                    .lerp(corners[2].lerp(corners[3], fx), fy)
-            };
+                        i
+                    }
+                };
+                // Functional: reuse the stored parent value only when the
+                // cache actually hit (with a compatible angle); any miss —
+                // capacity or angle — recomputes with this fragment's own
+                // footprint, as the hardware would.
+                let cached_in_hw = line_hit[slot];
+                let key: ParentKey = (tex.id().raw(), level as u8, wx, wy);
+                let reuse = match path.parent_values.get(&key) {
+                    Some((stored_angle, value))
+                        if cached_in_hw && stored_angle.abs_diff(angle) <= path.angle_threshold =>
+                    {
+                        Some(*value)
+                    }
+                    _ => None,
+                };
+                corners[ci] = match reuse {
+                    Some(v) => v,
+                    None => {
+                        // Bit-identical kernel pair; the lane variant
+                        // accumulates channel-major (see
+                        // `pimgfx_texture::filter` lane kernels).
+                        let v = if path.sampler.config().kernels.is_lanes() {
+                            filter::average_children_lanes(tex, x0 + cx, y0 + cy, level, offsets)
+                        } else {
+                            filter::average_children(tex, x0 + cx, y0 + cy, level, offsets)
+                        };
+                        path.parent_values.insert(key, (angle, v));
+                        v
+                    }
+                };
+            }
+            corners[0]
+                .lerp(corners[1], fx)
+                .lerp(corners[2].lerp(corners[3], fx), fy)
+        };
 
         let c_fine = level_color(self, scratch, fine, 1);
         let color = if coarse == fine || w == 0.0 {
@@ -773,14 +797,21 @@ impl TexturePath {
 /// loop does not allocate. Order is **first occurrence**, not sorted:
 /// the lines feed LRU caches, so reordering them would change hit/miss
 /// sequences and therefore timing.
+///
+/// Addressing runs as a batch over the flat trace first
+/// ([`TextureLayout::texel_line_addrs_into`], via the `addrs` scratch),
+/// then the dedup folds the resulting flat `u64` slice — the same split
+/// the lane kernels use: bulk arithmetic over SoA buffers, order-sensitive
+/// logic scalar.
 fn dedup_lines_into(
     fetches: &[pimgfx_texture::TexelFetch],
     layout: &TextureLayout,
+    addrs: &mut Vec<u64>,
     lines: &mut Vec<u64>,
 ) {
+    layout.texel_line_addrs_into(fetches, addrs);
     lines.clear();
-    for f in fetches {
-        let line = layout.texel_line_addr(f.x, f.y, usize::from(f.level));
+    for &line in addrs.iter() {
         if !lines.contains(&line) {
             lines.push(line);
         }
@@ -854,11 +885,12 @@ mod tests {
             }
         }
 
+        let mut addrs = Vec::new();
         let mut got = vec![0xdead_beef; 2]; // stale scratch must be cleared
-        dedup_lines_into(&fetches, &layout, &mut got);
+        dedup_lines_into(&fetches, &layout, &mut addrs, &mut got);
         assert_eq!(got, want);
         // Reuse without clearing in between: still identical.
-        dedup_lines_into(&fetches, &layout, &mut got);
+        dedup_lines_into(&fetches, &layout, &mut addrs, &mut got);
         assert_eq!(got, want);
     }
 

@@ -1,0 +1,109 @@
+//! SIMD-on/off equivalence: a render with the lane (chunked-SIMD)
+//! kernels must be byte-identical to the scalar reference — same
+//! cycles, same counters, same energy, same pixels, same stage traces —
+//! for every design point. The lane kernels restrict themselves to
+//! value-preserving transformations (interior wrap elision, table-driven
+//! unpack, channel-major lanes with the exact scalar lerp formula; see
+//! docs/PERFORMANCE.md), so *nothing* may drift, not even float ULPs.
+//!
+//! Both kernel modes are always compiled; [`KernelMode`] picks one at
+//! runtime, so one binary checks both sides regardless of whether the
+//! `simd` cargo feature is on.
+
+use pimgfx::{Design, FragmentStream, KernelMode, SimConfig, Simulator};
+use pimgfx_workloads::{build_scene_unchecked, Game, Resolution, SceneTrace};
+use std::sync::Arc;
+
+/// Reduced-profile scenes (debug-build friendly) for two games.
+fn small_scene(game: Game, frames: usize) -> SceneTrace {
+    let mut profile = game.profile();
+    profile.floor_quads = 4;
+    profile.texture_count = 4;
+    profile.facing_props = 1;
+    build_scene_unchecked(&profile, Resolution::R320x240, frames)
+}
+
+fn render(scene: &SceneTrace, design: Design, kernels: KernelMode) -> pimgfx::RenderReport {
+    let config = SimConfig::builder()
+        .design(design)
+        .kernel_mode(kernels)
+        .build()
+        .expect("valid config");
+    Simulator::new(config)
+        .expect("valid config")
+        .render_trace(scene)
+        .expect("render")
+}
+
+#[test]
+fn lane_kernels_are_bit_identical_across_games_and_designs() {
+    for game in [Game::Doom3, Game::Wolfenstein] {
+        let scene = small_scene(game, 2);
+        for design in [Design::Baseline, Design::BPim, Design::STfim, Design::ATfim] {
+            let scalar = render(&scene, design, KernelMode::Scalar);
+            let lanes = render(&scene, design, KernelMode::Lanes);
+            assert_eq!(
+                scalar, lanes,
+                "{game:?}/{design}: lane kernels diverged from scalar reference"
+            );
+            lanes
+                .audit()
+                .unwrap_or_else(|e| panic!("{game:?}/{design}: audit failed under lanes: {e}"));
+        }
+    }
+}
+
+/// Degenerate quads and partial lane tails: triangle edges and tile
+/// boundaries produce quads with fewer than four live fragments, and
+/// oblique anisotropic footprints produce probe counts that are not a
+/// multiple of the lane width. A scene dominated by a single obliquely
+/// viewed prop exercises both; the stream must actually contain partial
+/// quads for the test to mean anything.
+#[test]
+fn degenerate_quads_and_partial_lane_tails_match() {
+    let mut profile = Game::Doom3.profile();
+    profile.floor_quads = 1;
+    profile.texture_count = 2;
+    profile.facing_props = 3;
+    let scene = build_scene_unchecked(&profile, Resolution::R320x240, 1);
+
+    let stream = FragmentStream::build(
+        Arc::new(small_scene(Game::Doom3, 1)),
+        SimConfig::default().tile_px,
+    )
+    .expect("frontend builds");
+    assert!(
+        stream.fragment_count() < 4 * stream.quad_count(),
+        "scene must contain partial quads (got {} fragments in {} quads)",
+        stream.fragment_count(),
+        stream.quad_count()
+    );
+
+    for design in [Design::Baseline, Design::ATfim] {
+        let scalar = render(&scene, design, KernelMode::Scalar);
+        let lanes = render(&scene, design, KernelMode::Lanes);
+        assert_eq!(
+            scalar, lanes,
+            "{design}: partial-quad tail diverged between kernel modes"
+        );
+    }
+}
+
+/// `KernelMode::active()` must follow the `simd` cargo feature so the
+/// feature actually flips the fleet-wide default, and the explicit
+/// builder override must win either way.
+#[test]
+fn feature_controls_default_and_builder_overrides() {
+    let expected = if cfg!(feature = "simd") {
+        KernelMode::Lanes
+    } else {
+        KernelMode::Scalar
+    };
+    assert_eq!(KernelMode::active(), expected);
+    assert_eq!(SimConfig::default().sampler.kernels, expected);
+    let forced = SimConfig::builder()
+        .kernel_mode(KernelMode::Scalar)
+        .build()
+        .expect("valid config");
+    assert_eq!(forced.sampler.kernels, KernelMode::Scalar);
+}

@@ -91,6 +91,12 @@ impl FrameImage {
         self.pixels[(y * self.width + x) as usize] = color.to_packed();
     }
 
+    /// Overwrites every pixel with `color`, keeping the allocation —
+    /// the per-frame clear of a replay loop.
+    pub fn fill(&mut self, color: Rgba) {
+        self.pixels.fill(color.to_packed());
+    }
+
     /// Iterates over pixels row-major.
     pub fn iter(&self) -> impl Iterator<Item = PackedRgba> + '_ {
         self.pixels.iter().copied()

@@ -96,18 +96,18 @@ impl CacheOutcome {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    /// Camera angle of the pixel that filled the line (A-TFIM).
-    angle: Radians,
-    /// LRU stamp: larger = more recently used.
-    lru: u64,
-}
-
 /// A set-associative cache with LRU replacement and optional per-line
 /// camera-angle tags.
+///
+/// Storage is struct-of-arrays: the per-way tags of a set are contiguous
+/// `u64`s (with `tag + 1` stored so 0 doubles as the invalid marker), so
+/// the way probe is a chunked vector compare instead of a pointer-chasing
+/// scan over line structs — see `find_way`. Set index, tag, and line
+/// number come from shifts whenever the geometry is a power of two (the
+/// paper's Table I geometries all are). Both transformations preserve the
+/// original probe/fill/LRU behavior exactly; `chunked_probe_matches_
+/// reference_model` replays a pseudorandom access stream against the
+/// per-line reference implementation to prove it.
 ///
 /// # Examples
 ///
@@ -123,11 +123,48 @@ struct Line {
 #[derive(Debug, Clone)]
 pub struct TextureCache {
     config: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    ways: usize,
+    sets_count: u64,
+    /// `tag + 1` per way (0 = invalid), flat `[set × ways]`.
+    tags: Vec<u64>,
+    /// Camera angle of the pixel that filled each line (A-TFIM),
+    /// parallel to `tags`.
+    angles: Vec<Radians>,
+    /// LRU stamp per line, parallel to `tags`; larger = more recent.
+    lrus: Vec<u64>,
+    /// `log2(line_bytes)` when the line size is a power of two.
+    line_shift: Option<u32>,
+    /// `log2(sets)` when the set count is a power of two.
+    set_shift: Option<u32>,
     clock: u64,
     hits: u64,
     misses: u64,
     angle_misses: u64,
+}
+
+/// Chunked way probe: compares four contiguous way tags per step and
+/// folds the lane results into a bitmask. Tags within a set are unique,
+/// so there is no early exit inside a chunk — exactly what lets the
+/// compiler lower the four compares to one vector compare.
+#[inline]
+fn find_way(tags: &[u64], needle: u64) -> Option<usize> {
+    let mut chunks = tags.chunks_exact(4);
+    let mut base = 0;
+    for c in &mut chunks {
+        let m = usize::from(c[0] == needle)
+            | (usize::from(c[1] == needle) << 1)
+            | (usize::from(c[2] == needle) << 2)
+            | (usize::from(c[3] == needle) << 3);
+        if m != 0 {
+            return Some(base + m.trailing_zeros() as usize);
+        }
+        base += 4;
+    }
+    chunks
+        .remainder()
+        .iter()
+        .position(|&t| t == needle)
+        .map(|i| base + i)
 }
 
 impl TextureCache {
@@ -138,22 +175,20 @@ impl TextureCache {
     /// Returns [`ConfigError`] if the geometry is invalid.
     pub fn new(config: CacheConfig) -> Result<Self> {
         config.validate()?;
-        let sets = (0..config.sets())
-            .map(|_| {
-                vec![
-                    Line {
-                        tag: 0,
-                        valid: false,
-                        angle: Radians::ZERO,
-                        lru: 0
-                    };
-                    config.ways as usize
-                ]
-            })
-            .collect();
+        let sets = config.sets();
+        let lines = (sets * u64::from(config.ways)) as usize;
         Ok(Self {
             config,
-            sets,
+            ways: config.ways as usize,
+            sets_count: sets,
+            tags: vec![0; lines],
+            angles: vec![Radians::ZERO; lines],
+            lrus: vec![0; lines],
+            line_shift: config
+                .line_bytes
+                .is_power_of_two()
+                .then(|| config.line_bytes.trailing_zeros()),
+            set_shift: sets.is_power_of_two().then(|| sets.trailing_zeros()),
             clock: 0,
             hits: 0,
             misses: 0,
@@ -184,19 +219,28 @@ impl TextureCache {
         threshold: Radians,
     ) -> CacheOutcome {
         self.clock += 1;
-        let line_addr = addr / self.config.line_bytes;
-        let set_idx = (line_addr % self.config.sets()) as usize;
-        let tag = line_addr / self.config.sets();
+        let line_addr = match self.line_shift {
+            Some(s) => addr >> s,
+            None => addr / self.config.line_bytes,
+        };
+        let (set_idx, tag) = match self.set_shift {
+            Some(s) => ((line_addr & (self.sets_count - 1)) as usize, line_addr >> s),
+            None => (
+                (line_addr % self.sets_count) as usize,
+                line_addr / self.sets_count,
+            ),
+        };
         let clock = self.clock;
-        let set = &mut self.sets[set_idx];
+        let base = set_idx * self.ways;
+        let needle = tag + 1;
 
         // Probe.
-        if let Some(way) = set.iter().position(|l| l.valid && l.tag == tag) {
-            let line = &mut set[way];
-            line.lru = clock;
+        if let Some(way) = find_way(&self.tags[base..base + self.ways], needle) {
+            let li = base + way;
+            self.lrus[li] = clock;
             if let Some(a) = angle {
-                if a.abs_diff(line.angle) > threshold {
-                    line.angle = a;
+                if a.abs_diff(self.angles[li]) > threshold {
+                    self.angles[li] = a;
                     self.angle_misses += 1;
                     return CacheOutcome::AngleMiss;
                 }
@@ -205,21 +249,24 @@ impl TextureCache {
             return CacheOutcome::Hit;
         }
 
-        // Fill into the LRU way.
-        // Falls back to way 0 in the degenerate (validated-unreachable)
-        // zero-associativity case rather than panicking.
-        let victim = set
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, l)| if l.valid { l.lru } else { 0 })
-            .map(|(i, _)| i)
-            .unwrap_or(0);
-        set[victim] = Line {
-            tag,
-            valid: true,
-            angle: angle.unwrap_or(Radians::ZERO),
-            lru: clock,
-        };
+        // Fill into the LRU way: first way with the minimal stamp
+        // (invalid ways stamp 0), matching the historical
+        // `min_by_key(|l| if l.valid { l.lru } else { 0 })` selection,
+        // which keeps the first of equal minima.
+        let mut victim = 0;
+        let mut best = u64::MAX;
+        for way in 0..self.ways {
+            let li = base + way;
+            let key = if self.tags[li] != 0 { self.lrus[li] } else { 0 };
+            if key < best {
+                best = key;
+                victim = way;
+            }
+        }
+        let li = base + victim;
+        self.tags[li] = needle;
+        self.angles[li] = angle.unwrap_or(Radians::ZERO);
+        self.lrus[li] = clock;
         self.misses += 1;
         CacheOutcome::Miss
     }
@@ -241,11 +288,7 @@ impl TextureCache {
 
     /// Invalidates all lines and clears statistics.
     pub fn reset(&mut self) {
-        for set in &mut self.sets {
-            for line in set {
-                line.valid = false;
-            }
-        }
+        self.tags.fill(0);
         self.clock = 0;
         self.hits = 0;
         self.misses = 0;
@@ -384,6 +427,107 @@ mod tests {
                     assert_eq!(out, CacheOutcome::Hit);
                 }
             }
+        }
+    }
+
+    /// The historical per-line (array-of-structs, division-based)
+    /// implementation, kept as the behavioral yardstick for the chunked
+    /// SoA probe.
+    struct RefModel {
+        config: CacheConfig,
+        sets: Vec<Vec<(u64, bool, Radians, u64)>>, // (tag, valid, angle, lru)
+        clock: u64,
+    }
+
+    impl RefModel {
+        fn new(config: CacheConfig) -> Self {
+            let sets = (0..config.sets())
+                .map(|_| vec![(0, false, Radians::ZERO, 0); config.ways as usize])
+                .collect();
+            Self {
+                config,
+                sets,
+                clock: 0,
+            }
+        }
+
+        fn access(
+            &mut self,
+            addr: u64,
+            angle: Option<Radians>,
+            threshold: Radians,
+        ) -> CacheOutcome {
+            self.clock += 1;
+            let line_addr = addr / self.config.line_bytes;
+            let set_idx = (line_addr % self.config.sets()) as usize;
+            let tag = line_addr / self.config.sets();
+            let clock = self.clock;
+            let set = &mut self.sets[set_idx];
+            if let Some(way) = set.iter().position(|l| l.1 && l.0 == tag) {
+                let line = &mut set[way];
+                line.3 = clock;
+                if let Some(a) = angle {
+                    if a.abs_diff(line.2) > threshold {
+                        line.2 = a;
+                        return CacheOutcome::AngleMiss;
+                    }
+                }
+                return CacheOutcome::Hit;
+            }
+            let victim = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| if l.1 { l.3 } else { 0 })
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            set[victim] = (tag, true, angle.unwrap_or(Radians::ZERO), clock);
+            CacheOutcome::Miss
+        }
+    }
+
+    #[test]
+    fn chunked_probe_matches_reference_model() {
+        // Pseudorandom access stream over geometries that exercise the
+        // power-of-two fast path, the division fallback (3-way), and
+        // partial probe chunks (ways not a multiple of 4).
+        let geometries = [
+            CacheConfig::l1_default(),
+            CacheConfig {
+                size_bytes: 3 * 6 * 64,
+                ways: 3,
+                line_bytes: 64,
+            },
+            CacheConfig {
+                size_bytes: 6 * 4 * 48,
+                ways: 6,
+                line_bytes: 48,
+            },
+        ];
+        for config in geometries {
+            let mut fast = TextureCache::new(config).expect("valid geometry");
+            let mut slow = RefModel::new(config);
+            let threshold = Radians::from_pi_fraction(0.05);
+            let mut state: u64 = 0x9e37_79b9_7f4a_7c15;
+            for step in 0..20_000u64 {
+                // xorshift64*: deterministic, dependency-free.
+                state ^= state >> 12;
+                state ^= state << 25;
+                state ^= state >> 27;
+                let r = state.wrapping_mul(0x2545_f491_4f6c_dd1d);
+                // Small address space so hits, evictions, and ties on
+                // the LRU stamp all occur.
+                let addr = (r >> 8) % (64 * config.line_bytes);
+                let angle = if r & 1 == 0 {
+                    Some(Radians::new(((r >> 32) & 0xff) as f32 / 255.0))
+                } else {
+                    None
+                };
+                let got = fast.access_with_angle(addr, angle, threshold);
+                let want = slow.access(addr, angle, threshold);
+                assert_eq!(got, want, "step {step} addr {addr:#x} diverged");
+            }
+            let (hits, misses, angle_misses) = fast.stats();
+            assert_eq!(hits + misses + angle_misses, 20_000);
         }
     }
 }

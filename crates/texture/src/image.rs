@@ -38,6 +38,26 @@ impl WrapMode {
             }
         }
     }
+
+    /// Folds `raw + 1` given `wrapped == wrap(raw, n)`, avoiding the
+    /// `rem_euclid` division for `Repeat`: the fold is shift-equivariant
+    /// under `+1`, so the successor of a wrapped index is `wrapped + 1`
+    /// folded back to `0` at `n`. `Clamp` needs no division; `Mirror`
+    /// reverses direction at the fold so it falls back to the full fold.
+    /// Bit-identical to `wrap(raw + 1, n)` for every input.
+    pub fn wrap_succ(self, wrapped: u32, raw: i64, n: u32) -> u32 {
+        match self {
+            WrapMode::Repeat => {
+                if wrapped + 1 == n {
+                    0
+                } else {
+                    wrapped + 1
+                }
+            }
+            WrapMode::Clamp => (raw + 1).clamp(0, i64::from(n) - 1) as u32,
+            WrapMode::Mirror => self.wrap(raw + 1, n),
+        }
+    }
 }
 
 /// A single level of texel data (packed RGBA).
@@ -152,6 +172,39 @@ impl TextureImage {
             "texel ({x},{y}) out of range"
         );
         self.texels[(y * self.width + x) as usize].to_rgba()
+    }
+
+    /// Reads the texel at in-range coordinates with the table-driven
+    /// unpack — bit-identical to [`TextureImage::texel`] (the lane
+    /// kernels' read; see `pimgfx_types::lanes`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= width` or `y >= height`.
+    #[inline]
+    pub fn texel_fast(&self, x: u32, y: u32) -> Rgba {
+        self.texels[(y * self.width + x) as usize].to_rgba_fast()
+    }
+
+    /// Reads the 2×2 texel block anchored at `(x, y)` in row-major order
+    /// `[t00, t10, t01, t11]` with the table-driven unpack. The block
+    /// must be fully interior (`x + 1 < width`, `y + 1 < height`); the
+    /// lane bilinear kernel checks that before taking this path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block reaches outside the image.
+    #[inline]
+    pub fn gather2x2_fast(&self, x: u32, y: u32) -> [Rgba; 4] {
+        debug_assert!(x + 1 < self.width && y + 1 < self.height);
+        let w = self.width as usize;
+        let i = y as usize * w + x as usize;
+        [
+            self.texels[i].to_rgba_fast(),
+            self.texels[i + 1].to_rgba_fast(),
+            self.texels[i + w].to_rgba_fast(),
+            self.texels[i + w + 1].to_rgba_fast(),
+        ]
     }
 
     /// Reads a texel with signed coordinates folded by `wrap`.

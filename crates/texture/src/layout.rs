@@ -7,6 +7,7 @@
 //! strip. This is how real GPUs tile textures and is what gives bilinear
 //! footprints their high cache locality.
 
+use crate::filter::TexelFetch;
 use pimgfx_types::TextureId;
 
 /// Bytes per texel (RGBA8).
@@ -116,6 +117,48 @@ impl TextureLayout {
         let a = self.texel_addr(x, y, level);
         a - (a % BLOCK_BYTES)
     }
+
+    /// Cache-line addresses for a whole fetch trace, written into `out`
+    /// (cleared first), one address per fetch in trace order.
+    ///
+    /// Byte-identical to calling [`TextureLayout::texel_line_addr`] per
+    /// fetch; batching over runs of same-level fetches hoists the level
+    /// lookup and row-stride math out of the per-texel loop so the
+    /// block arithmetic runs over the flat trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fetch's level or coordinates are out of range.
+    pub fn texel_line_addrs_into(&self, fetches: &[TexelFetch], out: &mut Vec<u64>) {
+        out.clear();
+        out.reserve(fetches.len());
+        let mut i = 0;
+        while i < fetches.len() {
+            let level = fetches[i].level;
+            let run_len = fetches[i..]
+                .iter()
+                .position(|f| f.level != level)
+                .unwrap_or(fetches.len() - i);
+            let (w, h, level_off) = self.levels[usize::from(level)];
+            let level_base = self.base_addr + level_off;
+            let blocks_per_row = u64::from(w.div_ceil(BLOCK_EDGE));
+            for f in &fetches[i..i + run_len] {
+                assert!(
+                    f.x < w && f.y < h,
+                    "texel ({},{}) outside {w}x{h} level {level}",
+                    f.x,
+                    f.y
+                );
+                let block_index =
+                    u64::from(f.y / BLOCK_EDGE) * blocks_per_row + u64::from(f.x / BLOCK_EDGE);
+                let in_block =
+                    u64::from((f.y % BLOCK_EDGE) * BLOCK_EDGE + (f.x % BLOCK_EDGE)) * TEXEL_BYTES;
+                let a = level_base + block_index * BLOCK_BYTES + in_block;
+                out.push(a - a % BLOCK_BYTES);
+            }
+            i += run_len;
+        }
+    }
 }
 
 /// Storage bytes for one level, padded to whole blocks.
@@ -183,5 +226,35 @@ mod tests {
         let a = TextureLayout::new(TextureId::new(0), 0, &[(4, 4)]);
         let b = TextureLayout::new(TextureId::new(0), 1 << 20, &[(4, 4)]);
         assert_eq!(b.texel_addr(2, 2, 0) - a.texel_addr(2, 2, 0), 1 << 20);
+    }
+
+    #[test]
+    fn batched_line_addrs_match_per_texel_calls() {
+        // An unaligned base exercises the `a - a % BLOCK_BYTES` fold.
+        let l = TextureLayout::new(TextureId::new(1), 4096 + 12, &[(8, 8), (4, 4), (2, 2)]);
+        // Mixed-level trace with runs (the batch helper's fast path) and
+        // single-fetch runs (its degenerate path).
+        let trace: Vec<TexelFetch> = [
+            (0u32, 0u32, 0u8),
+            (3, 3, 0),
+            (7, 1, 0),
+            (1, 2, 1),
+            (0, 0, 2),
+            (5, 5, 0),
+            (2, 6, 0),
+        ]
+        .into_iter()
+        .map(|(x, y, level)| TexelFetch { x, y, level })
+        .collect();
+        let mut got = Vec::new();
+        l.texel_line_addrs_into(&trace, &mut got);
+        let want: Vec<u64> = trace
+            .iter()
+            .map(|f| l.texel_line_addr(f.x, f.y, usize::from(f.level)))
+            .collect();
+        assert_eq!(got, want);
+        // Reuse with a shorter trace clears stale entries.
+        l.texel_line_addrs_into(&trace[..2], &mut got);
+        assert_eq!(got.len(), 2);
     }
 }

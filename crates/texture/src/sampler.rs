@@ -1,14 +1,15 @@
 //! Sampler configuration and the user-facing sampling entry point.
 
 use crate::filter::{
-    anisotropic_conventional, anisotropic_reordered, bilinear, point, trilinear, FetchSet,
-    FilterMode, SampleTrace,
+    anisotropic_conventional, anisotropic_conventional_lanes, anisotropic_reordered,
+    anisotropic_reordered_lanes, bilinear, bilinear_at_lanes, point, trilinear, trilinear_lanes,
+    FetchSet, FilterMode, SampleTrace,
 };
 use crate::footprint::Footprint;
 use crate::mipmap::MippedTexture;
-use pimgfx_types::Vec2;
+use pimgfx_types::{KernelMode, Vec2};
 
-/// Sampler state: filter mode, anisotropy cap.
+/// Sampler state: filter mode, anisotropy cap, kernel implementation.
 ///
 /// Matches the knobs the paper sweeps — `max_aniso = 1` reproduces the
 /// "anisotropic filtering disabled" experiment of Fig. 4, and
@@ -22,6 +23,10 @@ pub struct SamplerConfig {
     /// When true, run anisotropic averaging *first* (the A-TFIM order of
     /// Fig. 7B); the sample trace then records parent fetches only.
     pub reordered: bool,
+    /// Which kernel implementation [`Sampler::sample_into`] runs: the
+    /// scalar reference or the bit-identical lane kernels. Defaults to
+    /// [`KernelMode::active`] (flipped by the `simd` cargo feature).
+    pub kernels: KernelMode,
 }
 
 impl Default for SamplerConfig {
@@ -30,6 +35,7 @@ impl Default for SamplerConfig {
             filter: FilterMode::Anisotropic,
             max_aniso: 16,
             reordered: false,
+            kernels: KernelMode::active(),
         }
     }
 }
@@ -102,6 +108,12 @@ impl Sampler {
     ///
     /// Returns the filtered color plus the texel-fetch trace used by the
     /// timing layer.
+    ///
+    /// This entry point always runs the **scalar reference kernels**
+    /// regardless of [`SamplerConfig::kernels`] — it is the yardstick
+    /// the lane kernels are tested against (see
+    /// `sample_into_matches_sample_across_modes`, which with
+    /// `kernels = Lanes` becomes the lane/scalar equivalence check).
     pub fn sample(&self, tex: &MippedTexture, uv: Vec2, duv_dx: Vec2, duv_dy: Vec2) -> SampleTrace {
         let fp = self.footprint(duv_dx, duv_dy);
         let mut fetches = Vec::new();
@@ -177,6 +189,7 @@ impl Sampler {
     ) -> SampleInfo {
         fetches.clear();
         let fp = self.footprint(duv_dx, duv_dy);
+        let lanes = self.config.kernels.is_lanes();
         match self.config.filter {
             FilterMode::Point => {
                 let (fine, _, _) = fp.mip_levels(tex.max_level());
@@ -189,7 +202,11 @@ impl Sampler {
             }
             FilterMode::Bilinear => {
                 let (fine, _, _) = fp.mip_levels(tex.max_level());
-                let color = bilinear(tex, uv, fine, fetches);
+                let color = if lanes {
+                    bilinear_at_lanes(tex, uv, fine, (0, 0), fetches)
+                } else {
+                    bilinear(tex, uv, fine, fetches)
+                };
                 SampleInfo {
                     color,
                     conventional_texels: fetches.len() as u32,
@@ -197,7 +214,11 @@ impl Sampler {
                 }
             }
             FilterMode::Trilinear => {
-                let color = trilinear(tex, uv, fp.lod, fetches);
+                let color = if lanes {
+                    trilinear_lanes(tex, uv, fp.lod, fetches)
+                } else {
+                    trilinear(tex, uv, fp.lod, fetches)
+                };
                 SampleInfo {
                     color,
                     conventional_texels: fetches.len() as u32,
@@ -207,14 +228,22 @@ impl Sampler {
             FilterMode::Anisotropic => {
                 if self.config.reordered {
                     let mut children = 0;
-                    let color = anisotropic_reordered(tex, uv, &fp, fetches, &mut children);
+                    let color = if lanes {
+                        anisotropic_reordered_lanes(tex, uv, &fp, fetches, &mut children)
+                    } else {
+                        anisotropic_reordered(tex, uv, &fp, fetches, &mut children)
+                    };
                     SampleInfo {
                         color,
                         conventional_texels: children as u32,
                         aniso_ratio: fp.aniso_ratio,
                     }
                 } else {
-                    let color = anisotropic_conventional(tex, uv, &fp, fetches);
+                    let color = if lanes {
+                        anisotropic_conventional_lanes(tex, uv, &fp, fetches)
+                    } else {
+                        anisotropic_conventional(tex, uv, &fp, fetches)
+                    };
                     let (fine, coarse, w) = fp.mip_levels(tex.max_level());
                     let levels = if coarse == fine || w == 0.0 { 1 } else { 2 };
                     SampleInfo {
@@ -351,10 +380,19 @@ mod tests {
             FilterMode::Trilinear,
             FilterMode::Anisotropic,
         ] {
-            for reordered in [false, true] {
+            // `sample` always runs the scalar reference, so with
+            // `kernels = Lanes` this doubles as the lane/scalar
+            // bit-equality check at the sampler level.
+            for (reordered, kernels) in [
+                (false, KernelMode::Scalar),
+                (true, KernelMode::Scalar),
+                (false, KernelMode::Lanes),
+                (true, KernelMode::Lanes),
+            ] {
                 let s = Sampler::new(SamplerConfig {
                     filter,
                     reordered,
+                    kernels,
                     ..SamplerConfig::default()
                 });
                 for (uv, dx, dy) in [

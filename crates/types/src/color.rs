@@ -148,6 +148,18 @@ impl Rgba {
     }
 }
 
+/// 256-entry unpack table: `UNPACK[v]` holds exactly `v as f32 / 255.0`,
+/// so table lookup and division produce bit-identical channels.
+const UNPACK: [f32; 256] = {
+    let mut t = [0.0f32; 256];
+    let mut i = 0;
+    while i < 256 {
+        t[i] = i as f32 / 255.0;
+        i += 1;
+    }
+    t
+};
+
 impl PackedRgba {
     /// Creates a packed color from 8-bit channels.
     #[inline]
@@ -163,6 +175,20 @@ impl PackedRgba {
             f32::from(self.g) / 255.0,
             f32::from(self.b) / 255.0,
             f32::from(self.a) / 255.0,
+        )
+    }
+
+    /// Table-driven unpack used by the lane kernels: bit-identical to
+    /// [`PackedRgba::to_rgba`] for every possible channel value (the
+    /// table stores the same `v / 255.0` quotients), but replaces four
+    /// float divisions with four L1-resident loads.
+    #[inline]
+    pub fn to_rgba_fast(self) -> Rgba {
+        Rgba::new(
+            UNPACK[self.r as usize],
+            UNPACK[self.g as usize],
+            UNPACK[self.b as usize],
+            UNPACK[self.a as usize],
         )
     }
 
@@ -234,6 +260,19 @@ mod tests {
         for v in [0u8, 1, 127, 128, 254, 255] {
             let p = PackedRgba::new(v, v, v, v);
             assert_eq!(p.to_rgba().to_packed(), p);
+        }
+    }
+
+    #[test]
+    fn fast_unpack_is_bit_identical_for_all_channel_values() {
+        for v in 0..=255u8 {
+            let p = PackedRgba::new(v, v.wrapping_add(1), v.wrapping_mul(3), 255 - v);
+            let slow = p.to_rgba();
+            let fast = p.to_rgba_fast();
+            assert_eq!(slow.r.to_bits(), fast.r.to_bits());
+            assert_eq!(slow.g.to_bits(), fast.g.to_bits());
+            assert_eq!(slow.b.to_bits(), fast.b.to_bits());
+            assert_eq!(slow.a.to_bits(), fast.a.to_bits());
         }
     }
 

@@ -20,7 +20,7 @@
 //! | `trace-stage` | deny | every `Server`/`MultiServer` constructed in `crates/core`, `crates/mem`, `crates/pim` carries a `trace:stage(<name>)` marker tying it to the cycle-conservation trace taxonomy (see `docs/OBSERVABILITY.md`) |
 //! | `nondeterminism` | deny | no ambient-seeded `std` `HashMap`/`HashSet`, no `Instant::now`/`SystemTime::now` without a `det:boundary — <reason>` marker, no unseeded entropy in library code (`pimgfx_types::fxhash` holds the sanctioned maps) |
 //! | `lock-order` | deny | every `Mutex`/`RwLock`/`Condvar` field carries a `lock:rank(<n>, <name>)` marker and nested acquisitions follow strictly increasing ranks |
-//! | `float-reduction` | warn | no reassociation-prone float accumulation (`.sum()` / `.fold(` / `.mul_add(` over floats) without a `float:reassoc-ok — <ULP bound>` justification |
+//! | `float-reduction` | warn | no reassociation-prone float accumulation (`.sum()` / `.fold(` / `.mul_add(` over floats, `.hsum(` / `.reduce_sum(` lane horizontal reductions) without a `float:reassoc-ok — <ULP bound>` justification |
 //! | `stale-allow` | deny | every `lint:allow(<rule>)` comment still suppresses a live finding on its own or the next line; rotted suppressions are themselves findings |
 //! | `manifest` | deny | every `crates/*/Cargo.toml` inherits workspace metadata and uses only workspace-declared dependencies |
 //! | `fig-drift` | deny | `crates/bench/benches/fig*.rs` and the figure-bench references in `EXPERIMENTS.md` stay in sync |

@@ -14,6 +14,14 @@
 //! so mixing the two forms across code paths splits results between
 //! targets with and without FMA contraction.
 //!
+//! Lane kernels get the same treatment: a *horizontal* reduction across
+//! the lanes of an `F32x4`/`F32x8` (`.hsum(`, `.reduce_sum(`) collapses
+//! values that the scalar reference accumulates in element order, so it
+//! is reassociation by construction — the lane types deliberately do
+//! not provide one today, and any future addition must carry the
+//! `float:reassoc-ok` marker with its ULP bound (and a row in the
+//! `docs/PERFORMANCE.md` deviation table).
+//!
 //! This rule is **warn** severity: pre-existing findings live in the
 //! committed `lint.baseline` and do not block; new ones do.
 
@@ -74,12 +82,17 @@ pub fn check(path: &str, text: &str) -> Vec<Diagnostic> {
         /// `.fold(` carries its float accumulator in the arguments.
         Around,
     }
-    let scans: [(&str, Evidence); 5] = [
+    let scans: [(&str, Evidence); 7] = [
         (".sum::<f32>()", Evidence::None),
         (".sum::<f64>()", Evidence::None),
         (".sum()", Evidence::Backward),
         (".fold(", Evidence::Around),
         (".mul_add(", Evidence::None),
+        // Lane horizontal reductions: collapsing the lanes of an
+        // F32x4/F32x8 reorders the scalar reference's element-order
+        // accumulation, so the names are evidence enough.
+        (".hsum(", Evidence::None),
+        (".reduce_sum(", Evidence::None),
     ];
     for (pat, evidence) in scans {
         for (pos, line) in norm.find_all(pat) {

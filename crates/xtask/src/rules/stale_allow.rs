@@ -4,7 +4,7 @@
 //! Allowlist entries rot: the flagged call gets refactored away, the
 //! comment stays, and a year later nobody knows whether deleting it is
 //! safe — so suppressions only ever accumulate. This pass closes the
-//! loop. [`crate::lint_source_file`] re-runs every rule on a *disarmed*
+//! loop. `crate::lint_source_file` re-runs every rule on a *disarmed*
 //! copy of the file (all suppression tags neutralized, see
 //! [`crate::source::disarm`]) and hands this module the lines each rule
 //! *would* flag; an allow entry is live only if its rule would fire on

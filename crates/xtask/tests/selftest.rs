@@ -841,6 +841,30 @@ pub fn f(xs: &[u64]) -> f64 {
 }
 
 #[test]
+fn float_reduction_fires_on_lane_horizontal_reductions() {
+    // A horizontal sum across F32x4 lanes reassociates the scalar
+    // element-order accumulation — flagged by name alone.
+    let hsum = "pub fn f(v: F32x4) -> f32 { v.hsum() }\n";
+    let diags = float_reduction::check("crates/demo/src/lib.rs", hsum);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert!(diags[0].message.contains("hsum"), "{}", diags[0]);
+
+    let reduce = "pub fn f(v: F32x8) -> f32 { v.reduce_sum() }\n";
+    assert_eq!(
+        float_reduction::check("crates/demo/src/lib.rs", reduce).len(),
+        1
+    );
+
+    // Marker with a stated ULP bound suppresses, as for .sum().
+    let marked = "\
+// float:reassoc-ok — 4-lane tree sum, ≤ 2 ULP vs element order,
+// consumed by a display-precision average.
+pub fn f(v: F32x4) -> f32 { v.hsum() }
+";
+    assert!(float_reduction::check("crates/demo/src/lib.rs", marked).is_empty());
+}
+
+#[test]
 fn float_reduction_marker_suppresses_with_justification() {
     let marked = "\
 // float:reassoc-ok — slice-order sum over ≤ 8 values, consumed at
