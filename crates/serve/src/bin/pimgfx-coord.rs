@@ -1,0 +1,180 @@
+//! `pimgfx-coord` — the distributed serving plane's coordinator.
+//!
+//! ```text
+//! pimgfx-coord --worker HOST:PORT [--worker HOST:PORT ...]
+//!              [--addr HOST:PORT] [--frames N] [--queue-depth N]
+//!              [--deadline-ms N] [--results DIR] [--port-file PATH]
+//!              [--io-timeout-ms N] [--worker-io-timeout-ms N]
+//!              [--max-attempts N] [--retry-backoff-ms N]
+//!              [--drain-workers]
+//! ```
+//!
+//! Accepts `PGRPC` matrix jobs (and plain single-column jobs), shards
+//! them per benchmark column, routes each shard to the downstream
+//! `pimgfx-serve` worker owning its stream key (rendezvous hashing),
+//! retries dead workers' shards on survivors with bounded backoff, and
+//! merges worker manifests into one deterministic matrix manifest —
+//! byte-identical to a single-node run over the same cells.
+//!
+//! Drains gracefully on a `Shutdown` request or SIGTERM; with
+//! `--drain-workers` it then forwards the drain to every worker, so one
+//! SIGTERM tears down the whole tree cleanly.
+
+use pimgfx_serve::{CoordConfig, Coordinator, DrainHandle};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+const USAGE: &str = "usage: pimgfx-coord --worker HOST:PORT [--worker HOST:PORT ...] \
+[--addr HOST:PORT] [--frames N] [--queue-depth N] [--deadline-ms N] [--results DIR] \
+[--port-file PATH] [--io-timeout-ms N] [--worker-io-timeout-ms N] [--max-attempts N] \
+[--retry-backoff-ms N] [--drain-workers]";
+
+fn take_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => match args.get(i + 1) {
+            Some(v) => Ok(Some(v.clone())),
+            None => Err(format!("{flag} needs a value\n{USAGE}")),
+        },
+        None => Ok(None),
+    }
+}
+
+/// Collects every occurrence of a repeatable flag, in order.
+fn take_values(args: &[String], flag: &str) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == flag {
+            match args.get(i + 1) {
+                Some(v) => out.push(v.clone()),
+                None => return Err(format!("{flag} needs a value\n{USAGE}")),
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, String> {
+    v.parse()
+        .map_err(|_| format!("{flag} got an invalid value `{v}`\n{USAGE}"))
+}
+
+fn config_from_args(args: &[String]) -> Result<(CoordConfig, Option<String>), String> {
+    let mut config = CoordConfig {
+        addr: "127.0.0.1:7420".to_string(),
+        ..CoordConfig::default()
+    };
+    config.workers = take_values(args, "--worker")?;
+    if let Some(v) = take_value(args, "--addr")? {
+        config.addr = v;
+    }
+    if let Some(v) = take_value(args, "--frames")? {
+        config.frames = parse("--frames", &v)?;
+    }
+    if let Some(v) = take_value(args, "--queue-depth")? {
+        config.queue_capacity = parse("--queue-depth", &v)?;
+    }
+    if let Some(v) = take_value(args, "--deadline-ms")? {
+        config.default_deadline_ms = parse("--deadline-ms", &v)?;
+    }
+    if let Some(v) = take_value(args, "--results")? {
+        config.results_dir = Some(std::path::PathBuf::from(v));
+    }
+    if let Some(v) = take_value(args, "--io-timeout-ms")? {
+        config.io_timeout = Duration::from_millis(parse("--io-timeout-ms", &v)?);
+    }
+    if let Some(v) = take_value(args, "--worker-io-timeout-ms")? {
+        config.worker_io_timeout = Duration::from_millis(parse("--worker-io-timeout-ms", &v)?);
+    }
+    if let Some(v) = take_value(args, "--max-attempts")? {
+        config.max_attempts = parse("--max-attempts", &v)?;
+    }
+    if let Some(v) = take_value(args, "--retry-backoff-ms")? {
+        config.retry_backoff = Duration::from_millis(parse("--retry-backoff-ms", &v)?);
+    }
+    config.drain_workers = args.iter().any(|a| a == "--drain-workers");
+    let port_file = take_value(args, "--port-file")?;
+    Ok((config, port_file))
+}
+
+static SIGTERM: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigterm(_sig: i32) {
+    // Async-signal-safe: a single atomic store; the watcher thread
+    // does the actual drain outside signal context.
+    SIGTERM.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+}
+
+fn install_sigterm_watcher(handle: DrainHandle) {
+    #[cfg(unix)]
+    {
+        const SIGTERM_NO: i32 = 15;
+        unsafe {
+            signal(SIGTERM_NO, on_sigterm);
+        }
+    }
+    std::thread::spawn(move || loop {
+        if SIGTERM.load(Ordering::SeqCst) {
+            eprintln!("[pimgfx-coord] SIGTERM: draining (finishing accepted jobs)");
+            handle.drain();
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    });
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let (config, port_file) = match config_from_args(&args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let coord = match Coordinator::bind(config.clone()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = coord.local_addr();
+    eprintln!(
+        "[pimgfx-coord] listening on {addr} (workers={}, frames={}, queue-depth={}, attempts={})",
+        config.workers.join(","),
+        config.frames,
+        config.queue_capacity,
+        config.max_attempts
+    );
+    if let Some(path) = port_file {
+        if let Err(e) = std::fs::write(&path, addr.to_string()) {
+            eprintln!("error: writing port file {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    install_sigterm_watcher(coord.drain_handle());
+    match coord.run() {
+        Ok(()) => {
+            eprintln!("[pimgfx-coord] drained; bye");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

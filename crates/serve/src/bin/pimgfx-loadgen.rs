@@ -1,0 +1,340 @@
+//! `pimgfx-loadgen` — a load generator for the serving plane.
+//!
+//! ```text
+//! pimgfx-loadgen --target HOST:PORT [--clients K] [--jobs N]
+//!                [--arrival closed|open] [--think-ms MEAN]
+//!                [--variant LABEL] [--seed S] [--timeout-s N]
+//!                [--out PATH]
+//! ```
+//!
+//! Drives a `pimgfx-serve` worker or a `pimgfx-coord` coordinator with
+//! K concurrent clients, each submitting single-column jobs that
+//! rotate deterministically through the Table II benchmark matrix.
+//! Two arrival models:
+//!
+//! * `closed` (default): each client submits its next job the moment
+//!   the previous one finishes — the classic closed loop whose
+//!   saturation throughput is the serving plane's capacity.
+//! * `open`: each client sleeps an exponentially distributed think
+//!   time (mean `--think-ms`, seeded `TinyRng`, fully deterministic
+//!   per seed) between jobs, approximating Poisson arrivals.
+//!
+//! `Busy{depth, capacity}` answers are counted and retried after a
+//! short backoff (load shedding is the system working, not a failure).
+//! Results land in `BENCH_serve.json` (see `docs/SERVING.md` for the
+//! field guide): p50/p95/p99/mean/max job latency and the achieved
+//! throughput over the measurement wall.
+
+use pimgfx_serve::{Client, JobSpec, Response};
+use pimgfx_types::TinyRng;
+use pimgfx_workloads::Game;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "usage: pimgfx-loadgen --target HOST:PORT [--clients K] [--jobs N] \
+[--arrival closed|open] [--think-ms MEAN] [--variant LABEL] [--seed S] [--timeout-s N] \
+[--out PATH]";
+
+const BUSY_BACKOFF: Duration = Duration::from_millis(20);
+const POLL: Duration = Duration::from_millis(10);
+
+fn take_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => match args.get(i + 1) {
+            Some(v) => Ok(Some(v.clone())),
+            None => Err(format!("{flag} needs a value\n{USAGE}")),
+        },
+        None => Ok(None),
+    }
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, String> {
+    v.parse()
+        .map_err(|_| format!("{flag} got an invalid value `{v}`\n{USAGE}"))
+}
+
+#[derive(Debug, Clone)]
+struct LoadConfig {
+    target: String,
+    clients: usize,
+    jobs: u64,
+    open_arrival: bool,
+    think_ms: u64,
+    variant: String,
+    seed: u64,
+    timeout: Duration,
+    out: String,
+}
+
+fn config_from_args(args: &[String]) -> Result<LoadConfig, String> {
+    let target =
+        take_value(args, "--target")?.ok_or_else(|| format!("--target is required\n{USAGE}"))?;
+    let clients = match take_value(args, "--clients")? {
+        Some(v) => parse("--clients", &v)?,
+        None => 2,
+    };
+    let jobs = match take_value(args, "--jobs")? {
+        Some(v) => parse("--jobs", &v)?,
+        None => 8,
+    };
+    let open_arrival = match take_value(args, "--arrival")? {
+        None => false,
+        Some(v) if v == "closed" => false,
+        Some(v) if v == "open" => true,
+        Some(v) => {
+            return Err(format!(
+                "--arrival got `{v}` (expected closed|open)\n{USAGE}"
+            ))
+        }
+    };
+    let think_ms = match take_value(args, "--think-ms")? {
+        Some(v) => parse("--think-ms", &v)?,
+        None => 50,
+    };
+    let variant = take_value(args, "--variant")?.unwrap_or_else(|| "baseline".to_string());
+    let seed = match take_value(args, "--seed")? {
+        Some(v) => parse("--seed", &v)?,
+        None => 42,
+    };
+    let timeout = Duration::from_secs(match take_value(args, "--timeout-s")? {
+        Some(v) => parse("--timeout-s", &v)?,
+        None => 300u64,
+    });
+    let out = take_value(args, "--out")?.unwrap_or_else(|| "BENCH_serve.json".to_string());
+    if clients == 0 || jobs == 0 {
+        return Err(format!("--clients and --jobs must be at least 1\n{USAGE}"));
+    }
+    Ok(LoadConfig {
+        target,
+        clients,
+        jobs,
+        open_arrival,
+        think_ms,
+        variant,
+        seed,
+        timeout,
+        out,
+    })
+}
+
+#[derive(Debug, Default)]
+struct Tally {
+    latencies_ms: Vec<f64>,
+    failed: u64,
+    busy_rejections: u64,
+}
+
+/// Exponentially distributed think time (inverse CDF over a seeded
+/// uniform): Poisson arrivals per client, deterministic per seed.
+fn think_time(rng: &mut TinyRng, mean_ms: u64) -> Duration {
+    let u = f64::from(rng.next_f32()).clamp(0.0, 0.999_999);
+    let ms = -(1.0 - u).ln() * mean_ms as f64;
+    Duration::from_millis(ms as u64)
+}
+
+/// One client's closed/open loop. Pulls global job indices until the
+/// quota is spent; every job rotates through the benchmark matrix.
+fn run_client(
+    config: &LoadConfig,
+    client_index: usize,
+    next_job: &AtomicU64,
+    tally: &Mutex<Tally>,
+) {
+    let columns = Game::benchmark_matrix();
+    let mut rng = TinyRng::seed_from_u64(config.seed ^ (client_index as u64).wrapping_mul(0x9e37));
+    let mut client = match Client::connect(&config.target) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!(
+                "[pimgfx-loadgen] client {client_index}: connect {}: {e}",
+                config.target
+            );
+            let mut t = tally.lock().expect("tally lock");
+            t.failed += 1;
+            return;
+        }
+    };
+    loop {
+        let i = next_job.fetch_add(1, Ordering::SeqCst);
+        if i >= config.jobs {
+            // Give the unused index back so the quota stays exact for
+            // reporting (no other client can claim it anyway).
+            break;
+        }
+        if config.open_arrival {
+            std::thread::sleep(think_time(&mut rng, config.think_ms));
+        }
+        let (game, resolution) = columns[(i as usize) % columns.len()];
+        let spec = JobSpec {
+            game,
+            resolution,
+            variants: Vec::new(),
+            sections: Vec::new(),
+            trace: false,
+            deadline_ms: 0,
+        };
+        let spec = match pimgfx_serve::job::variant_from_label(&config.variant) {
+            Some(v) => JobSpec {
+                variants: vec![v],
+                ..spec
+            },
+            None => JobSpec {
+                sections: vec![config.variant.clone()],
+                ..spec
+            },
+        };
+        let started = Instant::now();
+        let id = loop {
+            match client.submit(&spec) {
+                Ok(Response::Submitted(id)) => break Some(id),
+                Ok(Response::Busy { .. }) => {
+                    tally.lock().expect("tally lock").busy_rejections += 1;
+                    std::thread::sleep(BUSY_BACKOFF);
+                }
+                Ok(other) => {
+                    eprintln!("[pimgfx-loadgen] client {client_index}: job {i}: {other:?}");
+                    break None;
+                }
+                Err(e) => {
+                    eprintln!("[pimgfx-loadgen] client {client_index}: job {i}: {e}");
+                    break None;
+                }
+            }
+        };
+        let Some(id) = id else {
+            tally.lock().expect("tally lock").failed += 1;
+            continue;
+        };
+        match client.wait(id, config.timeout, POLL) {
+            Ok(pimgfx_serve::JobState::Done { .. }) => {
+                let ms = started.elapsed().as_secs_f64() * 1e3;
+                tally.lock().expect("tally lock").latencies_ms.push(ms);
+            }
+            Ok(state) => {
+                eprintln!("[pimgfx-loadgen] client {client_index}: job {i}: {state:?}");
+                tally.lock().expect("tally lock").failed += 1;
+            }
+            Err(e) => {
+                eprintln!("[pimgfx-loadgen] client {client_index}: job {i}: {e}");
+                tally.lock().expect("tally lock").failed += 1;
+            }
+        }
+    }
+}
+
+/// Nearest-rank percentile over a sorted slice.
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted_ms.len() as f64).ceil() as usize;
+    sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
+}
+
+fn report_json(config: &LoadConfig, tally: &Tally, wall: Duration) -> String {
+    let mut sorted = tally.latencies_ms.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let done = sorted.len() as u64;
+    let mean = if sorted.is_empty() {
+        0.0
+    } else {
+        sorted.iter().sum::<f64>() / sorted.len() as f64
+    };
+    let max = sorted.last().copied().unwrap_or(0.0);
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    let throughput = if wall_ms > 0.0 {
+        done as f64 / (wall_ms / 1e3)
+    } else {
+        0.0
+    };
+    format!(
+        "{{\n  \"schema_version\": 1,\n  \"tool\": \"pimgfx-loadgen\",\n  \
+         \"target\": \"{target}\",\n  \"arrival\": \"{arrival}\",\n  \
+         \"clients\": {clients},\n  \"seed\": {seed},\n  \"variant\": \"{variant}\",\n  \
+         \"jobs_requested\": {requested},\n  \"jobs_done\": {done},\n  \
+         \"jobs_failed\": {failed},\n  \"busy_rejections\": {busy},\n  \
+         \"wall_ms\": {wall_ms:.3},\n  \"latency_ms\": {{\n    \
+         \"p50\": {p50:.3},\n    \"p95\": {p95:.3},\n    \"p99\": {p99:.3},\n    \
+         \"mean\": {mean:.3},\n    \"max\": {max:.3}\n  }},\n  \
+         \"throughput_jobs_per_sec\": {throughput:.3}\n}}\n",
+        target = config.target,
+        arrival = if config.open_arrival {
+            "open"
+        } else {
+            "closed"
+        },
+        clients = config.clients,
+        seed = config.seed,
+        variant = config.variant,
+        requested = config.jobs,
+        done = done,
+        failed = tally.failed,
+        busy = tally.busy_rejections,
+        wall_ms = wall_ms,
+        p50 = percentile(&sorted, 50.0),
+        p95 = percentile(&sorted, 95.0),
+        p99 = percentile(&sorted, 99.0),
+        mean = mean,
+        max = max,
+        throughput = throughput,
+    )
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let config = match config_from_args(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "[pimgfx-loadgen] {} clients, {} jobs, {} arrival -> {}",
+        config.clients,
+        config.jobs,
+        if config.open_arrival {
+            "open"
+        } else {
+            "closed"
+        },
+        config.target
+    );
+    let next_job = AtomicU64::new(0);
+    let tally = Mutex::new(Tally::default());
+    let started = Instant::now();
+    let config = Arc::new(config);
+    std::thread::scope(|scope| {
+        for k in 0..config.clients {
+            let config = Arc::clone(&config);
+            let next_job = &next_job;
+            let tally = &tally;
+            scope.spawn(move || run_client(&config, k, next_job, tally));
+        }
+    });
+    let wall = started.elapsed();
+    let tally = tally.lock().expect("tally lock");
+    let report = report_json(&config, &tally, wall);
+    if let Err(e) = std::fs::write(&config.out, &report) {
+        eprintln!("error: writing {}: {e}", config.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "[pimgfx-loadgen] done: {} ok, {} failed, {} busy rejections in {:.1}s -> {}",
+        tally.latencies_ms.len(),
+        tally.failed,
+        tally.busy_rejections,
+        wall.as_secs_f64(),
+        config.out
+    );
+    if tally.failed > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -3,7 +3,7 @@
 //! ```text
 //! pimgfx-serve [--addr HOST:PORT] [--frames N] [--queue-depth N]
 //!              [--deadline-ms N] [--scene-cache N] [--results DIR]
-//!              [--port-file PATH]
+//!              [--port-file PATH] [--io-timeout-ms N]
 //! ```
 //!
 //! `--addr 127.0.0.1:0` binds an ephemeral port; `--port-file` writes
@@ -21,7 +21,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 const USAGE: &str = "usage: pimgfx-serve [--addr HOST:PORT] [--frames N] [--queue-depth N] \
-[--deadline-ms N] [--scene-cache N] [--results DIR] [--port-file PATH]";
+[--deadline-ms N] [--scene-cache N] [--results DIR] [--port-file PATH] [--io-timeout-ms N]";
 
 fn take_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
     match args.iter().position(|a| a == flag) {
@@ -60,6 +60,10 @@ fn config_from_args(args: &[String]) -> Result<(ServeConfig, Option<String>), St
     }
     if let Some(v) = take_value(args, "--results")? {
         config.results_dir = Some(std::path::PathBuf::from(v));
+    }
+    if let Some(v) = take_value(args, "--io-timeout-ms")? {
+        // 0 disables the socket timeout (not recommended outside tests).
+        config.io_timeout = Duration::from_millis(parse("--io-timeout-ms", &v)?);
     }
     if let Ok(ms) = std::env::var("PIMGFX_SERVE_HOLD_MS") {
         config.hold_before_job = Duration::from_millis(parse("PIMGFX_SERVE_HOLD_MS", &ms)?);

@@ -1,12 +1,13 @@
 //! Blocking `PGRPC` client, used by the `pimgfx-client` CLI and the
 //! integration tests.
 
+use crate::deadline::{deadline_after, expired};
 use crate::protocol::{
-    self, JobId, JobSpec, JobState, ProtoResult, ProtocolError, Request, Response,
+    self, JobId, JobSpec, JobState, MatrixSpec, ProtoResult, ProtocolError, Request, Response,
 };
 use std::io::BufReader;
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// One connection to a `pimgfx-serve` daemon. Requests are strictly
 /// serialized: every [`Client::call`] writes one frame and reads one
@@ -24,7 +25,28 @@ impl Client {
     ///
     /// Fails on connection errors.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> ProtoResult<Self> {
+        Self::connect_with_io_timeout(addr, None)
+    }
+
+    /// Connects to a daemon and applies a read/write timeout to the
+    /// socket (`None` disables it; `Some(Duration::ZERO)` is rejected
+    /// by the OS). The coordinator uses this on worker dialogs so a
+    /// stalled worker counts as dead instead of pinning a shard.
+    ///
+    /// # Errors
+    ///
+    /// Fails on connection errors or if the timeout cannot be set.
+    pub fn connect_with_io_timeout<A: ToSocketAddrs>(
+        addr: A,
+        io_timeout: Option<Duration>,
+    ) -> ProtoResult<Self> {
         let writer = TcpStream::connect(addr).map_err(ProtocolError::Io)?;
+        writer
+            .set_read_timeout(io_timeout)
+            .map_err(ProtocolError::Io)?;
+        writer
+            .set_write_timeout(io_timeout)
+            .map_err(ProtocolError::Io)?;
         let reader = BufReader::new(writer.try_clone().map_err(ProtocolError::Io)?);
         Ok(Self { reader, writer })
     }
@@ -47,6 +69,17 @@ impl Client {
     /// Transport or framing failures.
     pub fn submit(&mut self, spec: &JobSpec) -> ProtoResult<Response> {
         self.call(&Request::SubmitJob(spec.clone()))
+    }
+
+    /// Submits a multi-column matrix job to a `pimgfx-coord`
+    /// coordinator; a plain `pimgfx-serve` worker answers with an
+    /// error reply.
+    ///
+    /// # Errors
+    ///
+    /// Transport or framing failures.
+    pub fn submit_matrix(&mut self, spec: &MatrixSpec) -> ProtoResult<Response> {
+        self.call(&Request::SubmitMatrix(spec.clone()))
     }
 
     /// Fetches a job's current state.
@@ -104,21 +137,22 @@ impl Client {
     }
 
     /// Polls a job every `poll` until it reaches a terminal state
-    /// (`Done`, `Failed`, or `Cancelled`) or `timeout` elapses.
+    /// (`Done`, `Failed`, or `Cancelled`) or `timeout` elapses. A
+    /// `timeout` too large to represent as a deadline (`Duration::MAX`
+    /// and friends) saturates into "wait until terminal" instead of
+    /// panicking on `Instant` overflow.
     ///
     /// # Errors
     ///
     /// Transport failures, unknown jobs, or timeout (as
     /// [`ProtocolError::Format`], naming the last observed state).
     pub fn wait(&mut self, id: JobId, timeout: Duration, poll: Duration) -> ProtoResult<JobState> {
-        // det:boundary — client-side polling deadline, wall-clock only.
-        let deadline = Instant::now() + timeout;
+        let deadline = deadline_after(timeout);
         loop {
             let state = self.status(id)?;
             match state {
                 JobState::Queued | JobState::Running { .. } => {
-                    // det:boundary — wall-clock check of that deadline.
-                    if Instant::now() >= deadline {
+                    if expired(deadline) {
                         return Err(ProtocolError::Format(format!(
                             "timed out after {:.1}s waiting for job {id} (last state: {state:?})",
                             timeout.as_secs_f64()

@@ -1,0 +1,747 @@
+//! The `pimgfx-coord` coordinator: the distributed serving plane's
+//! front door.
+//!
+//! The coordinator speaks the same `PGRPC` protocol as `pimgfx-serve`
+//! and accepts a superset of its requests: single-column `SubmitJob`s
+//! (wrapped into one-column matrices) and multi-column `SubmitMatrix`
+//! jobs. Each accepted job is split into per-column shards
+//! ([`crate::shard::shards`]), every shard is routed to the downstream
+//! worker owning its stream key (rendezvous hashing,
+//! [`crate::shard::choose_worker`]) so worker-side `SceneCache` /
+//! `FragmentStreamCache` columns stay hot across jobs, and the
+//! per-worker manifests are merged — byte-level, cells untouched —
+//! into one deterministic matrix manifest.
+//!
+//! Failure policy, in order of preference:
+//!
+//! * **Worker death** (connect failure, transport error mid-dialog, or
+//!   a `ShuttingDown` reply): the worker is marked dead, the shard
+//!   re-hashes to the next live owner, and the dispatch retries with
+//!   linear backoff, up to a bounded attempt budget. When every worker
+//!   is dead the health table resets to all-alive once (an optimistic
+//!   re-probe so a restarted fleet recovers) before the budget rules.
+//! * **Worker saturation** (`Busy{depth, capacity}`): the shard backs
+//!   off and retries its owner — rerouting would only cool a cache —
+//!   and a still-`Busy` worker after the attempt budget fails the job
+//!   with a saturation message. Coordinator-level admission uses the
+//!   same semantics: over its own outstanding-job bound, a submission
+//!   answers `Busy` immediately.
+//! * **Deterministic job failures** (validation errors, audit
+//!   failures) are never retried: the same bytes would fail again.
+//!
+//! Like the worker daemon, the coordinator drains gracefully: a
+//! `Shutdown` request or [`DrainHandle::drain`] finishes accepted
+//! jobs, flushes results, refuses new submissions, and lets
+//! [`Coordinator::run`] return so the process exits 0.
+
+use crate::client::Client;
+use crate::job;
+use crate::protocol::{JobId, JobSpec, JobState, MatrixSpec, Request, Response};
+use crate::queue::{BoundedQueue, PushError};
+use crate::server::DrainHandle;
+use crate::shard::{choose_worker, manifest_cells, matrix_manifest_json, shards, stream_key};
+use pimgfx_bench::{HarnessResult, SECTIONS};
+use pimgfx_types::{ConfigError, Error, FxHashMap};
+use pimgfx_workloads::Game;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// Coordinator configuration.
+#[derive(Debug, Clone)]
+pub struct CoordConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Downstream `pimgfx-serve` worker addresses (`HOST:PORT`). The
+    /// list order is part of the routing function: changing it
+    /// reshuffles column ownership.
+    pub workers: Vec<String>,
+    /// Frames simulated per cell, fleet-wide. Must match the workers'
+    /// `--frames` — it labels merged manifests and the config digest.
+    pub frames: usize,
+    /// Bound on outstanding matrix jobs (queued + running);
+    /// submissions over it get `Busy`.
+    pub queue_capacity: usize,
+    /// Default per-shard deadline in milliseconds forwarded to workers
+    /// when a spec says 0; 0 here means "no deadline".
+    pub default_deadline_ms: u64,
+    /// When set, every finished job's merged manifest is flushed to
+    /// `<dir>/job-<id>.json`.
+    pub results_dir: Option<PathBuf>,
+    /// Read/write timeout on accepted client sockets (see
+    /// [`crate::server::ServeConfig::io_timeout`]).
+    pub io_timeout: Duration,
+    /// Read/write timeout on sockets to workers; a worker that stalls
+    /// longer mid-dialog counts as dead and its shard re-hashes.
+    pub worker_io_timeout: Duration,
+    /// Dispatch attempts per shard (first try included) before the
+    /// job fails.
+    pub max_attempts: u32,
+    /// Base backoff between dispatch attempts; attempt `n` waits
+    /// `n * retry_backoff` (linear, deterministic).
+    pub retry_backoff: Duration,
+    /// Interval between worker status polls while a shard runs.
+    pub poll: Duration,
+    /// Forward a `Shutdown` to every worker after the coordinator's
+    /// own drain finishes (one-command teardown of the whole tree).
+    pub drain_workers: bool,
+}
+
+impl Default for CoordConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: Vec::new(),
+            frames: 2,
+            queue_capacity: 4,
+            default_deadline_ms: 0,
+            results_dir: None,
+            io_timeout: Duration::from_secs(30),
+            worker_io_timeout: Duration::from_secs(30),
+            max_attempts: 4,
+            retry_backoff: Duration::from_millis(100),
+            poll: Duration::from_millis(25),
+            drain_workers: false,
+        }
+    }
+}
+
+/// Matrix-job execution phase, kept in the coordinator's registry.
+/// `Running.done`/`total` count **shards** (columns), the
+/// coordinator's unit of work.
+#[derive(Debug)]
+enum Phase {
+    Queued,
+    Running { done: Arc<AtomicU32>, total: u32 },
+    Done { manifest: String, cells: u32 },
+    Failed(String),
+    Cancelled(String),
+}
+
+#[derive(Debug)]
+struct JobEntry {
+    spec: MatrixSpec,
+    cancel: Arc<AtomicBool>,
+    phase: Phase,
+}
+
+#[derive(Debug)]
+struct Shared {
+    config: CoordConfig,
+    queue: BoundedQueue<JobId>,
+    // lock:rank(10, coord.jobs)
+    jobs: Mutex<FxHashMap<JobId, JobEntry>>,
+    /// Worker liveness flags, indexed like `config.workers`. Held only
+    /// for snapshot/flip operations — never across I/O.
+    // lock:rank(15, coord.worker-health)
+    alive: Mutex<Vec<bool>>,
+    next_id: AtomicU64,
+    draining: Arc<AtomicBool>,
+}
+
+impl Shared {
+    /// Registry state is plain data; recover from a poisoned lock
+    /// rather than wedging every connection.
+    fn jobs(&self) -> MutexGuard<'_, FxHashMap<JobId, JobEntry>> {
+        self.jobs.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn set_phase(&self, id: JobId, phase: Phase) {
+        if let Some(entry) = self.jobs().get_mut(&id) {
+            entry.phase = phase;
+        }
+    }
+
+    /// Snapshot of the liveness flags.
+    fn alive_snapshot(&self) -> Vec<bool> {
+        self.alive
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Marks a worker dead; when that kills the last live worker, the
+    /// whole table resets to alive (optimistic re-probe) so a
+    /// restarted fleet is rediscovered instead of being shunned
+    /// forever.
+    fn mark_dead(&self, index: usize) {
+        let mut alive = self.alive.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(flag) = alive.get_mut(index) {
+            *flag = false;
+        }
+        if alive.iter().all(|a| !a) {
+            alive.iter_mut().for_each(|a| *a = true);
+        }
+    }
+}
+
+/// A bound, not-yet-running coordinator.
+#[derive(Debug)]
+pub struct Coordinator {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl Coordinator {
+    /// Binds the listener and builds the shared state.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address cannot be bound or the configuration is
+    /// invalid (no workers, zero frames/queue capacity/attempts).
+    pub fn bind(config: CoordConfig) -> HarnessResult<Self> {
+        if config.workers.is_empty() {
+            return Err(ConfigError::new(
+                "pimgfx-coord",
+                "at least one downstream worker address is required",
+            )
+            .into());
+        }
+        if config.frames == 0 {
+            return Err(ConfigError::new("pimgfx-coord", "frames must be at least 1").into());
+        }
+        if config.queue_capacity == 0 {
+            return Err(
+                ConfigError::new("pimgfx-coord", "queue capacity must be at least 1").into(),
+            );
+        }
+        if config.max_attempts == 0 {
+            return Err(ConfigError::new("pimgfx-coord", "max attempts must be at least 1").into());
+        }
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| Error::io(format!("binding {}", config.addr), e))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| Error::io("reading bound address", e))?;
+        let queue = BoundedQueue::new(config.queue_capacity);
+        let worker_count = config.workers.len();
+        Ok(Self {
+            listener,
+            addr,
+            shared: Arc::new(Shared {
+                config,
+                queue,
+                jobs: Mutex::new(FxHashMap::default()),
+                alive: Mutex::new(vec![true; worker_count]),
+                next_id: AtomicU64::new(0),
+                draining: Arc::new(AtomicBool::new(false)),
+            }),
+        })
+    }
+
+    /// The actually bound address (resolves an ephemeral port request).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle that triggers a graceful drain from another thread.
+    pub fn drain_handle(&self) -> DrainHandle {
+        DrainHandle::new(Arc::clone(&self.shared.draining))
+    }
+
+    /// Runs the coordinator until drained: accepts connections,
+    /// schedules matrix jobs, and returns `Ok(())` once a drain
+    /// request has been honored (all accepted jobs finished, results
+    /// flushed, and — with `drain_workers` — every worker asked to
+    /// drain too).
+    ///
+    /// # Errors
+    ///
+    /// Fails on fatal listener errors or a panicked scheduler thread.
+    pub fn run(self) -> HarnessResult<()> {
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| Error::io("setting listener nonblocking", e))?;
+        let shared = self.shared;
+        let scheduler = {
+            let sh = Arc::clone(&shared);
+            std::thread::spawn(move || scheduler_loop(&sh))
+        };
+        let fatal = loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let sh = Arc::clone(&shared);
+                    // Detached on purpose: a drain must not wait on
+                    // idle client connections, only on accepted jobs.
+                    std::thread::spawn(move || handle_connection(&sh, stream));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if shared.draining.load(Ordering::SeqCst) && shared.queue.is_idle() {
+                        break None;
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    shared.draining.store(true, Ordering::SeqCst);
+                    break Some(Error::io("accepting connection", e));
+                }
+            }
+        };
+        shared.queue.close();
+        if scheduler.join().is_err() {
+            return Err(ConfigError::new("pimgfx-coord", "scheduler thread panicked").into());
+        }
+        if shared.config.drain_workers {
+            for addr in &shared.config.workers {
+                // Best-effort: a dead worker has nothing to drain.
+                if let Ok(mut c) = worker_client(&shared.config, addr) {
+                    let _ = c.shutdown();
+                }
+            }
+        }
+        match fatal {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+fn scheduler_loop(shared: &Shared) {
+    loop {
+        match shared.queue.pop_timeout(Duration::from_millis(50)) {
+            Some(id) => {
+                execute_matrix(shared, id);
+                shared.queue.task_done();
+            }
+            None => {
+                let drained = shared.draining.load(Ordering::SeqCst) && shared.queue.is_idle();
+                if drained || shared.queue.is_closed() {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Terminal outcome of one shard dispatch.
+enum ShardOutcome {
+    /// The shard's worker manifest (column label kept for diagnostics).
+    Done(String),
+    Failed(String),
+    Cancelled(String),
+}
+
+/// One dialog failure, classified for the retry policy.
+enum WorkerFailure {
+    /// Connect/transport failure or a draining worker: mark dead,
+    /// re-hash, retry.
+    Dead(String),
+    /// `Busy{depth, capacity}` backpressure: back off and retry the
+    /// same worker (it owns the caches).
+    Busy { depth: u32, capacity: u32 },
+    /// Deterministic failure (validation, audit, job failure): do not
+    /// retry.
+    Job(String),
+    /// The worker reports the shard cancelled.
+    Cancelled(String),
+}
+
+fn worker_client(config: &CoordConfig, addr: &str) -> Result<Client, String> {
+    let timeout = (config.worker_io_timeout > Duration::ZERO).then_some(config.worker_io_timeout);
+    Client::connect_with_io_timeout(addr, timeout).map_err(|e| format!("connecting {addr}: {e}"))
+}
+
+/// Runs one shard's full dialog against one worker: submit, poll to a
+/// terminal state, fetch the manifest.
+fn try_worker(
+    shared: &Shared,
+    addr: &str,
+    spec: &JobSpec,
+    cancel: &AtomicBool,
+) -> Result<String, WorkerFailure> {
+    let mut client = worker_client(&shared.config, addr).map_err(WorkerFailure::Dead)?;
+    let wid = match client.submit(spec) {
+        Ok(Response::Submitted(wid)) => wid,
+        Ok(Response::Busy { depth, capacity }) => {
+            return Err(WorkerFailure::Busy { depth, capacity })
+        }
+        Ok(Response::ShuttingDown) => {
+            return Err(WorkerFailure::Dead(format!("{addr} is draining")))
+        }
+        Ok(Response::Error(m)) => return Err(WorkerFailure::Job(m)),
+        Ok(other) => {
+            return Err(WorkerFailure::Dead(format!(
+                "{addr} answered a submit with {other:?}"
+            )))
+        }
+        Err(e) => return Err(WorkerFailure::Dead(format!("submitting to {addr}: {e}"))),
+    };
+    let mut cancel_sent = false;
+    loop {
+        if cancel.load(Ordering::SeqCst) && !cancel_sent {
+            // Forward the client's cancellation; the worker honors it
+            // between cells and we keep polling to the terminal state.
+            let _ = client.cancel(wid);
+            cancel_sent = true;
+        }
+        match client.status(wid) {
+            Ok(JobState::Queued | JobState::Running { .. }) => {
+                std::thread::sleep(shared.config.poll)
+            }
+            Ok(JobState::Done { .. }) => break,
+            Ok(JobState::Failed(m)) => return Err(WorkerFailure::Job(m)),
+            Ok(JobState::Cancelled(m)) => return Err(WorkerFailure::Cancelled(m)),
+            Err(e) => {
+                return Err(WorkerFailure::Dead(format!(
+                    "polling {addr} for worker job {wid}: {e}"
+                )))
+            }
+        }
+    }
+    client
+        .fetch_manifest(wid)
+        .map_err(|e| WorkerFailure::Dead(format!("fetching from {addr}: {e}")))
+}
+
+/// Dispatches one shard with the retry/re-hash/shed policy described
+/// in the module docs.
+fn dispatch_shard(shared: &Shared, id: JobId, spec: &JobSpec, cancel: &AtomicBool) -> ShardOutcome {
+    let key = stream_key(spec);
+    let mut last = String::new();
+    for attempt in 1..=shared.config.max_attempts {
+        if cancel.load(Ordering::SeqCst) {
+            return ShardOutcome::Cancelled(format!(
+                "shard {key} cancelled by client before dispatch"
+            ));
+        }
+        if attempt > 1 {
+            // Linear, deterministic backoff: attempt n waits (n-1)·base.
+            std::thread::sleep(shared.config.retry_backoff * (attempt - 1));
+        }
+        let alive = shared.alive_snapshot();
+        let Some(wi) = choose_worker(&key, &shared.config.workers, &alive) else {
+            // Unreachable in practice: mark_dead resets an all-dead
+            // table. Treat defensively as a failed attempt.
+            last = "no live workers".to_string();
+            continue;
+        };
+        let addr = &shared.config.workers[wi];
+        // Operational visibility: one routing line per attempt on
+        // stderr, the daemon's diagnostic channel (CI greps these).
+        #[allow(clippy::print_stderr)]
+        {
+            eprintln!(
+                "pimgfx-coord: job {id}: shard {key} -> worker {wi} ({addr}) attempt {attempt}"
+            );
+        }
+        match try_worker(shared, addr, spec, cancel) {
+            Ok(manifest) => return ShardOutcome::Done(manifest),
+            Err(WorkerFailure::Dead(m)) => {
+                #[allow(clippy::print_stderr)]
+                {
+                    eprintln!("pimgfx-coord: job {id}: shard {key}: worker {wi} dead: {m}");
+                }
+                shared.mark_dead(wi);
+                last = m;
+            }
+            Err(WorkerFailure::Busy { depth, capacity }) => {
+                last = format!("{addr} saturated ({depth}/{capacity} outstanding)");
+            }
+            Err(WorkerFailure::Job(m)) => return ShardOutcome::Failed(format!("shard {key}: {m}")),
+            Err(WorkerFailure::Cancelled(m)) => {
+                return ShardOutcome::Cancelled(format!("shard {key}: {m}"))
+            }
+        }
+    }
+    ShardOutcome::Failed(format!(
+        "shard {key}: gave up after {} attempts; last error: {last}",
+        shared.config.max_attempts
+    ))
+}
+
+/// Runs one matrix job to a terminal phase. Never panics: every
+/// failure path lands in `Phase::Failed`/`Phase::Cancelled` so clients
+/// always get an answer.
+fn execute_matrix(shared: &Shared, id: JobId) {
+    let (spec, cancel, done) = {
+        let mut jobs = shared.jobs();
+        let Some(entry) = jobs.get_mut(&id) else {
+            return;
+        };
+        if entry.cancel.load(Ordering::SeqCst) {
+            entry.phase = Phase::Cancelled("cancelled before start".to_string());
+            return;
+        }
+        let total = u32::try_from(shards(&entry.spec).len()).unwrap_or(u32::MAX);
+        let done = Arc::new(AtomicU32::new(0));
+        entry.phase = Phase::Running {
+            done: Arc::clone(&done),
+            total,
+        };
+        (entry.spec.clone(), Arc::clone(&entry.cancel), done)
+    };
+
+    let mut shard_specs = shards(&spec);
+    if spec.deadline_ms == 0 && shared.config.default_deadline_ms > 0 {
+        for s in &mut shard_specs {
+            s.deadline_ms = shared.config.default_deadline_ms;
+        }
+    }
+
+    let outcomes: Vec<ShardOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shard_specs
+            .iter()
+            .map(|s| {
+                let cancel = &cancel;
+                let done = &done;
+                scope.spawn(move || {
+                    let outcome = dispatch_shard(shared, id, s, cancel);
+                    done.fetch_add(1, Ordering::SeqCst);
+                    outcome
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(o) => o,
+                Err(_) => ShardOutcome::Failed("shard dispatch thread panicked".to_string()),
+            })
+            .collect()
+    });
+
+    let mut manifests = Vec::new();
+    for outcome in outcomes {
+        match outcome {
+            ShardOutcome::Done(m) => manifests.push(m),
+            ShardOutcome::Cancelled(m) => {
+                shared.set_phase(id, Phase::Cancelled(m));
+                return;
+            }
+            ShardOutcome::Failed(m) => {
+                shared.set_phase(id, Phase::Failed(m));
+                return;
+            }
+        }
+    }
+
+    let mut cells = Vec::new();
+    for m in &manifests {
+        match manifest_cells(m) {
+            Ok(lines) => cells.extend(lines),
+            Err(e) => {
+                shared.set_phase(id, Phase::Failed(format!("merging worker manifests: {e}")));
+                return;
+            }
+        }
+    }
+    let manifest = match matrix_manifest_json(id, &spec, shared.config.frames, &cells) {
+        Ok(m) => m,
+        Err(e) => {
+            shared.set_phase(id, Phase::Failed(format!("writing merged manifest: {e}")));
+            return;
+        }
+    };
+    if let Some(dir) = &shared.config.results_dir {
+        let write = std::fs::create_dir_all(dir)
+            .and_then(|()| std::fs::write(dir.join(format!("job-{id}.json")), &manifest));
+        if let Err(e) = write {
+            shared.set_phase(
+                id,
+                Phase::Failed(format!("writing result to {}: {e}", dir.display())),
+            );
+            return;
+        }
+    }
+    let cell_count = u32::try_from(cells.len()).unwrap_or(u32::MAX);
+    shared.set_phase(
+        id,
+        Phase::Done {
+            manifest,
+            cells: cell_count,
+        },
+    );
+}
+
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let timeout = (shared.config.io_timeout > Duration::ZERO).then_some(shared.config.io_timeout);
+    if stream.set_read_timeout(timeout).is_err() || stream.set_write_timeout(timeout).is_err() {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        match crate::protocol::read_request(&mut reader) {
+            Ok(Some(req)) => {
+                let resp = dispatch(shared, &req);
+                if crate::protocol::write_response(&mut writer, &resp).is_err() {
+                    break;
+                }
+            }
+            Ok(None) => break,
+            Err(e) if crate::server::is_stall(&e) => break,
+            Err(e) => {
+                let _ = crate::protocol::write_response(
+                    &mut writer,
+                    &Response::Error(format!("protocol error: {e}")),
+                );
+                break;
+            }
+        }
+    }
+}
+
+fn dispatch(shared: &Shared, req: &Request) -> Response {
+    match req {
+        Request::SubmitMatrix(spec) => submit(shared, spec),
+        // A single-column job is a one-column matrix: the coordinator
+        // is a drop-in superset of a worker for submissions.
+        Request::SubmitJob(spec) => submit(
+            shared,
+            &MatrixSpec {
+                columns: vec![(spec.game, spec.resolution)],
+                variants: spec.variants.clone(),
+                sections: spec.sections.clone(),
+                trace: spec.trace,
+                deadline_ms: spec.deadline_ms,
+            },
+        ),
+        Request::JobStatus(id) => status(shared, *id),
+        Request::FetchResult(id) => fetch(shared, *id),
+        Request::CancelJob(id) => cancel(shared, *id),
+        Request::Shutdown => {
+            shared.draining.store(true, Ordering::SeqCst);
+            Response::ShuttingDown
+        }
+    }
+}
+
+fn submit(shared: &Shared, spec: &MatrixSpec) -> Response {
+    if shared.draining.load(Ordering::SeqCst) {
+        return Response::ShuttingDown;
+    }
+    if spec.columns.is_empty() {
+        return Response::Error("matrix selects no columns".to_string());
+    }
+    let matrix = Game::benchmark_matrix();
+    for &(game, res) in &spec.columns {
+        if !matrix.contains(&(game, res)) {
+            return Response::Error(format!(
+                "{} is not a Table II benchmark column",
+                pimgfx_bench::Harness::column_label(game, res)
+            ));
+        }
+    }
+    for s in &spec.sections {
+        if !SECTIONS.contains(&s.as_str()) {
+            return Response::Error(format!(
+                "unknown section `{s}` (expected one of: {})",
+                SECTIONS.join(", ")
+            ));
+        }
+    }
+    if job::expand_variants(&spec.variants, &spec.sections).is_empty() {
+        return Response::Error(
+            "job selects no simulation cells; pass variants or figure sections".to_string(),
+        );
+    }
+    let id = shared.next_id.fetch_add(1, Ordering::SeqCst) + 1;
+    shared.jobs().insert(
+        id,
+        JobEntry {
+            spec: spec.clone(),
+            cancel: Arc::new(AtomicBool::new(false)),
+            phase: Phase::Queued,
+        },
+    );
+    match shared.queue.try_push(id) {
+        Ok(()) => Response::Submitted(id),
+        Err(PushError::Full { depth, capacity }) => {
+            shared.jobs().remove(&id);
+            Response::Busy {
+                depth: u32::try_from(depth).unwrap_or(u32::MAX),
+                capacity: u32::try_from(capacity).unwrap_or(u32::MAX),
+            }
+        }
+        Err(PushError::Closed) => {
+            shared.jobs().remove(&id);
+            Response::ShuttingDown
+        }
+    }
+}
+
+fn state_of(entry: &JobEntry) -> JobState {
+    match &entry.phase {
+        Phase::Queued => JobState::Queued,
+        Phase::Running { done, total } => JobState::Running {
+            done: done.load(Ordering::SeqCst),
+            total: *total,
+        },
+        Phase::Done { cells, .. } => JobState::Done { cells: *cells },
+        Phase::Failed(m) => JobState::Failed(m.clone()),
+        Phase::Cancelled(m) => JobState::Cancelled(m.clone()),
+    }
+}
+
+fn status(shared: &Shared, id: JobId) -> Response {
+    match shared.jobs().get(&id) {
+        Some(entry) => Response::Status(state_of(entry)),
+        None => Response::Error(format!("unknown job {id}")),
+    }
+}
+
+fn fetch(shared: &Shared, id: JobId) -> Response {
+    match shared.jobs().get(&id) {
+        Some(entry) => match &entry.phase {
+            Phase::Done { manifest, .. } => Response::JobResult {
+                manifest_json: manifest.clone(),
+            },
+            Phase::Failed(m) => Response::Error(format!("job {id} failed: {m}")),
+            Phase::Cancelled(m) => Response::Error(format!("job {id} was cancelled: {m}")),
+            Phase::Queued | Phase::Running { .. } => {
+                Response::Error(format!("job {id} is not finished"))
+            }
+        },
+        None => Response::Error(format!("unknown job {id}")),
+    }
+}
+
+fn cancel(shared: &Shared, id: JobId) -> Response {
+    match shared.jobs().get(&id) {
+        Some(entry) => {
+            entry.cancel.store(true, Ordering::SeqCst);
+            Response::Status(state_of(entry))
+        }
+        None => Response::Error(format!("unknown job {id}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_validates_configuration() {
+        // No workers is the distinguishing invalid configuration.
+        assert!(Coordinator::bind(CoordConfig::default()).is_err());
+        let one_worker = || CoordConfig {
+            workers: vec!["127.0.0.1:1".to_string()],
+            ..CoordConfig::default()
+        };
+        let bad_frames = CoordConfig {
+            frames: 0,
+            ..one_worker()
+        };
+        assert!(Coordinator::bind(bad_frames).is_err());
+        let bad_queue = CoordConfig {
+            queue_capacity: 0,
+            ..one_worker()
+        };
+        assert!(Coordinator::bind(bad_queue).is_err());
+        let bad_attempts = CoordConfig {
+            max_attempts: 0,
+            ..one_worker()
+        };
+        assert!(Coordinator::bind(bad_attempts).is_err());
+        let server = Coordinator::bind(one_worker()).expect("bind 127.0.0.1:0");
+        assert_ne!(server.local_addr().port(), 0);
+    }
+}

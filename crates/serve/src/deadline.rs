@@ -1,0 +1,62 @@
+//! Overflow-safe wall-clock deadlines for the serving plane.
+//!
+//! `Instant + Duration` panics when the sum is not representable, and
+//! callers across the crate (queue pops, client waits, job deadlines)
+//! all take caller-supplied `Duration`s — including `Duration::MAX`,
+//! the idiomatic "wait forever". Every deadline in `crates/serve`
+//! therefore goes through [`deadline_after`], which saturates an
+//! unrepresentable sum into `None` ("no deadline") instead of
+//! panicking, and [`expired`], which treats `None` as never expiring.
+
+use std::time::{Duration, Instant};
+
+/// The wall-clock deadline `timeout` from now, or `None` when the sum
+/// is not representable (a practically infinite timeout such as
+/// `Duration::MAX`): `None` means "no deadline" to every caller in
+/// this crate.
+#[must_use]
+pub fn deadline_after(timeout: Duration) -> Option<Instant> {
+    // det:boundary — service-plane deadline arithmetic; the value
+    // bounds waiting only and never reaches simulated results.
+    Instant::now().checked_add(timeout)
+}
+
+/// Whether `deadline` has passed; a `None` deadline never expires.
+#[must_use]
+pub fn expired(deadline: Option<Instant>) -> bool {
+    // det:boundary — wall-clock comparison against a service deadline;
+    // the outcome gates waiting, never simulated results.
+    deadline.is_some_and(|d| Instant::now() >= d)
+}
+
+/// Time left until `deadline` (zero once expired); a `None` deadline
+/// has no remaining time to report.
+#[must_use]
+pub fn remaining(deadline: Option<Instant>) -> Option<Duration> {
+    // det:boundary — service-plane countdown for Condvar waits; never
+    // reaches simulated results.
+    deadline.map(|d| d.saturating_duration_since(Instant::now()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_max_saturates_to_no_deadline() {
+        // The regression: `Instant::now() + Duration::MAX` panics.
+        assert_eq!(deadline_after(Duration::MAX), None);
+        assert!(!expired(None));
+        assert_eq!(remaining(None), None);
+    }
+
+    #[test]
+    fn ordinary_timeouts_still_expire() {
+        let d = deadline_after(Duration::ZERO);
+        assert!(d.is_some());
+        assert!(expired(d));
+        let far = deadline_after(Duration::from_secs(3600));
+        assert!(!expired(far));
+        assert!(remaining(far).is_some_and(|r| r > Duration::from_secs(3500)));
+    }
+}

@@ -14,18 +14,18 @@ use pimgfx::Design;
 use pimgfx_bench::manifest::{fnv1a_digest, json_quote, CellSummary, SCHEMA_VERSION};
 use pimgfx_bench::{section_variants, Harness, Variant};
 
-/// The full, deduplicated variant set of a job: the explicit variants
-/// first, then each requested section's set, keeping the first
-/// occurrence of every label (labels are the harness's memoization
-/// keys, so label-equality is cell-equality).
-pub fn job_variants(spec: &JobSpec) -> Vec<Variant> {
+/// The full, deduplicated variant set of a submission: the explicit
+/// variants first, then each requested section's set, keeping the
+/// first occurrence of every label (labels are the harness's
+/// memoization keys, so label-equality is cell-equality). Shared by
+/// single-column jobs and the coordinator's matrix specs.
+pub fn expand_variants(variants: &[Variant], sections: &[String]) -> Vec<Variant> {
     let mut out: Vec<Variant> = Vec::new();
     let mut seen: Vec<String> = Vec::new();
-    let from_sections = spec
-        .sections
+    let from_sections = sections
         .iter()
         .flat_map(|s| section_variants(s).into_iter());
-    for v in spec.variants.iter().copied().chain(from_sections) {
+    for v in variants.iter().copied().chain(from_sections) {
         let label = v.label();
         if !seen.contains(&label) {
             seen.push(label);
@@ -33,6 +33,12 @@ pub fn job_variants(spec: &JobSpec) -> Vec<Variant> {
         }
     }
     out
+}
+
+/// The full, deduplicated variant set of a job (see
+/// [`expand_variants`]).
+pub fn job_variants(spec: &JobSpec) -> Vec<Variant> {
+    expand_variants(&spec.variants, &spec.sections)
 }
 
 /// Parses a variant from its [`Variant::label`] form (`baseline`,

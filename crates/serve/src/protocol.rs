@@ -39,7 +39,10 @@ pub const MAGIC: [u8; 5] = *b"PGRPC";
 /// definitions in this region, and update
 /// `crates/serve/protocol.snapshot` (the `protocol-version` lint rule
 /// enforces both).
-pub const VERSION: u32 = 1;
+///
+/// v2 added [`MatrixSpec`] and [`Request::SubmitMatrix`] (wire kind 6)
+/// for the `pimgfx-coord` sharding coordinator.
+pub const VERSION: u32 = 2;
 
 /// Hard cap on a frame's declared payload length (16 MiB): a corrupt
 /// or hostile length field must not drive a huge allocation.
@@ -69,7 +72,27 @@ pub struct JobSpec {
     pub deadline_ms: u64,
 }
 
-/// Client-to-server messages. Wire kinds 1–5, in declaration order.
+/// A matrix submission: several Table II benchmark columns sharing one
+/// variant set. Only the `pimgfx-coord` coordinator accepts these — it
+/// shards the matrix into per-column [`JobSpec`]s and routes each
+/// shard to the `pimgfx-serve` worker owning that column's stream key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixSpec {
+    /// Benchmark columns (Table II pairs) to simulate.
+    pub columns: Vec<(Game, Resolution)>,
+    /// Explicit design variants to simulate on every column.
+    pub variants: Vec<Variant>,
+    /// Figure/section names whose variant sets are added to
+    /// `variants` (deduplicated by label).
+    pub sections: Vec<String>,
+    /// When true, a failed cycle-conservation audit fails the job.
+    pub trace: bool,
+    /// Per-shard deadline in milliseconds, forwarded to workers
+    /// (0 = worker default).
+    pub deadline_ms: u64,
+}
+
+/// Client-to-server messages. Wire kinds 1–6, in declaration order.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Submit a job; answered with `Submitted`, `Busy`, or an error.
@@ -83,6 +106,9 @@ pub enum Request {
     /// Begin a graceful drain: finish accepted work, refuse new jobs,
     /// then exit.
     Shutdown,
+    /// Submit a multi-column matrix job (coordinator only; a plain
+    /// `pimgfx-serve` worker answers with an error).
+    SubmitMatrix(MatrixSpec),
 }
 
 /// Lifecycle of a submitted job. Wire tags 0–4, in declaration order.
@@ -330,6 +356,65 @@ fn get_spec(cur: &mut &[u8]) -> ProtoResult<JobSpec> {
     })
 }
 
+fn put_matrix<W: Write>(w: &mut W, spec: &MatrixSpec) -> ProtoResult<()> {
+    let Ok(ncol) = u32::try_from(spec.columns.len()) else {
+        return fmt_err("too many columns");
+    };
+    put_u32(w, ncol)?;
+    for &(game, res) in &spec.columns {
+        put_u32(w, game_tag(game))?;
+        put_u32(w, resolution_tag(res))?;
+    }
+    let Ok(nvar) = u32::try_from(spec.variants.len()) else {
+        return fmt_err("too many variants");
+    };
+    put_u32(w, nvar)?;
+    for &v in &spec.variants {
+        put_variant(w, v)?;
+    }
+    let Ok(nsec) = u32::try_from(spec.sections.len()) else {
+        return fmt_err("too many sections");
+    };
+    put_u32(w, nsec)?;
+    for s in &spec.sections {
+        put_str(w, s)?;
+    }
+    put_bool(w, spec.trace)?;
+    put_u64(w, spec.deadline_ms)?;
+    Ok(())
+}
+
+fn get_matrix(cur: &mut &[u8]) -> ProtoResult<MatrixSpec> {
+    let ncol = pget_u32(cur)? as usize;
+    let mut columns = Vec::new();
+    for _ in 0..ncol {
+        let game =
+            game_from_tag(pget_u32(cur)?).map_err(|e| ProtocolError::Format(format!("{e}")))?;
+        let res = resolution_from_tag(pget_u32(cur)?)
+            .map_err(|e| ProtocolError::Format(format!("{e}")))?;
+        columns.push((game, res));
+    }
+    let nvar = pget_u32(cur)? as usize;
+    let mut variants = Vec::new();
+    for _ in 0..nvar {
+        variants.push(get_variant(cur)?);
+    }
+    let nsec = pget_u32(cur)? as usize;
+    let mut sections = Vec::new();
+    for _ in 0..nsec {
+        sections.push(get_str(cur)?);
+    }
+    let trace = get_bool(cur)?;
+    let deadline_ms = get_u64(cur)?;
+    Ok(MatrixSpec {
+        columns,
+        variants,
+        sections,
+        trace,
+        deadline_ms,
+    })
+}
+
 fn put_state<W: Write>(w: &mut W, state: &JobState) -> ProtoResult<()> {
     match state {
         JobState::Queued => put_u32(w, 0)?,
@@ -477,6 +562,10 @@ pub fn write_request<W: Write>(w: &mut W, req: &Request) -> ProtoResult<()> {
             4
         }
         Request::Shutdown => 5,
+        Request::SubmitMatrix(spec) => {
+            put_matrix(&mut payload, spec)?;
+            6
+        }
     };
     w.write_all(&frame(kind, &payload)?)?;
     w.flush()?;
@@ -500,6 +589,7 @@ pub fn read_request<R: Read>(r: &mut R) -> ProtoResult<Option<Request>> {
         3 => Request::FetchResult(get_u64(&mut cur)?),
         4 => Request::CancelJob(get_u64(&mut cur)?),
         5 => Request::Shutdown,
+        6 => Request::SubmitMatrix(get_matrix(&mut cur)?),
         other => return fmt_err(format!("unknown request kind {other}")),
     };
     reject_trailing(cur, "request")?;

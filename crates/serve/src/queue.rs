@@ -8,9 +8,10 @@
 //! bound is rejected immediately ([`PushError::Full`]); nothing ever
 //! blocks on the way in, and nothing queues unboundedly.
 
+use crate::deadline::{deadline_after, remaining};
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Why a push was rejected.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -98,10 +99,13 @@ impl<T> BoundedQueue<T> {
     /// Pops the next item, waiting up to `timeout`. Returns `None` on
     /// timeout or when the queue is closed and empty. A popped item
     /// stays *outstanding* until [`BoundedQueue::task_done`].
+    ///
+    /// A `timeout` too large to represent as a deadline
+    /// (`Duration::MAX` and friends) saturates into "no deadline": the
+    /// pop waits until an item arrives or the queue closes, instead of
+    /// panicking on `Instant` overflow.
     pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
-        // det:boundary — pop deadline is wall-clock service time; it
-        // bounds waiting only and never reaches simulated results.
-        let deadline = Instant::now() + timeout;
+        let deadline = deadline_after(timeout);
         let mut st = self.lock();
         loop {
             if let Some(item) = st.items.pop_front() {
@@ -110,23 +114,36 @@ impl<T> BoundedQueue<T> {
             if st.closed {
                 return None;
             }
-            // det:boundary — re-check of the same wall-clock deadline.
-            let now = Instant::now();
-            if now >= deadline {
-                return None;
-            }
-            let (guard, _timed_out) = self
-                .ready
-                .wait_timeout(st, deadline - now)
-                .unwrap_or_else(PoisonError::into_inner);
-            st = guard;
+            st = match remaining(deadline) {
+                Some(Duration::ZERO) => return None,
+                Some(left) => {
+                    self.ready
+                        .wait_timeout(st, left)
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .0
+                }
+                None => self.ready.wait(st).unwrap_or_else(PoisonError::into_inner),
+            };
         }
     }
 
     /// Marks one previously popped item as finished, freeing its
     /// capacity slot.
+    ///
+    /// # Contract
+    ///
+    /// Every `task_done` must pair with exactly one earlier successful
+    /// pop. An unmatched call would silently leak capacity (a slot
+    /// freed that was never held corrupts the `Busy{depth, capacity}`
+    /// accounting), so debug builds assert; release builds saturate at
+    /// zero rather than wrapping, keeping the counter merely stale
+    /// instead of catastrophically wrong.
     pub fn task_done(&self) {
         let mut st = self.lock();
+        debug_assert!(
+            st.outstanding > 0,
+            "task_done without a matching pop: outstanding is already 0"
+        );
         st.outstanding = st.outstanding.saturating_sub(1);
         drop(st);
         self.ready.notify_all();
@@ -163,6 +180,7 @@ impl<T> BoundedQueue<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Instant;
 
     #[test]
     #[should_panic(expected = "at least one job")]
@@ -218,6 +236,41 @@ mod tests {
         let t0 = Instant::now();
         assert_eq!(q.pop_timeout(Duration::from_secs(5)), None);
         assert!(t0.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn duration_max_pop_does_not_panic_and_still_pops() {
+        // Regression: `Instant::now() + Duration::MAX` used to panic on
+        // entry; the saturated deadline must behave as "wait forever".
+        let q = std::sync::Arc::new(BoundedQueue::new(1));
+        let q2 = std::sync::Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop_timeout(Duration::MAX));
+        std::thread::sleep(Duration::from_millis(20));
+        q.try_push(9u64).expect("slot");
+        assert_eq!(h.join().expect("popper thread"), Some(9));
+    }
+
+    #[test]
+    fn duration_max_pop_unblocks_on_close() {
+        // "No deadline" must still honor close: the popper drains out
+        // with None instead of waiting forever on a dead queue.
+        let q = std::sync::Arc::new(BoundedQueue::<u64>::new(1));
+        let q2 = std::sync::Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop_timeout(Duration::MAX));
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().expect("popper thread"), None);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "task_done without a matching pop")]
+    fn unmatched_task_done_is_a_contract_violation() {
+        // The contract: every task_done pairs with one successful pop.
+        // Debug builds trap the mismatch loudly; release builds
+        // saturate at zero (documented on `task_done`).
+        let q = BoundedQueue::<u64>::new(1);
+        q.task_done();
     }
 
     #[test]

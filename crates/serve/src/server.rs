@@ -9,8 +9,9 @@
 //! submissions with `ShuttingDown`, and returns from [`Server::run`]
 //! so the process can exit 0.
 
+use crate::deadline::{deadline_after, expired};
 use crate::job::{job_manifest_json, job_variants};
-use crate::protocol::{self, JobId, JobSpec, JobState, Request, Response};
+use crate::protocol::{self, JobId, JobSpec, JobState, ProtocolError, Request, Response};
 use crate::queue::{BoundedQueue, PushError};
 use pimgfx::{FragmentStreamCache, SimConfig};
 use pimgfx_bench::manifest::CellSummary;
@@ -22,7 +23,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -47,6 +48,12 @@ pub struct ServeConfig {
     /// widening backpressure/cancellation windows deterministically
     /// (the daemon maps `PIMGFX_SERVE_HOLD_MS` onto it).
     pub hold_before_job: Duration,
+    /// Read/write timeout applied to every accepted client socket. A
+    /// peer that connects and then stalls longer than this — mid-frame
+    /// or between requests — is treated as a clean disconnect instead
+    /// of pinning its handler thread forever. `Duration::ZERO`
+    /// disables the timeout (not recommended outside tests).
+    pub io_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -59,6 +66,7 @@ impl Default for ServeConfig {
             scene_capacity: None,
             results_dir: None,
             hold_before_job: Duration::ZERO,
+            io_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -114,6 +122,10 @@ impl Shared {
 pub struct DrainHandle(Arc<AtomicBool>);
 
 impl DrainHandle {
+    pub(crate) fn new(flag: Arc<AtomicBool>) -> Self {
+        Self(flag)
+    }
+
     /// Starts the drain: in-flight and queued jobs finish, new
     /// submissions are refused, and [`Server::run`] returns.
     pub fn drain(&self) {
@@ -287,9 +299,11 @@ fn execute_job(shared: &Shared, id: JobId) {
     } else {
         shared.config.default_deadline_ms
     };
-    // det:boundary — job deadline is wall-clock service policy; it
-    // cancels work but never feeds simulated results.
-    let deadline = (deadline_ms > 0).then(|| Instant::now() + Duration::from_millis(deadline_ms));
+    // An unrepresentable deadline (absurdly large deadline_ms)
+    // saturates into "no deadline" instead of panicking mid-job.
+    let deadline = (deadline_ms > 0)
+        .then(|| deadline_after(Duration::from_millis(deadline_ms)))
+        .flatten();
     if shared.config.hold_before_job > Duration::ZERO {
         std::thread::sleep(shared.config.hold_before_job);
     }
@@ -313,9 +327,7 @@ fn execute_job(shared: &Shared, id: JobId) {
         return;
     }
     let results = pool::run_ordered(&variants, workers, |&v| {
-        // det:boundary — wall-clock check against the job deadline.
-        let expired = deadline.is_some_and(|d| Instant::now() >= d);
-        if cancel.load(Ordering::SeqCst) || expired {
+        if cancel.load(Ordering::SeqCst) || expired(deadline) {
             None
         } else {
             done.fetch_add(1, Ordering::SeqCst);
@@ -396,7 +408,26 @@ fn execute_job(shared: &Shared, id: JobId) {
     );
 }
 
+/// Whether a protocol failure is a socket read/write timeout — a
+/// stalled peer, not a corrupt stream. Unix reports an expired
+/// `SO_RCVTIMEO`/`SO_SNDTIMEO` as `WouldBlock`; Windows as `TimedOut`.
+pub(crate) fn is_stall(e: &ProtocolError) -> bool {
+    matches!(
+        e,
+        ProtocolError::Io(io)
+            if matches!(io.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+    )
+}
+
 fn handle_connection(shared: &Shared, stream: TcpStream) {
+    // The regression this guards: an accepted socket with no timeouts
+    // let a client that connects and stalls pin this detached thread
+    // forever. A stalled peer now surfaces as a timeout, handled below
+    // as a clean disconnect.
+    let timeout = (shared.config.io_timeout > Duration::ZERO).then_some(shared.config.io_timeout);
+    if stream.set_read_timeout(timeout).is_err() || stream.set_write_timeout(timeout).is_err() {
+        return;
+    }
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -411,6 +442,9 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
                 }
             }
             Ok(None) => break,
+            // A stalled peer gets no best-effort reply: writing to it
+            // could stall in turn. Drop the connection cleanly.
+            Err(e) if is_stall(&e) => break,
             Err(e) => {
                 // Best-effort error reply; the connection is done
                 // either way (framing is unrecoverable mid-stream).
@@ -434,6 +468,11 @@ fn dispatch(shared: &Shared, req: &Request) -> Response {
             shared.draining.store(true, Ordering::SeqCst);
             Response::ShuttingDown
         }
+        Request::SubmitMatrix(_) => Response::Error(
+            "matrix jobs are accepted by pimgfx-coord; \
+             submit single-column jobs to pimgfx-serve"
+                .to_string(),
+        ),
     }
 }
 

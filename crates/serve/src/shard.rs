@@ -1,0 +1,412 @@
+//! Sharding and merging for the distributed serving plane — the pure
+//! functions under `pimgfx-coord`.
+//!
+//! The unit of distribution is the **column**: a `(game, resolution)`
+//! Table II pair. A column is also the key of every cache that matters
+//! for throughput — the worker-side `SceneCache` and
+//! `FragmentStreamCache` are keyed by `(game, resolution, frames)`,
+//! with `frames` fixed fleet-wide by configuration — so routing a
+//! column to the same worker job after job keeps that worker's
+//! frontend artifacts hot, the same locality argument the paper makes
+//! for keeping texel traffic inside an HMC cube.
+//!
+//! Routing uses **rendezvous (highest-random-weight) hashing**: worker
+//! choice for a key is the live worker maximizing
+//! `fnv1a64(key | worker)`. When a worker dies only the columns it
+//! owned move (each to its second-choice worker); every other
+//! column's cache stays warm — the property plain `hash % n` lacks.
+//!
+//! Merging is deliberately byte-level: worker job manifests embed each
+//! cell as one self-contained JSON object, and the coordinator
+//! reassembles those objects — untouched — into the matrix manifest,
+//! sorted by the same `(column, variant)` order a single-node run
+//! uses. Cells are never re-serialized, so coordinator output is
+//! byte-identical to a single-node run of the same matrix by
+//! construction.
+
+use crate::job::expand_variants;
+use crate::protocol::{JobId, JobSpec, MatrixSpec};
+use pimgfx_bench::manifest::{fnv1a_digest, json_quote, SCHEMA_VERSION};
+use pimgfx_bench::Harness;
+
+/// The routing key of a column: its canonical label
+/// (`doom3-320x240`), which is also the stream-cache key modulo the
+/// fleet-wide frame count.
+#[must_use]
+pub fn stream_key(spec: &JobSpec) -> String {
+    Harness::column_label(spec.game, spec.resolution)
+}
+
+/// 64-bit FNV-1a over `bytes` (the numeric sibling of the manifest
+/// digest helper, which renders to hex).
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Rendezvous hash: the index of the live worker owning `key`, or
+/// `None` when no worker is alive. Ties (astronomically unlikely with
+/// distinct worker addresses) break toward the lower index.
+#[must_use]
+pub fn choose_worker(key: &str, workers: &[String], alive: &[bool]) -> Option<usize> {
+    let mut best: Option<(u64, usize)> = None;
+    for (i, w) in workers.iter().enumerate() {
+        if !alive.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let weight = fnv1a64(format!("{key}|{w}").as_bytes());
+        if best.is_none_or(|(bw, _)| weight > bw) {
+            best = Some((weight, i));
+        }
+    }
+    best.map(|(_, i)| i)
+}
+
+/// Splits a matrix into its per-column shards: one [`JobSpec`] per
+/// distinct column, sharing the matrix's variant set, trace flag, and
+/// deadline. Columns are sorted by label and deduplicated so the
+/// shard list (and therefore the merged manifest) is independent of
+/// submission order.
+#[must_use]
+pub fn shards(spec: &MatrixSpec) -> Vec<JobSpec> {
+    let mut columns = spec.columns.clone();
+    columns.sort_by_key(|&(g, r)| Harness::column_label(g, r));
+    columns.dedup();
+    columns
+        .into_iter()
+        .map(|(game, resolution)| JobSpec {
+            game,
+            resolution,
+            variants: spec.variants.clone(),
+            sections: spec.sections.clone(),
+            trace: spec.trace,
+            deadline_ms: spec.deadline_ms,
+        })
+        .collect()
+}
+
+/// Extracts the raw cell objects from a worker job manifest (the
+/// `cell_reports` array of `crate::job::job_manifest_json` output),
+/// byte-for-byte — every captured slice runs from the cell's `{` to
+/// its matching `}` with all interior bytes (including newlines and
+/// indentation) untouched, which is what makes the coordinator's merge
+/// byte-identical by construction.
+///
+/// The scanner is brace-balanced and string-aware (braces inside JSON
+/// strings, e.g. a `trace_audit` message, do not confuse it); it is
+/// not a general JSON parser and does not need to be — the input is
+/// always our own manifest writer's output.
+///
+/// # Errors
+///
+/// A human-readable message when the manifest does not carry a
+/// well-formed `cell_reports` array (a worker speaking a different
+/// schema, or a corrupted result).
+pub fn manifest_cells(manifest_json: &str) -> Result<Vec<String>, String> {
+    let open_tag = "\"cell_reports\": [";
+    let start = manifest_json
+        .find(open_tag)
+        .ok_or_else(|| "manifest has no `cell_reports` array".to_string())?;
+    let body = &manifest_json[start + open_tag.len()..];
+    let bytes = body.as_bytes();
+    let mut cells = Vec::new();
+    let mut i = 0;
+    loop {
+        // Whitespace and the commas separating cells.
+        while i < bytes.len() && (bytes[i].is_ascii_whitespace() || bytes[i] == b',') {
+            i += 1;
+        }
+        match bytes.get(i) {
+            None => return Err("manifest `cell_reports` array never closes".to_string()),
+            Some(b']') => return Ok(cells),
+            Some(b'{') => {}
+            Some(_) => {
+                return Err(format!(
+                    "malformed `cell_reports` entry at byte {i}: expected an object"
+                ))
+            }
+        }
+        let cell_start = i;
+        let mut depth = 0usize;
+        let mut in_string = false;
+        let mut escaped = false;
+        while let Some(&b) = bytes.get(i) {
+            if in_string {
+                if escaped {
+                    escaped = false;
+                } else if b == b'\\' {
+                    escaped = true;
+                } else if b == b'"' {
+                    in_string = false;
+                }
+            } else {
+                match b {
+                    b'"' => in_string = true,
+                    b'{' => depth += 1,
+                    b'}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        if depth != 0 {
+            return Err("manifest `cell_reports` array never closes".to_string());
+        }
+        cells.push(body[cell_start..i].to_string());
+    }
+}
+
+/// The `(column, variant)` sort key of a raw cell line — the same
+/// canonical order `Harness::report_cells` and the worker manifests
+/// use, recovered from the cell's own fields so merge order never
+/// depends on shard arrival order.
+///
+/// # Errors
+///
+/// A message naming the missing field when the cell line does not
+/// carry `column`/`variant`.
+pub fn cell_sort_key(cell_json: &str) -> Result<(String, String), String> {
+    let field = |name: &str| -> Result<String, String> {
+        let tag = format!("\"{name}\": \"");
+        let at = cell_json
+            .find(&tag)
+            .ok_or_else(|| format!("cell line has no `{name}` field"))?;
+        let rest = &cell_json[at + tag.len()..];
+        let end = rest
+            .find('"')
+            .ok_or_else(|| format!("unterminated `{name}` field"))?;
+        Ok(rest[..end].to_string())
+    };
+    Ok((field("column")?, field("variant")?))
+}
+
+/// FNV-1a digest of a matrix job's canonical configuration, the
+/// coordinator analogue of `crate::job::job_digest`: equal digests
+/// mean comparable results.
+#[must_use]
+pub fn matrix_digest(spec: &MatrixSpec, frames: usize) -> String {
+    let columns: Vec<String> = shards(spec).iter().map(stream_key).collect();
+    let labels: Vec<String> = expand_variants(&spec.variants, &spec.sections)
+        .iter()
+        .map(|v| v.label())
+        .collect();
+    fnv1a_digest(&format!(
+        "coord;columns={};frames={frames};variants={};trace={}",
+        columns.join("+"),
+        labels.join("+"),
+        spec.trace
+    ))
+}
+
+/// Serializes a finished matrix job as deterministic schema-v3 JSON.
+///
+/// `cells` are raw cell-object lines harvested from worker manifests
+/// via [`manifest_cells`]; they are sorted here by [`cell_sort_key`]
+/// and embedded **unmodified**, so every cell is byte-identical to the
+/// one a single-node run would emit.
+///
+/// # Errors
+///
+/// A message when a cell line is missing its sort-key fields.
+pub fn matrix_manifest_json(
+    job: JobId,
+    spec: &MatrixSpec,
+    frames: usize,
+    cells: &[String],
+) -> Result<String, String> {
+    let mut keyed: Vec<((String, String), &String)> = Vec::with_capacity(cells.len());
+    for c in cells {
+        keyed.push((cell_sort_key(c)?, c));
+    }
+    keyed.sort_by(|a, b| a.0.cmp(&b.0));
+    let columns: Vec<String> = shards(spec).iter().map(stream_key).collect();
+    let quoted: Vec<String> = columns.iter().map(|c| json_quote(c)).collect();
+    let mut s = String::with_capacity(4096);
+    s.push_str("{\n");
+    s.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
+    s.push_str(&format!("  \"tool\": {},\n", json_quote("pimgfx-coord")));
+    s.push_str(&format!("  \"job\": {job},\n"));
+    s.push_str(&format!("  \"columns\": [{}],\n", quoted.join(", ")));
+    s.push_str(&format!("  \"frames\": {frames},\n"));
+    s.push_str(&format!("  \"trace\": {},\n", spec.trace));
+    s.push_str(&format!(
+        "  \"config_digest\": {},\n",
+        json_quote(&matrix_digest(spec, frames))
+    ));
+    s.push_str(&format!("  \"cells\": {},\n", keyed.len()));
+    s.push_str("  \"cell_reports\": [\n");
+    for (i, (_, c)) in keyed.iter().enumerate() {
+        s.push_str("    ");
+        s.push_str(c);
+        if i + 1 < keyed.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("  ]\n}\n");
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::job_manifest_json;
+    use pimgfx::Design;
+    use pimgfx_bench::manifest::CellSummary;
+    use pimgfx_bench::Variant;
+    use pimgfx_workloads::{Game, Resolution};
+
+    fn matrix() -> MatrixSpec {
+        MatrixSpec {
+            columns: vec![
+                (Game::Fear, Resolution::R640x480),
+                (Game::Doom3, Resolution::R320x240),
+                (Game::Doom3, Resolution::R320x240),
+            ],
+            variants: vec![Variant::Design(Design::Baseline)],
+            sections: Vec::new(),
+            trace: false,
+            deadline_ms: 0,
+        }
+    }
+
+    fn cell(column: &str, variant: &str) -> CellSummary {
+        CellSummary {
+            column: column.to_string(),
+            variant: variant.to_string(),
+            frames: 1,
+            total_cycles: 10,
+            texture_samples: 5,
+            avg_latency_cycles: 2.0,
+            external_bytes: 1,
+            texture_bytes: 1,
+            internal_bytes: 0,
+            energy_nj: 0.5,
+            trace_audit: "ok".to_string(),
+            frontend_wall_ms: None,
+            backend_wall_ms: None,
+            stages: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn shards_sort_and_dedup_columns() {
+        let s = shards(&matrix());
+        let keys: Vec<String> = s.iter().map(stream_key).collect();
+        assert_eq!(keys, vec!["doom3-320x240", "fear-640x480"]);
+        assert!(s.iter().all(|j| j.variants == matrix().variants));
+    }
+
+    #[test]
+    fn rendezvous_is_deterministic_and_minimally_disruptive() {
+        let workers = vec!["127.0.0.1:1".to_string(), "127.0.0.1:2".to_string()];
+        let alive = vec![true, true];
+        let keys = ["doom3-320x240", "hl2-640x480", "fear-640x480"];
+        for key in keys {
+            let a = choose_worker(key, &workers, &alive).expect("live worker");
+            let b = choose_worker(key, &workers, &alive).expect("live worker");
+            assert_eq!(a, b, "routing must be deterministic for {key}");
+        }
+        // Killing one worker moves only its keys: survivors keep theirs.
+        for key in keys {
+            let owner = choose_worker(key, &workers, &alive).expect("live worker");
+            let survivor = 1 - owner;
+            let mut one_dead = alive.clone();
+            one_dead[survivor] = false;
+            assert_eq!(
+                choose_worker(key, &workers, &one_dead),
+                Some(owner),
+                "a key must stay with its live owner when another worker dies"
+            );
+            one_dead = alive.clone();
+            one_dead[owner] = false;
+            assert_eq!(
+                choose_worker(key, &workers, &one_dead),
+                Some(survivor),
+                "a dead owner's key must re-hash to the survivor"
+            );
+        }
+        assert_eq!(
+            choose_worker("doom3-320x240", &workers, &[false, false]),
+            None
+        );
+    }
+
+    #[test]
+    fn worker_cells_round_trip_through_extraction_bytewise() {
+        let spec = JobSpec {
+            game: Game::Doom3,
+            resolution: Resolution::R320x240,
+            variants: vec![Variant::Design(Design::Baseline)],
+            sections: Vec::new(),
+            trace: false,
+            deadline_ms: 0,
+        };
+        let cells = [
+            cell("doom3-320x240", "b-pim"),
+            cell("doom3-320x240", "baseline"),
+        ];
+        let manifest = job_manifest_json(1, &spec, 1, &cells);
+        let extracted = manifest_cells(&manifest).expect("well-formed manifest");
+        assert_eq!(extracted.len(), 2);
+        for raw in &extracted {
+            assert!(
+                manifest.contains(raw.as_str()),
+                "cell bytes must pass through"
+            );
+            let (col, var) = cell_sort_key(raw).expect("keys");
+            assert_eq!(col, "doom3-320x240");
+            assert!(var == "baseline" || var == "b-pim");
+        }
+        assert!(manifest_cells("{}").is_err());
+        assert!(cell_sort_key("{\"x\": 1}").is_err());
+    }
+
+    #[test]
+    fn matrix_manifest_sorts_cells_and_is_deterministic() {
+        let spec = matrix();
+        // Arrival order scrambled across shards; output must sort by
+        // (column, variant) regardless.
+        let cells: Vec<String> = [
+            cell("fear-640x480", "baseline"),
+            cell("doom3-320x240", "baseline"),
+        ]
+        .iter()
+        .map(CellSummary::to_json_object)
+        .collect();
+        let a = matrix_manifest_json(5, &spec, 1, &cells).expect("manifest");
+        let rev: Vec<String> = cells.iter().rev().cloned().collect();
+        let b = matrix_manifest_json(5, &spec, 1, &rev).expect("manifest");
+        assert_eq!(a, b, "merge must not depend on shard arrival order");
+        let doom = a.find("\"column\": \"doom3-320x240\"").expect("doom cell");
+        let fear = a.find("\"column\": \"fear-640x480\"").expect("fear cell");
+        assert!(doom < fear, "cells must sort by column:\n{a}");
+        assert!(a.contains("\"tool\": \"pimgfx-coord\""), "{a}");
+        assert!(
+            a.contains("\"columns\": [\"doom3-320x240\", \"fear-640x480\"]"),
+            "{a}"
+        );
+        assert_eq!(a.matches('{').count(), a.matches('}').count());
+    }
+
+    #[test]
+    fn matrix_digest_is_stable_and_spec_sensitive() {
+        let spec = matrix();
+        assert_eq!(matrix_digest(&spec, 1), matrix_digest(&spec, 1));
+        assert_ne!(matrix_digest(&spec, 1), matrix_digest(&spec, 2));
+        let mut fewer = spec.clone();
+        fewer.columns.truncate(1);
+        assert_ne!(matrix_digest(&spec, 1), matrix_digest(&fewer, 1));
+    }
+}

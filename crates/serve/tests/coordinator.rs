@@ -1,0 +1,287 @@
+//! Coordinator integration tests: a real `pimgfx-coord` in front of
+//! real `pimgfx-serve` workers, all over loopback sockets.
+//!
+//! The headline assertion is distribution-transparency: a matrix
+//! manifest merged from two workers is byte-identical both to the
+//! locally computed manifest (same cells through the in-process
+//! harness) and to a single-worker coordinator run of the same matrix.
+//! The rest exercises the failure policy end-to-end: a killed worker's
+//! shard re-hashes to the survivor, a saturated worker's `Busy` is
+//! retried with backoff until the slot frees, and the coordinator's
+//! own admission control answers `Busy` with the same semantics a
+//! worker uses.
+
+use pimgfx::Design;
+use pimgfx_bench::manifest::CellSummary;
+use pimgfx_bench::{Harness, Variant};
+use pimgfx_serve::shard::{choose_worker, matrix_manifest_json};
+use pimgfx_serve::{
+    Client, CoordConfig, Coordinator, JobState, MatrixSpec, Response, ServeConfig, Server,
+};
+use pimgfx_workloads::{Game, Resolution};
+use std::net::SocketAddr;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+type DaemonHandle = JoinHandle<pimgfx_bench::HarnessResult<()>>;
+
+const WAIT: Duration = Duration::from_secs(300);
+const POLL: Duration = Duration::from_millis(50);
+
+fn start_worker(config: ServeConfig) -> (SocketAddr, DaemonHandle) {
+    let server = Server::bind(config).expect("bind worker");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+fn start_coord(config: CoordConfig) -> (SocketAddr, DaemonHandle) {
+    let coord = Coordinator::bind(config).expect("bind coordinator");
+    let addr = coord.local_addr();
+    let handle = std::thread::spawn(move || coord.run());
+    (addr, handle)
+}
+
+fn coord_config(workers: &[SocketAddr]) -> CoordConfig {
+    CoordConfig {
+        workers: workers.iter().map(SocketAddr::to_string).collect(),
+        frames: 1,
+        max_attempts: 4,
+        retry_backoff: Duration::from_millis(50),
+        ..CoordConfig::default()
+    }
+}
+
+fn matrix(columns: &[(Game, Resolution)]) -> MatrixSpec {
+    MatrixSpec {
+        columns: columns.to_vec(),
+        variants: vec![Variant::Design(Design::Baseline)],
+        sections: Vec::new(),
+        trace: false,
+        deadline_ms: 0,
+    }
+}
+
+fn submit_matrix_ok(client: &mut Client, spec: &MatrixSpec) -> u64 {
+    match client.submit_matrix(spec).expect("submit matrix") {
+        Response::Submitted(id) => id,
+        other => panic!("expected Submitted, got {other:?}"),
+    }
+}
+
+/// The matrix manifest the coordinator *should* produce, computed
+/// entirely in-process: every cell through the local harness, then the
+/// same merged-manifest writer.
+fn expected_manifest(job: u64, spec: &MatrixSpec) -> String {
+    let mut h = Harness::new(1);
+    let mut cells = Vec::new();
+    for &(game, resolution) in &spec.columns {
+        for v in &spec.variants {
+            let report = h.run(game, resolution, *v).expect("local run").clone();
+            cells.push(
+                CellSummary::from_report(
+                    &Harness::column_label(game, resolution),
+                    &v.label(),
+                    &report,
+                )
+                .to_json_object(),
+            );
+        }
+    }
+    matrix_manifest_json(job, spec, 1, &cells).expect("merge local cells")
+}
+
+fn drain(addr: SocketAddr, handle: DaemonHandle) {
+    let mut c = Client::connect(addr).expect("connect for drain");
+    c.shutdown().expect("shutdown");
+    handle.join().expect("daemon thread").expect("clean drain");
+}
+
+#[test]
+fn merged_manifest_is_byte_identical_to_local_and_single_worker_runs() {
+    let (a, a_handle) = start_worker(ServeConfig {
+        frames: 1,
+        ..ServeConfig::default()
+    });
+    let (b, b_handle) = start_worker(ServeConfig {
+        frames: 1,
+        ..ServeConfig::default()
+    });
+    let spec = matrix(&[
+        (Game::Doom3, Resolution::R320x240),
+        (Game::Fear, Resolution::R320x240),
+    ]);
+
+    // Two-worker coordinator: shards split across the fleet.
+    let (coord2, coord2_handle) = start_coord(coord_config(&[a, b]));
+    let mut client = Client::connect(coord2).expect("connect coordinator");
+    let id = submit_matrix_ok(&mut client, &spec);
+    assert_eq!(
+        client.wait(id, WAIT, POLL).expect("wait"),
+        JobState::Done { cells: 2 }
+    );
+    let merged = client.fetch_manifest(id).expect("fetch");
+    assert_eq!(
+        merged,
+        expected_manifest(id, &spec),
+        "two-worker merge must be byte-identical to the local harness manifest"
+    );
+
+    // A coordinator in front of a worker also accepts plain
+    // single-column jobs (drop-in superset of pimgfx-serve).
+    let single = pimgfx_serve::JobSpec {
+        game: Game::Doom3,
+        resolution: Resolution::R320x240,
+        variants: vec![Variant::Design(Design::Baseline)],
+        sections: Vec::new(),
+        trace: false,
+        deadline_ms: 0,
+    };
+    let sid = match client.submit(&single).expect("submit single") {
+        Response::Submitted(sid) => sid,
+        other => panic!("expected Submitted, got {other:?}"),
+    };
+    assert_eq!(
+        client.wait(sid, WAIT, POLL).expect("wait single"),
+        JobState::Done { cells: 1 }
+    );
+    let one_col = matrix(&[(Game::Doom3, Resolution::R320x240)]);
+    assert_eq!(
+        client.fetch_manifest(sid).expect("fetch single"),
+        expected_manifest(sid, &one_col)
+    );
+    drain(coord2, coord2_handle);
+
+    // Single-worker coordinator over the same matrix: byte-identical
+    // to the two-worker merge (distribution must be invisible).
+    let (coord1, coord1_handle) = start_coord(coord_config(&[a]));
+    let mut client = Client::connect(coord1).expect("connect coordinator");
+    let id1 = submit_matrix_ok(&mut client, &spec);
+    assert_eq!(
+        client.wait(id1, WAIT, POLL).expect("wait"),
+        JobState::Done { cells: 2 }
+    );
+    let single_node = client.fetch_manifest(id1).expect("fetch");
+    assert_eq!(
+        single_node,
+        expected_manifest(id1, &spec),
+        "single-worker manifest must also match the local harness"
+    );
+    // Same first-job id on both coordinators, so whole-bytes compare.
+    assert_eq!(id, id1, "both coordinators assign job 1 first");
+    assert_eq!(
+        merged, single_node,
+        "fleet size must not leak into the manifest bytes"
+    );
+    drain(coord1, coord1_handle);
+
+    drain(a, a_handle);
+    drain(b, b_handle);
+}
+
+#[test]
+fn killed_workers_shard_is_retried_on_the_survivor() {
+    let (a, a_handle) = start_worker(ServeConfig {
+        frames: 1,
+        ..ServeConfig::default()
+    });
+    let (b, b_handle) = start_worker(ServeConfig {
+        frames: 1,
+        ..ServeConfig::default()
+    });
+    let workers = vec![a.to_string(), b.to_string()];
+    let alive = vec![true, true];
+    // Pick a column the doomed worker owns, so its shard must re-hash.
+    let victim_column = Game::benchmark_matrix()
+        .into_iter()
+        .find(|&(g, r)| choose_worker(&Harness::column_label(g, r), &workers, &alive) == Some(1))
+        .expect("rendezvous spreads 10 columns over 2 workers");
+
+    // Kill worker B before the coordinator ever talks to it: its
+    // listener closes, so dispatch sees a refused connection.
+    drain(b, b_handle);
+
+    let (coord, coord_handle) = start_coord(coord_config(&[a, b]));
+    let mut client = Client::connect(coord).expect("connect coordinator");
+    let spec = matrix(&[victim_column]);
+    let id = submit_matrix_ok(&mut client, &spec);
+    assert_eq!(
+        client.wait(id, WAIT, POLL).expect("wait"),
+        JobState::Done { cells: 1 },
+        "the dead owner's shard must re-hash to the survivor"
+    );
+    assert_eq!(
+        client.fetch_manifest(id).expect("fetch"),
+        expected_manifest(id, &spec),
+        "a re-hashed shard's cells must still be byte-identical"
+    );
+
+    drain(coord, coord_handle);
+    drain(a, a_handle);
+}
+
+#[test]
+fn busy_workers_are_retried_and_coordinator_admission_sheds_load() {
+    // One worker with a single slot, artificially held: the first
+    // coordinator attempt is guaranteed to see `Busy` and must retry
+    // its owner (not re-route) until the slot frees.
+    let (a, a_handle) = start_worker(ServeConfig {
+        frames: 1,
+        queue_capacity: 1,
+        hold_before_job: Duration::from_millis(300),
+        ..ServeConfig::default()
+    });
+    let (coord, coord_handle) = start_coord(CoordConfig {
+        queue_capacity: 1,
+        max_attempts: 30,
+        retry_backoff: Duration::from_millis(50),
+        ..coord_config(&[a])
+    });
+
+    // Occupy the worker's only slot directly.
+    let mut direct = Client::connect(a).expect("connect worker");
+    let held = match direct
+        .submit(&pimgfx_serve::JobSpec {
+            game: Game::Doom3,
+            resolution: Resolution::R320x240,
+            variants: vec![Variant::Design(Design::Baseline)],
+            sections: Vec::new(),
+            trace: false,
+            deadline_ms: 0,
+        })
+        .expect("direct submit")
+    {
+        Response::Submitted(id) => id,
+        other => panic!("expected Submitted, got {other:?}"),
+    };
+
+    let mut client = Client::connect(coord).expect("connect coordinator");
+    let spec = matrix(&[(Game::Doom3, Resolution::R320x240)]);
+    let id = submit_matrix_ok(&mut client, &spec);
+
+    // The coordinator's own bound is also 1, so while that matrix is
+    // outstanding a second submission sheds with the same
+    // `Busy{depth, capacity}` semantics a worker uses.
+    match client.submit_matrix(&spec).expect("submit #2") {
+        Response::Busy { depth, capacity } => assert_eq!((depth, capacity), (1, 1)),
+        other => panic!("expected Busy backpressure, got {other:?}"),
+    }
+
+    // Both the held direct job and the retried shard must finish.
+    assert_eq!(
+        client.wait(id, WAIT, POLL).expect("wait matrix"),
+        JobState::Done { cells: 1 },
+        "the shard must survive worker-side Busy via bounded retry"
+    );
+    assert!(matches!(
+        direct.wait(held, WAIT, POLL).expect("wait direct"),
+        JobState::Done { .. }
+    ));
+    assert_eq!(
+        client.fetch_manifest(id).expect("fetch"),
+        expected_manifest(id, &spec)
+    );
+
+    drain(coord, coord_handle);
+    drain(a, a_handle);
+}

@@ -290,3 +290,71 @@ fn results_dir_is_optional() {
     client.shutdown().expect("shutdown");
     handle.join().expect("server thread").expect("clean drain");
 }
+
+#[test]
+fn stalled_connection_times_out_as_clean_disconnect() {
+    // Regression: accepted sockets used to carry no read/write
+    // timeouts, so a client that connected and stalled mid-frame
+    // pinned its handler thread forever. With an io_timeout the stall
+    // must surface as a clean disconnect — and never disturb healthy
+    // clients on other connections.
+    use std::io::{Read, Write};
+    let (addr, handle) = start(ServeConfig {
+        frames: 1,
+        io_timeout: Duration::from_millis(200),
+        ..ServeConfig::default()
+    });
+
+    // A raw socket that writes half the frame magic and stalls.
+    let mut stall = std::net::TcpStream::connect(addr).expect("connect raw");
+    stall.write_all(b"PG").expect("partial magic");
+    stall.flush().expect("flush");
+    stall
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    let mut buf = [0u8; 16];
+    match stall.read(&mut buf) {
+        // Clean EOF or a reset: the server dropped us. A stalled peer
+        // gets no best-effort error reply (writing could stall too).
+        Ok(0) => {}
+        Ok(n) => panic!("server answered a stalled half-frame with {n} bytes"),
+        // Our own 10s read timeout firing would mean the server never
+        // closed the stalled connection — the original bug.
+        Err(e) => assert!(
+            !matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ),
+            "server never closed the stalled connection: {e}"
+        ),
+    }
+
+    // A healthy client on a fresh connection is unaffected.
+    let mut client = Client::connect(addr).expect("connect healthy");
+    let id = submit_ok(&mut client, &baseline_spec());
+    assert!(matches!(
+        client.wait(id, WAIT, POLL).expect("wait"),
+        JobState::Done { .. }
+    ));
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("clean drain");
+}
+
+#[test]
+fn wait_with_duration_max_saturates_instead_of_panicking() {
+    // Regression: `Instant::now() + Duration::MAX` inside
+    // `Client::wait` panicked on entry. The overflow now saturates
+    // into "no deadline" and the wait completes normally.
+    let (addr, handle) = start(ServeConfig {
+        frames: 1,
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(addr).expect("connect");
+    let id = submit_ok(&mut client, &baseline_spec());
+    assert_eq!(
+        client.wait(id, Duration::MAX, POLL).expect("wait"),
+        JobState::Done { cells: 1 }
+    );
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("clean drain");
+}

@@ -6,8 +6,8 @@
 use pimgfx::Design;
 use pimgfx_bench::Variant;
 use pimgfx_serve::protocol::{
-    read_request, read_response, write_request, write_response, JobSpec, JobState, ProtocolError,
-    Request, Response, MAGIC, MAX_PAYLOAD, VERSION,
+    read_request, read_response, write_request, write_response, JobSpec, JobState, MatrixSpec,
+    ProtocolError, Request, Response, MAGIC, MAX_PAYLOAD, VERSION,
 };
 use pimgfx_workloads::{Game, Resolution};
 
@@ -44,9 +44,31 @@ fn encode_response(resp: &Response) -> Vec<u8> {
     buf
 }
 
+fn matrix_spec() -> MatrixSpec {
+    MatrixSpec {
+        columns: vec![
+            (Game::Doom3, Resolution::R320x240),
+            (Game::Fear, Resolution::R640x480),
+            (Game::Wolfenstein, Resolution::R1280x1024),
+        ],
+        variants: vec![Variant::Design(Design::Baseline), Variant::AnisoOff],
+        sections: vec!["fig5".to_string()],
+        trace: true,
+        deadline_ms: 9876,
+    }
+}
+
 fn all_requests() -> Vec<Request> {
     vec![
         Request::SubmitJob(spec()),
+        Request::SubmitMatrix(matrix_spec()),
+        Request::SubmitMatrix(MatrixSpec {
+            columns: Vec::new(),
+            variants: Vec::new(),
+            sections: Vec::new(),
+            trace: false,
+            deadline_ms: 0,
+        }),
         Request::JobStatus(42),
         Request::FetchResult(u64::MAX),
         Request::CancelJob(7),
@@ -204,6 +226,37 @@ fn unknown_kinds_are_rejected() {
     buf.extend_from_slice(&0u32.to_le_bytes());
     let mut cur: &[u8] = &buf;
     assert!(read_response(&mut cur).is_err());
+}
+
+#[test]
+fn truncated_matrix_frames_are_format_errors() {
+    let full = encode_request(&Request::SubmitMatrix(matrix_spec()));
+    for cut in [17, 21, 25, full.len() / 2, full.len() - 1] {
+        let mut cur: &[u8] = &full[..cut];
+        let err = read_request(&mut cur).expect_err("truncated matrix must fail");
+        assert!(
+            matches!(err, ProtocolError::Format(_)),
+            "cut at {cut}: {err}"
+        );
+    }
+}
+
+#[test]
+fn corrupt_matrix_game_tag_is_rejected() {
+    let req = Request::SubmitMatrix(MatrixSpec {
+        columns: vec![(Game::Doom3, Resolution::R320x240)],
+        variants: Vec::new(),
+        sections: Vec::new(),
+        trace: false,
+        deadline_ms: 0,
+    });
+    let mut buf = encode_request(&req);
+    // Payload layout: ncol(u32) then the first column's game tag.
+    let tag_at = 17 + 4;
+    buf[tag_at..tag_at + 4].copy_from_slice(&200u32.to_le_bytes());
+    let mut cur: &[u8] = &buf;
+    let err = read_request(&mut cur).expect_err("must reject");
+    assert!(matches!(err, ProtocolError::Format(_)), "{err}");
 }
 
 #[test]
