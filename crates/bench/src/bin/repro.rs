@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! repro [--quick] [--serial] [--trace] [--frames N] [--csv DIR]
+//!       [--synthetic LABEL] [--synthetic-res WxH]
 //!       [table1 table2 fig2 fig4 fig5 fig10 fig11 fig12 fig13 fig14
 //!        fig15 fig16 overhead ablation all]
 //! ```
@@ -14,6 +15,10 @@
 //! `--trace` prints a per-cell cycle-conservation audit table and makes
 //! an audit failure exit nonzero; the full per-stage breakdown is in
 //! the manifest either way (schema v3, see `docs/OBSERVABILITY.md`).
+//! `--synthetic LABEL` appends one procedural column (a
+//! `syn.<params>` label from `pimgfx-gen --print-label`, see
+//! `docs/WORKLOADS.md`) to the benchmark matrix, at `--synthetic-res`
+//! (default 320x240).
 //!
 //! By default the experiment matrix is precomputed in parallel across
 //! `available_parallelism()` workers (override with `PIMGFX_THREADS`,
@@ -36,7 +41,7 @@ use pimgfx_bench::{
 };
 use pimgfx_mem::TrafficClass;
 use pimgfx_types::ConfigError;
-use pimgfx_workloads::{Game, Resolution};
+use pimgfx_workloads::{Game, Resolution, SyntheticSpec, Workload};
 use std::time::Instant;
 
 /// Runs one section's printer. The section list and per-section variant
@@ -45,7 +50,7 @@ use std::time::Instant;
 fn run_section(
     section: &str,
     h: &mut Harness,
-    columns: &[(Game, Resolution)],
+    columns: &[(Workload, Resolution)],
     csv: &CsvSink,
 ) -> HarnessResult<()> {
     match section {
@@ -93,17 +98,29 @@ fn main() -> HarnessResult<()> {
         .and_then(|i| args.get(i + 1))
         .map(std::path::PathBuf::from);
     let csv = CsvSink::new(csv_dir.clone())?;
-    // `--csv <dir>` consumes its value; drop it from the figure list.
+    let synthetic = args
+        .iter()
+        .position(|a| a == "--synthetic")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let synthetic_res = args
+        .iter()
+        .position(|a| a == "--synthetic-res")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    // Value-taking flags consume their next argument; drop those
+    // values from the figure list.
+    let flag_values: Vec<&String> = ["--csv", "--synthetic", "--synthetic-res"]
+        .iter()
+        .filter_map(|flag| {
+            args.iter()
+                .position(|a| a == flag)
+                .and_then(|i| args.get(i + 1))
+        })
+        .collect();
     let figs: Vec<&str> = figs
         .into_iter()
-        .filter(|f| {
-            !args
-                .iter()
-                .position(|a| a == "--csv")
-                .and_then(|i| args.get(i + 1))
-                .map(|v| v == f)
-                .unwrap_or(false)
-        })
+        .filter(|f| !flag_values.iter().any(|v| v.as_str() == *f))
         .collect();
     let all = figs.is_empty() || figs.contains(&"all");
     // Unknown section names must fail loudly, not silently no-op.
@@ -118,7 +135,19 @@ fn main() -> HarnessResult<()> {
         .collect();
 
     let mut h = Harness::new(frames);
-    let columns = Harness::columns(quick);
+    let mut columns = Harness::columns(quick);
+    if let Some(label) = &synthetic {
+        let spec = SyntheticSpec::from_label(label).ok_or_else(|| {
+            ConfigError::new("repro", format!("invalid synthetic label `{label}`"))
+        })?;
+        spec.validate()?;
+        let res = match &synthetic_res {
+            Some(s) => Resolution::from_label(s)
+                .ok_or_else(|| ConfigError::new("repro", format!("unknown resolution `{s}`")))?,
+            None => Resolution::R320x240,
+        };
+        columns.push((Workload::Synthetic(spec), res));
+    }
 
     // Fan the union of every requested section's cells out across the
     // worker pool up front; the serial printers below then run entirely
@@ -354,7 +383,7 @@ fn table2() {
     }
 }
 
-fn fig2(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) -> HarnessResult<()> {
+fn fig2(h: &mut Harness, columns: &[(Workload, Resolution)], csv: &CsvSink) -> HarnessResult<()> {
     header("Fig. 2 — memory bandwidth usage breakdown (baseline GPU)");
     println!(
         "{:<18} {:>9} {:>13} {:>10} {:>8} {:>13}",
@@ -403,7 +432,7 @@ fn fig2(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) -> Harne
     Ok(())
 }
 
-fn fig4(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) -> HarnessResult<()> {
+fn fig4(h: &mut Harness, columns: &[(Workload, Resolution)], csv: &CsvSink) -> HarnessResult<()> {
     header("Fig. 4 — texture filtering with anisotropic filtering disabled");
     println!(
         "{:<18} {:>18} {:>18}",
@@ -444,7 +473,7 @@ fn fig4(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) -> Harne
     Ok(())
 }
 
-fn fig5(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) -> HarnessResult<()> {
+fn fig5(h: &mut Harness, columns: &[(Workload, Resolution)], csv: &CsvSink) -> HarnessResult<()> {
     header("Fig. 5 — B-PIM speedup over the baseline");
     println!(
         "{:<18} {:>16} {:>18}",
@@ -487,7 +516,7 @@ fn fig5(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) -> Harne
 
 fn design_rows(
     h: &mut Harness,
-    columns: &[(Game, Resolution)],
+    columns: &[(Workload, Resolution)],
     metric: impl Fn(&pimgfx::RenderReport, &pimgfx::RenderReport) -> f64,
 ) -> HarnessResult<Vec<(String, [f64; 4])>> {
     let variants = [
@@ -556,7 +585,7 @@ fn print_design_table(rows: &[(String, [f64; 4])], unit: &str) {
     );
 }
 
-fn fig10(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) -> HarnessResult<()> {
+fn fig10(h: &mut Harness, columns: &[(Workload, Resolution)], csv: &CsvSink) -> HarnessResult<()> {
     header("Fig. 10 — texture filtering speedup by design (A-TFIM @ 0.01pi)");
     let rows = design_rows(h, columns, |rep, base| rep.texture_speedup_vs(base))?;
     write_design_csv(csv, "fig10", &rows)?;
@@ -565,7 +594,7 @@ fn fig10(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) -> Harn
     Ok(())
 }
 
-fn fig11(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) -> HarnessResult<()> {
+fn fig11(h: &mut Harness, columns: &[(Workload, Resolution)], csv: &CsvSink) -> HarnessResult<()> {
     header("Fig. 11 — overall 3D rendering speedup by design");
     let rows = design_rows(h, columns, |rep, base| rep.render_speedup_vs(base))?;
     write_design_csv(csv, "fig11", &rows)?;
@@ -574,7 +603,7 @@ fn fig11(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) -> Harn
     Ok(())
 }
 
-fn fig12(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) -> HarnessResult<()> {
+fn fig12(h: &mut Harness, columns: &[(Workload, Resolution)], csv: &CsvSink) -> HarnessResult<()> {
     header("Fig. 12 — texture memory traffic normalized to baseline");
     println!(
         "{:<18} {:>9} {:>9} {:>9} {:>13} {:>13}",
@@ -636,7 +665,7 @@ fn fig12(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) -> Harn
     Ok(())
 }
 
-fn fig13(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) -> HarnessResult<()> {
+fn fig13(h: &mut Harness, columns: &[(Workload, Resolution)], csv: &CsvSink) -> HarnessResult<()> {
     header("Fig. 13 — energy normalized to baseline");
     let rows = design_rows(h, columns, |rep, base| rep.energy_normalized_to(base))?;
     write_design_csv(csv, "fig13", &rows)?;
@@ -645,7 +674,7 @@ fn fig13(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) -> Harn
     Ok(())
 }
 
-fn fig14(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) -> HarnessResult<()> {
+fn fig14(h: &mut Harness, columns: &[(Workload, Resolution)], csv: &CsvSink) -> HarnessResult<()> {
     header("Fig. 14 — A-TFIM render speedup vs camera-angle threshold");
     print!("{:<18}", "benchmark");
     for f in THRESHOLD_SWEEP {
@@ -697,7 +726,7 @@ fn fig14(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) -> Harn
     Ok(())
 }
 
-fn fig15(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) -> HarnessResult<()> {
+fn fig15(h: &mut Harness, columns: &[(Workload, Resolution)], csv: &CsvSink) -> HarnessResult<()> {
     header("Fig. 15 — image quality (PSNR dB vs baseline) vs threshold");
     print!("{:<18}", "benchmark");
     for f in THRESHOLD_SWEEP {
@@ -742,7 +771,7 @@ fn fig15(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) -> Harn
     Ok(())
 }
 
-fn fig16(h: &mut Harness, columns: &[(Game, Resolution)], csv: &CsvSink) -> HarnessResult<()> {
+fn fig16(h: &mut Harness, columns: &[(Workload, Resolution)], csv: &CsvSink) -> HarnessResult<()> {
     header("Fig. 16 — performance-quality tradeoff (averaged over benchmarks)");
     println!(
         "{:<12} {:>16} {:>12}",
@@ -801,7 +830,7 @@ fn overhead() {
     );
 }
 
-fn ablation(h: &mut Harness, columns: &[(Game, Resolution)]) -> HarnessResult<()> {
+fn ablation(h: &mut Harness, columns: &[(Workload, Resolution)]) -> HarnessResult<()> {
     header("Ablations — A-TFIM design choices");
     println!(
         "{:<18} {:>12} {:>14} {:>14}",
@@ -826,7 +855,7 @@ fn ablation(h: &mut Harness, columns: &[(Game, Resolution)]) -> HarnessResult<()
     // representative column.
     let (g, r) = columns[0];
     let frames = 2;
-    let scene = std::sync::Arc::new(pimgfx_workloads::build_scene(g, r, frames));
+    let scene = std::sync::Arc::new(pimgfx_workloads::build_workload(g, r, frames));
     // Every structural knob below (compression, MTU count, cube count,
     // vault bandwidth) leaves the frontend untouched, so one fragment
     // stream serves all seventeen bespoke simulations; replay is

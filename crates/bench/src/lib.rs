@@ -17,8 +17,8 @@
 //!
 //! # Parallel sweeps
 //!
-//! The experiment matrix — every `(game, resolution, variant)` cell of
-//! Table II × the design points — is embarrassingly parallel. Build the
+//! The experiment matrix — every `(workload, resolution, variant)` cell
+//! of Table II × the design points — is embarrassingly parallel. Build the
 //! cell list with [`Sweep`], fan it out with [`Harness::precompute`],
 //! then print figures from the warm cache; because the pool merges
 //! results in input order and the printers only read memoized reports,
@@ -51,7 +51,7 @@ pub mod pool;
 use pimgfx::{Design, FragmentStreamCache, FrontendCacheStats, RenderReport, SimConfig, Simulator};
 use pimgfx_quality::psnr;
 use pimgfx_types::{ConfigError, Error, FxHashSet, Result};
-use pimgfx_workloads::{Game, Resolution, SceneCache, SceneTrace};
+use pimgfx_workloads::{Game, Resolution, SceneCache, SceneTrace, Workload};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -177,9 +177,12 @@ pub fn section_variants(section: &str) -> Vec<Variant> {
     }
 }
 
-/// One cell of the experiment matrix: a benchmark column plus the
-/// design variant to simulate on it.
-pub type Cell = (Game, Resolution, Variant);
+/// One cell of the experiment matrix: a benchmark column — a
+/// [`Workload`] (Table II game or procedural [`SyntheticSpec`]) at a
+/// resolution — plus the design variant to simulate on it.
+///
+/// [`SyntheticSpec`]: pimgfx_workloads::SyntheticSpec
+pub type Cell = (Workload, Resolution, Variant);
 
 /// Builder for the job matrix a parallel sweep executes.
 ///
@@ -214,8 +217,12 @@ impl Sweep {
 
     /// The cross product `columns × variants`, columns-major (all
     /// variants of a column are adjacent, matching the serial printers'
-    /// traversal order).
-    pub fn matrix(columns: &[(Game, Resolution)], variants: &[Variant]) -> Self {
+    /// traversal order). Columns are any workload identity — bare
+    /// [`Game`]s and full [`Workload`]s both work.
+    pub fn matrix<W: Into<Workload> + Copy>(
+        columns: &[(W, Resolution)],
+        variants: &[Variant],
+    ) -> Self {
         let mut s = Self::new();
         s.extend_matrix(columns, variants);
         s
@@ -223,16 +230,25 @@ impl Sweep {
 
     /// Appends one cell.
     #[must_use]
-    pub fn cell(mut self, game: Game, res: Resolution, variant: Variant) -> Self {
-        self.cells.push((game, res, variant));
+    pub fn cell(
+        mut self,
+        workload: impl Into<Workload>,
+        res: Resolution,
+        variant: Variant,
+    ) -> Self {
+        self.cells.push((workload.into(), res, variant));
         self
     }
 
     /// Appends the cross product `columns × variants`.
-    pub fn extend_matrix(&mut self, columns: &[(Game, Resolution)], variants: &[Variant]) {
-        for &(g, r) in columns {
+    pub fn extend_matrix<W: Into<Workload> + Copy>(
+        &mut self,
+        columns: &[(W, Resolution)],
+        variants: &[Variant],
+    ) {
+        for &(w, r) in columns {
             for &v in variants {
-                self.cells.push((g, r, v));
+                self.cells.push((w.into(), r, v));
             }
         }
     }
@@ -305,7 +321,7 @@ pub struct Harness {
     streams: Arc<FragmentStreamCache>,
     // BTreeMap, not a hash map: report cells are iterated into CSV and
     // manifest output, so the container order itself must be stable.
-    reports: BTreeMap<(Game, Resolution, String), RenderReport>,
+    reports: BTreeMap<(Workload, Resolution, String), RenderReport>,
     walls: BTreeMap<(String, String), WallSplit>,
 }
 
@@ -359,20 +375,25 @@ impl Harness {
     }
 
     /// The benchmark columns of Table II, or a reduced quick set.
-    pub fn columns(quick: bool) -> Vec<(Game, Resolution)> {
-        if quick {
+    pub fn columns(quick: bool) -> Vec<(Workload, Resolution)> {
+        let games = if quick {
             vec![
                 (Game::Doom3, Resolution::R320x240),
                 (Game::Wolfenstein, Resolution::R640x480),
             ]
         } else {
             Game::benchmark_matrix()
-        }
+        };
+        games
+            .into_iter()
+            .map(|(g, r)| (Workload::Game(g), r))
+            .collect()
     }
 
-    /// Short label for a column ("doom3-320x240").
-    pub fn column_label(game: Game, res: Resolution) -> String {
-        format!("{game}-{res}")
+    /// Short label for a column ("doom3-320x240", or
+    /// "syn.&lt;params&gt;-1920x1080" for a synthetic column).
+    pub fn column_label(workload: impl Into<Workload>, res: Resolution) -> String {
+        format!("{}-{res}", workload.into())
     }
 
     /// The shared scene cache (each column's trace is built once and
@@ -434,16 +455,17 @@ impl Harness {
     /// ```
     pub fn run(
         &mut self,
-        game: Game,
+        workload: impl Into<Workload>,
         res: Resolution,
         variant: Variant,
     ) -> HarnessResult<&RenderReport> {
-        let key = (game, res, variant.label());
+        let workload = workload.into();
+        let key = (workload, res, variant.label());
         if !self.reports.contains_key(&key) {
-            let scene = self.scenes.get(game, res);
+            let scene = self.scenes.get(workload, res);
             let (report, wall) = simulate_cell(&scene, variant, &self.streams)?;
             self.walls
-                .insert((Self::column_label(game, res), variant.label()), wall);
+                .insert((Self::column_label(workload, res), variant.label()), wall);
             self.reports.insert(key.clone(), report);
         }
         self.reports
@@ -472,13 +494,13 @@ impl Harness {
         let start = Instant::now();
 
         // Deduplicate against both the sweep itself and the cache.
-        let mut seen: FxHashSet<(Game, Resolution, String)> = FxHashSet::default();
-        let mut todo: Vec<(Game, Resolution, Variant, String)> = Vec::new();
-        for &(g, r, v) in sweep.cells() {
+        let mut seen: FxHashSet<(Workload, Resolution, String)> = FxHashSet::default();
+        let mut todo: Vec<(Workload, Resolution, Variant, String)> = Vec::new();
+        for &(w, r, v) in sweep.cells() {
             let label = v.label();
-            let key = (g, r, label.clone());
+            let key = (w, r, label.clone());
             if !self.reports.contains_key(&key) && seen.insert(key) {
-                todo.push((g, r, v, label));
+                todo.push((w, r, v, label));
             }
         }
         let workers = pool::worker_count(todo.len())?;
@@ -495,17 +517,17 @@ impl Harness {
         // means phase 2's workers all hit it, so no two workers ever
         // duplicate a column's rasterization work by racing on a cold
         // entry.
-        let mut columns: Vec<(Game, Resolution)> = Vec::new();
-        for &(g, r, _, _) in &todo {
-            if !columns.contains(&(g, r)) {
-                columns.push((g, r));
+        let mut columns: Vec<(Workload, Resolution)> = Vec::new();
+        for &(w, r, _, _) in &todo {
+            if !columns.contains(&(w, r)) {
+                columns.push((w, r));
             }
         }
         let scenes = &self.scenes;
         let streams = &self.streams;
         let warmed: Vec<Result<()>> =
-            pool::run_ordered(&columns, pool::worker_count(columns.len())?, |&(g, r)| {
-                streams.get(&scenes.get(g, r)).map(|_| ())
+            pool::run_ordered(&columns, pool::worker_count(columns.len())?, |&(w, r)| {
+                streams.get(&scenes.get(w, r)).map(|_| ())
             });
         for w in warmed {
             w?;
@@ -513,16 +535,16 @@ impl Harness {
 
         // Phase 2: simulate all cells; merge preserves `todo` order.
         let results: Vec<HarnessResult<(RenderReport, WallSplit)>> =
-            pool::run_ordered(&todo, workers, |&(g, r, v, _)| {
-                simulate_cell(&scenes.get(g, r), v, streams)
+            pool::run_ordered(&todo, workers, |&(w, r, v, _)| {
+                simulate_cell(&scenes.get(w, r), v, streams)
             });
 
         let cells_executed = todo.len();
-        for ((g, r, v, label), result) in todo.into_iter().zip(results) {
+        for ((w, r, v, label), result) in todo.into_iter().zip(results) {
             let (report, wall) = result?;
             self.walls
-                .insert((Self::column_label(g, r), v.label()), wall);
-            self.reports.insert((g, r, label), report);
+                .insert((Self::column_label(w, r), v.label()), wall);
+            self.reports.insert((w, r, label), report);
         }
         Ok(SweepStats {
             cells_executed,
@@ -537,7 +559,7 @@ impl Harness {
         let mut cells: Vec<(String, String, &RenderReport)> = self
             .reports
             .iter()
-            .map(|((g, r, label), rep)| (Self::column_label(*g, *r), label.clone(), rep))
+            .map(|((w, r, label), rep)| (Self::column_label(*w, *r), label.clone(), rep))
             .collect();
         cells.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
         cells
@@ -548,9 +570,13 @@ impl Harness {
     /// # Errors
     ///
     /// Propagates configuration and simulation failures.
-    pub fn baseline(&mut self, game: Game, res: Resolution) -> HarnessResult<RenderReport> {
+    pub fn baseline(
+        &mut self,
+        workload: impl Into<Workload>,
+        res: Resolution,
+    ) -> HarnessResult<RenderReport> {
         Ok(self
-            .run(game, res, Variant::Design(Design::Baseline))?
+            .run(workload, res, Variant::Design(Design::Baseline))?
             .clone())
     }
 
@@ -564,12 +590,13 @@ impl Harness {
     /// but surfaced rather than swallowed).
     pub fn psnr_vs_baseline(
         &mut self,
-        game: Game,
+        workload: impl Into<Workload>,
         res: Resolution,
         variant: Variant,
     ) -> HarnessResult<f64> {
-        let base = self.baseline(game, res)?;
-        let img = self.run(game, res, variant)?.image.clone();
+        let workload = workload.into();
+        let base = self.baseline(workload, res)?;
+        let img = self.run(workload, res, variant)?.image.clone();
         psnr(&base.image, &img)
     }
 }
@@ -922,9 +949,45 @@ doom3,1.50
         ];
         let sweep = Sweep::matrix(&columns, &variants);
         assert_eq!(sweep.len(), 4);
-        assert_eq!(sweep.cells()[0].0, Game::Doom3);
-        assert_eq!(sweep.cells()[1].0, Game::Doom3, "variants adjacent");
-        assert_eq!(sweep.cells()[2].0, Game::Wolfenstein);
+        assert_eq!(sweep.cells()[0].0, Workload::Game(Game::Doom3));
+        assert_eq!(
+            sweep.cells()[1].0,
+            Workload::Game(Game::Doom3),
+            "variants adjacent"
+        );
+        assert_eq!(sweep.cells()[2].0, Workload::Game(Game::Wolfenstein));
+    }
+
+    #[test]
+    fn synthetic_columns_share_the_harness_with_games() {
+        use pimgfx_workloads::SyntheticSpec;
+        let spec = SyntheticSpec {
+            seed: 0xC0FFEE,
+            triangles: 400,
+            textures: 2,
+            texture_size: 32,
+            kind_mask: 0x3,
+            grazing_milli: 500,
+            overdraw: 1,
+            path_frames: 4,
+        };
+        let label = Harness::column_label(spec, Resolution::R320x240);
+        assert_eq!(label, format!("{spec}-320x240"));
+
+        let mut h = Harness::new(1);
+        let cycles = h
+            .run(
+                spec,
+                Resolution::R320x240,
+                Variant::Design(Design::Baseline),
+            )
+            .expect("synthetic cell simulates")
+            .total_cycles;
+        assert!(cycles > 0);
+        // Memoized under the synthetic workload key, reported under its label.
+        let cells = h.report_cells();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].0, label);
     }
 
     #[test]

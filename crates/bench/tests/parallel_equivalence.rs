@@ -14,7 +14,7 @@ use pimgfx_bench::manifest::CellSummary;
 use pimgfx_bench::{
     bench_scene, pool, run_variant, run_variants_parallel, CsvSink, Harness, Sweep, Variant,
 };
-use pimgfx_workloads::{Game, Resolution};
+use pimgfx_workloads::{synthesize, trace_io, Game, Resolution, SyntheticSpec};
 
 /// The sweep under test: one small column, three designs. Small enough
 /// for a debug-profile CI run, wide enough that scene sharing and the
@@ -129,6 +129,52 @@ fn one_worker_pool_is_equivalent_to_wide_pool() {
 
     assert_eq!(narrow.len(), variants.len());
     assert_eq!(narrow, wide);
+}
+
+#[test]
+fn synthetic_same_seed_is_identical_across_pool_widths() {
+    // The workload-generation half of the determinism contract in
+    // docs/WORKLOADS.md: same spec, same resolution, same frame count
+    // ⇒ byte-identical PGTR bytes — and the rendered reports must not
+    // depend on the worker-pool width (1/2/4 here are the pinned
+    // spellings of PIMGFX_THREADS=1,2,4; pinning avoids racing other
+    // tests over the environment).
+    let spec = SyntheticSpec {
+        seed: 0xC0FFEE,
+        triangles: 400,
+        textures: 2,
+        texture_size: 32,
+        kind_mask: 0x3,
+        grazing_milli: 500,
+        overdraw: 1,
+        path_frames: 2,
+    };
+    let scene = synthesize(&spec, Resolution::R320x240, 2);
+    let again = synthesize(&spec, Resolution::R320x240, 2);
+    let mut first = Vec::new();
+    let mut second = Vec::new();
+    trace_io::save_trace(&scene, &mut first).expect("serialize first");
+    trace_io::save_trace(&again, &mut second).expect("serialize second");
+    assert_eq!(first, second, "same-seed synthesis must be byte-identical");
+
+    let variants = [
+        Variant::Design(Design::Baseline),
+        Variant::Design(Design::BPim),
+        Variant::Design(Design::ATfim),
+    ];
+    let runs: Vec<Vec<CellSummary>> = [1usize, 2, 4]
+        .into_iter()
+        .map(|width| {
+            pool::run_ordered(&variants, width, |&v| {
+                run_variant(&scene, v).expect("synthetic cell")
+            })
+            .iter()
+            .map(|r| CellSummary::from_report("syn", "v", r))
+            .collect()
+        })
+        .collect();
+    assert_eq!(runs[0], runs[1], "width 2 diverged from width 1");
+    assert_eq!(runs[1], runs[2], "width 4 diverged from width 2");
 }
 
 #[test]

@@ -30,7 +30,7 @@
 use crate::fxhash::FxHashMap;
 use pimgfx_raster::{Fragment, FragmentTile, RasterStats, Rasterizer};
 use pimgfx_types::{ConfigError, Result, TileCoord};
-use pimgfx_workloads::{Game, Resolution, SceneTrace};
+use pimgfx_workloads::{Resolution, SceneTrace, Workload};
 use std::collections::hash_map::Entry;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
@@ -296,13 +296,13 @@ pub struct FrontendCacheStats {
     pub evictions: u64,
 }
 
-/// Key of one cached stream: the benchmark column identity. Frame count
+/// Key of one cached stream: the workload-column identity. Frame count
 /// participates because harnesses with different `--frames` must not
 /// share streams; `tile_px` is fixed per cache instead of per key.
-type StreamKey = (Game, Resolution, usize);
+type StreamKey = (Workload, Resolution, usize);
 
 /// A memo of [`FragmentStream`]s shared across sweep workers, keyed by
-/// (game, resolution, frame count).
+/// (workload, resolution, frame count).
 ///
 /// Same discipline as the workload scene cache: the (deterministic,
 /// hence idempotent) frontend build runs *outside* the cache lock so
@@ -380,7 +380,7 @@ impl FragmentStreamCache {
     }
 
     /// Returns the stream for `scene`, running the frontend on first
-    /// use. The scene is identified by (game, resolution, frame count)
+    /// use. The scene is identified by (workload, resolution, frame count)
     /// — the same identity the scene cache builds deterministic traces
     /// under — so two [`Arc`]s to equal traces share one stream.
     ///
@@ -389,7 +389,7 @@ impl FragmentStreamCache {
     /// Returns [`ConfigError`] when the frontend rejects the scene
     /// (no frames).
     pub fn get(&self, scene: &Arc<SceneTrace>) -> Result<Arc<FragmentStream>> {
-        let key = (scene.game, scene.resolution, scene.frame_count());
+        let key = (scene.workload, scene.resolution, scene.frame_count());
         {
             let mut st = self.lock();
             if let Some(stream) = st.map.get(&key) {
@@ -430,7 +430,7 @@ impl FragmentStreamCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pimgfx_workloads::build_scene_unchecked;
+    use pimgfx_workloads::{build_scene_unchecked, Game};
 
     fn tiny_scene(frames: usize) -> SceneTrace {
         let mut profile = Game::Doom3.profile();

@@ -5,7 +5,9 @@
 //! cycle-bearing re-runs during replay, so nothing may drift.
 
 use pimgfx::{Design, FragmentStream, FragmentStreamCache, SimConfig, Simulator};
-use pimgfx_workloads::{build_scene_unchecked, Game, Resolution, SceneTrace};
+use pimgfx_workloads::{
+    build_scene_unchecked, synthesize, Game, Resolution, SceneTrace, SyntheticSpec,
+};
 use std::sync::Arc;
 
 /// Reduced-profile scenes (debug-build friendly) for two games.
@@ -84,4 +86,47 @@ fn cached_stream_serves_a_whole_variant_column() {
     let stats = cache.stats();
     assert_eq!(stats.misses, 1, "the column's frontend ran exactly once");
     assert_eq!(stats.hits, 3, "the other three variants hit the cache");
+}
+
+#[test]
+fn synthetic_replay_is_byte_identical_to_direct() {
+    // Synthetic workloads flow through the same frontend-stream cache
+    // path the serving plane uses, so the replay contract must hold
+    // for them exactly as it does for the game columns.
+    let spec = SyntheticSpec {
+        seed: 0xC0FFEE,
+        triangles: 400,
+        textures: 2,
+        texture_size: 32,
+        kind_mask: 0x3,
+        grazing_milli: 500,
+        overdraw: 1,
+        path_frames: 2,
+    };
+    let scene = Arc::new(synthesize(&spec, Resolution::R320x240, 2));
+    let stream =
+        FragmentStream::build(Arc::clone(&scene), SimConfig::default().tile_px).expect("frontend");
+    assert_eq!(stream.frame_count(), 2);
+    assert!(
+        stream.fragment_count() > 0,
+        "synthetic scene must rasterize"
+    );
+    for design in [Design::Baseline, Design::BPim, Design::STfim, Design::ATfim] {
+        let config = SimConfig::builder()
+            .design(design)
+            .build()
+            .expect("valid config");
+        let direct = Simulator::new(config.clone())
+            .expect("valid config")
+            .render_trace(&scene)
+            .expect("direct render");
+        let replayed = Simulator::new(config)
+            .expect("valid config")
+            .render_replay(&stream)
+            .expect("replay");
+        assert_eq!(
+            direct, replayed,
+            "{spec}/{design}: synthetic replay diverged from direct render"
+        );
+    }
 }

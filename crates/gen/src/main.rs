@@ -1,0 +1,152 @@
+//! `pimgfx-gen` — procedural workload generator.
+//!
+//! ```text
+//! pimgfx-gen [--label SYN_LABEL | SPEC FLAGS] [--resolution WxH]
+//!            [--frames N] [--out PATH] [--print-label]
+//!
+//! SPEC FLAGS (each optional, defaults in brackets):
+//!   --seed S           RNG seed, decimal or 0x-hex        [3405691582]
+//!   --triangles N      triangle budget per frame          [2000]
+//!   --textures N       distinct textures                  [6]
+//!   --texture-size N   texture edge length, power of two  [64]
+//!   --kind-mask M      TextureKind bitmask, 0x-hex ok     [0xf]
+//!   --grazing-milli N  grazing-sheet share, 0..=1000      [600]
+//!   --overdraw N       depth-layer count                  [2]
+//!   --path-frames N    camera-path period in frames       [8]
+//! ```
+//!
+//! Builds a [`SyntheticSpec`], validates it, synthesizes the scene,
+//! and writes it as a `PGTR` trace stream to `--out` (default
+//! `trace.pgtr`). `--print-label` instead prints the spec's canonical
+//! `syn.…` label — the exact string `repro --synthetic`,
+//! `pimgfx-client --workload`, and `SyntheticSpec::from_label` accept
+//! — and exits without writing anything. `--label` parses such a label
+//! back into a spec (parameter flags then refine it). Same spec, same
+//! resolution, same frame count ⇒ byte-identical stream; see
+//! `docs/WORKLOADS.md` for the determinism contract.
+
+use pimgfx_workloads::{synthesize, trace_io, Resolution, SyntheticSpec, Workload};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: pimgfx-gen [--label SYN_LABEL] [--seed S] [--triangles N] \
+[--textures N] [--texture-size N] [--kind-mask M] [--grazing-milli N] [--overdraw N] \
+[--path-frames N] [--resolution WxH] [--frames N] [--out PATH] [--print-label]";
+
+fn take_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => match args.get(i + 1) {
+            Some(v) => Ok(Some(v.clone())),
+            None => Err(format!("{flag} needs a value\n{USAGE}")),
+        },
+        None => Ok(None),
+    }
+}
+
+/// Decimal or `0x`-prefixed hex (seeds and masks read naturally in hex).
+fn parse_u64(flag: &str, v: &str) -> Result<u64, String> {
+    let parsed = match v.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => v.parse(),
+    };
+    parsed.map_err(|_| format!("{flag} got an invalid value `{v}`\n{USAGE}"))
+}
+
+fn parse_u32(flag: &str, v: &str) -> Result<u32, String> {
+    u32::try_from(parse_u64(flag, v)?)
+        .map_err(|_| format!("{flag} got an out-of-range value `{v}`\n{USAGE}"))
+}
+
+fn spec_from_args(args: &[String]) -> Result<SyntheticSpec, String> {
+    let mut spec = match take_value(args, "--label")? {
+        Some(label) => SyntheticSpec::from_label(&label)
+            .ok_or_else(|| format!("--label got an unparsable label `{label}`\n{USAGE}"))?,
+        None => SyntheticSpec {
+            seed: 0xCAFE_BABE,
+            triangles: 2000,
+            textures: 6,
+            texture_size: 64,
+            kind_mask: 0xF,
+            grazing_milli: 600,
+            overdraw: 2,
+            path_frames: 8,
+        },
+    };
+    if let Some(v) = take_value(args, "--seed")? {
+        spec.seed = parse_u64("--seed", &v)?;
+    }
+    if let Some(v) = take_value(args, "--triangles")? {
+        spec.triangles = parse_u32("--triangles", &v)?;
+    }
+    if let Some(v) = take_value(args, "--textures")? {
+        spec.textures = parse_u32("--textures", &v)?;
+    }
+    if let Some(v) = take_value(args, "--texture-size")? {
+        spec.texture_size = parse_u32("--texture-size", &v)?;
+    }
+    if let Some(v) = take_value(args, "--kind-mask")? {
+        spec.kind_mask = parse_u32("--kind-mask", &v)?;
+    }
+    if let Some(v) = take_value(args, "--grazing-milli")? {
+        spec.grazing_milli = parse_u32("--grazing-milli", &v)?;
+    }
+    if let Some(v) = take_value(args, "--overdraw")? {
+        spec.overdraw = parse_u32("--overdraw", &v)?;
+    }
+    if let Some(v) = take_value(args, "--path-frames")? {
+        spec.path_frames = parse_u32("--path-frames", &v)?;
+    }
+    Ok(spec)
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let spec = spec_from_args(args)?;
+    spec.validate().map_err(|e| format!("invalid spec: {e}"))?;
+    if args.iter().any(|a| a == "--print-label") {
+        println!("{}", Workload::Synthetic(spec).label());
+        return Ok(());
+    }
+    let resolution = match take_value(args, "--resolution")? {
+        Some(v) => Resolution::from_label(&v).ok_or_else(|| {
+            let labels: Vec<String> = Resolution::ALL.iter().map(|r| r.to_string()).collect();
+            format!("--resolution must be one of: {}", labels.join(", "))
+        })?,
+        None => Resolution::R320x240,
+    };
+    let frames = match take_value(args, "--frames")? {
+        Some(v) => {
+            let n = parse_u64("--frames", &v)?;
+            usize::try_from(n).ok().filter(|&n| n > 0).ok_or_else(|| {
+                format!("--frames must be a positive frame count, got `{v}`\n{USAGE}")
+            })?
+        }
+        None => spec.path_frames as usize,
+    };
+    let out = take_value(args, "--out")?.unwrap_or_else(|| "trace.pgtr".to_string());
+
+    let scene = synthesize(&spec, resolution, frames);
+    let mut buf = Vec::new();
+    trace_io::save_trace(&scene, &mut buf).map_err(|e| format!("encoding trace: {e}"))?;
+    std::fs::write(&out, &buf).map_err(|e| format!("writing {out}: {e}"))?;
+    eprintln!(
+        "[pimgfx-gen] {} @ {resolution}, {frames} frame(s), {} draws -> {out} ({} bytes)",
+        Workload::Synthetic(spec).label(),
+        scene.draws.len(),
+        buf.len()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,22 +1,27 @@
 //! `pimgfx-client` — CLI for a running `pimgfx-serve` daemon.
 //!
 //! ```text
-//! pimgfx-client --addr HOST:PORT submit --game G --resolution WxH
+//! pimgfx-client --addr HOST:PORT submit --workload LABEL --resolution WxH
 //!               [--variant LABEL]... [--section NAME]... [--trace]
 //!               [--deadline-ms N] [--wait] [--timeout-ms N]
 //! pimgfx-client --addr HOST:PORT status JOB
 //! pimgfx-client --addr HOST:PORT wait JOB [--timeout-ms N]
 //! pimgfx-client --addr HOST:PORT fetch JOB [--out FILE]
 //! pimgfx-client --addr HOST:PORT cancel JOB
+//! pimgfx-client --addr HOST:PORT stats
 //! pimgfx-client --addr HOST:PORT shutdown
 //! ```
+//!
+//! `--workload` takes a game short label (`doom3`) or a synthetic
+//! `syn.…` label as printed by `pimgfx-gen --print-label`; `--game`
+//! remains as a game-only alias.
 //!
 //! Exit codes: 0 success, 1 failure, **2** when the server rejected a
 //! submission with `Busy` backpressure, 3 when it is shutting down.
 
 use pimgfx_serve::job::variant_from_label;
 use pimgfx_serve::{Client, JobId, JobSpec, JobState, Response};
-use pimgfx_workloads::{Game, Resolution};
+use pimgfx_workloads::{Game, Resolution, Workload};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -43,8 +48,8 @@ fn take_values(args: &[String], flag: &str) -> Vec<String> {
     out
 }
 
-fn parse_game(s: &str) -> Option<Game> {
-    Game::ALL.into_iter().find(|g| g.label() == s)
+fn parse_workload(s: &str) -> Option<Workload> {
+    Workload::from_label(s)
 }
 
 fn parse_resolution(s: &str) -> Option<Resolution> {
@@ -90,9 +95,13 @@ fn wait_and_report(client: &mut Client, id: JobId, timeout: Duration) -> ExitCod
 }
 
 fn submit(client: &mut Client, args: &[String]) -> ExitCode {
-    let Some(game) = take_value(args, "--game").as_deref().and_then(parse_game) else {
+    let workload_arg = take_value(args, "--workload").or_else(|| take_value(args, "--game"));
+    let Some(workload) = workload_arg.as_deref().and_then(parse_workload) else {
         let labels: Vec<&str> = Game::ALL.iter().map(|g| g.label()).collect();
-        eprintln!("error: --game must be one of: {}", labels.join(", "));
+        eprintln!(
+            "error: --workload must be one of: {}, or a `syn.…` label",
+            labels.join(", ")
+        );
         return ExitCode::FAILURE;
     };
     let Some(resolution) = take_value(args, "--resolution")
@@ -114,7 +123,7 @@ fn submit(client: &mut Client, args: &[String]) -> ExitCode {
         }
     }
     let spec = JobSpec {
-        game,
+        workload,
         resolution,
         variants,
         sections: take_values(args, "--section"),
@@ -172,7 +181,7 @@ fn main() -> ExitCode {
     let Some(cmd_at) = args.iter().position(|a| {
         matches!(
             a.as_str(),
-            "submit" | "status" | "wait" | "fetch" | "cancel" | "shutdown"
+            "submit" | "status" | "wait" | "fetch" | "cancel" | "stats" | "shutdown"
         )
     }) else {
         eprintln!("error: no command\n{USAGE}");
@@ -254,6 +263,19 @@ fn main() -> ExitCode {
                 }
             }
         }
+        "stats" => match client.stats() {
+            Ok(s) => {
+                println!(
+                    "scene_evictions={} stream_hits={} stream_misses={} stream_evictions={}",
+                    s.scene_evictions, s.stream_hits, s.stream_misses, s.stream_evictions
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
         "shutdown" => match client.shutdown() {
             Ok(()) => {
                 eprintln!("server is draining");

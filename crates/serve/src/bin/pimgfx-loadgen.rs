@@ -4,13 +4,19 @@
 //! pimgfx-loadgen --target HOST:PORT [--clients K] [--jobs N]
 //!                [--arrival closed|open] [--think-ms MEAN]
 //!                [--variant LABEL] [--seed S] [--timeout-s N]
-//!                [--out PATH]
+//!                [--synthetic K] [--out PATH]
 //! ```
 //!
 //! Drives a `pimgfx-serve` worker or a `pimgfx-coord` coordinator with
 //! K concurrent clients, each submitting single-column jobs that
-//! rotate deterministically through the Table II benchmark matrix.
-//! Two arrival models:
+//! rotate deterministically through the Table II benchmark matrix —
+//! or, with `--synthetic K`, through K distinct seeded synthetic
+//! workloads (seeds `--seed .. --seed+K-1`). Pointing that rotation at
+//! a worker whose `--stream-capacity` is below K is the cache-eviction
+//! stress profile from `docs/WORKLOADS.md`: the working set cannot
+//! fit, so the end-of-run `cache` block in `BENCH_serve.json` (queried
+//! from the target over the wire) must report nonzero
+//! `stream_evictions`. Two arrival models:
 //!
 //! * `closed` (default): each client submits its next job the moment
 //!   the previous one finishes — the classic closed loop whose
@@ -22,12 +28,14 @@
 //! `Busy{depth, capacity}` answers are counted and retried after a
 //! short backoff (load shedding is the system working, not a failure).
 //! Results land in `BENCH_serve.json` (see `docs/SERVING.md` for the
-//! field guide): p50/p95/p99/mean/max job latency and the achieved
-//! throughput over the measurement wall.
+//! field guide): p50/p95/p99/mean/max job latency, the achieved
+//! throughput over the measurement wall, and the target's cumulative
+//! cache counters.
 
+use pimgfx_serve::protocol::CacheStats;
 use pimgfx_serve::{Client, JobSpec, Response};
 use pimgfx_types::TinyRng;
-use pimgfx_workloads::Game;
+use pimgfx_workloads::{Game, Resolution, SyntheticSpec, Workload};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -35,7 +43,7 @@ use std::time::{Duration, Instant};
 
 const USAGE: &str = "usage: pimgfx-loadgen --target HOST:PORT [--clients K] [--jobs N] \
 [--arrival closed|open] [--think-ms MEAN] [--variant LABEL] [--seed S] [--timeout-s N] \
-[--out PATH]";
+[--synthetic K] [--out PATH]";
 
 const BUSY_BACKOFF: Duration = Duration::from_millis(20);
 const POLL: Duration = Duration::from_millis(10);
@@ -65,6 +73,7 @@ struct LoadConfig {
     variant: String,
     seed: u64,
     timeout: Duration,
+    synthetic: u64,
     out: String,
 }
 
@@ -102,6 +111,10 @@ fn config_from_args(args: &[String]) -> Result<LoadConfig, String> {
         Some(v) => parse("--timeout-s", &v)?,
         None => 300u64,
     });
+    let synthetic = match take_value(args, "--synthetic")? {
+        Some(v) => parse("--synthetic", &v)?,
+        None => 0u64,
+    };
     let out = take_value(args, "--out")?.unwrap_or_else(|| "BENCH_serve.json".to_string());
     if clients == 0 || jobs == 0 {
         return Err(format!("--clients and --jobs must be at least 1\n{USAGE}"));
@@ -115,6 +128,7 @@ fn config_from_args(args: &[String]) -> Result<LoadConfig, String> {
         variant,
         seed,
         timeout,
+        synthetic,
         out,
     })
 }
@@ -134,15 +148,37 @@ fn think_time(rng: &mut TinyRng, mean_ms: u64) -> Duration {
     Duration::from_millis(ms as u64)
 }
 
+/// The `--synthetic K` working set: K distinct seeded specs. Small
+/// enough to render fast, distinct seeds so every column is its own
+/// scene/stream cache entry — the eviction pressure comes from K
+/// exceeding the target's `--stream-capacity`.
+fn synthetic_columns(base_seed: u64, k: u64) -> Vec<(Workload, Resolution)> {
+    (0..k)
+        .map(|j| {
+            let spec = SyntheticSpec {
+                seed: base_seed.wrapping_add(j),
+                triangles: 200,
+                textures: 1,
+                texture_size: 16,
+                kind_mask: 0x1,
+                grazing_milli: 400,
+                overdraw: 1,
+                path_frames: 2,
+            };
+            (Workload::Synthetic(spec), Resolution::R320x240)
+        })
+        .collect()
+}
+
 /// One client's closed/open loop. Pulls global job indices until the
-/// quota is spent; every job rotates through the benchmark matrix.
+/// quota is spent; every job rotates through the column working set.
 fn run_client(
     config: &LoadConfig,
+    columns: &[(Workload, Resolution)],
     client_index: usize,
     next_job: &AtomicU64,
     tally: &Mutex<Tally>,
 ) {
-    let columns = Game::benchmark_matrix();
     let mut rng = TinyRng::seed_from_u64(config.seed ^ (client_index as u64).wrapping_mul(0x9e37));
     let mut client = match Client::connect(&config.target) {
         Ok(c) => c,
@@ -166,9 +202,9 @@ fn run_client(
         if config.open_arrival {
             std::thread::sleep(think_time(&mut rng, config.think_ms));
         }
-        let (game, resolution) = columns[(i as usize) % columns.len()];
+        let (workload, resolution) = columns[(i as usize) % columns.len()];
         let spec = JobSpec {
-            game,
+            workload,
             resolution,
             variants: Vec::new(),
             sections: Vec::new(),
@@ -233,7 +269,7 @@ fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
 }
 
-fn report_json(config: &LoadConfig, tally: &Tally, wall: Duration) -> String {
+fn report_json(config: &LoadConfig, tally: &Tally, wall: Duration, cache: &CacheStats) -> String {
     let mut sorted = tally.latencies_ms.clone();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let done = sorted.len() as u64;
@@ -250,14 +286,17 @@ fn report_json(config: &LoadConfig, tally: &Tally, wall: Duration) -> String {
         0.0
     };
     format!(
-        "{{\n  \"schema_version\": 1,\n  \"tool\": \"pimgfx-loadgen\",\n  \
+        "{{\n  \"schema_version\": 2,\n  \"tool\": \"pimgfx-loadgen\",\n  \
          \"target\": \"{target}\",\n  \"arrival\": \"{arrival}\",\n  \
          \"clients\": {clients},\n  \"seed\": {seed},\n  \"variant\": \"{variant}\",\n  \
+         \"synthetic\": {synthetic},\n  \
          \"jobs_requested\": {requested},\n  \"jobs_done\": {done},\n  \
          \"jobs_failed\": {failed},\n  \"busy_rejections\": {busy},\n  \
          \"wall_ms\": {wall_ms:.3},\n  \"latency_ms\": {{\n    \
          \"p50\": {p50:.3},\n    \"p95\": {p95:.3},\n    \"p99\": {p99:.3},\n    \
-         \"mean\": {mean:.3},\n    \"max\": {max:.3}\n  }},\n  \
+         \"mean\": {mean:.3},\n    \"max\": {max:.3}\n  }},\n  \"cache\": {{\n    \
+         \"scene_evictions\": {scene_ev},\n    \"stream_hits\": {shits},\n    \
+         \"stream_misses\": {smisses},\n    \"stream_evictions\": {stream_ev}\n  }},\n  \
          \"throughput_jobs_per_sec\": {throughput:.3}\n}}\n",
         target = config.target,
         arrival = if config.open_arrival {
@@ -268,6 +307,7 @@ fn report_json(config: &LoadConfig, tally: &Tally, wall: Duration) -> String {
         clients = config.clients,
         seed = config.seed,
         variant = config.variant,
+        synthetic = config.synthetic,
         requested = config.jobs,
         done = done,
         failed = tally.failed,
@@ -278,6 +318,10 @@ fn report_json(config: &LoadConfig, tally: &Tally, wall: Duration) -> String {
         p99 = percentile(&sorted, 99.0),
         mean = mean,
         max = max,
+        scene_ev = cache.scene_evictions,
+        shits = cache.stream_hits,
+        smisses = cache.stream_misses,
+        stream_ev = cache.stream_evictions,
         throughput = throughput,
     )
 }
@@ -306,6 +350,14 @@ fn main() -> ExitCode {
         },
         config.target
     );
+    let columns: Vec<(Workload, Resolution)> = if config.synthetic > 0 {
+        synthetic_columns(config.seed, config.synthetic)
+    } else {
+        Game::benchmark_matrix()
+            .into_iter()
+            .map(|(g, r)| (Workload::Game(g), r))
+            .collect()
+    };
     let next_job = AtomicU64::new(0);
     let tally = Mutex::new(Tally::default());
     let started = Instant::now();
@@ -313,14 +365,20 @@ fn main() -> ExitCode {
     std::thread::scope(|scope| {
         for k in 0..config.clients {
             let config = Arc::clone(&config);
+            let columns = &columns;
             let next_job = &next_job;
             let tally = &tally;
-            scope.spawn(move || run_client(&config, k, next_job, tally));
+            scope.spawn(move || run_client(&config, columns, k, next_job, tally));
         }
     });
     let wall = started.elapsed();
+    // Snapshot the target's cumulative cache counters; a dead target
+    // at this point leaves zeros rather than failing the whole run.
+    let cache = Client::connect(&config.target)
+        .and_then(|mut c| c.stats())
+        .unwrap_or_default();
     let tally = tally.lock().expect("tally lock");
-    let report = report_json(&config, &tally, wall);
+    let report = report_json(&config, &tally, wall, &cache);
     if let Err(e) = std::fs::write(&config.out, &report) {
         eprintln!("error: writing {}: {e}", config.out);
         return ExitCode::FAILURE;

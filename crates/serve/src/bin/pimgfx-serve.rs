@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! pimgfx-serve [--addr HOST:PORT] [--frames N] [--queue-depth N]
-//!              [--deadline-ms N] [--scene-cache N] [--results DIR]
-//!              [--port-file PATH] [--io-timeout-ms N]
+//!              [--deadline-ms N] [--scene-cache N] [--stream-cache N]
+//!              [--results DIR] [--port-file PATH] [--io-timeout-ms N]
 //! ```
 //!
 //! `--addr 127.0.0.1:0` binds an ephemeral port; `--port-file` writes
@@ -21,7 +21,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 const USAGE: &str = "usage: pimgfx-serve [--addr HOST:PORT] [--frames N] [--queue-depth N] \
-[--deadline-ms N] [--scene-cache N] [--results DIR] [--port-file PATH] [--io-timeout-ms N]";
+[--deadline-ms N] [--scene-cache N] [--stream-cache N] [--results DIR] [--port-file PATH] \
+[--io-timeout-ms N]";
 
 fn take_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
     match args.iter().position(|a| a == flag) {
@@ -57,6 +58,11 @@ fn config_from_args(args: &[String]) -> Result<(ServeConfig, Option<String>), St
     }
     if let Some(v) = take_value(args, "--scene-cache")? {
         config.scene_capacity = Some(parse("--scene-cache", &v)?);
+    }
+    // Bounds the fragment-stream cache independently of the scene
+    // cache — the knob the loadgen eviction stress profile turns.
+    if let Some(v) = take_value(args, "--stream-cache")? {
+        config.stream_capacity = Some(parse("--stream-cache", &v)?);
     }
     if let Some(v) = take_value(args, "--results")? {
         config.results_dir = Some(std::path::PathBuf::from(v));

@@ -3,7 +3,8 @@
 
 use crate::deadline::{deadline_after, expired};
 use crate::protocol::{
-    self, JobId, JobSpec, JobState, MatrixSpec, ProtoResult, ProtocolError, Request, Response,
+    self, CacheStats, JobId, JobSpec, JobState, MatrixSpec, ProtoResult, ProtocolError, Request,
+    Response,
 };
 use std::io::BufReader;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -119,6 +120,21 @@ impl Client {
     pub fn cancel(&mut self, id: JobId) -> ProtoResult<JobState> {
         match self.call(&Request::CancelJob(id))? {
             Response::Status(state) => Ok(state),
+            Response::Error(e) => Err(ProtocolError::Format(e)),
+            other => unexpected(&other),
+        }
+    }
+
+    /// Fetches the server's cumulative cache counters (a coordinator
+    /// answers with the sum over its live workers).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or a server-side error reply as
+    /// [`ProtocolError::Format`].
+    pub fn stats(&mut self) -> ProtoResult<CacheStats> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
             Response::Error(e) => Err(ProtocolError::Format(e)),
             other => unexpected(&other),
         }

@@ -36,13 +36,13 @@
 
 use crate::client::Client;
 use crate::job;
-use crate::protocol::{JobId, JobSpec, JobState, MatrixSpec, Request, Response};
+use crate::protocol::{CacheStats, JobId, JobSpec, JobState, MatrixSpec, Request, Response};
 use crate::queue::{BoundedQueue, PushError};
 use crate::server::DrainHandle;
 use crate::shard::{choose_worker, manifest_cells, matrix_manifest_json, shards, stream_key};
 use pimgfx_bench::{HarnessResult, SECTIONS};
 use pimgfx_types::{ConfigError, Error, FxHashMap};
-use pimgfx_workloads::Game;
+use pimgfx_workloads::{Game, Workload};
 use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -530,7 +530,8 @@ fn execute_matrix(shared: &Shared, id: JobId) {
             }
         }
     }
-    let manifest = match matrix_manifest_json(id, &spec, shared.config.frames, &cells) {
+    let cache = fleet_stats(shared);
+    let manifest = match matrix_manifest_json(id, &spec, shared.config.frames, &cells, &cache) {
         Ok(m) => m,
         Err(e) => {
             shared.set_phase(id, Phase::Failed(format!("writing merged manifest: {e}")));
@@ -597,7 +598,7 @@ fn dispatch(shared: &Shared, req: &Request) -> Response {
         Request::SubmitJob(spec) => submit(
             shared,
             &MatrixSpec {
-                columns: vec![(spec.game, spec.resolution)],
+                columns: vec![(spec.workload, spec.resolution)],
                 variants: spec.variants.clone(),
                 sections: spec.sections.clone(),
                 trace: spec.trace,
@@ -611,7 +612,27 @@ fn dispatch(shared: &Shared, req: &Request) -> Response {
             shared.draining.store(true, Ordering::SeqCst);
             Response::ShuttingDown
         }
+        Request::Stats => Response::Stats(fleet_stats(shared)),
     }
+}
+
+/// Sums the cache counters of every reachable worker (best-effort: a
+/// dead worker contributes zeros — the counters exist for eviction
+/// visibility, not exact accounting).
+fn fleet_stats(shared: &Shared) -> CacheStats {
+    let mut sum = CacheStats::default();
+    for addr in &shared.config.workers {
+        let Ok(mut c) = worker_client(&shared.config, addr) else {
+            continue;
+        };
+        if let Ok(s) = c.stats() {
+            sum.scene_evictions += s.scene_evictions;
+            sum.stream_hits += s.stream_hits;
+            sum.stream_misses += s.stream_misses;
+            sum.stream_evictions += s.stream_evictions;
+        }
+    }
+    sum
 }
 
 fn submit(shared: &Shared, spec: &MatrixSpec) -> Response {
@@ -622,12 +643,23 @@ fn submit(shared: &Shared, spec: &MatrixSpec) -> Response {
         return Response::Error("matrix selects no columns".to_string());
     }
     let matrix = Game::benchmark_matrix();
-    for &(game, res) in &spec.columns {
-        if !matrix.contains(&(game, res)) {
-            return Response::Error(format!(
-                "{} is not a Table II benchmark column",
-                pimgfx_bench::Harness::column_label(game, res)
-            ));
+    for &(workload, res) in &spec.columns {
+        match workload {
+            Workload::Game(game) => {
+                if !matrix.contains(&(game, res)) {
+                    return Response::Error(format!(
+                        "{} is not a Table II benchmark column",
+                        pimgfx_bench::Harness::column_label(workload, res)
+                    ));
+                }
+            }
+            // Synthetic columns are open-ended: any valid spec at any
+            // resolution is renderable.
+            Workload::Synthetic(syn) => {
+                if let Err(e) = syn.validate() {
+                    return Response::Error(format!("invalid synthetic workload: {e}"));
+                }
+            }
         }
     }
     for s in &spec.sections {

@@ -69,7 +69,7 @@ pub fn job_digest(spec: &JobSpec, frames: usize) -> String {
     let labels: Vec<String> = job_variants(spec).iter().map(|v| v.label()).collect();
     fnv1a_digest(&format!(
         "serve;column={};frames={frames};variants={};trace={}",
-        Harness::column_label(spec.game, spec.resolution),
+        Harness::column_label(spec.workload, spec.resolution),
         labels.join("+"),
         spec.trace
     ))
@@ -96,7 +96,7 @@ pub fn job_manifest_json(
     s.push_str(&format!("  \"job\": {job},\n"));
     s.push_str(&format!(
         "  \"column\": {},\n",
-        json_quote(&Harness::column_label(spec.game, spec.resolution))
+        json_quote(&Harness::column_label(spec.workload, spec.resolution))
     ));
     s.push_str(&format!("  \"frames\": {frames},\n"));
     s.push_str(&format!("  \"trace\": {},\n", spec.trace));
@@ -125,7 +125,7 @@ mod tests {
 
     fn spec() -> JobSpec {
         JobSpec {
-            game: Game::Doom3,
+            workload: Game::Doom3.into(),
             resolution: Resolution::R320x240,
             variants: vec![Variant::Design(Design::Baseline)],
             sections: vec!["fig5".to_string()],

@@ -23,10 +23,10 @@
 use pimgfx::Design;
 use pimgfx_bench::Variant;
 use pimgfx_workloads::trace_io::{
-    game_from_tag, game_tag, get_f32, get_u32, put_f32, put_u32, resolution_from_tag,
+    get_f32, get_u32, get_workload, put_f32, put_u32, put_workload, resolution_from_tag,
     resolution_tag,
 };
-use pimgfx_workloads::{Game, Resolution};
+use pimgfx_workloads::{Resolution, Workload};
 use std::fmt;
 use std::io::{self, Read, Write};
 
@@ -42,7 +42,13 @@ pub const MAGIC: [u8; 5] = *b"PGRPC";
 ///
 /// v2 added [`MatrixSpec`] and [`Request::SubmitMatrix`] (wire kind 6)
 /// for the `pimgfx-coord` sharding coordinator.
-pub const VERSION: u32 = 2;
+///
+/// v3 widened the benchmark-column identity from a bare game tag to a
+/// [`Workload`] tag (games 0–4 unchanged on the wire; synthetic 5
+/// followed by the spec parameters, reusing the `PGTR` workload
+/// codec), and added [`Request::Stats`] (wire kind 7) /
+/// [`Response::Stats`] (kind 107) exposing worker cache counters.
+pub const VERSION: u32 = 3;
 
 /// Hard cap on a frame's declared payload length (16 MiB): a corrupt
 /// or hostile length field must not drive a huge allocation.
@@ -51,13 +57,15 @@ pub const MAX_PAYLOAD: usize = 1 << 24;
 /// Server-assigned job identifier, unique per daemon process.
 pub type JobId = u64;
 
-/// A job submission: one Table II benchmark column plus the variant
-/// set to simulate over it.
+/// A job submission: one benchmark column plus the variant set to
+/// simulate over it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobSpec {
-    /// Benchmark game (Table II).
-    pub game: Game,
-    /// Frame resolution; must be in the game's Table II set.
+    /// Benchmark workload: a Table II game or a procedural
+    /// `syn.<params>` spec.
+    pub workload: Workload,
+    /// Frame resolution; must be in the game's Table II set (synthetic
+    /// workloads accept any resolution).
     pub resolution: Resolution,
     /// Explicit design variants to simulate.
     pub variants: Vec<Variant>,
@@ -72,14 +80,14 @@ pub struct JobSpec {
     pub deadline_ms: u64,
 }
 
-/// A matrix submission: several Table II benchmark columns sharing one
-/// variant set. Only the `pimgfx-coord` coordinator accepts these — it
-/// shards the matrix into per-column [`JobSpec`]s and routes each
-/// shard to the `pimgfx-serve` worker owning that column's stream key.
+/// A matrix submission: several benchmark columns sharing one variant
+/// set. Only the `pimgfx-coord` coordinator accepts these — it shards
+/// the matrix into per-column [`JobSpec`]s and routes each shard to
+/// the `pimgfx-serve` worker owning that column's stream key.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MatrixSpec {
-    /// Benchmark columns (Table II pairs) to simulate.
-    pub columns: Vec<(Game, Resolution)>,
+    /// Benchmark columns (workload + resolution) to simulate.
+    pub columns: Vec<(Workload, Resolution)>,
     /// Explicit design variants to simulate on every column.
     pub variants: Vec<Variant>,
     /// Figure/section names whose variant sets are added to
@@ -92,7 +100,23 @@ pub struct MatrixSpec {
     pub deadline_ms: u64,
 }
 
-/// Client-to-server messages. Wire kinds 1–6, in declaration order.
+/// A worker's cache counters, cumulative since process start. Queried
+/// via [`Request::Stats`] — the coordinator sums them across workers
+/// at matrix merge time, and `pimgfx-loadgen` reports them in
+/// `BENCH_serve.json` (wire: four u64s).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Scene-cache evictions (0 while the cache is unbounded).
+    pub scene_evictions: u64,
+    /// Frontend-stream cache hits.
+    pub stream_hits: u64,
+    /// Frontend-stream cache misses.
+    pub stream_misses: u64,
+    /// Frontend-stream cache evictions (0 while unbounded).
+    pub stream_evictions: u64,
+}
+
+/// Client-to-server messages. Wire kinds 1–7, in declaration order.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Submit a job; answered with `Submitted`, `Busy`, or an error.
@@ -109,6 +133,9 @@ pub enum Request {
     /// Submit a multi-column matrix job (coordinator only; a plain
     /// `pimgfx-serve` worker answers with an error).
     SubmitMatrix(MatrixSpec),
+    /// Ask for the server's cumulative [`CacheStats`] (a coordinator
+    /// answers with the sum over its workers).
+    Stats,
 }
 
 /// Lifecycle of a submitted job. Wire tags 0–4, in declaration order.
@@ -134,7 +161,7 @@ pub enum JobState {
     Cancelled(String),
 }
 
-/// Server-to-client messages. Wire kinds 101–106, in declaration order.
+/// Server-to-client messages. Wire kinds 101–107, in declaration order.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// Job accepted under this identifier.
@@ -157,6 +184,8 @@ pub enum Response {
     Error(String),
     /// The server is draining and refuses new work.
     ShuttingDown,
+    /// The server's cumulative cache counters.
+    Stats(CacheStats),
 }
 
 // protocol:frames:end
@@ -308,8 +337,14 @@ fn get_variant(cur: &mut &[u8]) -> ProtoResult<Variant> {
     }
 }
 
+/// Maps a `PGTR` workload-codec failure (unknown tag, invalid
+/// synthetic parameters, truncation) into a frame-format error.
+fn pget_workload(cur: &mut &[u8]) -> ProtoResult<Workload> {
+    get_workload(cur).map_err(|e| ProtocolError::Format(format!("{e}")))
+}
+
 fn put_spec<W: Write>(w: &mut W, spec: &JobSpec) -> ProtoResult<()> {
-    put_u32(w, game_tag(spec.game))?;
+    put_workload(w, spec.workload)?;
     put_u32(w, resolution_tag(spec.resolution))?;
     let Ok(nvar) = u32::try_from(spec.variants.len()) else {
         return fmt_err("too many variants");
@@ -331,7 +366,7 @@ fn put_spec<W: Write>(w: &mut W, spec: &JobSpec) -> ProtoResult<()> {
 }
 
 fn get_spec(cur: &mut &[u8]) -> ProtoResult<JobSpec> {
-    let game = game_from_tag(pget_u32(cur)?).map_err(|e| ProtocolError::Format(format!("{e}")))?;
+    let workload = pget_workload(cur)?;
     let resolution =
         resolution_from_tag(pget_u32(cur)?).map_err(|e| ProtocolError::Format(format!("{e}")))?;
     let nvar = pget_u32(cur)? as usize;
@@ -347,7 +382,7 @@ fn get_spec(cur: &mut &[u8]) -> ProtoResult<JobSpec> {
     let trace = get_bool(cur)?;
     let deadline_ms = get_u64(cur)?;
     Ok(JobSpec {
-        game,
+        workload,
         resolution,
         variants,
         sections,
@@ -361,8 +396,8 @@ fn put_matrix<W: Write>(w: &mut W, spec: &MatrixSpec) -> ProtoResult<()> {
         return fmt_err("too many columns");
     };
     put_u32(w, ncol)?;
-    for &(game, res) in &spec.columns {
-        put_u32(w, game_tag(game))?;
+    for &(workload, res) in &spec.columns {
+        put_workload(w, workload)?;
         put_u32(w, resolution_tag(res))?;
     }
     let Ok(nvar) = u32::try_from(spec.variants.len()) else {
@@ -388,11 +423,10 @@ fn get_matrix(cur: &mut &[u8]) -> ProtoResult<MatrixSpec> {
     let ncol = pget_u32(cur)? as usize;
     let mut columns = Vec::new();
     for _ in 0..ncol {
-        let game =
-            game_from_tag(pget_u32(cur)?).map_err(|e| ProtocolError::Format(format!("{e}")))?;
+        let workload = pget_workload(cur)?;
         let res = resolution_from_tag(pget_u32(cur)?)
             .map_err(|e| ProtocolError::Format(format!("{e}")))?;
-        columns.push((game, res));
+        columns.push((workload, res));
     }
     let nvar = pget_u32(cur)? as usize;
     let mut variants = Vec::new();
@@ -566,6 +600,7 @@ pub fn write_request<W: Write>(w: &mut W, req: &Request) -> ProtoResult<()> {
             put_matrix(&mut payload, spec)?;
             6
         }
+        Request::Stats => 7,
     };
     w.write_all(&frame(kind, &payload)?)?;
     w.flush()?;
@@ -590,6 +625,7 @@ pub fn read_request<R: Read>(r: &mut R) -> ProtoResult<Option<Request>> {
         4 => Request::CancelJob(get_u64(&mut cur)?),
         5 => Request::Shutdown,
         6 => Request::SubmitMatrix(get_matrix(&mut cur)?),
+        7 => Request::Stats,
         other => return fmt_err(format!("unknown request kind {other}")),
     };
     reject_trailing(cur, "request")?;
@@ -626,6 +662,13 @@ pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> ProtoResult<()> {
             105
         }
         Response::ShuttingDown => 106,
+        Response::Stats(s) => {
+            put_u64(&mut payload, s.scene_evictions)?;
+            put_u64(&mut payload, s.stream_hits)?;
+            put_u64(&mut payload, s.stream_misses)?;
+            put_u64(&mut payload, s.stream_evictions)?;
+            107
+        }
     };
     w.write_all(&frame(kind, &payload)?)?;
     w.flush()?;
@@ -657,6 +700,12 @@ pub fn read_response<R: Read>(r: &mut R) -> ProtoResult<Response> {
         },
         105 => Response::Error(get_str(&mut cur)?),
         106 => Response::ShuttingDown,
+        107 => Response::Stats(CacheStats {
+            scene_evictions: get_u64(&mut cur)?,
+            stream_hits: get_u64(&mut cur)?,
+            stream_misses: get_u64(&mut cur)?,
+            stream_evictions: get_u64(&mut cur)?,
+        }),
         other => return fmt_err(format!("unknown response kind {other}")),
     };
     reject_trailing(cur, "response")?;

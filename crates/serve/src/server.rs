@@ -11,13 +11,15 @@
 
 use crate::deadline::{deadline_after, expired};
 use crate::job::{job_manifest_json, job_variants};
-use crate::protocol::{self, JobId, JobSpec, JobState, ProtocolError, Request, Response};
+use crate::protocol::{
+    self, CacheStats, JobId, JobSpec, JobState, ProtocolError, Request, Response,
+};
 use crate::queue::{BoundedQueue, PushError};
 use pimgfx::{FragmentStreamCache, SimConfig};
 use pimgfx_bench::manifest::CellSummary;
 use pimgfx_bench::{pool, run_variant_replay, Harness, HarnessResult, SECTIONS};
 use pimgfx_types::{ConfigError, Error, FxHashMap};
-use pimgfx_workloads::{Game, SceneCache};
+use pimgfx_workloads::{Game, SceneCache, Workload};
 use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -41,6 +43,11 @@ pub struct ServeConfig {
     /// Optional LRU bound on resident scene columns (`None` =
     /// unbounded, matching the local harness default).
     pub scene_capacity: Option<usize>,
+    /// Optional LRU bound on resident frontend streams. `None` mirrors
+    /// `scene_capacity` (a stream is useless once its scene is gone);
+    /// a tighter explicit bound lets `pimgfx-loadgen --synthetic`
+    /// soaks force stream evictions without evicting scenes.
+    pub stream_capacity: Option<usize>,
     /// When set, every finished job's manifest is also flushed to
     /// `<dir>/job-<id>.json`.
     pub results_dir: Option<PathBuf>,
@@ -64,6 +71,7 @@ impl Default for ServeConfig {
             queue_capacity: 4,
             default_deadline_ms: 0,
             scene_capacity: None,
+            stream_capacity: None,
             results_dir: None,
             hold_before_job: Duration::ZERO,
             io_timeout: Duration::from_secs(30),
@@ -164,6 +172,13 @@ impl Server {
             )
             .into());
         }
+        if let Some(0) = config.stream_capacity {
+            return Err(ConfigError::new(
+                "pimgfx-serve",
+                "stream cache capacity must be at least 1 column (omit for unbounded)",
+            )
+            .into());
+        }
         let listener = TcpListener::bind(&config.addr)
             .map_err(|e| Error::io(format!("binding {}", config.addr), e))?;
         let addr = listener
@@ -173,10 +188,11 @@ impl Server {
             Some(cap) => SceneCache::with_capacity(config.frames, cap),
             None => SceneCache::new(config.frames),
         };
-        // The stream cache mirrors the scene cache's bound: a column's
-        // frontend artifact is useless once its scene is evicted.
+        // The stream cache mirrors the scene cache's bound unless an
+        // explicit stream bound is set: a column's frontend artifact
+        // is useless once its scene is evicted.
         let tile_px = SimConfig::default().tile_px;
-        let streams = match config.scene_capacity {
+        let streams = match config.stream_capacity.or(config.scene_capacity) {
             Some(cap) => FragmentStreamCache::with_capacity(tile_px, cap),
             None => FragmentStreamCache::new(tile_px),
         };
@@ -317,9 +333,10 @@ fn execute_job(shared: &Shared, id: JobId) {
             return;
         }
     };
-    // Columns are validated against Table II at submission, so the
-    // scene build cannot hit the cache's invalid-column panic here.
-    let scene = shared.scenes.get(spec.game, spec.resolution);
+    // Columns are validated at submission — games against Table II,
+    // synthetic specs via `SyntheticSpec::validate` — so the scene
+    // build cannot hit the cache's invalid-column panic here.
+    let scene = shared.scenes.get(spec.workload, spec.resolution);
     // Pre-warm the column's frontend stream on the scheduler thread so
     // pool workers hitting a cold column don't race duplicate builds.
     if let Err(e) = shared.streams.get(&scene) {
@@ -357,7 +374,7 @@ fn execute_job(shared: &Shared, id: JobId) {
         return;
     }
 
-    let column = Harness::column_label(spec.game, spec.resolution);
+    let column = Harness::column_label(spec.workload, spec.resolution);
     let mut cells: Vec<CellSummary> = Vec::with_capacity(total);
     for (v, res) in variants.iter().zip(results) {
         match res {
@@ -473,6 +490,18 @@ fn dispatch(shared: &Shared, req: &Request) -> Response {
              submit single-column jobs to pimgfx-serve"
                 .to_string(),
         ),
+        Request::Stats => Response::Stats(cache_stats(shared)),
+    }
+}
+
+/// Snapshot of this worker's cumulative cache counters.
+fn cache_stats(shared: &Shared) -> CacheStats {
+    let streams = shared.streams.stats();
+    CacheStats {
+        scene_evictions: shared.scenes.evictions(),
+        stream_hits: streams.hits,
+        stream_misses: streams.misses,
+        stream_evictions: streams.evictions,
     }
 }
 
@@ -480,11 +509,22 @@ fn submit(shared: &Shared, spec: &JobSpec) -> Response {
     if shared.draining.load(Ordering::SeqCst) {
         return Response::ShuttingDown;
     }
-    if !Game::benchmark_matrix().contains(&(spec.game, spec.resolution)) {
-        return Response::Error(format!(
-            "{} is not a Table II benchmark column",
-            Harness::column_label(spec.game, spec.resolution)
-        ));
+    match spec.workload {
+        Workload::Game(g) => {
+            if !Game::benchmark_matrix().contains(&(g, spec.resolution)) {
+                return Response::Error(format!(
+                    "{} is not a Table II benchmark column",
+                    Harness::column_label(spec.workload, spec.resolution)
+                ));
+            }
+        }
+        // Synthetic columns are open-ended by design: any valid spec at
+        // any resolution is renderable.
+        Workload::Synthetic(s) => {
+            if let Err(e) = s.validate() {
+                return Response::Error(format!("invalid synthetic workload: {e}"));
+            }
+        }
     }
     for s in &spec.sections {
         if !SECTIONS.contains(&s.as_str()) {

@@ -1,10 +1,12 @@
 //! Sharding and merging for the distributed serving plane — the pure
 //! functions under `pimgfx-coord`.
 //!
-//! The unit of distribution is the **column**: a `(game, resolution)`
-//! Table II pair. A column is also the key of every cache that matters
-//! for throughput — the worker-side `SceneCache` and
-//! `FragmentStreamCache` are keyed by `(game, resolution, frames)`,
+//! The unit of distribution is the **column**: a `(workload,
+//! resolution)` pair, where the workload is a Table II game or a
+//! procedural `syn.<params>` spec. A column is also the key of every
+//! cache that matters for throughput — the worker-side `SceneCache`
+//! and `FragmentStreamCache` are keyed by
+//! `(workload, resolution, frames)`,
 //! with `frames` fixed fleet-wide by configuration — so routing a
 //! column to the same worker job after job keeps that worker's
 //! frontend artifacts hot, the same locality argument the paper makes
@@ -25,16 +27,17 @@
 //! construction.
 
 use crate::job::expand_variants;
-use crate::protocol::{JobId, JobSpec, MatrixSpec};
+use crate::protocol::{CacheStats, JobId, JobSpec, MatrixSpec};
 use pimgfx_bench::manifest::{fnv1a_digest, json_quote, SCHEMA_VERSION};
 use pimgfx_bench::Harness;
 
 /// The routing key of a column: its canonical label
-/// (`doom3-320x240`), which is also the stream-cache key modulo the
-/// fleet-wide frame count.
+/// (`doom3-320x240`, or `syn.<params>-1920x1080` for a synthetic
+/// column), which is also the stream-cache key modulo the fleet-wide
+/// frame count.
 #[must_use]
 pub fn stream_key(spec: &JobSpec) -> String {
-    Harness::column_label(spec.game, spec.resolution)
+    Harness::column_label(spec.workload, spec.resolution)
 }
 
 /// 64-bit FNV-1a over `bytes` (the numeric sibling of the manifest
@@ -75,12 +78,12 @@ pub fn choose_worker(key: &str, workers: &[String], alive: &[bool]) -> Option<us
 #[must_use]
 pub fn shards(spec: &MatrixSpec) -> Vec<JobSpec> {
     let mut columns = spec.columns.clone();
-    columns.sort_by_key(|&(g, r)| Harness::column_label(g, r));
+    columns.sort_by_key(|&(w, r)| Harness::column_label(w, r));
     columns.dedup();
     columns
         .into_iter()
-        .map(|(game, resolution)| JobSpec {
-            game,
+        .map(|(workload, resolution)| JobSpec {
+            workload,
             resolution,
             variants: spec.variants.clone(),
             sections: spec.sections.clone(),
@@ -216,6 +219,15 @@ pub fn matrix_digest(spec: &MatrixSpec, frames: usize) -> String {
 /// and embedded **unmodified**, so every cell is byte-identical to the
 /// one a single-node run would emit.
 ///
+/// `cache` carries the fleet's summed [`CacheStats`] at merge time;
+/// only its *eviction* counters are embedded (scene + stream). Hit and
+/// miss counts are cumulative per-worker process totals, so they
+/// depend on fleet size and job history — evictions stay 0 for the
+/// default unbounded caches, which keeps the merged manifest
+/// byte-identical to a single-node run, while a bounded-cache soak
+/// (`pimgfx-loadgen --synthetic`) can assert eviction pressure
+/// end-to-end.
+///
 /// # Errors
 ///
 /// A message when a cell line is missing its sort-key fields.
@@ -224,6 +236,7 @@ pub fn matrix_manifest_json(
     spec: &MatrixSpec,
     frames: usize,
     cells: &[String],
+    cache: &CacheStats,
 ) -> Result<String, String> {
     let mut keyed: Vec<((String, String), &String)> = Vec::with_capacity(cells.len());
     for c in cells {
@@ -243,6 +256,14 @@ pub fn matrix_manifest_json(
     s.push_str(&format!(
         "  \"config_digest\": {},\n",
         json_quote(&matrix_digest(spec, frames))
+    ));
+    s.push_str(&format!(
+        "  \"scene_evictions\": {},\n",
+        cache.scene_evictions
+    ));
+    s.push_str(&format!(
+        "  \"stream_evictions\": {},\n",
+        cache.stream_evictions
     ));
     s.push_str(&format!("  \"cells\": {},\n", keyed.len()));
     s.push_str("  \"cell_reports\": [\n");
@@ -270,9 +291,9 @@ mod tests {
     fn matrix() -> MatrixSpec {
         MatrixSpec {
             columns: vec![
-                (Game::Fear, Resolution::R640x480),
-                (Game::Doom3, Resolution::R320x240),
-                (Game::Doom3, Resolution::R320x240),
+                (Game::Fear.into(), Resolution::R640x480),
+                (Game::Doom3.into(), Resolution::R320x240),
+                (Game::Doom3.into(), Resolution::R320x240),
             ],
             variants: vec![Variant::Design(Design::Baseline)],
             sections: Vec::new(),
@@ -346,7 +367,7 @@ mod tests {
     #[test]
     fn worker_cells_round_trip_through_extraction_bytewise() {
         let spec = JobSpec {
-            game: Game::Doom3,
+            workload: Game::Doom3.into(),
             resolution: Resolution::R320x240,
             variants: vec![Variant::Design(Design::Baseline)],
             sections: Vec::new(),
@@ -385,9 +406,10 @@ mod tests {
         .iter()
         .map(CellSummary::to_json_object)
         .collect();
-        let a = matrix_manifest_json(5, &spec, 1, &cells).expect("manifest");
+        let a =
+            matrix_manifest_json(5, &spec, 1, &cells, &CacheStats::default()).expect("manifest");
         let rev: Vec<String> = cells.iter().rev().cloned().collect();
-        let b = matrix_manifest_json(5, &spec, 1, &rev).expect("manifest");
+        let b = matrix_manifest_json(5, &spec, 1, &rev, &CacheStats::default()).expect("manifest");
         assert_eq!(a, b, "merge must not depend on shard arrival order");
         let doom = a.find("\"column\": \"doom3-320x240\"").expect("doom cell");
         let fear = a.find("\"column\": \"fear-640x480\"").expect("fear cell");
@@ -398,6 +420,70 @@ mod tests {
             "{a}"
         );
         assert_eq!(a.matches('{').count(), a.matches('}').count());
+    }
+
+    #[test]
+    fn synthetic_columns_shard_alongside_games() {
+        use pimgfx_workloads::{SyntheticSpec, Workload};
+        let spec = SyntheticSpec {
+            seed: 0xC0FFEE,
+            triangles: 400,
+            textures: 2,
+            texture_size: 32,
+            kind_mask: 0x3,
+            grazing_milli: 500,
+            overdraw: 1,
+            path_frames: 4,
+        };
+        let mut m = matrix();
+        m.columns
+            .push((Workload::Synthetic(spec), Resolution::R1920x1080));
+        let s = shards(&m);
+        let keys: Vec<String> = s.iter().map(stream_key).collect();
+        assert_eq!(
+            keys,
+            vec![
+                "doom3-320x240".to_string(),
+                "fear-640x480".to_string(),
+                format!("{spec}-1920x1080"),
+            ],
+            "synthetic labels sort after game labels"
+        );
+        // The synthetic column routes deterministically like any other.
+        let workers = vec!["127.0.0.1:1".to_string(), "127.0.0.1:2".to_string()];
+        let a = choose_worker(&keys[2], &workers, &[true, true]);
+        assert_eq!(a, choose_worker(&keys[2], &workers, &[true, true]));
+    }
+
+    #[test]
+    fn matrix_manifest_embeds_eviction_counters() {
+        let cells: Vec<String> = [cell("doom3-320x240", "baseline")]
+            .iter()
+            .map(CellSummary::to_json_object)
+            .collect();
+        let zero = matrix_manifest_json(5, &matrix(), 1, &cells, &CacheStats::default())
+            .expect("manifest");
+        assert!(zero.contains("\"scene_evictions\": 0"), "{zero}");
+        assert!(zero.contains("\"stream_evictions\": 0"), "{zero}");
+        let pressured = matrix_manifest_json(
+            5,
+            &matrix(),
+            1,
+            &cells,
+            &CacheStats {
+                scene_evictions: 3,
+                stream_hits: 100,
+                stream_misses: 7,
+                stream_evictions: 4,
+            },
+        )
+        .expect("manifest");
+        assert!(pressured.contains("\"scene_evictions\": 3"), "{pressured}");
+        assert!(pressured.contains("\"stream_evictions\": 4"), "{pressured}");
+        // Hits/misses are fleet-dependent process totals; they must
+        // never leak into the deterministic merged manifest.
+        assert!(!pressured.contains("stream_hits"), "{pressured}");
+        assert!(!pressured.contains("stream_misses"), "{pressured}");
     }
 
     #[test]

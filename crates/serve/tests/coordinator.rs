@@ -14,11 +14,12 @@
 use pimgfx::Design;
 use pimgfx_bench::manifest::CellSummary;
 use pimgfx_bench::{Harness, Variant};
+use pimgfx_serve::protocol::CacheStats;
 use pimgfx_serve::shard::{choose_worker, matrix_manifest_json};
 use pimgfx_serve::{
     Client, CoordConfig, Coordinator, JobState, MatrixSpec, Response, ServeConfig, Server,
 };
-use pimgfx_workloads::{Game, Resolution};
+use pimgfx_workloads::{Game, Resolution, SyntheticSpec, Workload};
 use std::net::SocketAddr;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -52,7 +53,7 @@ fn coord_config(workers: &[SocketAddr]) -> CoordConfig {
     }
 }
 
-fn matrix(columns: &[(Game, Resolution)]) -> MatrixSpec {
+fn matrix(columns: &[(Workload, Resolution)]) -> MatrixSpec {
     MatrixSpec {
         columns: columns.to_vec(),
         variants: vec![Variant::Design(Design::Baseline)],
@@ -75,12 +76,12 @@ fn submit_matrix_ok(client: &mut Client, spec: &MatrixSpec) -> u64 {
 fn expected_manifest(job: u64, spec: &MatrixSpec) -> String {
     let mut h = Harness::new(1);
     let mut cells = Vec::new();
-    for &(game, resolution) in &spec.columns {
+    for &(workload, resolution) in &spec.columns {
         for v in &spec.variants {
-            let report = h.run(game, resolution, *v).expect("local run").clone();
+            let report = h.run(workload, resolution, *v).expect("local run").clone();
             cells.push(
                 CellSummary::from_report(
-                    &Harness::column_label(game, resolution),
+                    &Harness::column_label(workload, resolution),
                     &v.label(),
                     &report,
                 )
@@ -88,7 +89,9 @@ fn expected_manifest(job: u64, spec: &MatrixSpec) -> String {
             );
         }
     }
-    matrix_manifest_json(job, spec, 1, &cells).expect("merge local cells")
+    // Test workers run unbounded caches, so the fleet counters merged
+    // into the manifest are all zero.
+    matrix_manifest_json(job, spec, 1, &cells, &CacheStats::default()).expect("merge local cells")
 }
 
 fn drain(addr: SocketAddr, handle: DaemonHandle) {
@@ -108,8 +111,21 @@ fn merged_manifest_is_byte_identical_to_local_and_single_worker_runs() {
         ..ServeConfig::default()
     });
     let spec = matrix(&[
-        (Game::Doom3, Resolution::R320x240),
-        (Game::Fear, Resolution::R320x240),
+        (Game::Doom3.into(), Resolution::R320x240),
+        (Game::Fear.into(), Resolution::R320x240),
+        (
+            Workload::Synthetic(SyntheticSpec {
+                seed: 0xC0FFEE,
+                triangles: 400,
+                textures: 2,
+                texture_size: 32,
+                kind_mask: 0x3,
+                grazing_milli: 500,
+                overdraw: 1,
+                path_frames: 4,
+            }),
+            Resolution::R320x240,
+        ),
     ]);
 
     // Two-worker coordinator: shards split across the fleet.
@@ -118,7 +134,7 @@ fn merged_manifest_is_byte_identical_to_local_and_single_worker_runs() {
     let id = submit_matrix_ok(&mut client, &spec);
     assert_eq!(
         client.wait(id, WAIT, POLL).expect("wait"),
-        JobState::Done { cells: 2 }
+        JobState::Done { cells: 3 }
     );
     let merged = client.fetch_manifest(id).expect("fetch");
     assert_eq!(
@@ -130,7 +146,7 @@ fn merged_manifest_is_byte_identical_to_local_and_single_worker_runs() {
     // A coordinator in front of a worker also accepts plain
     // single-column jobs (drop-in superset of pimgfx-serve).
     let single = pimgfx_serve::JobSpec {
-        game: Game::Doom3,
+        workload: Game::Doom3.into(),
         resolution: Resolution::R320x240,
         variants: vec![Variant::Design(Design::Baseline)],
         sections: Vec::new(),
@@ -145,7 +161,7 @@ fn merged_manifest_is_byte_identical_to_local_and_single_worker_runs() {
         client.wait(sid, WAIT, POLL).expect("wait single"),
         JobState::Done { cells: 1 }
     );
-    let one_col = matrix(&[(Game::Doom3, Resolution::R320x240)]);
+    let one_col = matrix(&[(Game::Doom3.into(), Resolution::R320x240)]);
     assert_eq!(
         client.fetch_manifest(sid).expect("fetch single"),
         expected_manifest(sid, &one_col)
@@ -159,7 +175,7 @@ fn merged_manifest_is_byte_identical_to_local_and_single_worker_runs() {
     let id1 = submit_matrix_ok(&mut client, &spec);
     assert_eq!(
         client.wait(id1, WAIT, POLL).expect("wait"),
-        JobState::Done { cells: 2 }
+        JobState::Done { cells: 3 }
     );
     let single_node = client.fetch_manifest(id1).expect("fetch");
     assert_eq!(
@@ -195,6 +211,7 @@ fn killed_workers_shard_is_retried_on_the_survivor() {
     let victim_column = Game::benchmark_matrix()
         .into_iter()
         .find(|&(g, r)| choose_worker(&Harness::column_label(g, r), &workers, &alive) == Some(1))
+        .map(|(g, r)| (Workload::Game(g), r))
         .expect("rendezvous spreads 10 columns over 2 workers");
 
     // Kill worker B before the coordinator ever talks to it: its
@@ -242,7 +259,7 @@ fn busy_workers_are_retried_and_coordinator_admission_sheds_load() {
     let mut direct = Client::connect(a).expect("connect worker");
     let held = match direct
         .submit(&pimgfx_serve::JobSpec {
-            game: Game::Doom3,
+            workload: Game::Doom3.into(),
             resolution: Resolution::R320x240,
             variants: vec![Variant::Design(Design::Baseline)],
             sections: Vec::new(),
@@ -256,7 +273,7 @@ fn busy_workers_are_retried_and_coordinator_admission_sheds_load() {
     };
 
     let mut client = Client::connect(coord).expect("connect coordinator");
-    let spec = matrix(&[(Game::Doom3, Resolution::R320x240)]);
+    let spec = matrix(&[(Game::Doom3.into(), Resolution::R320x240)]);
     let id = submit_matrix_ok(&mut client, &spec);
 
     // The coordinator's own bound is also 1, so while that matrix is

@@ -14,7 +14,7 @@ use pimgfx_bench::manifest::CellSummary;
 use pimgfx_bench::{Harness, Variant};
 use pimgfx_serve::job::job_manifest_json;
 use pimgfx_serve::{Client, JobSpec, JobState, Response, ServeConfig, Server};
-use pimgfx_workloads::{Game, Resolution};
+use pimgfx_workloads::{Game, Resolution, SyntheticSpec, Workload};
 use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::thread::JoinHandle;
@@ -31,7 +31,7 @@ fn start(config: ServeConfig) -> (SocketAddr, ServerHandle) {
 
 fn baseline_spec() -> JobSpec {
     JobSpec {
-        game: Game::Doom3,
+        workload: Game::Doom3.into(),
         resolution: Resolution::R320x240,
         variants: vec![Variant::Design(Design::Baseline)],
         sections: Vec::new(),
@@ -49,6 +49,63 @@ fn submit_ok(client: &mut Client, spec: &JobSpec) -> u64 {
 
 const WAIT: Duration = Duration::from_secs(300);
 const POLL: Duration = Duration::from_millis(50);
+
+fn test_synthetic() -> SyntheticSpec {
+    SyntheticSpec {
+        seed: 0xC0FFEE,
+        triangles: 400,
+        textures: 2,
+        texture_size: 32,
+        kind_mask: 0x3,
+        grazing_milli: 500,
+        overdraw: 1,
+        path_frames: 4,
+    }
+}
+
+#[test]
+fn synthetic_job_is_served_and_matches_local_harness() {
+    let (addr, handle) = start(ServeConfig {
+        frames: 1,
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(addr).expect("connect");
+
+    let spec = JobSpec {
+        workload: Workload::Synthetic(test_synthetic()),
+        ..baseline_spec()
+    };
+    let id = submit_ok(&mut client, &spec);
+    let state = client.wait(id, WAIT, POLL).expect("wait");
+    assert_eq!(state, JobState::Done { cells: 1 }, "synthetic job finishes");
+    let served = client.fetch_manifest(id).expect("fetch");
+
+    let mut h = Harness::new(1);
+    let report = h
+        .run(
+            spec.workload,
+            spec.resolution,
+            Variant::Design(Design::Baseline),
+        )
+        .expect("local run")
+        .clone();
+    let cell = CellSummary::from_report(
+        &Harness::column_label(spec.workload, spec.resolution),
+        "baseline",
+        &report,
+    );
+    let local = job_manifest_json(id, &spec, 1, &[cell]);
+    assert_eq!(served, local, "served synthetic manifest must match");
+
+    // The cumulative cache counters are queryable over the wire; an
+    // unbounded cache never evicts.
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.scene_evictions, 0);
+    assert_eq!(stats.stream_evictions, 0);
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("clean drain");
+}
 
 #[test]
 fn served_result_matches_local_harness_byte_for_byte() {
@@ -72,14 +129,14 @@ fn served_result_matches_local_harness_byte_for_byte() {
     let mut h = Harness::new(1);
     let report = h
         .run(
-            spec.game,
+            spec.workload,
             spec.resolution,
             Variant::Design(Design::Baseline),
         )
         .expect("local run")
         .clone();
     let cell = CellSummary::from_report(
-        &Harness::column_label(spec.game, spec.resolution),
+        &Harness::column_label(spec.workload, spec.resolution),
         "baseline",
         &report,
     );
@@ -230,7 +287,7 @@ fn invalid_submissions_are_rejected_with_reasons() {
 
     // Wolfenstein only runs 640x480 in Table II.
     let bad_column = JobSpec {
-        game: Game::Wolfenstein,
+        workload: Game::Wolfenstein.into(),
         resolution: Resolution::R320x240,
         ..baseline_spec()
     };
@@ -238,6 +295,23 @@ fn invalid_submissions_are_rejected_with_reasons() {
         Response::Error(e) => assert!(e.contains("Table II"), "{e}"),
         other => panic!("expected Error, got {other:?}"),
     }
+
+    // Invalid synthetic specs bounce with the validation message. The
+    // server validates specs at decode time, so after the best-effort
+    // error reply it treats the frame as corrupt and drops the
+    // connection — reconnect before the next check.
+    let bad_synthetic = JobSpec {
+        workload: Workload::Synthetic(SyntheticSpec {
+            triangles: 0,
+            ..test_synthetic()
+        }),
+        ..baseline_spec()
+    };
+    match client.submit(&bad_synthetic).expect("reply") {
+        Response::Error(e) => assert!(e.contains("synthetic"), "{e}"),
+        other => panic!("expected Error, got {other:?}"),
+    }
+    client = Client::connect(addr).expect("reconnect");
 
     let bad_section = JobSpec {
         variants: Vec::new(),

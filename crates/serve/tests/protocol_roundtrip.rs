@@ -6,14 +6,27 @@
 use pimgfx::Design;
 use pimgfx_bench::Variant;
 use pimgfx_serve::protocol::{
-    read_request, read_response, write_request, write_response, JobSpec, JobState, MatrixSpec,
-    ProtocolError, Request, Response, MAGIC, MAX_PAYLOAD, VERSION,
+    read_request, read_response, write_request, write_response, CacheStats, JobSpec, JobState,
+    MatrixSpec, ProtocolError, Request, Response, MAGIC, MAX_PAYLOAD, VERSION,
 };
-use pimgfx_workloads::{Game, Resolution};
+use pimgfx_workloads::{Game, Resolution, SyntheticSpec, Workload};
+
+fn synthetic() -> SyntheticSpec {
+    SyntheticSpec {
+        seed: 0xC0FFEE,
+        triangles: 400,
+        textures: 2,
+        texture_size: 32,
+        kind_mask: 0x3,
+        grazing_milli: 500,
+        overdraw: 1,
+        path_frames: 4,
+    }
+}
 
 fn spec() -> JobSpec {
     JobSpec {
-        game: Game::Fear,
+        workload: Game::Fear.into(),
         resolution: Resolution::R640x480,
         variants: vec![
             Variant::Design(Design::Baseline),
@@ -47,9 +60,10 @@ fn encode_response(resp: &Response) -> Vec<u8> {
 fn matrix_spec() -> MatrixSpec {
     MatrixSpec {
         columns: vec![
-            (Game::Doom3, Resolution::R320x240),
-            (Game::Fear, Resolution::R640x480),
-            (Game::Wolfenstein, Resolution::R1280x1024),
+            (Game::Doom3.into(), Resolution::R320x240),
+            (Game::Fear.into(), Resolution::R640x480),
+            (Game::Wolfenstein.into(), Resolution::R1280x1024),
+            (Workload::Synthetic(synthetic()), Resolution::R1920x1080),
         ],
         variants: vec![Variant::Design(Design::Baseline), Variant::AnisoOff],
         sections: vec!["fig5".to_string()],
@@ -72,7 +86,16 @@ fn all_requests() -> Vec<Request> {
         Request::JobStatus(42),
         Request::FetchResult(u64::MAX),
         Request::CancelJob(7),
+        Request::Stats,
         Request::Shutdown,
+        Request::SubmitJob(JobSpec {
+            workload: Workload::Synthetic(synthetic()),
+            resolution: Resolution::R3840x2160,
+            variants: vec![Variant::Design(Design::ATfim)],
+            sections: Vec::new(),
+            trace: false,
+            deadline_ms: 0,
+        }),
     ]
 }
 
@@ -92,6 +115,12 @@ fn all_responses() -> Vec<Response> {
             manifest_json: "{\n  \"schema_version\": 2\n}\n".to_string(),
         },
         Response::Error("unknown job 5".to_string()),
+        Response::Stats(CacheStats {
+            scene_evictions: 3,
+            stream_hits: 101,
+            stream_misses: 13,
+            stream_evictions: 7,
+        }),
         Response::ShuttingDown,
     ]
 }
@@ -244,14 +273,15 @@ fn truncated_matrix_frames_are_format_errors() {
 #[test]
 fn corrupt_matrix_game_tag_is_rejected() {
     let req = Request::SubmitMatrix(MatrixSpec {
-        columns: vec![(Game::Doom3, Resolution::R320x240)],
+        columns: vec![(Game::Doom3.into(), Resolution::R320x240)],
         variants: Vec::new(),
         sections: Vec::new(),
         trace: false,
         deadline_ms: 0,
     });
     let mut buf = encode_request(&req);
-    // Payload layout: ncol(u32) then the first column's game tag.
+    // Payload layout: ncol(u32) then the first column's workload tag
+    // (a game column is a single u32; the synthetic tag is 5).
     let tag_at = 17 + 4;
     buf[tag_at..tag_at + 4].copy_from_slice(&200u32.to_le_bytes());
     let mut cur: &[u8] = &buf;
@@ -268,10 +298,37 @@ fn corrupt_variant_tag_is_rejected() {
     });
     let mut buf = encode_request(&req);
     // The variant tag (value 4 = AnisoOff) is the u32 right after
-    // magic+version+kind+len+game+res+count; corrupt it to 200.
+    // magic+version+kind+len+workload+res+count (a game workload is a
+    // single u32 tag); corrupt it to 200.
     let tag_at = 17 + 4 + 4 + 4;
     buf[tag_at..tag_at + 4].copy_from_slice(&200u32.to_le_bytes());
     let mut cur: &[u8] = &buf;
     let err = read_request(&mut cur).expect_err("must reject");
     assert!(format!("{err}").contains("variant tag"), "{err}");
+}
+
+#[test]
+fn invalid_synthetic_spec_on_the_wire_is_rejected() {
+    // Encode a valid synthetic JobSpec, then zero the triangle count
+    // in place; the decoder validates specs and must refuse it.
+    let req = Request::SubmitJob(JobSpec {
+        workload: Workload::Synthetic(synthetic()),
+        resolution: Resolution::R320x240,
+        variants: Vec::new(),
+        sections: Vec::new(),
+        trace: false,
+        deadline_ms: 0,
+    });
+    let mut buf = encode_request(&req);
+    // Payload layout: workload tag (5), seed lo, seed hi, triangles.
+    let tri_at = 17 + 4 + 4 + 4;
+    assert_eq!(
+        &buf[tri_at..tri_at + 4],
+        &400u32.to_le_bytes(),
+        "triangle count not where expected"
+    );
+    buf[tri_at..tri_at + 4].copy_from_slice(&0u32.to_le_bytes());
+    let mut cur: &[u8] = &buf;
+    let err = read_request(&mut cur).expect_err("must reject");
+    assert!(format!("{err}").contains("synthetic"), "{err}");
 }

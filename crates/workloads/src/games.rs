@@ -27,7 +27,8 @@ impl fmt::Display for GraphicsApi {
     }
 }
 
-/// Frame resolutions used in the evaluation (Table II).
+/// Frame resolutions used in the evaluation (Table II), plus the
+/// modern 1080p/4K points used by synthetic scaling studies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Resolution {
     /// 320×240.
@@ -36,14 +37,20 @@ pub enum Resolution {
     R640x480,
     /// 1280×1024.
     R1280x1024,
+    /// 1920×1080 (synthetic scaling studies; not a Table II column).
+    R1920x1080,
+    /// 3840×2160 (synthetic scaling studies; not a Table II column).
+    R3840x2160,
 }
 
 impl Resolution {
     /// All resolutions, ascending.
-    pub const ALL: [Resolution; 3] = [
+    pub const ALL: [Resolution; 5] = [
         Resolution::R320x240,
         Resolution::R640x480,
         Resolution::R1280x1024,
+        Resolution::R1920x1080,
+        Resolution::R3840x2160,
     ];
 
     /// `(width, height)` in pixels.
@@ -52,6 +59,8 @@ impl Resolution {
             Resolution::R320x240 => (320, 240),
             Resolution::R640x480 => (640, 480),
             Resolution::R1280x1024 => (1280, 1024),
+            Resolution::R1920x1080 => (1920, 1080),
+            Resolution::R3840x2160 => (3840, 2160),
         }
     }
 
@@ -59,6 +68,12 @@ impl Resolution {
     pub fn pixels(self) -> u64 {
         let (w, h) = self.dims();
         u64::from(w) * u64::from(h)
+    }
+
+    /// Parses the `WxH` display form (`"640x480"`, `"1920x1080"`) —
+    /// the inverse of this type's `Display` impl.
+    pub fn from_label(s: &str) -> Option<Resolution> {
+        Resolution::ALL.into_iter().find(|r| r.to_string() == s)
     }
 }
 
@@ -303,6 +318,26 @@ mod tests {
         assert_eq!(Resolution::R320x240.dims(), (320, 240));
         assert_eq!(Resolution::R1280x1024.pixels(), 1280 * 1024);
         assert_eq!(Resolution::R640x480.to_string(), "640x480");
+        assert_eq!(Resolution::R1920x1080.dims(), (1920, 1080));
+        assert_eq!(Resolution::R3840x2160.pixels(), 3840 * 2160);
+    }
+
+    #[test]
+    fn resolution_labels_round_trip() {
+        for r in Resolution::ALL {
+            assert_eq!(Resolution::from_label(&r.to_string()), Some(r));
+        }
+        assert_eq!(Resolution::from_label("641x480"), None);
+        // The new scaling points are not Table II columns: no game
+        // profile may list them.
+        for g in Game::ALL {
+            for r in g.profile().resolutions {
+                assert!(matches!(
+                    r,
+                    Resolution::R320x240 | Resolution::R640x480 | Resolution::R1280x1024
+                ));
+            }
+        }
     }
 
     #[test]

@@ -39,7 +39,11 @@ pub mod games;
 pub mod mesh;
 pub mod procedural;
 pub mod scene;
+pub mod synthetic;
 pub mod trace_io;
 
 pub use games::{Game, GameProfile, Resolution};
-pub use scene::{build_scene, build_scene_unchecked, DrawCall, SceneCache, SceneTrace};
+pub use scene::{
+    build_scene, build_scene_unchecked, build_workload, DrawCall, SceneCache, SceneTrace,
+};
+pub use synthetic::{synthesize, SyntheticSpec, Workload};

@@ -11,6 +11,7 @@
 use crate::games::{Game, GameProfile, Resolution};
 use crate::mesh;
 use crate::procedural::{generate, TextureKind};
+use crate::synthetic::{synthesize, Workload};
 use pimgfx_raster::{Camera, Vertex};
 use pimgfx_texture::{MippedTexture, TextureImage};
 use pimgfx_types::{FxHashMap, TextureId, Vec3};
@@ -41,8 +42,9 @@ impl DrawCall {
 /// camera per frame of the walkthrough.
 #[derive(Debug, Clone)]
 pub struct SceneTrace {
-    /// The title this trace mimics.
-    pub game: Game,
+    /// The workload identity this trace renders: a Table II game or a
+    /// synthetic spec. It is the trace's cache/report key.
+    pub workload: Workload,
     /// Frame resolution.
     pub resolution: Resolution,
     /// Scene textures, indexed by [`TextureId`].
@@ -130,8 +132,8 @@ pub struct SceneCache {
 /// recency list (least-recently-used first) and the eviction counter.
 #[derive(Debug, Default)]
 struct CacheState {
-    map: FxHashMap<(Game, Resolution), Arc<SceneTrace>>,
-    lru: Vec<(Game, Resolution)>,
+    map: FxHashMap<(Workload, Resolution), Arc<SceneTrace>>,
+    lru: Vec<(Workload, Resolution)>,
     evictions: u64,
 }
 
@@ -208,10 +210,11 @@ impl SceneCache {
     ///
     /// # Panics
     ///
-    /// Panics if the resolution is not in the game's Table II set (same
-    /// contract as [`build_scene`]).
-    pub fn get(&self, game: Game, res: Resolution) -> Arc<SceneTrace> {
-        let key = (game, res);
+    /// Panics if a game workload's resolution is not in its Table II
+    /// set, or a synthetic workload's spec fails validation (same
+    /// contracts as [`build_scene`] / [`build_workload`]).
+    pub fn get(&self, workload: impl Into<Workload>, res: Resolution) -> Arc<SceneTrace> {
+        let key = (workload.into(), res);
         {
             let mut st = self.lock();
             if let Some(scene) = st.map.get(&key) {
@@ -220,7 +223,7 @@ impl SceneCache {
                 return scene;
             }
         }
-        let built = Arc::new(build_scene(game, res, self.frames));
+        let built = Arc::new(build_workload(key.0, res, self.frames));
         let mut st = self.lock();
         let out = Arc::clone(st.map.entry(key).or_insert_with(|| Arc::clone(&built)));
         Self::touch(&mut st.lru, key);
@@ -235,7 +238,7 @@ impl SceneCache {
     }
 
     /// Moves `key` to the most-recently-used end of the recency list.
-    fn touch(lru: &mut Vec<(Game, Resolution)>, key: (Game, Resolution)) {
+    fn touch(lru: &mut Vec<(Workload, Resolution)>, key: (Workload, Resolution)) {
         lru.retain(|k| *k != key);
         lru.push(key);
     }
@@ -244,6 +247,20 @@ impl SceneCache {
         // A poisoned lock only means another worker panicked mid-insert;
         // the map itself is always in a consistent state.
         self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Builds the trace for any workload: Table II validation + profile
+/// build for games, [`synthesize`] for synthetic specs.
+///
+/// # Panics
+///
+/// Panics if `frames` is zero, a game's resolution is not in its
+/// Table II set, or a synthetic spec fails validation.
+pub fn build_workload(workload: Workload, resolution: Resolution, frames: usize) -> SceneTrace {
+    match workload {
+        Workload::Game(game) => build_scene(game, resolution, frames),
+        Workload::Synthetic(spec) => synthesize(&spec, resolution, frames),
     }
 }
 
@@ -410,7 +427,7 @@ pub fn build_scene_unchecked(
         .collect();
 
     SceneTrace {
-        game: profile.game,
+        workload: Workload::Game(profile.game),
         resolution,
         textures,
         draws,
@@ -571,7 +588,30 @@ mod tests {
         );
         // An evicted column rebuilds into a fresh allocation.
         let fear_again = cache.get(Game::Fear, Resolution::R320x240);
-        assert_eq!(fear_again.game, Game::Fear);
+        assert_eq!(fear_again.workload, Workload::Game(Game::Fear));
         assert_eq!(cache.evictions(), 2, "rebuilding fear evicted doom3@640");
+    }
+
+    #[test]
+    fn cache_keys_games_and_synthetics_separately() {
+        let spec = crate::synthetic::SyntheticSpec {
+            seed: 7,
+            triangles: 64,
+            textures: 2,
+            texture_size: 16,
+            kind_mask: 0x3,
+            grazing_milli: 500,
+            overdraw: 1,
+            path_frames: 2,
+        };
+        let cache = SceneCache::new(1);
+        let syn = cache.get(spec, Resolution::R1920x1080);
+        let game = cache.get(Game::Doom3, Resolution::R320x240);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(syn.workload, Workload::Synthetic(spec));
+        assert_eq!(syn.width(), 1920);
+        assert_eq!(game.workload.as_game(), Some(Game::Doom3));
+        let again = cache.get(Workload::Synthetic(spec), Resolution::R1920x1080);
+        assert!(Arc::ptr_eq(&syn, &again), "spec-keyed lookup hits");
     }
 }

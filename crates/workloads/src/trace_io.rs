@@ -13,6 +13,7 @@
 
 use crate::games::{Game, Resolution};
 use crate::scene::{DrawCall, SceneTrace};
+use crate::synthetic::{SyntheticSpec, Workload};
 use pimgfx_raster::{Camera, Vertex};
 use pimgfx_texture::{MippedTexture, TextureImage};
 use pimgfx_types::{Mat4, PackedRgba, TextureId, Vec2, Vec3, Vec4};
@@ -20,8 +21,14 @@ use std::io::{self, Read, Write};
 
 /// Magic bytes identifying a trace stream.
 pub const MAGIC: [u8; 4] = *b"PGTR";
-/// Current format version.
-pub const VERSION: u32 = 1;
+/// Current format version. Version 2 widened the header's game tag
+/// into a workload tag (games keep their v1 tags byte-for-byte; tag
+/// [`SYNTHETIC_TAG`] is followed by the synthetic spec's fields) and
+/// added resolution tags 3/4 (1920×1080, 3840×2160). Version 1 streams
+/// still load.
+pub const VERSION: u32 = 2;
+/// Oldest format version [`load_trace`] still accepts.
+pub const MIN_VERSION: u32 = 1;
 
 /// Errors produced while reading a trace.
 #[derive(Debug)]
@@ -155,7 +162,7 @@ fn get_vec2<R: Read>(r: &mut R) -> io::Result<Vec2> {
 pub fn save_trace<W: Write>(scene: &SceneTrace, mut w: W) -> io::Result<()> {
     w.write_all(&MAGIC)?;
     put_u32(&mut w, VERSION)?;
-    put_u32(&mut w, game_tag(scene.game))?;
+    put_workload(&mut w, scene.workload)?;
     put_u32(&mut w, resolution_tag(scene.resolution))?;
     put_u32(&mut w, scene.shader_alu_ops)?;
 
@@ -229,12 +236,17 @@ fn load_trace_inner<R: Read>(mut r: R) -> TraceResult<SceneTrace> {
         return Err(TraceError::Format("bad magic".to_string()));
     }
     let version = get_u32(&mut r)?;
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(TraceError::Format(format!(
-            "unsupported version {version} (expected {VERSION})"
+            "unsupported version {version} (expected {MIN_VERSION}..={VERSION})"
         )));
     }
-    let game = game_from_tag(get_u32(&mut r)?)?;
+    let workload = if version == 1 {
+        // v1 headers carry a bare game tag.
+        Workload::Game(game_from_tag(get_u32(&mut r)?)?)
+    } else {
+        get_workload(&mut r)?
+    };
     let resolution = resolution_from_tag(get_u32(&mut r)?)?;
     let shader_alu_ops = get_u32(&mut r)?;
 
@@ -315,13 +327,73 @@ fn load_trace_inner<R: Read>(mut r: R) -> TraceResult<SceneTrace> {
     }
 
     Ok(SceneTrace {
-        game,
+        workload,
         resolution,
         textures,
         draws,
         cameras,
         shader_alu_ops,
     })
+}
+
+/// Wire tag announcing a synthetic workload (game tags 0–4 keep their
+/// v1 byte positions; append-only).
+pub const SYNTHETIC_TAG: u32 = 5;
+
+/// Writes a workload identity: a bare game tag, or [`SYNTHETIC_TAG`]
+/// followed by the spec's integer fields (seed split low/high `u32`,
+/// then triangles, textures, texture size, kind mask, grazing
+/// per-mille, overdraw, path frames — all little-endian `u32`).
+/// Shared by `PGTR` and the `pimgfx-serve` protocol.
+///
+/// # Errors
+///
+/// Propagates any I/O error from `w`.
+pub fn put_workload<W: Write>(w: &mut W, workload: Workload) -> io::Result<()> {
+    match workload {
+        Workload::Game(g) => put_u32(w, game_tag(g)),
+        Workload::Synthetic(s) => {
+            put_u32(w, SYNTHETIC_TAG)?;
+            put_u32(w, s.seed as u32)?;
+            put_u32(w, (s.seed >> 32) as u32)?;
+            put_u32(w, s.triangles)?;
+            put_u32(w, s.textures)?;
+            put_u32(w, s.texture_size)?;
+            put_u32(w, s.kind_mask)?;
+            put_u32(w, s.grazing_milli)?;
+            put_u32(w, s.overdraw)?;
+            put_u32(w, s.path_frames)
+        }
+    }
+}
+
+/// Inverse of [`put_workload`]. Synthetic specs are validated on read,
+/// so a decoded workload is always buildable.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Format`] for an unknown tag or an invalid
+/// synthetic spec; I/O errors propagate from `r`.
+pub fn get_workload<R: Read>(r: &mut R) -> TraceResult<Workload> {
+    let tag = get_u32(r)?;
+    if tag != SYNTHETIC_TAG {
+        return Ok(Workload::Game(game_from_tag(tag)?));
+    }
+    let lo = get_u32(r)?;
+    let hi = get_u32(r)?;
+    let spec = SyntheticSpec {
+        seed: u64::from(lo) | (u64::from(hi) << 32),
+        triangles: get_u32(r)?,
+        textures: get_u32(r)?,
+        texture_size: get_u32(r)?,
+        kind_mask: get_u32(r)?,
+        grazing_milli: get_u32(r)?,
+        overdraw: get_u32(r)?,
+        path_frames: get_u32(r)?,
+    };
+    spec.validate()
+        .map_err(|e| TraceError::Format(format!("invalid synthetic spec: {e}")))?;
+    Ok(Workload::Synthetic(spec))
 }
 
 /// Stable wire tag for a [`Game`] (shared by `PGTR` and the
@@ -359,6 +431,8 @@ pub fn resolution_tag(r: Resolution) -> u32 {
         Resolution::R320x240 => 0,
         Resolution::R640x480 => 1,
         Resolution::R1280x1024 => 2,
+        Resolution::R1920x1080 => 3,
+        Resolution::R3840x2160 => 4,
     }
 }
 
@@ -372,6 +446,8 @@ pub fn resolution_from_tag(t: u32) -> TraceResult<Resolution> {
         0 => Resolution::R320x240,
         1 => Resolution::R640x480,
         2 => Resolution::R1280x1024,
+        3 => Resolution::R1920x1080,
+        4 => Resolution::R3840x2160,
         _ => return Err(TraceError::Format(format!("unknown resolution tag {t}"))),
     })
 }
@@ -396,7 +472,7 @@ mod tests {
         let mut buf = Vec::new();
         save_trace(&scene, &mut buf).expect("serialize");
         let back = load_trace(&buf[..]).expect("deserialize");
-        assert_eq!(back.game, scene.game);
+        assert_eq!(back.workload, scene.workload);
         assert_eq!(back.resolution, scene.resolution);
         assert_eq!(back.shader_alu_ops, scene.shader_alu_ops);
         assert_eq!(back.textures.len(), scene.textures.len());
@@ -509,6 +585,72 @@ mod tests {
         buf[pos..].copy_from_slice(&((1u32 << 24) + 1).to_le_bytes());
         let err = load_trace(&buf[..]).expect_err("implausible count");
         assert!(err.to_string().contains("triangle count"), "{err}");
+    }
+
+    #[test]
+    fn synthetic_traces_round_trip_bit_exactly() {
+        let spec = SyntheticSpec {
+            seed: 0xDEAD_BEEF_0042,
+            triangles: 500,
+            textures: 3,
+            texture_size: 16,
+            kind_mask: 0b1010,
+            grazing_milli: 750,
+            overdraw: 2,
+            path_frames: 3,
+        };
+        let scene = crate::synthetic::synthesize(&spec, Resolution::R3840x2160, 2);
+        let mut buf = Vec::new();
+        save_trace(&scene, &mut buf).expect("serialize");
+        let back = load_trace(&buf[..]).expect("deserialize");
+        assert_eq!(back.workload, Workload::Synthetic(spec));
+        assert_eq!(back.resolution, Resolution::R3840x2160);
+        // Bit-exactness: re-serializing the loaded trace reproduces the
+        // original stream byte for byte.
+        let mut buf2 = Vec::new();
+        save_trace(&back, &mut buf2).expect("re-serialize");
+        assert_eq!(buf, buf2, "save→load→save must be a byte fixpoint");
+    }
+
+    #[test]
+    fn version_one_game_streams_still_load() {
+        // v1 and v2 game headers are byte-identical except the version
+        // field, so patching it back to 1 yields a genuine v1 stream.
+        let scene = small_scene();
+        let mut buf = Vec::new();
+        save_trace(&scene, &mut buf).expect("serialize");
+        buf[4..8].copy_from_slice(&1u32.to_le_bytes());
+        let back = load_trace(&buf[..]).expect("v1 stream must load");
+        assert_eq!(back.workload, scene.workload);
+        assert_eq!(back.triangles_per_frame(), scene.triangles_per_frame());
+    }
+
+    #[test]
+    fn invalid_synthetic_header_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&SYNTHETIC_TAG.to_le_bytes());
+        // seed lo/hi, then a zero triangle budget: invalid.
+        for field in [7u32, 0, 0, 2, 16, 3, 0, 1, 1] {
+            buf.extend_from_slice(&field.to_le_bytes());
+        }
+        let err = load_trace(&buf[..]).expect_err("invalid spec");
+        assert!(err.to_string().contains("synthetic spec"), "{err}");
+    }
+
+    #[test]
+    fn new_resolution_tags_round_trip() {
+        for r in Resolution::ALL {
+            assert_eq!(
+                resolution_from_tag(resolution_tag(r)).expect("tag"),
+                r,
+                "{r}"
+            );
+        }
+        assert_eq!(resolution_tag(Resolution::R1920x1080), 3);
+        assert_eq!(resolution_tag(Resolution::R3840x2160), 4);
+        assert!(resolution_from_tag(5).is_err());
     }
 
     #[test]

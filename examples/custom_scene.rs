@@ -67,7 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
 
     let scene = SceneTrace {
-        game: Game::Doom3, // label only; the content is fully custom
+        workload: Game::Doom3.into(), // label only; the content is fully custom
         resolution: Resolution::R320x240,
         textures: vec![texture],
         draws: vec![DrawCall {
