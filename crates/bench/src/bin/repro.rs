@@ -36,8 +36,8 @@
 use pimgfx::{analyze_overhead, Design, SimConfig};
 use pimgfx_bench::manifest::{CellSummary, FigureTiming, RunManifest};
 use pimgfx_bench::{
-    geomean, mean, section_variants, CsvSink, Harness, HarnessResult, Sweep, Variant, SECTIONS,
-    THRESHOLD_SWEEP,
+    geomean, mean, pool, section_variants, CsvSink, Harness, HarnessResult, Sweep, Variant,
+    SECTIONS, THRESHOLD_SWEEP,
 };
 use pimgfx_mem::TrafficClass;
 use pimgfx_types::ConfigError;
@@ -208,10 +208,12 @@ fn main() -> HarnessResult<()> {
         .map(|(column, variant, report)| {
             let mut cell = CellSummary::from_report(&column, &variant, report);
             // Schema v3: attach the frontend/backend wall split the
-            // harness recorded when it simulated the cell.
+            // harness recorded when it simulated the cell; schema v4
+            // adds the replay lane count of the same pass.
             if let Some(w) = h.wall_split(&column, &variant) {
                 cell.frontend_wall_ms = Some(w.frontend_ms);
                 cell.backend_wall_ms = Some(w.backend_ms);
+                cell.replay_lanes = Some(w.replay_lanes as u32);
             }
             cell
         })
@@ -270,6 +272,9 @@ fn main() -> HarnessResult<()> {
         frontend_cache: pimgfx_bench::manifest::FrontendCacheSummary::from_stats(
             h.frontend_cache_stats(),
         ),
+        // Schema v4: present only when a parallel fan-out ran (omitted
+        // for --serial runs, matching the serve-manifest convention).
+        load_balance: h.load_balance(),
         total_wall_ms,
         cells_per_sec: if total_wall_ms > 0.0 {
             cell_reports.len() as f64 / (total_wall_ms / 1000.0)
@@ -852,22 +857,57 @@ fn ablation(h: &mut Harness, columns: &[(Workload, Resolution)]) -> HarnessResul
     println!("(render speedup over baseline; disabling either A-TFIM helper should not help)");
 
     // The remaining ablations sweep structural knobs on one
-    // representative column.
+    // representative column. The scene and its fragment stream come
+    // from the harness caches (same frame count as every other
+    // section), so nothing is rebuilt here: every structural knob below
+    // (compression, MTU count, cube count, vault bandwidth) leaves the
+    // frontend untouched, and one shared stream serves all seventeen
+    // bespoke simulations — replay is byte-identical to a direct
+    // render. The seventeen configs fan out across the worker pool with
+    // a deterministic input-order merge, so the printed bytes match the
+    // historical one-at-a-time loop.
     let (g, r) = columns[0];
-    let frames = 2;
-    let scene = std::sync::Arc::new(pimgfx_workloads::build_workload(g, r, frames));
-    // Every structural knob below (compression, MTU count, cube count,
-    // vault bandwidth) leaves the frontend untouched, so one fragment
-    // stream serves all seventeen bespoke simulations; replay is
-    // byte-identical to a direct render.
-    let stream =
-        pimgfx::FragmentStream::build(std::sync::Arc::clone(&scene), SimConfig::default().tile_px)
-            .expect("frontend builds");
-    let run = |config: pimgfx::SimConfig| -> pimgfx::RenderReport {
-        let mut sim = pimgfx::Simulator::new(config).expect("valid config");
-        sim.render_replay(&stream).expect("renders")
-    };
-    let base = run(SimConfig::default());
+    let scene = h.scenes().get(g, r);
+    let stream = h.streams().get(&scene)?;
+    let builder = |design: Design| SimConfig::builder().design(design);
+    let mut configs: Vec<SimConfig> = vec![SimConfig::default()];
+    for (_, design, compressed) in COMPRESSION_ROWS {
+        configs.push(
+            builder(design)
+                .compressed_textures(compressed)
+                .build()
+                .expect("valid"),
+        );
+    }
+    configs.push(builder(Design::STfim).build().expect("valid"));
+    for mtus in MTU_SWEEP {
+        configs.push(builder(Design::STfim).mtus(mtus).build().expect("valid"));
+    }
+    for cubes in CUBE_SWEEP {
+        configs.push(
+            builder(Design::ATfim)
+                .hmc_cubes(cubes)
+                .build()
+                .expect("valid"),
+        );
+    }
+    for (vaults, internal) in VAULT_SWEEP {
+        let hmc = pimgfx_mem::HmcConfig {
+            vaults,
+            internal_gb_s: internal,
+            ..pimgfx_mem::HmcConfig::default()
+        };
+        configs.push(builder(Design::ATfim).hmc(hmc).build().expect("valid"));
+    }
+    let workers = pool::worker_count(configs.len())?;
+    let lanes = pool::configured_replay_lanes(workers)?;
+    let reports: Vec<pimgfx::RenderReport> = pool::run_ordered(&configs, workers, |config| {
+        let mut sim = pimgfx::Simulator::new(config.clone()).expect("valid config");
+        sim.render_replay_lanes(&stream, lanes).expect("renders")
+    });
+    let mut reports = reports.into_iter();
+    let mut next = || reports.next().expect("one report per config");
+    let base = next();
 
     header(&format!(
         "Ablation: block texture compression on {g}-{r} (orthogonal, SS VIII)"
@@ -876,17 +916,8 @@ fn ablation(h: &mut Harness, columns: &[(Workload, Resolution)]) -> HarnessResul
         "{:<26} {:>10} {:>14} {:>12}",
         "configuration", "cycles", "tex traffic", "energy"
     );
-    for (label, design, compressed) in [
-        ("baseline", Design::Baseline, false),
-        ("baseline + BC1", Design::Baseline, true),
-        ("a-tfim", Design::ATfim, false),
-        ("a-tfim + BC1", Design::ATfim, true),
-    ] {
-        let rep = run(SimConfig::builder()
-            .design(design)
-            .compressed_textures(compressed)
-            .build()
-            .expect("valid"));
+    for (label, _, _) in COMPRESSION_ROWS {
+        let rep = next();
         println!(
             "{:<26} {:>10} {:>14} {:>11.2}x",
             label,
@@ -899,16 +930,9 @@ fn ablation(h: &mut Harness, columns: &[(Workload, Resolution)]) -> HarnessResul
 
     header(&format!("Ablation: shared S-TFIM MTUs on {g}-{r} (SS IV)"));
     println!("{:<10} {:>10} {:>16}", "MTUs", "cycles", "vs 16 MTUs");
-    let full_mtus = run(SimConfig::builder()
-        .design(Design::STfim)
-        .build()
-        .expect("valid"));
-    for mtus in [16usize, 8, 4, 2] {
-        let rep = run(SimConfig::builder()
-            .design(Design::STfim)
-            .mtus(mtus)
-            .build()
-            .expect("valid"));
+    let full_mtus = next();
+    for mtus in MTU_SWEEP {
+        let rep = next();
         println!(
             "{:<10} {:>10} {:>15.2}x",
             mtus,
@@ -920,12 +944,8 @@ fn ablation(h: &mut Harness, columns: &[(Workload, Resolution)]) -> HarnessResul
 
     header(&format!("Ablation: HMC cubes on {g}-{r} (SS V-E)"));
     println!("{:<10} {:>10} {:>16}", "cubes", "cycles", "render speedup");
-    for cubes in [1usize, 2, 4] {
-        let rep = run(SimConfig::builder()
-            .design(Design::ATfim)
-            .hmc_cubes(cubes)
-            .build()
-            .expect("valid"));
+    for cubes in CUBE_SWEEP {
+        let rep = next();
         println!(
             "{:<10} {:>10} {:>15.2}x",
             cubes,
@@ -945,17 +965,8 @@ fn ablation(h: &mut Harness, columns: &[(Workload, Resolution)]) -> HarnessResul
         "{:<18} {:>10} {:>16}",
         "vaults (GB/s int)", "cycles", "render speedup"
     );
-    for (vaults, internal) in [(8u64, 320.0f64), (16, 384.0), (32, 512.0), (64, 768.0)] {
-        let hmc = pimgfx_mem::HmcConfig {
-            vaults,
-            internal_gb_s: internal,
-            ..pimgfx_mem::HmcConfig::default()
-        };
-        let rep = run(SimConfig::builder()
-            .design(Design::ATfim)
-            .hmc(hmc)
-            .build()
-            .expect("valid"));
+    for (vaults, internal) in VAULT_SWEEP {
+        let rep = next();
         println!(
             "{:<18} {:>10} {:>15.2}x",
             format!("{vaults} ({internal:.0})"),
@@ -966,3 +977,17 @@ fn ablation(h: &mut Harness, columns: &[(Workload, Resolution)]) -> HarnessResul
     println!("(A-TFIM's child reads ride the internal bandwidth the sweep varies)");
     Ok(())
 }
+
+/// The compression-ablation rows, in print order (label, design, BC1?).
+const COMPRESSION_ROWS: [(&str, Design, bool); 4] = [
+    ("baseline", Design::Baseline, false),
+    ("baseline + BC1", Design::Baseline, true),
+    ("a-tfim", Design::ATfim, false),
+    ("a-tfim + BC1", Design::ATfim, true),
+];
+/// The shared-MTU ablation sweep, in print order.
+const MTU_SWEEP: [usize; 4] = [16, 8, 4, 2];
+/// The HMC cube-count ablation sweep, in print order.
+const CUBE_SWEEP: [usize; 3] = [1, 2, 4];
+/// The HMC internal-bandwidth ablation sweep (vaults, GB/s internal).
+const VAULT_SWEEP: [(u64, f64); 4] = [(8, 320.0), (16, 384.0), (32, 512.0), (64, 768.0)];

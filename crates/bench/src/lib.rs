@@ -310,6 +310,10 @@ pub struct WallSplit {
     pub frontend_ms: f64,
     /// Milliseconds spent replaying the backend (all timing models).
     pub backend_ms: f64,
+    /// Replay lanes the backend pass actually used (after the
+    /// simulator's clamp to the cluster count; 1 = fully serial replay).
+    /// Surfaced per cell in the run manifest (schema v4).
+    pub replay_lanes: usize,
 }
 
 /// Memoizing experiment runner.
@@ -323,6 +327,37 @@ pub struct Harness {
     // manifest output, so the container order itself must be stable.
     reports: BTreeMap<(Workload, Resolution, String), RenderReport>,
     walls: BTreeMap<(String, String), WallSplit>,
+    /// Pinned replay lane count (tests and A/B probes); `None` derives
+    /// lanes from the shared [`pool`] budget and `PIMGFX_REPLAY_LANES`.
+    replay_lanes_pin: Option<usize>,
+    /// Load-balance accounting accumulated across `precompute` calls:
+    /// per-cell wall milliseconds and the pool capacity
+    /// (`workers × fan-out wall`) those cells ran under.
+    lb: LoadBalanceAccum,
+}
+
+/// Accumulator behind [`Harness::load_balance`].
+#[derive(Debug, Clone, Copy, Default)]
+struct LoadBalanceAccum {
+    cells: usize,
+    sum_cell_ms: f64,
+    max_cell_ms: f64,
+    capacity_ms: f64,
+}
+
+/// Load-balance summary of a harness's parallel fan-outs (schema v4's
+/// `load_balance` manifest block): how even the per-cell wall times
+/// were and how much of the pool's capacity the cells actually filled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadBalance {
+    /// Slowest single cell, wall milliseconds.
+    pub max_cell_ms: f64,
+    /// Mean cell wall milliseconds.
+    pub mean_cell_ms: f64,
+    /// `Σ cell_ms / Σ (workers × fan-out wall)` — 1.0 means every
+    /// worker was busy for the whole fan-out; low values mean the pool
+    /// idled behind stragglers (what LPT ordering exists to prevent).
+    pub pool_utilization: f64,
 }
 
 impl Harness {
@@ -339,6 +374,8 @@ impl Harness {
             streams: Arc::new(FragmentStreamCache::new(SimConfig::default().tile_px)),
             reports: BTreeMap::new(),
             walls: BTreeMap::new(),
+            replay_lanes_pin: None,
+            lb: LoadBalanceAccum::default(),
         }
     }
 
@@ -366,6 +403,8 @@ impl Harness {
             )),
             reports: BTreeMap::new(),
             walls: BTreeMap::new(),
+            replay_lanes_pin: None,
+            lb: LoadBalanceAccum::default(),
         }
     }
 
@@ -429,6 +468,43 @@ impl Harness {
             .copied()
     }
 
+    /// Pins the replay lane count for every subsequent cell simulation
+    /// (`Some(1)` forces fully serial replay; `None` restores the
+    /// default: the shared [`pool`] budget split, overridable via
+    /// `PIMGFX_REPLAY_LANES`). Exists so equivalence tests can sweep
+    /// lane counts without racing each other over the environment.
+    pub fn set_replay_lanes(&mut self, lanes: Option<usize>) {
+        self.replay_lanes_pin = lanes;
+    }
+
+    /// Load-balance summary of every [`Harness::precompute`] fan-out so
+    /// far, or `None` when no parallel fan-out has run (the serve job
+    /// manifests and `--serial` runs therefore omit the block).
+    pub fn load_balance(&self) -> Option<LoadBalance> {
+        if self.lb.cells == 0 {
+            return None;
+        }
+        Some(LoadBalance {
+            max_cell_ms: self.lb.max_cell_ms,
+            mean_cell_ms: self.lb.sum_cell_ms / self.lb.cells as f64,
+            pool_utilization: if self.lb.capacity_ms > 0.0 {
+                (self.lb.sum_cell_ms / self.lb.capacity_ms).min(1.0)
+            } else {
+                0.0
+            },
+        })
+    }
+
+    /// Resolves the replay lane count for cells running under a
+    /// `cell_workers`-wide pool: the pinned value when set, else the
+    /// shared-budget split (see [`pool::configured_replay_lanes`]).
+    fn replay_lanes(&self, cell_workers: usize) -> Result<usize> {
+        match self.replay_lanes_pin {
+            Some(n) => Ok(n.max(1)),
+            None => pool::configured_replay_lanes(cell_workers),
+        }
+    }
+
     /// Runs (or recalls) one experiment cell.
     ///
     /// This is the *serial* path: a cache miss simulates the cell on the
@@ -463,7 +539,10 @@ impl Harness {
         let key = (workload, res, variant.label());
         if !self.reports.contains_key(&key) {
             let scene = self.scenes.get(workload, res);
-            let (report, wall) = simulate_cell(&scene, variant, &self.streams)?;
+            // One cell on the calling thread: the whole budget is
+            // available to the lane level.
+            let lanes = self.replay_lanes(1)?;
+            let (report, wall) = simulate_cell(&scene, variant, &self.streams, lanes)?;
             self.walls
                 .insert((Self::column_label(workload, res), variant.label()), wall);
             self.reports.insert(key.clone(), report);
@@ -533,23 +612,61 @@ impl Harness {
             w?;
         }
 
-        // Phase 2: simulate all cells; merge preserves `todo` order.
-        let results: Vec<HarnessResult<(RenderReport, WallSplit)>> =
-            pool::run_ordered(&todo, workers, |&(w, r, v, _)| {
-                simulate_cell(&scenes.get(w, r), v, streams)
+        // Phase 2: simulate all cells. Jobs are handed to the pool in
+        // LPT order — heaviest expected cell first (longest-processing-
+        // time list scheduling) — so a straggler like an a-tfim
+        // 1280×1024 cell starts early instead of serializing the tail
+        // of the fan-out. The atomic-cursor pool pulls jobs in slice
+        // order; the scatter below restores `todo` order before any
+        // result is memoized, so downstream bytes are unaffected by the
+        // schedule.
+        let lanes = self.replay_lanes(workers)?;
+        let mut order: Vec<usize> = (0..todo.len()).collect();
+        // Stable descending sort by weight: equal-weight cells keep
+        // their sweep order, making the schedule itself deterministic.
+        order.sort_by(|&a, &b| {
+            let (_, ra, va, _) = &todo[a];
+            let (_, rb, vb, _) = &todo[b];
+            cell_cost_weight(*ra, *va)
+                .cmp(&cell_cost_weight(*rb, *vb))
+                .reverse()
+                .then(a.cmp(&b))
+        });
+        let scheduled: Vec<&(Workload, Resolution, Variant, String)> =
+            order.iter().map(|&i| &todo[i]).collect();
+        let lpt_results: Vec<HarnessResult<(RenderReport, WallSplit)>> =
+            pool::run_ordered(&scheduled, workers, |&&(w, r, v, _)| {
+                simulate_cell(&scenes.get(w, r), v, streams, lanes)
             });
+        // Scatter back to sweep order.
+        let mut results: Vec<Option<HarnessResult<(RenderReport, WallSplit)>>> =
+            (0..todo.len()).map(|_| None).collect();
+        for (slot, result) in order.into_iter().zip(lpt_results) {
+            results[slot] = Some(result);
+        }
 
+        let wall = start.elapsed();
         let cells_executed = todo.len();
+        let mut lb_batch = LoadBalanceAccum::default();
         for ((w, r, v, label), result) in todo.into_iter().zip(results) {
-            let (report, wall) = result?;
+            // lint:allow(no-panic) — the scatter loop above writes every slot exactly once
+            let (report, wall) = result.expect("scatter filled every slot")?;
+            let cell_ms = wall.frontend_ms + wall.backend_ms;
+            lb_batch.cells += 1;
+            lb_batch.sum_cell_ms += cell_ms;
+            lb_batch.max_cell_ms = lb_batch.max_cell_ms.max(cell_ms);
             self.walls
                 .insert((Self::column_label(w, r), v.label()), wall);
             self.reports.insert((w, r, label), report);
         }
+        self.lb.cells += lb_batch.cells;
+        self.lb.sum_cell_ms += lb_batch.sum_cell_ms;
+        self.lb.max_cell_ms = self.lb.max_cell_ms.max(lb_batch.max_cell_ms);
+        self.lb.capacity_ms += workers as f64 * wall.as_secs_f64() * 1000.0;
         Ok(SweepStats {
             cells_executed,
             workers,
-            wall: start.elapsed(),
+            wall,
         })
     }
 
@@ -666,22 +783,47 @@ pub fn bench_scene() -> SceneTrace {
     pimgfx_workloads::build_scene_unchecked(&profile, Resolution::R320x240, 1)
 }
 
+/// Expected relative cost of one cell, for LPT scheduling: pixel count
+/// scaled by a per-variant class weight seeded from measured
+/// `backend_wall_ms` classes (an a-tfim replay runs the per-corner
+/// parent probe machinery and costs roughly 1.5–2.3× a baseline replay
+/// of the same column; every other variant lands in one class). The
+/// weight only orders the job hand-off — results are merged in sweep
+/// order regardless — so a misclassified cell costs wall time, never
+/// bytes.
+fn cell_cost_weight(res: Resolution, variant: Variant) -> u64 {
+    let class = match variant {
+        Variant::Design(Design::ATfim)
+        | Variant::AtfimThreshold(_)
+        | Variant::AtfimNoRecalc
+        | Variant::AtfimNoConsolidation
+        | Variant::AtfimNoCompression => 2,
+        _ => 1,
+    };
+    res.pixels() * class
+}
+
 /// Simulates one `(scene, variant)` cell: the worker-thread body of
 /// every sweep (each worker owns its [`Simulator`]; only the scene and
 /// the frontend stream are shared, read-only).
 ///
 /// The variant-invariant frontend comes from the stream cache (built on
 /// first use, replayed by every later variant of the column); the
-/// variant-specific backend replays it, which is byte-identical to a
-/// direct `render_trace`. The returned [`WallSplit`] attributes the
-/// cell's wall time to the two passes.
+/// variant-specific backend replays it with `lanes` precompute lanes,
+/// which is byte-identical to a direct `render_trace` at any lane
+/// count. The returned [`WallSplit`] attributes the cell's wall time to
+/// the two passes and records the effective lane count.
 fn simulate_cell(
     scene: &Arc<SceneTrace>,
     variant: Variant,
     streams: &FragmentStreamCache,
+    lanes: usize,
 ) -> HarnessResult<(RenderReport, WallSplit)> {
     let config = variant.config()?;
     let mut sim = Simulator::new(config)?;
+    // Mirror the simulator's internal clamp so the manifest records the
+    // lane count the replay actually ran with.
+    let lanes_eff = lanes.clamp(1, sim.config().shader.clusters.max(1));
     if sim.config().tile_px != streams.tile_px() {
         // A variant binned at a different tile size cannot replay the
         // shared stream; render directly (no variant does this today).
@@ -694,6 +836,7 @@ fn simulate_cell(
             WallSplit {
                 frontend_ms: 0.0,
                 backend_ms,
+                replay_lanes: 1,
             },
         ));
     }
@@ -703,13 +846,14 @@ fn simulate_cell(
     let frontend_ms = start.elapsed().as_secs_f64() * 1000.0;
     // det:boundary — backend wall-time for WallSplit reporting.
     let start = Instant::now();
-    let report = sim.render_replay(&stream)?;
+    let report = sim.render_replay_lanes(&stream, lanes_eff)?;
     let backend_ms = start.elapsed().as_secs_f64() * 1000.0;
     Ok((
         report,
         WallSplit {
             frontend_ms,
             backend_ms,
+            replay_lanes: lanes_eff,
         },
     ))
 }
@@ -740,13 +884,33 @@ pub fn run_variant_replay(
     variant: Variant,
     streams: &FragmentStreamCache,
 ) -> Result<RenderReport> {
+    run_variant_replay_lanes(scene, variant, streams, 1)
+}
+
+/// [`run_variant_replay`] with an explicit replay lane count: the
+/// backend replays through `lanes` precompute lanes (byte-identical to
+/// serial at any count — see `crates/core/tests/lane_equivalence.rs`).
+/// `pimgfx-serve` workers pass [`pool::configured_replay_lanes`] here so
+/// the job-level fan-out and the lane level share one thread budget.
+///
+/// # Errors
+///
+/// Propagates configuration and simulation failures. Falls back to a
+/// direct render when the variant's tile size does not match the
+/// cache's.
+pub fn run_variant_replay_lanes(
+    scene: &Arc<SceneTrace>,
+    variant: Variant,
+    streams: &FragmentStreamCache,
+    lanes: usize,
+) -> Result<RenderReport> {
     let config = variant.config()?;
     let mut sim = Simulator::new(config)?;
     if sim.config().tile_px != streams.tile_px() {
         return sim.render_trace(scene);
     }
     let stream = streams.get(scene)?;
-    sim.render_replay(&stream)
+    sim.render_replay_lanes(&stream, lanes)
 }
 
 /// Runs several variants of one scene through the worker [`pool`],

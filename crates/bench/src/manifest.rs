@@ -22,8 +22,8 @@
 //!   [`RenderReport::audit`](pimgfx::RenderReport::audit) for that cell
 //!   (`"ok"`, or the conservation violation's error display).
 //!
-//! Schema v3 (this version) adds the frontend-stream cache's
-//! observability — again additively:
+//! Schema v3 added the frontend-stream cache's observability — again
+//! additively:
 //!
 //! - top-level `"frontend_cache"`: the shared
 //!   [`pimgfx::FragmentStreamCache`]'s hit/miss/eviction counters for
@@ -33,6 +33,20 @@
 //!   artifact and replaying the variant-specific backend. Both are
 //!   optional and *omitted* when not measured (the `pimgfx-serve` job
 //!   manifests leave them out to stay byte-deterministic).
+//!
+//! Schema v4 (this version) adds cluster-parallel replay observability,
+//! additively as before:
+//!
+//! - top-level `"load_balance"`: how even the per-cell wall times of
+//!   the run's parallel fan-outs were (`max_cell_ms`, `mean_cell_ms`)
+//!   and the fraction of pool capacity they filled
+//!   (`pool_utilization`). Omitted when no parallel fan-out ran —
+//!   `--serial` runs and the `pimgfx-serve` job manifests (the v3
+//!   byte-determinism convention).
+//! - per-cell `"replay_lanes"`: the intra-cell precompute lane count
+//!   the backend replay used (1 = fully serial replay; see
+//!   `docs/PARALLELISM.md`). Optional and omitted when not measured,
+//!   like the wall-split fields.
 
 use crate::HarnessResult;
 use pimgfx::RenderReport;
@@ -41,8 +55,10 @@ use pimgfx_types::Error;
 /// Version of the manifest layout; bumped on breaking field changes.
 /// v2 added the per-cell `stages` breakdown and `trace_audit` fields;
 /// v3 added the top-level `frontend_cache` counters and the optional
-/// per-cell `frontend_wall_ms` / `backend_wall_ms` split.
-pub const SCHEMA_VERSION: u32 = 3;
+/// per-cell `frontend_wall_ms` / `backend_wall_ms` split; v4 added the
+/// optional top-level `load_balance` block and the optional per-cell
+/// `replay_lanes` count.
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Default file name, written into the CSV directory when one is given
 /// (else the working directory).
@@ -116,6 +132,10 @@ pub struct CellSummary {
     /// Milliseconds spent in the backend replay for this cell
     /// (schema v3; `None` when not measured — omitted from the JSON).
     pub backend_wall_ms: Option<f64>,
+    /// Replay precompute lanes the backend pass used (schema v4;
+    /// 1 = fully serial replay; `None` when not measured — omitted
+    /// from the JSON, which keeps serve job manifests byte-stable).
+    pub replay_lanes: Option<u32>,
     /// Per-stage counter breakdown, in trace-recording order
     /// (schema v2).
     pub stages: Vec<StageSummary>,
@@ -142,6 +162,7 @@ impl CellSummary {
             },
             frontend_wall_ms: None,
             backend_wall_ms: None,
+            replay_lanes: None,
             stages: report
                 .trace
                 .iter()
@@ -196,6 +217,10 @@ impl CellSummary {
         }
         if let Some(ms) = self.backend_wall_ms {
             s.push_str(&format!("     \"backend_wall_ms\": {},\n", json_f64(ms)));
+        }
+        // Schema v4: the replay lane count, same omission convention.
+        if let Some(lanes) = self.replay_lanes {
+            s.push_str(&format!("     \"replay_lanes\": {lanes},\n"));
         }
         s.push_str("     \"stages\": [");
         for (j, stage) in self.stages.iter().enumerate() {
@@ -267,6 +292,9 @@ pub struct RunManifest {
     pub scene_evictions: u64,
     /// Frontend-stream cache counters for the run (schema v3).
     pub frontend_cache: FrontendCacheSummary,
+    /// Load-balance summary of the run's parallel fan-outs (schema v4;
+    /// `None` when no fan-out ran — the block is then omitted).
+    pub load_balance: Option<crate::LoadBalance>,
     /// End-to-end wall-clock milliseconds for the whole sweep.
     pub total_wall_ms: f64,
     /// Cells per wall-clock second (0 when no cell ran).
@@ -305,6 +333,19 @@ impl RunManifest {
                 self.frontend_cache.hits, self.frontend_cache.misses, self.frontend_cache.evictions
             ),
         );
+        if let Some(lb) = self.load_balance {
+            push_kv(
+                &mut s,
+                1,
+                "load_balance",
+                &format!(
+                    "{{\"max_cell_ms\": {}, \"mean_cell_ms\": {}, \"pool_utilization\": {}}}",
+                    json_f64(lb.max_cell_ms),
+                    json_f64(lb.mean_cell_ms),
+                    json_f64(lb.pool_utilization)
+                ),
+            );
+        }
         push_kv(&mut s, 1, "total_wall_ms", &json_f64(self.total_wall_ms));
         push_kv(&mut s, 1, "cells_per_sec", &json_f64(self.cells_per_sec));
 
@@ -429,6 +470,7 @@ mod tests {
                 misses: 1,
                 evictions: 0,
             },
+            load_balance: None,
             total_wall_ms: 1234.5,
             cells_per_sec: 2.43,
             figures: vec![
@@ -457,6 +499,7 @@ mod tests {
                 trace_audit: "ok".to_string(),
                 frontend_wall_ms: None,
                 backend_wall_ms: None,
+                replay_lanes: None,
                 stages: vec![
                     StageSummary {
                         stage: "shader.alu".to_string(),
@@ -515,7 +558,7 @@ mod tests {
     #[test]
     fn schema_v3_emits_frontend_cache_and_optional_walls() {
         let j = sample().to_json();
-        assert!(j.contains("\"schema_version\": 3"), "{j}");
+        assert!(j.contains("\"schema_version\": 4"), "{j}");
         assert!(
             j.contains("\"frontend_cache\": {\"hits\": 2, \"misses\": 1, \"evictions\": 0}"),
             "{j}"
@@ -530,6 +573,33 @@ mod tests {
         let j = timed.to_json();
         assert!(j.contains("\"frontend_wall_ms\": 12.346"), "{j}");
         assert!(j.contains("\"backend_wall_ms\": 78.900"), "{j}");
+        assert_eq!(j.matches('{').count(), j.matches('}').count(), "{j}");
+    }
+
+    #[test]
+    fn schema_v4_emits_load_balance_and_replay_lanes_when_measured() {
+        // Unmeasured: both additions are omitted entirely (the serve
+        // job manifests and --serial runs depend on the omission).
+        let j = sample().to_json();
+        assert!(!j.contains("load_balance"), "{j}");
+        assert!(!j.contains("replay_lanes"), "{j}");
+
+        let mut m = sample();
+        m.load_balance = Some(crate::LoadBalance {
+            max_cell_ms: 120.5,
+            mean_cell_ms: 61.25,
+            pool_utilization: 0.875,
+        });
+        m.cell_reports[0].replay_lanes = Some(4);
+        let j = m.to_json();
+        assert!(
+            j.contains(
+                "\"load_balance\": {\"max_cell_ms\": 120.500, \
+                 \"mean_cell_ms\": 61.250, \"pool_utilization\": 0.875}"
+            ),
+            "{j}"
+        );
+        assert!(j.contains("\"replay_lanes\": 4"), "{j}");
         assert_eq!(j.matches('{').count(), j.matches('}').count(), "{j}");
     }
 

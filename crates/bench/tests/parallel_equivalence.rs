@@ -178,6 +178,91 @@ fn synthetic_same_seed_is_identical_across_pool_widths() {
 }
 
 #[test]
+fn replay_lanes_produce_byte_identical_manifest_cells() {
+    // The lane axis (intra-cell cluster-parallel replay) must be an
+    // optimization only, like the pool: every report summary, manifest
+    // cell object, and CSV byte must match the fully serial replay at
+    // any lane count. Lane counts are pinned directly on the harness
+    // (the `PIMGFX_REPLAY_LANES` spelling of the same thing would race
+    // other tests over the environment).
+    let sweep = test_sweep();
+
+    let mut serial = Harness::new(1);
+    serial.set_replay_lanes(Some(1));
+    serial.precompute(&sweep).expect("serial-lane sweep");
+    let serial_cells = summaries(&serial);
+    let serial_json: Vec<String> = serial_cells.iter().map(|c| c.to_json_object()).collect();
+    let serial_dir = temp_dir("lanes-serial");
+    let serial_csv = csv_bytes(&serial, &serial_dir);
+    std::fs::remove_dir_all(&serial_dir).ok();
+
+    for lanes in [2usize, 4] {
+        let mut laned = Harness::new(1);
+        laned.set_replay_lanes(Some(lanes));
+        laned.precompute(&sweep).expect("laned sweep");
+        assert_eq!(serial_cells, summaries(&laned), "lanes={lanes}");
+        let laned_json: Vec<String> = summaries(&laned)
+            .iter()
+            .map(|c| c.to_json_object())
+            .collect();
+        assert_eq!(
+            serial_json, laned_json,
+            "manifest cell objects must be byte-identical at lanes={lanes}"
+        );
+        let dir = temp_dir(&format!("lanes-{lanes}"));
+        let csv = csv_bytes(&laned, &dir);
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(serial_csv, csv, "CSV bytes diverged at lanes={lanes}");
+        // The recorded lane count reflects the pin (modulo the
+        // simulator's cluster clamp — 16 clusters by default, so 2 and
+        // 4 pass through).
+        for (column, variant, _) in laned.report_cells() {
+            let w = laned.wall_split(&column, &variant).expect("wall recorded");
+            assert_eq!(w.replay_lanes, lanes, "{column}/{variant}");
+        }
+    }
+}
+
+#[test]
+fn lane_pin_of_one_forces_fully_serial_replay() {
+    // The N=1 regression of the shared-budget contract: a budget of one
+    // thread must leave zero lane parallelism, and the manifest must
+    // record it.
+    let mut h = Harness::new(1);
+    h.set_replay_lanes(Some(1));
+    h.run(
+        Game::Doom3,
+        Resolution::R320x240,
+        Variant::Design(Design::ATfim),
+    )
+    .expect("cell");
+    let w = h
+        .wall_split("doom3-320x240", "a-tfim")
+        .expect("wall recorded");
+    assert_eq!(w.replay_lanes, 1, "lanes pin of 1 must mean serial replay");
+    // And the budget-split arithmetic behind PIMGFX_THREADS=1: no
+    // cell-pool width can conjure lanes out of a one-thread budget.
+    for workers in [1usize, 2, 8, 64] {
+        assert_eq!(pool::replay_lanes_split(1, workers), 1);
+    }
+}
+
+#[test]
+fn load_balance_accounting_tracks_fanouts() {
+    let mut h = Harness::new(1);
+    assert!(
+        h.load_balance().is_none(),
+        "no fan-out yet: the manifest block must be omitted"
+    );
+    h.precompute(&test_sweep()).expect("sweep");
+    let lb = h.load_balance().expect("recorded after precompute");
+    assert!(lb.max_cell_ms > 0.0);
+    assert!(lb.mean_cell_ms > 0.0);
+    assert!(lb.max_cell_ms >= lb.mean_cell_ms);
+    assert!(lb.pool_utilization > 0.0 && lb.pool_utilization <= 1.0);
+}
+
+#[test]
 fn threads_env_override_is_honored() {
     // `configured_workers` reads the environment on every call, so this
     // is safe to assert directly; restore afterwards to stay polite to

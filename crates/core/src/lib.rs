@@ -47,6 +47,7 @@ pub mod config;
 pub mod design;
 pub mod fxhash;
 pub mod geometry;
+pub(crate) mod lanepre;
 pub mod overhead;
 pub mod rop;
 pub mod sim;

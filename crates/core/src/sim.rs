@@ -24,6 +24,7 @@ use crate::backend::MemoryBackend;
 use crate::config::SimConfig;
 use crate::design::Design;
 use crate::geometry;
+use crate::lanepre::{self, LaneCursor, LanePre};
 use crate::rop::Rop;
 use crate::stats::{FrameStats, RenderReport};
 use crate::stream::{FragmentStream, StreamData};
@@ -132,7 +133,7 @@ impl Simulator {
         // same two passes a cached replay runs, so a direct render and
         // a replay are byte-identical by construction.
         let data = StreamData::build(scene, self.config.tile_px)?;
-        self.replay_impl(scene, &data)
+        self.replay_impl(scene, &data, 1)
     }
 
     /// Renders from a prebuilt [`FragmentStream`] instead of
@@ -148,6 +149,37 @@ impl Simulator {
     /// Returns [`ConfigError`] when the stream was binned at a
     /// different tile size than this simulator's configuration.
     pub fn render_replay(&mut self, stream: &FragmentStream) -> Result<RenderReport> {
+        self.render_replay_lanes(stream, 1)
+    }
+
+    /// Renders from a prebuilt [`FragmentStream`] with the backend's
+    /// pure per-fragment work spread over up to `lanes` worker threads.
+    ///
+    /// The replay runs in two phases per frame. Phase 1 partitions the
+    /// frame's tiles into per-shader-cluster lanes (the partition is
+    /// `TileScheduler::cluster_for` — identical to the serial tile
+    /// assignment) and precomputes every quad's order-independent work
+    /// in parallel: sampler filtering, texel addressing, and the
+    /// A-TFIM speculative parent recomputes. Phase 2 then walks the
+    /// tiles in the original serial order consuming those records, so
+    /// every cache probe, memory-server access, and stats increment
+    /// happens with the same operands in the same sequence as
+    /// [`render_replay`](Self::render_replay) — the returned
+    /// [`RenderReport`] is byte-identical for any lane count.
+    ///
+    /// `lanes <= 1` runs the unchanged serial path (no extra threads,
+    /// no precompute buffers); lane counts above the cluster count are
+    /// clamped — one lane per cluster is the maximum useful width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the stream was binned at a
+    /// different tile size than this simulator's configuration.
+    pub fn render_replay_lanes(
+        &mut self,
+        stream: &FragmentStream,
+        lanes: usize,
+    ) -> Result<RenderReport> {
         if stream.tile_px() != self.config.tile_px {
             return Err(ConfigError::new(
                 "simulator",
@@ -158,12 +190,20 @@ impl Simulator {
                 ),
             ));
         }
-        self.replay_impl(stream.scene(), stream.data())
+        self.replay_impl(stream.scene(), stream.data(), lanes)
     }
 
     /// The variant-specific backend: drives shading, texturing, ROP,
-    /// memory, and energy over an already-built fragment stream.
-    fn replay_impl(&mut self, scene: &SceneTrace, data: &StreamData) -> Result<RenderReport> {
+    /// memory, and energy over an already-built fragment stream. With
+    /// `lanes > 1` the pure per-fragment work runs as a parallel
+    /// phase-1 precompute (see [`crate::lanepre`]); results stay
+    /// byte-identical to the serial path.
+    fn replay_impl(
+        &mut self,
+        scene: &SceneTrace,
+        data: &StreamData,
+        lanes: usize,
+    ) -> Result<RenderReport> {
         // Lay textures out in the simulated address space. With several
         // HMC cubes, textures go round-robin into per-cube regions so a
         // whole mip pyramid always lives in one cube (§V-E).
@@ -223,6 +263,27 @@ impl Simulator {
 
         let lane_kernels = self.config.sampler.kernels.is_lanes();
 
+        // Cluster-parallel replay: phase-1 lane precompute state. With
+        // one lane the serial path below runs unchanged and none of
+        // this allocates.
+        let lanes = lanepre::lane_workers(lanes, self.config.shader.clusters);
+        let use_lanes = lanes > 1;
+        let precomputer = use_lanes.then(|| lanepre::Precomputer::new(&self.config));
+        let mut lane_bufs: Vec<LanePre> = if use_lanes {
+            (0..self.config.shader.clusters)
+                .map(|_| LanePre::default())
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let mut lane_cursors: Vec<LaneCursor> =
+            vec![LaneCursor::default(); self.config.shader.clusters];
+        let lane_textures: Vec<&pimgfx_texture::MippedTexture> = if use_lanes {
+            scene.textures.iter().map(|t| texture_of(t.id())).collect()
+        } else {
+            Vec::new()
+        };
+
         for fe in &data.frames {
             let frame_start = clock;
             rop.begin_frame();
@@ -244,6 +305,25 @@ impl Simulator {
                 .map(|_| InFlightWindow::new(TILE_WINDOW, geom_done))
                 .collect();
             let tile_end = (fe.tile_start + fe.tile_len) as usize;
+            if let Some(pre) = &precomputer {
+                // Phase 1: precompute this frame's pure per-fragment
+                // work across lane worker threads; phase 2 (the serial
+                // tile walk below) consumes the records in the original
+                // order, keeping all shared state byte-identical.
+                lanepre::precompute_frame(
+                    pre,
+                    data,
+                    fe.tile_start as usize..tile_end,
+                    &scheduler,
+                    &lane_textures,
+                    &layouts,
+                    &mut lane_bufs,
+                    lanes,
+                );
+                for c in lane_cursors.iter_mut() {
+                    *c = LaneCursor::default();
+                }
+            }
             for te in &data.tiles[fe.tile_start as usize..tile_end] {
                 let cluster = scheduler.cluster_for(te.coord);
                 let issue_at = windows[cluster].gate_from(geom_done);
@@ -266,15 +346,28 @@ impl Simulator {
                     offset += len as usize;
                     let tex = texture_of(quad[0].texture);
                     let layout = &layouts[quad[0].texture.index()];
-                    self.texture.sample_quad_into(
-                        cluster,
-                        issue_at,
-                        quad,
-                        tex,
-                        layout,
-                        &mut self.mem,
-                        &mut quad_results,
-                    );
+                    if use_lanes {
+                        self.texture.sample_quad_pre(
+                            cluster,
+                            issue_at,
+                            quad,
+                            tex,
+                            &mut self.mem,
+                            &lane_bufs[cluster],
+                            &mut lane_cursors[cluster],
+                            &mut quad_results,
+                        );
+                    } else {
+                        self.texture.sample_quad_into(
+                            cluster,
+                            issue_at,
+                            quad,
+                            tex,
+                            layout,
+                            &mut self.mem,
+                            &mut quad_results,
+                        );
+                    }
                     if lane_kernels {
                         // Lane-clamped retire: fold the quad's
                         // displayable-range clamp into channel-major

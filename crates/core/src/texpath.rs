@@ -23,6 +23,7 @@ use crate::backend::MemoryBackend;
 use crate::config::SimConfig;
 use crate::design::Design;
 use crate::fxhash::FxHashMap;
+use crate::lanepre::{LaneCursor, LanePre};
 use crate::stats::TextureStats;
 use crate::texunit::TextureUnits;
 use pimgfx_engine::trace::StageTrace;
@@ -305,13 +306,243 @@ impl TexturePath {
         }
     }
 
-    /// Derivatives in base-level texel units for one fragment.
-    fn texel_derivs(tex: &MippedTexture, frag: &Fragment) -> (Vec2, Vec2) {
-        let scale = Vec2::new(tex.width() as f32, tex.height() as f32);
-        (
-            Vec2::new(frag.duv_dx.x * scale.x, frag.duv_dx.y * scale.y),
-            Vec2::new(frag.duv_dy.x * scale.x, frag.duv_dy.y * scale.y),
-        )
+    /// Phase-2 twin of [`TexturePath::sample_quad_into`] for
+    /// cluster-parallel replay: consumes one precomputed record per
+    /// fragment from the quad's lane buffer instead of re-running the
+    /// pure sampling math, then drives the identical order-sensitive
+    /// tail (caches, servers, stats). Byte-identical to the serial
+    /// entry point by construction — see `crate::lanepre`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frags` is empty or the lane buffer runs dry (a lane
+    /// partition mismatch between phases — a bug by definition).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn sample_quad_pre(
+        &mut self,
+        cluster: usize,
+        issue: Cycle,
+        frags: &[Fragment],
+        tex: &MippedTexture,
+        mem: &mut MemoryBackend,
+        pre: &LanePre,
+        cursor: &mut LaneCursor,
+        out: &mut Vec<(Rgba, Cycle)>,
+    ) {
+        assert!(!frags.is_empty(), "a quad needs at least one fragment");
+        debug_assert!(frags.iter().all(|f| f.texture == frags[0].texture));
+
+        out.clear();
+        match self.design {
+            Design::Baseline | Design::BPim => {
+                self.quad_conventional_pre(cluster, issue, frags.len(), mem, pre, cursor, out);
+            }
+            Design::STfim => self.quad_stfim_pre(cluster, issue, frags.len(), mem, pre, cursor, out),
+            Design::ATfim => {
+                self.quad_atfim_pre(cluster, issue, frags.len(), tex, mem, pre, cursor, out);
+            }
+        }
+        for (_, done) in out.iter() {
+            self.stats.samples += 1;
+            self.stats.latency_cycles += done.since(issue).get();
+        }
+    }
+
+    /// Conventional phase-2 consume: stored color/texel/line records in,
+    /// the shared [`TexturePath::conventional_fragment`] tail out.
+    #[allow(clippy::too_many_arguments)]
+    fn quad_conventional_pre(
+        &mut self,
+        cluster: usize,
+        issue: Cycle,
+        frag_count: usize,
+        mem: &mut MemoryBackend,
+        pre: &LanePre,
+        cursor: &mut LaneCursor,
+        out: &mut Vec<(Rgba, Cycle)>,
+    ) {
+        for i in cursor.frag..cursor.frag + frag_count {
+            let lines = &pre.lines[pre.line_start[i] as usize..pre.line_start[i + 1] as usize];
+            self.conventional_fragment(
+                cluster,
+                issue,
+                pre.texels[i],
+                pre.aniso[i],
+                pre.colors[i],
+                lines,
+                mem,
+                out,
+            );
+        }
+        cursor.frag += frag_count;
+    }
+
+    /// S-TFIM phase-2 consume: stored colors and the quad's
+    /// deduplicated request lines in, the shared
+    /// [`TexturePath::stfim_quad_tail`] out.
+    #[allow(clippy::too_many_arguments)]
+    fn quad_stfim_pre(
+        &mut self,
+        cluster: usize,
+        issue: Cycle,
+        frag_count: usize,
+        mem: &mut MemoryBackend,
+        pre: &LanePre,
+        cursor: &mut LaneCursor,
+        out: &mut Vec<(Rgba, Cycle)>,
+    ) {
+        let mut texel_total = 0u32;
+        for i in cursor.frag..cursor.frag + frag_count {
+            let texels = pre.texels[i];
+            self.stats.conventional_texels += u64::from(texels);
+            self.stats.record_aniso(pre.aniso[i]);
+            texel_total += texels;
+            // Completion is quad-wide and not known yet; patched by the
+            // tail, exactly like the serial path.
+            out.push((pre.colors[i], issue));
+        }
+        let q = cursor.quad;
+        let lines =
+            &pre.quad_lines[pre.quad_line_start[q] as usize..pre.quad_line_start[q + 1] as usize];
+        self.scratch.stfim_lines.clear();
+        self.scratch.stfim_lines.extend_from_slice(lines);
+        cursor.frag += frag_count;
+        cursor.quad += 1;
+        self.stfim_quad_tail(cluster, issue, texel_total, mem, out);
+    }
+
+    /// A-TFIM phase-2 consume: probes and reuse decisions against live
+    /// cache/functional state, corner values from the speculative
+    /// phase-1 records, then the shared
+    /// [`TexturePath::atfim_quad_tail`].
+    #[allow(clippy::too_many_arguments)]
+    fn quad_atfim_pre(
+        &mut self,
+        cluster: usize,
+        issue: Cycle,
+        frag_count: usize,
+        tex: &MippedTexture,
+        mem: &mut MemoryBackend,
+        pre: &LanePre,
+        cursor: &mut LaneCursor,
+        out: &mut Vec<(Rgba, Cycle)>,
+    ) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut parts = std::mem::take(&mut scratch.parts);
+        parts.clear();
+        for i in cursor.frag..cursor.frag + frag_count {
+            parts.push(self.atfim_fragment_pre(cluster, tex.id().raw(), pre, i));
+        }
+        cursor.frag += frag_count;
+        self.atfim_quad_tail(cluster, issue, &parts, mem, out, &mut scratch);
+        scratch.parts = parts;
+        self.scratch = scratch;
+    }
+
+    /// Phase-2 twin of [`TexturePath::atfim_fragment`]: identical probe
+    /// sequence, reuse rule, and store updates against the live caches
+    /// and functional store, but every corner's recompute value comes
+    /// from the speculative phase-1 record (bit-identical operands, so
+    /// bit-identical values).
+    fn atfim_fragment_pre(
+        &mut self,
+        cluster: usize,
+        tex_id: u32,
+        pre: &LanePre,
+        idx: usize,
+    ) -> AtfimFragment {
+        let at = &pre.at[idx];
+        let angle = at.angle;
+        self.stats.conventional_texels += u64::from(at.conventional_texels);
+        self.stats.record_aniso(at.aniso_ratio);
+
+        let mut parent_lines = LineList::default();
+        let mut miss_lines = LineList::default();
+        let mut plain_miss_lines = LineList::default();
+        let mut hit_ready = Duration::ZERO;
+        let mut line_hit = [false; 8];
+
+        let corner_base = pre.at_corner_start[idx] as usize;
+        let mut level_colors = [Rgba::TRANSPARENT; 2];
+        for (li, level_color) in level_colors
+            .iter_mut()
+            .enumerate()
+            .take(usize::from(at.level_count))
+        {
+            let lv = at.levels[li];
+            let degenerate = lv.degenerate;
+            let mut corners = [Rgba::TRANSPARENT; 4];
+            for (ci, corner) in pre.corners[corner_base + li * 4..corner_base + li * 4 + 4]
+                .iter()
+                .enumerate()
+            {
+                let line = corner.line;
+                let slot = match parent_lines.as_slice().iter().position(|&l| l == line) {
+                    Some(i) => i,
+                    None => {
+                        let i = usize::from(parent_lines.len);
+                        parent_lines.push(line);
+                        let outcome = if degenerate {
+                            self.probe_plain(cluster, line)
+                        } else {
+                            self.probe_with_angle(cluster, line, angle)
+                        };
+                        line_hit[i] = !matches!(outcome, ProbeOutcome::Miss);
+                        match outcome {
+                            ProbeOutcome::L1Hit => {
+                                hit_ready = hit_ready.max(Duration::new(L1_HIT_CYCLES));
+                            }
+                            ProbeOutcome::L2Hit => {
+                                hit_ready = hit_ready.max(Duration::new(L2_HIT_CYCLES));
+                            }
+                            ProbeOutcome::Miss if degenerate => plain_miss_lines.push(line),
+                            ProbeOutcome::Miss => miss_lines.push(line),
+                        }
+                        i
+                    }
+                };
+                // Same reuse rule as the serial path: the stored parent
+                // value is legal only on a hardware cache hit with a
+                // compatible angle; otherwise consume the speculative
+                // phase-1 recompute and store it.
+                let cached_in_hw = line_hit[slot];
+                let key: ParentKey = (tex_id, lv.level, corner.wx, corner.wy);
+                let reuse = match self.parent_values.get(&key) {
+                    Some((stored_angle, value))
+                        if cached_in_hw
+                            && stored_angle.abs_diff(angle) <= self.angle_threshold =>
+                    {
+                        Some(*value)
+                    }
+                    _ => None,
+                };
+                corners[ci] = match reuse {
+                    Some(v) => v,
+                    None => {
+                        self.parent_values.insert(key, (angle, corner.value));
+                        corner.value
+                    }
+                };
+            }
+            *level_color = corners[0]
+                .lerp(corners[1], lv.fx)
+                .lerp(corners[2].lerp(corners[3], lv.fx), lv.fy);
+        }
+        let color = if at.level_count == 1 {
+            level_colors[0]
+        } else {
+            level_colors[0].lerp(level_colors[1], at.w)
+        };
+
+        AtfimFragment {
+            color,
+            parents: u32::from(parent_lines.len),
+            hit_ready,
+            miss_lines,
+            plain_miss_lines,
+            aniso_ratio: at.aniso_ratio,
+            major_axis_x: at.major_axis_x,
+        }
     }
 
     /// Baseline / B-PIM: full filtering on the GPU texture unit.
@@ -329,29 +560,56 @@ impl TexturePath {
         let mut scratch = std::mem::take(&mut self.scratch);
         let sampler = self.sampler;
         for frag in frags {
-            let (ddx, ddy) = Self::texel_derivs(tex, frag);
+            let (ddx, ddy) = texel_derivs(tex, frag);
             let info = sampler.sample_into(tex, frag.uv, ddx, ddy, &mut scratch.fetches);
             let texels = info.conventional_texels.max(scratch.fetches.len() as u32);
-            self.stats.conventional_texels += u64::from(texels);
-            self.stats.record_aniso(info.aniso_ratio);
-            let addr_done = self.units.generate_addresses(cluster, issue, texels);
-
             dedup_lines_into(
                 scratch.fetches.fetches(),
                 layout,
                 &mut scratch.line_addrs,
                 &mut scratch.lines,
             );
-            let mut data_ready = addr_done;
-            for &line in &scratch.lines {
-                let ready = self.fetch_line(cluster, addr_done, line, mem);
-                data_ready = data_ready.max(ready);
-            }
-            self.stats.texels_filtered_gpu += u64::from(texels);
-            let done = self.units.filter(cluster, data_ready, texels);
-            out.push((info.color, done));
+            self.conventional_fragment(
+                cluster,
+                issue,
+                texels,
+                info.aniso_ratio,
+                info.color,
+                &scratch.lines,
+                mem,
+                out,
+            );
         }
         self.scratch = scratch;
+    }
+
+    /// The order-sensitive conventional per-fragment tail — address
+    /// generation, cache probes, memory fetches, filtering — shared
+    /// verbatim by the serial path and the phase-2 consume path so both
+    /// drive caches and units identically.
+    #[allow(clippy::too_many_arguments)]
+    fn conventional_fragment(
+        &mut self,
+        cluster: usize,
+        issue: Cycle,
+        texels: u32,
+        aniso_ratio: u32,
+        color: Rgba,
+        lines: &[u64],
+        mem: &mut MemoryBackend,
+        out: &mut Vec<(Rgba, Cycle)>,
+    ) {
+        self.stats.conventional_texels += u64::from(texels);
+        self.stats.record_aniso(aniso_ratio);
+        let addr_done = self.units.generate_addresses(cluster, issue, texels);
+        let mut data_ready = addr_done;
+        for &line in lines {
+            let ready = self.fetch_line(cluster, addr_done, line, mem);
+            data_ready = data_ready.max(ready);
+        }
+        self.stats.texels_filtered_gpu += u64::from(texels);
+        let done = self.units.filter(cluster, data_ready, texels);
+        out.push((color, done));
     }
 
     /// S-TFIM: one request package per quad to the cluster's MTU; the
@@ -372,7 +630,7 @@ impl TexturePath {
         scratch.stfim_lines.clear();
         let mut texel_total = 0u32;
         for frag in frags {
-            let (ddx, ddy) = Self::texel_derivs(tex, frag);
+            let (ddx, ddy) = texel_derivs(tex, frag);
             let info = sampler.sample_into(tex, frag.uv, ddx, ddy, &mut scratch.fetches);
             let texels = info.conventional_texels.max(scratch.fetches.len() as u32);
             self.stats.conventional_texels += u64::from(texels);
@@ -387,11 +645,25 @@ impl TexturePath {
             // Completion is quad-wide and not known yet; patched below.
             out.push((info.color, issue));
         }
-        // Drained into the request below; the capacity is handed back to
-        // the scratch buffer after the MTU call so steady state stays
-        // allocation-free.
-        let quad_lines = std::mem::take(&mut scratch.stfim_lines);
         self.scratch = scratch;
+        self.stfim_quad_tail(cluster, issue, texel_total, mem, out);
+    }
+
+    /// The order-sensitive S-TFIM quad tail — package to the MTU bank,
+    /// response back — shared verbatim by the serial path and the
+    /// phase-2 consume path so both drive the servers identically. The
+    /// quad's deduplicated request lines are in `scratch.stfim_lines`;
+    /// they are drained into the request and the capacity handed back
+    /// afterwards so steady state stays allocation-free.
+    fn stfim_quad_tail(
+        &mut self,
+        cluster: usize,
+        issue: Cycle,
+        texel_total: u32,
+        mem: &mut MemoryBackend,
+        out: &mut [(Rgba, Cycle)],
+    ) {
+        let quad_lines = std::mem::take(&mut self.scratch.stfim_lines);
 
         // The whole request maps to one cube: all its texels belong to
         // one texture, which the simulator placed inside one cube region.
@@ -443,7 +715,24 @@ impl TexturePath {
         for f in frags {
             parts.push(self.atfim_fragment(cluster, f, tex, layout, &mut scratch));
         }
+        self.atfim_quad_tail(cluster, issue, &parts, mem, out, &mut scratch);
+        scratch.parts = parts;
+        self.scratch = scratch;
+    }
 
+    /// The order-sensitive A-TFIM quad tail — address generation, plain
+    /// reads, the offload package, per-fragment filtering — shared
+    /// verbatim by the serial path and the phase-2 consume path so both
+    /// drive the memory-side servers identically.
+    fn atfim_quad_tail(
+        &mut self,
+        cluster: usize,
+        issue: Cycle,
+        parts: &[AtfimFragment],
+        mem: &mut MemoryBackend,
+        out: &mut Vec<(Rgba, Cycle)>,
+        scratch: &mut PathScratch,
+    ) {
         // Address generation for the quad's parents.
         let total_parents: u32 = parts.iter().map(|p| p.parents).sum();
         let addr_done = self
@@ -453,7 +742,7 @@ impl TexturePath {
         // One offload package for all quad misses.
         let quad_miss = &mut scratch.quad_miss;
         quad_miss.clear();
-        for p in &parts {
+        for p in parts {
             for &l in p.miss_lines.as_slice() {
                 if !quad_miss.contains(&l) {
                     quad_miss.push(l);
@@ -463,7 +752,7 @@ impl TexturePath {
         // Degenerate-kernel misses are ordinary texel reads.
         let plain_lines = &mut scratch.plain_lines;
         plain_lines.clear();
-        for p in &parts {
+        for p in parts {
             for &l in p.plain_miss_lines.as_slice() {
                 if !plain_lines.contains(&l) {
                     plain_lines.push(l);
@@ -511,7 +800,7 @@ impl TexturePath {
         }
 
         // Per-fragment GPU-side bilinear/trilinear over the parents.
-        for p in &parts {
+        for p in parts {
             let mut data_ready = addr_done + p.hit_ready;
             if !p.miss_lines.is_empty() {
                 data_ready = data_ready.max(miss_ready);
@@ -523,8 +812,6 @@ impl TexturePath {
             let done = self.units.filter(cluster, data_ready, p.parents.max(1));
             out.push((p.color, done));
         }
-        scratch.parts = parts;
-        self.scratch = scratch;
     }
 
     /// The A-TFIM GPU-side pass for one fragment: probe angle-tagged
@@ -537,7 +824,7 @@ impl TexturePath {
         layout: &TextureLayout,
         scratch: &mut PathScratch,
     ) -> AtfimFragment {
-        let (ddx, ddy) = Self::texel_derivs(tex, frag);
+        let (ddx, ddy) = texel_derivs(tex, frag);
         let fp = self.sampler.footprint(ddx, ddy);
         let (fine, coarse, w) = fp.mip_levels(tex.max_level());
         // The cached tag must identify the *child-texel set* a parent was
@@ -792,6 +1079,17 @@ impl TexturePath {
     }
 }
 
+/// Derivatives in base-level texel units for one fragment. Shared with
+/// the phase-1 lane precomputer, which must feed the sampler the exact
+/// operands the serial path does.
+pub(crate) fn texel_derivs(tex: &MippedTexture, frag: &Fragment) -> (Vec2, Vec2) {
+    let scale = Vec2::new(tex.width() as f32, tex.height() as f32);
+    (
+        Vec2::new(frag.duv_dx.x * scale.x, frag.duv_dx.y * scale.y),
+        Vec2::new(frag.duv_dy.x * scale.x, frag.duv_dy.y * scale.y),
+    )
+}
+
 /// Deduplicated cache-line addresses of a fetch trace, written into a
 /// caller-provided scratch buffer (cleared first) so the per-quad hot
 /// loop does not allocate. Order is **first occurrence**, not sorted:
@@ -803,7 +1101,7 @@ impl TexturePath {
 /// then the dedup folds the resulting flat `u64` slice — the same split
 /// the lane kernels use: bulk arithmetic over SoA buffers, order-sensitive
 /// logic scalar.
-fn dedup_lines_into(
+pub(crate) fn dedup_lines_into(
     fetches: &[pimgfx_texture::TexelFetch],
     layout: &TextureLayout,
     addrs: &mut Vec<u64>,

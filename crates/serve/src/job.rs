@@ -190,9 +190,10 @@ mod tests {
             energy_nj: 0.5,
             trace_audit: "ok".to_string(),
             // Job manifests must stay byte-deterministic, so the
-            // schema-v3 wall-split fields are left unset (omitted).
+            // measured schema-v3/v4 fields are left unset (omitted).
             frontend_wall_ms: None,
             backend_wall_ms: None,
+            replay_lanes: None,
             stages: Vec::new(),
         };
         // Input order baseline, b-pim — output must sort by variant.
@@ -205,10 +206,12 @@ mod tests {
         let base_at = a.find("\"variant\": \"baseline\"").expect("baseline cell");
         let bpim_at = a.find("\"variant\": \"b-pim\"").expect("b-pim cell");
         assert!(bpim_at < base_at, "cells must sort by variant:\n{a}");
-        assert!(a.contains("\"schema_version\": 3"), "{a}");
+        assert!(a.contains("\"schema_version\": 4"), "{a}");
         assert!(a.contains("\"tool\": \"pimgfx-serve\""), "{a}");
         assert!(a.contains("\"job\": 3"), "{a}");
         assert!(!a.contains("wall_ms"), "no wall-clock fields:\n{a}");
+        assert!(!a.contains("load_balance"), "no pool accounting:\n{a}");
+        assert!(!a.contains("replay_lanes"), "no lane counts:\n{a}");
         assert_eq!(a.matches('{').count(), a.matches('}').count());
     }
 }

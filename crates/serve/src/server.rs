@@ -17,7 +17,7 @@ use crate::protocol::{
 use crate::queue::{BoundedQueue, PushError};
 use pimgfx::{FragmentStreamCache, SimConfig};
 use pimgfx_bench::manifest::CellSummary;
-use pimgfx_bench::{pool, run_variant_replay, Harness, HarnessResult, SECTIONS};
+use pimgfx_bench::{pool, run_variant_replay_lanes, Harness, HarnessResult, SECTIONS};
 use pimgfx_types::{ConfigError, Error, FxHashMap};
 use pimgfx_workloads::{Game, SceneCache, Workload};
 use std::io::{self, BufReader, BufWriter};
@@ -333,6 +333,16 @@ fn execute_job(shared: &Shared, id: JobId) {
             return;
         }
     };
+    // The cell-level fan-out and the per-cell replay lanes share one
+    // thread budget (PIMGFX_THREADS), so a wide job gets 1 lane per
+    // cell and a narrow job spends the spare budget inside each replay.
+    let lanes = match pool::configured_replay_lanes(workers) {
+        Ok(l) => l,
+        Err(e) => {
+            shared.set_phase(id, Phase::Failed(format!("resolving replay lanes: {e}")));
+            return;
+        }
+    };
     // Columns are validated at submission — games against Table II,
     // synthetic specs via `SyntheticSpec::validate` — so the scene
     // build cannot hit the cache's invalid-column panic here.
@@ -348,7 +358,7 @@ fn execute_job(shared: &Shared, id: JobId) {
             None
         } else {
             done.fetch_add(1, Ordering::SeqCst);
-            Some(run_variant_replay(&scene, v, &shared.streams))
+            Some(run_variant_replay_lanes(&scene, v, &shared.streams, lanes))
         }
     });
     // Operational visibility for the smoke test and operators: one

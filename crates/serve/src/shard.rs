@@ -317,6 +317,7 @@ mod tests {
             trace_audit: "ok".to_string(),
             frontend_wall_ms: None,
             backend_wall_ms: None,
+            replay_lanes: None,
             stages: Vec::new(),
         }
     }

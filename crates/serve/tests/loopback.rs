@@ -273,7 +273,7 @@ fn shutdown_drains_inflight_work_then_run_returns_ok() {
     // ...and its manifest was flushed on the way out.
     let body = std::fs::read_to_string(results_dir.join(format!("job-{id}.json")))
         .expect("in-flight job flushed during drain");
-    assert!(body.contains("\"schema_version\": 3"), "{body}");
+    assert!(body.contains("\"schema_version\": 4"), "{body}");
     let _ = std::fs::remove_dir_all(&results_dir);
 }
 
